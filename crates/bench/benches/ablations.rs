@@ -1,0 +1,86 @@
+//! Criterion wrappers for the DESIGN.md §8 ablations that fit a timed
+//! harness: roll-up latency with/without child-merge derivation, and the
+//! interleaved-region workload with/without freshness dispersion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use stash_geo::Geohash;
+use std::time::{Duration, Instant};
+
+fn bench_derivation(c: &mut Criterion, scale: &Scale) {
+    let wl = scale.workload();
+    let coarse_res = wl.config().spatial_res - 1;
+    let cell = Geohash::encode(40.0, -100.0, coarse_res).expect("domain point");
+    let fine = wl.make_query(cell.bbox());
+    let coarse = fine.rolled_up().expect("coarser level");
+
+    let mut group = c.benchmark_group("ablation_derivation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, enabled) in [("on", true), ("off", false)] {
+        let cluster = scale.stash_cluster_with(|cfg| cfg.stash.enable_derivation = enabled);
+        let client = cluster.client();
+        group.bench_function(format!("rollup/derivation_{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    cluster.clear_cache();
+                    client.query(&fine).expect("warm fine");
+                    let t0 = Instant::now();
+                    client.query(&coarse).expect("rollup");
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_dispersion(c: &mut Criterion, scale: &Scale) {
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let a = wl.random_bbox(&mut rng, QuerySizeClass::State);
+    let b_box = a.pan(6.0, 10.0);
+    let wa = wl.pan_walk(&mut rng, a, 0.10, 12);
+    let wb = wl.pan_walk(&mut rng, b_box, 0.10, 12);
+
+    let mut group = c.benchmark_group("ablation_dispersion");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (label, frac) in [("off", 0.0), ("on", 0.4)] {
+        let cluster = scale.stash_cluster_with(|cfg| {
+            cfg.stash.neighbor_fraction = frac;
+            cfg.stash.max_cells = 600;
+            cfg.stash.safe_fraction = 0.7;
+            cfg.stash.decay_tau = 16.0;
+        });
+        let client = cluster.client();
+        group.bench_function(format!("interleaved_walks/dispersion_{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    cluster.clear_cache();
+                    let t0 = Instant::now();
+                    for (qa, qb) in wa.iter().zip(&wb) {
+                        client.query(qa).expect("walk a");
+                        client.query(qb).expect("walk b");
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    bench_derivation(c, &scale);
+    bench_dispersion(c, &scale);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

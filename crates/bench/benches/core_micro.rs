@@ -1,0 +1,148 @@
+//! Microbenchmarks of the hot data structures the macro results rest on:
+//! geohash arithmetic, query planning, summary merging, and the STASH
+//! graph's lookup / insert / derive / clique paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use stash_core::{CliqueFinder, LogicalClock, StashConfig, StashGraph};
+use stash_geo::{cover_bbox, BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{AggQuery, Cell, CellKey, Level, SummaryStats};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_geohash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geohash");
+    group.measurement_time(Duration::from_secs(2));
+    let gh = Geohash::encode(40.018, -105.274, 6).unwrap();
+    group.bench_function("encode_len6", |b| {
+        b.iter(|| Geohash::encode(std::hint::black_box(40.018), std::hint::black_box(-105.274), 6))
+    });
+    group.bench_function("bbox_decode", |b| b.iter(|| std::hint::black_box(gh).bbox()));
+    group.bench_function("neighbors8", |b| b.iter(|| std::hint::black_box(gh).neighbors()));
+    group.bench_function("antipode", |b| b.iter(|| std::hint::black_box(gh).antipode()));
+    let q = BBox::from_corner_extent(30.0, -110.0, 4.0, 8.0);
+    group.bench_function("cover_state_res4", |b| b.iter(|| cover_bbox(&q, 4)));
+    group.finish();
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summary");
+    group.measurement_time(Duration::from_secs(2));
+    let values: Vec<f64> = (0..1024).map(|i| (i as f64).sin() * 30.0).collect();
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("push_1024", |b| {
+        b.iter(|| {
+            let mut s = SummaryStats::empty();
+            for &v in &values {
+                s.push(v);
+            }
+            s
+        })
+    });
+    let parts: Vec<SummaryStats> = values.chunks(32).map(SummaryStats::from_values).collect();
+    group.bench_function("merge_32_partials", |b| {
+        b.iter(|| {
+            let mut acc = SummaryStats::empty();
+            for p in &parts {
+                acc.merge(p);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn keys_for_state() -> Vec<CellKey> {
+    AggQuery::new(
+        BBox::from_corner_extent(36.0, -104.0, 4.0, 8.0),
+        TimeRange::whole_day(2015, 2, 2),
+        4,
+        TemporalRes::Day,
+    )
+    .target_keys(1_000_000)
+    .unwrap()
+}
+
+fn filled_graph(keys: &[CellKey]) -> StashGraph {
+    let g = StashGraph::new(StashConfig::default(), Arc::new(LogicalClock::new()));
+    g.insert_many(keys.iter().map(|&k| {
+        let mut c = Cell::empty(k, 4);
+        c.summary.push_row(&[1.0, 2.0, 3.0, 4.0]);
+        c
+    }));
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stash_graph");
+    group.measurement_time(Duration::from_secs(2));
+    let keys = keys_for_state();
+    let graph = filled_graph(&keys);
+
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function(format!("get_many_{}keys", keys.len()), |b| {
+        b.iter(|| graph.get_many(&keys))
+    });
+    group.bench_function(format!("touch_region_{}keys", keys.len()), |b| {
+        b.iter(|| graph.touch_region(&keys))
+    });
+
+    let cells: Vec<Cell> = keys.iter().map(|&k| Cell::empty(k, 4)).collect();
+    group.bench_function(format!("insert_many_{}cells", cells.len()), |b| {
+        b.iter_batched(
+            || {
+                (
+                    StashGraph::new(StashConfig::default(), Arc::new(LogicalClock::new())),
+                    cells.clone(),
+                )
+            },
+            |(g, cs)| g.insert_many(cs),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Derivation: one parent from 32 cached children.
+    let parent = CellKey::new(
+        Geohash::encode(40.0, -100.0, 3).unwrap(),
+        TimeBin::containing(TemporalRes::Day, 1_422_835_200),
+    );
+    let g2 = StashGraph::new(StashConfig::default(), Arc::new(LogicalClock::new()));
+    g2.insert_many(parent.spatial_children().unwrap().into_iter().map(|k| {
+        let mut c = Cell::empty(k, 4);
+        c.summary.push_row(&[1.0, 2.0, 3.0, 4.0]);
+        c
+    }));
+    group.bench_function("try_derive_32_children", |b| {
+        b.iter(|| {
+            g2.remove_many(&[parent]);
+            g2.try_derive(&parent)
+        })
+    });
+
+    // Clique selection over the filled state-level graph.
+    let finder = CliqueFinder::new(2);
+    let level = Level::of(4, TemporalRes::Day).unwrap();
+    group.bench_function("top_cliques_depth2", |b| {
+        b.iter(|| finder.top_cliques(&graph, level, 4096, 8))
+    });
+    group.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning");
+    group.measurement_time(Duration::from_secs(2));
+    for (label, extent) in [("city", (0.2, 0.5)), ("state", (4.0, 8.0)), ("country", (16.0, 32.0))] {
+        let q = AggQuery::new(
+            BBox::from_corner_extent(30.0, -110.0, extent.0, extent.1),
+            TimeRange::whole_day(2015, 2, 2),
+            4,
+            TemporalRes::Day,
+        );
+        group.bench_function(format!("target_keys/{label}"), |b| {
+            b.iter(|| q.target_keys(1_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geohash, bench_summary, bench_graph, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion wrapper for Fig. 6a: query latency vs size for the basic
+//! system, a cold STASH, and a warm STASH.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let basic = scale.basic_cluster();
+    let stash = scale.stash_cluster();
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+
+    let mut group = c.benchmark_group("fig6a_latency");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for class in QuerySizeClass::ALL {
+        let q = wl.random_query(&mut rng, class);
+
+        let bc = basic.client();
+        group.bench_function(format!("basic/{class}"), |b| {
+            b.iter(|| bc.query(&q).expect("basic"))
+        });
+
+        let sc = stash.client();
+        group.bench_function(format!("stash_cold/{class}"), |b| {
+            b.iter_batched(
+                || stash.clear_cache(),
+                |_| sc.query(&q).expect("cold"),
+                BatchSize::PerIteration,
+            )
+        });
+
+        sc.query(&q).expect("warm-up");
+        group.bench_function(format!("stash_warm/{class}"), |b| {
+            b.iter(|| sc.query(&q).expect("warm"))
+        });
+    }
+    group.finish();
+    basic.shutdown();
+    stash.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion wrapper for Fig. 6b: throughput of the panning mix on the
+//! basic system vs STASH. Each iteration drives one full mix; Criterion's
+//! per-iteration time is therefore inverse throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::harness::drive_concurrent;
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+
+    let mut group = c.benchmark_group("fig6b_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for class in [QuerySizeClass::State, QuerySizeClass::County, QuerySizeClass::City] {
+        let mut rng = scale.rng();
+        let queries = Arc::new(wl.throughput_mix(&mut rng, class, 8, 10, 0.10));
+
+        let basic = scale.basic_cluster();
+        group.bench_function(format!("basic/{class}/{}req", queries.len()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let t0 = Instant::now();
+                    drive_concurrent(&basic, Arc::clone(&queries), scale.clients);
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        basic.shutdown();
+
+        let stash = scale.stash_cluster();
+        group.bench_function(format!("stash/{class}/{}req", queries.len()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // Cold cache per iteration so every sample runs the same
+                    // mix of misses and pan-overlap hits.
+                    stash.clear_cache();
+                    let t0 = Instant::now();
+                    drive_concurrent(&stash, Arc::clone(&queries), scale.clients);
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        stash.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

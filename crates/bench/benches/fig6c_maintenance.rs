@@ -1,0 +1,50 @@
+//! Criterion wrapper for Fig. 6c: cold-start Cell population time per
+//! query size class (STASH maintenance overhead).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::Rng;
+use stash_bench::Scale;
+use stash_core::{LogicalClock, StashConfig, StashGraph};
+use stash_data::QuerySizeClass;
+use stash_model::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+
+    let mut group = c.benchmark_group("fig6c_maintenance");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for class in QuerySizeClass::ALL {
+        let q = wl.random_query(&mut rng, class);
+        let keys = q.target_keys(1_000_000).expect("plan");
+        let cells: Vec<Cell> = keys
+            .iter()
+            .map(|&k| {
+                let mut cell = Cell::empty(k, 4);
+                cell.summary.push_row(&[rng.gen(), rng.gen(), 0.0, 0.0]);
+                cell
+            })
+            .collect();
+        group.throughput(Throughput::Elements(cells.len() as u64));
+        group.bench_function(format!("populate/{class}/{}cells", cells.len()), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        StashGraph::new(StashConfig::default(), Arc::new(LogicalClock::new())),
+                        cells.clone(),
+                    )
+                },
+                |(graph, cells)| graph.insert_many(cells),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion wrapper for Fig. 6d: time to drain a single-region hotspot
+//! burst with and without dynamic Clique replication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::harness::drive_concurrent;
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use stash_geo::BBox;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+    let (dlat, dlon) = QuerySizeClass::County.extent();
+    // Region pinned inside one DHT partition ('9x') — one node hotspots.
+    let start = BBox::from_corner_extent(42.0, -107.0, dlat, dlon);
+
+    let mut group = c.benchmark_group("fig6d_hotspot");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    for (label, enable) in [("without_replication", false), ("with_replication", true)] {
+        group.bench_function(format!("{label}/{}req", scale.burst_requests), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cluster = scale.hotspot_cluster(enable, |_| {});
+                    let mut rng = scale.rng();
+                    let queries = Arc::new(wl.hotspot_burst_at(&mut rng, start, scale.burst_requests));
+                    let t0 = Instant::now();
+                    drive_concurrent(&cluster, queries, scale.clients.max(64));
+                    total += t0.elapsed();
+                    cluster.shutdown();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion wrapper for Fig. 7a/7b: the 5-step iterative dicing streams
+//! on the basic system vs STASH. One iteration = one full stream against a
+//! cold cache, so the measured time embodies the reuse the figure shows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::Country);
+
+    let mut group = c.benchmark_group("fig7_dicing");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for (label, descending) in [("descending", true), ("ascending", false)] {
+        let stream = if descending {
+            wl.dice_descending(start, 5, 0.20)
+        } else {
+            wl.dice_ascending(start, 5, 0.20)
+        };
+
+        let basic = scale.basic_cluster();
+        let bc = basic.client();
+        group.bench_function(format!("basic/{label}"), |b| {
+            b.iter(|| {
+                for q in &stream {
+                    bc.query(q).expect("basic");
+                }
+            })
+        });
+        basic.shutdown();
+
+        let stash = scale.stash_cluster();
+        let sc = stash.client();
+        group.bench_function(format!("stash/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    stash.clear_cache();
+                    let t0 = Instant::now();
+                    for q in &stream {
+                        sc.query(q).expect("stash");
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        stash.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

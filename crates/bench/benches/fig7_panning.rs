@@ -1,0 +1,51 @@
+//! Criterion wrapper for Fig. 7c: the 8-direction pan star at 10/20/25 %
+//! on the basic system vs a STASH warmed by the starting view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::State);
+
+    let mut group = c.benchmark_group("fig7_panning");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for frac in [0.10, 0.20, 0.25] {
+        let stream = wl.pan_star(start, frac);
+
+        let basic = scale.basic_cluster();
+        let bc = basic.client();
+        group.bench_function(format!("basic/pan{:.0}%", frac * 100.0), |b| {
+            b.iter(|| {
+                for q in &stream[1..] {
+                    bc.query(q).expect("basic");
+                }
+            })
+        });
+        basic.shutdown();
+
+        // STASH keeps the star's cells warm across iterations — this is the
+        // steady state the figure's bars report (the start view has been
+        // rendered already).
+        let stash = scale.stash_cluster();
+        let sc = stash.client();
+        sc.query(&stream[0]).expect("warm start view");
+        group.bench_function(format!("stash/pan{:.0}%", frac * 100.0), |b| {
+            b.iter(|| {
+                for q in &stream[1..] {
+                    sc.query(q).expect("stash");
+                }
+            })
+        });
+        stash.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

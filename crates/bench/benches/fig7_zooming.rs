@@ -1,0 +1,63 @@
+//! Criterion wrapper for Fig. 7d/7e: drill-down and roll-up walks over a
+//! state area with 50/75/100 % of relevant Cells pre-stacked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::seq::SliceRandom;
+use stash_bench::fig7::zooming::{FROM_RES, TO_RES};
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let area = wl.random_bbox(&mut rng, QuerySizeClass::State);
+
+    let mut group = c.benchmark_group("fig7_zooming");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for (label, walk) in [
+        ("drill_down", wl.drill_down(area, FROM_RES, TO_RES)),
+        ("roll_up", wl.roll_up(area, TO_RES, FROM_RES)),
+    ] {
+        let basic = scale.basic_cluster();
+        let bc = basic.client();
+        group.bench_function(format!("basic/{label}"), |b| {
+            b.iter(|| {
+                for q in &walk {
+                    bc.query(q).expect("basic");
+                }
+            })
+        });
+        basic.shutdown();
+
+        for frac in [0.50, 0.75, 1.00] {
+            let stash = scale.stash_cluster();
+            let sc = stash.client();
+            group.bench_function(format!("stash/{label}/prepop{:.0}%", frac * 100.0), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        for q in &walk {
+                            stash.clear_cache();
+                            let mut keys = q.target_keys(1_000_000).expect("plan");
+                            keys.shuffle(&mut rng);
+                            let take = ((keys.len() as f64) * frac).round() as usize;
+                            stash.warm_keys(&keys[..take.min(keys.len())]).expect("warm");
+                            let t0 = Instant::now();
+                            sc.query(q).expect("stash");
+                            total += t0.elapsed();
+                        }
+                    }
+                    total
+                })
+            });
+            stash.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion wrapper for Fig. 8a–8c: the pan and dice streams on STASH vs
+//! the ElasticSearch-like baseline. One iteration = one full stream from a
+//! cold cache, so the measured time reflects each engine's reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use stash_model::AggQuery;
+use std::time::{Duration, Instant};
+
+fn streams(scale: &Scale) -> Vec<(&'static str, Vec<AggQuery>)> {
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let state = wl.random_bbox(&mut rng, QuerySizeClass::State);
+    let country = wl.random_bbox(&mut rng, QuerySizeClass::Country);
+    vec![
+        ("8a_panning", wl.pan_star(state, 0.20)),
+        ("8b_dice_ascending", wl.dice_ascending(country, 5, 0.20)),
+        ("8c_dice_descending", wl.dice_descending(country, 5, 0.20)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+
+    let mut group = c.benchmark_group("fig8_vs_elasticsearch");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for (label, stream) in streams(&scale) {
+        let stash = scale.stash_cluster();
+        let sc = stash.client();
+        group.bench_function(format!("stash/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    stash.clear_cache();
+                    let t0 = Instant::now();
+                    for q in &stream {
+                        sc.query(q).expect("stash");
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        stash.shutdown();
+
+        let es = scale.es_cluster();
+        let ec = es.client();
+        group.bench_function(format!("elastic/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    es.clear_caches();
+                    let t0 = Instant::now();
+                    for q in &stream {
+                        ec.query(q).expect("es");
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+        es.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

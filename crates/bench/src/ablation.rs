@@ -1,0 +1,272 @@
+//! Ablations for the design choices DESIGN.md §8 calls out:
+//!
+//! 1. freshness **dispersion** on/off under eviction pressure;
+//! 2. **child-merge derivation** on/off for roll-up reuse;
+//! 3. **antipode vs random** helper selection during Clique Handoff;
+//! 4. a **reroute-probability sweep** for the hotspot burst.
+
+use crate::harness::{drive_concurrent, time_ms, Scale};
+use crate::report::{ms, pct, Table};
+use stash_core::HelperSelection;
+use stash_data::QuerySizeClass;
+use stash_geo::BBox;
+use std::sync::Arc;
+
+/// 1 — freshness dispersion keeps contiguous hot regions resident under
+/// eviction pressure. Alternate between two interleaved pan walks with a
+/// Cell budget that cannot hold both; dispersion should protect the
+/// region actively being explored.
+pub mod dispersion {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        pub neighbor_fraction: f64,
+        /// Hit ratio of the final pan sweep around the focus region.
+        pub sweep_hit_ratio: f64,
+        /// Mean latency of the final pan sweep (ms).
+        pub sweep_ms: f64,
+    }
+
+    pub fn run(scale: &Scale) -> Vec<Row> {
+        let wl = scale.workload();
+        [0.0, 0.4]
+            .into_iter()
+            .map(|frac| {
+                let cluster = scale.stash_cluster_with(|c| {
+                    c.stash.neighbor_fraction = frac;
+                    // Tight budget: replacement runs continuously.
+                    c.stash.max_cells = 400;
+                    c.stash.safe_fraction = 0.7;
+                    c.stash.decay_tau = 24.0;
+                });
+                let client = cluster.client();
+                let mut rng = scale.rng();
+
+                // Phase 1: cache a state-sized region around the focus.
+                let state = wl.random_bbox(&mut rng, QuerySizeClass::State);
+                client.query(&wl.make_query(state)).expect("phase 1");
+
+                // Phase 2: the user dices down to the center and keeps
+                // interacting there while background queries elsewhere
+                // pressure the cache. Dispersion keeps the *ring* around
+                // the focus fresh even though only the focus is accessed.
+                let focus = state.scale(0.25);
+                for _ in 0..6 {
+                    client.query(&wl.make_query(focus)).expect("focus");
+                    let elsewhere = wl.random_bbox(&mut rng, QuerySizeClass::State);
+                    client.query(&wl.make_query(elsewhere)).expect("pressure");
+                }
+
+                // Phase 3: pan outward from the focus — exactly into the
+                // dispersed ring. Hits here are what dispersion buys.
+                let (mut hits, mut lookups, mut total_ms) = (0usize, 0usize, 0.0);
+                for q in wl.pan_star(focus, 0.5).iter().skip(1) {
+                    let (t, r) = time_ms(|| client.query(q).expect("sweep"));
+                    total_ms += t;
+                    hits += r.cache_hits + r.derived_hits;
+                    lookups += r.cache_hits + r.derived_hits + r.misses;
+                }
+                cluster.shutdown();
+                Row {
+                    neighbor_fraction: frac,
+                    sweep_hit_ratio: hits as f64 / lookups.max(1) as f64,
+                    sweep_ms: total_ms / 8.0,
+                }
+            })
+            .collect()
+    }
+
+    pub fn table(rows: &[Row]) -> Table {
+        let mut t = Table::new(
+            "Ablation 1 — freshness dispersion under eviction pressure",
+            &["neighbor fraction", "pan-sweep hit ratio", "pan-sweep mean (ms)"],
+        )
+        .with_note(
+            "dispersion (0.4) keeps the ring around the focused region resident, \
+             so panning back out stays cached; without it the ring is evicted",
+        );
+        for r in rows {
+            t.push(vec![
+                format!("{:.1}", r.neighbor_fraction),
+                pct(r.sweep_hit_ratio),
+                ms(r.sweep_ms),
+            ]);
+        }
+        t
+    }
+}
+
+/// 2 — child-merge derivation answers roll-ups from cache.
+pub mod derivation {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        pub enabled: bool,
+        pub rollup_ms: f64,
+        pub derived: u64,
+        pub disk_reads: u64,
+    }
+
+    pub fn run(scale: &Scale) -> Vec<Row> {
+        let wl = scale.workload();
+        [true, false]
+            .into_iter()
+            .map(|enabled| {
+                let cluster = scale.stash_cluster_with(|c| {
+                    c.stash.enable_derivation = enabled;
+                });
+                let client = cluster.client();
+                // Align the region to one coarse Cell so its 32 children are
+                // exactly the fine query's cover — the clean derivation case.
+                let coarse_res = wl.config().spatial_res - 1;
+                let coarse_cell = stash_geo::Geohash::encode(40.0, -100.0, coarse_res)
+                    .expect("domain-interior point");
+                let area = coarse_cell.bbox();
+                // Warm the fine level, then roll up one step: with
+                // derivation the coarse Cells merge from cache; without it
+                // they go to disk.
+                let fine = wl.make_query(area);
+                client.query(&fine).expect("warm fine level");
+                let disk_before: u64 = cluster.node_stats().iter().map(|s| s.disk_reads).sum();
+                let coarse = fine.rolled_up().expect("coarser level exists");
+                let (rollup_ms, _) = time_ms(|| client.query(&coarse).expect("rollup"));
+                let stats = cluster.node_stats();
+                let row = Row {
+                    enabled,
+                    rollup_ms,
+                    derived: stats.iter().map(|s| s.derived).sum(),
+                    disk_reads: stats.iter().map(|s| s.disk_reads).sum::<u64>() - disk_before,
+                };
+                cluster.shutdown();
+                row
+            })
+            .collect()
+    }
+
+    pub fn table(rows: &[Row]) -> Table {
+        let mut t = Table::new(
+            "Ablation 2 — child-merge derivation for roll-up",
+            &["derivation", "roll-up latency (ms)", "derived cells", "extra disk reads"],
+        )
+        .with_note("with derivation the roll-up is served from cached children, zero disk");
+        for r in rows {
+            t.push(vec![
+                if r.enabled { "on" } else { "off" }.into(),
+                ms(r.rollup_ms),
+                r.derived.to_string(),
+                r.disk_reads.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// 3 — antipode vs random helper selection; 4 — reroute probability sweep.
+pub mod hotspot {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        pub label: String,
+        pub total_secs: f64,
+        pub reroutes: u64,
+    }
+
+    fn burst(scale: &Scale, f: impl FnOnce(&mut stash_core::StashConfig)) -> Row {
+        let cluster = scale.hotspot_cluster(true, f);
+        let wl = scale.workload();
+        let mut rng = scale.rng();
+        let (dlat, dlon) = QuerySizeClass::County.extent();
+        let start = BBox::from_corner_extent(42.0, -107.0, dlat, dlon);
+        let queries = Arc::new(wl.hotspot_burst_at(&mut rng, start, scale.burst_requests));
+        let (secs, _) = drive_concurrent(&cluster, queries, scale.clients.max(64));
+        let reroutes = cluster.node_stats().iter().map(|s| s.reroutes).sum();
+        cluster.shutdown();
+        Row { label: String::new(), total_secs: secs, reroutes }
+    }
+
+    /// Antipode vs random helper choice.
+    pub fn helper_selection(scale: &Scale) -> Vec<Row> {
+        [HelperSelection::Antipode, HelperSelection::Random]
+            .into_iter()
+            .map(|sel| {
+                let mut row = burst(scale, |s| s.helper_selection = sel);
+                row.label = format!("{sel:?}");
+                row
+            })
+            .collect()
+    }
+
+    /// Sweep the rerouting probability.
+    pub fn reroute_sweep(scale: &Scale) -> Vec<Row> {
+        [0.0, 0.25, 0.5, 0.75, 1.0]
+            .into_iter()
+            .map(|p| {
+                let mut row = burst(scale, |s| s.reroute_probability = p);
+                row.label = format!("p={p:.2}");
+                row
+            })
+            .collect()
+    }
+
+    pub fn table(rows: &[Row], title: &str, note: &str) -> Table {
+        let mut t = Table::new(title, &["variant", "burst total (s)", "reroutes"]).with_note(note);
+        for r in rows {
+            t.push(vec![
+                r.label.clone(),
+                format!("{:.2}", r.total_secs),
+                r.reroutes.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            n_nodes: 2,
+            density: 48.0,
+            spatial_res: 3,
+            repeats: 1,
+            clients: 8,
+            throughput_requests: 40,
+            burst_requests: 60,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn derivation_ablation_shows_disk_difference() {
+        let rows = derivation::run(&tiny());
+        assert_eq!(rows.len(), 2);
+        let on = &rows[0];
+        let off = &rows[1];
+        assert!(on.enabled && !off.enabled);
+        assert!(on.derived > 0, "derivation on must derive cells");
+        // Boundary coarse cells whose children straddle the query edge
+        // still fetch; the interior derives, so disk drops sharply.
+        assert!(
+            on.disk_reads < off.disk_reads,
+            "derivation must reduce disk: {} !< {}",
+            on.disk_reads,
+            off.disk_reads
+        );
+        assert!(off.disk_reads > 0, "derivation off must hit disk");
+    }
+
+    #[test]
+    fn dispersion_rows_complete() {
+        let rows = dispersion::run(&tiny());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.sweep_hit_ratio >= 0.0 && r.sweep_hit_ratio <= 1.0);
+            assert!(r.sweep_ms > 0.0);
+        }
+    }
+}

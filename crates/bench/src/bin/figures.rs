@@ -1,0 +1,141 @@
+//! Regenerate the paper's figures against the simulated cluster.
+//!
+//! ```sh
+//! cargo run -p stash-bench --release --bin figures -- --all
+//! cargo run -p stash-bench --release --bin figures -- --fig 6a --fig 8a
+//! cargo run -p stash-bench --release --bin figures -- --all --scale small
+//! cargo run -p stash-bench --release --bin figures -- --ablations
+//! cargo run -p stash-bench --release --bin figures -- --all --markdown out.md
+//! ```
+//!
+//! Each figure prints a console table; `--markdown FILE` additionally
+//! appends GitHub-flavored tables (the format EXPERIMENTS.md embeds).
+
+use stash_bench::{ablation, fig6, fig7, fig8, report::Table, Scale};
+use std::io::Write;
+
+struct Args {
+    figs: Vec<String>,
+    all: bool,
+    ablations: bool,
+    scale: Scale,
+    markdown: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        figs: Vec::new(),
+        all: false,
+        ablations: false,
+        scale: Scale::paper(),
+        markdown: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => args.all = true,
+            "--ablations" => args.ablations = true,
+            "--fig" => {
+                let f = it.next().expect("--fig needs a value (e.g. 6a)");
+                args.figs.push(f.to_lowercase());
+            }
+            "--scale" => {
+                args.scale = match it.next().expect("--scale needs small|paper").as_str() {
+                    "small" => Scale::small(),
+                    "paper" => Scale::paper(),
+                    other => panic!("unknown scale {other:?} (use small|paper)"),
+                };
+            }
+            "--markdown" => args.markdown = Some(it.next().expect("--markdown needs a path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--all] [--ablations] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+    if !args.all && args.figs.is_empty() && !args.ablations {
+        args.all = true;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let wants = |f: &str| args.all || args.figs.iter().any(|x| x == f);
+    let mut tables: Vec<Table> = Vec::new();
+    let mut emit = |t: Table| {
+        println!("{}", t.to_console());
+        tables.push(t);
+    };
+
+    let scale = &args.scale;
+    eprintln!(
+        "running at scale: {} nodes, density {} obs/deg2/day, resolution {}",
+        scale.n_nodes, scale.density, scale.spatial_res
+    );
+
+    if wants("6a") {
+        emit(fig6::latency::table(&fig6::latency::run(scale)));
+    }
+    if wants("6b") {
+        emit(fig6::throughput::table(&fig6::throughput::run(scale)));
+    }
+    if wants("6c") {
+        emit(fig6::maintenance::table(&fig6::maintenance::run(scale)));
+    }
+    if wants("6d") {
+        emit(fig6::hotspot::table(&fig6::hotspot::run(scale)));
+    }
+    if wants("7a") {
+        emit(fig7::dicing::table(&fig7::dicing::run(scale, true), true));
+    }
+    if wants("7b") {
+        emit(fig7::dicing::table(&fig7::dicing::run(scale, false), false));
+    }
+    if wants("7c") {
+        emit(fig7::panning::table(&fig7::panning::run(scale)));
+    }
+    if wants("7d") {
+        emit(fig7::zooming::table(&fig7::zooming::run(scale, true), true));
+    }
+    if wants("7e") {
+        emit(fig7::zooming::table(&fig7::zooming::run(scale, false), false));
+    }
+    if wants("8a") {
+        emit(fig8::table(&fig8::panning(scale), "8a"));
+    }
+    if wants("8b") {
+        emit(fig8::table(&fig8::dicing_ascending(scale), "8b"));
+    }
+    if wants("8c") {
+        emit(fig8::table(&fig8::dicing_descending(scale), "8c"));
+    }
+    if args.ablations || args.all {
+        emit(ablation::dispersion::table(&ablation::dispersion::run(scale)));
+        emit(ablation::derivation::table(&ablation::derivation::run(scale)));
+        emit(ablation::hotspot::table(
+            &ablation::hotspot::helper_selection(scale),
+            "Ablation 3 — helper selection during Clique Handoff",
+            "antipode helpers should be at least as good as random (isolation from the hot region)",
+        ));
+        emit(ablation::hotspot::table(
+            &ablation::hotspot::reroute_sweep(scale),
+            "Ablation 4 — reroute probability sweep (hotspot burst)",
+            "p=0 never sheds; p=1 relocates the hotspot; intermediate p balances",
+        ));
+    }
+
+    if let Some(path) = args.markdown {
+        let mut out = String::new();
+        for t in &tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        let mut f = std::fs::File::create(&path).expect("create markdown file");
+        f.write_all(out.as_bytes()).expect("write markdown");
+        eprintln!("wrote {} tables to {path}", tables.len());
+    }
+}

@@ -1,0 +1,159 @@
+//! Fig. 8 experiments: STASH vs the ElasticSearch-like baseline on the
+//! same overlapping-request streams (§VIII-F).
+//!
+//! The comparison holds dataset, disk model, and network fixed and varies
+//! only the middleware: STASH reuses partial results Cell-by-Cell, while
+//! the ES request cache only fires on byte-identical queries.
+
+use crate::harness::{time_ms, Scale};
+use crate::report::{ms, pct, Table};
+use stash_data::QuerySizeClass;
+use stash_model::AggQuery;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub step: usize,
+    pub stash_ms: f64,
+    pub es_ms: f64,
+}
+
+/// Run one query stream on both engines, timing each step; averaged over
+/// `scale.repeats` cold-cache passes (single-core scheduling is noisy).
+fn run_stream(scale: &Scale, stream: &[AggQuery]) -> Vec<Row> {
+    let stash = scale.stash_cluster();
+    let es = scale.es_cluster();
+    let sc = stash.client();
+    let ec = es.client();
+    let mut rows: Vec<Row> = (1..=stream.len())
+        .map(|step| Row { step, stash_ms: 0.0, es_ms: 0.0 })
+        .collect();
+    for _ in 0..scale.repeats {
+        stash.clear_cache();
+        es.clear_caches();
+        for (row, q) in rows.iter_mut().zip(stream) {
+            row.stash_ms += time_ms(|| sc.query(q).expect("stash")).0;
+            row.es_ms += time_ms(|| ec.query(q).expect("es")).0;
+        }
+    }
+    for row in &mut rows {
+        row.stash_ms /= scale.repeats as f64;
+        row.es_ms /= scale.repeats as f64;
+    }
+    stash.shutdown();
+    es.shutdown();
+    rows
+}
+
+/// Fig. 8a — the state-view panning stream (start + 8 pans of 20 %).
+pub fn panning(scale: &Scale) -> Vec<Row> {
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::State);
+    run_stream(scale, &wl.pan_star(start, 0.20))
+}
+
+/// Fig. 8b — ascending iterative dicing.
+pub fn dicing_ascending(scale: &Scale) -> Vec<Row> {
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::Country);
+    run_stream(scale, &wl.dice_ascending(start, 5, 0.20))
+}
+
+/// Fig. 8c — descending iterative dicing.
+pub fn dicing_descending(scale: &Scale) -> Vec<Row> {
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::Country);
+    run_stream(scale, &wl.dice_descending(start, 5, 0.20))
+}
+
+/// Latency reduction of the best post-first step relative to the first
+/// query — the percentage the paper quotes for Fig. 8a.
+pub fn best_reduction(rows: &[Row], pick: impl Fn(&Row) -> f64) -> f64 {
+    let first = pick(&rows[0]);
+    let best = rows[1..].iter().map(&pick).fold(f64::INFINITY, f64::min);
+    1.0 - best / first.max(1e-9)
+}
+
+pub fn table(rows: &[Row], which: &str) -> Table {
+    let (title, note) = match which {
+        "8a" => (
+            "Fig. 8a — panning: STASH vs ES-like baseline (ms per step)",
+            "paper: from step 2 on, STASH reduces latency 49.7–70% vs its first query; ES only 0.6–2%",
+        ),
+        "8b" => (
+            "Fig. 8b — ascending dicing: STASH vs ES-like baseline (ms per step)",
+            "paper: STASH reuses nested Cells as the extent grows; ES recomputes every step",
+        ),
+        _ => (
+            "Fig. 8c — descending dicing: STASH vs ES-like baseline (ms per step)",
+            "paper: STASH drops steeply from step 2 (all Cells cached); ES stays flat",
+        ),
+    };
+    let mut t = Table::new(title, &["step", "STASH", "ES-like"]).with_note(format!(
+        "{note}; measured best reduction vs first query: STASH {}, ES {}",
+        pct(best_reduction(rows, |r| r.stash_ms)),
+        pct(best_reduction(rows, |r| r.es_ms)),
+    ));
+    for r in rows {
+        t.push(vec![r.step.to_string(), ms(r.stash_ms), ms(r.es_ms)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            n_nodes: 2,
+            density: 48.0,
+            spatial_res: 3,
+            repeats: 1,
+            clients: 8,
+            throughput_requests: 40,
+            burst_requests: 60,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn stash_dominates_es_at_steady_state_panning() {
+        let rows = panning(&tiny());
+        assert_eq!(rows.len(), 9);
+        // The robust Fig. 8a claim: "the second query onwards, STASH's
+        // latency is significantly lower" than the ES baseline's.
+        let stash_ss: f64 = rows[2..].iter().map(|r| r.stash_ms).sum::<f64>() / 7.0;
+        let es_ss: f64 = rows[2..].iter().map(|r| r.es_ms).sum::<f64>() / 7.0;
+        assert!(
+            stash_ss < es_ss,
+            "steady-state STASH {stash_ss} must beat ES {es_ss}"
+        );
+        let stash_red = best_reduction(&rows, |r| r.stash_ms);
+        assert!(stash_red > 0.3, "STASH should improve markedly: {stash_red}");
+    }
+
+    #[test]
+    fn descending_dicing_stash_is_fast_after_first() {
+        let rows = dicing_descending(&tiny());
+        assert_eq!(rows.len(), 5);
+        // Mean over steps 2..5: STASH (all Cells cached) must beat the
+        // recompute-bound baseline.
+        let stash_ss: f64 = rows[1..].iter().map(|r| r.stash_ms).sum::<f64>() / 4.0;
+        let es_ss: f64 = rows[1..].iter().map(|r| r.es_ms).sum::<f64>() / 4.0;
+        assert!(stash_ss < es_ss, "stash {stash_ss} !< es {es_ss}");
+    }
+
+    #[test]
+    fn best_reduction_math() {
+        let rows = vec![
+            Row { step: 1, stash_ms: 100.0, es_ms: 100.0 },
+            Row { step: 2, stash_ms: 30.0, es_ms: 98.0 },
+            Row { step: 3, stash_ms: 50.0, es_ms: 99.0 },
+        ];
+        assert!((best_reduction(&rows, |r| r.stash_ms) - 0.7).abs() < 1e-9);
+        assert!((best_reduction(&rows, |r| r.es_ms) - 0.02).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! The client API — the stand-in for the Grafana front-end (§VI-A).
+//!
+//! Every user interaction (pan, zoom, dice, …) becomes one
+//! [`ClusterClient::query`] call: the query is sent to a coordinator node
+//! over the fabric, and the JSON-serializable [`QueryResult`] that comes
+//! back is what the WorldMap panel would render. Clients are cheap to
+//! clone; the throughput experiments run hundreds of them concurrently.
+
+use crate::protocol::Msg;
+use stash_model::{AggQuery, QueryResult};
+use stash_net::rpc::RpcError;
+use stash_net::{Envelope, NodeId, Router, RpcTable};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No response within the client timeout.
+    Timeout,
+    /// The cluster is shutting down.
+    Disconnected,
+    /// The cluster answered with an error.
+    Remote(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => write!(f, "query timed out"),
+            ClientError::Disconnected => write!(f, "cluster disconnected"),
+            ClientError::Remote(e) => write!(f, "cluster error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A handle for issuing front-end queries against a [`crate::SimCluster`].
+#[derive(Clone)]
+pub struct ClusterClient {
+    router: Router<Msg>,
+    gateway: NodeId,
+    rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+    n_nodes: usize,
+    next_coordinator: Arc<AtomicUsize>,
+    timeout: Duration,
+}
+
+impl ClusterClient {
+    pub(crate) fn new(
+        router: Router<Msg>,
+        gateway: NodeId,
+        rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+        n_nodes: usize,
+        timeout: Duration,
+    ) -> Self {
+        ClusterClient {
+            router,
+            gateway,
+            rpc,
+            n_nodes,
+            next_coordinator: Arc::new(AtomicUsize::new(0)),
+            timeout,
+        }
+    }
+
+    /// Issue one aggregation query; blocks until the summary arrives.
+    /// Coordinators rotate round-robin, mimicking a front-end load
+    /// balancer.
+    pub fn query(&self, query: &AggQuery) -> Result<QueryResult, ClientError> {
+        let coord = self.next_coordinator.fetch_add(1, Ordering::Relaxed) % self.n_nodes;
+        self.query_at(query, coord)
+    }
+
+    /// Issue a query through a specific coordinator node (experiments that
+    /// need deterministic placement).
+    pub fn query_at(&self, query: &AggQuery, coordinator: usize) -> Result<QueryResult, ClientError> {
+        assert!(coordinator < self.n_nodes, "coordinator index out of range");
+        let (rpc_id, rx) = self.rpc.register();
+        let msg = Msg::Query {
+            rpc: rpc_id,
+            reply_to: self.gateway,
+            query: query.clone(),
+        };
+        let bytes = msg.wire_size();
+        if !self.router.send(self.gateway, NodeId(coordinator), msg, bytes) {
+            self.rpc.cancel(rpc_id);
+            return Err(ClientError::Disconnected);
+        }
+        match self.rpc.wait(rpc_id, &rx, self.timeout) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(remote)) => Err(ClientError::Remote(remote)),
+            Err(RpcError::Timeout) => Err(ClientError::Timeout),
+            Err(RpcError::Canceled) => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Number of storage nodes queries can coordinate on.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+/// Gateway pump: drains the client endpoint and completes waiting queries.
+/// Runs on its own thread until shutdown.
+pub(crate) fn run_gateway(
+    inbox: crossbeam::channel::Receiver<Envelope<Msg>>,
+    rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+) {
+    while let Ok(env) = inbox.recv() {
+        match env.payload {
+            Msg::QueryResponse { rpc: id, result } => {
+                rpc.complete(id, result);
+            }
+            // Front-end caching clients (§IX-A) issue SubQueries directly;
+            // their answers share the client RPC table.
+            Msg::SubQueryResponse { rpc: id, result } => {
+                rpc.complete(id, result);
+            }
+            Msg::Shutdown => return,
+            other => {
+                debug_assert!(false, "gateway received unexpected message {other:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! Cluster assembly: configuration, node spawning, stats, teardown.
+
+use crate::client::{run_gateway, ClusterClient};
+use crate::node::{NodeCtx, WorkTiers};
+use crate::protocol::Msg;
+use crate::source::GenBlockSource;
+use crossbeam::channel::unbounded;
+use stash_core::StashConfig;
+use stash_core::LogicalClock;
+use stash_data::{GeneratorConfig, NamGenerator};
+use stash_dfs::{DiskModel, NodeStore, Partitioner};
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, TimeRange};
+use stash_model::{CellKey, QueryResult};
+use stash_net::{NetConfig, NodeId, Router, RpcTable};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which system the cluster runs — the paper's two comparison points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The bare Galileo-like storage system: every query scans blocks
+    /// ("the simple Galileo storage system", §VIII-C1).
+    Basic,
+    /// The full STASH middleware on top of the same storage.
+    Stash,
+}
+
+/// Full configuration of a simulated deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Storage nodes (the paper used 120; laptop default 8).
+    pub n_nodes: usize,
+    /// Coordination workers per node (handle front-end `Query`s; may block
+    /// waiting on subquery service at other nodes).
+    pub coord_workers: usize,
+    /// Subquery service workers per node (STASH graph evaluation; may block
+    /// on block fetches at other nodes).
+    pub service_workers: usize,
+    /// Block-fetch workers per node (disk scans; never block on peers).
+    /// The tiers together model the paper's 8-core nodes while keeping the
+    /// cross-node wait graph acyclic.
+    pub fetch_workers: usize,
+    pub mode: Mode,
+    /// Toggle for the dynamic replication scheme (Fig. 6d compares on/off).
+    pub enable_replication: bool,
+    pub stash: StashConfig,
+    pub net: NetConfig,
+    pub disk: DiskModel,
+    /// Geohash length of storage blocks.
+    pub block_len: u8,
+    /// Geohash characters determining DHT placement (paper: 2).
+    pub partition_prefix_len: u8,
+    /// Spatial domain of the dataset (NAM coverage).
+    pub data_bbox: BBox,
+    /// Temporal domain of the dataset (the paper's NAM year).
+    pub data_time: TimeRange,
+    pub generator: GeneratorConfig,
+    /// Attribute count of the dataset schema (NAM: 4).
+    pub n_attrs: usize,
+    /// Modeled CPU cost per observation scanned during block aggregation
+    /// (virtual time; defines node capacity independent of the host's core
+    /// count — DESIGN.md §2).
+    pub scan_cost_per_obs: Duration,
+    /// Modeled CPU cost per Cell served from the STASH graph (lookup,
+    /// merge, serialization on the paper's nodes).
+    pub cell_service_cost: Duration,
+    pub sub_rpc_timeout: Duration,
+    pub distress_timeout: Duration,
+    pub client_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_nodes: 8,
+            coord_workers: 3,
+            service_workers: 3,
+            fetch_workers: 2,
+            mode: Mode::Stash,
+            enable_replication: true,
+            stash: StashConfig::default(),
+            net: NetConfig::default(),
+            disk: DiskModel::default(),
+            block_len: 3,
+            partition_prefix_len: 2,
+            data_bbox: BBox {
+                min_lat: 20.0,
+                max_lat: 55.0,
+                min_lon: -130.0,
+                max_lon: -60.0,
+            },
+            data_time: TimeRange::new(
+                epoch_seconds(2015, 1, 1, 0, 0, 0),
+                epoch_seconds(2016, 1, 1, 0, 0, 0),
+            )
+            .expect("static range"),
+            generator: GeneratorConfig::default(),
+            n_attrs: 4,
+            scan_cost_per_obs: Duration::from_nanos(400),
+            cell_service_cost: Duration::from_nanos(500),
+            sub_rpc_timeout: Duration::from_secs(30),
+            distress_timeout: Duration::from_secs(2),
+            client_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Per-node live counters (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    pub queries_coordinated: AtomicU64,
+    pub subqueries: AtomicU64,
+    pub reroutes: AtomicU64,
+    pub guest_serves: AtomicU64,
+    pub handoffs: AtomicU64,
+    pub replicas_hosted: AtomicU64,
+}
+
+/// A point-in-time snapshot of one node's state, for experiment reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    pub node_idx: usize,
+    pub graph_cells: usize,
+    pub guest_cells: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub derived: u64,
+    pub evictions: u64,
+    pub disk_reads: u64,
+    pub disk_bytes: u64,
+    pub queries_coordinated: u64,
+    pub subqueries: u64,
+    pub reroutes: u64,
+    pub guest_serves: u64,
+    pub handoffs: u64,
+    pub replicas_hosted: u64,
+    pub pending: usize,
+}
+
+/// A running simulated deployment (Fig. 4): storage nodes, fabric, gateway.
+pub struct SimCluster {
+    config: Arc<ClusterConfig>,
+    router: Router<Msg>,
+    nodes: Vec<Arc<NodeCtx>>,
+    client_rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+    gateway: NodeId,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    shut: AtomicBool,
+}
+
+impl SimCluster {
+    /// Boot a cluster: spawns `n_nodes * (1 + coord + service + fetch workers) + 2`
+    /// threads (mains, workers, router, gateway).
+    pub fn new(config: ClusterConfig) -> Self {
+        config.stash.validate();
+        assert!(config.n_nodes > 0, "cluster needs at least one node");
+        assert!(
+            config.coord_workers >= 1 && config.service_workers >= 1 && config.fetch_workers >= 1,
+            "every worker tier needs at least one thread"
+        );
+        let config = Arc::new(config);
+        let (router, mut endpoints) = Router::<Msg>::new(config.n_nodes + 1, config.net.clone());
+        let gateway_ep = endpoints.pop().expect("gateway endpoint");
+        let gateway = gateway_ep.id;
+        let partitioner = Partitioner::new(config.n_nodes, config.partition_prefix_len);
+        let source = Arc::new(GenBlockSource::new(NamGenerator::new(config.generator.clone())));
+
+        let mut nodes = Vec::with_capacity(config.n_nodes);
+        let mut threads = Vec::new();
+        for ep in endpoints {
+            let node_idx = ep.id.0;
+            let store = NodeStore::new(
+                node_idx,
+                partitioner.clone(),
+                config.block_len,
+                config.data_bbox,
+                config.data_time,
+                config.disk.clone(),
+                source.clone(),
+                config.stash.max_blocks_per_fetch,
+            )
+            .with_scan_cost(config.scan_cost_per_obs);
+            let clock = Arc::new(LogicalClock::new());
+            let (coord_tx, coord_rx) = unbounded();
+            let (service_tx, service_rx) = unbounded();
+            let (fetch_tx, fetch_rx) = unbounded();
+            let ctx = Arc::new(NodeCtx::new(
+                node_idx,
+                Arc::clone(&config),
+                router.clone(),
+                store,
+                clock,
+                WorkTiers { coord_tx, service_tx, fetch_tx },
+            ));
+            // Main thread.
+            let main_ctx = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("stash-node-{node_idx}"))
+                    .spawn(move || main_ctx.run_main(ep.inbox))
+                    .expect("spawn node main"),
+            );
+            // Tiered workers.
+            let tiers = [
+                ("coord", config.coord_workers, coord_rx),
+                ("service", config.service_workers, service_rx),
+                ("fetch", config.fetch_workers, fetch_rx),
+            ];
+            for (tier_name, count, rx) in tiers {
+                for w in 0..count {
+                    let worker_ctx = Arc::clone(&ctx);
+                    let rx = rx.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("stash-{tier_name}-{node_idx}-{w}"))
+                            .spawn(move || worker_ctx.run_worker(rx))
+                            .expect("spawn node worker"),
+                    );
+                }
+            }
+            nodes.push(ctx);
+        }
+
+        // Gateway pump.
+        let client_rpc = Arc::new(RpcTable::default());
+        let pump_rpc = Arc::clone(&client_rpc);
+        threads.push(
+            std::thread::Builder::new()
+                .name("stash-gateway".into())
+                .spawn(move || run_gateway(gateway_ep.inbox, pump_rpc))
+                .expect("spawn gateway"),
+        );
+
+        SimCluster {
+            config,
+            router,
+            nodes,
+            client_rpc,
+            gateway,
+            threads,
+            shut: AtomicBool::new(false),
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// A new front-end handle.
+    pub fn client(&self) -> ClusterClient {
+        ClusterClient::new(
+            self.router.clone(),
+            self.gateway,
+            Arc::clone(&self.client_rpc),
+            self.config.n_nodes,
+            self.config.client_timeout,
+        )
+    }
+
+    /// A front-end handle with its own client-side STASH graph of
+    /// `max_cells` capacity (the paper's §IX-A future work; see
+    /// [`crate::client_cache`]).
+    pub fn caching_client(&self, max_cells: usize) -> crate::client_cache::CachingClient {
+        crate::client_cache::CachingClient::new(
+            self.client(),
+            self.router.clone(),
+            self.gateway,
+            Arc::clone(&self.client_rpc),
+            self.nodes[0].store.partitioner().clone(),
+            max_cells,
+            self.config.client_timeout,
+            self.config.n_attrs,
+        )
+    }
+
+    /// Direct node access for experiments and tests.
+    pub fn node(&self, idx: usize) -> &Arc<NodeCtx> {
+        &self.nodes[idx]
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fabric-level counters.
+    pub fn net_stats(&self) -> &stash_net::NetStats {
+        self.router.stats()
+    }
+
+    /// Snapshot every node's counters.
+    pub fn node_stats(&self) -> Vec<NodeStatsSnapshot> {
+        self.nodes
+            .iter()
+            .map(|n| NodeStatsSnapshot {
+                node_idx: n.node_idx,
+                graph_cells: n.graph.len(),
+                guest_cells: n.guest.len(),
+                cache_hits: n.graph.stats().hits.load(Ordering::Relaxed),
+                cache_misses: n.graph.stats().misses.load(Ordering::Relaxed),
+                derived: n.graph.stats().derived.load(Ordering::Relaxed),
+                evictions: n.graph.stats().evictions.load(Ordering::Relaxed),
+                disk_reads: n.store.disk_stats().reads(),
+                disk_bytes: n.store.disk_stats().bytes(),
+                queries_coordinated: n.stats.queries_coordinated.load(Ordering::Relaxed),
+                subqueries: n.stats.subqueries.load(Ordering::Relaxed),
+                reroutes: n.stats.reroutes.load(Ordering::Relaxed),
+                guest_serves: n.stats.guest_serves.load(Ordering::Relaxed),
+                handoffs: n.stats.handoffs.load(Ordering::Relaxed),
+                replicas_hosted: n.stats.replicas_hosted.load(Ordering::Relaxed),
+                pending: n.pending(),
+            })
+            .collect()
+    }
+
+    /// Total Cells cached across all local graphs.
+    pub fn total_cached_cells(&self) -> usize {
+        self.nodes.iter().map(|n| n.graph.len()).sum()
+    }
+
+    /// Pre-populate the STASH graphs with exactly these Cells, bypassing
+    /// client timing — used by the zoom experiments (Fig. 7d/7e) that
+    /// "randomly stack the STASH graph" with 50/75/100 % of the relevant
+    /// Cells.
+    pub fn warm_keys(&self, keys: &[CellKey]) -> Result<(), String> {
+        let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
+        for &k in keys {
+            by_owner
+                .entry(self.nodes[0].store.partitioner().owner_of_cell(&k))
+                .or_default()
+                .push(k);
+        }
+        for (owner, group) in by_owner {
+            self.nodes[owner].eval_subquery(&group, false)?;
+        }
+        Ok(())
+    }
+
+    /// Drop every cached Cell on every node (cold-start experiments).
+    pub fn clear_cache(&self) {
+        for n in &self.nodes {
+            n.graph.clear();
+            n.guest.clear();
+        }
+    }
+
+    /// Broadcast a storage-update invalidation (stale PLM bits, §IV-D).
+    pub fn invalidate_region(&self, bbox: BBox, time: TimeRange) {
+        for n in &self.nodes {
+            self.router.send(
+                self.gateway,
+                NodeId(n.node_idx),
+                Msg::InvalidateRegion { bbox, time },
+                96,
+            );
+        }
+    }
+
+    /// Orderly teardown; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for n in &self.nodes {
+            self.router.send(self.gateway, NodeId(n.node_idx), Msg::Shutdown, 16);
+        }
+        self.router.send(self.gateway, self.gateway, Msg::Shutdown, 16);
+    }
+}
+
+impl Drop for SimCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Give threads a moment to drain the shutdown messages, then stop
+        // the fabric; threads blocked on closed channels exit.
+        for t in self.threads.drain(..) {
+            // Shutdown messages traverse the delay queue; joining bounds
+            // teardown at a few wire latencies.
+            if t.join().is_err() {
+                // A panicked node thread shouldn't abort teardown.
+            }
+        }
+        self.router.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_geo::TemporalRes;
+    use stash_model::AggQuery;
+
+    fn small_config(mode: Mode) -> ClusterConfig {
+        ClusterConfig {
+            n_nodes: 4,
+            coord_workers: 2,
+            service_workers: 2,
+            fetch_workers: 2,
+            mode,
+            disk: DiskModel::free(),
+            net: NetConfig {
+                base_latency: Duration::from_micros(20),
+                ..NetConfig::default()
+            },
+            generator: GeneratorConfig {
+                seed: 3,
+                obs_per_deg2_per_day: 30.0,
+                max_obs_per_block: 10_000,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn county_query() -> AggQuery {
+        AggQuery::new(
+            BBox::from_corner_extent(38.0, -105.0, 0.6, 1.2),
+            TimeRange::whole_day(2015, 2, 2),
+            4,
+            TemporalRes::Day,
+        )
+    }
+
+    #[test]
+    fn stash_cluster_answers_queries_and_caches() {
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let client = cluster.client();
+        let q = county_query();
+
+        let cold = client.query(&q).expect("cold query");
+        assert!(cold.total_count() > 0, "county query must see observations");
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.misses > 0);
+
+        let warm = client.query(&q).expect("warm query");
+        assert_eq!(warm.misses, 0, "second identical query must be all hits");
+        assert_eq!(warm.cache_hits, cold.misses);
+        // Same data both times.
+        assert_eq!(warm.total_count(), cold.total_count());
+        assert_eq!(warm.cells.len(), cold.cells.len());
+        assert!(cluster.total_cached_cells() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn basic_cluster_never_caches() {
+        let cluster = SimCluster::new(small_config(Mode::Basic));
+        let client = cluster.client();
+        let q = county_query();
+        let a = client.query(&q).expect("first");
+        let b = client.query(&q).expect("second");
+        assert_eq!(a.total_count(), b.total_count());
+        assert_eq!(b.cache_hits, 0);
+        assert_eq!(cluster.total_cached_cells(), 0);
+        // Disk was read both times.
+        let reads: u64 = cluster.node_stats().iter().map(|s| s.disk_reads).sum();
+        assert!(reads > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn basic_and_stash_agree_on_results() {
+        let basic = SimCluster::new(small_config(Mode::Basic));
+        let stash = SimCluster::new(small_config(Mode::Stash));
+        let q = county_query();
+        let rb = basic.client().query(&q).expect("basic");
+        let rs = stash.client().query(&q).expect("stash");
+        assert_eq!(rb.total_count(), rs.total_count());
+        assert_eq!(rb.cells.len(), rs.cells.len());
+        for (cb, cs) in rb.cells.iter().zip(&rs.cells) {
+            assert_eq!(cb.key, cs.key);
+            assert_eq!(cb.summary.count(), cs.summary.count());
+        }
+        basic.shutdown();
+        stash.shutdown();
+    }
+
+    #[test]
+    fn warm_keys_prepopulates() {
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let q = county_query();
+        let keys = q.target_keys(100_000).unwrap();
+        cluster.warm_keys(&keys).unwrap();
+        assert!(cluster.total_cached_cells() >= keys.len());
+        let r = cluster.client().query(&q).unwrap();
+        assert_eq!(r.misses, 0, "prewarmed query must not miss");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn clear_cache_resets() {
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let client = cluster.client();
+        let q = county_query();
+        client.query(&q).unwrap();
+        assert!(cluster.total_cached_cells() > 0);
+        cluster.clear_cache();
+        assert_eq!(cluster.total_cached_cells(), 0);
+        let again = client.query(&q).unwrap();
+        assert!(again.misses > 0, "cleared cache must miss again");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn invalidation_forces_recomputation() {
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let client = cluster.client();
+        let q = county_query();
+        client.query(&q).unwrap();
+        cluster.invalidate_region(q.bbox, q.time);
+        // Invalidations travel over the fabric; give them a beat.
+        std::thread::sleep(Duration::from_millis(100));
+        let r = client.query(&q).unwrap();
+        assert!(r.misses > 0, "stale cells must be recomputed");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let q = county_query();
+        let expected = cluster.client().query(&q).unwrap().total_count();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let client = cluster.client();
+                let q = q.clone();
+                std::thread::spawn(move || client.query(&q).unwrap().total_count())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn coarse_query_spanning_partitions() {
+        // Resolution 1 cells span every partition; exercises the
+        // FetchPartials merge path end to end.
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let client = cluster.client();
+        let q = AggQuery::new(
+            BBox::from_corner_extent(25.0, -120.0, 20.0, 40.0),
+            TimeRange::whole_day(2015, 2, 2),
+            1,
+            TemporalRes::Day,
+        );
+        let r = client.query(&q).expect("coarse query");
+        assert!(r.total_count() > 0);
+        // Compare against Basic mode.
+        let basic = SimCluster::new(small_config(Mode::Basic));
+        let rb = basic.client().query(&q).expect("basic coarse");
+        assert_eq!(r.total_count(), rb.total_count());
+        cluster.shutdown();
+        basic.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "worker tier")]
+    fn empty_worker_tier_rejected() {
+        let mut c = small_config(Mode::Stash);
+        c.service_workers = 0;
+        let _ = SimCluster::new(c);
+    }
+}

@@ -1,0 +1,34 @@
+//! # stash-cluster
+//!
+//! The full simulated deployment of the paper's system (Fig. 4): Galileo
+//! storage nodes with STASH graphs in their memory, a coordinator-per-query
+//! scatter/gather evaluation path, the Clique Handoff hotspot protocol, and
+//! a client API standing in for the Grafana front-end.
+//!
+//! One [`SimCluster`] owns:
+//!
+//! * a [`stash_net::Router`] fabric with `n_nodes + 1` endpoints (the extra
+//!   endpoint is the client gateway);
+//! * per node: a main dispatch thread (never blocks), a small worker pool
+//!   (the paper's nodes are 8-core), a [`stash_dfs::NodeStore`], a local
+//!   [`stash_core::StashGraph`], a **guest** graph for replicas
+//!   (§VII-A: "a helper node maintains two STASH graphs — one local and one
+//!   guest"), a routing table, and a hotspot manager;
+//! * a clonable [`ClusterClient`] whose `query()` call is exactly one
+//!   user interaction of the front-end.
+//!
+//! Two execution modes reproduce the paper's comparisons:
+//! [`Mode::Basic`] — the bare storage system, every query scans blocks —
+//! and [`Mode::Stash`] — the full caching middleware.
+
+pub mod client;
+pub mod client_cache;
+pub mod cluster;
+pub mod node;
+pub mod protocol;
+pub mod source;
+
+pub use client::{ClientError, ClusterClient};
+pub use client_cache::{CachingClient, Prefetcher};
+pub use cluster::{ClusterConfig, Mode, NodeStatsSnapshot, SimCluster};
+pub use source::GenBlockSource;

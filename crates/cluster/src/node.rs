@@ -1,0 +1,668 @@
+//! One simulated storage node: Galileo store + STASH middleware + hotspot
+//! manager.
+//!
+//! Threading discipline (this is what keeps the cluster deadlock-free):
+//!
+//! * The **main thread** drains the fabric inbox and never blocks: RPC
+//!   responses complete waiting slots immediately, control messages
+//!   (Distress) are answered inline, and all real work is dispatched to the
+//!   worker pool. Because main threads always drain, a worker blocked on a
+//!   sub-RPC is always eventually woken by its peer's main thread.
+//! * **Workers** (the paper's 8-core nodes, scaled down) evaluate queries,
+//!   scan blocks, and may block on sub-RPCs to other nodes.
+//! * **Handoff** runs on its own short-lived thread, at most one at a time,
+//!   so a hotspotted node can replicate Cliques while its workers stay busy
+//!   serving the very queue that triggered the hotspot.
+//!
+//! The pending-work counter doubles as the paper's hotspot signal: "a node
+//! deems itself to be hotspotted when the number of pending requests in its
+//! message queue crosses a configured threshold" (§VII-B1).
+
+use crate::cluster::{ClusterConfig, Mode, NodeStats};
+use crate::protocol::Msg;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use stash_core::{evaluate, CliqueFinder, GuestBook, LogicalClock, RouteDecision, RoutingTable, StashGraph};
+use stash_dfs::{plan_blocks, NodeStore};
+use stash_model::{Cell, CellKey, CellSummary, Level, QueryResult};
+use stash_net::{Envelope, NodeId, Router, RpcTable};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Replies a node can wait for.
+#[derive(Debug)]
+pub enum RpcReply {
+    SubResult(Result<QueryResult, String>),
+    Partials(Result<Vec<(CellKey, CellSummary)>, String>),
+    Ack(bool),
+}
+
+/// Shared state of one node, used by its main thread, workers, and handoff
+/// thread.
+pub struct NodeCtx {
+    pub node_idx: usize,
+    pub id: NodeId,
+    pub config: Arc<ClusterConfig>,
+    pub router: Router<Msg>,
+    pub store: NodeStore,
+    /// The node's local STASH graph.
+    pub graph: StashGraph,
+    /// The guest graph holding replicas from hotspotted peers (§VII-A).
+    pub guest: StashGraph,
+    pub guestbook: Mutex<GuestBook>,
+    pub routing: Mutex<RoutingTable>,
+    pub clock: Arc<LogicalClock>,
+    pub rpc: RpcTable<RpcReply>,
+    pub stats: NodeStats,
+    /// Requests dispatched to workers and not yet finished (all tiers).
+    pending: AtomicUsize,
+    /// Data-service work (subqueries, fetches, replication) queued or in
+    /// flight — the hotspot signal. Coordination waits are excluded: a
+    /// node blocked *waiting on others* is not itself overloaded.
+    service_pending: AtomicUsize,
+    /// Level of the most recent SubQuery — where a hotspot's Cliques live.
+    hot_level: AtomicU8,
+    handoff_inflight: AtomicBool,
+    cooldown_until: AtomicU64,
+    /// Deterministic per-node RNG stream for reroute coin flips.
+    rng_state: AtomicU64,
+    /// Tiered work queues. Coordination (tier 0) may block on subquery
+    /// service (tier 1), which may block on block fetches (tier 2), which
+    /// never block — the cross-node wait graph is acyclic by construction,
+    /// so the cluster cannot deadlock however saturated it gets.
+    tiers: WorkTiers,
+}
+
+/// The three per-node worker tiers (see module docs).
+#[derive(Clone)]
+pub struct WorkTiers {
+    pub coord_tx: Sender<Envelope<Msg>>,
+    pub service_tx: Sender<Envelope<Msg>>,
+    pub fetch_tx: Sender<Envelope<Msg>>,
+}
+
+impl NodeCtx {
+    pub fn new(
+        node_idx: usize,
+        config: Arc<ClusterConfig>,
+        router: Router<Msg>,
+        store: NodeStore,
+        clock: Arc<LogicalClock>,
+        tiers: WorkTiers,
+    ) -> Self {
+        let mut guest_cfg = config.stash.clone();
+        guest_cfg.max_cells = config.stash.guest_max_cells;
+        NodeCtx {
+            node_idx,
+            id: NodeId(node_idx),
+            graph: StashGraph::new(config.stash.clone(), Arc::clone(&clock)),
+            guest: StashGraph::new(guest_cfg, Arc::clone(&clock)),
+            guestbook: Mutex::new(GuestBook::new()),
+            routing: Mutex::new(RoutingTable::new()),
+            clock,
+            rpc: RpcTable::default(),
+            stats: NodeStats::default(),
+            pending: AtomicUsize::new(0),
+            service_pending: AtomicUsize::new(0),
+            hot_level: AtomicU8::new(
+                Level::of(4, stash_geo::TemporalRes::Day).expect("static level").index(),
+            ),
+            handoff_inflight: AtomicBool::new(false),
+            cooldown_until: AtomicU64::new(0),
+            rng_state: AtomicU64::new((0x9E37_79B9u64 ^ ((node_idx as u64) << 17)) | 1),
+            config,
+            router,
+            store,
+            tiers,
+        }
+    }
+
+    /// The paper's hotspot predicate: "the number of pending requests in
+    /// its message queue crosses a configured threshold" (§VII-B1), counted
+    /// over the data-service queue.
+    pub fn is_hotspotted(&self) -> bool {
+        self.service_pending.load(Ordering::Relaxed) > self.config.stash.hotspot_threshold
+    }
+
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Cheap xorshift coin flip for probabilistic rerouting.
+    fn flip(&self, probability: f64) -> bool {
+        let mut x = self.rng_state.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state.store(x, Ordering::Relaxed);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) < probability
+    }
+
+    fn send(&self, dst: NodeId, msg: Msg) {
+        let bytes = msg.wire_size();
+        self.router.send(self.id, dst, msg, bytes);
+    }
+
+    // =======================================================================
+    // Main thread
+    // =======================================================================
+
+    /// Drain the fabric inbox until shutdown. Never blocks on work.
+    pub fn run_main(self: &Arc<Self>, inbox: Receiver<Envelope<Msg>>) {
+        while let Ok(env) = inbox.recv() {
+            if matches!(env.payload, Msg::Shutdown) {
+                // Poison every worker in every tier, then exit.
+                let poisons = [
+                    (&self.tiers.coord_tx, self.config.coord_workers),
+                    (&self.tiers.service_tx, self.config.service_workers),
+                    (&self.tiers.fetch_tx, self.config.fetch_workers),
+                ];
+                for (tx, n) in poisons {
+                    for _ in 0..n {
+                        let _ = tx.send(Envelope { src: self.id, dst: self.id, payload: Msg::Shutdown });
+                    }
+                }
+                return;
+            }
+            self.handle_fast(env);
+        }
+    }
+
+    fn handle_fast(self: &Arc<Self>, env: Envelope<Msg>) {
+        match env.payload {
+            // RPC completions — wake waiting workers/handoff immediately.
+            Msg::SubQueryResponse { rpc, result } => {
+                self.rpc.complete(rpc, RpcReply::SubResult(result));
+            }
+            Msg::PartialsResponse { rpc, partials } => {
+                self.rpc.complete(rpc, RpcReply::Partials(partials));
+            }
+            Msg::DistressAck { rpc, accept } => {
+                self.rpc.complete(rpc, RpcReply::Ack(accept));
+            }
+            Msg::ReplicationResponse { rpc, ok } => {
+                self.rpc.complete(rpc, RpcReply::Ack(ok));
+            }
+            // Control plane: answer inline (§VII-B3). A hotspotted or full
+            // helper declines.
+            Msg::Distress { rpc, reply_to, n_cells } => {
+                let accept = !self.is_hotspotted()
+                    && self
+                        .guestbook
+                        .lock()
+                        .can_accommodate(n_cells, self.config.stash.guest_max_cells);
+                self.send(reply_to, Msg::DistressAck { rpc, accept });
+            }
+            // Rerouting decision happens *before* queueing (§VII-C): a
+            // hotspotted node sheds covered subqueries to their helper.
+            Msg::SubQuery { rpc, reply_to, keys, allow_reroute, via_guest } => {
+                if allow_reroute && !via_guest && self.is_hotspotted() {
+                    let decision = self.routing.lock().decide(&keys);
+                    if let RouteDecision::Covered { helper } = decision {
+                        if self.flip(self.config.stash.reroute_probability) {
+                            self.stats.reroutes.fetch_add(1, Ordering::Relaxed);
+                            self.send(
+                                NodeId(helper),
+                                Msg::SubQuery { rpc, reply_to, keys, allow_reroute: false, via_guest: true },
+                            );
+                            return;
+                        }
+                    }
+                }
+                self.dispatch(Envelope {
+                    src: env.src,
+                    dst: env.dst,
+                    payload: Msg::SubQuery { rpc, reply_to, keys, allow_reroute, via_guest },
+                });
+            }
+            // Everything else is real work.
+            payload => {
+                self.dispatch(Envelope { src: env.src, dst: env.dst, payload });
+            }
+        }
+    }
+
+    fn dispatch(self: &Arc<Self>, env: Envelope<Msg>) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        if !matches!(env.payload, Msg::Query { .. }) {
+            self.service_pending.fetch_add(1, Ordering::Relaxed);
+        }
+        // Route to the tier whose workers may safely block on the tiers
+        // below it. Channels only close at shutdown; drop silently then.
+        let tx = match &env.payload {
+            Msg::Query { .. } => &self.tiers.coord_tx,
+            Msg::FetchPartials { .. } => &self.tiers.fetch_tx,
+            _ => &self.tiers.service_tx,
+        };
+        let _ = tx.send(env);
+        self.maybe_start_handoff();
+    }
+
+    // =======================================================================
+    // Workers
+    // =======================================================================
+
+    /// Worker loop: process dispatched envelopes until shutdown.
+    pub fn run_worker(self: &Arc<Self>, work_rx: Receiver<Envelope<Msg>>) {
+        while let Ok(env) = work_rx.recv() {
+            if matches!(env.payload, Msg::Shutdown) {
+                return;
+            }
+            let is_service = !matches!(env.payload, Msg::Query { .. });
+            self.process(env);
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            if is_service {
+                self.service_pending.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn process(self: &Arc<Self>, env: Envelope<Msg>) {
+        match env.payload {
+            Msg::Query { rpc, reply_to, query } => {
+                self.stats.queries_coordinated.fetch_add(1, Ordering::Relaxed);
+                let result = self.coordinate(&query);
+                self.send(reply_to, Msg::QueryResponse { rpc, result });
+            }
+            Msg::SubQuery { rpc, reply_to, keys, via_guest, .. } => {
+                self.stats.subqueries.fetch_add(1, Ordering::Relaxed);
+                if let Some(k) = keys.first() {
+                    self.hot_level.store(k.level().index(), Ordering::Relaxed);
+                }
+                let result = self.eval_subquery(&keys, via_guest);
+                self.send(reply_to, Msg::SubQueryResponse { rpc, result });
+                self.maintain();
+            }
+            Msg::FetchPartials { rpc, reply_to, keys } => {
+                let partials = self
+                    .store
+                    .fetch_partials(&keys)
+                    .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
+                    .map_err(|e| e.to_string());
+                self.send(reply_to, Msg::PartialsResponse { rpc, partials });
+            }
+            Msg::ReplicationRequest { rpc, reply_to, src_node, cells } => {
+                let ok = self.accept_replicas(src_node, cells);
+                self.send(reply_to, Msg::ReplicationResponse { rpc, ok });
+            }
+            Msg::InvalidateRegion { bbox, time } => {
+                self.graph.invalidate_region(&bbox, &time);
+                self.guest.invalidate_region(&bbox, &time);
+            }
+            // Responses never reach workers (completed on the main thread).
+            other => unreachable!("worker received non-work message {other:?}"),
+        }
+    }
+
+    // -- Coordinator role ----------------------------------------------------
+
+    /// Evaluate a whole front-end query: split target Cells by owner,
+    /// scatter, gather, merge (Basic mode goes straight to storage).
+    fn coordinate(self: &Arc<Self>, query: &stash_model::AggQuery) -> Result<QueryResult, String> {
+        let keys = query
+            .target_keys(self.config.stash.max_cells_per_query)
+            .map_err(|e| e.to_string())?;
+        if keys.is_empty() {
+            return Ok(QueryResult::default());
+        }
+        match self.config.mode {
+            Mode::Basic => self.coordinate_basic(&keys),
+            Mode::Stash => self.coordinate_stash(&keys),
+        }
+    }
+
+    /// Basic system: every query scans blocks; nothing is cached. Keys at
+    /// partition granularity or finer are grouped by owner (their blocks
+    /// are colocated); coarser keys span partitions and go through the
+    /// scatter/merge path.
+    fn coordinate_basic(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, String> {
+        let prefix_len = self.store.partitioner().prefix_len();
+        let (local_ownable, spanning): (Vec<CellKey>, Vec<CellKey>) = keys
+            .iter()
+            .partition(|k| k.geohash.len() >= prefix_len);
+        let mut summaries: Vec<(CellKey, CellSummary)> = Vec::with_capacity(keys.len());
+        if !local_ownable.is_empty() {
+            let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
+            for k in local_ownable {
+                by_owner
+                    .entry(self.store.partitioner().owner_of_cell(&k))
+                    .or_default()
+                    .push(k);
+            }
+            let own = by_owner.remove(&self.node_idx);
+            let mut waits = Vec::with_capacity(by_owner.len());
+            for (owner, group) in by_owner {
+                let (rpc, rx) = self.rpc.register();
+                self.send(
+                    NodeId(owner),
+                    Msg::FetchPartials { rpc, reply_to: self.id, keys: group },
+                );
+                waits.push((rpc, rx));
+            }
+            if let Some(group) = own {
+                summaries.extend(
+                    self.store
+                        .fetch_partials(&group)
+                        .map_err(|e| e.to_string())?
+                        .into_iter()
+                        .map(|p| (p.key, p.summary)),
+                );
+            }
+            for (rpc, rx) in waits {
+                match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
+                    Ok(RpcReply::Partials(Ok(parts))) => summaries.extend(parts),
+                    Ok(RpcReply::Partials(Err(e))) => return Err(e),
+                    Ok(other) => return Err(format!("protocol error: unexpected reply {other:?}")),
+                    Err(e) => return Err(format!("partials rpc failed: {e}")),
+                }
+            }
+        }
+        if !spanning.is_empty() {
+            summaries.extend(self.gather_partials(&spanning)?);
+        }
+        let mut cells: Vec<Cell> = summaries
+            .into_iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(key, summary)| Cell { key, summary })
+            .collect();
+        cells.sort_by_key(|c| c.key);
+        Ok(QueryResult {
+            misses: keys.len(),
+            cells,
+            ..Default::default()
+        })
+    }
+
+    /// STASH system: scatter SubQueries to Cell owners, gather, merge.
+    fn coordinate_stash(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, String> {
+        let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
+        for &k in keys {
+            by_owner
+                .entry(self.store.partitioner().owner_of_cell(&k))
+                .or_default()
+                .push(k);
+        }
+        // Evaluate our own share inline (no message round-trip and no risk
+        // of waiting on our own queue), scatter the rest.
+        let own = by_owner.remove(&self.node_idx);
+        let mut waits = Vec::with_capacity(by_owner.len());
+        for (owner, group) in by_owner {
+            let (rpc, rx) = self.rpc.register();
+            self.send(
+                NodeId(owner),
+                Msg::SubQuery {
+                    rpc,
+                    reply_to: self.id,
+                    keys: group,
+                    allow_reroute: true,
+                    via_guest: false,
+                },
+            );
+            waits.push((rpc, rx));
+        }
+        let mut merged = match own {
+            Some(group) => self.eval_subquery(&group, false)?,
+            None => QueryResult::default(),
+        };
+        for (rpc, rx) in waits {
+            match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
+                Ok(RpcReply::SubResult(Ok(part))) => {
+                    merged.cells.extend(part.cells);
+                    merged.cache_hits += part.cache_hits;
+                    merged.derived_hits += part.derived_hits;
+                    merged.misses += part.misses;
+                }
+                Ok(RpcReply::SubResult(Err(e))) => return Err(e),
+                Ok(other) => return Err(format!("protocol error: unexpected reply {other:?}")),
+                Err(e) => return Err(format!("subquery rpc failed: {e}")),
+            }
+        }
+        merged.cells.sort_by_key(|c| c.key);
+        Ok(merged)
+    }
+
+    // -- Owner role ------------------------------------------------------------
+
+    /// Evaluate owned keys against the local (or guest) STASH graph; misses
+    /// fall through to block scans, possibly on peer partitions.
+    /// `pub(crate)` so [`crate::cluster::SimCluster`] can pre-warm graphs
+    /// for the zoom experiments without timing a client round-trip.
+    pub(crate) fn eval_subquery(self: &Arc<Self>, keys: &[CellKey], via_guest: bool) -> Result<QueryResult, String> {
+        let graph = if via_guest { &self.guest } else { &self.graph };
+        if via_guest {
+            self.stats.guest_serves.fetch_add(1, Ordering::Relaxed);
+            self.guestbook.lock().touch(keys, self.clock.now());
+        }
+        let this = Arc::clone(self);
+        let fetch = move |missing: &[CellKey]| this.gather_partials_as_cells(missing);
+        let result = evaluate(graph, keys, &fetch).map_err(|e| e.to_string());
+        // Modeled serve cost: lookup/merge/serialize per Cell on the
+        // paper's hardware, charged as virtual time (DESIGN.md §2).
+        let serve = self.config.cell_service_cost * keys.len() as u32;
+        if serve > std::time::Duration::ZERO {
+            std::thread::sleep(serve);
+        }
+        result
+    }
+
+    // -- Storage scatter/gather -------------------------------------------------
+
+    /// Complete summaries for `keys` by merging per-partition partials
+    /// (local scan for owned blocks, one forwarded FetchPartials hop for
+    /// blocks on peers — the paper's "up to one query forwarding", §IV-D).
+    fn gather_partials(self: &Arc<Self>, keys: &[CellKey]) -> Result<Vec<(CellKey, CellSummary)>, String> {
+        // Which nodes own blocks relevant to these keys?
+        let plan = plan_blocks(
+            keys,
+            self.store.block_len(),
+            self.store.data_bbox(),
+            self.store.data_time(),
+            self.config.stash.max_blocks_per_fetch,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut owners: Vec<usize> = plan
+            .keys()
+            .map(|bk| self.store.partitioner().owner(bk.geohash))
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+
+        let mut waits = Vec::new();
+        let mut local: Vec<(CellKey, CellSummary)> = Vec::new();
+        for owner in owners {
+            if owner == self.node_idx {
+                local = self
+                    .store
+                    .fetch_partials(keys)
+                    .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
+                    .map_err(|e| e.to_string())?;
+            } else {
+                let (rpc, rx) = self.rpc.register();
+                self.send(
+                    NodeId(owner),
+                    Msg::FetchPartials { rpc, reply_to: self.id, keys: keys.to_vec() },
+                );
+                waits.push((rpc, rx));
+            }
+        }
+        // Merge partials per key; keys with no observations end up with an
+        // empty summary (a valid "computed, empty" answer).
+        let n_attrs = self.config.n_attrs;
+        let mut merged: HashMap<CellKey, CellSummary> =
+            keys.iter().map(|&k| (k, CellSummary::empty(n_attrs))).collect();
+        let mut absorb = |parts: Vec<(CellKey, CellSummary)>| {
+            for (key, summary) in parts {
+                if let Some(m) = merged.get_mut(&key) {
+                    m.merge(&summary);
+                }
+            }
+        };
+        absorb(local);
+        for (rpc, rx) in waits {
+            match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
+                Ok(RpcReply::Partials(Ok(parts))) => absorb(parts),
+                Ok(RpcReply::Partials(Err(e))) => return Err(e),
+                Ok(other) => return Err(format!("protocol error: unexpected reply {other:?}")),
+                Err(e) => return Err(format!("partials rpc failed: {e}")),
+            }
+        }
+        let mut out: Vec<(CellKey, CellSummary)> = merged.into_iter().collect();
+        out.sort_by_key(|(k, _)| *k);
+        Ok(out)
+    }
+
+    /// [`gather_partials`] shaped for the evaluator's fetch contract.
+    fn gather_partials_as_cells(self: &Arc<Self>, keys: &[CellKey]) -> Result<Vec<Cell>, String> {
+        Ok(self
+            .gather_partials(keys)?
+            .into_iter()
+            .map(|(key, summary)| Cell { key, summary })
+            .collect())
+    }
+
+    // -- Hotspot handling ---------------------------------------------------------
+
+    fn maybe_start_handoff(self: &Arc<Self>) {
+        if self.config.mode != Mode::Stash || !self.config.enable_replication {
+            return;
+        }
+        if !self.is_hotspotted() {
+            return;
+        }
+        if self.clock.now() < self.cooldown_until.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.handoff_inflight.swap(true, Ordering::AcqRel) {
+            return; // one at a time
+        }
+        let this = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("stash-handoff-{}", self.node_idx))
+            .spawn(move || {
+                this.run_handoff();
+                this.cooldown_until.store(
+                    this.clock.now() + this.config.stash.cooldown_ticks,
+                    Ordering::Relaxed,
+                );
+                this.handoff_inflight.store(false, Ordering::Release);
+            })
+            .expect("spawn handoff thread");
+    }
+
+    /// The Clique Handoff of Fig. 5: find hottest Cliques, pick antipode
+    /// helpers, Distress → Replicate → record routes.
+    fn run_handoff(self: &Arc<Self>) {
+        let level = Level::from_index(self.hot_level.load(Ordering::Relaxed))
+            .unwrap_or_else(|_| Level::of(4, stash_geo::TemporalRes::Day).expect("static level"));
+        let finder = CliqueFinder::new(self.config.stash.clique_depth);
+        let cliques = finder.top_cliques(
+            &self.graph,
+            level,
+            self.config.stash.max_replicable_cells,
+            self.config.stash.top_k_cliques,
+        );
+        const MAX_ATTEMPTS: u64 = 5;
+        for clique in cliques {
+            if clique.members.is_empty() {
+                continue;
+            }
+            for attempt in 0..MAX_ATTEMPTS {
+                let helper = match self.config.stash.helper_selection {
+                    stash_core::HelperSelection::Antipode => {
+                        self.store.partitioner().owner(clique.helper_region(attempt))
+                    }
+                    stash_core::HelperSelection::Random => {
+                        // Ablation: any other node, pseudo-randomly.
+                        let n = self.store.partitioner().n_nodes();
+                        (self.node_idx
+                            + 1
+                            + (clique.root.dense_id().wrapping_add(attempt) % (n as u64 - 1).max(1)) as usize)
+                            % n
+                    }
+                };
+                if helper == self.node_idx {
+                    continue;
+                }
+                if self.try_replicate_to(&clique, helper) {
+                    self.stats.handoffs.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        // Housekeeping while we're here.
+        self.routing
+            .lock()
+            .purge_expired(self.clock.now(), self.config.stash.routing_ttl_ticks);
+    }
+
+    fn try_replicate_to(self: &Arc<Self>, clique: &stash_core::Clique, helper: usize) -> bool {
+        // Step 3: Distress Request / acknowledgement.
+        let (rpc, rx) = self.rpc.register();
+        self.send(
+            NodeId(helper),
+            Msg::Distress { rpc, reply_to: self.id, n_cells: clique.size() },
+        );
+        match self.rpc.wait(rpc, &rx, self.config.distress_timeout) {
+            Ok(RpcReply::Ack(true)) => {}
+            _ => return false,
+        }
+        // Step 4: Replication Request / Response.
+        let snapshot = self.graph.snapshot(&clique.members);
+        if snapshot.is_empty() {
+            return false;
+        }
+        let replicated: Vec<CellKey> = snapshot.iter().map(|(c, _)| c.key).collect();
+        let (rpc, rx) = self.rpc.register();
+        self.send(
+            NodeId(helper),
+            Msg::ReplicationRequest { rpc, reply_to: self.id, src_node: self.node_idx, cells: snapshot },
+        );
+        match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
+            Ok(RpcReply::Ack(true)) => {
+                // Step 5: routing table population.
+                self.routing
+                    .lock()
+                    .insert(clique.root, helper, &replicated, self.clock.now());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Helper side of replication: stash the Cells in the guest graph.
+    fn accept_replicas(self: &Arc<Self>, src_node: usize, cells: Vec<(Cell, f64)>) -> bool {
+        let mut gb = self.guestbook.lock();
+        if !gb.can_accommodate(cells.len(), self.config.stash.guest_max_cells) {
+            return false;
+        }
+        gb.record(cells.iter().map(|(c, _)| c.key), src_node, self.clock.now());
+        drop(gb);
+        for (cell, freshness) in cells {
+            self.guest.insert_with_freshness(cell, freshness);
+        }
+        self.stats.replicas_hosted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Periodic housekeeping: purge idle guest Cells and expired routes
+    /// (§VII-D).
+    fn maintain(self: &Arc<Self>) {
+        let now = self.clock.now();
+        if now % 64 != 0 {
+            return;
+        }
+        let expired = self
+            .guestbook
+            .lock()
+            .expired(now, self.config.stash.guest_ttl_ticks);
+        if !expired.is_empty() {
+            self.guest.remove_many(&expired);
+            self.guestbook.lock().forget(&expired);
+        }
+        self.routing
+            .lock()
+            .purge_expired(now, self.config.stash.routing_ttl_ticks);
+    }
+}
+

@@ -1,0 +1,209 @@
+//! The cluster wire protocol.
+//!
+//! Every interaction of Fig. 4 and Fig. 5 is one of these messages. The
+//! `wire_size` estimates feed the fabric's bandwidth model — Cells and key
+//! lists dominate, matching the real system where replication payloads and
+//! aggregation results are the bulk of traffic.
+
+use stash_geo::{BBox, TimeRange};
+use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult};
+use stash_net::NodeId;
+
+/// All cluster messages.
+#[derive(Debug)]
+pub enum Msg {
+    // ---- Client path -------------------------------------------------------
+    /// Front-end query arriving at a coordinator node.
+    Query {
+        rpc: u64,
+        reply_to: NodeId,
+        query: AggQuery,
+    },
+    /// Final answer back to the client gateway.
+    QueryResponse {
+        rpc: u64,
+        result: Result<QueryResult, String>,
+    },
+
+    // ---- Coordinator → owner scatter/gather --------------------------------
+    /// Evaluate these Cells (all owned by the destination) against STASH.
+    /// `allow_reroute` is cleared on the fallback resend after a failed
+    /// guest-graph hit, preventing ping-pong.
+    SubQuery {
+        rpc: u64,
+        reply_to: NodeId,
+        keys: Vec<CellKey>,
+        allow_reroute: bool,
+        /// Set when the destination should serve from its guest graph
+        /// (the request was rerouted by a hotspotted node, §VII-C).
+        via_guest: bool,
+    },
+    SubQueryResponse {
+        rpc: u64,
+        result: Result<QueryResult, String>,
+    },
+
+    // ---- Raw storage access (Basic mode; coarse cells spanning partitions) --
+    /// Scan your blocks for these Cells; reply with partial summaries.
+    FetchPartials {
+        rpc: u64,
+        reply_to: NodeId,
+        keys: Vec<CellKey>,
+    },
+    PartialsResponse {
+        rpc: u64,
+        partials: Result<Vec<(CellKey, CellSummary)>, String>,
+    },
+
+    // ---- Clique Handoff (Fig. 5) --------------------------------------------
+    /// Step 3: hotspotted node asks a candidate helper for room.
+    Distress {
+        rpc: u64,
+        reply_to: NodeId,
+        n_cells: usize,
+    },
+    DistressAck {
+        rpc: u64,
+        accept: bool,
+    },
+    /// Step 4: ship the Clique(s); Cells carry their freshness scores.
+    ReplicationRequest {
+        rpc: u64,
+        reply_to: NodeId,
+        src_node: usize,
+        cells: Vec<(Cell, f64)>,
+    },
+    ReplicationResponse {
+        rpc: u64,
+        ok: bool,
+    },
+
+    // ---- Storage updates -----------------------------------------------------
+    /// Real-time ingest notification: summaries overlapping this region are
+    /// stale (PLM adjustment, §IV-D).
+    InvalidateRegion {
+        bbox: BBox,
+        time: TimeRange,
+    },
+
+    // ---- Lifecycle -------------------------------------------------------------
+    /// Orderly teardown: main loops and workers exit on receipt.
+    Shutdown,
+}
+
+/// Approximate serialized bytes of a key list.
+pub fn keys_bytes(n: usize) -> usize {
+    24 * n + 32
+}
+
+/// Approximate serialized bytes of a result.
+pub fn result_bytes(r: &Result<QueryResult, String>) -> usize {
+    match r {
+        Ok(qr) => qr
+            .cells
+            .iter()
+            .map(|c| 24 + 40 * c.summary.n_attrs())
+            .sum::<usize>()
+            + 64,
+        Err(e) => e.len() + 32,
+    }
+}
+
+/// Approximate serialized bytes of partials.
+pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, String>) -> usize {
+    match p {
+        Ok(v) => v.iter().map(|(_, s)| 24 + 40 * s.n_attrs()).sum::<usize>() + 64,
+        Err(e) => e.len() + 32,
+    }
+}
+
+/// Approximate serialized bytes of replicated cells.
+pub fn cells_bytes(cells: &[(Cell, f64)]) -> usize {
+    cells.iter().map(|(c, _)| 32 + 40 * c.summary.n_attrs()).sum::<usize>() + 64
+}
+
+impl Msg {
+    /// Wire size estimate for the fabric's bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Msg::Query { .. } => 256,
+            Msg::QueryResponse { result, .. } => result_bytes(result),
+            Msg::SubQuery { keys, .. } => keys_bytes(keys.len()),
+            Msg::SubQueryResponse { result, .. } => result_bytes(result),
+            Msg::FetchPartials { keys, .. } => keys_bytes(keys.len()),
+            Msg::PartialsResponse { partials, .. } => partials_bytes(partials),
+            Msg::Distress { .. } => 64,
+            Msg::DistressAck { .. } => 48,
+            Msg::ReplicationRequest { cells, .. } => cells_bytes(cells),
+            Msg::ReplicationResponse { .. } => 48,
+            Msg::InvalidateRegion { .. } => 96,
+            Msg::Shutdown => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_geo::time::epoch_seconds;
+    use stash_geo::{Geohash, TemporalRes, TimeBin};
+    use std::str::FromStr;
+
+    fn cell() -> Cell {
+        let key = CellKey::new(
+            Geohash::from_str("9q8y").unwrap(),
+            TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+        );
+        let mut c = Cell::empty(key, 4);
+        c.summary.push_row(&[1.0, 2.0, 3.0, 4.0]);
+        c
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Msg::SubQuery {
+            rpc: 1,
+            reply_to: NodeId(0),
+            keys: vec![cell().key],
+            allow_reroute: true,
+            via_guest: false,
+        };
+        let big = Msg::SubQuery {
+            rpc: 1,
+            reply_to: NodeId(0),
+            keys: vec![cell().key; 100],
+            allow_reroute: true,
+            via_guest: false,
+        };
+        assert!(big.wire_size() > small.wire_size());
+
+        let resp_ok = Msg::QueryResponse {
+            rpc: 1,
+            result: Ok(QueryResult {
+                cells: vec![cell(); 10],
+                ..Default::default()
+            }),
+        };
+        let resp_err = Msg::QueryResponse {
+            rpc: 1,
+            result: Err("nope".into()),
+        };
+        assert!(resp_ok.wire_size() > resp_err.wire_size());
+
+        let repl = Msg::ReplicationRequest {
+            rpc: 1,
+            reply_to: NodeId(0),
+            src_node: 0,
+            cells: vec![(cell(), 1.0); 32],
+        };
+        assert!(repl.wire_size() > 32 * 100, "replication payloads are heavy");
+    }
+
+    #[test]
+    fn control_messages_are_light() {
+        let d = Msg::Distress { rpc: 1, reply_to: NodeId(0), n_cells: 100 };
+        assert!(d.wire_size() <= 64);
+        let a = Msg::DistressAck { rpc: 1, accept: true };
+        assert!(a.wire_size() <= 64);
+    }
+}

@@ -1,0 +1,284 @@
+//! Cliques: the unit of hotspot replication (§VII-B2).
+//!
+//! "We define Cliques, here, as a subgraph of Cells from the STASH graph of
+//! a pre-configured size (depth). For example a Clique of depth 2 would
+//! consist of a Cell C_i and all its children Cells […]. Cliques are
+//! identified by the spatiotemporal label of their topmost parent Cell."
+//!
+//! A hotspotted node calls [`CliqueFinder::top_cliques`] to find the K
+//! cliques with the highest cumulative freshness whose total size fits the
+//! replication budget N; those are shipped to a helper node. The
+//! hierarchical organization makes membership computation a prefix
+//! truncation per cached Cell — no traversal (§VII-B2: "the hierarchical
+//! structure of STASH graph makes it efficient to identify the Cells that
+//! would be in a given Clique").
+
+use crate::graph::StashGraph;
+use stash_geo::Geohash;
+use stash_model::{CellKey, Level};
+use std::collections::HashMap;
+
+/// A replication unit: the Cells of one rooted subgraph, with their
+/// cumulative freshness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clique {
+    /// Label of the topmost parent Cell (identifies the Clique; the root
+    /// Cell itself may or may not be cached).
+    pub root: CellKey,
+    /// Cached member Cells (root included when cached).
+    pub members: Vec<CellKey>,
+    /// Sum of members' effective freshness at selection time.
+    pub cumulative_freshness: f64,
+}
+
+impl Clique {
+    /// Number of Cells this Clique would replicate.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Candidate helper region for this Clique: the geohash antipode of the
+    /// root for `attempt == 0`, then pseudo-random perturbations around the
+    /// antipode for retries (§VII-B3: "repeats the above process for
+    /// another geohash region in a random direction around the antipode
+    /// geohash").
+    pub fn helper_region(&self, attempt: u64) -> Geohash {
+        let anti = self.root.geohash.antipode();
+        if attempt == 0 {
+            anti
+        } else {
+            anti.perturb(attempt)
+        }
+    }
+}
+
+/// Finds the hottest Cliques in a graph.
+#[derive(Debug, Clone, Copy)]
+pub struct CliqueFinder {
+    /// Levels per Clique: 1 = root only, 2 = root + children, …
+    pub depth: u8,
+}
+
+impl CliqueFinder {
+    pub fn new(depth: u8) -> Self {
+        assert!(depth >= 1, "clique depth must be at least 1");
+        CliqueFinder { depth }
+    }
+
+    /// Identify the top Cliques at the *query* level `hot_level` (the level
+    /// the hotspot's queries hit). Roots sit `depth - 1` spatial levels
+    /// above the query level so the clique's leaves are the queried Cells.
+    ///
+    /// Greedy selection: hottest cumulative freshness first, while total
+    /// size stays ≤ `max_cells` and at most `k` cliques (§VII-B2's "top K
+    /// Cliques whose cumulative size is ≤ N").
+    pub fn top_cliques(
+        &self,
+        graph: &StashGraph,
+        hot_level: Level,
+        max_cells: usize,
+        k: usize,
+    ) -> Vec<Clique> {
+        let leaf_res = hot_level.spatial_res();
+        let root_res = leaf_res.saturating_sub(self.depth - 1).max(1);
+        let t_res = hot_level.temporal_res();
+
+        // Accumulate member lists per root by truncating every cached Cell
+        // in the clique's level span down to the root resolution.
+        let mut acc: HashMap<CellKey, (Vec<CellKey>, f64)> = HashMap::new();
+        for s_res in root_res..=leaf_res {
+            let level = Level::of(s_res, t_res).expect("resolutions in range");
+            for (key, score) in graph.level_scores(level) {
+                let root_gh = key.geohash.prefix(root_res).expect("root_res <= key len");
+                let root = CellKey::new(root_gh, key.time);
+                let entry = acc.entry(root).or_insert_with(|| (Vec::new(), 0.0));
+                entry.0.push(key);
+                entry.1 += score;
+            }
+        }
+
+        let mut cliques: Vec<Clique> = acc
+            .into_iter()
+            .map(|(root, (members, cumulative_freshness))| Clique {
+                root,
+                members,
+                cumulative_freshness,
+            })
+            .collect();
+        // Hottest first; root key tie-break keeps selection deterministic.
+        cliques.sort_by(|a, b| {
+            b.cumulative_freshness
+                .total_cmp(&a.cumulative_freshness)
+                .then_with(|| a.root.cmp(&b.root))
+        });
+
+        let mut out = Vec::new();
+        let mut budget = max_cells;
+        for c in cliques {
+            if out.len() >= k {
+                break;
+            }
+            if c.size() <= budget {
+                budget -= c.size();
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::config::StashConfig;
+    use stash_geo::time::epoch_seconds;
+    use stash_geo::{TemporalRes, TimeBin};
+    use stash_model::Cell;
+    use std::str::FromStr;
+    use std::sync::Arc;
+
+    fn graph() -> StashGraph {
+        StashGraph::new(StashConfig::default(), Arc::new(LogicalClock::new()))
+    }
+
+    fn day() -> TimeBin {
+        TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0))
+    }
+
+    fn key(gh: &str) -> CellKey {
+        CellKey::new(Geohash::from_str(gh).unwrap(), day())
+    }
+
+    /// Populate children of two roots; touch one root's children more.
+    fn two_region_graph() -> (StashGraph, CellKey, CellKey) {
+        let g = graph();
+        let hot = key("9q8");
+        let cold = key("9r2");
+        for root in [&hot, &cold] {
+            for ck in root.spatial_children().unwrap() {
+                g.insert(Cell::empty(ck, 1));
+            }
+        }
+        // Make the hot region hot: repeated direct accesses.
+        for _ in 0..5 {
+            for ck in hot.spatial_children().unwrap() {
+                g.get(&ck);
+            }
+        }
+        (g, hot, cold)
+    }
+
+    #[test]
+    fn hottest_clique_ranks_first() {
+        let (g, hot, cold) = two_region_graph();
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        let cliques = finder.top_cliques(&g, level, 10_000, 10);
+        assert!(cliques.len() >= 2);
+        assert_eq!(cliques[0].root, hot, "hot region must rank first");
+        assert!(cliques[0].cumulative_freshness > cliques[1].cumulative_freshness);
+        assert!(cliques.iter().any(|c| c.root == cold));
+    }
+
+    #[test]
+    fn members_are_nested_under_root() {
+        let (g, hot, _) = two_region_graph();
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        let cliques = finder.top_cliques(&g, level, 10_000, 10);
+        let c = cliques.iter().find(|c| c.root == hot).unwrap();
+        assert_eq!(c.size(), 32, "depth-2 clique holds the 32 cached children");
+        for m in &c.members {
+            assert!(m.is_within(&c.root), "{m} outside clique {0}", c.root);
+        }
+    }
+
+    #[test]
+    fn depth_one_cliques_are_single_cells() {
+        let (g, _, _) = two_region_graph();
+        let finder = CliqueFinder::new(1);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        let cliques = finder.top_cliques(&g, level, 10, 10);
+        for c in &cliques {
+            assert_eq!(c.size(), 1);
+            assert_eq!(c.members[0], c.root);
+        }
+    }
+
+    #[test]
+    fn root_cell_included_when_cached() {
+        let g = graph();
+        let root = key("9q8");
+        g.insert(Cell::empty(root, 1));
+        for ck in root.spatial_children().unwrap() {
+            g.insert(Cell::empty(ck, 1));
+        }
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        let cliques = finder.top_cliques(&g, level, 10_000, 10);
+        let c = cliques.iter().find(|c| c.root == root).unwrap();
+        assert_eq!(c.size(), 33, "root + 32 children");
+        assert!(c.members.contains(&root));
+    }
+
+    #[test]
+    fn budget_limits_total_replicated_cells() {
+        let (g, hot, _) = two_region_graph();
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        // Budget fits exactly one 32-cell clique.
+        let cliques = finder.top_cliques(&g, level, 40, 10);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].root, hot);
+        // k limits count even when budget allows more.
+        let one = finder.top_cliques(&g, level, 10_000, 1);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_no_cliques() {
+        let g = graph();
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        assert!(finder.top_cliques(&g, level, 100, 10).is_empty());
+    }
+
+    #[test]
+    fn helper_region_is_antipodal_then_perturbed() {
+        let (g, hot, _) = two_region_graph();
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        let clique = finder.top_cliques(&g, level, 10_000, 1).remove(0);
+        let _ = g;
+        let first = clique.helper_region(0);
+        assert_eq!(first, hot.geohash.antipode());
+        // Retries move around the antipode, never back to it.
+        let mut seen = std::collections::HashSet::new();
+        for attempt in 1..10 {
+            let r = clique.helper_region(attempt);
+            assert_ne!(r, first);
+            seen.insert(r);
+        }
+        assert!(seen.len() > 3, "retries should explore several regions");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let (g, _, _) = two_region_graph();
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+        let a = finder.top_cliques(&g, level, 10_000, 10);
+        let b = finder.top_cliques(&g, level, 10_000, 10);
+        assert_eq!(
+            a.iter().map(|c| c.root).collect::<Vec<_>>(),
+            b.iter().map(|c| c.root).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        CliqueFinder::new(0);
+    }
+}

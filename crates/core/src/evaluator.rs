@@ -1,0 +1,274 @@
+//! The query evaluation strategy (§IV-D, §V-B).
+//!
+//! "Any subsequent query will be evaluated over the cached values first.
+//! Disk access is required only if (a) there are missing values for
+//! completing query evaluation, and (b) those missing values are not
+//! available by computing from the existing cached values."
+//!
+//! [`evaluate`] implements exactly that ladder for the keys a node owns:
+//!
+//! 1. **cache hit** — Cell fresh in the local graph;
+//! 2. **derived hit** — Cell merged from a complete set of cached children;
+//! 3. **fetch** — remaining keys go to the backing store through the
+//!    caller-supplied [`FetchFn`] (local scan or one forwarded hop), and
+//!    the fetched Cells are inserted for future reuse (collective caching).
+//!
+//! Finally the accessed region's freshness is dispersed to its
+//! spatiotemporal neighborhood (§V-C2).
+
+use crate::graph::StashGraph;
+use stash_model::{Cell, CellKey, QueryError, QueryResult};
+
+/// Supplies Cells the cache cannot: scans the backing store (and forwards
+/// to peer partitions when a coarse Cell spans them). Must return exactly
+/// one Cell per requested key — an empty summary is a valid answer for an
+/// empty region, a *missing* key is a storage fault.
+pub type FetchFn<'a> = dyn Fn(&[CellKey]) -> Result<Vec<Cell>, String> + Sync + 'a;
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Query could not be planned (bad resolution, cover too large).
+    Query(QueryError),
+    /// The backing store failed or returned an incomplete answer.
+    Fetch(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Query(e) => write!(f, "planning failed: {e}"),
+            EvalError::Fetch(e) => write!(f, "fetch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<QueryError> for EvalError {
+    fn from(e: QueryError) -> Self {
+        EvalError::Query(e)
+    }
+}
+
+/// Provenance of one evaluation, returned alongside the result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalOutcome {
+    pub cache_hits: usize,
+    pub derived_hits: usize,
+    pub fetched: usize,
+}
+
+/// Evaluate the given target keys against a node's graph. `keys` are the
+/// Cells this node is responsible for (the coordinator has already split
+/// the query by owner); call sites with a whole query use
+/// [`stash_model::AggQuery::target_keys`] first.
+pub fn evaluate(graph: &StashGraph, keys: &[CellKey], fetch: &FetchFn) -> Result<QueryResult, EvalError> {
+    graph.clock().advance();
+    let mut outcome = EvalOutcome::default();
+
+    // Pass 1: direct hits (batched: one lock round per level)…
+    let (mut cells, candidates) = graph.get_many(keys);
+    outcome.cache_hits = cells.len();
+
+    // …then derivation from cached children for the remainder.
+    let mut missing: Vec<CellKey> = Vec::with_capacity(candidates.len());
+    if graph.config().enable_derivation {
+        for key in candidates {
+            if let Some(cell) = graph.try_derive(&key) {
+                outcome.derived_hits += 1;
+                cells.push(cell);
+            } else {
+                missing.push(key);
+            }
+        }
+    } else {
+        missing = candidates;
+    }
+
+    // Pass 2: fetch what memory cannot provide.
+    if !missing.is_empty() {
+        let fetched = fetch(&missing).map_err(EvalError::Fetch)?;
+        if fetched.len() != missing.len() {
+            return Err(EvalError::Fetch(format!(
+                "store returned {} cells for {} keys",
+                fetched.len(),
+                missing.len()
+            )));
+        }
+        outcome.fetched = fetched.len();
+        // Collective caching: fetched Cells are inserted so *any* later
+        // query (from any user) reuses them.
+        graph.insert_many(fetched.iter().cloned());
+        cells.extend(fetched);
+    }
+
+    // Freshness dispersion over the accessed region (§V-C2).
+    graph.touch_region(keys);
+
+    // Deterministic output order; drop empty Cells from the rendered set
+    // (nothing to draw) while keeping them cached.
+    cells.retain(|c| !c.summary.is_empty());
+    cells.sort_by_key(|c| c.key);
+    Ok(QueryResult {
+        cells,
+        cache_hits: outcome.cache_hits,
+        derived_hits: outcome.derived_hits,
+        misses: outcome.fetched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::config::StashConfig;
+    use parking_lot::Mutex;
+    use stash_geo::time::epoch_seconds;
+    use stash_geo::{Geohash, TemporalRes, TimeBin};
+    use std::str::FromStr;
+    use std::sync::Arc;
+
+    fn graph() -> StashGraph {
+        StashGraph::new(StashConfig::default(), Arc::new(LogicalClock::new()))
+    }
+
+    fn key(gh: &str) -> CellKey {
+        CellKey::new(
+            Geohash::from_str(gh).unwrap(),
+            TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+        )
+    }
+
+    fn filled(k: CellKey, v: f64) -> Cell {
+        let mut c = Cell::empty(k, 1);
+        c.summary.push_row(&[v]);
+        c
+    }
+
+    /// A fetcher that returns value `1.0` per key and records what it was
+    /// asked for.
+    fn recording_fetcher(log: Arc<Mutex<Vec<Vec<CellKey>>>>) -> impl Fn(&[CellKey]) -> Result<Vec<Cell>, String> + Sync {
+        move |keys: &[CellKey]| {
+            log.lock().push(keys.to_vec());
+            Ok(keys.iter().map(|&k| filled(k, 1.0)).collect())
+        }
+    }
+
+    #[test]
+    fn cold_query_fetches_everything_then_warm_query_fetches_nothing() {
+        let g = graph();
+        let keys: Vec<CellKey> = key("9q8").spatial_children().unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let fetch = recording_fetcher(Arc::clone(&log));
+
+        let cold = evaluate(&g, &keys, &fetch).unwrap();
+        assert_eq!(cold.misses, 32);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cells.len(), 32);
+
+        let warm = evaluate(&g, &keys, &fetch).unwrap();
+        assert_eq!(warm.cache_hits, 32);
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm.cells.len(), 32);
+        assert_eq!(log.lock().len(), 1, "second query must not fetch");
+        assert!((warm.hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_fetches_only_missing() {
+        let g = graph();
+        let all: Vec<CellKey> = key("9q8").spatial_children().unwrap();
+        let (cached, uncached) = all.split_at(20);
+        g.insert_many(cached.iter().map(|&k| filled(k, 2.0)));
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let fetch = recording_fetcher(Arc::clone(&log));
+        let r = evaluate(&g, &all, &fetch).unwrap();
+        assert_eq!(r.cache_hits, 20);
+        assert_eq!(r.misses, 12);
+        let fetched_keys = &log.lock()[0];
+        assert_eq!(fetched_keys.as_slice(), uncached);
+    }
+
+    #[test]
+    fn rollup_is_served_by_derivation_not_disk() {
+        let g = graph();
+        let parent = key("9q8");
+        let children = parent.spatial_children().unwrap();
+        g.insert_many(children.iter().map(|&k| filled(k, 3.0)));
+
+        let fetch = |_: &[CellKey]| -> Result<Vec<Cell>, String> {
+            Err("disk must not be touched".into())
+        };
+        let r = evaluate(&g, &[parent], &fetch).unwrap();
+        assert_eq!(r.derived_hits, 1);
+        assert_eq!(r.misses, 0);
+        assert_eq!(r.cells[0].summary.count(), 32);
+        // And the derived parent now serves direct hits.
+        let r2 = evaluate(&g, &[parent], &fetch).unwrap();
+        assert_eq!(r2.cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_cells_are_cached_but_not_rendered() {
+        let g = graph();
+        let k = key("9q8y");
+        let fetch = |keys: &[CellKey]| -> Result<Vec<Cell>, String> {
+            Ok(keys.iter().map(|&k| Cell::empty(k, 1)).collect())
+        };
+        let r = evaluate(&g, &[k], &fetch).unwrap();
+        assert_eq!(r.misses, 1);
+        assert!(r.cells.is_empty(), "empty summaries are not rendered");
+        // But the emptiness is cached: next evaluation is a hit, no fetch.
+        let deny = |_: &[CellKey]| -> Result<Vec<Cell>, String> { Err("no".into()) };
+        let r2 = evaluate(&g, &[k], &deny).unwrap();
+        assert_eq!(r2.cache_hits, 1);
+    }
+
+    #[test]
+    fn incomplete_fetch_is_an_error() {
+        let g = graph();
+        let keys = [key("9q8y"), key("9q8z")];
+        let fetch = |keys: &[CellKey]| -> Result<Vec<Cell>, String> {
+            Ok(vec![Cell::empty(keys[0], 1)]) // one short
+        };
+        match evaluate(&g, &keys, &fetch) {
+            Err(EvalError::Fetch(msg)) => assert!(msg.contains("2 keys")),
+            other => panic!("expected fetch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_failure_propagates() {
+        let g = graph();
+        let fetch = |_: &[CellKey]| -> Result<Vec<Cell>, String> { Err("io error".into()) };
+        let err = evaluate(&g, &[key("9q8y")], &fetch).unwrap_err();
+        assert_eq!(err, EvalError::Fetch("io error".into()));
+    }
+
+    #[test]
+    fn results_are_sorted_by_key() {
+        let g = graph();
+        let mut keys: Vec<CellKey> = key("9q8").spatial_children().unwrap();
+        keys.reverse();
+        let fetch = |keys: &[CellKey]| -> Result<Vec<Cell>, String> {
+            Ok(keys.iter().map(|&k| filled(k, 1.0)).collect())
+        };
+        let r = evaluate(&g, &keys, &fetch).unwrap();
+        for w in r.cells.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+
+    #[test]
+    fn evaluation_advances_the_clock() {
+        let g = graph();
+        let t0 = g.clock().now();
+        let fetch = |keys: &[CellKey]| -> Result<Vec<Cell>, String> {
+            Ok(keys.iter().map(|&k| Cell::empty(k, 1)).collect())
+        };
+        evaluate(&g, &[key("9q8y")], &fetch).unwrap();
+        assert_eq!(g.clock().now(), t0 + 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! The freshness score driving Cell replacement (§V-C1).
+//!
+//! "*Freshness* is calculated as the product of the number of accesses to a
+//! Cell (updated every time it gets accessed), and a time decay function.
+//! Hence, both frequency and recency of access are contributors."
+//!
+//! We maintain the score incrementally: on every bump at tick `t`, the
+//! stored score is first decayed by `exp(-(t - last)/τ)` and the increment
+//! added. Between bumps the *effective* score continues to decay, so two
+//! Cells are always comparable at the current tick without rewriting every
+//! Cell on every clock advance.
+//!
+//! The score lives in atomics (f64 bits + last tick) so freshness bumps can
+//! run under the graph's *read* lock — the hot path of every cache hit.
+//! Concurrent bumps may race benignly (one increment of several can be
+//! lost); freshness is a ranking heuristic, not an invariant, and the paper
+//! derives no correctness property from exact counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Incrementally-decayed freshness score of one cached Cell.
+#[derive(Debug)]
+pub struct Freshness {
+    /// f64 bits of the score as of `last_tick`.
+    score_bits: AtomicU64,
+    last_tick: AtomicU64,
+}
+
+impl Freshness {
+    /// A new score born at `tick` with initial value `initial`.
+    pub fn new(initial: f64, tick: u64) -> Self {
+        Freshness {
+            score_bits: AtomicU64::new(initial.to_bits()),
+            last_tick: AtomicU64::new(tick),
+        }
+    }
+
+    /// The decayed score as of `tick`.
+    pub fn effective(&self, tick: u64, tau: f64) -> f64 {
+        let score = f64::from_bits(self.score_bits.load(Ordering::Relaxed));
+        let last = self.last_tick.load(Ordering::Relaxed);
+        score * decay_factor(tick.saturating_sub(last), tau)
+    }
+
+    /// Decay to `tick`, then add `amount`.
+    pub fn bump(&self, amount: f64, tick: u64, tau: f64) {
+        let new = self.effective(tick, tau) + amount;
+        self.score_bits.store(new.to_bits(), Ordering::Relaxed);
+        self.last_tick.store(tick.max(self.last_tick.load(Ordering::Relaxed)), Ordering::Relaxed);
+    }
+
+    /// Tick of the last bump.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick.load(Ordering::Relaxed)
+    }
+}
+
+/// `exp(-Δ/τ)`.
+#[inline]
+pub fn decay_factor(delta_ticks: u64, tau: f64) -> f64 {
+    (-(delta_ticks as f64) / tau).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAU: f64 = 8.0;
+
+    #[test]
+    fn fresh_score_is_initial() {
+        let f = Freshness::new(2.0, 10);
+        assert!((f.effective(10, TAU) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_decays_exponentially() {
+        let f = Freshness::new(1.0, 0);
+        let at_tau = f.effective(8, TAU);
+        assert!((at_tau - (-1.0f64).exp()).abs() < 1e-9, "1/e at τ, got {at_tau}");
+        assert!(f.effective(80, TAU) < 1e-4, "nearly gone at 10τ");
+        // Monotone decreasing.
+        assert!(f.effective(1, TAU) > f.effective(2, TAU));
+    }
+
+    #[test]
+    fn bump_combines_frequency_and_recency() {
+        // Two cells: A accessed 3 times long ago, B accessed once just now.
+        let a = Freshness::new(1.0, 0);
+        a.bump(1.0, 1, TAU);
+        a.bump(1.0, 2, TAU);
+        let b = Freshness::new(1.0, 40);
+        // Shortly after tick 40, B's single recent access outranks A's
+        // three stale ones.
+        assert!(b.effective(41, TAU) > a.effective(41, TAU));
+        // But right after A's accesses, A's frequency dominated.
+        assert!(a.effective(3, TAU) > 1.0);
+    }
+
+    #[test]
+    fn bump_decays_before_adding() {
+        let f = Freshness::new(4.0, 0);
+        f.bump(1.0, 8, TAU); // 4/e + 1
+        let expected = 4.0 * (-1.0f64).exp() + 1.0;
+        assert!((f.effective(8, TAU) - expected).abs() < 1e-9);
+        assert_eq!(f.last_tick(), 8);
+    }
+
+    #[test]
+    fn clock_regression_is_tolerated() {
+        // A bump with an older tick must not catapult the score into the
+        // future (saturating subtraction + max on last_tick).
+        let f = Freshness::new(1.0, 100);
+        f.bump(1.0, 50, TAU);
+        assert_eq!(f.last_tick(), 100);
+        let e = f.effective(100, TAU);
+        assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn decay_factor_bounds() {
+        assert_eq!(decay_factor(0, TAU), 1.0);
+        assert!(decay_factor(1, TAU) < 1.0);
+        assert!(decay_factor(u64::MAX, TAU) >= 0.0);
+    }
+
+    #[test]
+    fn concurrent_bumps_keep_score_sane() {
+        let f = std::sync::Arc::new(Freshness::new(0.0, 0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = std::sync::Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        f.bump(1.0, 5, TAU);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let score = f.effective(5, TAU);
+        // Races may drop increments but never corrupt: score is positive,
+        // finite, and bounded by the total of all bumps.
+        assert!(score > 0.0 && score <= 4000.0, "score {score}");
+    }
+}

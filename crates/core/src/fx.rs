@@ -1,0 +1,115 @@
+//! A fast, non-cryptographic hasher for the graph's hot maps.
+//!
+//! Cell lookups happen thousands of times per query evaluation; the
+//! standard library's SipHash costs more than the lookup itself for
+//! 24-byte keys. This is the Fx multiply-rotate hash used by rustc's
+//! internal tables — not DoS-resistant, which is fine: keys are derived
+//! from geohashes of the operator's own dataset, not attacker-controlled
+//! strings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// rustc's FxHasher: `hash = (hash rotl 5 ^ word) * K` per 8-byte word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi"); // 8 + 1 bytes
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fx_map_works_as_map() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+    }
+}

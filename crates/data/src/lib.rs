@@ -1,0 +1,23 @@
+//! # stash-data
+//!
+//! Synthetic data and workloads for the STASH reproduction.
+//!
+//! The paper evaluates on ~1.1 TB of NOAA North American Mesoscale (NAM)
+//! forecast observations (§VIII-B) and drives them with query streams that
+//! mimic visual exploration: panning, iterative dicing, zooming, and
+//! hotspotted bursts. Neither the dataset nor the user traces are published,
+//! so this crate provides faithful synthetic stand-ins (see DESIGN.md §2):
+//!
+//! * [`generator::NamGenerator`] — a *deterministic* gridded-atmosphere
+//!   generator: any (geohash block, day) pair expands to the same
+//!   observations on every call, which lets the simulated DFS materialize
+//!   blocks lazily without storing terabytes.
+//! * [`workload`] — the paper's query-stream constructions, parameterized
+//!   exactly as §VIII describes them (query size classes, pan fractions,
+//!   dicing factors, zoom resolution walks, throughput and hotspot mixes).
+
+pub mod generator;
+pub mod workload;
+
+pub use generator::{GeneratorConfig, NamGenerator};
+pub use workload::{QuerySizeClass, WorkloadConfig, WorkloadGen};

@@ -1,0 +1,39 @@
+//! # stash-dfs
+//!
+//! A from-scratch stand-in for **Galileo** (Malensek et al., UCC 2011) —
+//! the zero-hop-DHT distributed storage and analytics substrate the paper
+//! deploys STASH on top of (§VI-C).
+//!
+//! The properties STASH depends on, all reproduced here:
+//!
+//! * **Geohash partitioning** — observations are grouped into blocks by a
+//!   geohash prefix and a UTC day; blocks are assigned to nodes by hashing
+//!   the first (configurable) geohash characters
+//!   (paper §VIII-A: "partitioned uniformly over the cluster based on the
+//!   first 2 characters of their Geohash"), so geospatially proximate data
+//!   is colocated.
+//! * **Zero-hop lookup** — [`Partitioner`] is a pure function every node
+//!   can evaluate locally; finding any block's owner costs no network hops.
+//! * **Expensive cold reads** — every block read is charged through a
+//!   [`DiskModel`] (seek + transfer time) before its observations are
+//!   scanned. This is the cost STASH exists to avoid.
+//! * **Local aggregation** — [`NodeStore::fetch_partials`] scans owned
+//!   blocks (in parallel with rayon) and returns per-Cell partial
+//!   summaries, which a coordinator merges (the monoid property of
+//!   [`stash_model::SummaryStats`] makes partial merging exact).
+//!
+//! The "disk" is the deterministic `stash-data`-style generator supplied
+//! by the embedder: any block expands to the same observations on every
+//! read, so the simulated store behaves like a (very large) immutable
+//! dataset without storing terabytes. See DESIGN.md §2 for the substitution
+//! argument.
+
+pub mod block;
+pub mod disk;
+pub mod partitioner;
+pub mod store;
+
+pub use block::{plan_blocks, BlockKey, BlockPlanError};
+pub use disk::{DiskModel, DiskStats};
+pub use partitioner::Partitioner;
+pub use store::{BlockSource, NodeStore, PartialCell};

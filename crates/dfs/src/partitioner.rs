@@ -1,0 +1,161 @@
+//! The zero-hop DHT partitioner.
+//!
+//! Both Galileo's block placement and STASH's per-level Cell dispersion use
+//! the same pure function: hash the leading characters of a geohash and map
+//! onto the node ring. Because every node evaluates the function locally,
+//! locating any block or Cell owner costs **zero** network hops and the
+//! per-lookup complexity is O(1) (paper §IV-D).
+
+use stash_geo::Geohash;
+use stash_model::CellKey;
+
+/// Maps geohash prefixes to node indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioner {
+    n_nodes: usize,
+    /// Geohash characters that determine placement (paper §VIII-A: 2).
+    prefix_len: u8,
+}
+
+impl Partitioner {
+    pub fn new(n_nodes: usize, prefix_len: u8) -> Self {
+        assert!(n_nodes > 0, "partitioner needs at least one node");
+        assert!(prefix_len >= 1, "prefix length must be at least 1");
+        Partitioner { n_nodes, prefix_len }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Owner of a geohash: hash of its placement prefix, mod ring size.
+    /// Geohashes *shorter* than the prefix use their full (coarse) hash —
+    /// such coarse cells aggregate data spanning several partitions, and
+    /// their summaries are merged from per-partition partials at the
+    /// coordinator (see `stash-dfs::store`).
+    pub fn owner(&self, gh: Geohash) -> usize {
+        let prefix = gh.prefix(self.prefix_len.min(gh.len())).expect("min() keeps length valid");
+        self.hash_prefix(prefix)
+    }
+
+    /// Owner of a STASH Cell (by its spatial label).
+    pub fn owner_of_cell(&self, key: &CellKey) -> usize {
+        self.owner(key.geohash)
+    }
+
+    /// Does placement of `gh` depend on more partitions than its own?
+    /// True exactly when the geohash is coarser than the placement prefix.
+    pub fn spans_partitions(&self, gh: Geohash) -> bool {
+        gh.len() < self.prefix_len
+    }
+
+    fn hash_prefix(&self, prefix: Geohash) -> usize {
+        // Fibonacci-mix the packed bits together with the length so "9"
+        // (len 1) and "90" (len 2) land independently.
+        let mut x = prefix
+            .bits()
+            .wrapping_add((prefix.len() as u64) << 56)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        (x % self.n_nodes as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_geo::{TemporalRes, TimeBin};
+    use std::str::FromStr;
+
+    fn p() -> Partitioner {
+        Partitioner::new(8, 2)
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let part = p();
+        for s in ["9q", "9q8y7", "dr5ru", "zzz", "0", "gcpvj"] {
+            let gh = Geohash::from_str(s).unwrap();
+            let o = part.owner(gh);
+            assert!(o < 8);
+            assert_eq!(o, part.owner(gh), "non-deterministic for {s}");
+        }
+    }
+
+    #[test]
+    fn placement_follows_prefix() {
+        let part = p();
+        // All geohashes sharing a 2-char prefix land on the same node —
+        // that is the data-colocation property STASH relies on.
+        let base = Geohash::from_str("9q").unwrap();
+        let owner = part.owner(base);
+        for child in base.children().unwrap() {
+            assert_eq!(part.owner(child), owner, "{child} strayed from {base}");
+            for grand in child.children().unwrap() {
+                assert_eq!(part.owner(grand), owner);
+            }
+        }
+    }
+
+    #[test]
+    fn different_prefixes_spread() {
+        let part = Partitioner::new(16, 2);
+        // Count distinct owners across all 1024 two-char prefixes: a
+        // reasonable hash must use most of the ring.
+        let mut used = std::collections::HashSet::new();
+        let g0 = Geohash::from_str("0").unwrap();
+        let parents: Vec<Geohash> = stash_geo::cover_bbox(&stash_geo::BBox::GLOBE, 1);
+        assert_eq!(parents.len(), 32);
+        for p1 in &parents {
+            for p2 in p1.children().unwrap() {
+                used.insert(part.owner(p2));
+            }
+        }
+        assert!(used.len() >= 14, "only {} of 16 nodes used", used.len());
+        let _ = g0;
+    }
+
+    #[test]
+    fn coarse_geohash_uses_own_hash() {
+        let part = p();
+        let coarse = Geohash::from_str("9").unwrap();
+        assert!(part.spans_partitions(coarse));
+        assert!(!part.spans_partitions(Geohash::from_str("9q").unwrap()));
+        assert!(part.owner(coarse) < 8);
+        // Its placement must differ from at least one of its children's —
+        // coarse cells genuinely span partitions.
+        let owners: std::collections::HashSet<usize> = coarse
+            .children()
+            .unwrap()
+            .map(|c| part.owner(c))
+            .collect();
+        assert!(owners.len() > 1, "children of a coarse hash should spread");
+    }
+
+    #[test]
+    fn owner_of_cell_matches_geohash_owner() {
+        let part = p();
+        let gh = Geohash::from_str("9q8y").unwrap();
+        let key = CellKey::new(gh, TimeBin::containing(TemporalRes::Day, 0));
+        assert_eq!(part.owner_of_cell(&key), part.owner(gh));
+        // Time does not affect placement.
+        let key2 = CellKey::new(gh, TimeBin::containing(TemporalRes::Day, 86_400_000));
+        assert_eq!(part.owner_of_cell(&key2), part.owner_of_cell(&key));
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let part = Partitioner::new(1, 2);
+        assert_eq!(part.owner(Geohash::from_str("zz").unwrap()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        Partitioner::new(0, 2);
+    }
+}

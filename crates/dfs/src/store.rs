@@ -1,0 +1,458 @@
+//! Per-node block storage and local aggregation.
+//!
+//! A [`NodeStore`] is one Galileo node's view of the dataset: the blocks the
+//! partitioner assigns to it. [`NodeStore::fetch_partials`] is the
+//! distributed-aggregation workhorse — it plans the blocks needed by a set
+//! of missing Cells, reads the ones this node owns (charging the disk
+//! model), scans their observations in parallel, and returns per-Cell
+//! *partial* summaries. Partials from different nodes merge exactly thanks
+//! to the summary monoid, so the coordinator never re-reads anything.
+
+use crate::block::{plan_blocks, BlockKey, BlockPlanError};
+use crate::disk::{DiskModel, DiskStats};
+use crate::partitioner::Partitioner;
+use rayon::prelude::*;
+use stash_geo::{BBox, Geohash, TimeRange};
+use stash_model::{CellKey, CellSummary, Observation};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A per-partition fragment of a Cell's summary. Fragments for the same key
+/// from different nodes merge into the complete Cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialCell {
+    pub key: CellKey,
+    pub summary: CellSummary,
+}
+
+/// Where blocks come from. In production this would be files on disk; in
+/// the reproduction it is the deterministic synthetic generator (every read
+/// of a block yields identical observations — see DESIGN.md §2).
+pub trait BlockSource: Send + Sync {
+    /// Materialize the observations of one block.
+    fn read_block(&self, key: BlockKey) -> Vec<Observation>;
+    /// Serialized size of a block, for the disk cost model.
+    fn block_bytes(&self, geohash: Geohash) -> usize;
+    /// Attribute count of the dataset schema.
+    fn n_attrs(&self) -> usize;
+}
+
+/// One node's storage engine.
+pub struct NodeStore {
+    node_idx: usize,
+    partitioner: Partitioner,
+    block_len: u8,
+    data_bbox: BBox,
+    data_time: TimeRange,
+    disk: DiskModel,
+    stats: DiskStats,
+    source: Arc<dyn BlockSource>,
+    /// Ceiling on blocks per fetch plan; degenerate queries fail fast
+    /// instead of grinding the node.
+    max_blocks_per_fetch: usize,
+    /// Modeled CPU cost of scanning/aggregating one observation. Charged
+    /// as virtual (sleep) time so node capacity is defined by the cost
+    /// model, not by the simulator host's core count (DESIGN.md §2).
+    scan_cost_per_obs: std::time::Duration,
+}
+
+impl NodeStore {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node_idx: usize,
+        partitioner: Partitioner,
+        block_len: u8,
+        data_bbox: BBox,
+        data_time: TimeRange,
+        disk: DiskModel,
+        source: Arc<dyn BlockSource>,
+        max_blocks_per_fetch: usize,
+    ) -> Self {
+        assert!(node_idx < partitioner.n_nodes(), "node index outside ring");
+        assert!(block_len >= partitioner.prefix_len(), "blocks must nest within partitions");
+        NodeStore {
+            node_idx,
+            partitioner,
+            block_len,
+            data_bbox,
+            data_time,
+            disk,
+            stats: DiskStats::default(),
+            source,
+            max_blocks_per_fetch,
+            scan_cost_per_obs: std::time::Duration::from_nanos(400),
+        }
+    }
+
+    /// Override the modeled per-observation scan cost (default 400 ns,
+    /// ~2.5 M observations/s per worker — a paper-era aggregation rate).
+    pub fn with_scan_cost(mut self, per_obs: std::time::Duration) -> Self {
+        self.scan_cost_per_obs = per_obs;
+        self
+    }
+
+    pub fn node_idx(&self) -> usize {
+        self.node_idx
+    }
+
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    pub fn block_len(&self) -> u8 {
+        self.block_len
+    }
+
+    pub fn data_bbox(&self) -> &BBox {
+        &self.data_bbox
+    }
+
+    pub fn data_time(&self) -> &TimeRange {
+        &self.data_time
+    }
+
+    /// Disk counters for this node.
+    pub fn disk_stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Does this node own the given block?
+    pub fn owns_block(&self, block: &BlockKey) -> bool {
+        self.partitioner.owner(block.geohash) == self.node_idx
+    }
+
+    /// Fetch partial summaries for `cells`, reading only blocks this node
+    /// owns. Cells whose blocks all live elsewhere produce no partial here;
+    /// cells covered but with no matching observations produce an *empty*
+    /// partial (so callers can distinguish "computed, empty region" from
+    /// "not my data").
+    pub fn fetch_partials(&self, cells: &[CellKey]) -> Result<Vec<PartialCell>, BlockPlanError> {
+        let plan = plan_blocks(
+            cells,
+            self.block_len,
+            &self.data_bbox,
+            &self.data_time,
+            self.max_blocks_per_fetch,
+        )?;
+        let owned: Vec<(BlockKey, Vec<CellKey>)> = plan
+            .into_iter()
+            .filter(|(bk, _)| self.partitioner.owner(bk.geohash) == self.node_idx)
+            .collect();
+        if owned.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Charge the disk sequentially — one spindle per node — while the
+        // CPU scan below runs in parallel across cores. Modeling the read
+        // as one up-front sleep overlaps disk and CPU the way readahead
+        // does on a real node.
+        let mut total_cost = std::time::Duration::ZERO;
+        for (bk, _) in &owned {
+            let bytes = self.source.block_bytes(bk.geohash);
+            self.stats.record_read(bytes);
+            total_cost += self.disk.read_cost(bytes);
+        }
+        if total_cost > std::time::Duration::ZERO {
+            std::thread::sleep(total_cost);
+        }
+
+        let n_attrs = self.source.n_attrs();
+        // Scan owned blocks in parallel; each yields a fragment map.
+        let scanned = std::sync::atomic::AtomicUsize::new(0);
+        let fragments: Vec<BTreeMap<CellKey, CellSummary>> = owned
+            .par_iter()
+            .map(|(bk, wanted)| {
+                let (frag, n_obs) = self.scan_block(*bk, wanted, n_attrs);
+                scanned.fetch_add(n_obs, std::sync::atomic::Ordering::Relaxed);
+                frag
+            })
+            .collect();
+        // Charge the modeled aggregation CPU for the scan (virtual time —
+        // see field docs).
+        let scan_cost = self.scan_cost_per_obs * scanned.into_inner() as u32;
+        if scan_cost > std::time::Duration::ZERO {
+            std::thread::sleep(scan_cost);
+        }
+
+        // Merge fragments (same cell can appear in many blocks: months span
+        // days, coarse cells span tiles).
+        let mut merged: BTreeMap<CellKey, CellSummary> = BTreeMap::new();
+        for frag in fragments {
+            for (key, summary) in frag {
+                match merged.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(summary);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        o.get_mut().merge(&summary);
+                    }
+                }
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .map(|(key, summary)| PartialCell { key, summary })
+            .collect())
+    }
+
+    /// Scan one block for the cells that need it; returns the fragments
+    /// plus how many observations were scanned (for the CPU cost model).
+    fn scan_block(&self, bk: BlockKey, wanted: &[CellKey], n_attrs: usize) -> (BTreeMap<CellKey, CellSummary>, usize) {
+        // Group the wanted cells by resolution pair so each observation is
+        // binned once per distinct resolution, not once per cell.
+        let mut by_level: HashMap<(u8, stash_geo::TemporalRes), HashSet<CellKey>> = HashMap::new();
+        for &c in wanted {
+            by_level.entry((c.spatial_res(), c.temporal_res())).or_default().insert(c);
+        }
+        // Every wanted cell starts with an empty summary: "computed, empty".
+        let mut out: BTreeMap<CellKey, CellSummary> = wanted
+            .iter()
+            .map(|&c| (c, CellSummary::empty(n_attrs)))
+            .collect();
+        let observations = self.source.read_block(bk);
+        for obs in &observations {
+            for (&(s_res, t_res), members) in &by_level {
+                let Some(key) = obs.cell_key(s_res, t_res) else { continue };
+                if members.contains(&key) {
+                    out.get_mut(&key).expect("members ⊆ out").push_row(&obs.values);
+                }
+            }
+        }
+        (out, observations.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_data::{GeneratorConfig, NamGenerator};
+    use stash_geo::time::epoch_seconds;
+    use stash_geo::{TemporalRes, TimeBin};
+    use std::str::FromStr;
+
+    /// Adapter: NamGenerator as a BlockSource.
+    struct GenSource(NamGenerator);
+
+    impl BlockSource for GenSource {
+        fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+            self.0.block_for_day(key.geohash, key.day)
+        }
+        fn block_bytes(&self, geohash: Geohash) -> usize {
+            self.0.block_bytes(geohash)
+        }
+        fn n_attrs(&self) -> usize {
+            self.0.schema().len()
+        }
+    }
+
+    fn domain() -> (BBox, TimeRange) {
+        (
+            BBox::new(20.0, 55.0, -130.0, -60.0).unwrap(),
+            TimeRange::new(
+                epoch_seconds(2015, 1, 1, 0, 0, 0),
+                epoch_seconds(2016, 1, 1, 0, 0, 0),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn store(node_idx: usize, n_nodes: usize) -> NodeStore {
+        let (bbox, time) = domain();
+        let source = Arc::new(GenSource(NamGenerator::new(GeneratorConfig {
+            seed: 11,
+            obs_per_deg2_per_day: 200.0,
+            max_obs_per_block: 50_000,
+        })));
+        NodeStore::new(
+            node_idx,
+            Partitioner::new(n_nodes, 2),
+            3,
+            bbox,
+            time,
+            DiskModel::free(),
+            source,
+            10_000,
+        )
+    }
+
+    fn all_stores(n: usize) -> Vec<NodeStore> {
+        (0..n).map(|i| store(i, n)).collect()
+    }
+
+    fn day_cell(gh: &str) -> CellKey {
+        CellKey::new(
+            Geohash::from_str(gh).unwrap(),
+            TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+        )
+    }
+
+    #[test]
+    fn only_owner_returns_partials() {
+        let stores = all_stores(4);
+        let cell = day_cell("9xj6"); // finer than block_len, single block
+        let owner = stores[0].partitioner().owner(Geohash::from_str("9xj").unwrap());
+        for s in &stores {
+            let partials = s.fetch_partials(&[cell]).unwrap();
+            if s.node_idx() == owner {
+                assert_eq!(partials.len(), 1);
+                assert_eq!(partials[0].key, cell);
+            } else {
+                assert!(partials.is_empty(), "node {} is not the owner", s.node_idx());
+            }
+        }
+    }
+
+    #[test]
+    fn partials_merge_to_direct_aggregation() {
+        // A coarse (len-1) cell spans many partitions; merging everyone's
+        // partials must equal aggregating the raw observations directly.
+        let stores = all_stores(4);
+        let cell = day_cell("9"); // 1024 blocks at len 3, spread over nodes
+        let mut merged = CellSummary::empty(4);
+        let mut contributors = 0;
+        for s in &stores {
+            for p in s.fetch_partials(&[cell]).unwrap() {
+                assert_eq!(p.key, cell);
+                merged.merge(&p.summary);
+                contributors += 1;
+            }
+        }
+        assert!(contributors > 1, "coarse cell should span nodes");
+
+        // Ground truth: scan all blocks directly.
+        let gen = NamGenerator::new(GeneratorConfig {
+            seed: 11,
+            obs_per_deg2_per_day: 200.0,
+            max_obs_per_block: 50_000,
+        });
+        let (bbox, time) = domain();
+        let plan = plan_blocks(&[cell], 3, &bbox, &time, 10_000).unwrap();
+        let mut truth = CellSummary::empty(4);
+        for bk in plan.keys() {
+            for obs in gen.block_for_day(bk.geohash, bk.day) {
+                if obs.cell_key(1, TemporalRes::Day) == Some(cell) {
+                    truth.push_row(&obs.values);
+                }
+            }
+        }
+        assert_eq!(merged.count(), truth.count());
+        assert_eq!(merged.attr(0).unwrap().min(), truth.attr(0).unwrap().min());
+        assert_eq!(merged.attr(0).unwrap().max(), truth.attr(0).unwrap().max());
+        assert!(merged.count() > 0, "domain region must contain observations");
+    }
+
+    #[test]
+    fn empty_region_yields_empty_partial() {
+        let stores = all_stores(2);
+        // Inside the data bbox there is always data (generator is dense),
+        // so use a cell whose day has data but whose observations cannot
+        // match a *different* day bin: query the same geohash on a day at
+        // the very edge — instead, verify the empty-partial path via a cell
+        // finer than any observation spacing is impractical; rather check
+        // that a covered cell returns a partial even if its summary is
+        // empty by using an hour bin at 03:00 of a sparse block.
+        let cell = CellKey::new(
+            Geohash::from_str("9xj6k").unwrap(),
+            TimeBin::containing(TemporalRes::Hour, epoch_seconds(2015, 2, 2, 3, 0, 0)),
+        );
+        let mut produced = 0;
+        for s in &stores {
+            for p in s.fetch_partials(&[cell]).unwrap() {
+                assert_eq!(p.key, cell);
+                produced += 1;
+                // Summary may be empty or not; both are valid partials.
+            }
+        }
+        assert_eq!(produced, 1, "exactly the owner produces the partial");
+    }
+
+    #[test]
+    fn disk_stats_count_block_reads() {
+        let s = store(0, 1); // single node owns everything
+        let cell = day_cell("9x"); // 32 blocks
+        let before = s.disk_stats().reads();
+        s.fetch_partials(&[cell]).unwrap();
+        let reads = s.disk_stats().reads() - before;
+        assert!(reads > 16 && reads <= 32, "expected ~32 block reads, got {reads}");
+        assert!(s.disk_stats().bytes() > 0);
+    }
+
+    #[test]
+    fn disk_cost_is_charged() {
+        let (bbox, time) = domain();
+        let source = Arc::new(GenSource(NamGenerator::new(GeneratorConfig::default())));
+        let slow = NodeStore::new(
+            0,
+            Partitioner::new(1, 2),
+            3,
+            bbox,
+            time,
+            DiskModel {
+                seek: std::time::Duration::from_millis(10),
+                bytes_per_sec: f64::INFINITY,
+            },
+            source,
+            10_000,
+        );
+        let t0 = std::time::Instant::now();
+        slow.fetch_partials(&[day_cell("9xj6")]).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(9), "disk not charged");
+    }
+
+    #[test]
+    fn shared_block_scanned_once_for_many_cells() {
+        let s = store(0, 1);
+        // 32 sibling cells at res 4 inside one res-3 block.
+        let parent = Geohash::from_str("9xj").unwrap();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let cells: Vec<CellKey> = parent
+            .children()
+            .unwrap()
+            .map(|g| CellKey::new(g, day))
+            .collect();
+        let before = s.disk_stats().reads();
+        let partials = s.fetch_partials(&cells).unwrap();
+        assert_eq!(s.disk_stats().reads() - before, 1, "one block read for 32 cells");
+        assert_eq!(partials.len(), 32);
+        // The union of children equals the parent's observations.
+        let total: u64 = partials.iter().map(|p| p.summary.count()).sum();
+        let gen_count = s.source.read_block(BlockKey { geohash: parent, day }).len();
+        assert_eq!(total as usize, gen_count);
+    }
+
+    #[test]
+    fn fetch_outside_domain_is_empty() {
+        let s = store(0, 1);
+        let cell = day_cell("gcp6"); // Europe, outside NAM domain
+        assert!(s.fetch_partials(&[cell]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn budget_propagates() {
+        let (bbox, time) = domain();
+        let source = Arc::new(GenSource(NamGenerator::new(GeneratorConfig::default())));
+        let s = NodeStore::new(
+            0,
+            Partitioner::new(1, 2),
+            3,
+            bbox,
+            time,
+            DiskModel::free(),
+            source,
+            4, // tiny budget
+        );
+        let cell = day_cell("9x"); // needs 32 blocks
+        assert!(matches!(
+            s.fetch_partials(&[cell]),
+            Err(BlockPlanError::TooManyBlocks { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "nest within partitions")]
+    fn block_len_must_cover_partition_prefix() {
+        let (bbox, time) = domain();
+        let source = Arc::new(GenSource(NamGenerator::new(GeneratorConfig::default())));
+        NodeStore::new(0, Partitioner::new(2, 3), 2, bbox, time, DiskModel::free(), source, 10);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the storage substrate: block planning must cover
+//! exactly the data a Cell needs, and the partitioner must give every
+//! block exactly one home.
+
+use proptest::prelude::*;
+use stash_dfs::{plan_blocks, Partitioner};
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::CellKey;
+
+fn domain() -> (BBox, TimeRange) {
+    (
+        BBox::new(20.0, 55.0, -130.0, -60.0).unwrap(),
+        TimeRange::new(
+            epoch_seconds(2015, 1, 1, 0, 0, 0),
+            epoch_seconds(2016, 1, 1, 0, 0, 0),
+        )
+        .unwrap(),
+    )
+}
+
+proptest! {
+    /// Every planned block nests the cell spatially (or vice versa) and
+    /// overlaps it temporally; and every in-domain portion of the cell is
+    /// covered by some block.
+    #[test]
+    fn plan_blocks_covers_exactly(
+        lat in 25.0f64..50.0,
+        lon in -125.0f64..-65.0,
+        s_res in 1u8..=5,
+        month in 1u32..=12,
+        day in 1u32..=28,
+        t_idx in 1u8..4, // Month / Day / Hour
+    ) {
+        let (bbox, time) = domain();
+        let t_res = TemporalRes::from_index(t_idx).unwrap();
+        let cell = CellKey::new(
+            Geohash::encode(lat, lon, s_res).unwrap(),
+            TimeBin::containing(t_res, epoch_seconds(2015, month, day, 12, 0, 0)),
+        );
+        let plan = plan_blocks(&[cell], 3, &bbox, &time, 100_000).unwrap();
+        for (bk, cells) in &plan {
+            prop_assert_eq!(cells.as_slice(), &[cell]);
+            // Spatial nesting one way or the other.
+            prop_assert!(
+                bk.geohash.is_within(&cell.geohash) || cell.geohash.is_within(&bk.geohash),
+                "block {} unrelated to cell {}", bk.geohash, cell.geohash
+            );
+            // Temporal overlap with both the cell and the domain.
+            prop_assert!(bk.day.range().intersects(&cell.time.range()));
+            prop_assert!(bk.day.range().intersects(&time));
+        }
+        // Coverage: the cell's in-domain days are all planned.
+        let clipped = TimeRange::new(
+            cell.time.range().start.max(time.start),
+            cell.time.range().end.min(time.end),
+        );
+        if let Some(r) = clipped {
+            if r.duration_secs() > 0 && cell.geohash.bbox().intersects(&bbox) {
+                let want_days = TimeBin::cover_range(TemporalRes::Day, r);
+                for d in want_days {
+                    prop_assert!(
+                        plan.keys().any(|bk| bk.day == d),
+                        "day {} of {} unplanned", d, cell
+                    );
+                }
+            }
+        }
+    }
+
+    /// A block has exactly one owner, and ownership is stable under
+    /// repeated evaluation and consistent across equal partitioners.
+    #[test]
+    fn partitioner_is_a_function(
+        lat in -85.0f64..85.0,
+        lon in -179.0f64..179.0,
+        len in 2u8..=6,
+        n_nodes in 1usize..32,
+    ) {
+        let gh = Geohash::encode(lat, lon, len).unwrap();
+        let p1 = Partitioner::new(n_nodes, 2);
+        let p2 = Partitioner::new(n_nodes, 2);
+        let o = p1.owner(gh);
+        prop_assert!(o < n_nodes);
+        prop_assert_eq!(o, p1.owner(gh));
+        prop_assert_eq!(o, p2.owner(gh));
+        // All descendants stay on the same node (colocation).
+        if len < 6 {
+            for child in gh.children().unwrap() {
+                prop_assert_eq!(p1.owner(child), o);
+            }
+        }
+    }
+
+    /// The union of all nodes' owned blocks is the whole plan: no block is
+    /// orphaned or double-owned.
+    #[test]
+    fn every_block_has_one_home(
+        lat in 25.0f64..50.0,
+        lon in -125.0f64..-70.0,
+        n_nodes in 1usize..12,
+    ) {
+        let (bbox, time) = domain();
+        let cell = CellKey::new(
+            Geohash::encode(lat, lon, 2).unwrap(), // coarse: many blocks
+            TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+        );
+        let plan = plan_blocks(&[cell], 3, &bbox, &time, 100_000).unwrap();
+        let p = Partitioner::new(n_nodes, 2);
+        for bk in plan.keys() {
+            let owners: Vec<usize> = (0..n_nodes).filter(|&n| p.owner(bk.geohash) == n).collect();
+            prop_assert_eq!(owners.len(), 1, "block {} owners: {:?}", bk, owners);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # stash-elastic
+//!
+//! An ElasticSearch-*like* baseline engine, reproducing the comparison
+//! system of the paper's §VIII-F on the same simulated fabric and dataset.
+//!
+//! What is modeled (and why it is what the paper measured):
+//!
+//! * **Hash-sharded index** — documents are routed to shards by hash, not
+//!   by geography (ES's default `_id` routing). Every search therefore
+//!   scatter-gathers **all** shards; there is no geospatial data locality.
+//!   (The paper: "the index was split into 600 shards" across 120 data
+//!   nodes.)
+//! * **Shard request cache** — per node, keyed by the *exact* query. This
+//!   is the crucial semantic difference from STASH: an identical repeated
+//!   query hits, but a panned / diced / zoomed query — however much it
+//!   overlaps — recomputes its aggregations from raw documents. That is
+//!   why ES's latency "improves slightly" (−2 %…−0.6 %) under panning
+//!   while STASH improves 49–70 % (Fig. 8a).
+//! * **Field-data cache** — per node LRU over block columns: after a block
+//!   is first read from disk its values stay in memory, so repeated
+//!   *disk* cost fades while *aggregation* cost remains. ("Three types of
+//!   caches … stored the query results, aggregations, and field values.")
+//!
+//! The engine shares the dataset generator, disk model, and network fabric
+//! with the STASH cluster so Fig. 8's comparisons hold the substrate fixed
+//! and vary only the middleware.
+
+pub mod cluster;
+pub mod lru;
+pub mod shard;
+
+pub use cluster::{EsClient, EsClusterConfig, EsSimCluster};
+pub use lru::LruCache;
+pub use shard::{query_fingerprint, ShardStats};

@@ -1,0 +1,151 @@
+//! A small LRU cache for the field-data and request caches.
+//!
+//! Capacity is in *entries*; eviction removes the least-recently-used. The
+//! implementation favors simplicity over constant-factor tuning — cache
+//! capacities in the baseline are small (hundreds of blocks), so an O(n)
+//! eviction scan is irrelevant next to the block scan it fronts.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// LRU map with entry-count capacity.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// `capacity == 0` disables the cache (every get misses, puts are
+    /// dropped) — used to ablate the field-data cache.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            stamp: 0,
+            entries: HashMap::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookup, refreshing recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.entries.get_mut(key) {
+            Some((v, s)) => {
+                *s = stamp;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Presence check without refreshing recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Insert, evicting the least-recently-used entry when full.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the stalest entry.
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (value, self.stamp));
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"z"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.get(&"a"); // refresh a; b is now LRU
+        c.put("c", 3);
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"), "b should have been evicted");
+        assert!(c.contains(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn updating_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert!(c.contains(&"b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.put("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.put(1, "x");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn heavy_churn_respects_capacity() {
+        let mut c = LruCache::new(16);
+        for i in 0..1000 {
+            c.put(i, i * 2);
+            assert!(c.len() <= 16);
+        }
+        // The most recent entries survive.
+        assert!(c.contains(&999));
+        assert!(!c.contains(&0));
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-node shard engine: hash routing, request cache, field-data cache.
+
+use crate::lru::LruCache;
+use parking_lot::Mutex;
+use stash_dfs::{plan_blocks, BlockKey, BlockSource, DiskModel, DiskStats};
+use stash_geo::{BBox, TimeRange};
+use stash_model::{AggQuery, CellKey, CellSummary, Observation};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Stable fingerprint of a query — the request-cache key. Two queries
+/// collide only when byte-identical in extent, time, and resolutions,
+/// mirroring ES's request cache keyed on the serialized search body.
+pub fn query_fingerprint(q: &AggQuery) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    eat(q.bbox.min_lat.to_bits());
+    eat(q.bbox.max_lat.to_bits());
+    eat(q.bbox.min_lon.to_bits());
+    eat(q.bbox.max_lon.to_bits());
+    eat(q.time.start as u64);
+    eat(q.time.end as u64);
+    eat(q.spatial_res as u64);
+    eat(q.temporal_res.index() as u64);
+    h
+}
+
+/// Cache counters (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    pub request_cache_hits: AtomicU64,
+    pub request_cache_misses: AtomicU64,
+    pub field_cache_hits: AtomicU64,
+    pub field_cache_misses: AtomicU64,
+}
+
+/// One node's slice of the hash-sharded index plus its caches.
+pub struct NodeShards {
+    node_idx: usize,
+    n_nodes: usize,
+    n_shards: usize,
+    block_len: u8,
+    data_bbox: BBox,
+    data_time: TimeRange,
+    disk: DiskModel,
+    disk_stats: DiskStats,
+    source: Arc<dyn BlockSource>,
+    max_blocks: usize,
+    /// Shard request cache: exact-query → this node's aggregation output.
+    request_cache: Mutex<LruCache<u64, Arc<Vec<(CellKey, CellSummary)>>>>,
+    /// Field-data cache: block → resident column values.
+    field_cache: Mutex<LruCache<BlockKey, Arc<Vec<Observation>>>>,
+    /// Modeled CPU cost per document collected (virtual time).
+    scan_cost_per_obs: std::time::Duration,
+    pub stats: ShardStats,
+}
+
+impl NodeShards {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node_idx: usize,
+        n_nodes: usize,
+        n_shards: usize,
+        block_len: u8,
+        data_bbox: BBox,
+        data_time: TimeRange,
+        disk: DiskModel,
+        source: Arc<dyn BlockSource>,
+        max_blocks: usize,
+        request_cache_entries: usize,
+        field_cache_blocks: usize,
+    ) -> Self {
+        assert!(n_nodes > 0 && n_shards >= n_nodes, "shards must cover nodes");
+        NodeShards {
+            node_idx,
+            n_nodes,
+            n_shards,
+            block_len,
+            data_bbox,
+            data_time,
+            disk,
+            disk_stats: DiskStats::default(),
+            source,
+            max_blocks,
+            request_cache: Mutex::new(LruCache::new(request_cache_entries)),
+            field_cache: Mutex::new(LruCache::new(field_cache_blocks)),
+            scan_cost_per_obs: std::time::Duration::from_nanos(400),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Override the modeled per-document collection cost.
+    pub fn with_scan_cost(mut self, per_obs: std::time::Duration) -> Self {
+        self.scan_cost_per_obs = per_obs;
+        self
+    }
+
+    /// Hash routing: block → shard (ES `_id`-hash routing — geography-blind).
+    pub fn shard_of(&self, block: &BlockKey) -> usize {
+        let mut x = block
+            .geohash
+            .bits()
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(block.day.idx as u64)
+            .wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        x ^= x >> 32;
+        (x % self.n_shards as u64) as usize
+    }
+
+    /// Shards are spread round-robin over data nodes.
+    pub fn node_of_shard(&self, shard: usize) -> usize {
+        shard % self.n_nodes
+    }
+
+    fn owns_block(&self, block: &BlockKey) -> bool {
+        self.node_of_shard(self.shard_of(block)) == self.node_idx
+    }
+
+    pub fn disk_stats(&self) -> &DiskStats {
+        &self.disk_stats
+    }
+
+    /// Execute a search on this node's shards: request cache first, then
+    /// scan (through the field-data cache) and aggregate.
+    pub fn search(&self, query: &AggQuery, keys: &[CellKey]) -> Result<Vec<(CellKey, CellSummary)>, String> {
+        let fp = query_fingerprint(query);
+        if let Some(hit) = self.request_cache.lock().get(&fp).cloned() {
+            self.stats.request_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.as_ref().clone());
+        }
+        self.stats.request_cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let plan = plan_blocks(keys, self.block_len, &self.data_bbox, &self.data_time, self.max_blocks)
+            .map_err(|e| e.to_string())?;
+        let mine: Vec<(BlockKey, Vec<CellKey>)> =
+            plan.into_iter().filter(|(bk, _)| self.owns_block(bk)).collect();
+
+        let n_attrs = self.source.n_attrs();
+        let mut out: HashMap<CellKey, CellSummary> = HashMap::new();
+        let mut scanned = 0usize;
+        for (bk, wanted) in &mine {
+            let observations = self.load_block(*bk);
+            scanned += observations.len();
+            let mut by_level: HashMap<(u8, stash_geo::TemporalRes), HashSet<CellKey>> = HashMap::new();
+            for &c in wanted {
+                by_level.entry((c.spatial_res(), c.temporal_res())).or_default().insert(c);
+            }
+            for obs in observations.iter() {
+                for (&(s_res, t_res), members) in &by_level {
+                    let Some(key) = obs.cell_key(s_res, t_res) else { continue };
+                    if members.contains(&key) {
+                        out.entry(key)
+                            .or_insert_with(|| CellSummary::empty(n_attrs))
+                            .push_row(&obs.values);
+                    }
+                }
+            }
+        }
+        // Charge the modeled collection cost (virtual time — the paper's
+        // shards re-aggregate raw documents on every request-cache miss).
+        let scan_cost = self.scan_cost_per_obs * scanned as u32;
+        if scan_cost > std::time::Duration::ZERO {
+            std::thread::sleep(scan_cost);
+        }
+        let mut result: Vec<(CellKey, CellSummary)> = out.into_iter().collect();
+        result.sort_by_key(|(k, _)| *k);
+        let shared = Arc::new(result);
+        self.request_cache.lock().put(fp, Arc::clone(&shared));
+        Ok(shared.as_ref().clone())
+    }
+
+    /// Read a block through the field-data cache; disk is charged on miss.
+    fn load_block(&self, bk: BlockKey) -> Arc<Vec<Observation>> {
+        if let Some(hit) = self.field_cache.lock().get(&bk).cloned() {
+            self.stats.field_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.stats.field_cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.disk
+            .charge_read(self.source.block_bytes(bk.geohash), &self.disk_stats);
+        let obs = Arc::new(self.source.read_block(bk));
+        self.field_cache.lock().put(bk, Arc::clone(&obs));
+        obs
+    }
+
+    /// Drop both caches (cold-start experiments).
+    pub fn clear_caches(&self) {
+        self.request_cache.lock().clear();
+        self.field_cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_data::{GeneratorConfig, NamGenerator};
+    use stash_geo::time::epoch_seconds;
+    use stash_geo::{Geohash, TemporalRes};
+
+    struct GenSource(NamGenerator);
+    impl BlockSource for GenSource {
+        fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+            self.0.block_for_day(key.geohash, key.day)
+        }
+        fn block_bytes(&self, geohash: Geohash) -> usize {
+            self.0.block_bytes(geohash)
+        }
+        fn n_attrs(&self) -> usize {
+            self.0.schema().len()
+        }
+    }
+
+    fn shards(node_idx: usize, n_nodes: usize) -> NodeShards {
+        NodeShards::new(
+            node_idx,
+            n_nodes,
+            n_nodes * 8,
+            3,
+            BBox::new(20.0, 55.0, -130.0, -60.0).unwrap(),
+            TimeRange::new(
+                epoch_seconds(2015, 1, 1, 0, 0, 0),
+                epoch_seconds(2016, 1, 1, 0, 0, 0),
+            )
+            .unwrap(),
+            DiskModel::free(),
+            Arc::new(GenSource(NamGenerator::new(GeneratorConfig {
+                seed: 11,
+                obs_per_deg2_per_day: 100.0,
+                max_obs_per_block: 20_000,
+            }))),
+            10_000,
+            64,
+            256,
+        )
+    }
+
+    fn county_query() -> AggQuery {
+        AggQuery::new(
+            BBox::from_corner_extent(38.0, -105.0, 0.6, 1.2),
+            TimeRange::whole_day(2015, 2, 2),
+            4,
+            TemporalRes::Day,
+        )
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_overlapping_queries() {
+        let q = county_query();
+        assert_eq!(query_fingerprint(&q), query_fingerprint(&q.clone()));
+        let panned = q.panned(0.1, 0.0, 1.0);
+        assert_ne!(query_fingerprint(&q), query_fingerprint(&panned));
+        let zoomed = q.drilled_down().unwrap();
+        assert_ne!(query_fingerprint(&q), query_fingerprint(&zoomed));
+    }
+
+    #[test]
+    fn union_of_nodes_equals_full_scan() {
+        // Every block belongs to exactly one node: merging all nodes'
+        // search outputs must equal a single-node full deployment.
+        let q = county_query();
+        let keys = q.target_keys(100_000).unwrap();
+        let whole = shards(0, 1).search(&q, &keys).unwrap();
+        let mut merged: HashMap<CellKey, CellSummary> = HashMap::new();
+        for i in 0..4 {
+            for (k, s) in shards(i, 4).search(&q, &keys).unwrap() {
+                merged
+                    .entry(k)
+                    .and_modify(|m| m.merge(&s))
+                    .or_insert(s);
+            }
+        }
+        assert_eq!(merged.len(), whole.len());
+        for (k, s) in whole {
+            assert_eq!(merged[&k].count(), s.count(), "mismatch at {k}");
+        }
+    }
+
+    #[test]
+    fn request_cache_hits_identical_query_only() {
+        let s = shards(0, 1);
+        let q = county_query();
+        let keys = q.target_keys(100_000).unwrap();
+        let a = s.search(&q, &keys).unwrap();
+        assert_eq!(s.stats.request_cache_misses.load(Ordering::Relaxed), 1);
+        let b = s.search(&q, &keys).unwrap();
+        assert_eq!(s.stats.request_cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(a, b);
+        // A panned (overlapping!) query misses the request cache.
+        let panned = q.panned(0.1, 0.0, 1.0);
+        let pkeys = panned.target_keys(100_000).unwrap();
+        s.search(&panned, &pkeys).unwrap();
+        assert_eq!(s.stats.request_cache_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn field_cache_absorbs_repeat_disk_reads() {
+        let s = shards(0, 1);
+        let q = county_query();
+        let keys = q.target_keys(100_000).unwrap();
+        s.search(&q, &keys).unwrap();
+        let reads_after_first = s.disk_stats().reads();
+        assert!(reads_after_first > 0);
+        // Different (panned) query over overlapping blocks: request cache
+        // misses but most blocks come from the field cache.
+        let panned = q.panned(0.1, 0.0, 1.0);
+        let pkeys = panned.target_keys(100_000).unwrap();
+        s.search(&panned, &pkeys).unwrap();
+        let new_reads = s.disk_stats().reads() - reads_after_first;
+        assert!(
+            new_reads < reads_after_first,
+            "field cache should absorb most repeat reads: {new_reads} vs {reads_after_first}"
+        );
+        assert!(s.stats.field_cache_hits.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn clear_caches_forces_recompute() {
+        let s = shards(0, 1);
+        let q = county_query();
+        let keys = q.target_keys(100_000).unwrap();
+        s.search(&q, &keys).unwrap();
+        s.clear_caches();
+        s.search(&q, &keys).unwrap();
+        assert_eq!(s.stats.request_cache_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(s.stats.request_cache_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_spread() {
+        let s = shards(0, 4);
+        let q = AggQuery::new(
+            BBox::from_corner_extent(30.0, -110.0, 8.0, 16.0),
+            TimeRange::whole_day(2015, 2, 2),
+            4,
+            TemporalRes::Day,
+        );
+        let keys = q.target_keys(100_000).unwrap();
+        let plan = plan_blocks(&keys, 3, &s.data_bbox, &s.data_time, 10_000).unwrap();
+        let mut nodes_used: HashSet<usize> = HashSet::new();
+        for bk in plan.keys() {
+            let shard = s.shard_of(bk);
+            assert_eq!(shard, s.shard_of(bk), "routing must be stable");
+            assert!(shard < 32);
+            nodes_used.insert(s.node_of_shard(shard));
+        }
+        assert_eq!(nodes_used.len(), 4, "hash routing should spread over all nodes");
+    }
+}

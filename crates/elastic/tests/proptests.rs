@@ -1,0 +1,98 @@
+//! Property tests for the baseline's caches: the LRU must behave like a
+//! reference model, and the request-cache fingerprint must separate
+//! distinct queries.
+
+use proptest::prelude::*;
+use stash_elastic::{query_fingerprint, LruCache};
+use stash_geo::{BBox, TemporalRes, TimeRange};
+use stash_model::AggQuery;
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Put(u8, u32),
+    Get(u8),
+}
+
+fn arb_lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(k, v)| LruOp::Put(k, v)),
+        any::<u8>().prop_map(LruOp::Get),
+    ]
+}
+
+/// Reference LRU: a Vec ordered by recency (front = most recent).
+struct ModelLru {
+    cap: usize,
+    items: Vec<(u8, u32)>,
+}
+
+impl ModelLru {
+    fn get(&mut self, k: u8) -> Option<u32> {
+        let pos = self.items.iter().position(|(ik, _)| *ik == k)?;
+        let item = self.items.remove(pos);
+        self.items.insert(0, item);
+        Some(self.items[0].1)
+    }
+
+    fn put(&mut self, k: u8, v: u32) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(pos) = self.items.iter().position(|(ik, _)| *ik == k) {
+            self.items.remove(pos);
+        } else if self.items.len() >= self.cap {
+            self.items.pop();
+        }
+        self.items.insert(0, (k, v));
+    }
+}
+
+proptest! {
+    /// The LRU matches the reference model on every operation.
+    #[test]
+    fn lru_matches_reference_model(
+        cap in 0usize..12,
+        ops in prop::collection::vec(arb_lru_op(), 1..300),
+    ) {
+        let mut lru = LruCache::new(cap);
+        let mut model = ModelLru { cap, items: Vec::new() };
+        for op in ops {
+            match op {
+                LruOp::Put(k, v) => {
+                    lru.put(k, v);
+                    model.put(k, v);
+                }
+                LruOp::Get(k) => {
+                    prop_assert_eq!(lru.get(&k).copied(), model.get(k), "get failed for key {}", k);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.items.len());
+            prop_assert!(lru.len() <= cap.max(0));
+        }
+    }
+
+    /// Distinct queries (different box, time, or resolution) get distinct
+    /// fingerprints; identical queries always agree.
+    #[test]
+    fn fingerprint_separates_queries(
+        lat1 in -50.0f64..50.0, lon1 in -150.0f64..150.0,
+        lat2 in -50.0f64..50.0, lon2 in -150.0f64..150.0,
+        res1 in 1u8..=6, res2 in 1u8..=6,
+        day1 in 0i64..365, day2 in 0i64..365,
+    ) {
+        let make = |lat: f64, lon: f64, res: u8, day: i64| {
+            AggQuery::new(
+                BBox::from_corner_extent(lat, lon, 1.0, 2.0),
+                TimeRange::new(day * 86_400, (day + 1) * 86_400).unwrap(),
+                res,
+                TemporalRes::Day,
+            )
+        };
+        let a = make(lat1, lon1, res1, day1);
+        let b = make(lat2, lon2, res2, day2);
+        prop_assert_eq!(query_fingerprint(&a), query_fingerprint(&a.clone()));
+        if a != b {
+            prop_assert_ne!(query_fingerprint(&a), query_fingerprint(&b), "collision: {:?} vs {:?}", a, b);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The geohash base-32 alphabet (`0-9`, `b-z` excluding `a`, `i`, `l`, `o`).
+//!
+//! Each geohash character carries 5 bits of interleaved latitude/longitude
+//! precision. The alphabet and its ordering are fixed by the original
+//! geohash.org specification referenced by the STASH paper [Niemeyer 1999].
+
+/// The 32 geohash digits in value order: digit `i` encodes the 5-bit value `i`.
+pub const ALPHABET: [u8; 32] = *b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Decode table: ASCII byte → 5-bit value, `0xFF` for invalid characters.
+const DECODE: [u8; 256] = {
+    let mut t = [0xFFu8; 256];
+    let mut i = 0;
+    while i < 32 {
+        t[ALPHABET[i] as usize] = i as u8;
+        // Geohashes are conventionally lowercase but accept uppercase input.
+        let c = ALPHABET[i];
+        if c.is_ascii_lowercase() {
+            t[(c - b'a' + b'A') as usize] = i as u8;
+        }
+        i += 1;
+    }
+    t
+};
+
+/// Encode a 5-bit value (`0..32`) as its geohash character.
+///
+/// # Panics
+/// Panics in debug builds if `value >= 32`.
+#[inline]
+pub fn encode_digit(value: u8) -> u8 {
+    debug_assert!(value < 32, "geohash digit out of range: {value}");
+    ALPHABET[(value & 31) as usize]
+}
+
+/// Decode a geohash character to its 5-bit value, or `None` if the byte is
+/// not part of the alphabet (e.g. `a`, `i`, `l`, `o`).
+#[inline]
+pub fn decode_digit(ch: u8) -> Option<u8> {
+    let v = DECODE[ch as usize];
+    (v != 0xFF).then_some(v)
+}
+
+/// Returns `true` if `ch` is a valid geohash character (either case).
+#[inline]
+pub fn is_valid_digit(ch: u8) -> bool {
+    DECODE[ch as usize] != 0xFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_has_32_unique_digits() {
+        let mut seen = [false; 256];
+        for &c in ALPHABET.iter() {
+            assert!(!seen[c as usize], "duplicate digit {}", c as char);
+            seen[c as usize] = true;
+        }
+    }
+
+    #[test]
+    fn alphabet_excludes_ambiguous_letters() {
+        for c in [b'a', b'i', b'l', b'o'] {
+            assert!(!ALPHABET.contains(&c), "{} must be excluded", c as char);
+            assert_eq!(decode_digit(c), None);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_values() {
+        for v in 0u8..32 {
+            let c = encode_digit(v);
+            assert_eq!(decode_digit(c), Some(v));
+        }
+    }
+
+    #[test]
+    fn uppercase_decodes_like_lowercase() {
+        assert_eq!(decode_digit(b'B'), decode_digit(b'b'));
+        assert_eq!(decode_digit(b'Z'), decode_digit(b'z'));
+        // '9' has no case.
+        assert_eq!(decode_digit(b'9'), Some(9));
+    }
+
+    #[test]
+    fn invalid_bytes_rejected() {
+        for c in [b' ', b'-', b'_', 0u8, 255u8, b'A' + 25] {
+            if !is_valid_digit(c) {
+                assert_eq!(decode_digit(c), None);
+            }
+        }
+        assert_eq!(decode_digit(b'!'), None);
+    }
+
+    #[test]
+    fn digit_order_matches_spec() {
+        // Spot checks against the geohash.org ordering.
+        assert_eq!(encode_digit(0), b'0');
+        assert_eq!(encode_digit(9), b'9');
+        assert_eq!(encode_digit(10), b'b');
+        assert_eq!(encode_digit(17), b'j');
+        assert_eq!(encode_digit(31), b'z');
+    }
+}

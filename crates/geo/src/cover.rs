@@ -1,0 +1,231 @@
+//! Geohash covers of query rectangles.
+//!
+//! STASH's query planner turns a `Query_Polygon` into the set of same-length
+//! geohash cells that intersect it (§IV-D): those are the spatial labels of
+//! the Cells the query needs. Covers are computed by walking the regular
+//! geohash grid row-by-row from the south-west corner — no recursion, no
+//! allocation beyond the output vector.
+
+use crate::bbox::BBox;
+use crate::geohash::Geohash;
+use crate::MAX_GEOHASH_LEN;
+
+/// Error produced by [`cover_bbox_bounded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverError {
+    /// The cover would exceed the caller's cell budget; contains the
+    /// estimated cell count.
+    TooManyCells(usize),
+    /// Geohash length out of range.
+    BadLength(u8),
+}
+
+impl std::fmt::Display for CoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverError::TooManyCells(n) => write!(f, "cover would produce ~{n} cells"),
+            CoverError::BadLength(l) => write!(f, "geohash length {l} not in 1..={MAX_GEOHASH_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// Estimate (upper bound) of how many length-`len` cells intersect `bbox`.
+pub fn cover_size_estimate(bbox: &BBox, len: u8) -> usize {
+    let (h, w) = Geohash::cell_extent(len);
+    let rows = (bbox.lat_extent() / h).floor() as usize + 2;
+    let cols = (bbox.lon_extent() / w).floor() as usize + 2;
+    rows.saturating_mul(cols)
+}
+
+/// All geohashes of length `len` whose boxes intersect `bbox`
+/// (half-open edge semantics: a cell merely *touching* the query's north or
+/// east edge is excluded, so adjacent queries don't share cells).
+///
+/// # Panics
+/// Panics if `len` is 0 or exceeds [`MAX_GEOHASH_LEN`]. Use
+/// [`cover_bbox_bounded`] for fallible, budgeted covers.
+pub fn cover_bbox(bbox: &BBox, len: u8) -> Vec<Geohash> {
+    cover_bbox_bounded(bbox, len, usize::MAX).expect("unbounded cover cannot overflow budget")
+}
+
+/// Like [`cover_bbox`] but fails fast when the cover would exceed
+/// `max_cells` — the guard STASH uses so a careless globe-wide query at high
+/// resolution cannot allocate unbounded memory.
+pub fn cover_bbox_bounded(bbox: &BBox, len: u8, max_cells: usize) -> Result<Vec<Geohash>, CoverError> {
+    if len == 0 || len > MAX_GEOHASH_LEN {
+        return Err(CoverError::BadLength(len));
+    }
+    let estimate = cover_size_estimate(bbox, len);
+    if estimate > max_cells.saturating_mul(2).saturating_add(4) {
+        return Err(CoverError::TooManyCells(estimate));
+    }
+    let (h, w) = Geohash::cell_extent(len);
+    // Anchor the walk on the center of the cell containing the SW corner.
+    // Clamp the corner into the open globe so encode() succeeds.
+    let sw_lat = bbox.min_lat.clamp(-90.0, 90.0 - h / 2.0);
+    let sw_lon = bbox.min_lon.clamp(-180.0, 180.0 - w / 2.0);
+    let anchor = Geohash::encode(sw_lat, sw_lon, len).expect("clamped corner is valid");
+    let ab = anchor.bbox();
+    let (start_lat, start_lon) = ab.center();
+
+    let mut out = Vec::with_capacity(estimate.min(max_cells));
+    // Walk cell centers: row r sits at start_lat + r*h, column c at
+    // start_lon + c*w. A row/column intersects while its cell's low edge
+    // (center - extent/2) is below the query's high edge.
+    let mut lat = start_lat;
+    while lat - h / 2.0 < bbox.max_lat && lat < 90.0 {
+        let mut lon = start_lon;
+        while lon - w / 2.0 < bbox.max_lon && lon < 180.0 {
+            let gh = Geohash::encode(lat, lon, len).expect("grid point is valid");
+            if gh.bbox().intersects(bbox) {
+                if out.len() >= max_cells {
+                    return Err(CoverError::TooManyCells(estimate));
+                }
+                out.push(gh);
+            }
+            lon += w;
+        }
+        lat += h;
+    }
+    Ok(out)
+}
+
+/// Number of cells [`cover_bbox`] returns, computed exactly but cheaply
+/// (row/column counting without materializing the cover).
+pub fn cover_len(bbox: &BBox, len: u8) -> usize {
+    let (h, w) = Geohash::cell_extent(len);
+    let count_axis = |lo: f64, hi: f64, origin: f64, step: f64, world_hi: f64| -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        // Index of the cell containing lo, and of the cell containing the
+        // last point strictly before hi.
+        let first = ((lo - origin) / step).floor() as i64;
+        let eps = step * 1e-9;
+        let last = ((hi - eps).min(world_hi - eps) - origin) / step;
+        let last = last.floor() as i64;
+        (last - first + 1).max(0) as usize
+    };
+    let rows = count_axis(bbox.min_lat, bbox.max_lat, -90.0, h, 90.0);
+    let cols = count_axis(bbox.min_lon, bbox.max_lon, -180.0, w, 180.0);
+    rows * cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> BBox {
+        BBox::new(min_lat, max_lat, min_lon, max_lon).unwrap()
+    }
+
+    #[test]
+    fn single_cell_query_covers_one_cell() {
+        // A tiny box strictly inside one geohash-4 cell.
+        let gh = Geohash::encode(40.0, -105.0, 4).unwrap();
+        let c = gh.bbox();
+        let (clat, clon) = c.center();
+        let tiny = bb(clat, clat + 1e-6, clon, clon + 1e-6);
+        let cover = cover_bbox(&tiny, 4);
+        assert_eq!(cover, vec![gh]);
+    }
+
+    #[test]
+    fn cover_contains_all_intersecting_cells() {
+        let q = bb(39.5, 41.5, -106.0, -104.0);
+        for len in 2..=5u8 {
+            let cover = cover_bbox(&q, len);
+            assert!(!cover.is_empty());
+            // Every covered cell intersects the query...
+            for gh in &cover {
+                assert!(gh.bbox().intersects(&q), "len {len}: {gh} doesn't intersect");
+            }
+            // ...and no duplicates.
+            let mut sorted = cover.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cover.len(), "len {len}: duplicates");
+            // Sampled interior points are all covered.
+            for i in 0..10 {
+                for j in 0..10 {
+                    let lat = q.min_lat + (i as f64 + 0.5) / 10.0 * q.lat_extent();
+                    let lon = q.min_lon + (j as f64 + 0.5) / 10.0 * q.lon_extent();
+                    let cell = Geohash::encode(lat, lon, len).unwrap();
+                    assert!(cover.contains(&cell), "len {len}: point ({lat},{lon}) uncovered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_len_matches_cover() {
+        let boxes = [
+            bb(39.5, 41.5, -106.0, -104.0),
+            bb(0.0, 16.0, 0.0, 32.0),
+            bb(-10.3, -9.7, 100.1, 101.9),
+            bb(88.0, 90.0, -180.0, -170.0),
+        ];
+        for q in &boxes {
+            for len in 1..=4u8 {
+                assert_eq!(
+                    cover_len(q, len),
+                    cover_bbox(q, len).len(),
+                    "mismatch for {q} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cover_rejects_huge_requests() {
+        let q = BBox::GLOBE;
+        match cover_bbox_bounded(&q, 6, 1000) {
+            Err(CoverError::TooManyCells(n)) => assert!(n > 1000),
+            other => panic!("expected TooManyCells, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_cover_rejects_bad_length() {
+        let q = bb(0.0, 1.0, 0.0, 1.0);
+        assert_eq!(cover_bbox_bounded(&q, 0, 10), Err(CoverError::BadLength(0)));
+        assert_eq!(cover_bbox_bounded(&q, 13, 10), Err(CoverError::BadLength(13)));
+    }
+
+    #[test]
+    fn half_open_east_north_edges() {
+        // Query box exactly matching one cell must cover exactly that cell,
+        // not its east/north neighbors.
+        let gh = Geohash::encode(10.0, 10.0, 3).unwrap();
+        let cover = cover_bbox(&gh.bbox(), 3);
+        assert_eq!(cover, vec![gh]);
+    }
+
+    #[test]
+    fn country_sized_cover_at_res_4() {
+        // Paper country class: 16x32 degrees. At geohash length 4
+        // (~0.176 x 0.352 deg) that is roughly 91*91 cells.
+        let q = bb(24.0, 40.0, -112.0, -80.0);
+        let cover = cover_bbox(&q, 4);
+        let n = cover.len();
+        assert!((8_000..10_000).contains(&n), "unexpected cover size {n}");
+    }
+
+    #[test]
+    fn globe_cover_at_len_1_is_32() {
+        let cover = cover_bbox(&BBox::GLOBE, 1);
+        assert_eq!(cover.len(), 32);
+    }
+
+    #[test]
+    fn pole_adjacent_cover() {
+        let q = bb(85.0, 90.0, 0.0, 45.0);
+        let cover = cover_bbox(&q, 2);
+        assert!(!cover.is_empty());
+        for gh in &cover {
+            assert!(gh.bbox().intersects(&q));
+        }
+    }
+}

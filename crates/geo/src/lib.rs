@@ -1,0 +1,47 @@
+//! # stash-geo
+//!
+//! Spatiotemporal indexing primitives for the STASH hierarchical aggregation
+//! cache (Mitra et al., IEEE CLUSTER 2019).
+//!
+//! STASH identifies every cached aggregate ("Cell") by a *spatial label* — a
+//! [Geohash](https://en.wikipedia.org/wiki/Geohash) bounding box — and a
+//! *temporal label* — a calendar bin at one of four temporal resolutions
+//! (year / month / day / hour). This crate provides those labels and all the
+//! label arithmetic the paper's graph relies on:
+//!
+//! * **Hierarchical edges** (§IV-B): [`Geohash::parent`] / [`Geohash::children`]
+//!   (a geohash of length *n* nests exactly 32 geohashes of length *n+1*) and
+//!   [`TimeBin::parent`] / [`TimeBin::children`] (calendar nesting).
+//! * **Lateral edges**: [`Geohash::neighbors`] (the 8 adjacent boxes at the
+//!   same resolution) and [`TimeBin::neighbors`] (previous / next bin).
+//! * **Query planning**: [`cover_bbox`] enumerates the geohashes of a
+//!   given length intersecting a query rectangle, and
+//!   [`TimeBin::cover_range`] enumerates the bins covering a time interval.
+//! * **Hotspot handling** (§VII-B3): [`Geohash::antipode`] finds the geohash
+//!   on the diametrically opposite side of the globe, used to pick *helper*
+//!   nodes maximally isolated from a hotspotted region.
+//!
+//! Geohashes are stored bit-packed ([`Geohash`] is two machine words), so all
+//! hierarchy operations are integer arithmetic — no string allocation on the
+//! query evaluation path.
+
+pub mod base32;
+pub mod bbox;
+pub mod cover;
+pub mod geohash;
+pub mod time;
+
+pub use bbox::BBox;
+pub use cover::{cover_bbox, cover_bbox_bounded, CoverError};
+pub use geohash::Geohash;
+pub use time::{TemporalRes, TimeBin, TimeRange};
+
+/// Maximum geohash length supported by the packed representation.
+///
+/// 12 characters × 5 bits = 60 bits, which fits the `u64` payload. The STASH
+/// paper evaluates spatial resolutions up to 7; 12 leaves generous headroom.
+pub const MAX_GEOHASH_LEN: u8 = 12;
+
+/// Number of children a geohash splits into when spatial resolution
+/// increases by one (base-32 alphabet).
+pub const GEOHASH_FANOUT: usize = 32;

@@ -1,0 +1,383 @@
+//! Mergeable per-attribute summary statistics.
+//!
+//! STASH returns "aggregated summary statistics" as the main content of a
+//! Cell (Table I of the paper). The statistics kept here — count, min, max,
+//! sum, sum of squares — are exactly the ones a visualization front-end
+//! needs for heatmaps and histograms (max temperature, mean humidity, …),
+//! and crucially they are **decomposable**: merging the summaries of the 32
+//! spatial children of a cell yields the summary of the parent, bit-for-bit
+//! identical to aggregating the raw observations directly. That algebraic
+//! property is what makes roll-up queries answerable from cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics for one attribute over one spatiotemporal bin.
+///
+/// An *empty* summary (`count == 0`) is the monoid identity: merging it into
+/// anything is a no-op, and its min/max/mean are undefined (`None`).
+///
+/// Serialization: the in-memory ±∞ sentinels of an empty summary are not
+/// representable in JSON (the front-end protocol, §VI-A), so the wire form
+/// carries `min`/`max` as optional fields — see the manual serde impls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    pub count: u64,
+    /// Minimum observed value; meaningless when `count == 0`.
+    min: f64,
+    /// Maximum observed value; meaningless when `count == 0`.
+    max: f64,
+    pub sum: f64,
+    /// Sum of squared values, for variance/stddev.
+    pub sum_sq: f64,
+}
+
+impl Default for SummaryStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl SummaryStats {
+    /// The monoid identity: a summary of zero observations.
+    pub const fn empty() -> Self {
+        SummaryStats {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Summary of a single observation.
+    pub fn of(value: f64) -> Self {
+        SummaryStats {
+            count: 1,
+            min: value,
+            max: value,
+            sum: value,
+            sum_sq: value * value,
+        }
+    }
+
+    /// Fold one more observation in.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Merge another summary into this one (commutative, associative,
+    /// identity = [`SummaryStats::empty`]).
+    #[inline]
+    pub fn merge(&mut self, other: &SummaryStats) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Merged copy (non-mutating form of [`merge`](Self::merge)).
+    pub fn merged(mut self, other: &SummaryStats) -> SummaryStats {
+        self.merge(other);
+        self
+    }
+
+    /// Aggregate a slice of raw values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut s = SummaryStats::empty();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Minimum, if any observation was aggregated.
+    #[inline]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, if any observation was aggregated.
+    #[inline]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, if any observation was aggregated.
+    #[inline]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population variance, if any observation was aggregated. Clamped at
+    /// zero to absorb floating-point cancellation.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        Some((self.sum_sq / self.count as f64 - mean * mean).max(0.0))
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Serialized footprint in bytes; used by STASH's configurable
+    /// in-memory Cell budget.
+    pub const fn estimated_bytes() -> usize {
+        std::mem::size_of::<SummaryStats>()
+    }
+}
+
+/// JSON-safe mirror of [`SummaryStats`]: optional extremes instead of ±∞
+/// sentinels.
+#[derive(Serialize, Deserialize)]
+struct WireSummary {
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl serde::Serialize for SummaryStats {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        WireSummary {
+            count: self.count,
+            min: self.min(),
+            max: self.max(),
+            sum: self.sum,
+            sum_sq: self.sum_sq,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SummaryStats {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let w = WireSummary::deserialize(deserializer)?;
+        if w.count > 0 && (w.min.is_none() || w.max.is_none()) {
+            return Err(serde::de::Error::custom(
+                "non-empty summary requires min and max",
+            ));
+        }
+        Ok(SummaryStats {
+            count: w.count,
+            min: w.min.unwrap_or(f64::INFINITY),
+            max: w.max.unwrap_or(f64::NEG_INFINITY),
+            sum: w.sum,
+            sum_sq: w.sum_sq,
+        })
+    }
+}
+
+/// The per-attribute summaries of one Cell, aligned with an
+/// [`AttrSchema`](crate::attr::AttrSchema): `summaries[i]` aggregates
+/// attribute `i`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CellSummary {
+    summaries: Vec<SummaryStats>,
+}
+
+impl CellSummary {
+    /// An empty summary for `n_attrs` attributes.
+    pub fn empty(n_attrs: usize) -> Self {
+        CellSummary {
+            summaries: vec![SummaryStats::empty(); n_attrs],
+        }
+    }
+
+    /// Wrap pre-computed per-attribute summaries.
+    pub fn from_parts(summaries: Vec<SummaryStats>) -> Self {
+        CellSummary { summaries }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Total observation count (identical across attributes when built via
+    /// [`push_row`](Self::push_row); taken from attribute 0).
+    pub fn count(&self) -> u64 {
+        self.summaries.first().map_or(0, |s| s.count)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Per-attribute summary accessor.
+    #[inline]
+    pub fn attr(&self, i: usize) -> Option<&SummaryStats> {
+        self.summaries.get(i)
+    }
+
+    /// All summaries, schema order.
+    #[inline]
+    pub fn attrs(&self) -> &[SummaryStats] {
+        &self.summaries
+    }
+
+    /// Fold in one observation row (`values[i]` is attribute `i`).
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the summary width.
+    #[inline]
+    pub fn push_row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.summaries.len(), "row width mismatch");
+        for (s, &v) in self.summaries.iter_mut().zip(values) {
+            s.push(v);
+        }
+    }
+
+    /// Merge another Cell's summary into this one.
+    ///
+    /// # Panics
+    /// Panics if attribute counts differ — merging summaries from different
+    /// schemas is always a bug.
+    pub fn merge(&mut self, other: &CellSummary) {
+        assert_eq!(
+            self.summaries.len(),
+            other.summaries.len(),
+            "schema mismatch in CellSummary::merge"
+        );
+        for (a, b) in self.summaries.iter_mut().zip(&other.summaries) {
+            a.merge(b);
+        }
+    }
+
+    /// Approximate in-memory footprint, for the cache budget.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<CellSummary>() + self.summaries.len() * SummaryStats::estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_identity() {
+        let mut a = SummaryStats::from_values(&[1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&SummaryStats::empty());
+        assert_eq!(a, before);
+        let b = SummaryStats::empty().merged(&before);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn push_equals_merge_of_singletons() {
+        let vals = [3.0, -1.5, 7.25, 0.0, 42.0];
+        let folded = SummaryStats::from_values(&vals);
+        let mut merged = SummaryStats::empty();
+        for &v in &vals {
+            merged.merge(&SummaryStats::of(v));
+        }
+        assert_eq!(folded, merged);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = SummaryStats::from_values(&[1.0, 2.0]);
+        let b = SummaryStats::from_values(&[-5.0]);
+        let c = SummaryStats::from_values(&[10.0, 0.5, 3.0]);
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    #[test]
+    fn statistics_values() {
+        let s = SummaryStats::from_values(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(8.0));
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.variance(), Some(5.0));
+        assert!((s.stddev().unwrap() - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_statistics_are_none() {
+        let s = SummaryStats::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.stddev(), None);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        // Values engineered for floating-point cancellation.
+        let s = SummaryStats::from_values(&[1e8 + 1.0, 1e8 + 1.0, 1e8 + 1.0]);
+        assert!(s.variance().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn cell_summary_rows() {
+        let mut cs = CellSummary::empty(3);
+        cs.push_row(&[1.0, 10.0, 100.0]);
+        cs.push_row(&[3.0, 30.0, 300.0]);
+        assert_eq!(cs.count(), 2);
+        assert_eq!(cs.attr(0).unwrap().mean(), Some(2.0));
+        assert_eq!(cs.attr(1).unwrap().max(), Some(30.0));
+        assert_eq!(cs.attr(2).unwrap().sum, 400.0);
+        assert!(cs.attr(3).is_none());
+    }
+
+    #[test]
+    fn cell_summary_merge_matches_combined_rows() {
+        let rows_a = [[1.0, 5.0], [2.0, 6.0]];
+        let rows_b = [[3.0, 7.0]];
+        let mut a = CellSummary::empty(2);
+        for r in &rows_a {
+            a.push_row(r);
+        }
+        let mut b = CellSummary::empty(2);
+        for r in &rows_b {
+            b.push_row(r);
+        }
+        let mut all = CellSummary::empty(2);
+        for r in rows_a.iter().chain(&rows_b) {
+            all.push_row(r);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn merge_rejects_schema_mismatch() {
+        let mut a = CellSummary::empty(2);
+        let b = CellSummary::empty(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_rejects_width_mismatch() {
+        let mut a = CellSummary::empty(2);
+        a.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn estimated_bytes_scales_with_attrs() {
+        let small = CellSummary::empty(1);
+        let big = CellSummary::empty(8);
+        assert!(big.estimated_bytes() > small.estimated_bytes());
+    }
+}

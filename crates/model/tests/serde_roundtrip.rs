@@ -1,0 +1,106 @@
+//! Wire-format tests: the front-end protocol is JSON (paper §VI-A — the
+//! Grafana panel "parses and displays summarization responses in JSON"),
+//! so every type crossing the client boundary must round-trip through
+//! serde_json without loss.
+
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult, SummaryStats};
+use std::str::FromStr;
+
+fn sample_key() -> CellKey {
+    CellKey::new(
+        Geohash::from_str("9q8y7").unwrap(),
+        TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+    )
+}
+
+fn sample_cell() -> Cell {
+    let mut c = Cell::empty(sample_key(), 4);
+    c.summary.push_row(&[21.5, 68.0, 0.0, 0.0]);
+    c.summary.push_row(&[-3.25, 91.5, 4.2, 12.0]);
+    c
+}
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+    let json = serde_json::to_string(v).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, v, "lossy roundtrip via {json}");
+}
+
+#[test]
+fn geohash_roundtrips() {
+    for s in ["9", "9q8y7", "zzzzzzzzzzzz", "0000"] {
+        roundtrip(&Geohash::from_str(s).unwrap());
+    }
+}
+
+#[test]
+fn time_types_roundtrip() {
+    roundtrip(&TimeBin::containing(TemporalRes::Hour, epoch_seconds(2015, 7, 4, 13, 0, 0)));
+    roundtrip(&TimeRange::whole_day(2015, 2, 2));
+    for res in TemporalRes::ALL {
+        roundtrip(&res);
+    }
+}
+
+#[test]
+fn bbox_roundtrips() {
+    roundtrip(&BBox::from_corner_extent(38.0, -105.0, 0.6, 1.2));
+    roundtrip(&BBox::GLOBE);
+}
+
+#[test]
+fn summary_stats_roundtrip_including_empty() {
+    roundtrip(&SummaryStats::from_values(&[1.5, -2.25, 1e6]));
+    // The empty summary's in-memory ±infinity sentinels travel as nulls.
+    let empty = SummaryStats::empty();
+    let json = serde_json::to_string(&empty).expect("empty serializes");
+    assert!(json.contains("\"min\":null"), "wire form uses null extremes: {json}");
+    roundtrip(&empty);
+    // A corrupt wire value (non-empty without extremes) is rejected.
+    let bad = r#"{"count":3,"min":null,"max":null,"sum":1.0,"sum_sq":1.0}"#;
+    assert!(serde_json::from_str::<SummaryStats>(bad).is_err());
+}
+
+#[test]
+fn cell_and_key_roundtrip() {
+    roundtrip(&sample_key());
+    roundtrip(&sample_cell());
+    roundtrip(&CellSummary::from_parts(vec![SummaryStats::of(5.0); 3]));
+}
+
+#[test]
+fn query_roundtrips() {
+    let q = AggQuery::new(
+        BBox::from_corner_extent(38.0, -105.0, 4.0, 8.0),
+        TimeRange::whole_day(2015, 2, 2),
+        4,
+        TemporalRes::Day,
+    );
+    roundtrip(&q);
+}
+
+#[test]
+fn query_result_roundtrips_and_is_renderable() {
+    let r = QueryResult {
+        cells: vec![sample_cell()],
+        cache_hits: 3,
+        derived_hits: 1,
+        misses: 2,
+    };
+    roundtrip(&r);
+    // The JSON shape a front-end consumes: cells carry keys and summaries.
+    let v: serde_json::Value = serde_json::to_value(&r).unwrap();
+    assert!(v["cells"].is_array());
+    assert_eq!(v["cells"].as_array().unwrap().len(), 1);
+    assert_eq!(v["cache_hits"], 3);
+}
+
+#[test]
+fn json_is_stable_across_serializations() {
+    let c = sample_cell();
+    let a = serde_json::to_string(&c).unwrap();
+    let b = serde_json::to_string(&c).unwrap();
+    assert_eq!(a, b, "serialization must be deterministic");
+}

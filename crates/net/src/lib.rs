@@ -1,0 +1,27 @@
+//! # stash-net
+//!
+//! The simulated cluster fabric for the STASH reproduction.
+//!
+//! The paper evaluates on a 120-node cluster; this crate substitutes an
+//! in-process message-passing fabric (DESIGN.md §2) with the properties the
+//! experiments depend on:
+//!
+//! * **Real concurrency** — every simulated node is an OS thread draining a
+//!   real channel, so queueing delay, hotspots, and head-of-line blocking
+//!   *emerge* rather than being modeled.
+//! * **Modeled wire time** — each message is held in a delay queue for
+//!   `base_latency + bytes / bandwidth` before delivery, without occupying
+//!   either endpoint (messages are genuinely in flight).
+//! * **Observability** — per-node inbox depth (the paper's hotspot trigger,
+//!   §VII-B1) and fabric-wide message/byte counters.
+//!
+//! The fabric is payload-generic: the cluster crate defines its own message
+//! enum and the ElasticSearch baseline its own; both share this router.
+
+pub mod rpc;
+pub mod router;
+pub mod stats;
+
+pub use router::{Endpoint, Envelope, NetConfig, NodeId, Router};
+pub use rpc::RpcTable;
+pub use stats::NetStats;

@@ -1,0 +1,373 @@
+//! Delay-queue message router: the simulated wire.
+//!
+//! [`Router::send`] stamps each message with a delivery deadline computed
+//! from the [`NetConfig`] cost model and parks it in a priority queue. A
+//! dedicated router thread delivers messages to the destination node's
+//! channel when their deadline passes. Neither sender nor receiver blocks
+//! for wire time — latency is genuinely *in flight*, so a node's measured
+//! service time reflects only its own work and queueing, as on real
+//! hardware.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::stats::NetStats;
+
+/// Identity of a simulated cluster node (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Wire cost model.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Fixed per-message latency (propagation + protocol overhead).
+    pub base_latency: Duration,
+    /// Payload throughput in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Messages a node sends to itself skip the wire when true (zero-hop
+    /// local dispatch, like a same-process function call).
+    pub loopback_is_free: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            // Scaled-down datacenter wire: experiments compare systems under
+            // the same fabric, so only ratios of disk-to-network matter.
+            base_latency: Duration::from_micros(150),
+            bytes_per_sec: 1.25e9, // ~10 Gb/s
+            loopback_is_free: true,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Wire time for a message of `bytes` payload.
+    pub fn latency(&self, bytes: usize) -> Duration {
+        self.base_latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+}
+
+/// A routed message.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub payload: M,
+}
+
+struct Parked<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+// Order by (due, seq) — BinaryHeap is a max-heap, so wrap in Reverse at the
+// usage site. seq breaks ties FIFO.
+impl<M> PartialEq for Parked<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Parked<M> {}
+impl<M> PartialOrd for Parked<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Parked<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct Shared<M> {
+    heap: Mutex<BinaryHeap<Reverse<Parked<M>>>>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The fabric: one per simulated cluster.
+///
+/// Cheap to clone (all state behind `Arc`); clones share the same wire.
+pub struct Router<M: Send + 'static> {
+    config: NetConfig,
+    inboxes: Arc<Vec<Sender<Envelope<M>>>>,
+    shared: Arc<Shared<M>>,
+    stats: Arc<NetStats>,
+    seq: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<M: Send + 'static> Clone for Router<M> {
+    fn clone(&self) -> Self {
+        Router {
+            config: self.config.clone(),
+            inboxes: Arc::clone(&self.inboxes),
+            shared: Arc::clone(&self.shared),
+            stats: Arc::clone(&self.stats),
+            seq: Arc::clone(&self.seq),
+        }
+    }
+}
+
+/// One node's attachment to the fabric: its identity plus the receiving end
+/// of its inbox.
+pub struct Endpoint<M> {
+    pub id: NodeId,
+    pub inbox: Receiver<Envelope<M>>,
+}
+
+impl<M: Send + 'static> Router<M> {
+    /// Build a fabric for `n_nodes` nodes. Returns the router plus one
+    /// [`Endpoint`] per node; the router thread runs until [`Router::shutdown`]
+    /// or until the last router clone is dropped.
+    pub fn new(n_nodes: usize, config: NetConfig) -> (Router<M>, Vec<Endpoint<M>>) {
+        assert!(n_nodes > 0, "cluster must have at least one node");
+        let mut senders = Vec::with_capacity(n_nodes);
+        let mut endpoints = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            endpoints.push(Endpoint { id: NodeId(i), inbox: rx });
+        }
+        let shared = Arc::new(Shared {
+            heap: Mutex::new(BinaryHeap::new()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let router = Router {
+            config,
+            inboxes: Arc::new(senders),
+            shared: Arc::clone(&shared),
+            stats: Arc::new(NetStats::default()),
+            seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        };
+        let thread_router = router.clone();
+        std::thread::Builder::new()
+            .name("stash-net-router".into())
+            .spawn(move || thread_router.run_delay_loop())
+            .expect("spawn router thread");
+        (router, endpoints)
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn n_nodes(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Fabric-wide counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The cost model in force.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Queue depth of a node's inbox — the paper's hotspot detection signal
+    /// ("the number of pending requests in its message queue", §VII-B1).
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inboxes[node.0].len()
+    }
+
+    /// Send `payload` of approximate wire size `bytes` from `src` to `dst`.
+    ///
+    /// Returns `false` if the destination endpoint has been dropped (node
+    /// stopped) or the fabric is shut down — senders treat that as a dead
+    /// peer, not an error.
+    pub fn send(&self, src: NodeId, dst: NodeId, payload: M, bytes: usize) -> bool {
+        assert!(dst.0 < self.inboxes.len(), "unknown destination {dst}");
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        self.stats.record_send(bytes);
+        let env = Envelope { src, dst, payload };
+        if self.config.loopback_is_free && src == dst {
+            return self.inboxes[dst.0].send(env).is_ok();
+        }
+        let due = Instant::now() + self.config.latency(bytes);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut heap = self.shared.heap.lock();
+        heap.push(Reverse(Parked { due, seq, env }));
+        // Wake the delay loop: the new head may be earlier than its sleep.
+        self.shared.wakeup.notify_one();
+        true
+    }
+
+    /// Stop the delay loop. Messages still parked are dropped, mirroring a
+    /// fabric teardown. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wakeup.notify_all();
+    }
+
+    fn run_delay_loop(self) {
+        let mut heap_guard = self.shared.heap.lock();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let now = Instant::now();
+            // Deliver everything due.
+            while let Some(Reverse(head)) = heap_guard.peek() {
+                if head.due > now {
+                    break;
+                }
+                let Reverse(parked) = heap_guard.pop().expect("peeked non-empty");
+                // Delivery failure means the endpoint is gone; drop quietly.
+                let _ = self.inboxes[parked.env.dst.0].send(parked.env);
+                self.stats.record_deliver();
+            }
+            // Sleep until the next deadline (or a new message arrives).
+            match heap_guard.peek() {
+                Some(Reverse(head)) => {
+                    let wait = head.due.saturating_duration_since(Instant::now());
+                    self.shared.wakeup.wait_for(&mut heap_guard, wait);
+                }
+                None => {
+                    self.shared.wakeup.wait_for(&mut heap_guard, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_to_destination() {
+        let (router, mut eps) = Router::<String>::new(3, NetConfig::default());
+        let ep2 = eps.remove(2);
+        assert!(router.send(NodeId(0), NodeId(2), "hello".into(), 5));
+        let env = ep2.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.payload, "hello");
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.dst, NodeId(2));
+        router.shutdown();
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let config = NetConfig {
+            base_latency: Duration::from_millis(20),
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+        };
+        let (router, mut eps) = Router::<u32>::new(2, config);
+        let ep1 = eps.remove(1);
+        let t0 = Instant::now();
+        router.send(NodeId(0), NodeId(1), 7, 10);
+        let env = ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(env.payload, 7);
+        assert!(elapsed >= Duration::from_millis(18), "delivered too fast: {elapsed:?}");
+        router.shutdown();
+    }
+
+    #[test]
+    fn loopback_skips_the_wire() {
+        let config = NetConfig {
+            base_latency: Duration::from_millis(250),
+            ..NetConfig::default()
+        };
+        let (router, mut eps) = Router::<u32>::new(1, config);
+        let ep = eps.remove(0);
+        let t0 = Instant::now();
+        router.send(NodeId(0), NodeId(0), 1, 10);
+        ep.inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(100), "loopback went over the wire");
+        router.shutdown();
+    }
+
+    #[test]
+    fn fifo_among_equal_deadlines() {
+        let config = NetConfig {
+            base_latency: Duration::from_millis(5),
+            bytes_per_sec: 1e12,
+            loopback_is_free: false,
+        };
+        let (router, mut eps) = Router::<u32>::new(2, config);
+        let ep1 = eps.remove(1);
+        for i in 0..100 {
+            router.send(NodeId(0), NodeId(1), i, 0);
+        }
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap().payload);
+        }
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted, "same-deadline messages reordered");
+        router.shutdown();
+    }
+
+    #[test]
+    fn bandwidth_term_grows_latency() {
+        let config = NetConfig {
+            base_latency: Duration::from_micros(10),
+            bytes_per_sec: 1e6, // 1 MB/s: 100 KB takes 100 ms
+            loopback_is_free: true,
+        };
+        assert!(config.latency(100_000) >= Duration::from_millis(99));
+        assert!(config.latency(0) < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn inbox_len_counts_pending() {
+        let (router, eps) = Router::<u32>::new(2, NetConfig {
+            base_latency: Duration::ZERO,
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+        });
+        // Self-sends bypass the delay loop, so they are queued immediately.
+        for _ in 0..5 {
+            router.send(NodeId(1), NodeId(1), 0, 0);
+        }
+        assert_eq!(router.inbox_len(NodeId(1)), 5);
+        assert_eq!(router.inbox_len(NodeId(0)), 0);
+        drop(eps);
+        router.shutdown();
+    }
+
+    #[test]
+    fn send_after_shutdown_fails() {
+        let (router, _eps) = Router::<u32>::new(1, NetConfig::default());
+        router.shutdown();
+        assert!(!router.send(NodeId(0), NodeId(0), 1, 0) || router.inbox_len(NodeId(0)) <= 1);
+        // Loopback may still succeed before the flag propagates; a second
+        // non-loopback send must be refused.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!router.send(NodeId(0), NodeId(0), 1, 0));
+    }
+
+    #[test]
+    fn stats_count_sends_and_bytes() {
+        let (router, eps) = Router::<u32>::new(2, NetConfig::default());
+        router.send(NodeId(0), NodeId(1), 1, 100);
+        router.send(NodeId(0), NodeId(1), 2, 200);
+        assert_eq!(router.stats().messages_sent(), 2);
+        assert_eq!(router.stats().bytes_sent(), 300);
+        drop(eps);
+        router.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_fabric_rejected() {
+        let _ = Router::<u32>::new(0, NetConfig::default());
+    }
+}

@@ -1,0 +1,167 @@
+//! Request/response correlation over the one-way fabric.
+//!
+//! The fabric only sends; callers that need an answer (a client waiting for
+//! a query result, a hotspotted node waiting for a Distress acknowledgement)
+//! register a pending slot here, ship the correlation id inside their
+//! message, and block on the returned receiver. The responder completes the
+//! slot by id.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A table of in-flight requests awaiting responses of type `R`.
+#[derive(Debug)]
+pub struct RpcTable<R> {
+    next_id: AtomicU64,
+    pending: Mutex<HashMap<u64, Sender<R>>>,
+}
+
+impl<R> Default for RpcTable<R> {
+    fn default() -> Self {
+        RpcTable {
+            next_id: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Why a wait ended without a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No response within the deadline; the slot has been reclaimed.
+    Timeout,
+    /// The responder dropped the slot without answering.
+    Canceled,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Canceled => write!(f, "rpc canceled"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl<R> RpcTable<R> {
+    /// Allocate a correlation id and its response slot.
+    pub fn register(&self) -> (u64, Receiver<R>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(id, tx);
+        (id, rx)
+    }
+
+    /// Deliver the response for `id`. Returns `false` when the id is unknown
+    /// (already completed, timed out, or never registered) — duplicate
+    /// responses are tolerated, mirroring at-least-once delivery.
+    pub fn complete(&self, id: u64, response: R) -> bool {
+        match self.pending.lock().remove(&id) {
+            Some(tx) => tx.send(response).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Block on a response slot with a deadline. On timeout the slot is
+    /// forgotten, so a late response is dropped rather than leaking.
+    pub fn wait(&self, id: u64, rx: &Receiver<R>, timeout: Duration) -> Result<R, RpcError> {
+        match rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&id);
+                Err(RpcError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Canceled),
+        }
+    }
+
+    /// Number of requests still awaiting responses.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Drop a pending slot (e.g. caller giving up early).
+    pub fn cancel(&self, id: u64) {
+        self.pending.lock().remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn complete_then_wait() {
+        let table = RpcTable::<String>::default();
+        let (id, rx) = table.register();
+        assert_eq!(table.in_flight(), 1);
+        assert!(table.complete(id, "ok".into()));
+        let got = table.wait(id, &rx, Duration::from_secs(1)).unwrap();
+        assert_eq!(got, "ok");
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn timeout_reclaims_slot() {
+        let table = RpcTable::<u32>::default();
+        let (id, rx) = table.register();
+        let err = table.wait(id, &rx, Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        assert_eq!(table.in_flight(), 0);
+        // A late response is ignored.
+        assert!(!table.complete(id, 5));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_ids() {
+        let table = RpcTable::<u32>::default();
+        assert!(!table.complete(999, 1));
+        let (id, rx) = table.register();
+        assert!(table.complete(id, 1));
+        assert!(!table.complete(id, 2), "duplicate response accepted");
+        assert_eq!(table.wait(id, &rx, Duration::from_secs(1)).unwrap(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let table = Arc::new(RpcTable::<u32>::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&table);
+                std::thread::spawn(move || (0..100).map(|_| t.register().0).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400);
+    }
+
+    #[test]
+    fn cancel_drops_slot() {
+        let table = RpcTable::<u32>::default();
+        let (id, _rx) = table.register();
+        table.cancel(id);
+        assert_eq!(table.in_flight(), 0);
+        assert!(!table.complete(id, 1));
+    }
+
+    #[test]
+    fn cross_thread_completion() {
+        let table = Arc::new(RpcTable::<u64>::default());
+        let (id, rx) = table.register();
+        let t = Arc::clone(&table);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            t.complete(id, 42);
+        });
+        assert_eq!(table.wait(id, &rx, Duration::from_secs(2)).unwrap(), 42);
+        h.join().unwrap();
+    }
+}

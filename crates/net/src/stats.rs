@@ -1,0 +1,78 @@
+//! Fabric-wide counters, shared lock-free across router clones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Message and byte counters for a [`Router`](crate::Router).
+///
+/// Relaxed ordering everywhere: these are monitoring counters, not
+/// synchronization. (Per the concurrency guide: counters that no control
+/// flow depends on need no happens-before edges.)
+#[derive(Debug, Default)]
+pub struct NetStats {
+    messages_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deliver(&self) {
+        self.messages_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages accepted by [`Router::send`](crate::Router::send).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages that completed their wire delay and were handed to an inbox
+    /// (loopback sends skip the wire and are not counted here).
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes accepted.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::default();
+        s.record_send(10);
+        s.record_send(20);
+        s.record_deliver();
+        assert_eq!(s.messages_sent(), 2);
+        assert_eq!(s.bytes_sent(), 30);
+        assert_eq!(s.messages_delivered(), 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let s = std::sync::Arc::new(NetStats::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_send(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.messages_sent(), 8000);
+        assert_eq!(s.bytes_sent(), 8000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the fabric: exactly-once delivery, per-pair FIFO
+//! among equal-latency messages, and RPC-table consistency under random
+//! interleavings.
+
+use proptest::prelude::*;
+use stash_net::{NetConfig, NodeId, Router, RpcTable};
+use std::time::Duration;
+
+fn fast_config() -> NetConfig {
+    NetConfig {
+        base_latency: Duration::from_micros(100),
+        bytes_per_sec: 1e12,
+        loopback_is_free: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every accepted message is delivered exactly once, to the right
+    /// destination, with payload intact.
+    #[test]
+    fn exactly_once_delivery(sends in prop::collection::vec((0usize..4, 0usize..4), 1..150)) {
+        let (router, endpoints) = Router::<(usize, usize)>::new(4, fast_config());
+        let mut expected_per_dst = vec![0usize; 4];
+        for (seq, &(src, dst)) in sends.iter().enumerate() {
+            prop_assert!(router.send(NodeId(src), NodeId(dst), (seq, dst), 8));
+            expected_per_dst[dst] += 1;
+        }
+        let mut got = std::collections::HashSet::new();
+        for (i, ep) in endpoints.iter().enumerate() {
+            for _ in 0..expected_per_dst[i] {
+                let env = ep.inbox.recv_timeout(Duration::from_secs(5)).expect("delivery");
+                prop_assert_eq!(env.dst, NodeId(i));
+                prop_assert_eq!(env.payload.1, i, "payload routed to wrong node");
+                prop_assert!(got.insert(env.payload.0), "duplicate delivery of {}", env.payload.0);
+            }
+            // Nothing extra arrives.
+            prop_assert!(ep.inbox.try_recv().is_err(), "spurious message at node {i}");
+        }
+        prop_assert_eq!(got.len(), sends.len());
+        router.shutdown();
+    }
+
+    /// Same-size messages between one pair keep their order (equal
+    /// latencies tie-break FIFO).
+    #[test]
+    fn per_pair_fifo(n in 1usize..100) {
+        let (router, mut endpoints) = Router::<usize>::new(2, fast_config());
+        let ep = endpoints.remove(1);
+        for i in 0..n {
+            router.send(NodeId(0), NodeId(1), i, 16);
+        }
+        let mut got = Vec::with_capacity(n);
+        for _ in 0..n {
+            got.push(ep.inbox.recv_timeout(Duration::from_secs(5)).unwrap().payload);
+        }
+        let sorted: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(got, sorted);
+        router.shutdown();
+    }
+
+    /// RPC table under random complete/cancel interleavings: each slot
+    /// resolves at most once and the table never leaks entries.
+    #[test]
+    fn rpc_table_resolves_each_slot_once(actions in prop::collection::vec(any::<bool>(), 1..100)) {
+        let table = RpcTable::<usize>::default();
+        let mut live = Vec::new();
+        for (i, complete) in actions.iter().enumerate() {
+            let (id, rx) = table.register();
+            if *complete {
+                prop_assert!(table.complete(id, i));
+                prop_assert!(!table.complete(id, i + 1_000), "double completion accepted");
+                prop_assert_eq!(table.wait(id, &rx, Duration::from_secs(1)).unwrap(), i);
+            } else {
+                live.push((id, rx));
+            }
+        }
+        prop_assert_eq!(table.in_flight(), live.len());
+        for (id, _rx) in &live {
+            table.cancel(*id);
+        }
+        prop_assert_eq!(table.in_flight(), 0);
+    }
+}

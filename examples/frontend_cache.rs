@@ -1,0 +1,65 @@
+//! Front-end STASH graph + prefetching (the paper's §IX-A future work):
+//! a client-side cache absorbs narrow-browsing interactions entirely, and
+//! a momentum prefetcher warms the next predicted viewport.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example frontend_cache
+//! ```
+
+use stash::cluster::{ClusterConfig, Prefetcher, SimCluster};
+use stash::data::{QuerySizeClass, WorkloadConfig, WorkloadGen};
+use std::time::Instant;
+
+fn main() {
+    println!("booting cluster with a front-end caching client…\n");
+    let cluster = SimCluster::new(ClusterConfig::default());
+    let plain = cluster.client();
+    let cached = cluster.caching_client(50_000);
+    let mut prefetcher = Prefetcher::new();
+
+    let wl = WorkloadGen::new(WorkloadConfig::default());
+    let mut rng = rand::thread_rng();
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::County);
+
+    // A narrow browsing session: pan back and forth over a county.
+    let mut session = Vec::new();
+    session.extend(wl.pan_star(start, 0.25));
+    session.extend(wl.pan_star(start, 0.25)); // the user returns to views
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>12}",
+        "interaction", "plain (ms)", "front-end (ms)", "prefetched"
+    );
+    for (i, q) in session.iter().enumerate() {
+        // Plain client: every interaction is a round trip to the cluster.
+        let t0 = Instant::now();
+        plain.query(q).expect("plain");
+        let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Caching client: local graph first; misses ship only subqueries.
+        let t1 = Instant::now();
+        cached.query(q).expect("cached");
+        let cached_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Prefetch the momentum-predicted next viewport in the background
+        // (here: synchronously, to keep the output deterministic).
+        let prefetched = if let Some(next) = prefetcher.observe_and_predict(q) {
+            cached.query(&next).expect("prefetch");
+            "yes"
+        } else {
+            ""
+        };
+
+        println!("{:<28} {plain_ms:>14.2} {cached_ms:>14.2} {prefetched:>12}", format!("step {}", i + 1));
+    }
+
+    let (local, remote) = cached.interaction_stats();
+    println!(
+        "\nfront-end graph: {} cells; {} of {} interactions never left the client",
+        cached.cached_cells(),
+        local,
+        local + remote
+    );
+    cluster.shutdown();
+}

@@ -1,0 +1,75 @@
+//! A full visual-exploration session: the OLAP navigation operators of
+//! paper §V-B (dice, pan, drill-down, roll-up) driven against a live STASH
+//! cluster, with per-interaction latency and cache provenance.
+//!
+//! This is the workload STASH is built for: every interaction overlaps the
+//! previous ones, so the cache hit ratio climbs as the session progresses.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example visual_exploration
+//! ```
+
+use stash::cluster::{ClusterClient, ClusterConfig, SimCluster};
+use stash::data::{WorkloadConfig, WorkloadGen};
+use stash::geo::BBox;
+use stash::model::{AggQuery, QueryResult};
+use std::time::Instant;
+
+fn step(client: &ClusterClient, label: &str, query: &AggQuery) -> QueryResult {
+    let t0 = Instant::now();
+    let result = client.query(query).expect("query");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{label:<28} {ms:>9.2} ms   cells={:<5} hits={:<5} derived={:<4} fetched={:<5} hit-ratio={:>4.0}%",
+        result.cells.len(),
+        result.cache_hits,
+        result.derived_hits,
+        result.misses,
+        result.hit_ratio() * 100.0
+    );
+    result
+}
+
+fn main() {
+    println!("booting STASH cluster…\n");
+    let cluster = SimCluster::new(ClusterConfig::default());
+    let client = cluster.client();
+    let workload = WorkloadGen::new(WorkloadConfig::default());
+
+    // The analyst starts on a state-sized view over the Colorado Rockies.
+    let state = BBox::from_corner_extent(37.0, -109.0, 4.0, 8.0);
+
+    println!("== 1. descending iterative dicing (zooming the polygon in) ==");
+    for (i, q) in workload.dice_descending(state, 5, 0.20).iter().enumerate() {
+        step(&client, &format!("dice step {} ({:.1}x{:.1} deg)", i + 1, q.bbox.lat_extent(), q.bbox.lon_extent()), q);
+    }
+
+    println!("\n== 2. panning around the diced region (8 directions, 20%) ==");
+    let focus = workload.dice_descending(state, 5, 0.20).last().unwrap().clone();
+    for (i, q) in workload.pan_star(focus.bbox, 0.20).iter().enumerate().skip(1) {
+        step(&client, &format!("pan direction {i}"), q);
+    }
+
+    println!("\n== 3. drill-down (spatial resolution 2 -> 5) ==");
+    for q in workload.drill_down(focus.bbox, 2, 5) {
+        step(&client, &format!("drill to resolution {}", q.spatial_res), &q);
+    }
+
+    println!("\n== 4. roll-up (5 -> 2), served by merging cached children ==");
+    for q in workload.roll_up(focus.bbox, 5, 2) {
+        step(&client, &format!("roll up to resolution {}", q.spatial_res), &q);
+    }
+
+    // Session summary: the collective cache built by this one user.
+    println!("\n== session summary ==");
+    println!("cells cached across cluster: {}", cluster.total_cached_cells());
+    let stats = cluster.node_stats();
+    let hits: u64 = stats.iter().map(|s| s.cache_hits).sum();
+    let misses: u64 = stats.iter().map(|s| s.cache_misses).sum();
+    let derived: u64 = stats.iter().map(|s| s.derived).sum();
+    let disk: u64 = stats.iter().map(|s| s.disk_reads).sum();
+    println!("graph hits: {hits}, misses: {misses}, derived cells: {derived}, block reads: {disk}");
+
+    cluster.shutdown();
+}

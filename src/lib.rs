@@ -1,0 +1,68 @@
+//! # stash
+//!
+//! A from-scratch Rust reproduction of **STASH: Fast Hierarchical
+//! Aggregation Queries for Effective Visual Spatiotemporal Explorations**
+//! (Mitra, Khandelwal, Pallickara & Pallickara, IEEE CLUSTER 2019).
+//!
+//! STASH is a distributed in-memory caching middleware between a
+//! visualization front-end and a distributed file system: it caches
+//! *aggregated* query results ("Cells") in a hierarchical multi-resolution
+//! graph dispersed over a zero-hop DHT, reuses them across overlapping /
+//! nested / adjacent queries, and absorbs hotspots by replicating the
+//! hottest sub-graphs ("Cliques") to antipodal helper nodes.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`geo`] | geohash codec, bbox math, temporal hierarchy |
+//! | [`model`] | Cells, summary statistics, levels, query types |
+//! | [`data`] | synthetic NAM-like dataset + workload generators |
+//! | [`net`] | simulated cluster fabric (delay-queue router) |
+//! | [`dfs`] | Galileo-like zero-hop-DHT block store |
+//! | [`core`] | the STASH graph, PLM, freshness, cliques, routing |
+//! | [`cluster`] | the full simulated deployment + client API |
+//! | [`elastic`] | the ElasticSearch-like comparison baseline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stash::cluster::{ClusterConfig, SimCluster};
+//! use stash::model::AggQuery;
+//! use stash::geo::{BBox, TemporalRes, TimeRange};
+//!
+//! // Boot a small simulated cluster with STASH enabled.
+//! let cluster = SimCluster::new(ClusterConfig {
+//!     n_nodes: 2,
+//!     disk: stash::dfs::DiskModel::free(), // no modeled disk in doctests
+//!     ..ClusterConfig::default()
+//! });
+//! let client = cluster.client();
+//!
+//! // One front-end interaction = one aggregation query.
+//! let query = AggQuery::new(
+//!     BBox::from_corner_extent(38.0, -105.0, 0.6, 1.2), // a county
+//!     TimeRange::whole_day(2015, 2, 2),
+//!     4,                     // spatial resolution: geohash length 4
+//!     TemporalRes::Day,      // temporal resolution
+//! );
+//! let cold = client.query(&query).unwrap();
+//! assert!(cold.misses > 0); // nothing cached yet
+//!
+//! let warm = client.query(&query).unwrap();
+//! assert_eq!(warm.misses, 0); // served entirely from STASH
+//! assert_eq!(warm.total_count(), cold.total_count());
+//! cluster.shutdown();
+//! ```
+
+pub use stash_cluster as cluster;
+pub use stash_core as core;
+pub use stash_data as data;
+pub use stash_dfs as dfs;
+pub use stash_elastic as elastic;
+pub use stash_geo as geo;
+pub use stash_model as model;
+pub use stash_net as net;
+
+/// Crate version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

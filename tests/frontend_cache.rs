@@ -1,0 +1,141 @@
+//! Integration tests for the §IX-A future-work features: the front-end
+//! STASH graph (client-side caching) and the momentum prefetcher.
+
+use stash::cluster::{ClusterConfig, Mode, Prefetcher, SimCluster};
+use stash::data::{GeneratorConfig, QuerySizeClass, WorkloadConfig, WorkloadGen};
+use stash::dfs::DiskModel;
+
+fn cluster(mode: Mode) -> SimCluster {
+    SimCluster::new(ClusterConfig {
+        n_nodes: 3,
+        mode,
+        disk: DiskModel::free(),
+        generator: GeneratorConfig {
+            seed: 31,
+            obs_per_deg2_per_day: 40.0,
+            max_obs_per_block: 50_000,
+        },
+        scan_cost_per_obs: std::time::Duration::ZERO,
+        cell_service_cost: std::time::Duration::ZERO,
+        ..ClusterConfig::default()
+    })
+}
+
+fn workload() -> WorkloadGen {
+    WorkloadGen::new(WorkloadConfig {
+        spatial_res: 3,
+        ..WorkloadConfig::default()
+    })
+}
+
+#[test]
+fn caching_client_matches_plain_client() {
+    let stash = cluster(Mode::Stash);
+    let plain = stash.client();
+    let cached = stash.caching_client(10_000);
+    let wl = workload();
+    let mut rng = rand::thread_rng();
+
+    let start = wl.random_bbox(&mut rng, QuerySizeClass::State);
+    let mut session = wl.dice_descending(start, 3, 0.2);
+    session.extend(wl.pan_star(session.last().unwrap().bbox, 0.25));
+
+    for (i, q) in session.iter().enumerate() {
+        let a = plain.query(q).expect("plain");
+        let b = cached.query(q).expect("cached");
+        assert_eq!(a.total_count(), b.total_count(), "step {i}");
+        assert_eq!(a.cells.len(), b.cells.len(), "step {i}");
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.key, cb.key, "step {i}");
+            assert_eq!(ca.summary.count(), cb.summary.count(), "step {i}");
+        }
+    }
+    stash.shutdown();
+}
+
+#[test]
+fn repeat_interactions_never_leave_the_client() {
+    let stash = cluster(Mode::Stash);
+    let cached = stash.caching_client(10_000);
+    let wl = workload();
+    let mut rng = rand::thread_rng();
+    let q = wl.random_query(&mut rng, QuerySizeClass::County);
+
+    let first = cached.query(&q).expect("first");
+    assert!(first.misses > 0, "first interaction must fetch");
+    let net_before = stash.net_stats().messages_sent();
+    for _ in 0..5 {
+        let again = cached.query(&q).expect("repeat");
+        assert_eq!(again.misses, 0);
+        assert_eq!(again.total_count(), first.total_count());
+    }
+    assert_eq!(
+        stash.net_stats().messages_sent(),
+        net_before,
+        "repeat interactions must not touch the network at all"
+    );
+    let (local, remote) = cached.interaction_stats();
+    assert_eq!(local, 5);
+    assert_eq!(remote, 1);
+    stash.shutdown();
+}
+
+#[test]
+fn partial_overlap_ships_only_missing_cells() {
+    let stash = cluster(Mode::Stash);
+    let cached = stash.caching_client(10_000);
+    let wl = workload();
+    let mut rng = rand::thread_rng();
+    let q0 = wl.random_query(&mut rng, QuerySizeClass::State);
+    let panned = q0.panned(0.25, 0.0, 1.0);
+
+    let r0 = cached.query(&q0).expect("first");
+    let r1 = cached.query(&panned).expect("panned");
+    // The overlap is served locally; only the leading edge is fetched.
+    assert!(r1.cache_hits > 0, "pan must reuse the local graph");
+    assert!(r1.misses < r0.misses, "pan must fetch less than the cold view");
+    stash.shutdown();
+}
+
+#[test]
+fn prefetched_viewport_makes_the_next_pan_local() {
+    let stash = cluster(Mode::Stash);
+    let cached = stash.caching_client(10_000);
+    let mut prefetcher = Prefetcher::new();
+    let wl = workload();
+    let mut rng = rand::thread_rng();
+
+    let q0 = wl.random_query(&mut rng, QuerySizeClass::County);
+    let q1 = q0.panned(1.0, 0.0, 1.0); // full-extent pan east
+    let q2 = q1.panned(1.0, 0.0, 1.0); // user continues east
+
+    cached.query(&q0).expect("q0");
+    prefetcher.observe_and_predict(&q0);
+    cached.query(&q1).expect("q1");
+    let predicted = prefetcher.observe_and_predict(&q1).expect("momentum east");
+    assert_eq!(predicted.bbox, q2.bbox, "momentum must predict the next viewport");
+    cached.query(&predicted).expect("prefetch");
+
+    // The user's actual next interaction is fully local.
+    let r2 = cached.query(&q2).expect("q2");
+    assert_eq!(r2.misses, 0, "prefetched viewport must be a complete local hit");
+    stash.shutdown();
+}
+
+#[test]
+fn client_cache_capacity_is_bounded() {
+    let stash = cluster(Mode::Stash);
+    let cached = stash.caching_client(50); // tiny front-end budget
+    let wl = workload();
+    let mut rng = rand::thread_rng();
+    for _ in 0..6 {
+        let q = wl.random_query(&mut rng, QuerySizeClass::State);
+        cached.query(&q).expect("query");
+        assert!(
+            cached.cached_cells() <= 50,
+            "front-end graph exceeded its budget: {}",
+            cached.cached_cells()
+        );
+    }
+    stash.shutdown();
+}
