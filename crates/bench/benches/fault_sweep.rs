@@ -1,0 +1,58 @@
+//! Criterion wrapper for the fault sweep: one panning mix driven on a
+//! healthy fabric vs under 5% uniform message loss. Per-iteration time is
+//! inverse throughput; the gap between the two functions is the price of
+//! the retry/failover machinery actually firing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_bench::harness::drive_concurrent;
+use stash_bench::Scale;
+use stash_data::QuerySizeClass;
+use stash_net::FaultPlan;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    // A small mix: fault runs pay real timeout waits, so keep iterations
+    // bounded while still scattering across every node.
+    let queries = Arc::new(wl.throughput_mix(&mut rng, QuerySizeClass::County, 5, 10, 0.10));
+
+    let mut group = c.benchmark_group("fault_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    for drop in [0.0, 0.05] {
+        let cluster = scale.stash_cluster_with(|cfg| {
+            cfg.sub_rpc_timeout = Duration::from_millis(500);
+            cfg.retry_backoff = Duration::from_millis(2);
+            cfg.client_timeout = Duration::from_secs(30);
+            cfg.client_retries = 9;
+        });
+        if drop > 0.0 {
+            cluster
+                .router()
+                .install_faults(FaultPlan::new(scale.seed ^ 0xFA17).drop_all(drop));
+        }
+        group.bench_function(
+            format!("drop{:.0}pct/{}req", drop * 100.0, queries.len()),
+            |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        cluster.clear_cache();
+                        let t0 = Instant::now();
+                        drive_concurrent(&cluster, Arc::clone(&queries), scale.clients);
+                        total += t0.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,19 +5,21 @@
 //! cargo run -p stash-bench --release --bin figures -- --fig 6a --fig 8a
 //! cargo run -p stash-bench --release --bin figures -- --all --scale small
 //! cargo run -p stash-bench --release --bin figures -- --ablations
+//! cargo run -p stash-bench --release --bin figures -- --fault-sweep --scale small
 //! cargo run -p stash-bench --release --bin figures -- --all --markdown out.md
 //! ```
 //!
 //! Each figure prints a console table; `--markdown FILE` additionally
 //! appends GitHub-flavored tables (the format EXPERIMENTS.md embeds).
 
-use stash_bench::{ablation, fig6, fig7, fig8, report::Table, Scale};
+use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, report::Table, Scale};
 use std::io::Write;
 
 struct Args {
     figs: Vec<String>,
     all: bool,
     ablations: bool,
+    fault_sweep: bool,
     scale: Scale,
     markdown: Option<String>,
 }
@@ -27,6 +29,7 @@ fn parse_args() -> Args {
         figs: Vec::new(),
         all: false,
         ablations: false,
+        fault_sweep: false,
         scale: Scale::paper(),
         markdown: None,
     };
@@ -35,6 +38,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--all" => args.all = true,
             "--ablations" => args.ablations = true,
+            "--fault-sweep" => args.fault_sweep = true,
             "--fig" => {
                 let f = it.next().expect("--fig needs a value (e.g. 6a)");
                 args.figs.push(f.to_lowercase());
@@ -49,14 +53,14 @@ fn parse_args() -> Args {
             "--markdown" => args.markdown = Some(it.next().expect("--markdown needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--all] [--ablations] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
+                    "usage: figures [--all] [--ablations] [--fault-sweep] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other:?} (try --help)"),
         }
     }
-    if !args.all && args.figs.is_empty() && !args.ablations {
+    if !args.all && args.figs.is_empty() && !args.ablations && !args.fault_sweep {
         args.all = true;
     }
     args
@@ -126,6 +130,10 @@ fn main() {
             "Ablation 4 — reroute probability sweep (hotspot burst)",
             "p=0 never sheds; p=1 relocates the hotspot; intermediate p balances",
         ));
+    }
+
+    if args.fault_sweep {
+        emit(fault_sweep::table(&fault_sweep::run(scale)));
     }
 
     if let Some(path) = args.markdown {

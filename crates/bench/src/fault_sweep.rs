@@ -1,0 +1,91 @@
+//! Fault sweep — the robustness experiment the paper doesn't have.
+//!
+//! §VIII evaluates STASH on a failure-free fabric. This harness hook
+//! replays Fig. 6b's panning throughput mix while a seeded
+//! [`FaultPlan`](stash_net::FaultPlan) drops a growing fraction of all
+//! messages, and reports what the retry/failover machinery costs: success
+//! stays at 100 % by construction (the driver panics on any client error),
+//! so the interesting columns are throughput decay and how much repair
+//! traffic (timeouts → retries → DFS replica failover) the loss induced.
+
+use crate::harness::{drive_concurrent, Scale};
+use crate::report::Table;
+use stash_data::QuerySizeClass;
+use stash_net::FaultPlan;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One sweep point: uniform drop probability and what the cluster did
+/// under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Uniform per-message drop probability, in percent.
+    pub drop_pct: f64,
+    pub rps: f64,
+    /// Messages the fabric lost (fault plan + crashed/stopped endpoints).
+    pub dropped: u64,
+    /// Sends the fabric refused, summed over nodes (each one triggered a
+    /// failover upstream).
+    pub send_failures: u64,
+}
+
+/// Drive the panning mix at each drop rate on a fresh STASH cluster with
+/// chaos-tuned deadlines (the defaults assume a healthy fabric and would
+/// stall for 30 s per lost sub-RPC).
+pub fn run(scale: &Scale) -> Vec<Row> {
+    let wl = scale.workload();
+    let mut rows = Vec::new();
+    for &drop in &[0.0, 0.01, 0.02, 0.05] {
+        let mut rng = scale.rng();
+        let pans = 20usize;
+        let n_rects = (scale.throughput_requests / (pans + 1)).max(1);
+        let queries =
+            Arc::new(wl.throughput_mix(&mut rng, QuerySizeClass::County, n_rects, pans, 0.10));
+
+        let cluster = scale.stash_cluster_with(|c| {
+            c.sub_rpc_timeout = Duration::from_millis(500);
+            c.retry_backoff = Duration::from_millis(2);
+            c.client_timeout = Duration::from_secs(30);
+            c.client_retries = 9;
+        });
+        if drop > 0.0 {
+            cluster
+                .router()
+                .install_faults(FaultPlan::new(scale.seed ^ 0xFA17).drop_all(drop));
+        }
+        let (secs, _) = drive_concurrent(&cluster, Arc::clone(&queries), scale.clients);
+        let dropped = cluster.router().stats().messages_dropped();
+        let send_failures = cluster.node_stats().iter().map(|s| s.send_failures).sum();
+        cluster.shutdown();
+
+        rows.push(Row {
+            drop_pct: drop * 100.0,
+            rps: queries.len() as f64 / secs,
+            dropped,
+            send_failures,
+        });
+    }
+    rows
+}
+
+pub fn table(rows: &[Row]) -> Table {
+    let baseline = rows.first().map_or(0.0, |r| r.rps);
+    let mut t = Table::new(
+        "Fault sweep — STASH throughput under uniform message loss (100% success)",
+        &["drop %", "req/s", "% of healthy", "msgs dropped", "send failures"],
+    )
+    .with_note(
+        "every request still answers exactly (retries + DFS replica failover); \
+         the drop rate buys only latency, never wrong or missing cells",
+    );
+    for r in rows {
+        t.push(vec![
+            format!("{:.0}%", r.drop_pct),
+            format!("{:.1}", r.rps),
+            format!("{:.2}%", 100.0 * r.rps / baseline.max(1e-9)),
+            r.dropped.to_string(),
+            r.send_failures.to_string(),
+        ]);
+    }
+    t
+}

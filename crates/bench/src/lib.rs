@@ -14,6 +14,7 @@
 //! | [`fig7::zooming`] | Fig. 7d/7e | drill-down/roll-up with 50/75/100 % prepopulation |
 //! | [`fig8`] | Fig. 8a–8c | the same pan/dice streams vs the ES-like baseline |
 //! | [`ablation`] | DESIGN.md §8 | dispersion, derivation, helper selection, reroute sweep |
+//! | [`fault_sweep`] | — (robustness) | throughput under uniform message loss, 100% success |
 //!
 //! Experiments run at a configurable [`Scale`]; `Scale::small()` keeps
 //! `cargo bench` minutes-long while `Scale::paper()` is the configuration
@@ -22,6 +23,7 @@
 //! the paper — see DESIGN.md §7.
 
 pub mod ablation;
+pub mod fault_sweep;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

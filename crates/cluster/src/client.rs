@@ -6,7 +6,7 @@
 //! back is what the WorldMap panel would render. Clients are cheap to
 //! clone; the throughput experiments run hundreds of them concurrently.
 
-use crate::protocol::Msg;
+use crate::protocol::{ClusterError, Msg};
 use stash_model::{AggQuery, QueryResult};
 use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
@@ -22,7 +22,7 @@ pub enum ClientError {
     /// The cluster is shutting down.
     Disconnected,
     /// The cluster answered with an error.
-    Remote(String),
+    Remote(ClusterError),
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,19 +42,21 @@ impl std::error::Error for ClientError {}
 pub struct ClusterClient {
     router: Router<Msg>,
     gateway: NodeId,
-    rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+    rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
     n_nodes: usize,
     next_coordinator: Arc<AtomicUsize>,
     timeout: Duration,
+    retries: u32,
 }
 
 impl ClusterClient {
     pub(crate) fn new(
         router: Router<Msg>,
         gateway: NodeId,
-        rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+        rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
         n_nodes: usize,
         timeout: Duration,
+        retries: u32,
     ) -> Self {
         ClusterClient {
             router,
@@ -63,15 +65,39 @@ impl ClusterClient {
             n_nodes,
             next_coordinator: Arc::new(AtomicUsize::new(0)),
             timeout,
+            retries,
         }
     }
 
     /// Issue one aggregation query; blocks until the summary arrives.
     /// Coordinators rotate round-robin, mimicking a front-end load
-    /// balancer.
+    /// balancer that skips coordinators known to be down; transient
+    /// failures (timeout, crash mid-coordination) are retried on the next
+    /// live coordinator, up to `client_retries` extra attempts.
     pub fn query(&self, query: &AggQuery) -> Result<QueryResult, ClientError> {
-        let coord = self.next_coordinator.fetch_add(1, Ordering::Relaxed) % self.n_nodes;
-        self.query_at(query, coord)
+        let mut last = ClientError::Disconnected;
+        for _ in 0..=self.retries {
+            // Pick the next coordinator the fabric still talks to.
+            let mut coord = None;
+            for _ in 0..self.n_nodes {
+                let c = self.next_coordinator.fetch_add(1, Ordering::Relaxed) % self.n_nodes;
+                if !self.router.is_crashed(NodeId(c)) {
+                    coord = Some(c);
+                    break;
+                }
+            }
+            let Some(coord) = coord else {
+                return Err(ClientError::Disconnected); // every node is down
+            };
+            match self.query_at(query, coord) {
+                Ok(result) => return Ok(result),
+                Err(ClientError::Remote(e)) if !e.is_transient() => {
+                    return Err(ClientError::Remote(e)); // deterministic: retry is futile
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     /// Issue a query through a specific coordinator node (experiments that
@@ -107,7 +133,7 @@ impl ClusterClient {
 /// Runs on its own thread until shutdown.
 pub(crate) fn run_gateway(
     inbox: crossbeam::channel::Receiver<Envelope<Msg>>,
-    rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+    rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
 ) {
     while let Ok(env) = inbox.recv() {
         match env.payload {

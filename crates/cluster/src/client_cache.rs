@@ -13,7 +13,7 @@
 //!    user is most likely to request next, in the background.
 
 use crate::client::ClusterClient;
-use crate::protocol::Msg;
+use crate::protocol::{ClusterError, Msg};
 use stash_core::{LogicalClock, StashConfig, StashGraph};
 use stash_dfs::Partitioner;
 use stash_model::{AggQuery, Cell, CellKey, QueryResult};
@@ -28,7 +28,7 @@ pub struct CachingClient {
     inner: ClusterClient,
     router: Router<Msg>,
     gateway: NodeId,
-    sub_rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+    sub_rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
     partitioner: Partitioner,
     graph: Arc<StashGraph>,
     clock: Arc<LogicalClock>,
@@ -44,11 +44,12 @@ pub struct CachingClient {
 
 impl CachingClient {
     /// Wrap a cluster client with a front-end graph of `max_cells` capacity.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         inner: ClusterClient,
         router: Router<Msg>,
         gateway: NodeId,
-        sub_rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+        sub_rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
         partitioner: Partitioner,
         max_cells: usize,
         timeout: Duration,
@@ -169,7 +170,7 @@ impl CachingClient {
                         cells.push(c);
                     }
                 }
-                Ok(Err(e)) => return Err(e),
+                Ok(Err(e)) => return Err(e.to_string()),
                 Err(e) => return Err(format!("front-end subquery failed: {e}")),
             }
         }

@@ -70,6 +70,16 @@ pub struct ClusterConfig {
     pub sub_rpc_timeout: Duration,
     pub distress_timeout: Duration,
     pub client_timeout: Duration,
+    /// Retries per sub-RPC (SubQuery / FetchPartials) after the first
+    /// attempt times out; each retry backs off exponentially from
+    /// `retry_backoff` with deterministic jitter. When retries are
+    /// exhausted the coordinator fails the work over to DFS replicas.
+    pub sub_rpc_retries: u32,
+    /// Base delay of the sub-RPC retry backoff.
+    pub retry_backoff: Duration,
+    /// Client-side retries of a whole query (each lands on the next live
+    /// coordinator in the round-robin rotation).
+    pub client_retries: u32,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +114,9 @@ impl Default for ClusterConfig {
             sub_rpc_timeout: Duration::from_secs(30),
             distress_timeout: Duration::from_secs(2),
             client_timeout: Duration::from_secs(120),
+            sub_rpc_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            client_retries: 2,
         }
     }
 }
@@ -117,6 +130,9 @@ pub struct NodeStats {
     pub guest_serves: AtomicU64,
     pub handoffs: AtomicU64,
     pub replicas_hosted: AtomicU64,
+    /// Sends the fabric refused (peer crashed / shutdown) — each one is a
+    /// failover trigger somewhere upstream.
+    pub send_failures: AtomicU64,
 }
 
 /// A point-in-time snapshot of one node's state, for experiment reporting.
@@ -137,6 +153,7 @@ pub struct NodeStatsSnapshot {
     pub guest_serves: u64,
     pub handoffs: u64,
     pub replicas_hosted: u64,
+    pub send_failures: u64,
     pub pending: usize,
 }
 
@@ -145,10 +162,77 @@ pub struct SimCluster {
     config: Arc<ClusterConfig>,
     router: Router<Msg>,
     nodes: Vec<Arc<NodeCtx>>,
-    client_rpc: Arc<RpcTable<Result<QueryResult, String>>>,
+    client_rpc: Arc<RpcTable<Result<QueryResult, crate::protocol::ClusterError>>>,
     gateway: NodeId,
+    partitioner: Partitioner,
+    source: Arc<GenBlockSource>,
     threads: Vec<std::thread::JoinHandle<()>>,
     shut: AtomicBool,
+}
+
+/// Build one node's store, context, and threads (main + tiered workers).
+/// Shared by boot and by [`SimCluster::restart_node`] — a restarted node
+/// goes through exactly this path, so it comes back with an *empty* STASH
+/// graph and must recover via PLM-driven recomputation from DFS.
+fn spawn_node(
+    config: &Arc<ClusterConfig>,
+    router: &Router<Msg>,
+    partitioner: &Partitioner,
+    source: &Arc<GenBlockSource>,
+    ep: stash_net::Endpoint<Msg>,
+    threads: &mut Vec<std::thread::JoinHandle<()>>,
+) -> Arc<NodeCtx> {
+    let node_idx = ep.id.0;
+    let store = NodeStore::new(
+        node_idx,
+        partitioner.clone(),
+        config.block_len,
+        config.data_bbox,
+        config.data_time,
+        config.disk.clone(),
+        source.clone(),
+        config.stash.max_blocks_per_fetch,
+    )
+    .with_scan_cost(config.scan_cost_per_obs);
+    let clock = Arc::new(LogicalClock::new());
+    let (coord_tx, coord_rx) = unbounded();
+    let (service_tx, service_rx) = unbounded();
+    let (fetch_tx, fetch_rx) = unbounded();
+    let ctx = Arc::new(NodeCtx::new(
+        node_idx,
+        Arc::clone(config),
+        router.clone(),
+        store,
+        clock,
+        WorkTiers { coord_tx, service_tx, fetch_tx },
+    ));
+    // Main thread.
+    let main_ctx = Arc::clone(&ctx);
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("stash-node-{node_idx}"))
+            .spawn(move || main_ctx.run_main(ep.inbox))
+            .expect("spawn node main"),
+    );
+    // Tiered workers.
+    let tiers = [
+        ("coord", config.coord_workers, coord_rx),
+        ("service", config.service_workers, service_rx),
+        ("fetch", config.fetch_workers, fetch_rx),
+    ];
+    for (tier_name, count, rx) in tiers {
+        for w in 0..count {
+            let worker_ctx = Arc::clone(&ctx);
+            let rx = rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("stash-{tier_name}-{node_idx}-{w}"))
+                    .spawn(move || worker_ctx.run_worker(rx))
+                    .expect("spawn node worker"),
+            );
+        }
+    }
+    ctx
 }
 
 impl SimCluster {
@@ -171,57 +255,7 @@ impl SimCluster {
         let mut nodes = Vec::with_capacity(config.n_nodes);
         let mut threads = Vec::new();
         for ep in endpoints {
-            let node_idx = ep.id.0;
-            let store = NodeStore::new(
-                node_idx,
-                partitioner.clone(),
-                config.block_len,
-                config.data_bbox,
-                config.data_time,
-                config.disk.clone(),
-                source.clone(),
-                config.stash.max_blocks_per_fetch,
-            )
-            .with_scan_cost(config.scan_cost_per_obs);
-            let clock = Arc::new(LogicalClock::new());
-            let (coord_tx, coord_rx) = unbounded();
-            let (service_tx, service_rx) = unbounded();
-            let (fetch_tx, fetch_rx) = unbounded();
-            let ctx = Arc::new(NodeCtx::new(
-                node_idx,
-                Arc::clone(&config),
-                router.clone(),
-                store,
-                clock,
-                WorkTiers { coord_tx, service_tx, fetch_tx },
-            ));
-            // Main thread.
-            let main_ctx = Arc::clone(&ctx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("stash-node-{node_idx}"))
-                    .spawn(move || main_ctx.run_main(ep.inbox))
-                    .expect("spawn node main"),
-            );
-            // Tiered workers.
-            let tiers = [
-                ("coord", config.coord_workers, coord_rx),
-                ("service", config.service_workers, service_rx),
-                ("fetch", config.fetch_workers, fetch_rx),
-            ];
-            for (tier_name, count, rx) in tiers {
-                for w in 0..count {
-                    let worker_ctx = Arc::clone(&ctx);
-                    let rx = rx.clone();
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("stash-{tier_name}-{node_idx}-{w}"))
-                            .spawn(move || worker_ctx.run_worker(rx))
-                            .expect("spawn node worker"),
-                    );
-                }
-            }
-            nodes.push(ctx);
+            nodes.push(spawn_node(&config, &router, &partitioner, &source, ep, &mut threads));
         }
 
         // Gateway pump.
@@ -240,9 +274,45 @@ impl SimCluster {
             nodes,
             client_rpc,
             gateway,
+            partitioner,
+            source,
             threads,
             shut: AtomicBool::new(false),
         }
+    }
+
+    /// Crash a node: the fabric severs its inbox (in-flight deliveries are
+    /// dropped, future sends are refused) and its threads wind down. The
+    /// data it cached dies with it; its DFS blocks remain readable through
+    /// the replica chain, so queries keep answering exactly.
+    pub fn crash_node(&self, idx: usize) {
+        assert!(idx < self.nodes.len(), "node index out of range");
+        self.router.crash_node(NodeId(idx));
+    }
+
+    /// Restart a crashed node: a fresh endpoint is wired into the fabric
+    /// and a brand-new node context spawned — empty STASH graph, empty
+    /// guest graph, zeroed counters. Recovery is PLM-driven: the first
+    /// queries that land on it recompute their Cells from DFS.
+    pub fn restart_node(&mut self, idx: usize) {
+        assert!(idx < self.nodes.len(), "node index out of range");
+        let ep = self.router.restart_node(NodeId(idx));
+        let ctx = spawn_node(
+            &self.config,
+            &self.router,
+            &self.partitioner,
+            &self.source,
+            ep,
+            &mut self.threads,
+        );
+        // The old context's threads already exited (crash poisons them);
+        // their JoinHandles stay in `threads` and join instantly at drop.
+        self.nodes[idx] = ctx;
+    }
+
+    /// Is this node currently crashed?
+    pub fn is_crashed(&self, idx: usize) -> bool {
+        self.router.is_crashed(NodeId(idx))
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -257,7 +327,14 @@ impl SimCluster {
             Arc::clone(&self.client_rpc),
             self.config.n_nodes,
             self.config.client_timeout,
+            self.config.client_retries,
         )
+    }
+
+    /// The underlying fabric — chaos scenarios install fault plans,
+    /// partitions, and crashes directly on it.
+    pub fn router(&self) -> &Router<Msg> {
+        &self.router
     }
 
     /// A front-end handle with its own client-side STASH graph of
@@ -269,7 +346,7 @@ impl SimCluster {
             self.router.clone(),
             self.gateway,
             Arc::clone(&self.client_rpc),
-            self.nodes[0].store.partitioner().clone(),
+            self.partitioner.clone(),
             max_cells,
             self.config.client_timeout,
             self.config.n_attrs,
@@ -310,6 +387,7 @@ impl SimCluster {
                 guest_serves: n.stats.guest_serves.load(Ordering::Relaxed),
                 handoffs: n.stats.handoffs.load(Ordering::Relaxed),
                 replicas_hosted: n.stats.replicas_hosted.load(Ordering::Relaxed),
+                send_failures: n.stats.send_failures.load(Ordering::Relaxed),
                 pending: n.pending(),
             })
             .collect()
@@ -333,7 +411,9 @@ impl SimCluster {
                 .push(k);
         }
         for (owner, group) in by_owner {
-            self.nodes[owner].eval_subquery(&group, false)?;
+            self.nodes[owner]
+                .eval_subquery(&group, false)
+                .map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -363,6 +443,11 @@ impl SimCluster {
         if self.shut.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Teardown is harness machinery, not protocol traffic: a fault plan
+        // that dropped a Shutdown message would leave that node's receive
+        // loop blocked forever and deadlock Drop's join.
+        self.router.clear_faults();
+        self.router.heal_partition();
         for n in &self.nodes {
             self.router.send(self.gateway, NodeId(n.node_idx), Msg::Shutdown, 16);
         }

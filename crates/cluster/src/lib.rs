@@ -31,4 +31,5 @@ pub mod source;
 pub use client::{ClientError, ClusterClient};
 pub use client_cache::{CachingClient, Prefetcher};
 pub use cluster::{ClusterConfig, Mode, NodeStatsSnapshot, SimCluster};
+pub use protocol::ClusterError;
 pub use source::GenBlockSource;

@@ -19,12 +19,13 @@
 //! message queue crosses a configured threshold" (§VII-B1).
 
 use crate::cluster::{ClusterConfig, Mode, NodeStats};
-use crate::protocol::Msg;
+use crate::protocol::{ClusterError, Msg};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use stash_core::{evaluate, CliqueFinder, GuestBook, LogicalClock, RouteDecision, RoutingTable, StashGraph};
 use stash_dfs::{plan_blocks, NodeStore};
 use stash_model::{Cell, CellKey, CellSummary, Level, QueryResult};
+use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -33,9 +34,17 @@ use std::sync::Arc;
 /// Replies a node can wait for.
 #[derive(Debug)]
 pub enum RpcReply {
-    SubResult(Result<QueryResult, String>),
-    Partials(Result<Vec<(CellKey, CellSummary)>, String>),
+    SubResult(Result<QueryResult, ClusterError>),
+    Partials(Result<Vec<(CellKey, CellSummary)>, ClusterError>),
     Ack(bool),
+}
+
+/// Why one gather round could not complete (see [`NodeCtx::try_gather`]):
+/// an unreachable owner is recoverable — grow the exclusion set and replan
+/// onto the replica chain; anything else ends the gather.
+enum GatherFailure {
+    Owner(usize, ClusterError),
+    Fatal(ClusterError),
 }
 
 /// Shared state of one node, used by its main thread, workers, and handoff
@@ -139,33 +148,57 @@ impl NodeCtx {
         ((x >> 11) as f64 / (1u64 << 53) as f64) < probability
     }
 
-    fn send(&self, dst: NodeId, msg: Msg) {
+    /// Send over the fabric. Returns `false` when the fabric refuses the
+    /// message — destination (or self) crashed, or shutdown. Refusals are
+    /// counted per node and logged once; callers on the query path must
+    /// treat `false` as [`ClusterError::Unreachable`] and fail over.
+    #[must_use]
+    fn send(&self, dst: NodeId, msg: Msg) -> bool {
         let bytes = msg.wire_size();
-        self.router.send(self.id, dst, msg, bytes);
+        if self.router.send(self.id, dst, msg, bytes) {
+            return true;
+        }
+        if self.stats.send_failures.fetch_add(1, Ordering::Relaxed) == 0 {
+            eprintln!(
+                "stash-cluster: node {} -> {} send refused by fabric (peer crashed or shutdown); \
+                 further refusals counted silently",
+                self.node_idx, dst.0
+            );
+        }
+        false
     }
 
     // =======================================================================
     // Main thread
     // =======================================================================
 
-    /// Drain the fabric inbox until shutdown. Never blocks on work.
+    /// Drain the fabric inbox until shutdown — or until the fabric severs
+    /// the inbox (node crash): either way the workers are poisoned so the
+    /// whole node winds down instead of leaving threads parked forever.
     pub fn run_main(self: &Arc<Self>, inbox: Receiver<Envelope<Msg>>) {
         while let Ok(env) = inbox.recv() {
             if matches!(env.payload, Msg::Shutdown) {
-                // Poison every worker in every tier, then exit.
-                let poisons = [
-                    (&self.tiers.coord_tx, self.config.coord_workers),
-                    (&self.tiers.service_tx, self.config.service_workers),
-                    (&self.tiers.fetch_tx, self.config.fetch_workers),
-                ];
-                for (tx, n) in poisons {
-                    for _ in 0..n {
-                        let _ = tx.send(Envelope { src: self.id, dst: self.id, payload: Msg::Shutdown });
-                    }
-                }
+                self.poison_workers();
                 return;
             }
             self.handle_fast(env);
+        }
+        // recv() erred: the router crashed this node and dropped its inbox
+        // sender. Workers must die too — a crashed node answers nothing.
+        self.poison_workers();
+    }
+
+    /// Send every worker in every tier a poison pill.
+    fn poison_workers(&self) {
+        let poisons = [
+            (&self.tiers.coord_tx, self.config.coord_workers),
+            (&self.tiers.service_tx, self.config.service_workers),
+            (&self.tiers.fetch_tx, self.config.fetch_workers),
+        ];
+        for (tx, n) in poisons {
+            for _ in 0..n {
+                let _ = tx.send(Envelope { src: self.id, dst: self.id, payload: Msg::Shutdown });
+            }
         }
     }
 
@@ -192,7 +225,7 @@ impl NodeCtx {
                         .guestbook
                         .lock()
                         .can_accommodate(n_cells, self.config.stash.guest_max_cells);
-                self.send(reply_to, Msg::DistressAck { rpc, accept });
+                let _ = self.send(reply_to, Msg::DistressAck { rpc, accept });
             }
             // Rerouting decision happens *before* queueing (§VII-C): a
             // hotspotted node sheds covered subqueries to their helper.
@@ -201,12 +234,20 @@ impl NodeCtx {
                     let decision = self.routing.lock().decide(&keys);
                     if let RouteDecision::Covered { helper } = decision {
                         if self.flip(self.config.stash.reroute_probability) {
-                            self.stats.reroutes.fetch_add(1, Ordering::Relaxed);
-                            self.send(
-                                NodeId(helper),
-                                Msg::SubQuery { rpc, reply_to, keys, allow_reroute: false, via_guest: true },
-                            );
-                            return;
+                            let forwarded = Msg::SubQuery {
+                                rpc,
+                                reply_to,
+                                keys: keys.clone(),
+                                allow_reroute: false,
+                                via_guest: true,
+                            };
+                            if self.send(NodeId(helper), forwarded) {
+                                self.stats.reroutes.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            // Helper crashed since the route was recorded:
+                            // drop its routes and serve locally instead.
+                            self.routing.lock().drop_helper(helper);
                         }
                     }
                 }
@@ -263,7 +304,7 @@ impl NodeCtx {
             Msg::Query { rpc, reply_to, query } => {
                 self.stats.queries_coordinated.fetch_add(1, Ordering::Relaxed);
                 let result = self.coordinate(&query);
-                self.send(reply_to, Msg::QueryResponse { rpc, result });
+                let _ = self.send(reply_to, Msg::QueryResponse { rpc, result });
             }
             Msg::SubQuery { rpc, reply_to, keys, via_guest, .. } => {
                 self.stats.subqueries.fetch_add(1, Ordering::Relaxed);
@@ -271,20 +312,20 @@ impl NodeCtx {
                     self.hot_level.store(k.level().index(), Ordering::Relaxed);
                 }
                 let result = self.eval_subquery(&keys, via_guest);
-                self.send(reply_to, Msg::SubQueryResponse { rpc, result });
+                let _ = self.send(reply_to, Msg::SubQueryResponse { rpc, result });
                 self.maintain();
             }
-            Msg::FetchPartials { rpc, reply_to, keys } => {
+            Msg::FetchPartials { rpc, reply_to, keys, exclude } => {
                 let partials = self
                     .store
-                    .fetch_partials(&keys)
+                    .fetch_partials_excluding(&keys, &exclude)
                     .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
-                    .map_err(|e| e.to_string());
-                self.send(reply_to, Msg::PartialsResponse { rpc, partials });
+                    .map_err(|e| ClusterError::Storage(e.to_string()));
+                let _ = self.send(reply_to, Msg::PartialsResponse { rpc, partials });
             }
             Msg::ReplicationRequest { rpc, reply_to, src_node, cells } => {
                 let ok = self.accept_replicas(src_node, cells);
-                self.send(reply_to, Msg::ReplicationResponse { rpc, ok });
+                let _ = self.send(reply_to, Msg::ReplicationResponse { rpc, ok });
             }
             Msg::InvalidateRegion { bbox, time } => {
                 self.graph.invalidate_region(&bbox, &time);
@@ -299,10 +340,10 @@ impl NodeCtx {
 
     /// Evaluate a whole front-end query: split target Cells by owner,
     /// scatter, gather, merge (Basic mode goes straight to storage).
-    fn coordinate(self: &Arc<Self>, query: &stash_model::AggQuery) -> Result<QueryResult, String> {
+    fn coordinate(self: &Arc<Self>, query: &stash_model::AggQuery) -> Result<QueryResult, ClusterError> {
         let keys = query
             .target_keys(self.config.stash.max_cells_per_query)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| ClusterError::BadQuery(e.to_string()))?;
         if keys.is_empty() {
             return Ok(QueryResult::default());
         }
@@ -315,8 +356,10 @@ impl NodeCtx {
     /// Basic system: every query scans blocks; nothing is cached. Keys at
     /// partition granularity or finer are grouped by owner (their blocks
     /// are colocated); coarser keys span partitions and go through the
-    /// scatter/merge path.
-    fn coordinate_basic(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, String> {
+    /// scatter/merge path. An owner that stays unreachable after retries is
+    /// failed over to the raw-storage path with the dead node excluded, so
+    /// its DFS replicas answer instead (answers stay exact).
+    fn coordinate_basic(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, ClusterError> {
         let prefix_len = self.store.partitioner().prefix_len();
         let (local_ownable, spanning): (Vec<CellKey>, Vec<CellKey>) = keys
             .iter()
@@ -331,35 +374,60 @@ impl NodeCtx {
                     .push(k);
             }
             let own = by_owner.remove(&self.node_idx);
+            // First wave: one scattered attempt per owner, waits in parallel.
             let mut waits = Vec::with_capacity(by_owner.len());
+            let mut stragglers: Vec<(usize, Vec<CellKey>)> = Vec::new();
             for (owner, group) in by_owner {
                 let (rpc, rx) = self.rpc.register();
-                self.send(
-                    NodeId(owner),
-                    Msg::FetchPartials { rpc, reply_to: self.id, keys: group },
-                );
-                waits.push((rpc, rx));
+                let msg = Msg::FetchPartials {
+                    rpc,
+                    reply_to: self.id,
+                    keys: group.clone(),
+                    exclude: Vec::new(),
+                };
+                if self.send(NodeId(owner), msg) {
+                    waits.push((owner, group, rpc, rx));
+                } else {
+                    self.rpc.cancel(rpc);
+                    stragglers.push((owner, group));
+                }
             }
             if let Some(group) = own {
                 summaries.extend(
                     self.store
                         .fetch_partials(&group)
-                        .map_err(|e| e.to_string())?
+                        .map_err(|e| ClusterError::Storage(e.to_string()))?
                         .into_iter()
                         .map(|p| (p.key, p.summary)),
                 );
             }
-            for (rpc, rx) in waits {
+            for (owner, group, rpc, rx) in waits {
                 match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
                     Ok(RpcReply::Partials(Ok(parts))) => summaries.extend(parts),
                     Ok(RpcReply::Partials(Err(e))) => return Err(e),
-                    Ok(other) => return Err(format!("protocol error: unexpected reply {other:?}")),
-                    Err(e) => return Err(format!("partials rpc failed: {e}")),
+                    Ok(other) => {
+                        return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                    }
+                    Err(RpcError::Timeout) => stragglers.push((owner, group)),
+                    Err(RpcError::Canceled) => {
+                        return Err(ClusterError::Protocol("rpc slot canceled".into()))
+                    }
+                }
+            }
+            // Second wave: retry each straggler with backoff; if the owner
+            // stays dark, read its blocks from the replica chain.
+            for (owner, group) in stragglers {
+                match self.fetch_partials_rpc(owner, &group, &[]) {
+                    Ok(parts) => summaries.extend(parts),
+                    Err(e) if e.is_transient() => {
+                        summaries.extend(self.gather_partials(&group, &[owner])?);
+                    }
+                    Err(e) => return Err(e),
                 }
             }
         }
         if !spanning.is_empty() {
-            summaries.extend(self.gather_partials(&spanning)?);
+            summaries.extend(self.gather_partials(&spanning, &[])?);
         }
         let mut cells: Vec<Cell> = summaries
             .into_iter()
@@ -367,6 +435,7 @@ impl NodeCtx {
             .map(|(key, summary)| Cell { key, summary })
             .collect();
         cells.sort_by_key(|c| c.key);
+        cells.dedup_by_key(|c| c.key);
         Ok(QueryResult {
             misses: keys.len(),
             cells,
@@ -374,8 +443,11 @@ impl NodeCtx {
         })
     }
 
-    /// STASH system: scatter SubQueries to Cell owners, gather, merge.
-    fn coordinate_stash(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, String> {
+    /// STASH system: scatter SubQueries to Cell owners, gather, merge. Owner
+    /// failures degrade per group: retry with backoff, then bypass the dead
+    /// owner's STASH graph entirely and recompute its Cells from DFS
+    /// replicas ([`NodeCtx::gather_partials`] with the owner excluded).
+    fn coordinate_stash(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, ClusterError> {
         let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
         for &k in keys {
             by_owner
@@ -387,39 +459,172 @@ impl NodeCtx {
         // of waiting on our own queue), scatter the rest.
         let own = by_owner.remove(&self.node_idx);
         let mut waits = Vec::with_capacity(by_owner.len());
+        let mut stragglers: Vec<(usize, Vec<CellKey>)> = Vec::new();
         for (owner, group) in by_owner {
             let (rpc, rx) = self.rpc.register();
-            self.send(
-                NodeId(owner),
-                Msg::SubQuery {
-                    rpc,
-                    reply_to: self.id,
-                    keys: group,
-                    allow_reroute: true,
-                    via_guest: false,
-                },
-            );
-            waits.push((rpc, rx));
+            let msg = Msg::SubQuery {
+                rpc,
+                reply_to: self.id,
+                keys: group.clone(),
+                allow_reroute: true,
+                via_guest: false,
+            };
+            if self.send(NodeId(owner), msg) {
+                waits.push((owner, group, rpc, rx));
+            } else {
+                self.rpc.cancel(rpc);
+                stragglers.push((owner, group));
+            }
         }
         let mut merged = match own {
             Some(group) => self.eval_subquery(&group, false)?,
             None => QueryResult::default(),
         };
-        for (rpc, rx) in waits {
+        let absorb = |merged: &mut QueryResult, part: QueryResult| {
+            merged.cells.extend(part.cells);
+            merged.cache_hits += part.cache_hits;
+            merged.derived_hits += part.derived_hits;
+            merged.misses += part.misses;
+        };
+        for (owner, group, rpc, rx) in waits {
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                Ok(RpcReply::SubResult(Ok(part))) => {
-                    merged.cells.extend(part.cells);
-                    merged.cache_hits += part.cache_hits;
-                    merged.derived_hits += part.derived_hits;
-                    merged.misses += part.misses;
+                Ok(RpcReply::SubResult(Ok(part))) => absorb(&mut merged, part),
+                Ok(RpcReply::SubResult(Err(e))) if e.is_transient() => {
+                    stragglers.push((owner, group));
                 }
                 Ok(RpcReply::SubResult(Err(e))) => return Err(e),
-                Ok(other) => return Err(format!("protocol error: unexpected reply {other:?}")),
-                Err(e) => return Err(format!("subquery rpc failed: {e}")),
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                }
+                Err(RpcError::Timeout) => stragglers.push((owner, group)),
+                Err(RpcError::Canceled) => {
+                    return Err(ClusterError::Protocol("rpc slot canceled".into()))
+                }
+            }
+        }
+        for (owner, group) in stragglers {
+            match self.subquery_rpc(owner, &group) {
+                Ok(part) => absorb(&mut merged, part),
+                Err(e) if e.is_transient() => {
+                    // The owner is gone: recompute its share from raw
+                    // storage, reading its blocks off the replica chain.
+                    // Empty summaries are dropped exactly as `evaluate`
+                    // drops them, so results match the fault-free path.
+                    let parts = self.gather_partials(&group, &[owner])?;
+                    merged.misses += group.len();
+                    merged.cells.extend(
+                        parts
+                            .into_iter()
+                            .filter(|(_, s)| !s.is_empty())
+                            .map(|(key, summary)| Cell { key, summary }),
+                    );
+                }
+                Err(e) => return Err(e),
             }
         }
         merged.cells.sort_by_key(|c| c.key);
+        merged.cells.dedup_by_key(|c| c.key);
         Ok(merged)
+    }
+
+    /// One owner's SubQuery with deadline, bounded retries, and backoff.
+    /// A [`ClusterError::RerouteRefused`] answer (stale guest route) is
+    /// resent once directly to the owner with rerouting disabled.
+    fn subquery_rpc(&self, owner: usize, keys: &[CellKey]) -> Result<QueryResult, ClusterError> {
+        let mut allow_reroute = true;
+        let mut refused_once = false;
+        let attempts = self.config.sub_rpc_retries + 1;
+        let mut attempt = 0;
+        while attempt < attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt, owner as u64));
+            }
+            let (rpc, rx) = self.rpc.register();
+            let msg = Msg::SubQuery {
+                rpc,
+                reply_to: self.id,
+                keys: keys.to_vec(),
+                allow_reroute,
+                via_guest: false,
+            };
+            if !self.send(NodeId(owner), msg) {
+                self.rpc.cancel(rpc);
+                return Err(ClusterError::Unreachable { node: owner });
+            }
+            match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
+                Ok(RpcReply::SubResult(Ok(part))) => return Ok(part),
+                Ok(RpcReply::SubResult(Err(e @ ClusterError::RerouteRefused { .. }))) => {
+                    if refused_once {
+                        return Err(e); // a direct send cannot be refused twice
+                    }
+                    refused_once = true;
+                    allow_reroute = false; // resend straight to the owner
+                }
+                Ok(RpcReply::SubResult(Err(e))) => return Err(e),
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                }
+                Err(RpcError::Timeout) => attempt += 1,
+                Err(RpcError::Canceled) => {
+                    return Err(ClusterError::Protocol("rpc slot canceled".into()))
+                }
+            }
+        }
+        Err(ClusterError::Timeout { node: owner, op: "subquery" })
+    }
+
+    /// One owner's FetchPartials with deadline, bounded retries, backoff.
+    fn fetch_partials_rpc(
+        &self,
+        owner: usize,
+        keys: &[CellKey],
+        exclude: &[usize],
+    ) -> Result<Vec<(CellKey, CellSummary)>, ClusterError> {
+        let attempts = self.config.sub_rpc_retries + 1;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt, owner as u64 ^ 0xF00D));
+            }
+            let (rpc, rx) = self.rpc.register();
+            let msg = Msg::FetchPartials {
+                rpc,
+                reply_to: self.id,
+                keys: keys.to_vec(),
+                exclude: exclude.to_vec(),
+            };
+            if !self.send(NodeId(owner), msg) {
+                self.rpc.cancel(rpc);
+                return Err(ClusterError::Unreachable { node: owner });
+            }
+            match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
+                Ok(RpcReply::Partials(Ok(parts))) => return Ok(parts),
+                Ok(RpcReply::Partials(Err(e))) => return Err(e),
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                }
+                Err(RpcError::Timeout) => continue,
+                Err(RpcError::Canceled) => {
+                    return Err(ClusterError::Protocol("rpc slot canceled".into()))
+                }
+            }
+        }
+        Err(ClusterError::Timeout { node: owner, op: "partials" })
+    }
+
+    /// Exponential backoff with deterministic jitter. Jitter is a pure hash
+    /// of (node, salt, attempt) so replayed fault schedules see identical
+    /// retry timing — the chaos suite depends on it.
+    fn backoff(&self, attempt: u32, salt: u64) -> std::time::Duration {
+        let exp = self.config.retry_backoff.saturating_mul(1 << (attempt - 1).min(4));
+        let mut x = (self.node_idx as u64)
+            ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((attempt as u64) << 32);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        exp + exp.mul_f64((x % 1024) as f64 / 2048.0)
     }
 
     // -- Owner role ------------------------------------------------------------
@@ -428,15 +633,25 @@ impl NodeCtx {
     /// fall through to block scans, possibly on peer partitions.
     /// `pub(crate)` so [`crate::cluster::SimCluster`] can pre-warm graphs
     /// for the zoom experiments without timing a client round-trip.
-    pub(crate) fn eval_subquery(self: &Arc<Self>, keys: &[CellKey], via_guest: bool) -> Result<QueryResult, String> {
+    pub(crate) fn eval_subquery(self: &Arc<Self>, keys: &[CellKey], via_guest: bool) -> Result<QueryResult, ClusterError> {
         let graph = if via_guest { &self.guest } else { &self.graph };
         if via_guest {
+            // A rerouted subquery whose Cells were purged (or never hosted)
+            // is refused — the coordinator resends to the owner directly.
+            // Serving it here would silently grow the guest graph with
+            // Cells nobody handed off.
+            if !self.guestbook.lock().hosts_any(keys) {
+                return Err(ClusterError::RerouteRefused { helper: self.node_idx });
+            }
             self.stats.guest_serves.fetch_add(1, Ordering::Relaxed);
             self.guestbook.lock().touch(keys, self.clock.now());
         }
         let this = Arc::clone(self);
         let fetch = move |missing: &[CellKey]| this.gather_partials_as_cells(missing);
-        let result = evaluate(graph, keys, &fetch).map_err(|e| e.to_string());
+        let result = evaluate(graph, keys, &fetch).map_err(|e| match e {
+            stash_core::EvalError::Query(q) => ClusterError::BadQuery(q.to_string()),
+            stash_core::EvalError::Fetch(msg) => ClusterError::Storage(msg),
+        });
         // Modeled serve cost: lookup/merge/serialize per Cell on the
         // paper's hardware, charged as virtual time (DESIGN.md §2).
         let serve = self.config.cell_service_cost * keys.len() as u32;
@@ -451,8 +666,41 @@ impl NodeCtx {
     /// Complete summaries for `keys` by merging per-partition partials
     /// (local scan for owned blocks, one forwarded FetchPartials hop for
     /// blocks on peers — the paper's "up to one query forwarding", §IV-D).
-    fn gather_partials(self: &Arc<Self>, keys: &[CellKey]) -> Result<Vec<(CellKey, CellSummary)>, String> {
-        // Which nodes own blocks relevant to these keys?
+    ///
+    /// `base_exclude` seeds the dead-node set for failover reads; owners
+    /// that stay unreachable after retries are added to it and the whole
+    /// gather replans, walking each dead node's blocks down the DFS replica
+    /// chain. Merged answers are exact as long as any replica survives.
+    fn gather_partials(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        base_exclude: &[usize],
+    ) -> Result<Vec<(CellKey, CellSummary)>, ClusterError> {
+        let mut exclude = base_exclude.to_vec();
+        let n_nodes = self.store.partitioner().n_nodes();
+        loop {
+            match self.try_gather(keys, &exclude) {
+                Ok(out) => return Ok(out),
+                Err(GatherFailure::Owner(node, err)) => {
+                    if exclude.contains(&node) || exclude.len() + 1 >= n_nodes {
+                        return Err(err); // replica chain exhausted
+                    }
+                    exclude.push(node);
+                }
+                Err(GatherFailure::Fatal(err)) => return Err(err),
+            }
+        }
+    }
+
+    /// One gather round under a fixed exclusion set. An unreachable owner
+    /// aborts the round with [`GatherFailure::Owner`] so the caller can
+    /// grow the exclusion and replan.
+    fn try_gather(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        exclude: &[usize],
+    ) -> Result<Vec<(CellKey, CellSummary)>, GatherFailure> {
+        // Which nodes effectively own blocks relevant to these keys?
         let plan = plan_blocks(
             keys,
             self.store.block_len(),
@@ -460,10 +708,10 @@ impl NodeCtx {
             self.store.data_time(),
             self.config.stash.max_blocks_per_fetch,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| GatherFailure::Fatal(ClusterError::Storage(e.to_string())))?;
         let mut owners: Vec<usize> = plan
             .keys()
-            .map(|bk| self.store.partitioner().owner(bk.geohash))
+            .map(|bk| self.store.partitioner().owner_excluding(bk.geohash, exclude))
             .collect();
         owners.sort_unstable();
         owners.dedup();
@@ -474,16 +722,28 @@ impl NodeCtx {
             if owner == self.node_idx {
                 local = self
                     .store
-                    .fetch_partials(keys)
+                    .fetch_partials_excluding(keys, exclude)
                     .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| GatherFailure::Fatal(ClusterError::Storage(e.to_string())))?;
             } else {
                 let (rpc, rx) = self.rpc.register();
-                self.send(
-                    NodeId(owner),
-                    Msg::FetchPartials { rpc, reply_to: self.id, keys: keys.to_vec() },
-                );
-                waits.push((rpc, rx));
+                let msg = Msg::FetchPartials {
+                    rpc,
+                    reply_to: self.id,
+                    keys: keys.to_vec(),
+                    exclude: exclude.to_vec(),
+                };
+                if self.send(NodeId(owner), msg) {
+                    waits.push((owner, rpc, rx));
+                } else {
+                    self.rpc.cancel(rpc);
+                    // Keep draining nothing — abort now; peers' replies for
+                    // this round land in removed slots and are dropped.
+                    return Err(GatherFailure::Owner(
+                        owner,
+                        ClusterError::Unreachable { node: owner },
+                    ));
+                }
             }
         }
         // Merge partials per key; keys with no observations end up with an
@@ -491,31 +751,59 @@ impl NodeCtx {
         let n_attrs = self.config.n_attrs;
         let mut merged: HashMap<CellKey, CellSummary> =
             keys.iter().map(|&k| (k, CellSummary::empty(n_attrs))).collect();
-        let mut absorb = |parts: Vec<(CellKey, CellSummary)>| {
+        let absorb = |merged: &mut HashMap<CellKey, CellSummary>,
+                      parts: Vec<(CellKey, CellSummary)>| {
             for (key, summary) in parts {
                 if let Some(m) = merged.get_mut(&key) {
                     m.merge(&summary);
                 }
             }
         };
-        absorb(local);
-        for (rpc, rx) in waits {
+        absorb(&mut merged, local);
+        let mut dead: Option<(usize, ClusterError)> = None;
+        for (owner, rpc, rx) in waits {
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                Ok(RpcReply::Partials(Ok(parts))) => absorb(parts),
-                Ok(RpcReply::Partials(Err(e))) => return Err(e),
-                Ok(other) => return Err(format!("protocol error: unexpected reply {other:?}")),
-                Err(e) => return Err(format!("partials rpc failed: {e}")),
+                Ok(RpcReply::Partials(Ok(parts))) => absorb(&mut merged, parts),
+                Ok(RpcReply::Partials(Err(e))) => return Err(GatherFailure::Fatal(e)),
+                Ok(other) => {
+                    return Err(GatherFailure::Fatal(ClusterError::Protocol(format!(
+                        "unexpected reply {other:?}"
+                    ))))
+                }
+                Err(RpcError::Timeout) => {
+                    // Retry this owner alone before declaring it dead; keep
+                    // draining the other waits either way.
+                    if dead.is_none() {
+                        match self.fetch_partials_rpc(owner, keys, exclude) {
+                            Ok(parts) => absorb(&mut merged, parts),
+                            Err(e) if e.is_transient() => dead = Some((owner, e)),
+                            Err(e) => return Err(GatherFailure::Fatal(e)),
+                        }
+                    }
+                }
+                Err(RpcError::Canceled) => {
+                    return Err(GatherFailure::Fatal(ClusterError::Protocol(
+                        "rpc slot canceled".into(),
+                    )))
+                }
             }
+        }
+        if let Some((node, err)) = dead {
+            return Err(GatherFailure::Owner(node, err));
         }
         let mut out: Vec<(CellKey, CellSummary)> = merged.into_iter().collect();
         out.sort_by_key(|(k, _)| *k);
         Ok(out)
     }
 
-    /// [`gather_partials`] shaped for the evaluator's fetch contract.
+    /// [`gather_partials`] shaped for the evaluator's fetch contract. The
+    /// evaluator's `FetchFn` is stringly typed (it belongs to the core
+    /// layer); by this point retries and failover are already exhausted, so
+    /// whatever error remains is final either way.
     fn gather_partials_as_cells(self: &Arc<Self>, keys: &[CellKey]) -> Result<Vec<Cell>, String> {
         Ok(self
-            .gather_partials(keys)?
+            .gather_partials(keys, &[])
+            .map_err(|e| e.to_string())?
             .into_iter()
             .map(|(key, summary)| Cell { key, summary })
             .collect())
@@ -599,10 +887,13 @@ impl NodeCtx {
     fn try_replicate_to(self: &Arc<Self>, clique: &stash_core::Clique, helper: usize) -> bool {
         // Step 3: Distress Request / acknowledgement.
         let (rpc, rx) = self.rpc.register();
-        self.send(
+        if !self.send(
             NodeId(helper),
             Msg::Distress { rpc, reply_to: self.id, n_cells: clique.size() },
-        );
+        ) {
+            self.rpc.cancel(rpc);
+            return false;
+        }
         match self.rpc.wait(rpc, &rx, self.config.distress_timeout) {
             Ok(RpcReply::Ack(true)) => {}
             _ => return false,
@@ -614,10 +905,13 @@ impl NodeCtx {
         }
         let replicated: Vec<CellKey> = snapshot.iter().map(|(c, _)| c.key).collect();
         let (rpc, rx) = self.rpc.register();
-        self.send(
+        if !self.send(
             NodeId(helper),
             Msg::ReplicationRequest { rpc, reply_to: self.id, src_node: self.node_idx, cells: snapshot },
-        );
+        ) {
+            self.rpc.cancel(rpc);
+            return false;
+        }
         match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
             Ok(RpcReply::Ack(true)) => {
                 // Step 5: routing table population.
@@ -649,7 +943,7 @@ impl NodeCtx {
     /// (§VII-D).
     fn maintain(self: &Arc<Self>) {
         let now = self.clock.now();
-        if now % 64 != 0 {
+        if !now.is_multiple_of(64) {
             return;
         }
         let expired = self

@@ -9,8 +9,67 @@ use stash_geo::{BBox, TimeRange};
 use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult};
 use stash_net::NodeId;
 
+/// A typed cluster-path failure. Distinguishing *why* an RPC failed is what
+/// lets the robustness layer react correctly: timeouts and unreachable
+/// peers trigger retry/failover, a refused reroute triggers a direct
+/// resend, while storage and query errors are final.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A sub-RPC missed its deadline after all retries.
+    Timeout { node: usize, op: &'static str },
+    /// The fabric refused to carry the message — the peer is crashed (or
+    /// the fabric is shutting down).
+    Unreachable { node: usize },
+    /// A rerouted (guest-graph) subquery reached a helper that no longer
+    /// hosts the Cells; the coordinator must resend to the owner with
+    /// `allow_reroute` cleared.
+    RerouteRefused { helper: usize },
+    /// The storage layer failed (block planning, incomplete fetch).
+    Storage(String),
+    /// The query itself could not be planned.
+    BadQuery(String),
+    /// Protocol violation: a reply of the wrong kind for the RPC slot.
+    Protocol(String),
+}
+
+impl ClusterError {
+    /// Would a retry (possibly elsewhere) plausibly succeed? Timeouts,
+    /// dead peers, and refused reroutes are conditions of the moment;
+    /// storage/query/protocol errors are deterministic and final.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::Timeout { .. }
+                | ClusterError::Unreachable { .. }
+                | ClusterError::RerouteRefused { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Timeout { node, op } => {
+                write!(f, "{op} rpc to node {node} timed out")
+            }
+            ClusterError::Unreachable { node } => write!(f, "node {node} is unreachable"),
+            ClusterError::RerouteRefused { helper } => {
+                write!(f, "helper {helper} refused a rerouted subquery")
+            }
+            ClusterError::Storage(e) => write!(f, "storage error: {e}"),
+            ClusterError::BadQuery(e) => write!(f, "bad query: {e}"),
+            ClusterError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 /// All cluster messages.
-#[derive(Debug)]
+///
+/// `Clone` is required by the fabric's duplication faults — a duplicated
+/// message is delivered as two independent envelopes.
+#[derive(Debug, Clone)]
 pub enum Msg {
     // ---- Client path -------------------------------------------------------
     /// Front-end query arriving at a coordinator node.
@@ -22,7 +81,7 @@ pub enum Msg {
     /// Final answer back to the client gateway.
     QueryResponse {
         rpc: u64,
-        result: Result<QueryResult, String>,
+        result: Result<QueryResult, ClusterError>,
     },
 
     // ---- Coordinator → owner scatter/gather --------------------------------
@@ -40,19 +99,25 @@ pub enum Msg {
     },
     SubQueryResponse {
         rpc: u64,
-        result: Result<QueryResult, String>,
+        result: Result<QueryResult, ClusterError>,
     },
 
-    // ---- Raw storage access (Basic mode; coarse cells spanning partitions) --
+    // ---- Raw storage access (Basic mode; coarse cells spanning partitions;
+    //      failover reads against DFS replicas) -----------------------------
     /// Scan your blocks for these Cells; reply with partial summaries.
+    /// `exclude` lists nodes the sender believes dead: the receiver scans
+    /// blocks it *effectively* owns under that exclusion (primary, or first
+    /// live replica in the ring chain), so failed-over reads still cover
+    /// every block exactly once.
     FetchPartials {
         rpc: u64,
         reply_to: NodeId,
         keys: Vec<CellKey>,
+        exclude: Vec<usize>,
     },
     PartialsResponse {
         rpc: u64,
-        partials: Result<Vec<(CellKey, CellSummary)>, String>,
+        partials: Result<Vec<(CellKey, CellSummary)>, ClusterError>,
     },
 
     // ---- Clique Handoff (Fig. 5) --------------------------------------------
@@ -96,8 +161,18 @@ pub fn keys_bytes(n: usize) -> usize {
     24 * n + 32
 }
 
+/// Approximate serialized bytes of an error payload.
+pub fn error_bytes(e: &ClusterError) -> usize {
+    match e {
+        ClusterError::Storage(s) | ClusterError::BadQuery(s) | ClusterError::Protocol(s) => {
+            s.len() + 48
+        }
+        _ => 48,
+    }
+}
+
 /// Approximate serialized bytes of a result.
-pub fn result_bytes(r: &Result<QueryResult, String>) -> usize {
+pub fn result_bytes(r: &Result<QueryResult, ClusterError>) -> usize {
     match r {
         Ok(qr) => qr
             .cells
@@ -105,15 +180,15 @@ pub fn result_bytes(r: &Result<QueryResult, String>) -> usize {
             .map(|c| 24 + 40 * c.summary.n_attrs())
             .sum::<usize>()
             + 64,
-        Err(e) => e.len() + 32,
+        Err(e) => error_bytes(e),
     }
 }
 
 /// Approximate serialized bytes of partials.
-pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, String>) -> usize {
+pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, ClusterError>) -> usize {
     match p {
         Ok(v) => v.iter().map(|(_, s)| 24 + 40 * s.n_attrs()).sum::<usize>() + 64,
-        Err(e) => e.len() + 32,
+        Err(e) => error_bytes(e),
     }
 }
 
@@ -130,7 +205,7 @@ impl Msg {
             Msg::QueryResponse { result, .. } => result_bytes(result),
             Msg::SubQuery { keys, .. } => keys_bytes(keys.len()),
             Msg::SubQueryResponse { result, .. } => result_bytes(result),
-            Msg::FetchPartials { keys, .. } => keys_bytes(keys.len()),
+            Msg::FetchPartials { keys, exclude, .. } => keys_bytes(keys.len()) + 8 * exclude.len(),
             Msg::PartialsResponse { partials, .. } => partials_bytes(partials),
             Msg::Distress { .. } => 64,
             Msg::DistressAck { .. } => 48,
@@ -186,7 +261,7 @@ mod tests {
         };
         let resp_err = Msg::QueryResponse {
             rpc: 1,
-            result: Err("nope".into()),
+            result: Err(ClusterError::Timeout { node: 2, op: "subquery" }),
         };
         assert!(resp_ok.wire_size() > resp_err.wire_size());
 
@@ -197,6 +272,16 @@ mod tests {
             cells: vec![(cell(), 1.0); 32],
         };
         assert!(repl.wire_size() > 32 * 100, "replication payloads are heavy");
+    }
+
+    #[test]
+    fn transient_errors_are_exactly_the_retriable_ones() {
+        assert!(ClusterError::Timeout { node: 1, op: "subquery" }.is_transient());
+        assert!(ClusterError::Unreachable { node: 1 }.is_transient());
+        assert!(ClusterError::RerouteRefused { helper: 1 }.is_transient());
+        assert!(!ClusterError::Storage("disk".into()).is_transient());
+        assert!(!ClusterError::BadQuery("res".into()).is_transient());
+        assert!(!ClusterError::Protocol("reply".into()).is_transient());
     }
 
     #[test]

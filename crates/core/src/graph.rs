@@ -246,7 +246,7 @@ impl StashGraph {
             cells.push(&map.get(c)?.cell);
         }
         let n_attrs = cells[0].summary.n_attrs();
-        Some(Cell::from_children(*key, n_attrs, cells.into_iter()))
+        Some(Cell::from_children(*key, n_attrs, cells))
     }
 
     /// Region-level freshness update (§V-C2): every Cell of the accessed
@@ -572,7 +572,7 @@ mod tests {
         g.insert(Cell::empty(key("9r", TemporalRes::Day), 1));
         // After replacement, no stale cell should remain while fresh ones
         // were evicted unnecessarily.
-        let plm_stale: Vec<&CellKey> = children.iter().filter(|k| !g.contains_fresh(k) == false).collect();
+        let plm_stale: Vec<&CellKey> = children.iter().filter(|k| g.contains_fresh(k)).collect();
         let _ = plm_stale;
         let fresh_remaining = children.iter().filter(|k| g.contains_fresh(k)).count();
         assert!(fresh_remaining > 0, "some fresh cells must survive");

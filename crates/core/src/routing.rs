@@ -165,6 +165,15 @@ impl GuestBook {
         self.entries.get(key).map(|m| m.src_node)
     }
 
+    /// Does this helper still host any of these Cells? A rerouted subquery
+    /// that matches nothing (the guests were purged, or a stale routing
+    /// table pointed here) must be *refused* so the owner serves it — a
+    /// helper silently evaluating foreign Cells would accrete data it was
+    /// never handed.
+    pub fn hosts_any(&self, keys: &[CellKey]) -> bool {
+        keys.iter().any(|k| self.entries.contains_key(k))
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -257,6 +266,19 @@ mod tests {
         assert_eq!(rt.drop_helper(3), 1);
         assert_eq!(rt.decide(&m1[..2]), RouteDecision::Local);
         assert_eq!(rt.decide(&m2[..2]), RouteDecision::Covered { helper: 5 });
+    }
+
+    #[test]
+    fn guest_book_knows_its_guests() {
+        let mut gb = GuestBook::new();
+        let (_, members) = clique("9q8");
+        assert!(!gb.hosts_any(&members));
+        gb.record(members[..4].iter().copied(), 2, 0);
+        assert!(gb.hosts_any(&members));
+        assert!(gb.hosts_any(&members[3..5]), "one known key is enough");
+        assert!(!gb.hosts_any(&members[4..]));
+        gb.forget(&members[..4]);
+        assert!(!gb.hosts_any(&members));
     }
 
     #[test]

@@ -47,6 +47,30 @@ impl Partitioner {
         self.owner(key.geohash)
     }
 
+    /// Effective owner when some nodes are down: the first node of the
+    /// replica chain — the primary, then its ring successors — that is not
+    /// in `exclude`. This models DFS block replication (Galileo keeps each
+    /// block on `r` successive ring nodes): when the primary is crashed or
+    /// partitioned away, the next replica in the chain serves its blocks.
+    /// Every live node evaluates the same pure function, so failover needs
+    /// no coordination and each block still has exactly one effective
+    /// owner. Falls back to the primary if every node is excluded.
+    pub fn owner_excluding(&self, gh: Geohash, exclude: &[usize]) -> usize {
+        let primary = self.owner(gh);
+        for i in 0..self.n_nodes {
+            let candidate = (primary + i) % self.n_nodes;
+            if !exclude.contains(&candidate) {
+                return candidate;
+            }
+        }
+        primary
+    }
+
+    /// [`Partitioner::owner_excluding`] by a Cell's spatial label.
+    pub fn owner_of_cell_excluding(&self, key: &CellKey, exclude: &[usize]) -> usize {
+        self.owner_excluding(key.geohash, exclude)
+    }
+
     /// Does placement of `gh` depend on more partitions than its own?
     /// True exactly when the geohash is coarser than the placement prefix.
     pub fn spans_partitions(&self, gh: Geohash) -> bool {
@@ -157,5 +181,40 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         Partitioner::new(0, 2);
+    }
+
+    #[test]
+    fn exclusion_walks_the_replica_chain() {
+        let part = p();
+        let gh = Geohash::from_str("9q8").unwrap();
+        let primary = part.owner(gh);
+        assert_eq!(part.owner_excluding(gh, &[]), primary);
+        // Excluding the primary hands the block to its ring successor…
+        assert_eq!(part.owner_excluding(gh, &[primary]), (primary + 1) % 8);
+        // …and chains through consecutive failures.
+        let two_down = [primary, (primary + 1) % 8];
+        assert_eq!(part.owner_excluding(gh, &two_down), (primary + 2) % 8);
+        // Excluding an unrelated node changes nothing.
+        assert_eq!(part.owner_excluding(gh, &[(primary + 3) % 8]), primary);
+    }
+
+    #[test]
+    fn exclusion_of_everyone_falls_back_to_primary() {
+        let part = p();
+        let gh = Geohash::from_str("9q8").unwrap();
+        let all: Vec<usize> = (0..8).collect();
+        assert_eq!(part.owner_excluding(gh, &all), part.owner(gh));
+    }
+
+    #[test]
+    fn cell_exclusion_matches_geohash_exclusion() {
+        let part = p();
+        let gh = Geohash::from_str("9q8y").unwrap();
+        let key = CellKey::new(gh, TimeBin::containing(TemporalRes::Day, 0));
+        let primary = part.owner(gh);
+        assert_eq!(
+            part.owner_of_cell_excluding(&key, &[primary]),
+            part.owner_excluding(gh, &[primary]),
+        );
     }
 }

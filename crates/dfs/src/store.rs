@@ -127,6 +127,20 @@ impl NodeStore {
     /// partial (so callers can distinguish "computed, empty region" from
     /// "not my data").
     pub fn fetch_partials(&self, cells: &[CellKey]) -> Result<Vec<PartialCell>, BlockPlanError> {
+        self.fetch_partials_excluding(cells, &[])
+    }
+
+    /// [`NodeStore::fetch_partials`] under failover: blocks whose primary
+    /// owner is in `exclude` (crashed / unreachable) are scanned by their
+    /// replica instead — the first ring successor not excluded (see
+    /// [`Partitioner::owner_excluding`]). Every node applies the same
+    /// effective-owner predicate, so each block is still scanned exactly
+    /// once cluster-wide and merged answers stay exact.
+    pub fn fetch_partials_excluding(
+        &self,
+        cells: &[CellKey],
+        exclude: &[usize],
+    ) -> Result<Vec<PartialCell>, BlockPlanError> {
         let plan = plan_blocks(
             cells,
             self.block_len,
@@ -136,7 +150,7 @@ impl NodeStore {
         )?;
         let owned: Vec<(BlockKey, Vec<CellKey>)> = plan
             .into_iter()
-            .filter(|(bk, _)| self.partitioner.owner(bk.geohash) == self.node_idx)
+            .filter(|(bk, _)| self.partitioner.owner_excluding(bk.geohash, exclude) == self.node_idx)
             .collect();
         if owned.is_empty() {
             return Ok(Vec::new());
@@ -300,6 +314,54 @@ mod tests {
                 assert!(partials.is_empty(), "node {} is not the owner", s.node_idx());
             }
         }
+    }
+
+    #[test]
+    fn replica_takes_over_excluded_primary_exactly() {
+        let stores = all_stores(4);
+        let cell = day_cell("9xj6");
+        let primary = stores[0].partitioner().owner(Geohash::from_str("9xj").unwrap());
+        let baseline = stores[primary].fetch_partials(&[cell]).unwrap();
+        assert_eq!(baseline.len(), 1);
+
+        // With the primary excluded, exactly one other node — its ring
+        // successor — scans the block, and sees the very same data (the
+        // generator-backed DFS is shared, like replicated storage).
+        let replica = (primary + 1) % 4;
+        let mut served_by = Vec::new();
+        for s in &stores {
+            let partials = s.fetch_partials_excluding(&[cell], &[primary]).unwrap();
+            if !partials.is_empty() {
+                assert_eq!(partials.len(), 1);
+                assert_eq!(partials[0].summary.count(), baseline[0].summary.count());
+                served_by.push(s.node_idx());
+            }
+        }
+        assert_eq!(served_by, vec![replica]);
+    }
+
+    #[test]
+    fn coarse_cell_partials_stay_exact_under_exclusion() {
+        // Exclude one node; the surviving three must still jointly cover
+        // every block exactly once, so the merged summary is unchanged.
+        let stores = all_stores(4);
+        let cell = day_cell("9");
+        let merge_all = |exclude: &[usize]| {
+            let mut merged = CellSummary::empty(4);
+            for s in &stores {
+                if exclude.contains(&s.node_idx()) {
+                    continue;
+                }
+                for p in s.fetch_partials_excluding(&[cell], exclude).unwrap() {
+                    merged.merge(&p.summary);
+                }
+            }
+            merged
+        };
+        let fault_free = merge_all(&[]);
+        let failed_over = merge_all(&[2]);
+        assert!(fault_free.count() > 0);
+        assert_eq!(failed_over.count(), fault_free.count());
     }
 
     #[test]

@@ -14,8 +14,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Wire protocol of the baseline.
-#[derive(Debug)]
+/// Wire protocol of the baseline. `Clone` is required by the fabric's
+/// duplication faults.
+#[derive(Debug, Clone)]
 pub enum EsMsg {
     /// Client search at a coordinating node.
     Search { rpc: u64, reply_to: NodeId, query: AggQuery },

@@ -38,6 +38,9 @@ pub struct ShardStats {
     pub field_cache_misses: AtomicU64,
 }
 
+/// A cached per-shard aggregation output, shared between cache and callers.
+type CachedPartials = Arc<Vec<(CellKey, CellSummary)>>;
+
 /// One node's slice of the hash-sharded index plus its caches.
 pub struct NodeShards {
     node_idx: usize,
@@ -51,7 +54,7 @@ pub struct NodeShards {
     source: Arc<dyn BlockSource>,
     max_blocks: usize,
     /// Shard request cache: exact-query → this node's aggregation output.
-    request_cache: Mutex<LruCache<u64, Arc<Vec<(CellKey, CellSummary)>>>>,
+    request_cache: Mutex<LruCache<u64, CachedPartials>>,
     /// Field-data cache: block → resident column values.
     field_cache: Mutex<LruCache<BlockKey, Arc<Vec<Observation>>>>,
     /// Modeled CPU cost per document collected (virtual time).

@@ -67,7 +67,7 @@ proptest! {
                 }
             }
             prop_assert_eq!(lru.len(), model.items.len());
-            prop_assert!(lru.len() <= cap.max(0));
+            prop_assert!(lru.len() <= cap);
         }
     }
 

@@ -349,9 +349,9 @@ impl Geohash {
     fn to_chars(self) -> ([u8; MAX_GEOHASH_LEN as usize], usize) {
         let mut buf = [0u8; MAX_GEOHASH_LEN as usize];
         let n = self.len as usize;
-        for i in 0..n {
+        for (i, slot) in buf.iter_mut().enumerate().take(n) {
             let shift = 5 * (n - 1 - i) as u32;
-            buf[i] = base32::encode_digit(((self.bits >> shift) & 31) as u8);
+            *slot = base32::encode_digit(((self.bits >> shift) & 31) as u8);
         }
         (buf, n)
     }

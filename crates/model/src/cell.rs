@@ -95,7 +95,6 @@ impl Cell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::CellSummary;
     use stash_geo::time::epoch_seconds;
     use stash_geo::{Geohash, TemporalRes, TimeBin};
     use std::str::FromStr;

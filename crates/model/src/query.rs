@@ -235,7 +235,7 @@ mod tests {
         let country = day_query((16.0, 32.0), 4);
         let city_n = city.target_keys(100_000).unwrap().len();
         let country_n = country.target_keys(100_000).unwrap().len();
-        assert!(city_n >= 1 && city_n < 20, "city: {city_n}");
+        assert!((1..20).contains(&city_n), "city: {city_n}");
         assert!(country_n > 5_000, "country: {country_n}");
         assert_eq!(city.target_cell_count(), city_n);
         assert_eq!(country.target_cell_count(), country_n);

@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the simulated wire.
+//!
+//! A [`FaultPlan`] is a list of per-link rules (drop / duplicate / extra
+//! delay, each with a probability) plus a seed. Installed on a
+//! [`Router`](crate::Router) it perturbs every non-loopback send. The
+//! decision for the `k`-th message on link `(src, dst)` is drawn from an rng
+//! seeded by `mix(plan_seed, src, dst, k)`, so the fault schedule of every
+//! link is a pure function of the plan — independent of thread interleaving
+//! and wall-clock time. Two runs that send the same message sequence down a
+//! link experience byte-identical faults, which is what makes chaos tests
+//! reproducible.
+//!
+//! Partitions and crashes are not probabilistic rules; they are imperative
+//! state on the router itself (`set_partition`, `crash_node`) because the
+//! chaos harness scripts them at specific points in a scenario.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// One fault rule, scoped to a link or broadcast over all links.
+///
+/// `src`/`dst` of `None` match any node. All probabilities are in `[0, 1]`
+/// and are evaluated independently; a message can be both delayed and
+/// duplicated, but a dropped message is simply gone.
+#[derive(Debug, Clone)]
+pub struct LinkFault {
+    /// Source filter; `None` matches every sender.
+    pub src: Option<usize>,
+    /// Destination filter; `None` matches every receiver.
+    pub dst: Option<usize>,
+    /// Probability the message vanishes in flight (silent loss — the sender
+    /// still sees a successful send).
+    pub drop_probability: f64,
+    /// Probability the message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Additional wire delay applied with `extra_delay_probability`.
+    pub extra_delay: Duration,
+    /// Probability `extra_delay` is added to the message's wire time.
+    pub extra_delay_probability: f64,
+}
+
+impl LinkFault {
+    fn new(src: Option<usize>, dst: Option<usize>) -> Self {
+        LinkFault {
+            src,
+            dst,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            extra_delay: Duration::ZERO,
+            extra_delay_probability: 0.0,
+        }
+    }
+
+    /// Does this rule apply to a `(src, dst)` message?
+    pub fn matches(&self, src: usize, dst: usize) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// What the fault plane decided for one message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Silently discard the message.
+    pub drop: bool,
+    /// Deliver a second copy (same deadline, later queue order).
+    pub duplicate: bool,
+    /// Extra wire delay on top of the cost model's latency.
+    pub extra_delay: Duration,
+}
+
+/// A seeded schedule of link faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Root seed; all per-message decisions derive from it.
+    pub seed: u64,
+    /// Rules, evaluated in order; matching rules compound.
+    pub links: Vec<LinkFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, links: Vec::new() }
+    }
+
+    /// Drop every message on every link with probability `p`.
+    pub fn drop_all(mut self, p: f64) -> Self {
+        let mut rule = LinkFault::new(None, None);
+        rule.drop_probability = p.clamp(0.0, 1.0);
+        self.links.push(rule);
+        self
+    }
+
+    /// Drop messages from `src` to `dst` with probability `p`.
+    pub fn drop_link(mut self, src: usize, dst: usize, p: f64) -> Self {
+        let mut rule = LinkFault::new(Some(src), Some(dst));
+        rule.drop_probability = p.clamp(0.0, 1.0);
+        self.links.push(rule);
+        self
+    }
+
+    /// Duplicate every message on every link with probability `p`.
+    pub fn duplicate_all(mut self, p: f64) -> Self {
+        let mut rule = LinkFault::new(None, None);
+        rule.duplicate_probability = p.clamp(0.0, 1.0);
+        self.links.push(rule);
+        self
+    }
+
+    /// Duplicate messages from `src` to `dst` with probability `p`.
+    pub fn duplicate_link(mut self, src: usize, dst: usize, p: f64) -> Self {
+        let mut rule = LinkFault::new(Some(src), Some(dst));
+        rule.duplicate_probability = p.clamp(0.0, 1.0);
+        self.links.push(rule);
+        self
+    }
+
+    /// Add `extra` wire delay to every message with probability `p`.
+    pub fn delay_all(mut self, extra: Duration, p: f64) -> Self {
+        let mut rule = LinkFault::new(None, None);
+        rule.extra_delay = extra;
+        rule.extra_delay_probability = p.clamp(0.0, 1.0);
+        self.links.push(rule);
+        self
+    }
+
+    /// Add `extra` wire delay to `src → dst` messages with probability `p`.
+    pub fn delay_link(mut self, src: usize, dst: usize, extra: Duration, p: f64) -> Self {
+        let mut rule = LinkFault::new(Some(src), Some(dst));
+        rule.extra_delay = extra;
+        rule.extra_delay_probability = p.clamp(0.0, 1.0);
+        self.links.push(rule);
+        self
+    }
+
+    /// Decide the fate of the `k`-th message ever sent on link `(src, dst)`.
+    ///
+    /// Deterministic: depends only on the plan and `(src, dst, k)`. Rules
+    /// are drawn in declaration order with a fixed draw order per rule
+    /// (drop, delay, duplicate), so inserting a rule never perturbs the
+    /// draws of rules before it on the same message.
+    pub fn decide(&self, src: usize, dst: usize, k: u64) -> FaultDecision {
+        let mut rng = StdRng::seed_from_u64(mix4(self.seed, src as u64, dst as u64, k));
+        let mut decision = FaultDecision::default();
+        for rule in &self.links {
+            if !rule.matches(src, dst) {
+                continue;
+            }
+            if rng.gen_bool(rule.drop_probability) {
+                decision.drop = true;
+            }
+            if rng.gen_bool(rule.extra_delay_probability) {
+                decision.extra_delay += rule.extra_delay;
+            }
+            if rng.gen_bool(rule.duplicate_probability) {
+                decision.duplicate = true;
+            }
+        }
+        decision
+    }
+}
+
+/// splitmix64 finalizer — full-avalanche 64-bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix4(seed: u64, src: u64, dst: u64, k: u64) -> u64 {
+    mix64(mix64(mix64(mix64(seed) ^ src) ^ dst) ^ k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_plan_same_schedule() {
+        let plan = FaultPlan::new(0xC4A0)
+            .drop_all(0.1)
+            .delay_link(0, 1, Duration::from_millis(5), 0.3)
+            .duplicate_all(0.05);
+        let replay = plan.clone();
+        for k in 0..500 {
+            for (s, d) in [(0, 1), (1, 0), (2, 3)] {
+                assert_eq!(plan.decide(s, d, k), replay.decide(s, d, k));
+            }
+        }
+    }
+
+    #[test]
+    fn links_have_independent_schedules() {
+        let plan = FaultPlan::new(7).drop_all(0.5);
+        let a: Vec<bool> = (0..64).map(|k| plan.decide(0, 1, k).drop).collect();
+        let b: Vec<bool> = (0..64).map(|k| plan.decide(1, 0, k).drop).collect();
+        assert_ne!(a, b, "reverse link should see a different schedule");
+    }
+
+    #[test]
+    fn seed_changes_schedule() {
+        let a = FaultPlan::new(1).drop_all(0.5);
+        let b = FaultPlan::new(2).drop_all(0.5);
+        let sa: Vec<bool> = (0..64).map(|k| a.decide(0, 1, k).drop).collect();
+        let sb: Vec<bool> = (0..64).map(|k| b.decide(0, 1, k).drop).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn scoped_rule_only_hits_its_link() {
+        let plan = FaultPlan::new(3).drop_link(0, 1, 1.0);
+        for k in 0..32 {
+            assert!(plan.decide(0, 1, k).drop);
+            assert!(!plan.decide(1, 0, k).drop);
+            assert!(!plan.decide(0, 2, k).drop);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(11).drop_all(0.2);
+        let n = 5000;
+        let dropped = (0..n).filter(|&k| plan.decide(4, 5, k).drop).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((0.15..0.25).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn matching_rules_compound() {
+        let plan = FaultPlan::new(9)
+            .drop_link(0, 1, 1.0)
+            .delay_all(Duration::from_millis(2), 1.0)
+            .duplicate_link(0, 1, 1.0);
+        let d = plan.decide(0, 1, 0);
+        assert!(d.drop && d.duplicate);
+        assert_eq!(d.extra_delay, Duration::from_millis(2));
+        // Unrelated link only picks up the broadcast delay rule.
+        let d2 = plan.decide(2, 3, 0);
+        assert_eq!(
+            d2,
+            FaultDecision { drop: false, duplicate: false, extra_delay: Duration::from_millis(2) }
+        );
+    }
+}

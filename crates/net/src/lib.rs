@@ -17,11 +17,19 @@
 //!
 //! The fabric is payload-generic: the cluster crate defines its own message
 //! enum and the ElasticSearch baseline its own; both share this router.
+//!
+//! The router is also the **fault plane**: a seeded [`FaultPlan`] injects
+//! deterministic per-link drops, duplicates, and delays; partitions and
+//! node crash/restart are scripted imperatively (`Router::set_partition`,
+//! `Router::crash_node`). Faults live at the wire so upper layers see them
+//! the way real processes do — silence, duplicates, and dead peers.
 
+pub mod fault;
 pub mod rpc;
 pub mod router;
 pub mod stats;
 
+pub use fault::{FaultDecision, FaultPlan, LinkFault};
 pub use router::{Endpoint, Envelope, NetConfig, NodeId, Router};
 pub use rpc::RpcTable;
 pub use stats::NetStats;

@@ -7,15 +7,22 @@
 //! for wire time — latency is genuinely *in flight*, so a node's measured
 //! service time reflects only its own work and queueing, as on real
 //! hardware.
+//!
+//! The fabric doubles as the fault plane: a seeded [`FaultPlan`] can drop,
+//! duplicate, or delay messages per link; partitions sever node sets; and
+//! whole nodes can be crashed and restarted. Faults are injected here — at
+//! the wire — so the node and cluster layers above experience them exactly
+//! as real processes do: as silence, duplication, and dead peers.
 
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::fault::FaultPlan;
 use crate::stats::NetStats;
 
 /// Identity of a simulated cluster node (dense, 0-based).
@@ -33,7 +40,8 @@ impl std::fmt::Display for NodeId {
 pub struct NetConfig {
     /// Fixed per-message latency (propagation + protocol overhead).
     pub base_latency: Duration,
-    /// Payload throughput in bytes per second.
+    /// Payload throughput in bytes per second. Non-positive or non-finite
+    /// values disable the bandwidth term (latency is `base_latency` only).
     pub bytes_per_sec: f64,
     /// Messages a node sends to itself skip the wire when true (zero-hop
     /// local dispatch, like a same-process function call).
@@ -55,7 +63,14 @@ impl Default for NetConfig {
 impl NetConfig {
     /// Wire time for a message of `bytes` payload.
     pub fn latency(&self, bytes: usize) -> Duration {
-        self.base_latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+        if !(self.bytes_per_sec.is_finite() && self.bytes_per_sec > 0.0) {
+            return self.base_latency;
+        }
+        let secs = bytes as f64 / self.bytes_per_sec;
+        if !secs.is_finite() {
+            return self.base_latency;
+        }
+        self.base_latency + Duration::from_secs_f64(secs)
     }
 }
 
@@ -98,13 +113,29 @@ struct Shared<M> {
     shutdown: AtomicBool,
 }
 
+/// Mutable fault-plane state, shared by all router clones.
+struct FaultState {
+    /// Probabilistic link faults; `None` = clean wire.
+    plan: RwLock<Option<FaultPlan>>,
+    /// Node → partition-group map; nodes in different groups cannot
+    /// communicate. `None` = fully connected.
+    partition: RwLock<Option<Vec<usize>>>,
+    /// Crash flags, indexed by node id.
+    crashed: RwLock<Vec<bool>>,
+    /// Per-link message counters feeding the deterministic fault schedule.
+    link_seq: Mutex<HashMap<(usize, usize), u64>>,
+}
+
 /// The fabric: one per simulated cluster.
 ///
 /// Cheap to clone (all state behind `Arc`); clones share the same wire.
 pub struct Router<M: Send + 'static> {
     config: NetConfig,
-    inboxes: Arc<Vec<Sender<Envelope<M>>>>,
+    n_nodes: usize,
+    // RwLock so crash/restart can swap a node's inbox sender in place.
+    inboxes: Arc<RwLock<Vec<Sender<Envelope<M>>>>>,
     shared: Arc<Shared<M>>,
+    faults: Arc<FaultState>,
     stats: Arc<NetStats>,
     seq: Arc<std::sync::atomic::AtomicU64>,
 }
@@ -113,8 +144,10 @@ impl<M: Send + 'static> Clone for Router<M> {
     fn clone(&self) -> Self {
         Router {
             config: self.config.clone(),
+            n_nodes: self.n_nodes,
             inboxes: Arc::clone(&self.inboxes),
             shared: Arc::clone(&self.shared),
+            faults: Arc::clone(&self.faults),
             stats: Arc::clone(&self.stats),
             seq: Arc::clone(&self.seq),
         }
@@ -128,7 +161,7 @@ pub struct Endpoint<M> {
     pub inbox: Receiver<Envelope<M>>,
 }
 
-impl<M: Send + 'static> Router<M> {
+impl<M: Send + Clone + 'static> Router<M> {
     /// Build a fabric for `n_nodes` nodes. Returns the router plus one
     /// [`Endpoint`] per node; the router thread runs until [`Router::shutdown`]
     /// or until the last router clone is dropped.
@@ -148,9 +181,16 @@ impl<M: Send + 'static> Router<M> {
         });
         let router = Router {
             config,
-            inboxes: Arc::new(senders),
+            n_nodes,
+            inboxes: Arc::new(RwLock::new(senders)),
             shared: Arc::clone(&shared),
-            stats: Arc::new(NetStats::default()),
+            faults: Arc::new(FaultState {
+                plan: RwLock::new(None),
+                partition: RwLock::new(None),
+                crashed: RwLock::new(vec![false; n_nodes]),
+                link_seq: Mutex::new(HashMap::new()),
+            }),
+            stats: Arc::new(NetStats::with_nodes(n_nodes)),
             seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         };
         let thread_router = router.clone();
@@ -163,7 +203,7 @@ impl<M: Send + 'static> Router<M> {
 
     /// Number of nodes on the fabric.
     pub fn n_nodes(&self) -> usize {
-        self.inboxes.len()
+        self.n_nodes
     }
 
     /// Fabric-wide counters.
@@ -179,28 +219,155 @@ impl<M: Send + 'static> Router<M> {
     /// Queue depth of a node's inbox — the paper's hotspot detection signal
     /// ("the number of pending requests in its message queue", §VII-B1).
     pub fn inbox_len(&self, node: NodeId) -> usize {
-        self.inboxes[node.0].len()
+        self.inboxes.read()[node.0].len()
     }
+
+    // ---- Fault plane --------------------------------------------------------
+
+    /// Install (or replace) the probabilistic fault plan. Per-link message
+    /// counters reset, so the plan's fault schedule starts from its origin —
+    /// installing the same plan twice yields the same schedule.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.faults.plan.write() = Some(plan);
+        self.faults.link_seq.lock().clear();
+    }
+
+    /// Remove the fault plan; the wire is clean again.
+    pub fn clear_faults(&self) {
+        *self.faults.plan.write() = None;
+        self.faults.link_seq.lock().clear();
+    }
+
+    /// Sever the fabric into groups: messages between nodes of different
+    /// groups are silently lost (the sender still sees success, as with a
+    /// real partition). Nodes absent from every group form one implicit
+    /// extra group — still connected to each other, severed from all listed
+    /// groups. Replaces any previous partition.
+    pub fn set_partition(&self, groups: &[Vec<usize>]) {
+        let mut map = vec![usize::MAX; self.n_nodes];
+        for (gi, group) in groups.iter().enumerate() {
+            for &node in group {
+                assert!(node < self.n_nodes, "partition names unknown node {node}");
+                map[node] = gi;
+            }
+        }
+        *self.faults.partition.write() = Some(map);
+    }
+
+    /// Remove the partition; all links work again.
+    pub fn heal_partition(&self) {
+        *self.faults.partition.write() = None;
+    }
+
+    /// Crash a node: its inbox is torn off the fabric, so everything in
+    /// flight to it (and everything sent later) is dropped, and the node's
+    /// main loop sees its channel disconnect — the process is gone.
+    /// Idempotent.
+    pub fn crash_node(&self, node: NodeId) {
+        assert!(node.0 < self.n_nodes, "unknown node {node}");
+        let mut crashed = self.faults.crashed.write();
+        if crashed[node.0] {
+            return;
+        }
+        crashed[node.0] = true;
+        // Replace the inbox sender with one whose receiver is already gone:
+        // parked deliveries fail (counted as drops), and dropping the old
+        // sender disconnects the dead node's receive loop.
+        let (dead_tx, _) = channel::unbounded();
+        self.inboxes.write()[node.0] = dead_tx;
+    }
+
+    /// Restart a crashed node with a fresh, empty inbox. The caller wires
+    /// the returned [`Endpoint`] to a new node process; nothing of the old
+    /// process survives.
+    pub fn restart_node(&self, node: NodeId) -> Endpoint<M> {
+        assert!(node.0 < self.n_nodes, "unknown node {node}");
+        let mut crashed = self.faults.crashed.write();
+        assert!(crashed[node.0], "restart of live node {node}");
+        let (tx, rx) = channel::unbounded();
+        self.inboxes.write()[node.0] = tx;
+        crashed[node.0] = false;
+        Endpoint { id: node, inbox: rx }
+    }
+
+    /// Is this node currently crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults.crashed.read()[node.0]
+    }
+
+    /// Are these two nodes currently severed by a partition?
+    fn severed(&self, src: usize, dst: usize) -> bool {
+        match self.faults.partition.read().as_ref() {
+            Some(map) => map[src] != map[dst],
+            None => false,
+        }
+    }
+
+    // ---- Send path ----------------------------------------------------------
 
     /// Send `payload` of approximate wire size `bytes` from `src` to `dst`.
     ///
-    /// Returns `false` if the destination endpoint has been dropped (node
-    /// stopped) or the fabric is shut down — senders treat that as a dead
-    /// peer, not an error.
+    /// Returns `false` if the destination is crashed, the destination
+    /// endpoint has been dropped (node stopped), or the fabric is shut down
+    /// — senders treat that as a dead peer, not an error. Partition losses
+    /// and fault-plan drops return `true`: real networks don't tell senders
+    /// about in-flight loss, so those surface as timeouts upstream.
     pub fn send(&self, src: NodeId, dst: NodeId, payload: M, bytes: usize) -> bool {
-        assert!(dst.0 < self.inboxes.len(), "unknown destination {dst}");
+        assert!(dst.0 < self.n_nodes, "unknown destination {dst}");
         if self.shared.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.is_crashed(dst) || self.is_crashed(src) {
+            // Dead peer (or dead sender — a crashed process can't talk).
+            // Fail fast: like a refused connection, not a timeout.
+            self.stats.record_drop(dst.0);
             return false;
         }
         self.stats.record_send(bytes);
         let env = Envelope { src, dst, payload };
         if self.config.loopback_is_free && src == dst {
-            return self.inboxes[dst.0].send(env).is_ok();
+            // Local dispatch: no wire, no faults.
+            return self.inboxes.read()[dst.0].send(env).is_ok();
         }
-        let due = Instant::now() + self.config.latency(bytes);
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.severed(src.0, dst.0) {
+            // Partitioned: the message is silently lost in flight.
+            self.stats.record_drop(dst.0);
+            return true;
+        }
+        let mut extra_delay = Duration::ZERO;
+        let mut duplicate = false;
+        if let Some(plan) = self.faults.plan.read().as_ref() {
+            let k = {
+                let mut seqs = self.faults.link_seq.lock();
+                let slot = seqs.entry((src.0, dst.0)).or_insert(0);
+                let k = *slot;
+                *slot += 1;
+                k
+            };
+            let decision = plan.decide(src.0, dst.0, k);
+            if decision.drop {
+                self.stats.record_drop(dst.0);
+                return true;
+            }
+            extra_delay = decision.extra_delay;
+            duplicate = decision.duplicate;
+        }
+        let due = Instant::now() + self.config.latency(bytes) + extra_delay;
+        let copy = duplicate.then(|| Envelope {
+            src: env.src,
+            dst: env.dst,
+            payload: env.payload.clone(),
+        });
         let mut heap = self.shared.heap.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         heap.push(Reverse(Parked { due, seq, env }));
+        if let Some(copy) = copy {
+            // Duplicate: same deadline, later queue order — the copy lands
+            // right behind the original.
+            self.stats.record_send(bytes);
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            heap.push(Reverse(Parked { due, seq, env: copy }));
+        }
         // Wake the delay loop: the new head may be earlier than its sleep.
         self.shared.wakeup.notify_one();
         true
@@ -226,9 +393,13 @@ impl<M: Send + 'static> Router<M> {
                     break;
                 }
                 let Reverse(parked) = heap_guard.pop().expect("peeked non-empty");
-                // Delivery failure means the endpoint is gone; drop quietly.
-                let _ = self.inboxes[parked.env.dst.0].send(parked.env);
-                self.stats.record_deliver();
+                let dst = parked.env.dst.0;
+                // A crash between park and delivery swaps in a dead sender,
+                // so the send fails either way; failure is a drop.
+                match self.inboxes.read()[dst].send(parked.env) {
+                    Ok(()) => self.stats.record_deliver(dst),
+                    Err(_) => self.stats.record_drop(dst),
+                }
             }
             // Sleep until the next deadline (or a new message arrives).
             match heap_guard.peek() {
@@ -294,6 +465,17 @@ mod tests {
     }
 
     #[test]
+    fn loopback_is_not_a_wire_delivery() {
+        let (router, eps) = Router::<u32>::new(1, NetConfig::default());
+        router.send(NodeId(0), NodeId(0), 1, 10);
+        assert_eq!(router.stats().messages_sent(), 1);
+        assert_eq!(router.stats().messages_delivered(), 0, "loopback skips record_deliver");
+        assert_eq!(router.stats().node_delivered(0), 0);
+        drop(eps);
+        router.shutdown();
+    }
+
+    #[test]
     fn fifo_among_equal_deadlines() {
         let config = NetConfig {
             base_latency: Duration::from_millis(5),
@@ -324,6 +506,19 @@ mod tests {
         };
         assert!(config.latency(100_000) >= Duration::from_millis(99));
         assert!(config.latency(0) < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_bandwidth_means_base_latency_only() {
+        let base = Duration::from_micros(42);
+        for bps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let config = NetConfig {
+                base_latency: base,
+                bytes_per_sec: bps,
+                loopback_is_free: true,
+            };
+            assert_eq!(config.latency(1_000_000), base, "bytes_per_sec = {bps}");
+        }
     }
 
     #[test]
@@ -369,5 +564,148 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_node_fabric_rejected() {
         let _ = Router::<u32>::new(0, NetConfig::default());
+    }
+
+    // ---- Fault plane --------------------------------------------------------
+
+    fn fast_config() -> NetConfig {
+        NetConfig {
+            base_latency: Duration::from_micros(50),
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+        }
+    }
+
+    #[test]
+    fn send_to_crashed_node_fails_fast() {
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let _ep1 = eps.remove(1);
+        router.crash_node(NodeId(1));
+        assert!(router.is_crashed(NodeId(1)));
+        assert!(!router.send(NodeId(0), NodeId(1), 7, 8), "crashed peer must refuse sends");
+        assert_eq!(router.stats().messages_dropped(), 1);
+        assert_eq!(router.stats().node_dropped(1), 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn crash_disconnects_old_endpoint_and_restart_wires_a_new_one() {
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let old_ep = eps.remove(1);
+        router.crash_node(NodeId(1));
+        // The dead process's receive loop observes a disconnect.
+        assert!(matches!(
+            old_ep.inbox.recv_timeout(Duration::from_millis(500)),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected)
+        ));
+        let new_ep = router.restart_node(NodeId(1));
+        assert!(!router.is_crashed(NodeId(1)));
+        assert!(router.send(NodeId(0), NodeId(1), 9, 8));
+        let env = new_ep.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.payload, 9);
+        router.shutdown();
+    }
+
+    #[test]
+    fn in_flight_messages_to_crashed_node_are_dropped() {
+        let config = NetConfig {
+            base_latency: Duration::from_millis(50),
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+        };
+        let (router, mut eps) = Router::<u32>::new(2, config);
+        let _ep1 = eps.remove(1);
+        assert!(router.send(NodeId(0), NodeId(1), 7, 8), "send precedes the crash");
+        router.crash_node(NodeId(1)); // while the message is still parked
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(router.stats().messages_delivered(), 0);
+        assert_eq!(router.stats().node_dropped(1), 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        let (router, mut eps) = Router::<u32>::new(3, fast_config());
+        let ep2 = eps.remove(2);
+        router.set_partition(&[vec![0, 1], vec![2]]);
+        // Cross-partition: silent loss — send still reports success.
+        assert!(router.send(NodeId(0), NodeId(2), 1, 8));
+        assert!(matches!(
+            ep2.inbox.recv_timeout(Duration::from_millis(100)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout)
+        ));
+        assert_eq!(router.stats().messages_dropped(), 1);
+        router.heal_partition();
+        assert!(router.send(NodeId(0), NodeId(2), 2, 8));
+        let env = ep2.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.payload, 2);
+        router.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_drops_are_silent_and_counted() {
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let ep1 = eps.remove(1);
+        router.install_faults(FaultPlan::new(1).drop_all(1.0));
+        for i in 0..10 {
+            assert!(router.send(NodeId(0), NodeId(1), i, 8), "drops are silent");
+        }
+        assert!(matches!(
+            ep1.inbox.recv_timeout(Duration::from_millis(100)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout)
+        ));
+        assert_eq!(router.stats().messages_dropped(), 10);
+        assert_eq!(router.stats().node_dropped(1), 10);
+        router.clear_faults();
+        assert!(router.send(NodeId(0), NodeId(1), 99, 8));
+        assert_eq!(ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap().payload, 99);
+        router.shutdown();
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let ep1 = eps.remove(1);
+        router.install_faults(FaultPlan::new(2).duplicate_all(1.0));
+        assert!(router.send(NodeId(0), NodeId(1), 7, 8));
+        let a = ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!((a.payload, b.payload), (7, 7));
+        router.shutdown();
+    }
+
+    #[test]
+    fn extra_delay_slows_the_link() {
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let ep1 = eps.remove(1);
+        router.install_faults(FaultPlan::new(3).delay_link(0, 1, Duration::from_millis(80), 1.0));
+        let t0 = Instant::now();
+        router.send(NodeId(0), NodeId(1), 7, 8);
+        ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(70), "extra delay not applied");
+        router.shutdown();
+    }
+
+    #[test]
+    fn reinstalling_a_plan_restarts_its_schedule() {
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let ep1 = eps.remove(1);
+        let plan = FaultPlan::new(0xBEEF).drop_all(0.5);
+        let run = |router: &Router<u32>, ep: &Endpoint<u32>| {
+            router.install_faults(plan.clone());
+            let mut delivered = Vec::new();
+            for i in 0..64u32 {
+                router.send(NodeId(0), NodeId(1), i, 8);
+            }
+            while let Ok(env) = ep.inbox.recv_timeout(Duration::from_millis(200)) {
+                delivered.push(env.payload);
+            }
+            delivered
+        };
+        let first = run(&router, &ep1);
+        let second = run(&router, &ep1);
+        assert_eq!(first, second, "same plan must replay the same schedule");
+        assert!(!first.is_empty() && first.len() < 64, "p=0.5 should drop some, keep some");
+        router.shutdown();
     }
 }

@@ -1,4 +1,4 @@
-//! Fabric-wide counters, shared lock-free across router clones.
+//! Fabric-wide and per-node counters, shared lock-free across router clones.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -7,21 +7,52 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Relaxed ordering everywhere: these are monitoring counters, not
 /// synchronization. (Per the concurrency guide: counters that no control
 /// flow depends on need no happens-before edges.)
+///
+/// Per-node slots are sized once at fabric construction
+/// ([`NetStats::with_nodes`]) and indexed by node id; a default (node-less)
+/// stats block still tracks the fabric-wide totals.
 #[derive(Debug, Default)]
 pub struct NetStats {
     messages_sent: AtomicU64,
     messages_delivered: AtomicU64,
+    /// Messages accepted (or already parked) that never reached their
+    /// destination: fault-plan drops, partition losses, and messages
+    /// addressed to crashed or stopped nodes.
+    messages_dropped: AtomicU64,
     bytes_sent: AtomicU64,
+    /// Per-destination delivered counts, indexed by node id.
+    node_delivered: Vec<AtomicU64>,
+    /// Per-destination dropped counts, indexed by node id.
+    node_dropped: Vec<AtomicU64>,
 }
 
 impl NetStats {
+    /// Stats block with per-node slots for a fabric of `n_nodes`.
+    pub fn with_nodes(n_nodes: usize) -> Self {
+        NetStats {
+            node_delivered: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            node_dropped: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            ..NetStats::default()
+        }
+    }
+
     pub(crate) fn record_send(&self, bytes: usize) {
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_deliver(&self) {
+    pub(crate) fn record_deliver(&self, dst: usize) {
         self.messages_delivered.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.node_delivered.get(dst) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_drop(&self, dst: usize) {
+        self.messages_dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.node_dropped.get(dst) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Messages accepted by [`Router::send`](crate::Router::send).
@@ -35,9 +66,29 @@ impl NetStats {
         self.messages_delivered.load(Ordering::Relaxed)
     }
 
+    /// Messages lost to fault injection, partitions, crashes, or stopped
+    /// endpoints.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped.load(Ordering::Relaxed)
+    }
+
     /// Total payload bytes accepted.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Wire deliveries into `node`'s inbox; 0 if the id is out of range.
+    pub fn node_delivered(&self, node: usize) -> u64 {
+        self.node_delivered
+            .get(node)
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// Messages destined for `node` that were lost; 0 if out of range.
+    pub fn node_dropped(&self, node: usize) -> u64 {
+        self.node_dropped
+            .get(node)
+            .map_or(0, |s| s.load(Ordering::Relaxed))
     }
 }
 
@@ -47,24 +98,42 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let s = NetStats::default();
+        let s = NetStats::with_nodes(2);
         s.record_send(10);
         s.record_send(20);
-        s.record_deliver();
+        s.record_deliver(1);
+        s.record_drop(0);
         assert_eq!(s.messages_sent(), 2);
         assert_eq!(s.bytes_sent(), 30);
         assert_eq!(s.messages_delivered(), 1);
+        assert_eq!(s.messages_dropped(), 1);
+        assert_eq!(s.node_delivered(1), 1);
+        assert_eq!(s.node_delivered(0), 0);
+        assert_eq!(s.node_dropped(0), 1);
+        assert_eq!(s.node_dropped(1), 0);
+    }
+
+    #[test]
+    fn out_of_range_node_counts_totals_only() {
+        let s = NetStats::default();
+        s.record_deliver(7);
+        s.record_drop(7);
+        assert_eq!(s.messages_delivered(), 1);
+        assert_eq!(s.messages_dropped(), 1);
+        assert_eq!(s.node_delivered(7), 0);
+        assert_eq!(s.node_dropped(7), 0);
     }
 
     #[test]
     fn counters_are_thread_safe() {
-        let s = std::sync::Arc::new(NetStats::default());
+        let s = std::sync::Arc::new(NetStats::with_nodes(1));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = std::sync::Arc::clone(&s);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
                         s.record_send(1);
+                        s.record_deliver(0);
                     }
                 })
             })
@@ -74,5 +143,7 @@ mod tests {
         }
         assert_eq!(s.messages_sent(), 8000);
         assert_eq!(s.bytes_sent(), 8000);
+        assert_eq!(s.messages_delivered(), 8000);
+        assert_eq!(s.node_delivered(0), 8000);
     }
 }

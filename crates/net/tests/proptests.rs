@@ -22,7 +22,7 @@ proptest! {
     #[test]
     fn exactly_once_delivery(sends in prop::collection::vec((0usize..4, 0usize..4), 1..150)) {
         let (router, endpoints) = Router::<(usize, usize)>::new(4, fast_config());
-        let mut expected_per_dst = vec![0usize; 4];
+        let mut expected_per_dst = [0usize; 4];
         for (seq, &(src, dst)) in sends.iter().enumerate() {
             prop_assert!(router.send(NodeId(src), NodeId(dst), (seq, dst), 8));
             expected_per_dst[dst] += 1;

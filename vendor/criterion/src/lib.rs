@@ -1,0 +1,262 @@
+//! Offline stand-in for `criterion`: the macro/builder API the benches use
+//! (`criterion_group!`, `criterion_main!`, groups, `iter`, `iter_custom`,
+//! `iter_batched`, `Throughput`) over a small mean/min timing loop that
+//! prints one line per benchmark. No plotting, no statistics, no baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Quick mode: one sample per benchmark (used when run under
+    /// `cargo test`, mirroring criterion's --test behaviour).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (samples, budget) = if self.criterion.test_mode {
+            (1, Duration::from_millis(1))
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
+        let mut b = Bencher {
+            samples,
+            budget,
+            durations: Vec::new(),
+            iters: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id, &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    durations: Vec<Duration>,
+    iters: Vec<u64>,
+}
+
+impl Bencher {
+    fn record(&mut self, d: Duration, iters: u64) {
+        self.durations.push(d);
+        self.iters.push(iters);
+    }
+
+    fn budget_left(&self) -> bool {
+        self.durations.len() < self.samples
+            && self.durations.iter().sum::<Duration>() < self.budget
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup outside measurement.
+        black_box(routine());
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.record(t0.elapsed(), 1);
+            if !self.budget_left() {
+                break;
+            }
+        }
+    }
+
+    /// The closure measures `iters` iterations itself and returns the total.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        loop {
+            let d = routine(1);
+            self.record(d, 1);
+            if !self.budget_left() {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.record(t0.elapsed(), 1);
+            if !self.budget_left() {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.durations.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let total: Duration = b.durations.iter().sum();
+    let n: u64 = b.iters.iter().sum();
+    let mean = total.as_secs_f64() / n as f64;
+    let min = b
+        .durations
+        .iter()
+        .zip(&b.iters)
+        .map(|(d, &i)| d.as_secs_f64() / i.max(1) as f64)
+        .fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => format!(", {:.0} elem/s", e as f64 / mean),
+        Some(Throughput::Bytes(by)) => format!(", {:.0} B/s", by as f64 / mean),
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: mean {:.3} ms, min {:.3} ms over {} samples{rate}",
+        mean * 1e3,
+        min * 1e3,
+        b.durations.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box((0..100u64).product::<u64>());
+                }
+                t0.elapsed()
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_every_style() {
+        benches();
+    }
+}

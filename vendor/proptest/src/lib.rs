@@ -1,0 +1,445 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, range/tuple/`any`/`vec`/
+//! `uniform2`/`prop_map`/`prop_oneof!` strategies, and the `prop_assert*`
+//! macros. Cases are generated from a seed derived from the test name, so
+//! every run explores the same inputs. There is **no shrinking**: a failing
+//! case reports its assertion message directly.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config` (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Deterministic per test name: same inputs on every run.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::Rng for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// A failed property case (returned by `prop_assert*`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Self::Value`. Object-safe so `prop_oneof!` can
+    /// box heterogeneous strategies with a common value type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { strategy: self, f }
+        }
+    }
+
+    /// Always yields a clone of the value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Helper used by `prop_oneof!` so type inference unifies the arms.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! sampled_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    sampled_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> f64 {
+            rng.gen()
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// `any::<T>()` — the full domain of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Mirror of proptest's `SizeRange` (inclusive bounds).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range must be non-empty");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Uniform2<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 2] {
+            [self.0.generate(rng), self.0.generate(rng)]
+        }
+    }
+
+    /// `prop::array::uniform2(strategy)` — a 2-array of independent draws.
+    pub fn uniform2<S: Strategy>(s: S) -> Uniform2<S> {
+        Uniform2(s)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __pt_config: $crate::test_runner::Config = $cfg;
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..__pt_config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);
+                    )*
+                    let __pt_result = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __pt_result {
+                        ::std::panic!("proptest case {} failed: {}", __pt_case, e.message);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::{array, collection};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, -2.0f64..2.0), flag in crate::arbitrary::any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u8..=255, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7, "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![(0u32..5).prop_map(|v| v * 2), Just(99u32)]) {
+            prop_assert!(x == 99 || x < 10);
+        }
+
+        #[test]
+        fn arrays(rows in prop::collection::vec(prop::array::uniform2(-1.0f64..1.0), 0..4)) {
+            for r in &rows {
+                prop_assert!(r[0].abs() <= 1.0 && r[1].abs() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1_000_000, 0u64..1_000_000);
+        let mut r1 = crate::test_runner::TestRng::for_test("t");
+        let mut r2 = crate::test_runner::TestRng::for_test("t");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for `rand_distr`: the `Distribution` trait and a `Zipf`
+//! distribution (the only one the workspace samples). Zipf uses an explicit
+//! normalized-CDF table with binary search — exact, O(log n) per sample.
+
+use rand::Rng;
+
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Zipf distribution over `1..=n` with exponent `s`: `P(k) ∝ k^-s`.
+/// Samples are returned as `f64` (integral values), matching rand_distr.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n == 0`
+    NTooSmall,
+    /// `s` negative or non-finite
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => f.write_str("Zipf requires n >= 1"),
+            ZipfError::STooSmall => f.write_str("Zipf requires finite s >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(100, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) <= 10.0 {
+                low += 1;
+            }
+        }
+        // With s=1.2 over 1000 ranks, the top-10 mass is > 50%.
+        assert!(low > N / 2, "got {low}/{N} in the top-10 ranks");
+    }
+
+    #[test]
+    fn rejects_degenerate_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(1, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for `rayon`: `slice.par_iter().map(f).collect()` only,
+//! implemented with `std::thread::scope`. Input order is preserved in the
+//! collected output, as rayon guarantees.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+        C: FromIterator<U>,
+    {
+        let len = self.slice.len();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len)
+            .max(1);
+        if threads <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = len.div_ceil(threads);
+        let f = &self.f;
+        let chunks: Vec<Vec<U>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_maps_all() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        let v = vec![7u32];
+        let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+        let empty: Vec<u32> = Vec::<u32>::new().par_iter().map(|x| *x).collect();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,620 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this shim routes everything
+//! through a concrete JSON-like [`value::Value`] tree:
+//!
+//! - [`Serialize`] has two mutually-recursive methods with defaults:
+//!   `to_value` (overridden by derived impls and primitives) and
+//!   `serialize` (overridden by hand-written impls, exactly like real
+//!   serde). A [`Serializer`] consumes a finished `Value`.
+//! - [`Deserialize`] mirrors this with `from_value` / `deserialize`.
+//!
+//! Hand-written impls in the workspace (e.g. `SummaryStats`) therefore
+//! compile unchanged against `serde::Serializer` / `serde::Deserializer`,
+//! while `#[derive(Serialize, Deserialize)]` is provided by the companion
+//! `serde_derive` shim.
+
+pub mod value {
+    /// A JSON-like tree. Object fields keep insertion order, which makes
+    /// serialization deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    pub static NULL: Value = Value::Null;
+
+    impl Value {
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        pub fn is_array(&self) -> bool {
+            matches!(self, Value::Array(_))
+        }
+
+        pub fn is_object(&self) -> bool {
+            matches!(self, Value::Object(_))
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::I64(v) => Some(*v),
+                Value::U64(v) => i64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::U64(v) => Some(*v),
+                Value::I64(v) => u64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::F64(v) => Some(*v),
+                Value::I64(v) => Some(*v as f64),
+                Value::U64(v) => Some(*v as f64),
+                _ => None,
+            }
+        }
+
+        /// Object field lookup; `None` for non-objects or missing keys.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        }
+
+        /// Object field lookup used by derived `from_value`: missing fields
+        /// read as `Null` (so `Option<T>` fields default to `None`).
+        pub fn get_or_null(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+
+        /// A short description of the variant, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get_or_null(key)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, idx: usize) -> &Value {
+            self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+        }
+    }
+
+    // Numeric-aware comparisons so tests can write
+    // `assert_eq!(v["cache_hits"], 3)` like with real serde_json.
+    macro_rules! eq_signed {
+        ($($t:ty),*) => {$(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    match self {
+                        Value::I64(v) => *v == *other as i64,
+                        Value::U64(v) => i64::try_from(*v) == Ok(*other as i64),
+                        Value::F64(v) => *v == *other as f64,
+                        _ => false,
+                    }
+                }
+            }
+        )*};
+    }
+    eq_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! eq_unsigned {
+        ($($t:ty),*) => {$(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    match self {
+                        Value::U64(v) => *v == *other as u64,
+                        Value::I64(v) => u64::try_from(*v) == Ok(*other as u64),
+                        Value::F64(v) => *v == *other as f64,
+                        _ => false,
+                    }
+                }
+            }
+        )*};
+    }
+    eq_unsigned!(u8, u16, u32, u64, usize);
+
+    impl PartialEq<f64> for Value {
+        fn eq(&self, other: &f64) -> bool {
+            self.as_f64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<bool> for Value {
+        fn eq(&self, other: &bool) -> bool {
+            self.as_bool() == Some(*other)
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<str> for Value {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<String> for Value {
+        fn eq(&self, other: &String) -> bool {
+            self.as_str() == Some(other.as_str())
+        }
+    }
+}
+
+pub mod ser {
+    /// Error constraint for serializers.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Serializers consume a finished [`Value`](crate::value::Value) tree.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+
+        fn serialize_value(self, value: crate::value::Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// The serializer behind the default `Serialize::to_value`.
+    pub struct ValueSerializer;
+
+    /// Error type for [`ValueSerializer`] (also usable by custom impls).
+    #[derive(Debug)]
+    pub struct SerError(pub String);
+
+    impl std::fmt::Display for SerError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for SerError {}
+
+    impl Error for SerError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            SerError(msg.to_string())
+        }
+    }
+
+    impl Serializer for ValueSerializer {
+        type Ok = crate::value::Value;
+        type Error = SerError;
+
+        fn serialize_value(self, value: crate::value::Value) -> Result<Self::Ok, Self::Error> {
+            Ok(value)
+        }
+    }
+}
+
+pub mod de {
+    /// Error constraint for deserializers; `serde::de::Error::custom` is
+    /// how hand-written impls reject invalid wire data.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Deserializers produce a [`Value`](crate::value::Value) tree which
+    /// `from_value` implementations then destructure.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        fn deserialize_value(self) -> Result<crate::value::Value, Self::Error>;
+    }
+
+    /// The concrete error type of value-tree deserialization.
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl DeError {
+        pub fn message(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// The deserializer behind the default `Deserialize::from_value`.
+    pub struct ValueDeserializer<'a>(pub &'a crate::value::Value);
+
+    impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+        type Error = DeError;
+
+        fn deserialize_value(self) -> Result<crate::value::Value, Self::Error> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Marker for types deserializable from any lifetime (all of them, in
+    /// this owned-value shim).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// See the crate docs: override `to_value` (derive does) *or* `serialize`
+/// (hand-written impls do), never neither.
+pub trait Serialize {
+    fn to_value(&self) -> value::Value {
+        match self.serialize(ser::ValueSerializer) {
+            Ok(v) => v,
+            Err(e) => panic!("serialization to Value cannot fail: {e}"),
+        }
+    }
+
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// Mirror of [`Serialize`]: override `from_value` (derive does) *or*
+/// `deserialize` (hand-written impls do).
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &value::Value) -> Result<Self, de::DeError> {
+        Self::deserialize(de::ValueDeserializer(v))
+    }
+
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.deserialize_value()?;
+        Self::from_value(&v).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls
+
+use value::Value;
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_bool()
+            .ok_or_else(|| de::DeError(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, de::DeError> {
+                let n = v.as_u64().or_else(|| match v {
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        Some(*f as u64)
+                    }
+                    _ => None,
+                });
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    de::DeError(format!(
+                        "expected {}, got {}",
+                        stringify!($t),
+                        v.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, de::DeError> {
+                let n = v.as_i64().or_else(|| match v {
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && *f >= i64::MIN as f64
+                            && *f <= i64::MAX as f64 =>
+                    {
+                        Some(*f as i64)
+                    }
+                    _ => None,
+                });
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    de::DeError(format!(
+                        "expected {}, got {}",
+                        stringify!($t),
+                        v.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_f64()
+            .ok_or_else(|| de::DeError(format!("expected f64, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| de::DeError(format!("expected f32, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| de::DeError(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_array()
+            .ok_or_else(|| de::DeError(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| de::DeError(format!("expected array tuple, got {}", v.kind())))?;
+                const LEN: usize = [$($idx),+].len();
+                if arr.len() != LEN {
+                    return Err(de::DeError(format!(
+                        "expected {}-tuple, got array of {}",
+                        LEN,
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_values() {
+        assert_eq!(42u32.to_value(), Value::U64(42));
+        assert_eq!(u32::from_value(&Value::U64(42)).unwrap(), 42);
+        assert_eq!((-7i64).to_value(), Value::I64(-7));
+        assert_eq!(i64::from_value(&Value::I64(-7)).unwrap(), -7);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let tree = v.to_value();
+        assert!(tree.is_array());
+        assert_eq!(Vec::<u64>::from_value(&tree).unwrap(), v);
+        let pair = (1u8, -2i32);
+        assert_eq!(<(u8, i32)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn manual_impl_path_uses_serializer() {
+        // A type that overrides `serialize` (like SummaryStats does) must
+        // still work through the default `to_value`.
+        struct Manual(u64);
+        impl Serialize for Manual {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                Value::Object(vec![("inner".to_string(), Value::U64(self.0))])
+                    .serialize(serializer)
+            }
+        }
+        let v = Manual(9).to_value();
+        assert_eq!(v["inner"], 9u64);
+    }
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(3)),
+            ("b".into(), Value::Array(vec![Value::String("x".into())])),
+        ]);
+        assert_eq!(v["a"], 3);
+        assert_eq!(v["b"][0], "x");
+        assert!(v["missing"].is_null());
+    }
+}

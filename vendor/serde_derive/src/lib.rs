@@ -1,0 +1,318 @@
+//! Offline stand-in for `serde_derive`, targeting the value-tree `serde`
+//! shim in `vendor/serde`.
+//!
+//! Hand-parses the derive input (no `syn`/`quote` in the offline
+//! container) and supports exactly the shapes this workspace derives:
+//!
+//! - structs with named fields      → JSON object keyed by field name
+//! - fieldless enums                → JSON string of the variant name
+//! - newtype tuple structs `T(U)`   → the inner value, transparently
+//!
+//! Generics, `#[serde(...)]` attributes, and data-carrying enums are not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields, in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct arity (only 1 is supported).
+    TupleStruct(usize),
+    /// Fieldless variant names, in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` already consumed ⇒ consume the `[...]` group;
+/// also tolerates inner attributes' `!`).
+fn skip_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '!' {
+            iter.next();
+        }
+    }
+    iter.next(); // the [...] group
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Possible `pub(crate)` / `pub(in ...)` restriction.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // other modifiers (there are none we care about) — skip
+            }
+            Some(_) => {}
+            None => return Err("derive input ended before struct/enum keyword".into()),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err(format!("serde_derive shim: generic type `{name}` is not supported"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Input {
+                    name,
+                    shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+                })
+            } else {
+                Ok(Input {
+                    name,
+                    shape: Shape::UnitEnum(parse_unit_variants(g.stream())?),
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("unexpected parentheses after enum name".into());
+            }
+            Ok(Input {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            })
+        }
+        other => Err(format!("unsupported definition body for `{name}`: {other:?}")),
+    }
+}
+
+/// Field names of a named struct: skip attrs + visibility, take the ident
+/// before `:`, then skip the type (tracking `<`/`>` depth so commas inside
+/// generics don't split fields).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Leading attributes / visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    skip_attr(&mut iter);
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("expected field name, got {tok:?}"));
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type until a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a fieldless enum; rejects payloads and discriminants.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    skip_attr(&mut iter);
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            return Err(format!("expected variant name, got {tok:?}"));
+        };
+        variants.push(variant.to_string());
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip its expression.
+                loop {
+                    match iter.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive shim: only fieldless enums are supported, got {other:?} after variant"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    for tok in body {
+        saw_token = true;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    // `(T)` has one field but zero commas; `(T, U,)` has a trailing comma.
+    if saw_token {
+        n + 1
+    } else {
+        0
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            return compile_error(&format!(
+                "serde_derive shim: tuple struct `{name}` has {n} fields; only newtypes are supported"
+            ))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "::serde::value::Value::String(::std::string::String::from(match self {{ {arms} }}))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_or_null({f:?})).map_err(\
+                             |e| ::serde::de::DeError(::std::format!(\"{name}.{f}: {{}}\", e)))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "if !v.is_object() {{\n\
+                     return ::std::result::Result::Err(::serde::de::DeError(::std::format!(\
+                         \"expected object for {name}, got {{}}\", v.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            return compile_error(&format!(
+                "serde_derive shim: tuple struct `{name}` has {n} fields; only newtypes are supported"
+            ))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v.as_str() {{\n\
+                     {arms}\n\
+                     _ => ::std::result::Result::Err(::serde::de::DeError(::std::format!(\
+                         \"invalid {name} variant: {{:?}}\", v))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde_json`, built on the value-tree `serde` shim:
+//! a JSON writer (compact + pretty), a recursive-descent parser, `json!`,
+//! and the `to_string` / `to_value` / `from_str` entry points. Floats are
+//! written with Rust's shortest-roundtrip formatting, so the
+//! `float_roundtrip` feature is inherently satisfied.
+
+pub use serde::value::Value;
+use serde::Serialize;
+
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::DeError> for Error {
+    fn from(e: serde::de::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Entry points
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` is shortest-roundtrip and always keeps a decimal
+                // point or exponent (`1.0`, not `1`), matching serde_json.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // serde_json writes non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+pub fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            b => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                b => return Err(Error(format!("expected `,` or `]`, got `{}`", b as char))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                b => return Err(Error(format!("expected `,` or `}}`, got `{}`", b as char))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(Error("lone leading surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                let cp = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo.checked_sub(0xDC00)
+                                        .ok_or_else(|| Error("bad low surrogate".into()))?);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error("bad surrogate pair".into()))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error("bad \\u escape".into()))?
+                            };
+                            out.push(c);
+                        }
+                        b => return Err(Error(format!("bad escape `\\{}`", b as char))),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error("bad \\u escape".into()))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error("bad \\u escape".into()))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Build a [`Value`] in place. Supports `null`, object literals with
+/// string-literal keys whose values are expressions, array literals of
+/// expressions, and bare expressions (anything `Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem).unwrap() ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val).unwrap()) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-12", "3.5", "1e300", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+        assert_eq!(parse("1.0").unwrap(), Value::F64(1.0));
+        assert_eq!(to_string(&Value::F64(1.0)).unwrap(), "1.0");
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let text = r#"{"a":[1,2.5,null,{"b":"x\ny"}],"c":true}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+        assert_eq!(v["a"][1], 2.5);
+        assert_eq!(v["a"][3]["b"], "x\ny");
+        assert_eq!(v["c"], true);
+    }
+
+    #[test]
+    fn non_finite_floats_write_null() {
+        assert_eq!(to_string(&Value::F64(f64::INFINITY)).unwrap(), "null");
+        assert_eq!(to_string(&Value::F64(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""é😀""#).unwrap();
+        assert_eq!(v, "é😀");
+        let written = to_string(&Value::String("é😀".into())).unwrap();
+        assert_eq!(parse(&written).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"name": "stash", "n": 3, "xs": [1.5, 2.5]});
+        assert_eq!(v["name"], "stash");
+        assert_eq!(v["n"], 3);
+        assert_eq!(v["xs"].as_array().unwrap().len(), 2);
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7u8), Value::U64(7));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = parse(r#"{"a":[1,2],"b":{"c":null}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+}
