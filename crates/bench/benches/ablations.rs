@@ -16,7 +16,9 @@ fn bench_derivation(c: &mut Criterion, scale: &Scale) {
     let coarse = fine.rolled_up().expect("coarser level");
 
     let mut group = c.benchmark_group("ablation_derivation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, enabled) in [("on", true), ("off", false)] {
         let cluster = scale.stash_cluster_with(|cfg| cfg.stash.enable_derivation = enabled);
         let client = cluster.client();
@@ -47,7 +49,9 @@ fn bench_dispersion(c: &mut Criterion, scale: &Scale) {
     let wb = wl.pan_walk(&mut rng, b_box, 0.10, 12);
 
     let mut group = c.benchmark_group("ablation_dispersion");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (label, frac) in [("off", 0.0), ("on", 0.4)] {
         let cluster = scale.stash_cluster_with(|cfg| {
             cfg.stash.neighbor_fraction = frac;

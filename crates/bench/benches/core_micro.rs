@@ -14,11 +14,23 @@ fn bench_geohash(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let gh = Geohash::encode(40.018, -105.274, 6).unwrap();
     group.bench_function("encode_len6", |b| {
-        b.iter(|| Geohash::encode(std::hint::black_box(40.018), std::hint::black_box(-105.274), 6))
+        b.iter(|| {
+            Geohash::encode(
+                std::hint::black_box(40.018),
+                std::hint::black_box(-105.274),
+                6,
+            )
+        })
     });
-    group.bench_function("bbox_decode", |b| b.iter(|| std::hint::black_box(gh).bbox()));
-    group.bench_function("neighbors8", |b| b.iter(|| std::hint::black_box(gh).neighbors()));
-    group.bench_function("antipode", |b| b.iter(|| std::hint::black_box(gh).antipode()));
+    group.bench_function("bbox_decode", |b| {
+        b.iter(|| std::hint::black_box(gh).bbox())
+    });
+    group.bench_function("neighbors8", |b| {
+        b.iter(|| std::hint::black_box(gh).neighbors())
+    });
+    group.bench_function("antipode", |b| {
+        b.iter(|| std::hint::black_box(gh).antipode())
+    });
     let q = BBox::from_corner_extent(30.0, -110.0, 4.0, 8.0);
     group.bench_function("cover_state_res4", |b| b.iter(|| cover_bbox(&q, 4)));
     group.finish();
@@ -130,7 +142,11 @@ fn bench_graph(c: &mut Criterion) {
 fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("planning");
     group.measurement_time(Duration::from_secs(2));
-    for (label, extent) in [("city", (0.2, 0.5)), ("state", (4.0, 8.0)), ("country", (16.0, 32.0))] {
+    for (label, extent) in [
+        ("city", (0.2, 0.5)),
+        ("state", (4.0, 8.0)),
+        ("country", (16.0, 32.0)),
+    ] {
         let q = AggQuery::new(
             BBox::from_corner_extent(30.0, -110.0, extent.0, extent.1),
             TimeRange::whole_day(2015, 2, 2),
@@ -144,5 +160,11 @@ fn bench_planning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_geohash, bench_summary, bench_graph, bench_planning);
+criterion_group!(
+    benches,
+    bench_geohash,
+    bench_summary,
+    bench_graph,
+    bench_planning
+);
 criterion_main!(benches);

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
     let queries = Arc::new(wl.throughput_mix(&mut rng, QuerySizeClass::County, 5, 10, 0.10));
 
     let mut group = c.benchmark_group("fault_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
 
     for drop in [0.0, 0.05] {
         let cluster = scale.stash_cluster_with(|cfg| {

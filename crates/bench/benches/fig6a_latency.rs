@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let mut rng = scale.rng();
 
     let mut group = c.benchmark_group("fig6a_latency");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for class in QuerySizeClass::ALL {
         let q = wl.random_query(&mut rng, class);

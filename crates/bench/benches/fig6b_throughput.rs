@@ -14,9 +14,15 @@ fn bench(c: &mut Criterion) {
     let wl = scale.workload();
 
     let mut group = c.benchmark_group("fig6b_throughput");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
-    for class in [QuerySizeClass::State, QuerySizeClass::County, QuerySizeClass::City] {
+    for class in [
+        QuerySizeClass::State,
+        QuerySizeClass::County,
+        QuerySizeClass::City,
+    ] {
         let mut rng = scale.rng();
         let queries = Arc::new(wl.throughput_mix(&mut rng, class, 8, 10, 0.10));
 

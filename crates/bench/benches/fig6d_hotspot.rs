@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     let start = BBox::from_corner_extent(42.0, -107.0, dlat, dlon);
 
     let mut group = c.benchmark_group("fig6d_hotspot");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
 
     for (label, enable) in [("without_replication", false), ("with_replication", true)] {
         group.bench_function(format!("{label}/{}req", scale.burst_requests), |b| {
@@ -26,7 +28,8 @@ fn bench(c: &mut Criterion) {
                 for _ in 0..iters {
                     let cluster = scale.hotspot_cluster(enable, |_| {});
                     let mut rng = scale.rng();
-                    let queries = Arc::new(wl.hotspot_burst_at(&mut rng, start, scale.burst_requests));
+                    let queries =
+                        Arc::new(wl.hotspot_burst_at(&mut rng, start, scale.burst_requests));
                     let t0 = Instant::now();
                     drive_concurrent(&cluster, queries, scale.clients.max(64));
                     total += t0.elapsed();

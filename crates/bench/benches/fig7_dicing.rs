@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let start = wl.random_bbox(&mut rng, QuerySizeClass::Country);
 
     let mut group = c.benchmark_group("fig7_dicing");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for (label, descending) in [("descending", true), ("ascending", false)] {
         let stream = if descending {

@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     let start = wl.random_bbox(&mut rng, QuerySizeClass::State);
 
     let mut group = c.benchmark_group("fig7_panning");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for frac in [0.10, 0.20, 0.25] {
         let stream = wl.pan_star(start, frac);

@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let area = wl.random_bbox(&mut rng, QuerySizeClass::State);
 
     let mut group = c.benchmark_group("fig7_zooming");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for (label, walk) in [
         ("drill_down", wl.drill_down(area, FROM_RES, TO_RES)),
@@ -44,7 +46,9 @@ fn bench(c: &mut Criterion) {
                             let mut keys = q.target_keys(1_000_000).expect("plan");
                             keys.shuffle(&mut rng);
                             let take = ((keys.len() as f64) * frac).round() as usize;
-                            stash.warm_keys(&keys[..take.min(keys.len())]).expect("warm");
+                            stash
+                                .warm_keys(&keys[..take.min(keys.len())])
+                                .expect("warm");
                             let t0 = Instant::now();
                             sc.query(q).expect("stash");
                             total += t0.elapsed();

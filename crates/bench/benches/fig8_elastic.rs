@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
     let scale = Scale::small();
 
     let mut group = c.benchmark_group("fig8_vs_elasticsearch");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for (label, stream) in streams(&scale) {
         let stash = scale.stash_cluster();

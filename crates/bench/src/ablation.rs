@@ -80,7 +80,11 @@ pub mod dispersion {
     pub fn table(rows: &[Row]) -> Table {
         let mut t = Table::new(
             "Ablation 1 — freshness dispersion under eviction pressure",
-            &["neighbor fraction", "pan-sweep hit ratio", "pan-sweep mean (ms)"],
+            &[
+                "neighbor fraction",
+                "pan-sweep hit ratio",
+                "pan-sweep mean (ms)",
+            ],
         )
         .with_note(
             "dispersion (0.4) keeps the ring around the focused region resident, \
@@ -148,7 +152,12 @@ pub mod derivation {
     pub fn table(rows: &[Row]) -> Table {
         let mut t = Table::new(
             "Ablation 2 — child-merge derivation for roll-up",
-            &["derivation", "roll-up latency (ms)", "derived cells", "extra disk reads"],
+            &[
+                "derivation",
+                "roll-up latency (ms)",
+                "derived cells",
+                "extra disk reads",
+            ],
         )
         .with_note("with derivation the roll-up is served from cached children, zero disk");
         for r in rows {
@@ -184,7 +193,11 @@ pub mod hotspot {
         let (secs, _) = drive_concurrent(&cluster, queries, scale.clients.max(64));
         let reroutes = cluster.node_stats().iter().map(|s| s.reroutes).sum();
         cluster.shutdown();
-        Row { label: String::new(), total_secs: secs, reroutes }
+        Row {
+            label: String::new(),
+            total_secs: secs,
+            reroutes,
+        }
     }
 
     /// Antipode vs random helper choice.

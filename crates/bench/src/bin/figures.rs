@@ -6,13 +6,15 @@
 //! cargo run -p stash-bench --release --bin figures -- --all --scale small
 //! cargo run -p stash-bench --release --bin figures -- --ablations
 //! cargo run -p stash-bench --release --bin figures -- --fault-sweep --scale small
+//! cargo run -p stash-bench --release --bin figures -- --profile
+//! cargo run -p stash-bench --release --bin figures -- --profile --smoke   # CI-sized
 //! cargo run -p stash-bench --release --bin figures -- --all --markdown out.md
 //! ```
 //!
 //! Each figure prints a console table; `--markdown FILE` additionally
 //! appends GitHub-flavored tables (the format EXPERIMENTS.md embeds).
 
-use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, report::Table, Scale};
+use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, profile, report::Table, Scale};
 use std::io::Write;
 
 struct Args {
@@ -20,6 +22,10 @@ struct Args {
     all: bool,
     ablations: bool,
     fault_sweep: bool,
+    profile: bool,
+    /// CI-sized run: shrink the workload so `--profile` finishes in
+    /// seconds (no effect on the figure experiments).
+    smoke: bool,
     scale: Scale,
     markdown: Option<String>,
 }
@@ -30,6 +36,8 @@ fn parse_args() -> Args {
         all: false,
         ablations: false,
         fault_sweep: false,
+        profile: false,
+        smoke: false,
         scale: Scale::paper(),
         markdown: None,
     };
@@ -39,6 +47,8 @@ fn parse_args() -> Args {
             "--all" => args.all = true,
             "--ablations" => args.ablations = true,
             "--fault-sweep" => args.fault_sweep = true,
+            "--profile" => args.profile = true,
+            "--smoke" => args.smoke = true,
             "--fig" => {
                 let f = it.next().expect("--fig needs a value (e.g. 6a)");
                 args.figs.push(f.to_lowercase());
@@ -53,15 +63,19 @@ fn parse_args() -> Args {
             "--markdown" => args.markdown = Some(it.next().expect("--markdown needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--all] [--ablations] [--fault-sweep] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
+                    "usage: figures [--all] [--ablations] [--fault-sweep] [--profile] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other:?} (try --help)"),
         }
     }
-    if !args.all && args.figs.is_empty() && !args.ablations && !args.fault_sweep {
+    if !args.all && args.figs.is_empty() && !args.ablations && !args.fault_sweep && !args.profile {
         args.all = true;
+    }
+    if args.smoke {
+        args.scale = Scale::small();
+        args.scale.throughput_requests = 48;
     }
     args
 }
@@ -106,7 +120,10 @@ fn main() {
         emit(fig7::zooming::table(&fig7::zooming::run(scale, true), true));
     }
     if wants("7e") {
-        emit(fig7::zooming::table(&fig7::zooming::run(scale, false), false));
+        emit(fig7::zooming::table(
+            &fig7::zooming::run(scale, false),
+            false,
+        ));
     }
     if wants("8a") {
         emit(fig8::table(&fig8::panning(scale), "8a"));
@@ -118,8 +135,12 @@ fn main() {
         emit(fig8::table(&fig8::dicing_descending(scale), "8c"));
     }
     if args.ablations || args.all {
-        emit(ablation::dispersion::table(&ablation::dispersion::run(scale)));
-        emit(ablation::derivation::table(&ablation::derivation::run(scale)));
+        emit(ablation::dispersion::table(&ablation::dispersion::run(
+            scale,
+        )));
+        emit(ablation::derivation::table(&ablation::derivation::run(
+            scale,
+        )));
         emit(ablation::hotspot::table(
             &ablation::hotspot::helper_selection(scale),
             "Ablation 3 — helper selection during Clique Handoff",
@@ -134,6 +155,10 @@ fn main() {
 
     if args.fault_sweep {
         emit(fault_sweep::table(&fault_sweep::run(scale)));
+    }
+
+    if args.profile {
+        emit(profile::table(&profile::run(scale)));
     }
 
     if let Some(path) = args.markdown {

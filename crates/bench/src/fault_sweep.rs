@@ -72,7 +72,13 @@ pub fn table(rows: &[Row]) -> Table {
     let baseline = rows.first().map_or(0.0, |r| r.rps);
     let mut t = Table::new(
         "Fault sweep — STASH throughput under uniform message loss (100% success)",
-        &["drop %", "req/s", "% of healthy", "msgs dropped", "send failures"],
+        &[
+            "drop %",
+            "req/s",
+            "% of healthy",
+            "msgs dropped",
+            "send failures",
+        ],
     )
     .with_note(
         "every request still answers exactly (retries + DFS replica failover); \

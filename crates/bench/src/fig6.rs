@@ -87,7 +87,11 @@ pub mod throughput {
     pub fn run(scale: &Scale) -> Vec<Row> {
         let wl = scale.workload();
         let mut rows = Vec::new();
-        for class in [QuerySizeClass::State, QuerySizeClass::County, QuerySizeClass::City] {
+        for class in [
+            QuerySizeClass::State,
+            QuerySizeClass::County,
+            QuerySizeClass::City,
+        ] {
             let mut rng = scale.rng();
             let pans = 20usize;
             let n_rects = (scale.throughput_requests / (pans + 1)).max(1);
@@ -181,7 +185,11 @@ pub mod maintenance {
         )
         .with_note("paper: population time falls with query size (fewer Cells to insert)");
         for r in rows {
-            t.push(vec![r.class.to_string(), r.n_cells.to_string(), ms(r.populate_ms)]);
+            t.push(vec![
+                r.class.to_string(),
+                r.n_cells.to_string(),
+                ms(r.populate_ms),
+            ]);
         }
         t
     }
@@ -315,7 +323,10 @@ mod tests {
     fn fig6c_population_falls_with_size() {
         let rows = maintenance::run(&tiny());
         assert_eq!(rows.len(), 4);
-        assert!(rows[0].n_cells > rows[3].n_cells, "country must have more cells than city");
+        assert!(
+            rows[0].n_cells > rows[3].n_cells,
+            "country must have more cells than city"
+        );
         assert!(
             rows[0].populate_ms >= rows[3].populate_ms,
             "population time should fall with query size"

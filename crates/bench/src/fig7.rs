@@ -34,7 +34,12 @@ pub mod dicing {
         let bc = basic.client();
         let sc = stash.client();
         let mut rows: Vec<Row> = (1..=stream.len())
-            .map(|step| Row { step, basic_ms: 0.0, stash_ms: 0.0, stash_hit_ratio: 0.0 })
+            .map(|step| Row {
+                step,
+                basic_ms: 0.0,
+                stash_ms: 0.0,
+                stash_hit_ratio: 0.0,
+            })
             .collect();
         for _ in 0..scale.repeats {
             stash.clear_cache();
@@ -211,7 +216,9 @@ pub mod zooming {
                     let mut keys = q.target_keys(1_000_000).expect("plan");
                     keys.shuffle(&mut rng);
                     let take = ((keys.len() as f64) * frac).round() as usize;
-                    stash.warm_keys(&keys[..take.min(keys.len())]).expect("warm");
+                    stash
+                        .warm_keys(&keys[..take.min(keys.len())])
+                        .expect("warm");
                     total += time_ms(|| sc.query(q).expect("stash")).0;
                 }
                 row.stash_ms[fi] = total / scale.repeats as f64;
@@ -233,7 +240,11 @@ pub mod zooming {
                 "paper: same shape as drill-down; roll-up also reuses cached children",
             )
         };
-        let mut t = Table::new(fig, &["res", "basic", "STASH 50%", "STASH 75%", "STASH 100%"]).with_note(note);
+        let mut t = Table::new(
+            fig,
+            &["res", "basic", "STASH 50%", "STASH 75%", "STASH 100%"],
+        )
+        .with_note(note);
         for r in rows {
             t.push(vec![
                 r.res.to_string(),
@@ -305,7 +316,10 @@ mod tests {
         // Smaller pan => larger overlap => bigger relative gain.
         let red10 = 1.0 - rows[0].stash_ms / rows[0].basic_ms;
         let red25 = 1.0 - rows[2].stash_ms / rows[2].basic_ms;
-        assert!(red10 >= red25 - 0.25, "10% pan should benefit at least as much");
+        assert!(
+            red10 >= red25 - 0.25,
+            "10% pan should benefit at least as much"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn run_stream(scale: &Scale, stream: &[AggQuery]) -> Vec<Row> {
     let sc = stash.client();
     let ec = es.client();
     let mut rows: Vec<Row> = (1..=stream.len())
-        .map(|step| Row { step, stash_ms: 0.0, es_ms: 0.0 })
+        .map(|step| Row {
+            step,
+            stash_ms: 0.0,
+            es_ms: 0.0,
+        })
         .collect();
     for _ in 0..scale.repeats {
         stash.clear_cache();
@@ -132,7 +136,10 @@ mod tests {
             "steady-state STASH {stash_ss} must beat ES {es_ss}"
         );
         let stash_red = best_reduction(&rows, |r| r.stash_ms);
-        assert!(stash_red > 0.3, "STASH should improve markedly: {stash_red}");
+        assert!(
+            stash_red > 0.3,
+            "STASH should improve markedly: {stash_red}"
+        );
     }
 
     #[test]
@@ -149,9 +156,21 @@ mod tests {
     #[test]
     fn best_reduction_math() {
         let rows = vec![
-            Row { step: 1, stash_ms: 100.0, es_ms: 100.0 },
-            Row { step: 2, stash_ms: 30.0, es_ms: 98.0 },
-            Row { step: 3, stash_ms: 50.0, es_ms: 99.0 },
+            Row {
+                step: 1,
+                stash_ms: 100.0,
+                es_ms: 100.0,
+            },
+            Row {
+                step: 2,
+                stash_ms: 30.0,
+                es_ms: 98.0,
+            },
+            Row {
+                step: 3,
+                stash_ms: 50.0,
+                es_ms: 99.0,
+            },
         ];
         assert!((best_reduction(&rows, |r| r.stash_ms) - 0.7).abs() < 1e-9);
         assert!((best_reduction(&rows, |r| r.es_ms) - 0.02).abs() < 1e-9);

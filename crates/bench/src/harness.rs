@@ -124,7 +124,11 @@ impl Scale {
 
     /// The hotspot-regime STASH config (virtual serve cost dominates; see
     /// DESIGN.md §2 on single-core hosting).
-    pub fn hotspot_cluster(&self, enable_replication: bool, stash_overrides: impl FnOnce(&mut StashConfig)) -> SimCluster {
+    pub fn hotspot_cluster(
+        &self,
+        enable_replication: bool,
+        stash_overrides: impl FnOnce(&mut StashConfig),
+    ) -> SimCluster {
         let mut config = self.base_cluster_config(Mode::Stash);
         config.enable_replication = enable_replication;
         config.coord_workers = 24;

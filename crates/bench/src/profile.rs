@@ -1,0 +1,153 @@
+//! `figures --profile`: where does query latency go?
+//!
+//! Drives a mixed interactive session (pans at three viewport sizes plus a
+//! dicing descent) against a STASH deployment, collects the [`QueryTrace`]
+//! of every answer, and reports p50/p95/p99 per stage — route, PLM, merge,
+//! DFS, wire, retry, wait — from the traces' cluster-wide aggregate view,
+//! alongside the coordinator wall clock. The stage histograms are the
+//! log₂-bucket [`stash_obs::Histogram`]s every node also keeps in its
+//! registry (DESIGN.md §11).
+
+use crate::harness::Scale;
+use crate::report::Table;
+use stash_data::QuerySizeClass;
+use stash_obs::{Histogram, HistogramSnapshot, QueryTrace};
+
+/// Collected stage distributions of one profiled run.
+#[derive(Debug)]
+pub struct Profile {
+    pub requests: usize,
+    /// `(stage, distribution)` in report order, nanosecond samples.
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+    /// Coordinator wall clock per query.
+    pub wall: HistogramSnapshot,
+    pub subqueries: u64,
+    pub retries: u64,
+    pub failovers: u64,
+}
+
+/// Fold one trace into the stage histograms.
+fn observe(stages: &[(&'static str, Histogram)], wall: &Histogram, trace: &QueryTrace) {
+    for ((_, hist), (_, ns)) in stages.iter().zip(trace.agg.stages()) {
+        hist.record(ns);
+    }
+    wall.record(trace.wall_ns);
+}
+
+pub fn run(scale: &Scale) -> Profile {
+    let wl = scale.workload();
+    let mut rng = scale.rng();
+    let mut queries = Vec::new();
+    for class in [
+        QuerySizeClass::State,
+        QuerySizeClass::County,
+        QuerySizeClass::City,
+    ] {
+        let pans = 10usize;
+        let n_rects = (scale.throughput_requests / 3 / (pans + 1)).max(1);
+        queries.extend(wl.throughput_mix(&mut rng, class, n_rects, pans, 0.10));
+    }
+    queries.extend(wl.dice_descending(wl.random_bbox(&mut rng, QuerySizeClass::State), 4, 0.5));
+
+    let stages: Vec<(&'static str, Histogram)> = stash_obs::StageTimes::default()
+        .stages()
+        .iter()
+        .map(|&(name, _)| (name, Histogram::new()))
+        .collect();
+    let wall = Histogram::new();
+    let (mut subqueries, mut retries, mut failovers) = (0u64, 0u64, 0u64);
+
+    let cluster = scale.stash_cluster();
+    let client = cluster.client();
+    for q in &queries {
+        let (_, trace) = client.query_traced(q).expect("profile query");
+        observe(&stages, &wall, &trace);
+        subqueries += trace.subqueries as u64;
+        retries += trace.retries as u64;
+        failovers += trace.failovers as u64;
+    }
+    cluster.shutdown();
+
+    Profile {
+        requests: queries.len(),
+        stages: stages
+            .into_iter()
+            .map(|(name, h)| (name, h.snapshot()))
+            .collect(),
+        wall: wall.snapshot(),
+        subqueries,
+        retries,
+        failovers,
+    }
+}
+
+fn col_ms(ns: u64) -> String {
+    crate::report::ms(ns as f64 / 1e6)
+}
+
+pub fn table(p: &Profile) -> Table {
+    let total: u64 = p
+        .stages
+        .iter()
+        .map(|(_, s)| s.sums.iter().sum::<u64>())
+        .sum();
+    let mut t = Table::new(
+        format!(
+            "Profile — per-stage latency breakdown over {} queries (ms)",
+            p.requests
+        ),
+        &["stage", "p50", "p95", "p99", "max", "share"],
+    )
+    .with_note(format!(
+        "cluster-wide stage totals per query (fan-out may exceed wall); \
+         {} subqueries, {} retries, {} failovers",
+        p.subqueries, p.retries, p.failovers
+    ));
+    for (stage, snap) in &p.stages {
+        let sum: u64 = snap.sums.iter().sum();
+        t.push(vec![
+            stage.to_string(),
+            col_ms(snap.percentile(50.0)),
+            col_ms(snap.percentile(95.0)),
+            col_ms(snap.percentile(99.0)),
+            col_ms(snap.max),
+            crate::report::pct(sum as f64 / total.max(1) as f64),
+        ]);
+    }
+    t.push(vec![
+        "wall".into(),
+        col_ms(p.wall.percentile(50.0)),
+        col_ms(p.wall.percentile(95.0)),
+        col_ms(p.wall.percentile(99.0)),
+        col_ms(p.wall.max),
+        "-".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_smoke_reports_every_stage() {
+        let mut scale = Scale::small();
+        scale.throughput_requests = 36;
+        let p = run(&scale);
+        assert!(p.requests > 0);
+        assert_eq!(p.stages.len(), 7);
+        assert_eq!(p.wall.count(), p.requests as u64);
+        for (stage, snap) in &p.stages {
+            assert_eq!(snap.count(), p.requests as u64, "stage {stage}");
+        }
+        // Cold pans must scan storage and talk over the wire.
+        let dfs = &p.stages.iter().find(|(s, _)| *s == "dfs").unwrap().1;
+        assert!(dfs.max > 0, "mixed workload must charge dfs time");
+        let rendered = table(&p).to_console();
+        for stage in [
+            "route", "plm", "merge", "dfs", "wire", "retry", "wait", "wall",
+        ] {
+            assert!(rendered.contains(stage), "missing {stage} in:\n{rendered}");
+        }
+    }
+}

@@ -115,7 +115,15 @@ mod tests {
     #[test]
     fn console_contains_all_cells() {
         let s = sample().to_console();
-        for needle in ["demo", "class", "country", "12.3", "city", "0.5", "paper: 5x"] {
+        for needle in [
+            "demo",
+            "class",
+            "country",
+            "12.3",
+            "city",
+            "0.5",
+            "paper: 5x",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

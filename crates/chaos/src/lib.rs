@@ -113,7 +113,11 @@ pub fn assert_results_match(got: &QueryResult, want: &QueryResult, ctx: &str) {
         want.total_count(),
         "{ctx}: total observation count diverged"
     );
-    assert_eq!(got.cells.len(), want.cells.len(), "{ctx}: cell count diverged");
+    assert_eq!(
+        got.cells.len(),
+        want.cells.len(),
+        "{ctx}: cell count diverged"
+    );
     for (g, w) in got.cells.iter().zip(&want.cells) {
         assert_eq!(g.key, w.key, "{ctx}: cell keys diverged");
         assert_eq!(

@@ -6,9 +6,7 @@
 //! a client receives must be byte-for-byte the cells a fault-free cluster
 //! returns for the same workload.
 
-use stash_chaos::{
-    assert_results_match, chaos_config, grid_queries, ground_truth, run_workload,
-};
+use stash_chaos::{assert_results_match, chaos_config, grid_queries, ground_truth, run_workload};
 use stash_cluster::{Mode, SimCluster};
 use stash_dfs::Partitioner;
 use stash_geo::{BBox, TemporalRes, TimeRange};
@@ -70,7 +68,10 @@ fn lossy_links_never_surface_to_the_client() {
             }
         }
     }
-    assert_eq!(errors, 0, "lossy fabric leaked {errors} errors to the client");
+    assert_eq!(
+        errors, 0,
+        "lossy fabric leaked {errors} errors to the client"
+    );
     assert!(
         cluster.router().stats().messages_dropped() > 0,
         "the fault plan never actually dropped anything"
@@ -95,8 +96,14 @@ fn basic_mode_scatter_gather_survives_drops() {
         .router()
         .install_faults(FaultPlan::new(1234).drop_all(0.05));
     let client = cluster.client();
-    for (i, (got, want)) in run_workload(&client, &queries).iter().zip(&truth).enumerate() {
-        let r = got.as_ref().unwrap_or_else(|e| panic!("query {i} failed: {e:?}"));
+    for (i, (got, want)) in run_workload(&client, &queries)
+        .iter()
+        .zip(&truth)
+        .enumerate()
+    {
+        let r = got
+            .as_ref()
+            .unwrap_or_else(|e| panic!("query {i} failed: {e:?}"));
         assert_results_match(r, want, &format!("basic query {i}"));
     }
     cluster.shutdown();
@@ -133,7 +140,9 @@ fn three_way_partition_serves_exactly_from_in_group_replicas() {
 
     // Groups are fabric endpoints: nodes 0..4 plus the client gateway (4),
     // which stays with the coordinator.
-    cluster.router().set_partition(&[vec![0, 1, 4], vec![2], vec![3]]);
+    cluster
+        .router()
+        .set_partition(&[vec![0, 1, 4], vec![2], vec![3]]);
     let dropped_before = cluster.router().stats().messages_dropped();
     let r = client
         .query_at(&q, 0)
@@ -170,7 +179,8 @@ fn coordinator_crash_mid_scatter_fails_fast_and_cluster_recovers() {
         let h = s.spawn(move || racer.query_at(q, victim));
         std::thread::sleep(Duration::from_millis(1));
         cluster.crash_node(victim);
-        h.join().expect("in-flight query must return, not hang or panic")
+        h.join()
+            .expect("in-flight query must return, not hang or panic")
     });
     // The race is fair game either way: a reply that beat the crash must be
     // exact; a reply that lost it must be an error, not a wrong answer.
@@ -185,7 +195,11 @@ fn coordinator_crash_mid_scatter_fails_fast_and_cluster_recovers() {
     );
 
     // The retrying client routes around it: full workload, zero errors.
-    for (i, (got, want)) in run_workload(&client, &queries).iter().zip(&truth).enumerate() {
+    for (i, (got, want)) in run_workload(&client, &queries)
+        .iter()
+        .zip(&truth)
+        .enumerate()
+    {
         let r = got
             .as_ref()
             .unwrap_or_else(|e| panic!("query {i} failed with a node down: {e:?}"));
@@ -274,8 +288,14 @@ fn fault_schedules_are_pure_functions_of_the_seed() {
 
     let scoped = FaultPlan::new(7).drop_link(0, 1, 1.0);
     for k in 0..50 {
-        assert!(scoped.decide(0, 1, k).drop, "scoped rule must fire on its link");
-        assert!(!scoped.decide(1, 0, k).drop, "reverse direction is a different link");
+        assert!(
+            scoped.decide(0, 1, k).drop,
+            "scoped rule must fire on its link"
+        );
+        assert!(
+            !scoped.decide(1, 0, k).drop,
+            "reverse direction is a different link"
+        );
         assert!(!scoped.decide(2, 1, k).drop, "other links are untouched");
     }
 }

@@ -1,0 +1,67 @@
+//! Traces must stay honest under faults.
+//!
+//! Every answered query carries a [`QueryTrace`] whose `local` view is a set
+//! of *disjoint* wall-clock segments measured on the coordinator thread
+//! (route, merge, DFS, retry, wait, ...). Disjointness is a structural
+//! claim, so it admits a structural check: the segments can never sum to
+//! more than the coordinator's own wall clock, which in turn can never
+//! exceed the latency the client observed — no matter how many messages the
+//! fabric drops, duplicates, or delays along the way. If instrumentation
+//! ever double-counts a segment (say, charging a backoff nap to both retry
+//! and wait), faulty runs are exactly where the books stop balancing, so
+//! this scenario drives the full grid workload through a 5% loss plan and
+//! audits every trace.
+
+use stash_chaos::{chaos_config, grid_queries};
+use stash_cluster::{Mode, SimCluster};
+use stash_net::FaultPlan;
+use std::time::Instant;
+
+#[test]
+fn traces_stay_consistent_under_faults() {
+    let mut config = chaos_config(Mode::Stash);
+    config.sub_rpc_timeout = std::time::Duration::from_millis(80);
+    config.retry_backoff = std::time::Duration::from_millis(2);
+    let queries = grid_queries(5); // 100 interactions, cold round then cached
+
+    let cluster = SimCluster::new(config);
+    cluster
+        .router()
+        .install_faults(FaultPlan::new(2024).drop_all(0.05));
+    let client = cluster.client();
+
+    let mut audited = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let start = Instant::now();
+        let (result, trace) = match client.query_traced(q) {
+            Ok(ok) => ok,
+            Err(e) => panic!("query {i} failed under 5% loss: {e:?}"),
+        };
+        let client_wall_ns = start.elapsed().as_nanos() as u64;
+        assert!(!result.cells.is_empty(), "query {i} returned no cells");
+
+        // The coordinator's disjoint stage segments fit inside its wall
+        // clock, and its wall clock fits inside the client's.
+        assert!(trace.wall_ns > 0, "query {i}: empty wall clock");
+        assert!(
+            trace.local.sum_ns() <= trace.wall_ns,
+            "query {i}: local stages sum to {} ns > coordinator wall {} ns",
+            trace.local.sum_ns(),
+            trace.wall_ns
+        );
+        assert!(
+            trace.wall_ns <= client_wall_ns,
+            "query {i}: coordinator wall {} ns > client-visible {} ns",
+            trace.wall_ns,
+            client_wall_ns
+        );
+        audited += 1;
+    }
+
+    assert_eq!(audited, queries.len());
+    assert!(
+        cluster.router().stats().messages_dropped() > 0,
+        "the fault plan never actually dropped anything"
+    );
+    cluster.shutdown();
+}

@@ -10,9 +10,14 @@ use crate::protocol::{ClusterError, Msg};
 use stash_model::{AggQuery, QueryResult};
 use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
+use stash_obs::QueryTrace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// What the gateway hands back per query: the cluster's answer plus the
+/// coordinator-assembled trace (response-leg wire time already folded in).
+pub(crate) type ClientReply = (Result<QueryResult, ClusterError>, QueryTrace);
 
 /// Client-side failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +47,7 @@ impl std::error::Error for ClientError {}
 pub struct ClusterClient {
     router: Router<Msg>,
     gateway: NodeId,
-    rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
+    rpc: Arc<RpcTable<ClientReply>>,
     n_nodes: usize,
     next_coordinator: Arc<AtomicUsize>,
     timeout: Duration,
@@ -53,7 +58,7 @@ impl ClusterClient {
     pub(crate) fn new(
         router: Router<Msg>,
         gateway: NodeId,
-        rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
+        rpc: Arc<RpcTable<ClientReply>>,
         n_nodes: usize,
         timeout: Duration,
         retries: u32,
@@ -75,6 +80,13 @@ impl ClusterClient {
     /// failures (timeout, crash mid-coordination) are retried on the next
     /// live coordinator, up to `client_retries` extra attempts.
     pub fn query(&self, query: &AggQuery) -> Result<QueryResult, ClientError> {
+        self.query_traced(query).map(|(result, _)| result)
+    }
+
+    /// Like [`ClusterClient::query`], also returning the coordinator's
+    /// [`QueryTrace`] — the per-stage breakdown of where the answer's
+    /// latency went (the trace of the attempt that succeeded).
+    pub fn query_traced(&self, query: &AggQuery) -> Result<(QueryResult, QueryTrace), ClientError> {
         let mut last = ClientError::Disconnected;
         for _ in 0..=self.retries {
             // Pick the next coordinator the fabric still talks to.
@@ -89,8 +101,8 @@ impl ClusterClient {
             let Some(coord) = coord else {
                 return Err(ClientError::Disconnected); // every node is down
             };
-            match self.query_at(query, coord) {
-                Ok(result) => return Ok(result),
+            match self.query_at_traced(query, coord) {
+                Ok(traced) => return Ok(traced),
                 Err(ClientError::Remote(e)) if !e.is_transient() => {
                     return Err(ClientError::Remote(e)); // deterministic: retry is futile
                 }
@@ -102,7 +114,21 @@ impl ClusterClient {
 
     /// Issue a query through a specific coordinator node (experiments that
     /// need deterministic placement).
-    pub fn query_at(&self, query: &AggQuery, coordinator: usize) -> Result<QueryResult, ClientError> {
+    pub fn query_at(
+        &self,
+        query: &AggQuery,
+        coordinator: usize,
+    ) -> Result<QueryResult, ClientError> {
+        self.query_at_traced(query, coordinator)
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`ClusterClient::query_at`], also returning the coordinator's trace.
+    pub fn query_at_traced(
+        &self,
+        query: &AggQuery,
+        coordinator: usize,
+    ) -> Result<(QueryResult, QueryTrace), ClientError> {
         assert!(coordinator < self.n_nodes, "coordinator index out of range");
         let (rpc_id, rx) = self.rpc.register();
         let msg = Msg::Query {
@@ -111,13 +137,16 @@ impl ClusterClient {
             query: query.clone(),
         };
         let bytes = msg.wire_size();
-        if !self.router.send(self.gateway, NodeId(coordinator), msg, bytes) {
+        if !self
+            .router
+            .send(self.gateway, NodeId(coordinator), msg, bytes)
+        {
             self.rpc.cancel(rpc_id);
             return Err(ClientError::Disconnected);
         }
         match self.rpc.wait(rpc_id, &rx, self.timeout) {
-            Ok(Ok(result)) => Ok(result),
-            Ok(Err(remote)) => Err(ClientError::Remote(remote)),
+            Ok((Ok(result), trace)) => Ok((result, trace)),
+            Ok((Err(remote), _)) => Err(ClientError::Remote(remote)),
             Err(RpcError::Timeout) => Err(ClientError::Timeout),
             Err(RpcError::Canceled) => Err(ClientError::Disconnected),
         }
@@ -133,17 +162,36 @@ impl ClusterClient {
 /// Runs on its own thread until shutdown.
 pub(crate) fn run_gateway(
     inbox: crossbeam::channel::Receiver<Envelope<Msg>>,
-    rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
+    rpc: Arc<RpcTable<ClientReply>>,
 ) {
     while let Ok(env) = inbox.recv() {
+        let wire_ns = env.wire.as_nanos() as u64;
         match env.payload {
-            Msg::QueryResponse { rpc: id, result } => {
-                rpc.complete(id, result);
+            Msg::QueryResponse {
+                rpc: id,
+                result,
+                mut trace,
+            } => {
+                // The response leg back to the client is the one wire hop
+                // the coordinator could not have measured.
+                trace.agg.wire_ns += wire_ns;
+                rpc.complete(id, (result, trace));
             }
             // Front-end caching clients (§IX-A) issue SubQueries directly;
-            // their answers share the client RPC table.
-            Msg::SubQueryResponse { rpc: id, result } => {
-                rpc.complete(id, result);
+            // their answers share the client RPC table. The owner's stage
+            // record becomes a one-subquery trace.
+            Msg::SubQueryResponse {
+                rpc: id,
+                result,
+                trace: mut st,
+            } => {
+                st.wire_ns += wire_ns;
+                let trace = QueryTrace {
+                    agg: st,
+                    subqueries: 1,
+                    ..QueryTrace::default()
+                };
+                rpc.complete(id, (result, trace));
             }
             Msg::Shutdown => return,
             other => {

@@ -12,8 +12,8 @@
 //!    pan trajectory: after each interaction it warms the viewport the
 //!    user is most likely to request next, in the background.
 
-use crate::client::ClusterClient;
-use crate::protocol::{ClusterError, Msg};
+use crate::client::{ClientReply, ClusterClient};
+use crate::protocol::Msg;
 use stash_core::{LogicalClock, StashConfig, StashGraph};
 use stash_dfs::Partitioner;
 use stash_model::{AggQuery, Cell, CellKey, QueryResult};
@@ -28,7 +28,7 @@ pub struct CachingClient {
     inner: ClusterClient,
     router: Router<Msg>,
     gateway: NodeId,
-    sub_rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
+    sub_rpc: Arc<RpcTable<ClientReply>>,
     partitioner: Partitioner,
     graph: Arc<StashGraph>,
     clock: Arc<LogicalClock>,
@@ -49,7 +49,7 @@ impl CachingClient {
         inner: ClusterClient,
         router: Router<Msg>,
         gateway: NodeId,
-        sub_rpc: Arc<RpcTable<Result<QueryResult, ClusterError>>>,
+        sub_rpc: Arc<RpcTable<ClientReply>>,
         partitioner: Partitioner,
         max_cells: usize,
         timeout: Duration,
@@ -141,7 +141,10 @@ impl CachingClient {
     fn fetch_remote(&self, missing: &[CellKey]) -> Result<Vec<Cell>, String> {
         let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
         for &k in missing {
-            by_owner.entry(self.partitioner.owner_of_cell(&k)).or_default().push(k);
+            by_owner
+                .entry(self.partitioner.owner_of_cell(&k))
+                .or_default()
+                .push(k);
         }
         let mut waits = Vec::with_capacity(by_owner.len());
         for (owner, group) in by_owner {
@@ -164,13 +167,13 @@ impl CachingClient {
         let mut fetched_keys = std::collections::HashSet::with_capacity(missing.len());
         for (rpc, rx) in waits {
             match self.sub_rpc.wait(rpc, &rx, self.timeout) {
-                Ok(Ok(part)) => {
+                Ok((Ok(part), _trace)) => {
                     for c in part.cells {
                         fetched_keys.insert(c.key);
                         cells.push(c);
                     }
                 }
-                Ok(Err(e)) => return Err(e.to_string()),
+                Ok((Err(e), _trace)) => return Err(e.to_string()),
                 Err(e) => return Err(format!("front-end subquery failed: {e}")),
             }
         }
@@ -238,7 +241,10 @@ mod tests {
     #[test]
     fn prefetcher_extrapolates_pans() {
         let mut p = Prefetcher::new();
-        assert!(p.observe_and_predict(&q(40.0, -100.0)).is_none(), "no history yet");
+        assert!(
+            p.observe_and_predict(&q(40.0, -100.0)).is_none(),
+            "no history yet"
+        );
         let pred = p.observe_and_predict(&q(40.5, -100.0)).expect("momentum");
         // Panned north by 0.5: prediction continues north.
         assert!((pred.bbox.min_lat - 41.0).abs() < 1e-9);
@@ -262,7 +268,9 @@ mod tests {
         let mut p = Prefetcher::new();
         p.observe_and_predict(&q(40.0, -100.0));
         p.observe_and_predict(&q(40.5, -100.0)); // north
-        let east = p.observe_and_predict(&q(40.5, -99.0)).expect("east momentum");
+        let east = p
+            .observe_and_predict(&q(40.5, -99.0))
+            .expect("east momentum");
         assert!((east.bbox.min_lon + 98.0).abs() < 1e-9, "continues east");
         assert!((east.bbox.min_lat - 40.5).abs() < 1e-9);
     }

@@ -1,17 +1,17 @@
 //! Cluster assembly: configuration, node spawning, stats, teardown.
 
-use crate::client::{run_gateway, ClusterClient};
+use crate::client::{run_gateway, ClientReply, ClusterClient};
 use crate::node::{NodeCtx, WorkTiers};
 use crate::protocol::Msg;
 use crate::source::GenBlockSource;
 use crossbeam::channel::unbounded;
-use stash_core::StashConfig;
 use stash_core::LogicalClock;
+use stash_core::StashConfig;
 use stash_data::{GeneratorConfig, NamGenerator};
 use stash_dfs::{DiskModel, NodeStore, Partitioner};
 use stash_geo::time::epoch_seconds;
 use stash_geo::{BBox, TimeRange};
-use stash_model::{CellKey, QueryResult};
+use stash_model::CellKey;
 use stash_net::{NetConfig, NodeId, Router, RpcTable};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -162,7 +162,7 @@ pub struct SimCluster {
     config: Arc<ClusterConfig>,
     router: Router<Msg>,
     nodes: Vec<Arc<NodeCtx>>,
-    client_rpc: Arc<RpcTable<Result<QueryResult, crate::protocol::ClusterError>>>,
+    client_rpc: Arc<RpcTable<ClientReply>>,
     gateway: NodeId,
     partitioner: Partitioner,
     source: Arc<GenBlockSource>,
@@ -204,7 +204,11 @@ fn spawn_node(
         router.clone(),
         store,
         clock,
-        WorkTiers { coord_tx, service_tx, fetch_tx },
+        WorkTiers {
+            coord_tx,
+            service_tx,
+            fetch_tx,
+        },
     ));
     // Main thread.
     let main_ctx = Arc::clone(&ctx);
@@ -250,12 +254,21 @@ impl SimCluster {
         let gateway_ep = endpoints.pop().expect("gateway endpoint");
         let gateway = gateway_ep.id;
         let partitioner = Partitioner::new(config.n_nodes, config.partition_prefix_len);
-        let source = Arc::new(GenBlockSource::new(NamGenerator::new(config.generator.clone())));
+        let source = Arc::new(GenBlockSource::new(NamGenerator::new(
+            config.generator.clone(),
+        )));
 
         let mut nodes = Vec::with_capacity(config.n_nodes);
         let mut threads = Vec::new();
         for ep in endpoints {
-            nodes.push(spawn_node(&config, &router, &partitioner, &source, ep, &mut threads));
+            nodes.push(spawn_node(
+                &config,
+                &router,
+                &partitioner,
+                &source,
+                ep,
+                &mut threads,
+            ));
         }
 
         // Gateway pump.
@@ -449,9 +462,11 @@ impl SimCluster {
         self.router.clear_faults();
         self.router.heal_partition();
         for n in &self.nodes {
-            self.router.send(self.gateway, NodeId(n.node_idx), Msg::Shutdown, 16);
+            self.router
+                .send(self.gateway, NodeId(n.node_idx), Msg::Shutdown, 16);
         }
-        self.router.send(self.gateway, self.gateway, Msg::Shutdown, 16);
+        self.router
+            .send(self.gateway, self.gateway, Msg::Shutdown, 16);
     }
 }
 
@@ -639,6 +654,40 @@ mod tests {
         assert_eq!(r.total_count(), rb.total_count());
         cluster.shutdown();
         basic.shutdown();
+    }
+
+    #[test]
+    fn traced_queries_account_their_latency() {
+        let cluster = SimCluster::new(small_config(Mode::Stash));
+        let client = cluster.client();
+        let q = county_query();
+        let t0 = std::time::Instant::now();
+        let (result, trace) = client.query_traced(&q).expect("traced query");
+        let client_wall = t0.elapsed().as_nanos() as u64;
+        assert!(result.total_count() > 0);
+        assert!(trace.wall_ns > 0, "coordinator must time itself");
+        assert!(
+            trace.local_sum_ns() <= trace.wall_ns,
+            "local stage segments are disjoint wall slices: {} > {}",
+            trace.local_sum_ns(),
+            trace.wall_ns
+        );
+        assert!(
+            client_wall >= trace.wall_ns,
+            "client-visible latency includes the coordinator's wall"
+        );
+        // A cold county query misses everywhere: DFS time must show up.
+        assert!(trace.agg.dfs_ns > 0, "cold query must charge dfs time");
+        // Exactly one coordinator observed the query into its registry.
+        let coordinated: u64 = (0..cluster.n_nodes())
+            .map(|i| cluster.node(i).obs.counter("query.coordinate.ok").get())
+            .sum();
+        assert_eq!(coordinated, 1);
+        // A warm repeat serves from cache: PLM/lookup time recorded, and
+        // the cache stats that feed `figures --profile` moved.
+        let (_, warm) = client.query_traced(&q).expect("warm traced query");
+        assert!(warm.agg.plm_ns > 0, "warm query must charge plm lookups");
+        cluster.shutdown();
     }
 
     #[test]

@@ -22,20 +22,30 @@ use crate::cluster::{ClusterConfig, Mode, NodeStats};
 use crate::protocol::{ClusterError, Msg};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
-use stash_core::{evaluate, CliqueFinder, GuestBook, LogicalClock, RouteDecision, RoutingTable, StashGraph};
+use stash_core::{
+    evaluate_traced, CliqueFinder, GuestBook, LogicalClock, RouteDecision, RoutingTable, StashGraph,
+};
 use stash_dfs::{plan_blocks, NodeStore};
 use stash_model::{Cell, CellKey, CellSummary, Level, QueryResult};
 use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
+use stash_obs::{MetricsRegistry, QueryTrace, StageTimes};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Replies a node can wait for.
+/// Replies a node can wait for. Data replies carry the responder's
+/// [`StageTimes`]; the response-leg wire time is folded in by the main
+/// thread when the reply envelope is drained (it is the only place that
+/// sees the envelope's delivery timestamp).
 #[derive(Debug)]
 pub enum RpcReply {
-    SubResult(Result<QueryResult, ClusterError>),
-    Partials(Result<Vec<(CellKey, CellSummary)>, ClusterError>),
+    SubResult(Result<QueryResult, ClusterError>, StageTimes),
+    Partials(
+        Result<Vec<(CellKey, CellSummary)>, ClusterError>,
+        StageTimes,
+    ),
     Ack(bool),
 }
 
@@ -64,6 +74,8 @@ pub struct NodeCtx {
     pub clock: Arc<LogicalClock>,
     pub rpc: RpcTable<RpcReply>,
     pub stats: NodeStats,
+    /// Named counters/gauges/histograms for this node (DESIGN.md §11).
+    pub obs: Arc<MetricsRegistry>,
     /// Requests dispatched to workers and not yet finished (all tiers).
     pending: AtomicUsize,
     /// Data-service work (subqueries, fetches, replication) queued or in
@@ -112,10 +124,13 @@ impl NodeCtx {
             clock,
             rpc: RpcTable::default(),
             stats: NodeStats::default(),
+            obs: Arc::new(MetricsRegistry::new()),
             pending: AtomicUsize::new(0),
             service_pending: AtomicUsize::new(0),
             hot_level: AtomicU8::new(
-                Level::of(4, stash_geo::TemporalRes::Day).expect("static level").index(),
+                Level::of(4, stash_geo::TemporalRes::Day)
+                    .expect("static level")
+                    .index(),
             ),
             handoff_inflight: AtomicBool::new(false),
             cooldown_until: AtomicU64::new(0),
@@ -197,19 +212,37 @@ impl NodeCtx {
         ];
         for (tx, n) in poisons {
             for _ in 0..n {
-                let _ = tx.send(Envelope { src: self.id, dst: self.id, payload: Msg::Shutdown });
+                let _ = tx.send(Envelope {
+                    src: self.id,
+                    dst: self.id,
+                    wire: Duration::ZERO,
+                    payload: Msg::Shutdown,
+                });
             }
         }
     }
 
     fn handle_fast(self: &Arc<Self>, env: Envelope<Msg>) {
+        let wire_ns = env.wire.as_nanos() as u64;
         match env.payload {
             // RPC completions — wake waiting workers/handoff immediately.
-            Msg::SubQueryResponse { rpc, result } => {
-                self.rpc.complete(rpc, RpcReply::SubResult(result));
+            // Data replies get their response-leg wire time folded in here:
+            // the envelope's delivery timestamp dies with the envelope.
+            Msg::SubQueryResponse {
+                rpc,
+                result,
+                mut trace,
+            } => {
+                trace.wire_ns += wire_ns;
+                self.rpc.complete(rpc, RpcReply::SubResult(result, trace));
             }
-            Msg::PartialsResponse { rpc, partials } => {
-                self.rpc.complete(rpc, RpcReply::Partials(partials));
+            Msg::PartialsResponse {
+                rpc,
+                partials,
+                mut trace,
+            } => {
+                trace.wire_ns += wire_ns;
+                self.rpc.complete(rpc, RpcReply::Partials(partials, trace));
             }
             Msg::DistressAck { rpc, accept } => {
                 self.rpc.complete(rpc, RpcReply::Ack(accept));
@@ -219,17 +252,32 @@ impl NodeCtx {
             }
             // Control plane: answer inline (§VII-B3). A hotspotted or full
             // helper declines.
-            Msg::Distress { rpc, reply_to, n_cells } => {
+            Msg::Distress {
+                rpc,
+                reply_to,
+                n_cells,
+            } => {
                 let accept = !self.is_hotspotted()
                     && self
                         .guestbook
                         .lock()
                         .can_accommodate(n_cells, self.config.stash.guest_max_cells);
+                self.obs.inc(if accept {
+                    "handoff.distress.accept"
+                } else {
+                    "handoff.distress.decline"
+                });
                 let _ = self.send(reply_to, Msg::DistressAck { rpc, accept });
             }
             // Rerouting decision happens *before* queueing (§VII-C): a
             // hotspotted node sheds covered subqueries to their helper.
-            Msg::SubQuery { rpc, reply_to, keys, allow_reroute, via_guest } => {
+            Msg::SubQuery {
+                rpc,
+                reply_to,
+                keys,
+                allow_reroute,
+                via_guest,
+            } => {
                 if allow_reroute && !via_guest && self.is_hotspotted() {
                     let decision = self.routing.lock().decide(&keys);
                     if let RouteDecision::Covered { helper } = decision {
@@ -243,6 +291,7 @@ impl NodeCtx {
                             };
                             if self.send(NodeId(helper), forwarded) {
                                 self.stats.reroutes.fetch_add(1, Ordering::Relaxed);
+                                self.obs.inc("handoff.reroute");
                                 return;
                             }
                             // Helper crashed since the route was recorded:
@@ -254,12 +303,24 @@ impl NodeCtx {
                 self.dispatch(Envelope {
                     src: env.src,
                     dst: env.dst,
-                    payload: Msg::SubQuery { rpc, reply_to, keys, allow_reroute, via_guest },
+                    wire: env.wire,
+                    payload: Msg::SubQuery {
+                        rpc,
+                        reply_to,
+                        keys,
+                        allow_reroute,
+                        via_guest,
+                    },
                 });
             }
             // Everything else is real work.
             payload => {
-                self.dispatch(Envelope { src: env.src, dst: env.dst, payload });
+                self.dispatch(Envelope {
+                    src: env.src,
+                    dst: env.dst,
+                    wire: env.wire,
+                    payload,
+                });
             }
         }
     }
@@ -300,30 +361,73 @@ impl NodeCtx {
     }
 
     fn process(self: &Arc<Self>, env: Envelope<Msg>) {
+        // Request-leg wire time of the envelope that carried this work in;
+        // it rides out on the reply's trace so the coordinator's aggregate
+        // sees both legs.
+        let wire_ns = env.wire.as_nanos() as u64;
         match env.payload {
-            Msg::Query { rpc, reply_to, query } => {
-                self.stats.queries_coordinated.fetch_add(1, Ordering::Relaxed);
-                let result = self.coordinate(&query);
-                let _ = self.send(reply_to, Msg::QueryResponse { rpc, result });
+            Msg::Query {
+                rpc,
+                reply_to,
+                query,
+            } => {
+                self.stats
+                    .queries_coordinated
+                    .fetch_add(1, Ordering::Relaxed);
+                let (result, mut trace) = self.coordinate(&query);
+                trace.agg.wire_ns += wire_ns;
+                self.observe_query(&trace, result.is_ok());
+                let _ = self.send(reply_to, Msg::QueryResponse { rpc, result, trace });
             }
-            Msg::SubQuery { rpc, reply_to, keys, via_guest, .. } => {
+            Msg::SubQuery {
+                rpc,
+                reply_to,
+                keys,
+                via_guest,
+                ..
+            } => {
                 self.stats.subqueries.fetch_add(1, Ordering::Relaxed);
                 if let Some(k) = keys.first() {
                     self.hot_level.store(k.level().index(), Ordering::Relaxed);
                 }
-                let result = self.eval_subquery(&keys, via_guest);
-                let _ = self.send(reply_to, Msg::SubQueryResponse { rpc, result });
+                let (result, mut trace) = self.eval_subquery_traced(&keys, via_guest);
+                trace.wire_ns += wire_ns;
+                let _ = self.send(reply_to, Msg::SubQueryResponse { rpc, result, trace });
                 self.maintain();
             }
-            Msg::FetchPartials { rpc, reply_to, keys, exclude } => {
+            Msg::FetchPartials {
+                rpc,
+                reply_to,
+                keys,
+                exclude,
+            } => {
+                let scan = Instant::now();
                 let partials = self
                     .store
                     .fetch_partials_excluding(&keys, &exclude)
                     .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
                     .map_err(|e| ClusterError::Storage(e.to_string()));
-                let _ = self.send(reply_to, Msg::PartialsResponse { rpc, partials });
+                let trace = StageTimes {
+                    dfs_ns: scan.elapsed().as_nanos() as u64,
+                    wire_ns,
+                    ..StageTimes::default()
+                };
+                self.obs.observe("store.scan", trace.dfs_ns);
+                let _ = self.send(
+                    reply_to,
+                    Msg::PartialsResponse {
+                        rpc,
+                        partials,
+                        trace,
+                    },
+                );
             }
-            Msg::ReplicationRequest { rpc, reply_to, src_node, cells } => {
+            Msg::ReplicationRequest {
+                rpc,
+                reply_to,
+                src_node,
+                cells,
+            } => {
                 let ok = self.accept_replicas(src_node, cells);
                 let _ = self.send(reply_to, Msg::ReplicationResponse { rpc, ok });
             }
@@ -339,17 +443,56 @@ impl NodeCtx {
     // -- Coordinator role ----------------------------------------------------
 
     /// Evaluate a whole front-end query: split target Cells by owner,
-    /// scatter, gather, merge (Basic mode goes straight to storage).
-    fn coordinate(self: &Arc<Self>, query: &stash_model::AggQuery) -> Result<QueryResult, ClusterError> {
+    /// scatter, gather, merge (Basic mode goes straight to storage). The
+    /// returned [`QueryTrace`] is assembled here and rides back to the
+    /// client in the `QueryResponse`; its `local` view is built from
+    /// disjoint wall segments of this thread, so `local.sum_ns()` can
+    /// never exceed `wall_ns`.
+    fn coordinate(
+        self: &Arc<Self>,
+        query: &stash_model::AggQuery,
+    ) -> (Result<QueryResult, ClusterError>, QueryTrace) {
+        let start = Instant::now();
+        let mut trace = QueryTrace::default();
         let keys = query
             .target_keys(self.config.stash.max_cells_per_query)
-            .map_err(|e| ClusterError::BadQuery(e.to_string()))?;
-        if keys.is_empty() {
-            return Ok(QueryResult::default());
+            .map_err(|e| ClusterError::BadQuery(e.to_string()));
+        trace.local.route_ns += start.elapsed().as_nanos() as u64;
+        let result = match keys {
+            Err(e) => Err(e),
+            Ok(keys) if keys.is_empty() => Ok(QueryResult::default()),
+            Ok(keys) => match self.config.mode {
+                Mode::Basic => self.coordinate_basic(&keys, &mut trace),
+                Mode::Stash => self.coordinate_stash(&keys, &mut trace),
+            },
+        };
+        trace.wall_ns = start.elapsed().as_nanos() as u64;
+        // The aggregate view covers the whole cluster, this node included.
+        let local = trace.local;
+        trace.agg.add(&local);
+        (result, trace)
+    }
+
+    /// Record one finished coordination into this node's registry.
+    fn observe_query(&self, trace: &QueryTrace, ok: bool) {
+        self.obs.inc(if ok {
+            "query.coordinate.ok"
+        } else {
+            "query.coordinate.err"
+        });
+        self.obs.observe("query.wall", trace.wall_ns);
+        for (stage, ns) in trace.agg.stages() {
+            if ns > 0 {
+                self.obs.observe(&format!("query.stage.{stage}"), ns);
+            }
         }
-        match self.config.mode {
-            Mode::Basic => self.coordinate_basic(&keys),
-            Mode::Stash => self.coordinate_stash(&keys),
+        if trace.retries > 0 {
+            self.obs.counter("query.retries").add(trace.retries as u64);
+        }
+        if trace.failovers > 0 {
+            self.obs
+                .counter("query.failovers")
+                .add(trace.failovers as u64);
         }
     }
 
@@ -359,11 +502,15 @@ impl NodeCtx {
     /// scatter/merge path. An owner that stays unreachable after retries is
     /// failed over to the raw-storage path with the dead node excluded, so
     /// its DFS replicas answer instead (answers stay exact).
-    fn coordinate_basic(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, ClusterError> {
+    fn coordinate_basic(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        trace: &mut QueryTrace,
+    ) -> Result<QueryResult, ClusterError> {
+        let route = Instant::now();
         let prefix_len = self.store.partitioner().prefix_len();
-        let (local_ownable, spanning): (Vec<CellKey>, Vec<CellKey>) = keys
-            .iter()
-            .partition(|k| k.geohash.len() >= prefix_len);
+        let (local_ownable, spanning): (Vec<CellKey>, Vec<CellKey>) =
+            keys.iter().partition(|k| k.geohash.len() >= prefix_len);
         let mut summaries: Vec<(CellKey, CellSummary)> = Vec::with_capacity(keys.len());
         if !local_ownable.is_empty() {
             let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
@@ -392,7 +539,10 @@ impl NodeCtx {
                     stragglers.push((owner, group));
                 }
             }
+            trace.subqueries += waits.len() as u32;
+            trace.local.route_ns += route.elapsed().as_nanos() as u64;
             if let Some(group) = own {
+                let scan = Instant::now();
                 summaries.extend(
                     self.store
                         .fetch_partials(&group)
@@ -400,13 +550,20 @@ impl NodeCtx {
                         .into_iter()
                         .map(|p| (p.key, p.summary)),
                 );
+                trace.local.dfs_ns += scan.elapsed().as_nanos() as u64;
             }
+            let waited = Instant::now();
             for (owner, group, rpc, rx) in waits {
                 match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                    Ok(RpcReply::Partials(Ok(parts))) => summaries.extend(parts),
-                    Ok(RpcReply::Partials(Err(e))) => return Err(e),
+                    Ok(RpcReply::Partials(Ok(parts), st)) => {
+                        trace.absorb_sub(&st);
+                        summaries.extend(parts);
+                    }
+                    Ok(RpcReply::Partials(Err(e), _)) => return Err(e),
                     Ok(other) => {
-                        return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                        return Err(ClusterError::Protocol(format!(
+                            "unexpected reply {other:?}"
+                        )))
                     }
                     Err(RpcError::Timeout) => stragglers.push((owner, group)),
                     Err(RpcError::Canceled) => {
@@ -414,21 +571,38 @@ impl NodeCtx {
                     }
                 }
             }
+            trace.local.wait_ns += waited.elapsed().as_nanos() as u64;
             // Second wave: retry each straggler with backoff; if the owner
             // stays dark, read its blocks from the replica chain.
             for (owner, group) in stragglers {
-                match self.fetch_partials_rpc(owner, &group, &[]) {
-                    Ok(parts) => summaries.extend(parts),
+                trace.retries += 1;
+                let retried = Instant::now();
+                let mut acc = StageTimes::default();
+                let outcome = self.fetch_partials_rpc(owner, &group, &[], &mut acc);
+                let outcome = match outcome {
+                    Ok(parts) => Ok(parts),
                     Err(e) if e.is_transient() => {
-                        summaries.extend(self.gather_partials(&group, &[owner])?);
+                        trace.failovers += 1;
+                        self.gather_partials(&group, &[owner], &mut acc)
                     }
-                    Err(e) => return Err(e),
-                }
+                    Err(e) => Err(e),
+                };
+                trace.local.retry_ns += retried.elapsed().as_nanos() as u64;
+                trace.absorb_sub(&acc);
+                summaries.extend(outcome?);
             }
+        } else {
+            trace.local.route_ns += route.elapsed().as_nanos() as u64;
         }
         if !spanning.is_empty() {
-            summaries.extend(self.gather_partials(&spanning, &[])?);
+            let span = Instant::now();
+            let mut acc = StageTimes::default();
+            let parts = self.gather_partials(&spanning, &[], &mut acc);
+            trace.local.dfs_ns += span.elapsed().as_nanos() as u64;
+            trace.absorb_sub(&acc);
+            summaries.extend(parts?);
         }
+        let merge = Instant::now();
         let mut cells: Vec<Cell> = summaries
             .into_iter()
             .filter(|(_, s)| !s.is_empty())
@@ -436,6 +610,7 @@ impl NodeCtx {
             .collect();
         cells.sort_by_key(|c| c.key);
         cells.dedup_by_key(|c| c.key);
+        trace.local.merge_ns += merge.elapsed().as_nanos() as u64;
         Ok(QueryResult {
             misses: keys.len(),
             cells,
@@ -447,7 +622,12 @@ impl NodeCtx {
     /// failures degrade per group: retry with backoff, then bypass the dead
     /// owner's STASH graph entirely and recompute its Cells from DFS
     /// replicas ([`NodeCtx::gather_partials`] with the owner excluded).
-    fn coordinate_stash(self: &Arc<Self>, keys: &[CellKey]) -> Result<QueryResult, ClusterError> {
+    fn coordinate_stash(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        trace: &mut QueryTrace,
+    ) -> Result<QueryResult, ClusterError> {
+        let route = Instant::now();
         let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
         for &k in keys {
             by_owner
@@ -476,8 +656,16 @@ impl NodeCtx {
                 stragglers.push((owner, group));
             }
         }
+        trace.subqueries += waits.len() as u32;
+        trace.local.route_ns += route.elapsed().as_nanos() as u64;
         let mut merged = match own {
-            Some(group) => self.eval_subquery(&group, false)?,
+            Some(group) => {
+                let (result, st) = self.eval_subquery_traced(&group, false);
+                // Our own share ran on this very thread: its stage times
+                // are local wall segments, not a fan-out contribution.
+                trace.local.add(&st);
+                result?
+            }
             None => QueryResult::default(),
         };
         let absorb = |merged: &mut QueryResult, part: QueryResult| {
@@ -486,15 +674,21 @@ impl NodeCtx {
             merged.derived_hits += part.derived_hits;
             merged.misses += part.misses;
         };
+        let waited = Instant::now();
         for (owner, group, rpc, rx) in waits {
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                Ok(RpcReply::SubResult(Ok(part))) => absorb(&mut merged, part),
-                Ok(RpcReply::SubResult(Err(e))) if e.is_transient() => {
+                Ok(RpcReply::SubResult(Ok(part), st)) => {
+                    trace.absorb_sub(&st);
+                    absorb(&mut merged, part);
+                }
+                Ok(RpcReply::SubResult(Err(e), _)) if e.is_transient() => {
                     stragglers.push((owner, group));
                 }
-                Ok(RpcReply::SubResult(Err(e))) => return Err(e),
+                Ok(RpcReply::SubResult(Err(e), _)) => return Err(e),
                 Ok(other) => {
-                    return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected reply {other:?}"
+                    )))
                 }
                 Err(RpcError::Timeout) => stragglers.push((owner, group)),
                 Err(RpcError::Canceled) => {
@@ -502,42 +696,69 @@ impl NodeCtx {
                 }
             }
         }
+        trace.local.wait_ns += waited.elapsed().as_nanos() as u64;
         for (owner, group) in stragglers {
-            match self.subquery_rpc(owner, &group) {
-                Ok(part) => absorb(&mut merged, part),
+            trace.retries += 1;
+            let retried = Instant::now();
+            let mut acc = StageTimes::default();
+            let outcome = self.subquery_rpc(owner, &group, &mut acc);
+            let outcome = match outcome {
+                Ok(part) => {
+                    absorb(&mut merged, part);
+                    Ok(())
+                }
                 Err(e) if e.is_transient() => {
                     // The owner is gone: recompute its share from raw
                     // storage, reading its blocks off the replica chain.
                     // Empty summaries are dropped exactly as `evaluate`
                     // drops them, so results match the fault-free path.
-                    let parts = self.gather_partials(&group, &[owner])?;
-                    merged.misses += group.len();
-                    merged.cells.extend(
-                        parts
-                            .into_iter()
-                            .filter(|(_, s)| !s.is_empty())
-                            .map(|(key, summary)| Cell { key, summary }),
-                    );
+                    trace.failovers += 1;
+                    let parts = self.gather_partials(&group, &[owner], &mut acc);
+                    parts.map(|parts| {
+                        merged.misses += group.len();
+                        merged.cells.extend(
+                            parts
+                                .into_iter()
+                                .filter(|(_, s)| !s.is_empty())
+                                .map(|(key, summary)| Cell { key, summary }),
+                        );
+                    })
                 }
-                Err(e) => return Err(e),
-            }
+                Err(e) => Err(e),
+            };
+            trace.local.retry_ns += retried.elapsed().as_nanos() as u64;
+            trace.absorb_sub(&acc);
+            outcome?;
         }
+        let merge = Instant::now();
         merged.cells.sort_by_key(|c| c.key);
         merged.cells.dedup_by_key(|c| c.key);
+        trace.local.merge_ns += merge.elapsed().as_nanos() as u64;
         Ok(merged)
     }
 
     /// One owner's SubQuery with deadline, bounded retries, and backoff.
     /// A [`ClusterError::RerouteRefused`] answer (stale guest route) is
     /// resent once directly to the owner with rerouting disabled.
-    fn subquery_rpc(&self, owner: usize, keys: &[CellKey]) -> Result<QueryResult, ClusterError> {
+    ///
+    /// `acc` collects the remote party's stage times (on any answered
+    /// attempt) plus this thread's backoff sleeps, for the trace's
+    /// aggregate view.
+    fn subquery_rpc(
+        &self,
+        owner: usize,
+        keys: &[CellKey],
+        acc: &mut StageTimes,
+    ) -> Result<QueryResult, ClusterError> {
         let mut allow_reroute = true;
         let mut refused_once = false;
         let attempts = self.config.sub_rpc_retries + 1;
         let mut attempt = 0;
         while attempt < attempts {
             if attempt > 0 {
-                std::thread::sleep(self.backoff(attempt, owner as u64));
+                let nap = self.backoff(attempt, owner as u64);
+                std::thread::sleep(nap);
+                acc.retry_ns += nap.as_nanos() as u64;
             }
             let (rpc, rx) = self.rpc.register();
             let msg = Msg::SubQuery {
@@ -552,17 +773,24 @@ impl NodeCtx {
                 return Err(ClusterError::Unreachable { node: owner });
             }
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                Ok(RpcReply::SubResult(Ok(part))) => return Ok(part),
-                Ok(RpcReply::SubResult(Err(e @ ClusterError::RerouteRefused { .. }))) => {
-                    if refused_once {
-                        return Err(e); // a direct send cannot be refused twice
+                Ok(RpcReply::SubResult(result, st)) => {
+                    acc.add(&st);
+                    match result {
+                        Ok(part) => return Ok(part),
+                        Err(e @ ClusterError::RerouteRefused { .. }) => {
+                            if refused_once {
+                                return Err(e); // a direct send cannot be refused twice
+                            }
+                            refused_once = true;
+                            allow_reroute = false; // resend straight to the owner
+                        }
+                        Err(e) => return Err(e),
                     }
-                    refused_once = true;
-                    allow_reroute = false; // resend straight to the owner
                 }
-                Ok(RpcReply::SubResult(Err(e))) => return Err(e),
                 Ok(other) => {
-                    return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected reply {other:?}"
+                    )))
                 }
                 Err(RpcError::Timeout) => attempt += 1,
                 Err(RpcError::Canceled) => {
@@ -570,20 +798,27 @@ impl NodeCtx {
                 }
             }
         }
-        Err(ClusterError::Timeout { node: owner, op: "subquery" })
+        Err(ClusterError::Timeout {
+            node: owner,
+            op: "subquery",
+        })
     }
 
     /// One owner's FetchPartials with deadline, bounded retries, backoff.
+    /// `acc` collects the responder's stage times and backoff sleeps.
     fn fetch_partials_rpc(
         &self,
         owner: usize,
         keys: &[CellKey],
         exclude: &[usize],
+        acc: &mut StageTimes,
     ) -> Result<Vec<(CellKey, CellSummary)>, ClusterError> {
         let attempts = self.config.sub_rpc_retries + 1;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(self.backoff(attempt, owner as u64 ^ 0xF00D));
+                let nap = self.backoff(attempt, owner as u64 ^ 0xF00D);
+                std::thread::sleep(nap);
+                acc.retry_ns += nap.as_nanos() as u64;
             }
             let (rpc, rx) = self.rpc.register();
             let msg = Msg::FetchPartials {
@@ -597,10 +832,17 @@ impl NodeCtx {
                 return Err(ClusterError::Unreachable { node: owner });
             }
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                Ok(RpcReply::Partials(Ok(parts))) => return Ok(parts),
-                Ok(RpcReply::Partials(Err(e))) => return Err(e),
+                Ok(RpcReply::Partials(result, st)) => {
+                    acc.add(&st);
+                    match result {
+                        Ok(parts) => return Ok(parts),
+                        Err(e) => return Err(e),
+                    }
+                }
                 Ok(other) => {
-                    return Err(ClusterError::Protocol(format!("unexpected reply {other:?}")))
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected reply {other:?}"
+                    )))
                 }
                 Err(RpcError::Timeout) => continue,
                 Err(RpcError::Canceled) => {
@@ -608,14 +850,20 @@ impl NodeCtx {
                 }
             }
         }
-        Err(ClusterError::Timeout { node: owner, op: "partials" })
+        Err(ClusterError::Timeout {
+            node: owner,
+            op: "partials",
+        })
     }
 
     /// Exponential backoff with deterministic jitter. Jitter is a pure hash
     /// of (node, salt, attempt) so replayed fault schedules see identical
     /// retry timing — the chaos suite depends on it.
     fn backoff(&self, attempt: u32, salt: u64) -> std::time::Duration {
-        let exp = self.config.retry_backoff.saturating_mul(1 << (attempt - 1).min(4));
+        let exp = self
+            .config
+            .retry_backoff
+            .saturating_mul(1 << (attempt - 1).min(4));
         let mut x = (self.node_idx as u64)
             ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ ((attempt as u64) << 32);
@@ -633,32 +881,72 @@ impl NodeCtx {
     /// fall through to block scans, possibly on peer partitions.
     /// `pub(crate)` so [`crate::cluster::SimCluster`] can pre-warm graphs
     /// for the zoom experiments without timing a client round-trip.
-    pub(crate) fn eval_subquery(self: &Arc<Self>, keys: &[CellKey], via_guest: bool) -> Result<QueryResult, ClusterError> {
+    pub(crate) fn eval_subquery(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        via_guest: bool,
+    ) -> Result<QueryResult, ClusterError> {
+        self.eval_subquery_traced(keys, via_guest).0
+    }
+
+    /// [`NodeCtx::eval_subquery`] with per-stage timings. The evaluator's
+    /// DFS span covers the whole fetch wall, including wire time and retry
+    /// sleeps of any cross-node gathers; those shares are reclassified out
+    /// of `dfs_ns` here so the stages stay disjoint.
+    pub(crate) fn eval_subquery_traced(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        via_guest: bool,
+    ) -> (Result<QueryResult, ClusterError>, StageTimes) {
         let graph = if via_guest { &self.guest } else { &self.graph };
+        let mut st = StageTimes::default();
         if via_guest {
             // A rerouted subquery whose Cells were purged (or never hosted)
             // is refused — the coordinator resends to the owner directly.
             // Serving it here would silently grow the guest graph with
             // Cells nobody handed off.
             if !self.guestbook.lock().hosts_any(keys) {
-                return Err(ClusterError::RerouteRefused { helper: self.node_idx });
+                self.obs.inc("handoff.guest.refuse");
+                return (
+                    Err(ClusterError::RerouteRefused {
+                        helper: self.node_idx,
+                    }),
+                    st,
+                );
             }
             self.stats.guest_serves.fetch_add(1, Ordering::Relaxed);
+            self.obs.inc("handoff.guest.serve");
             self.guestbook.lock().touch(keys, self.clock.now());
         }
         let this = Arc::clone(self);
-        let fetch = move |missing: &[CellKey]| this.gather_partials_as_cells(missing);
-        let result = evaluate(graph, keys, &fetch).map_err(|e| match e {
-            stash_core::EvalError::Query(q) => ClusterError::BadQuery(q.to_string()),
-            stash_core::EvalError::Fetch(msg) => ClusterError::Storage(msg),
-        });
+        let gather_acc = Arc::new(Mutex::new(StageTimes::default()));
+        let fetch_acc = Arc::clone(&gather_acc);
+        let fetch = move |missing: &[CellKey]| {
+            let mut acc = StageTimes::default();
+            let cells = this.gather_partials_as_cells(missing, &mut acc);
+            fetch_acc.lock().add(&acc);
+            cells
+        };
+        let result = match evaluate_traced(graph, keys, &fetch) {
+            Ok((part, times)) => {
+                st.add(&times);
+                Ok(part)
+            }
+            Err(stash_core::EvalError::Query(q)) => Err(ClusterError::BadQuery(q.to_string())),
+            Err(stash_core::EvalError::Fetch(msg)) => Err(ClusterError::Storage(msg)),
+        };
+        let acc = *gather_acc.lock();
+        st.dfs_ns = st.dfs_ns.saturating_sub(acc.wire_ns + acc.retry_ns);
+        st.wire_ns += acc.wire_ns;
+        st.retry_ns += acc.retry_ns;
         // Modeled serve cost: lookup/merge/serialize per Cell on the
         // paper's hardware, charged as virtual time (DESIGN.md §2).
         let serve = self.config.cell_service_cost * keys.len() as u32;
-        if serve > std::time::Duration::ZERO {
+        if serve > Duration::ZERO {
             std::thread::sleep(serve);
+            st.merge_ns += serve.as_nanos() as u64;
         }
-        result
+        (result, st)
     }
 
     // -- Storage scatter/gather -------------------------------------------------
@@ -675,11 +963,12 @@ impl NodeCtx {
         self: &Arc<Self>,
         keys: &[CellKey],
         base_exclude: &[usize],
+        acc: &mut StageTimes,
     ) -> Result<Vec<(CellKey, CellSummary)>, ClusterError> {
         let mut exclude = base_exclude.to_vec();
         let n_nodes = self.store.partitioner().n_nodes();
         loop {
-            match self.try_gather(keys, &exclude) {
+            match self.try_gather(keys, &exclude, acc) {
                 Ok(out) => return Ok(out),
                 Err(GatherFailure::Owner(node, err)) => {
                     if exclude.contains(&node) || exclude.len() + 1 >= n_nodes {
@@ -699,6 +988,7 @@ impl NodeCtx {
         self: &Arc<Self>,
         keys: &[CellKey],
         exclude: &[usize],
+        acc: &mut StageTimes,
     ) -> Result<Vec<(CellKey, CellSummary)>, GatherFailure> {
         // Which nodes effectively own blocks relevant to these keys?
         let plan = plan_blocks(
@@ -711,7 +1001,11 @@ impl NodeCtx {
         .map_err(|e| GatherFailure::Fatal(ClusterError::Storage(e.to_string())))?;
         let mut owners: Vec<usize> = plan
             .keys()
-            .map(|bk| self.store.partitioner().owner_excluding(bk.geohash, exclude))
+            .map(|bk| {
+                self.store
+                    .partitioner()
+                    .owner_excluding(bk.geohash, exclude)
+            })
             .collect();
         owners.sort_unstable();
         owners.dedup();
@@ -720,11 +1014,13 @@ impl NodeCtx {
         let mut local: Vec<(CellKey, CellSummary)> = Vec::new();
         for owner in owners {
             if owner == self.node_idx {
+                let scan = Instant::now();
                 local = self
                     .store
                     .fetch_partials_excluding(keys, exclude)
                     .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
                     .map_err(|e| GatherFailure::Fatal(ClusterError::Storage(e.to_string())))?;
+                acc.dfs_ns += scan.elapsed().as_nanos() as u64;
             } else {
                 let (rpc, rx) = self.rpc.register();
                 let msg = Msg::FetchPartials {
@@ -749,8 +1045,10 @@ impl NodeCtx {
         // Merge partials per key; keys with no observations end up with an
         // empty summary (a valid "computed, empty" answer).
         let n_attrs = self.config.n_attrs;
-        let mut merged: HashMap<CellKey, CellSummary> =
-            keys.iter().map(|&k| (k, CellSummary::empty(n_attrs))).collect();
+        let mut merged: HashMap<CellKey, CellSummary> = keys
+            .iter()
+            .map(|&k| (k, CellSummary::empty(n_attrs)))
+            .collect();
         let absorb = |merged: &mut HashMap<CellKey, CellSummary>,
                       parts: Vec<(CellKey, CellSummary)>| {
             for (key, summary) in parts {
@@ -763,8 +1061,11 @@ impl NodeCtx {
         let mut dead: Option<(usize, ClusterError)> = None;
         for (owner, rpc, rx) in waits {
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
-                Ok(RpcReply::Partials(Ok(parts))) => absorb(&mut merged, parts),
-                Ok(RpcReply::Partials(Err(e))) => return Err(GatherFailure::Fatal(e)),
+                Ok(RpcReply::Partials(Ok(parts), st)) => {
+                    acc.add(&st);
+                    absorb(&mut merged, parts);
+                }
+                Ok(RpcReply::Partials(Err(e), _)) => return Err(GatherFailure::Fatal(e)),
                 Ok(other) => {
                     return Err(GatherFailure::Fatal(ClusterError::Protocol(format!(
                         "unexpected reply {other:?}"
@@ -774,7 +1075,7 @@ impl NodeCtx {
                     // Retry this owner alone before declaring it dead; keep
                     // draining the other waits either way.
                     if dead.is_none() {
-                        match self.fetch_partials_rpc(owner, keys, exclude) {
+                        match self.fetch_partials_rpc(owner, keys, exclude, acc) {
                             Ok(parts) => absorb(&mut merged, parts),
                             Err(e) if e.is_transient() => dead = Some((owner, e)),
                             Err(e) => return Err(GatherFailure::Fatal(e)),
@@ -800,9 +1101,13 @@ impl NodeCtx {
     /// evaluator's `FetchFn` is stringly typed (it belongs to the core
     /// layer); by this point retries and failover are already exhausted, so
     /// whatever error remains is final either way.
-    fn gather_partials_as_cells(self: &Arc<Self>, keys: &[CellKey]) -> Result<Vec<Cell>, String> {
+    fn gather_partials_as_cells(
+        self: &Arc<Self>,
+        keys: &[CellKey],
+        acc: &mut StageTimes,
+    ) -> Result<Vec<Cell>, String> {
         Ok(self
-            .gather_partials(keys, &[])
+            .gather_partials(keys, &[], acc)
             .map_err(|e| e.to_string())?
             .into_iter()
             .map(|(key, summary)| Cell { key, summary })
@@ -857,23 +1162,27 @@ impl NodeCtx {
             }
             for attempt in 0..MAX_ATTEMPTS {
                 let helper = match self.config.stash.helper_selection {
-                    stash_core::HelperSelection::Antipode => {
-                        self.store.partitioner().owner(clique.helper_region(attempt))
-                    }
+                    stash_core::HelperSelection::Antipode => self
+                        .store
+                        .partitioner()
+                        .owner(clique.helper_region(attempt)),
                     stash_core::HelperSelection::Random => {
                         // Ablation: any other node, pseudo-randomly.
                         let n = self.store.partitioner().n_nodes();
                         (self.node_idx
                             + 1
-                            + (clique.root.dense_id().wrapping_add(attempt) % (n as u64 - 1).max(1)) as usize)
+                            + (clique.root.dense_id().wrapping_add(attempt) % (n as u64 - 1).max(1))
+                                as usize)
                             % n
                     }
                 };
                 if helper == self.node_idx {
                     continue;
                 }
+                self.obs.inc("handoff.attempt");
                 if self.try_replicate_to(&clique, helper) {
                     self.stats.handoffs.fetch_add(1, Ordering::Relaxed);
+                    self.obs.inc("handoff.ok");
                     break;
                 }
             }
@@ -889,13 +1198,21 @@ impl NodeCtx {
         let (rpc, rx) = self.rpc.register();
         if !self.send(
             NodeId(helper),
-            Msg::Distress { rpc, reply_to: self.id, n_cells: clique.size() },
+            Msg::Distress {
+                rpc,
+                reply_to: self.id,
+                n_cells: clique.size(),
+            },
         ) {
             self.rpc.cancel(rpc);
             return false;
         }
         match self.rpc.wait(rpc, &rx, self.config.distress_timeout) {
             Ok(RpcReply::Ack(true)) => {}
+            Ok(RpcReply::Ack(false)) => {
+                self.obs.inc("handoff.declined");
+                return false;
+            }
             _ => return false,
         }
         // Step 4: Replication Request / Response.
@@ -907,7 +1224,12 @@ impl NodeCtx {
         let (rpc, rx) = self.rpc.register();
         if !self.send(
             NodeId(helper),
-            Msg::ReplicationRequest { rpc, reply_to: self.id, src_node: self.node_idx, cells: snapshot },
+            Msg::ReplicationRequest {
+                rpc,
+                reply_to: self.id,
+                src_node: self.node_idx,
+                cells: snapshot,
+            },
         ) {
             self.rpc.cancel(rpc);
             return false;
@@ -959,4 +1281,3 @@ impl NodeCtx {
             .purge_expired(now, self.config.stash.routing_ttl_ticks);
     }
 }
-

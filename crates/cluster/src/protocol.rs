@@ -8,6 +8,7 @@
 use stash_geo::{BBox, TimeRange};
 use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult};
 use stash_net::NodeId;
+use stash_obs::{QueryTrace, StageTimes};
 
 /// A typed cluster-path failure. Distinguishing *why* an RPC failed is what
 /// lets the robustness layer react correctly: timeouts and unreachable
@@ -78,10 +79,12 @@ pub enum Msg {
         reply_to: NodeId,
         query: AggQuery,
     },
-    /// Final answer back to the client gateway.
+    /// Final answer back to the client gateway, with the coordinator's
+    /// assembled per-stage trace riding alongside the result.
     QueryResponse {
         rpc: u64,
         result: Result<QueryResult, ClusterError>,
+        trace: QueryTrace,
     },
 
     // ---- Coordinator → owner scatter/gather --------------------------------
@@ -100,6 +103,10 @@ pub enum Msg {
     SubQueryResponse {
         rpc: u64,
         result: Result<QueryResult, ClusterError>,
+        /// The owner's stage timings for this share (PLM / merge / DFS,
+        /// plus wire time of the request leg; the receiver folds in the
+        /// response leg from its envelope).
+        trace: StageTimes,
     },
 
     // ---- Raw storage access (Basic mode; coarse cells spanning partitions;
@@ -118,6 +125,8 @@ pub enum Msg {
     PartialsResponse {
         rpc: u64,
         partials: Result<Vec<(CellKey, CellSummary)>, ClusterError>,
+        /// Scan time on the serving node (`dfs_ns`) plus request-leg wire.
+        trace: StageTimes,
     },
 
     // ---- Clique Handoff (Fig. 5) --------------------------------------------
@@ -174,12 +183,13 @@ pub fn error_bytes(e: &ClusterError) -> usize {
 /// Approximate serialized bytes of a result.
 pub fn result_bytes(r: &Result<QueryResult, ClusterError>) -> usize {
     match r {
-        Ok(qr) => qr
-            .cells
-            .iter()
-            .map(|c| 24 + 40 * c.summary.n_attrs())
-            .sum::<usize>()
-            + 64,
+        Ok(qr) => {
+            qr.cells
+                .iter()
+                .map(|c| 24 + 40 * c.summary.n_attrs())
+                .sum::<usize>()
+                + 64
+        }
         Err(e) => error_bytes(e),
     }
 }
@@ -194,7 +204,11 @@ pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, ClusterError>) -> 
 
 /// Approximate serialized bytes of replicated cells.
 pub fn cells_bytes(cells: &[(Cell, f64)]) -> usize {
-    cells.iter().map(|(c, _)| 32 + 40 * c.summary.n_attrs()).sum::<usize>() + 64
+    cells
+        .iter()
+        .map(|(c, _)| 32 + 40 * c.summary.n_attrs())
+        .sum::<usize>()
+        + 64
 }
 
 impl Msg {
@@ -258,10 +272,15 @@ mod tests {
                 cells: vec![cell(); 10],
                 ..Default::default()
             }),
+            trace: QueryTrace::default(),
         };
         let resp_err = Msg::QueryResponse {
             rpc: 1,
-            result: Err(ClusterError::Timeout { node: 2, op: "subquery" }),
+            result: Err(ClusterError::Timeout {
+                node: 2,
+                op: "subquery",
+            }),
+            trace: QueryTrace::default(),
         };
         assert!(resp_ok.wire_size() > resp_err.wire_size());
 
@@ -271,12 +290,19 @@ mod tests {
             src_node: 0,
             cells: vec![(cell(), 1.0); 32],
         };
-        assert!(repl.wire_size() > 32 * 100, "replication payloads are heavy");
+        assert!(
+            repl.wire_size() > 32 * 100,
+            "replication payloads are heavy"
+        );
     }
 
     #[test]
     fn transient_errors_are_exactly_the_retriable_ones() {
-        assert!(ClusterError::Timeout { node: 1, op: "subquery" }.is_transient());
+        assert!(ClusterError::Timeout {
+            node: 1,
+            op: "subquery"
+        }
+        .is_transient());
         assert!(ClusterError::Unreachable { node: 1 }.is_transient());
         assert!(ClusterError::RerouteRefused { helper: 1 }.is_transient());
         assert!(!ClusterError::Storage("disk".into()).is_transient());
@@ -286,9 +312,16 @@ mod tests {
 
     #[test]
     fn control_messages_are_light() {
-        let d = Msg::Distress { rpc: 1, reply_to: NodeId(0), n_cells: 100 };
+        let d = Msg::Distress {
+            rpc: 1,
+            reply_to: NodeId(0),
+            n_cells: 100,
+        };
         assert!(d.wire_size() <= 64);
-        let a = Msg::DistressAck { rpc: 1, accept: true };
+        let a = Msg::DistressAck {
+            rpc: 1,
+            accept: true,
+        };
         assert!(a.wire_size() <= 64);
     }
 }

@@ -124,7 +124,11 @@ mod tests {
         }
         assert_eq!(b.len(), 64);
         // One chunk word should hold all 64 bits.
-        assert!(b.estimated_bytes() <= 64, "chunking failed: {} bytes", b.estimated_bytes());
+        assert!(
+            b.estimated_bytes() <= 64,
+            "chunking failed: {} bytes",
+            b.estimated_bytes()
+        );
     }
 
     #[test]

@@ -112,16 +112,24 @@ impl CliqueFinder {
                 .then_with(|| a.root.cmp(&b.root))
         });
 
+        // §VII-B2 asks for the top K *hottest* cliques whose cumulative
+        // size fits N: the k-limit applies to candidates by rank, not to
+        // however many selections the budget eventually admits. The old
+        // greedy pass re-checked `out.len() >= k` before each size check,
+        // so when a hot clique was oversized the scan kept walking and
+        // promoted arbitrarily cold tail cliques into the "top K" — the
+        // replica set then pinned cold data instead of the hotspot.
         let mut out = Vec::new();
         let mut budget = max_cells;
-        for c in cliques {
-            if out.len() >= k {
+        for c in cliques.into_iter().take(k) {
+            if budget == 0 {
                 break;
             }
-            if c.size() <= budget {
-                budget -= c.size();
-                out.push(c);
+            if c.members.is_empty() || c.size() > budget {
+                continue;
             }
+            budget -= c.size();
+            out.push(c);
         }
         out
     }
@@ -234,6 +242,48 @@ mod tests {
         // k limits count even when budget allows more.
         let one = finder.top_cliques(&g, level, 10_000, 1);
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn oversized_hottest_clique_does_not_shadow_or_yield_its_slots() {
+        // One blazing-hot 32-cell clique plus several barely-touched
+        // single-cell cliques in far-away regions.
+        let g = graph();
+        let hot = key("9q8");
+        for ck in hot.spatial_children().unwrap() {
+            g.insert(Cell::empty(ck, 1));
+        }
+        for _ in 0..5 {
+            for ck in hot.spatial_children().unwrap() {
+                g.get(&ck);
+            }
+        }
+        let cold = ["9r2x", "c2b2", "dr5r", "u4pr"];
+        for gh in cold {
+            g.insert(Cell::empty(key(gh), 1));
+        }
+        let finder = CliqueFinder::new(2);
+        let level = Level::of(4, TemporalRes::Day).unwrap();
+
+        // k = 1 with a budget too small for the hottest clique: the single
+        // top-ranked candidate is oversized, so nothing replicates. The old
+        // greedy pass kept scanning and shipped a cold singleton instead.
+        let none = finder.top_cliques(&g, level, 16, 1);
+        assert!(
+            none.is_empty(),
+            "oversized top clique must not surrender its slot to cold tail cliques: {:?}",
+            none.iter().map(|c| c.root).collect::<Vec<_>>()
+        );
+
+        // k = 3: only ranks 1..=3 are candidates. The oversized rank-1 is
+        // skipped, the two rank-2/3 singletons fit; rank-4 must not be
+        // promoted into the window (the old code returned 3 singletons).
+        let some = finder.top_cliques(&g, level, 16, 3);
+        assert_eq!(some.len(), 2, "exactly the in-window fitting cliques");
+        for c in &some {
+            assert_eq!(c.size(), 1);
+            assert_ne!(c.root, hot);
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ mod tests {
                 std::thread::spawn(move || (0..1000).map(|_| c.advance()).collect::<Vec<u64>>())
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000);

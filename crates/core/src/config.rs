@@ -125,7 +125,10 @@ impl StashConfig {
             (0.0..=1.0).contains(&self.reroute_probability),
             "reroute_probability must be within [0,1]"
         );
-        assert!(self.max_replicable_cells > 0, "max_replicable_cells must be positive");
+        assert!(
+            self.max_replicable_cells > 0,
+            "max_replicable_cells must be positive"
+        );
         assert!(self.top_k_cliques > 0, "top_k_cliques must be positive");
     }
 }

@@ -18,6 +18,8 @@
 
 use crate::graph::StashGraph;
 use stash_model::{Cell, CellKey, QueryError, QueryResult};
+use stash_obs::StageTimes;
+use std::time::Instant;
 
 /// Supplies Cells the cache cannot: scans the backing store (and forwards
 /// to peer partitions when a coarse Cell spans them). Must return exactly
@@ -63,15 +65,36 @@ pub struct EvalOutcome {
 /// Cells this node is responsible for (the coordinator has already split
 /// the query by owner); call sites with a whole query use
 /// [`stash_model::AggQuery::target_keys`] first.
-pub fn evaluate(graph: &StashGraph, keys: &[CellKey], fetch: &FetchFn) -> Result<QueryResult, EvalError> {
+pub fn evaluate(
+    graph: &StashGraph,
+    keys: &[CellKey],
+    fetch: &FetchFn,
+) -> Result<QueryResult, EvalError> {
+    evaluate_traced(graph, keys, fetch).map(|(result, _)| result)
+}
+
+/// [`evaluate`] plus a per-stage timing breakdown: `plm_ns` covers the
+/// batched PLM/cache pass, `merge_ns` derivation, insertion, dispersal,
+/// and result assembly, and `dfs_ns` the wall time spent inside `fetch`
+/// (local DFS scan, or scan + wire when the fetcher gathers remotely —
+/// callers that know their fetcher's wire share move it to `wire_ns`).
+pub fn evaluate_traced(
+    graph: &StashGraph,
+    keys: &[CellKey],
+    fetch: &FetchFn,
+) -> Result<(QueryResult, StageTimes), EvalError> {
     graph.clock().advance();
     let mut outcome = EvalOutcome::default();
+    let mut times = StageTimes::default();
 
     // Pass 1: direct hits (batched: one lock round per level)…
+    let t = Instant::now();
     let (mut cells, candidates) = graph.get_many(keys);
+    times.plm_ns = t.elapsed().as_nanos() as u64;
     outcome.cache_hits = cells.len();
 
     // …then derivation from cached children for the remainder.
+    let t = Instant::now();
     let mut missing: Vec<CellKey> = Vec::with_capacity(candidates.len());
     if graph.config().enable_derivation {
         for key in candidates {
@@ -85,10 +108,13 @@ pub fn evaluate(graph: &StashGraph, keys: &[CellKey], fetch: &FetchFn) -> Result
     } else {
         missing = candidates;
     }
+    times.merge_ns = t.elapsed().as_nanos() as u64;
 
     // Pass 2: fetch what memory cannot provide.
     if !missing.is_empty() {
+        let t = Instant::now();
         let fetched = fetch(&missing).map_err(EvalError::Fetch)?;
+        times.dfs_ns = t.elapsed().as_nanos() as u64;
         if fetched.len() != missing.len() {
             return Err(EvalError::Fetch(format!(
                 "store returned {} cells for {} keys",
@@ -99,10 +125,13 @@ pub fn evaluate(graph: &StashGraph, keys: &[CellKey], fetch: &FetchFn) -> Result
         outcome.fetched = fetched.len();
         // Collective caching: fetched Cells are inserted so *any* later
         // query (from any user) reuses them.
+        let t = Instant::now();
         graph.insert_many(fetched.iter().cloned());
         cells.extend(fetched);
+        times.merge_ns += t.elapsed().as_nanos() as u64;
     }
 
+    let t = Instant::now();
     // Freshness dispersion over the accessed region (§V-C2).
     graph.touch_region(keys);
 
@@ -110,12 +139,16 @@ pub fn evaluate(graph: &StashGraph, keys: &[CellKey], fetch: &FetchFn) -> Result
     // (nothing to draw) while keeping them cached.
     cells.retain(|c| !c.summary.is_empty());
     cells.sort_by_key(|c| c.key);
-    Ok(QueryResult {
-        cells,
-        cache_hits: outcome.cache_hits,
-        derived_hits: outcome.derived_hits,
-        misses: outcome.fetched,
-    })
+    times.merge_ns += t.elapsed().as_nanos() as u64;
+    Ok((
+        QueryResult {
+            cells,
+            cache_hits: outcome.cache_hits,
+            derived_hits: outcome.derived_hits,
+            misses: outcome.fetched,
+        },
+        times,
+    ))
 }
 
 #[cfg(test)]
@@ -148,7 +181,9 @@ mod tests {
 
     /// A fetcher that returns value `1.0` per key and records what it was
     /// asked for.
-    fn recording_fetcher(log: Arc<Mutex<Vec<Vec<CellKey>>>>) -> impl Fn(&[CellKey]) -> Result<Vec<Cell>, String> + Sync {
+    fn recording_fetcher(
+        log: Arc<Mutex<Vec<Vec<CellKey>>>>,
+    ) -> impl Fn(&[CellKey]) -> Result<Vec<Cell>, String> + Sync {
         move |keys: &[CellKey]| {
             log.lock().push(keys.to_vec());
             Ok(keys.iter().map(|&k| filled(k, 1.0)).collect())
@@ -198,9 +233,8 @@ mod tests {
         let children = parent.spatial_children().unwrap();
         g.insert_many(children.iter().map(|&k| filled(k, 3.0)));
 
-        let fetch = |_: &[CellKey]| -> Result<Vec<Cell>, String> {
-            Err("disk must not be touched".into())
-        };
+        let fetch =
+            |_: &[CellKey]| -> Result<Vec<Cell>, String> { Err("disk must not be touched".into()) };
         let r = evaluate(&g, &[parent], &fetch).unwrap();
         assert_eq!(r.derived_hits, 1);
         assert_eq!(r.misses, 0);
@@ -259,6 +293,32 @@ mod tests {
         for w in r.cells.windows(2) {
             assert!(w[0].key < w[1].key);
         }
+    }
+
+    #[test]
+    fn traced_evaluation_times_every_stage_it_runs() {
+        let g = graph();
+        let keys: Vec<CellKey> = key("9q8").spatial_children().unwrap();
+        let slow_fetch = |keys: &[CellKey]| -> Result<Vec<Cell>, String> {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok(keys.iter().map(|&k| filled(k, 1.0)).collect())
+        };
+        let (cold, t_cold) = evaluate_traced(&g, &keys, &slow_fetch).unwrap();
+        assert_eq!(cold.misses, 32);
+        assert!(
+            t_cold.dfs_ns >= 5_000_000,
+            "fetch wall time not captured: {} ns",
+            t_cold.dfs_ns
+        );
+        // The evaluator itself never touches the wire or retries.
+        assert_eq!((t_cold.wire_ns, t_cold.retry_ns, t_cold.wait_ns), (0, 0, 0));
+
+        let deny = |_: &[CellKey]| -> Result<Vec<Cell>, String> { Err("warm".into()) };
+        let (warm, t_warm) = evaluate_traced(&g, &keys, &deny).unwrap();
+        assert_eq!(warm.cache_hits, 32);
+        assert_eq!(t_warm.dfs_ns, 0, "warm evaluation must not fetch");
+        // Results are identical to the untraced path.
+        assert_eq!(evaluate(&g, &keys, &deny).unwrap().cells, warm.cells);
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!
 //! The score lives in atomics (f64 bits + last tick) so freshness bumps can
 //! run under the graph's *read* lock — the hot path of every cache hit.
-//! Concurrent bumps may race benignly (one increment of several can be
-//! lost); freshness is a ranking heuristic, not an invariant, and the paper
-//! derives no correctness property from exact counts.
+//! Bumps are lock-free and lose no increments: `fetch_max` on the tick
+//! hands exactly one racing bumper each decay interval, which it applies as
+//! a CAS-added delta (`score·(factor − 1)`), while every bump CAS-adds its
+//! own increment. Same-tick concurrent bumps therefore sum exactly; racing
+//! bumps at *different* ticks can at worst leave a just-added increment
+//! un-decayed for one interval — a bounded overestimate, never a loss.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,10 +46,39 @@ impl Freshness {
     }
 
     /// Decay to `tick`, then add `amount`.
+    ///
+    /// Lock-free: the naive read-modify-write (`effective() + amount` then
+    /// `store`) silently dropped concurrent increments — exactly the
+    /// hotspot load where freshness drives eviction and Clique selection.
+    /// Instead, `fetch_max` on `last_tick` *claims* the decay interval for
+    /// exactly one of any set of racing bumpers, and both the claimed decay
+    /// and the increment are folded in through a `compare_exchange_weak`
+    /// loop, so no bump is ever lost. SeqCst keeps the pre-claim score
+    /// snapshot from observing increments that are ordered after the claim.
     pub fn bump(&self, amount: f64, tick: u64, tau: f64) {
-        let new = self.effective(tick, tau) + amount;
-        self.score_bits.store(new.to_bits(), Ordering::Relaxed);
-        self.last_tick.store(tick.max(self.last_tick.load(Ordering::Relaxed)), Ordering::Relaxed);
+        let s0 = f64::from_bits(self.score_bits.load(Ordering::SeqCst));
+        let prev = self.last_tick.fetch_max(tick, Ordering::SeqCst);
+        let delta = if tick > prev {
+            // This bumper alone owns the (prev -> tick) decay.
+            s0 * (decay_factor(tick - prev, tau) - 1.0) + amount
+        } else {
+            amount
+        };
+        let mut cur = self.score_bits.load(Ordering::SeqCst);
+        loop {
+            // Clamp: overlapping decay claims at distinct ticks can in
+            // theory over-subtract; a freshness score is never negative.
+            let new = (f64::from_bits(cur) + delta).max(0.0);
+            match self.score_bits.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Tick of the last bump.
@@ -77,7 +109,10 @@ mod tests {
     fn score_decays_exponentially() {
         let f = Freshness::new(1.0, 0);
         let at_tau = f.effective(8, TAU);
-        assert!((at_tau - (-1.0f64).exp()).abs() < 1e-9, "1/e at τ, got {at_tau}");
+        assert!(
+            (at_tau - (-1.0f64).exp()).abs() < 1e-9,
+            "1/e at τ, got {at_tau}"
+        );
         assert!(f.effective(80, TAU) < 1e-4, "nearly gone at 10τ");
         // Monotone decreasing.
         assert!(f.effective(1, TAU) > f.effective(2, TAU));
@@ -141,8 +176,11 @@ mod tests {
             h.join().unwrap();
         }
         let score = f.effective(5, TAU);
-        // Races may drop increments but never corrupt: score is positive,
-        // finite, and bounded by the total of all bumps.
-        assert!(score > 0.0 && score <= 4000.0, "score {score}");
+        // Lost-update regression: every one of the 4 x 1000 same-tick bumps
+        // of 1.0 must land. The initial score is 0.0, so the single claimed
+        // decay of the 0 -> 5 interval contributes nothing, and the exact
+        // score at tick 5 is 4000 — the old read-modify-write dropped
+        // increments under contention and came up short.
+        assert_eq!(score, 4000.0, "lost {} bumps", 4000.0 - score);
     }
 }

@@ -34,14 +34,70 @@ struct Entry {
     fresh: Freshness,
 }
 
-/// Monitoring counters (relaxed atomics).
+/// Per-level monitoring counters (relaxed atomics).
 #[derive(Debug, Default)]
+pub struct LevelStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub insertions: AtomicU64,
+    pub evictions: AtomicU64,
+    /// Freshness dispersal bumps applied to cached neighbors (§V-C2).
+    pub dispersals: AtomicU64,
+}
+
+/// Monitoring counters (relaxed atomics).
+///
+/// Totals plus a per-level breakdown ([`GraphStats::level`]) and the PLM's
+/// completeness outcomes: every lookup lands in exactly one of
+/// `plm_fresh` (cached, servable), `plm_stale` (cached but invalidated),
+/// or `plm_absent` (not cached).
+#[derive(Debug)]
 pub struct GraphStats {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
     pub derived: AtomicU64,
     pub insertions: AtomicU64,
     pub evictions: AtomicU64,
+    /// Full replacement passes triggered by a threshold breach (each pass
+    /// scores every cached Cell; see [`StashGraph::evict_if_needed`]).
+    pub evict_passes: AtomicU64,
+    /// Neighborhood freshness bumps applied by [`StashGraph::touch_region`].
+    pub dispersals: AtomicU64,
+    pub plm_fresh: AtomicU64,
+    pub plm_stale: AtomicU64,
+    pub plm_absent: AtomicU64,
+    levels: Vec<LevelStats>,
+}
+
+impl Default for GraphStats {
+    fn default() -> Self {
+        GraphStats {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            derived: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evict_passes: AtomicU64::new(0),
+            dispersals: AtomicU64::new(0),
+            plm_fresh: AtomicU64::new(0),
+            plm_stale: AtomicU64::new(0),
+            plm_absent: AtomicU64::new(0),
+            levels: (0..NUM_LEVELS).map(|_| LevelStats::default()).collect(),
+        }
+    }
+}
+
+impl GraphStats {
+    /// This level's slice of the counters.
+    pub fn level(&self, level: Level) -> &LevelStats {
+        &self.levels[level.index() as usize]
+    }
+
+    fn plm_outcome(&self, fresh: u64, stale: u64, absent: u64) {
+        self.plm_fresh.fetch_add(fresh, Ordering::Relaxed);
+        self.plm_stale.fetch_add(stale, Ordering::Relaxed);
+        self.plm_absent.fetch_add(absent, Ordering::Relaxed);
+    }
 }
 
 /// One node's in-memory STASH graph.
@@ -59,7 +115,9 @@ impl StashGraph {
         config.validate();
         StashGraph {
             config,
-            levels: (0..NUM_LEVELS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            levels: (0..NUM_LEVELS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
             plm: RwLock::new(Plm::new()),
             count: AtomicUsize::new(0),
             clock,
@@ -109,9 +167,19 @@ impl StashGraph {
     /// and counts a hit/miss. Stale Cells miss (their summaries may no
     /// longer match storage).
     pub fn get(&self, key: &CellKey) -> Option<Cell> {
-        if !self.contains_fresh(key) {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
+        let lstats = self.stats.level(key.level());
+        {
+            let plm = self.plm.read();
+            if !plm.is_fresh(key) {
+                if plm.is_stale(key) {
+                    self.stats.plm_outcome(0, 1, 0);
+                } else {
+                    self.stats.plm_outcome(0, 0, 1);
+                }
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                lstats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
         }
         let map = self.level_map(key).read();
         match map.get(key) {
@@ -119,11 +187,17 @@ impl StashGraph {
                 entry
                     .fresh
                     .bump(self.config.f_inc, self.clock.now(), self.config.decay_tau);
+                self.stats.plm_outcome(1, 0, 0);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                lstats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.cell.clone())
             }
             None => {
+                // PLM said fresh but the Cell vanished between locks
+                // (concurrent eviction): a miss, absent by the time we read.
+                self.stats.plm_outcome(0, 0, 1);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                lstats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -148,6 +222,7 @@ impl StashGraph {
                 j += 1;
             }
             let group = &keys[i..j];
+            let (mut fresh_n, mut stale_n, mut absent_n) = (0u64, 0u64, 0u64);
             {
                 let plm = self.plm.read();
                 let map = self.levels[level.index() as usize].read();
@@ -156,15 +231,33 @@ impl StashGraph {
                         Some(entry) if !plm.is_stale(key) => {
                             entry.fresh.bump(self.config.f_inc, now, tau);
                             hits.push(entry.cell.clone());
+                            fresh_n += 1;
                         }
-                        _ => missing.push(*key),
+                        Some(_) => {
+                            missing.push(*key);
+                            stale_n += 1;
+                        }
+                        None => {
+                            missing.push(*key);
+                            absent_n += 1;
+                        }
                     }
                 }
             }
+            self.stats.plm_outcome(fresh_n, stale_n, absent_n);
+            let lstats = self.stats.level(level);
+            lstats.hits.fetch_add(fresh_n, Ordering::Relaxed);
+            lstats
+                .misses
+                .fetch_add(stale_n + absent_n, Ordering::Relaxed);
             i = j;
         }
-        self.stats.hits.fetch_add(hits.len() as u64, Ordering::Relaxed);
-        self.stats.misses.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        self.stats
+            .hits
+            .fetch_add(hits.len() as u64, Ordering::Relaxed);
+        self.stats
+            .misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
         (hits, missing)
     }
 
@@ -206,13 +299,23 @@ impl StashGraph {
         let now = self.clock.now();
         let mut map = self.level_map(&key).write();
         let replaced = map
-            .insert(key, Entry { cell, fresh: Freshness::new(score, now) })
+            .insert(
+                key,
+                Entry {
+                    cell,
+                    fresh: Freshness::new(score, now),
+                },
+            )
             .is_some();
         drop(map);
         if !replaced {
             self.count.fetch_add(1, Ordering::Relaxed);
         }
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .level(key.level())
+            .insertions
+            .fetch_add(1, Ordering::Relaxed);
         self.plm.write().mark_cached(&key);
     }
 
@@ -278,11 +381,24 @@ impl StashGraph {
         }
         let frac = self.config.f_inc * self.config.neighbor_fraction;
         for (level, neighbors) in by_level {
-            let map = self.levels[level.index() as usize].read();
-            for n in &neighbors {
-                if let Some(e) = map.get(n) {
-                    e.fresh.bump(frac, now, tau);
+            let mut dispersed = 0u64;
+            {
+                let map = self.levels[level.index() as usize].read();
+                for n in &neighbors {
+                    if let Some(e) = map.get(n) {
+                        e.fresh.bump(frac, now, tau);
+                        dispersed += 1;
+                    }
                 }
+            }
+            if dispersed > 0 {
+                self.stats
+                    .dispersals
+                    .fetch_add(dispersed, Ordering::Relaxed);
+                self.stats
+                    .level(level)
+                    .dispersals
+                    .fetch_add(dispersed, Ordering::Relaxed);
             }
         }
     }
@@ -295,6 +411,7 @@ impl StashGraph {
             return 0;
         }
         let target = self.config.safe_limit();
+        self.stats.evict_passes.fetch_add(1, Ordering::Relaxed);
         let now = self.clock.now();
         let tau = self.config.decay_tau;
         // Score every cached cell. Eviction is rare and O(n log n) here;
@@ -320,7 +437,15 @@ impl StashGraph {
         scored.select_nth_unstable_by(excess - 1, |a, b| a.0.total_cmp(&b.0));
         let victims: Vec<CellKey> = scored[..excess].iter().map(|(_, k)| *k).collect();
         self.remove_many(&victims);
-        self.stats.evictions.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        self.stats
+            .evictions
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        for v in &victims {
+            self.stats
+                .level(v.level())
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
         victims.len()
     }
 
@@ -492,7 +617,10 @@ mod tests {
         for ck in children.iter().take(31) {
             g.insert(Cell::empty(*ck, 1));
         }
-        assert!(g.try_derive(&parent).is_none(), "31/32 children must not derive");
+        assert!(
+            g.try_derive(&parent).is_none(),
+            "31/32 children must not derive"
+        );
     }
 
     #[test]
@@ -540,7 +668,10 @@ mod tests {
         // are gone.
         let surviving_grand = grand.iter().filter(|k| g.contains_fresh(k)).count();
         let surviving_children = children.iter().filter(|k| g.contains_fresh(k)).count();
-        assert!(surviving_grand >= 30, "fresh cells evicted: {surviving_grand}/32");
+        assert!(
+            surviving_grand >= 30,
+            "fresh cells evicted: {surviving_grand}/32"
+        );
         assert_eq!(surviving_children, 0, "stale cells survived eviction");
     }
 
@@ -656,6 +787,83 @@ mod tests {
         assert_eq!(scores.len(), 1);
         assert_eq!(scores[0].0, key("9q8y", TemporalRes::Day));
         assert!(scores[0].1 > 0.0);
+    }
+
+    #[test]
+    fn stats_break_down_per_level_and_plm_outcome() {
+        let g = small_graph();
+        let l4 = Level::of(4, TemporalRes::Day).unwrap();
+        let l3 = Level::of(3, TemporalRes::Day).unwrap();
+        let c = cell("9q8y", TemporalRes::Day, 1.0);
+        g.insert(c.clone()); // level (4, Day)
+        g.insert(cell("9q8", TemporalRes::Day, 1.0)); // level (3, Day)
+        assert_eq!(g.stats().level(l4).insertions.load(Ordering::Relaxed), 1);
+        assert_eq!(g.stats().level(l3).insertions.load(Ordering::Relaxed), 1);
+
+        g.get(&c.key); // fresh hit
+        g.get(&key("9q8z", TemporalRes::Day)); // absent
+        g.invalidate_region(&c.key.geohash.bbox(), &c.key.time.range());
+        g.get(&c.key); // stale
+        assert_eq!(g.stats().level(l4).hits.load(Ordering::Relaxed), 1);
+        assert_eq!(g.stats().level(l4).misses.load(Ordering::Relaxed), 2);
+        assert_eq!(g.stats().level(l3).hits.load(Ordering::Relaxed), 0);
+        assert_eq!(g.stats().plm_fresh.load(Ordering::Relaxed), 1);
+        assert_eq!(g.stats().plm_absent.load(Ordering::Relaxed), 1);
+        assert!(g.stats().plm_stale.load(Ordering::Relaxed) >= 1);
+
+        // Batched lookups classify the same way.
+        let (hits, missing) = g.get_many(&[c.key, key("9q8z", TemporalRes::Day)]);
+        assert_eq!((hits.len(), missing.len()), (0, 2));
+        assert_eq!(g.stats().plm_absent.load(Ordering::Relaxed), 2);
+        assert!(g.stats().plm_stale.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn dispersal_and_eviction_passes_are_counted() {
+        let g = small_graph();
+        let center = key("9q8y7", TemporalRes::Day);
+        g.insert(Cell::empty(center, 1));
+        for n in center.lateral_neighbors() {
+            g.insert(Cell::empty(n, 1));
+        }
+        assert_eq!(g.stats().dispersals.load(Ordering::Relaxed), 0);
+        g.touch_region(&[center]);
+        let dispersed = g.stats().dispersals.load(Ordering::Relaxed);
+        assert_eq!(dispersed, center.lateral_neighbors().len() as u64);
+        assert_eq!(
+            g.stats()
+                .level(center.level())
+                .dispersals
+                .load(Ordering::Relaxed),
+            dispersed
+        );
+
+        let g = graph(StashConfig {
+            max_cells: 32,
+            safe_fraction: 0.5,
+            ..Default::default()
+        });
+        for ck in key("9q", TemporalRes::Day).spatial_children().unwrap() {
+            g.insert(Cell::empty(ck, 1));
+        }
+        assert_eq!(g.stats().evict_passes.load(Ordering::Relaxed), 0);
+        g.insert(Cell::empty(key("9r", TemporalRes::Day), 1));
+        assert_eq!(g.stats().evict_passes.load(Ordering::Relaxed), 1);
+        let evicted = g.stats().evictions.load(Ordering::Relaxed);
+        assert!(evicted > 0);
+        // All victims are the res-3 children except possibly the lone res-2
+        // cell; the per-level split must cover the total.
+        let l3 = g.stats().level(Level::of(3, TemporalRes::Day).unwrap());
+        let l2 = g.stats().level(Level::of(2, TemporalRes::Day).unwrap());
+        let (e3, e2) = (
+            l3.evictions.load(Ordering::Relaxed),
+            l2.evictions.load(Ordering::Relaxed),
+        );
+        assert!(
+            e3 >= evicted - 1,
+            "res-3 victims under-counted: {e3}/{evicted}"
+        );
+        assert_eq!(e3 + e2, evicted);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod routing;
 pub use clique::{Clique, CliqueFinder};
 pub use clock::LogicalClock;
 pub use config::{HelperSelection, StashConfig};
-pub use evaluator::{evaluate, EvalError, EvalOutcome, FetchFn};
-pub use graph::StashGraph;
+pub use evaluator::{evaluate, evaluate_traced, EvalError, EvalOutcome, FetchFn};
+pub use graph::{GraphStats, LevelStats, StashGraph};
 pub use plm::Plm;
 pub use routing::{GuestBook, RouteDecision, RoutingTable};

@@ -82,7 +82,10 @@ impl Plm {
     /// Completeness check: the subset of `keys` that cannot be served from
     /// memory (uncached or stale) and must be fetched/recomputed.
     pub fn missing_of<'a>(&self, keys: impl IntoIterator<Item = &'a CellKey>) -> Vec<CellKey> {
-        keys.into_iter().filter(|k| !self.is_fresh(k)).copied().collect()
+        keys.into_iter()
+            .filter(|k| !self.is_fresh(k))
+            .copied()
+            .collect()
     }
 
     /// Cells cached at one level.

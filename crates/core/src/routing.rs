@@ -44,7 +44,14 @@ impl RoutingTable {
     /// `root`) to `helper`.
     pub fn insert(&mut self, root: CellKey, helper: usize, members: &[CellKey], tick: u64) {
         let cells: SparseBitmap = members.iter().map(|k| k.dense_id()).collect();
-        self.routes.insert(root, Route { helper, cells, created_tick: tick });
+        self.routes.insert(
+            root,
+            Route {
+                helper,
+                cells,
+                created_tick: tick,
+            },
+        );
     }
 
     /// Number of live routes.
@@ -83,7 +90,9 @@ impl RoutingTable {
                 None => return RouteDecision::Local,
             }
         }
-        RouteDecision::Covered { helper: helper.expect("non-empty keys all covered") }
+        RouteDecision::Covered {
+            helper: helper.expect("non-empty keys all covered"),
+        }
     }
 
     /// Drop routes older than `ttl` ticks ("stale routing-table entries
@@ -91,7 +100,8 @@ impl RoutingTable {
     /// Returns how many were dropped.
     pub fn purge_expired(&mut self, now: u64, ttl: u64) -> usize {
         let before = self.routes.len();
-        self.routes.retain(|_, r| now.saturating_sub(r.created_tick) < ttl);
+        self.routes
+            .retain(|_, r| now.saturating_sub(r.created_tick) < ttl);
         before - self.routes.len()
     }
 
@@ -130,7 +140,13 @@ impl GuestBook {
     /// Record replicated Cells arriving from `src_node`.
     pub fn record(&mut self, keys: impl IntoIterator<Item = CellKey>, src_node: usize, tick: u64) {
         for key in keys {
-            self.entries.insert(key, GuestMeta { src_node, last_used_tick: tick });
+            self.entries.insert(
+                key,
+                GuestMeta {
+                    src_node,
+                    last_used_tick: tick,
+                },
+            );
         }
     }
 
@@ -207,7 +223,10 @@ mod tests {
         let mut rt = RoutingTable::new();
         let (root, members) = clique("9q8");
         rt.insert(root, 3, &members, 0);
-        assert_eq!(rt.decide(&members[..5]), RouteDecision::Covered { helper: 3 });
+        assert_eq!(
+            rt.decide(&members[..5]),
+            RouteDecision::Covered { helper: 3 }
+        );
         assert_eq!(rt.decide(&members), RouteDecision::Covered { helper: 3 });
     }
 

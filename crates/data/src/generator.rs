@@ -127,7 +127,14 @@ impl NamGenerator {
     }
 
     /// Sample the four NAM attributes at a location and time.
-    fn sample_fields(&self, lat: f64, lon: f64, day_idx: i64, secs: i64, rng: &mut SmallRng) -> Vec<f64> {
+    fn sample_fields(
+        &self,
+        lat: f64,
+        lon: f64,
+        day_idx: i64,
+        secs: i64,
+        rng: &mut SmallRng,
+    ) -> Vec<f64> {
         // Seasonal phase: day-of-year scaled to [0, 2π); northern-hemisphere
         // summer peaks mid-year.
         let doy = day_idx.rem_euclid(365) as f64;
@@ -138,7 +145,9 @@ impl NamGenerator {
         // Temperature (°C): latitude gradient + season + diurnal + local noise.
         let base = 28.0 - 0.55 * lat.abs();
         let hemisphere = if lat >= 0.0 { 1.0 } else { -1.0 };
-        let temp = base + 12.0 * season * hemisphere + 4.0 * diurnal
+        let temp = base
+            + 12.0 * season * hemisphere
+            + 4.0 * diurnal
             + 2.0 * (lon / 30.0).sin()
             + rng.gen_range(-3.0..3.0);
         // Relative humidity (%): anticorrelated with temperature.
@@ -208,7 +217,12 @@ mod tests {
         let bb = block.bbox();
         let d = day();
         for obs in g.block_for_day(block, d) {
-            assert!(bb.contains(obs.lat, obs.lon), "({},{}) outside {bb}", obs.lat, obs.lon);
+            assert!(
+                bb.contains(obs.lat, obs.lon),
+                "({},{}) outside {bb}",
+                obs.lat,
+                obs.lon
+            );
             assert!(d.range().contains(obs.time));
             assert!(obs.matches_schema(g.schema()));
         }
@@ -221,9 +235,8 @@ mod tests {
         let july = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 7, 15, 0, 0, 0));
         let tropics = Geohash::encode(5.0, -60.0, 3).unwrap();
         let arctic = Geohash::encode(72.0, -60.0, 3).unwrap();
-        let mean_temp = |obs: &[Observation]| {
-            obs.iter().map(|o| o.values[0]).sum::<f64>() / obs.len() as f64
-        };
+        let mean_temp =
+            |obs: &[Observation]| obs.iter().map(|o| o.values[0]).sum::<f64>() / obs.len() as f64;
         let t_tropics = mean_temp(&g.block_for_day(tropics, july));
         let t_arctic = mean_temp(&g.block_for_day(arctic, july));
         assert!(
@@ -232,7 +245,11 @@ mod tests {
         );
         // Snow only in cold places; humidity within physical bounds.
         for o in g.block_for_day(tropics, july) {
-            assert!((0.0..=100.0).contains(&o.values[1]), "humidity {}", o.values[1]);
+            assert!(
+                (0.0..=100.0).contains(&o.values[1]),
+                "humidity {}",
+                o.values[1]
+            );
             assert!(o.values[2] >= 0.0);
             assert!(o.values[3] >= 0.0);
         }

@@ -147,7 +147,12 @@ impl WorkloadGen {
 
     /// Wrap a bbox with the configured time/resolutions.
     pub fn make_query(&self, bbox: BBox) -> AggQuery {
-        AggQuery::new(bbox, self.config.time, self.config.spatial_res, self.config.temporal_res)
+        AggQuery::new(
+            bbox,
+            self.config.time,
+            self.config.spatial_res,
+            self.config.temporal_res,
+        )
     }
 
     // -- Fig. 7a/7b: iterative dicing ---------------------------------------
@@ -190,7 +195,13 @@ impl WorkloadGen {
 
     /// A random walk of pans: each query moves `frac` of the extent in a
     /// random compass direction from the previous one.
-    pub fn pan_walk<R: Rng + ?Sized>(&self, rng: &mut R, start: BBox, frac: f64, steps: usize) -> Vec<AggQuery> {
+    pub fn pan_walk<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start: BBox,
+        frac: f64,
+        steps: usize,
+    ) -> Vec<AggQuery> {
         let mut out = Vec::with_capacity(steps + 1);
         let mut q = self.make_query(start);
         out.push(q.clone());
@@ -218,7 +229,12 @@ impl WorkloadGen {
                     self.config.time.end + i * day_secs,
                 )
                 .expect("shifted range stays ordered");
-                AggQuery::new(bbox, time, self.config.spatial_res, self.config.temporal_res)
+                AggQuery::new(
+                    bbox,
+                    time,
+                    self.config.spatial_res,
+                    self.config.temporal_res,
+                )
             })
             .collect()
     }
@@ -272,7 +288,12 @@ impl WorkloadGen {
     /// panned by 10% in a random direction (not a drifting walk), so the
     /// whole burst stays inside one bounded neighborhood: the workload
     /// that actually creates a stationary hotspot.
-    pub fn hotspot_burst<R: Rng + ?Sized>(&self, rng: &mut R, class: QuerySizeClass, n: usize) -> Vec<AggQuery> {
+    pub fn hotspot_burst<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        class: QuerySizeClass,
+        n: usize,
+    ) -> Vec<AggQuery> {
         let start = self.random_bbox(rng, class);
         self.hotspot_burst_at(rng, start, n)
     }
@@ -280,7 +301,12 @@ impl WorkloadGen {
     /// [`hotspot_burst`](Self::hotspot_burst) with a caller-chosen region —
     /// experiments pin the region inside a single DHT partition so exactly
     /// one node hotspots, as in the paper's single-region burst.
-    pub fn hotspot_burst_at<R: Rng + ?Sized>(&self, rng: &mut R, start: BBox, n: usize) -> Vec<AggQuery> {
+    pub fn hotspot_burst_at<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start: BBox,
+        n: usize,
+    ) -> Vec<AggQuery> {
         let start = self.make_query(start);
         (0..n)
             .map(|_| {
@@ -302,7 +328,9 @@ impl WorkloadGen {
         n_queries: usize,
     ) -> Vec<AggQuery> {
         assert!(n_regions >= 1);
-        let regions: Vec<BBox> = (0..n_regions).map(|_| self.random_bbox(rng, class)).collect();
+        let regions: Vec<BBox> = (0..n_regions)
+            .map(|_| self.random_bbox(rng, class))
+            .collect();
         let zipf = Zipf::new(n_regions as u64, theta).expect("valid zipf parameters");
         (0..n_queries)
             .map(|_| {
@@ -381,7 +409,10 @@ mod tests {
             for q in &qs[1..] {
                 let overlap = qs[0].bbox.overlap_fraction(&q.bbox);
                 // Panning by frac leaves roughly (1-frac)^2..(1-frac) overlap.
-                assert!(overlap > (1.0 - frac) * (1.0 - frac) - 1e-6, "overlap {overlap}");
+                assert!(
+                    overlap > (1.0 - frac) * (1.0 - frac) - 1e-6,
+                    "overlap {overlap}"
+                );
                 assert!(overlap < 1.0);
             }
         }
@@ -426,9 +457,15 @@ mod tests {
         let g = gen();
         let b = g.random_bbox(&mut rng(), QuerySizeClass::State);
         let down = g.drill_down(b, 2, 6);
-        assert_eq!(down.iter().map(|q| q.spatial_res).collect::<Vec<_>>(), [2, 3, 4, 5, 6]);
+        assert_eq!(
+            down.iter().map(|q| q.spatial_res).collect::<Vec<_>>(),
+            [2, 3, 4, 5, 6]
+        );
         let up = g.roll_up(b, 6, 2);
-        assert_eq!(up.iter().map(|q| q.spatial_res).collect::<Vec<_>>(), [6, 5, 4, 3, 2]);
+        assert_eq!(
+            up.iter().map(|q| q.spatial_res).collect::<Vec<_>>(),
+            [6, 5, 4, 3, 2]
+        );
         for q in down.iter().chain(&up) {
             assert_eq!(q.bbox, b);
         }
@@ -494,8 +531,20 @@ mod tests {
     #[test]
     fn streams_are_reproducible_from_seed() {
         let g = gen();
-        let a = g.throughput_mix(&mut SmallRng::seed_from_u64(9), QuerySizeClass::City, 5, 5, 0.1);
-        let b = g.throughput_mix(&mut SmallRng::seed_from_u64(9), QuerySizeClass::City, 5, 5, 0.1);
+        let a = g.throughput_mix(
+            &mut SmallRng::seed_from_u64(9),
+            QuerySizeClass::City,
+            5,
+            5,
+            0.1,
+        );
+        let b = g.throughput_mix(
+            &mut SmallRng::seed_from_u64(9),
+            QuerySizeClass::City,
+            5,
+            5,
+            0.1,
+        );
         assert_eq!(a, b);
     }
 }

@@ -71,7 +71,11 @@ pub fn plan_blocks(
         // Spatial expansion.
         let tiles: Vec<Geohash> = if cell.geohash.len() >= block_len {
             let tile = cell.geohash.prefix(block_len).expect("len checked");
-            if tile.bbox().intersects(data_bbox) { vec![tile] } else { Vec::new() }
+            if tile.bbox().intersects(data_bbox) {
+                vec![tile]
+            } else {
+                Vec::new()
+            }
         } else {
             descend_to(cell.geohash, block_len)
                 .into_iter()
@@ -87,7 +91,10 @@ pub fn plan_blocks(
                 });
                 entry.push(cell);
                 if total > max_blocks {
-                    return Err(BlockPlanError::TooManyBlocks { needed: total, budget: max_blocks });
+                    return Err(BlockPlanError::TooManyBlocks {
+                        needed: total,
+                        budget: max_blocks,
+                    });
                 }
             }
         }

@@ -21,7 +21,10 @@ impl Partitioner {
     pub fn new(n_nodes: usize, prefix_len: u8) -> Self {
         assert!(n_nodes > 0, "partitioner needs at least one node");
         assert!(prefix_len >= 1, "prefix length must be at least 1");
-        Partitioner { n_nodes, prefix_len }
+        Partitioner {
+            n_nodes,
+            prefix_len,
+        }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -38,7 +41,9 @@ impl Partitioner {
     /// their summaries are merged from per-partition partials at the
     /// coordinator (see `stash-dfs::store`).
     pub fn owner(&self, gh: Geohash) -> usize {
-        let prefix = gh.prefix(self.prefix_len.min(gh.len())).expect("min() keeps length valid");
+        let prefix = gh
+            .prefix(self.prefix_len.min(gh.len()))
+            .expect("min() keeps length valid");
         self.hash_prefix(prefix)
     }
 
@@ -152,11 +157,8 @@ mod tests {
         assert!(part.owner(coarse) < 8);
         // Its placement must differ from at least one of its children's —
         // coarse cells genuinely span partitions.
-        let owners: std::collections::HashSet<usize> = coarse
-            .children()
-            .unwrap()
-            .map(|c| part.owner(c))
-            .collect();
+        let owners: std::collections::HashSet<usize> =
+            coarse.children().unwrap().map(|c| part.owner(c)).collect();
         assert!(owners.len() > 1, "children of a coarse hash should spread");
     }
 

@@ -69,7 +69,10 @@ impl NodeStore {
         max_blocks_per_fetch: usize,
     ) -> Self {
         assert!(node_idx < partitioner.n_nodes(), "node index outside ring");
-        assert!(block_len >= partitioner.prefix_len(), "blocks must nest within partitions");
+        assert!(
+            block_len >= partitioner.prefix_len(),
+            "blocks must nest within partitions"
+        );
         NodeStore {
             node_idx,
             partitioner,
@@ -150,7 +153,9 @@ impl NodeStore {
         )?;
         let owned: Vec<(BlockKey, Vec<CellKey>)> = plan
             .into_iter()
-            .filter(|(bk, _)| self.partitioner.owner_excluding(bk.geohash, exclude) == self.node_idx)
+            .filter(|(bk, _)| {
+                self.partitioner.owner_excluding(bk.geohash, exclude) == self.node_idx
+            })
             .collect();
         if owned.is_empty() {
             return Ok(Vec::new());
@@ -211,12 +216,20 @@ impl NodeStore {
 
     /// Scan one block for the cells that need it; returns the fragments
     /// plus how many observations were scanned (for the CPU cost model).
-    fn scan_block(&self, bk: BlockKey, wanted: &[CellKey], n_attrs: usize) -> (BTreeMap<CellKey, CellSummary>, usize) {
+    fn scan_block(
+        &self,
+        bk: BlockKey,
+        wanted: &[CellKey],
+        n_attrs: usize,
+    ) -> (BTreeMap<CellKey, CellSummary>, usize) {
         // Group the wanted cells by resolution pair so each observation is
         // binned once per distinct resolution, not once per cell.
         let mut by_level: HashMap<(u8, stash_geo::TemporalRes), HashSet<CellKey>> = HashMap::new();
         for &c in wanted {
-            by_level.entry((c.spatial_res(), c.temporal_res())).or_default().insert(c);
+            by_level
+                .entry((c.spatial_res(), c.temporal_res()))
+                .or_default()
+                .insert(c);
         }
         // Every wanted cell starts with an empty summary: "computed, empty".
         let mut out: BTreeMap<CellKey, CellSummary> = wanted
@@ -226,9 +239,13 @@ impl NodeStore {
         let observations = self.source.read_block(bk);
         for obs in &observations {
             for (&(s_res, t_res), members) in &by_level {
-                let Some(key) = obs.cell_key(s_res, t_res) else { continue };
+                let Some(key) = obs.cell_key(s_res, t_res) else {
+                    continue;
+                };
                 if members.contains(&key) {
-                    out.get_mut(&key).expect("members ⊆ out").push_row(&obs.values);
+                    out.get_mut(&key)
+                        .expect("members ⊆ out")
+                        .push_row(&obs.values);
                 }
             }
         }
@@ -304,14 +321,20 @@ mod tests {
     fn only_owner_returns_partials() {
         let stores = all_stores(4);
         let cell = day_cell("9xj6"); // finer than block_len, single block
-        let owner = stores[0].partitioner().owner(Geohash::from_str("9xj").unwrap());
+        let owner = stores[0]
+            .partitioner()
+            .owner(Geohash::from_str("9xj").unwrap());
         for s in &stores {
             let partials = s.fetch_partials(&[cell]).unwrap();
             if s.node_idx() == owner {
                 assert_eq!(partials.len(), 1);
                 assert_eq!(partials[0].key, cell);
             } else {
-                assert!(partials.is_empty(), "node {} is not the owner", s.node_idx());
+                assert!(
+                    partials.is_empty(),
+                    "node {} is not the owner",
+                    s.node_idx()
+                );
             }
         }
     }
@@ -320,7 +343,9 @@ mod tests {
     fn replica_takes_over_excluded_primary_exactly() {
         let stores = all_stores(4);
         let cell = day_cell("9xj6");
-        let primary = stores[0].partitioner().owner(Geohash::from_str("9xj").unwrap());
+        let primary = stores[0]
+            .partitioner()
+            .owner(Geohash::from_str("9xj").unwrap());
         let baseline = stores[primary].fetch_partials(&[cell]).unwrap();
         assert_eq!(baseline.len(), 1);
 
@@ -400,7 +425,10 @@ mod tests {
         assert_eq!(merged.count(), truth.count());
         assert_eq!(merged.attr(0).unwrap().min(), truth.attr(0).unwrap().min());
         assert_eq!(merged.attr(0).unwrap().max(), truth.attr(0).unwrap().max());
-        assert!(merged.count() > 0, "domain region must contain observations");
+        assert!(
+            merged.count() > 0,
+            "domain region must contain observations"
+        );
     }
 
     #[test]
@@ -435,7 +463,10 @@ mod tests {
         let before = s.disk_stats().reads();
         s.fetch_partials(&[cell]).unwrap();
         let reads = s.disk_stats().reads() - before;
-        assert!(reads > 16 && reads <= 32, "expected ~32 block reads, got {reads}");
+        assert!(
+            reads > 16 && reads <= 32,
+            "expected ~32 block reads, got {reads}"
+        );
         assert!(s.disk_stats().bytes() > 0);
     }
 
@@ -458,7 +489,10 @@ mod tests {
         );
         let t0 = std::time::Instant::now();
         slow.fetch_partials(&[day_cell("9xj6")]).unwrap();
-        assert!(t0.elapsed() >= std::time::Duration::from_millis(9), "disk not charged");
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(9),
+            "disk not charged"
+        );
     }
 
     #[test]
@@ -474,11 +508,21 @@ mod tests {
             .collect();
         let before = s.disk_stats().reads();
         let partials = s.fetch_partials(&cells).unwrap();
-        assert_eq!(s.disk_stats().reads() - before, 1, "one block read for 32 cells");
+        assert_eq!(
+            s.disk_stats().reads() - before,
+            1,
+            "one block read for 32 cells"
+        );
         assert_eq!(partials.len(), 32);
         // The union of children equals the parent's observations.
         let total: u64 = partials.iter().map(|p| p.summary.count()).sum();
-        let gen_count = s.source.read_block(BlockKey { geohash: parent, day }).len();
+        let gen_count = s
+            .source
+            .read_block(BlockKey {
+                geohash: parent,
+                day,
+            })
+            .len();
         assert_eq!(total as usize, gen_count);
     }
 
@@ -515,6 +559,15 @@ mod tests {
     fn block_len_must_cover_partition_prefix() {
         let (bbox, time) = domain();
         let source = Arc::new(GenSource(NamGenerator::new(GeneratorConfig::default())));
-        NodeStore::new(0, Partitioner::new(2, 3), 2, bbox, time, DiskModel::free(), source, 10);
+        NodeStore::new(
+            0,
+            Partitioner::new(2, 3),
+            2,
+            bbox,
+            time,
+            DiskModel::free(),
+            source,
+            10,
+        );
     }
 }

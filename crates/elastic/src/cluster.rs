@@ -19,11 +19,25 @@ use std::time::Duration;
 #[derive(Debug, Clone)]
 pub enum EsMsg {
     /// Client search at a coordinating node.
-    Search { rpc: u64, reply_to: NodeId, query: AggQuery },
-    SearchResponse { rpc: u64, result: Result<QueryResult, String> },
+    Search {
+        rpc: u64,
+        reply_to: NodeId,
+        query: AggQuery,
+    },
+    SearchResponse {
+        rpc: u64,
+        result: Result<QueryResult, String>,
+    },
     /// Coordinator → data node: run the query on your shards.
-    ShardSearch { rpc: u64, reply_to: NodeId, query: AggQuery },
-    ShardResponse { rpc: u64, partials: Result<Vec<(CellKey, CellSummary)>, String> },
+    ShardSearch {
+        rpc: u64,
+        reply_to: NodeId,
+        query: AggQuery,
+    },
+    ShardResponse {
+        rpc: u64,
+        partials: Result<Vec<(CellKey, CellSummary)>, String>,
+    },
     Shutdown,
 }
 
@@ -32,7 +46,13 @@ impl EsMsg {
         match self {
             EsMsg::Search { .. } | EsMsg::ShardSearch { .. } => 256,
             EsMsg::SearchResponse { result, .. } => match result {
-                Ok(r) => r.cells.iter().map(|c| 24 + 40 * c.summary.n_attrs()).sum::<usize>() + 64,
+                Ok(r) => {
+                    r.cells
+                        .iter()
+                        .map(|c| 24 + 40 * c.summary.n_attrs())
+                        .sum::<usize>()
+                        + 64
+                }
                 Err(e) => e.len() + 32,
             },
             EsMsg::ShardResponse { partials, .. } => match partials {
@@ -84,7 +104,12 @@ impl Default for EsClusterConfig {
             net: NetConfig::default(),
             disk: DiskModel::default(),
             block_len: 3,
-            data_bbox: BBox { min_lat: 20.0, max_lat: 55.0, min_lon: -130.0, max_lon: -60.0 },
+            data_bbox: BBox {
+                min_lat: 20.0,
+                max_lat: 55.0,
+                min_lon: -130.0,
+                max_lon: -60.0,
+            },
             data_time: TimeRange::new(
                 epoch_seconds(2015, 1, 1, 0, 0, 0),
                 epoch_seconds(2016, 1, 1, 0, 0, 0),
@@ -128,10 +153,20 @@ impl EsNode {
             match env.payload {
                 EsMsg::Shutdown => {
                     for _ in 0..self.config.coord_workers {
-                        let _ = self.coord_tx.send(Envelope { src: self.id, dst: self.id, payload: EsMsg::Shutdown });
+                        let _ = self.coord_tx.send(Envelope {
+                            src: self.id,
+                            dst: self.id,
+                            wire: Duration::ZERO,
+                            payload: EsMsg::Shutdown,
+                        });
                     }
                     for _ in 0..self.config.shard_workers {
-                        let _ = self.shard_tx.send(Envelope { src: self.id, dst: self.id, payload: EsMsg::Shutdown });
+                        let _ = self.shard_tx.send(Envelope {
+                            src: self.id,
+                            dst: self.id,
+                            wire: Duration::ZERO,
+                            payload: EsMsg::Shutdown,
+                        });
                     }
                     return;
                 }
@@ -141,10 +176,20 @@ impl EsNode {
                 // Shard searches never block on peers, so they get their
                 // own tier; coordinations may block waiting for them.
                 payload @ EsMsg::ShardSearch { .. } => {
-                    let _ = self.shard_tx.send(Envelope { src: env.src, dst: env.dst, payload });
+                    let _ = self.shard_tx.send(Envelope {
+                        src: env.src,
+                        dst: env.dst,
+                        wire: env.wire,
+                        payload,
+                    });
                 }
                 payload => {
-                    let _ = self.coord_tx.send(Envelope { src: env.src, dst: env.dst, payload });
+                    let _ = self.coord_tx.send(Envelope {
+                        src: env.src,
+                        dst: env.dst,
+                        wire: env.wire,
+                        payload,
+                    });
                 }
             }
         }
@@ -154,11 +199,19 @@ impl EsNode {
         while let Ok(env) = work_rx.recv() {
             match env.payload {
                 EsMsg::Shutdown => return,
-                EsMsg::Search { rpc, reply_to, query } => {
+                EsMsg::Search {
+                    rpc,
+                    reply_to,
+                    query,
+                } => {
                     let result = self.coordinate(&query);
                     self.send(reply_to, EsMsg::SearchResponse { rpc, result });
                 }
-                EsMsg::ShardSearch { rpc, reply_to, query } => {
+                EsMsg::ShardSearch {
+                    rpc,
+                    reply_to,
+                    query,
+                } => {
                     let partials = query
                         .target_keys(self.config.max_cells_per_query)
                         .map_err(|e| e.to_string())
@@ -185,7 +238,14 @@ impl EsNode {
                 continue;
             }
             let (rpc, rx) = self.rpc.register();
-            self.send(NodeId(node), EsMsg::ShardSearch { rpc, reply_to: self.id, query: query.clone() });
+            self.send(
+                NodeId(node),
+                EsMsg::ShardSearch {
+                    rpc,
+                    reply_to: self.id,
+                    query: query.clone(),
+                },
+            );
             waits.push((rpc, rx));
         }
         let own = self.shards.search(query, &keys)?;
@@ -210,7 +270,11 @@ impl EsNode {
             .map(|(key, summary)| Cell { key, summary })
             .collect();
         cells.sort_by_key(|c| c.key);
-        Ok(QueryResult { cells, misses: keys.len(), ..Default::default() })
+        Ok(QueryResult {
+            cells,
+            misses: keys.len(),
+            ..Default::default()
+        })
     }
 }
 
@@ -230,7 +294,11 @@ impl EsClient {
     pub fn query(&self, query: &AggQuery) -> Result<QueryResult, String> {
         let coord = self.next.fetch_add(1, Ordering::Relaxed) % self.n_nodes;
         let (rpc_id, rx) = self.rpc.register();
-        let msg = EsMsg::Search { rpc: rpc_id, reply_to: self.gateway, query: query.clone() };
+        let msg = EsMsg::Search {
+            rpc: rpc_id,
+            reply_to: self.gateway,
+            query: query.clone(),
+        };
         let bytes = msg.wire_size();
         if !self.router.send(self.gateway, NodeId(coord), msg, bytes) {
             self.rpc.cancel(rpc_id);
@@ -321,7 +389,10 @@ impl EsSimCluster {
                     .spawn(move || main.run_main(ep.inbox))
                     .expect("spawn es node"),
             );
-            for (tier, count, rx) in [("coord", config.coord_workers, coord_rx), ("shard", config.shard_workers, shard_rx)] {
+            for (tier, count, rx) in [
+                ("coord", config.coord_workers, coord_rx),
+                ("shard", config.shard_workers, shard_rx),
+            ] {
                 for w in 0..count {
                     let worker = Arc::clone(&node);
                     let rx = rx.clone();
@@ -391,7 +462,10 @@ impl EsSimCluster {
 
     /// Aggregate disk reads across nodes.
     pub fn disk_reads(&self) -> u64 {
-        self.nodes.iter().map(|n| n.shards.disk_stats().reads()).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.shards.disk_stats().reads())
+            .sum()
     }
 
     /// Drop all caches on all nodes.
@@ -408,7 +482,8 @@ impl EsSimCluster {
         for n in &self.nodes {
             self.router.send(self.gateway, n.id, EsMsg::Shutdown, 16);
         }
-        self.router.send(self.gateway, self.gateway, EsMsg::Shutdown, 16);
+        self.router
+            .send(self.gateway, self.gateway, EsMsg::Shutdown, 16);
     }
 }
 
@@ -483,7 +558,11 @@ mod tests {
         client.query(&q).unwrap();
         let hits0 = es.request_cache_hits();
         client.query(&q.panned(0.1, 0.0, 1.0)).unwrap();
-        assert_eq!(es.request_cache_hits(), hits0, "panned query must not hit request cache");
+        assert_eq!(
+            es.request_cache_hits(),
+            hits0,
+            "panned query must not hit request cache"
+        );
         es.shutdown();
     }
 
@@ -495,7 +574,14 @@ mod tests {
         let r = es.client().query(&q).unwrap();
         let gen = stash_data::NamGenerator::new(es.config().generator.clone());
         let keys = q.target_keys(100_000).unwrap();
-        let plan = stash_dfs::plan_blocks(&keys, 3, &es.config().data_bbox, &es.config().data_time, 10_000).unwrap();
+        let plan = stash_dfs::plan_blocks(
+            &keys,
+            3,
+            &es.config().data_bbox,
+            &es.config().data_time,
+            10_000,
+        )
+        .unwrap();
         let mut truth = 0u64;
         for bk in plan.keys() {
             for obs in gen.block_for_day(bk.geohash, bk.day) {

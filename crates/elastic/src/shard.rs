@@ -77,7 +77,10 @@ impl NodeShards {
         request_cache_entries: usize,
         field_cache_blocks: usize,
     ) -> Self {
-        assert!(n_nodes > 0 && n_shards >= n_nodes, "shards must cover nodes");
+        assert!(
+            n_nodes > 0 && n_shards >= n_nodes,
+            "shards must cover nodes"
+        );
         NodeShards {
             node_idx,
             n_nodes,
@@ -129,18 +132,34 @@ impl NodeShards {
 
     /// Execute a search on this node's shards: request cache first, then
     /// scan (through the field-data cache) and aggregate.
-    pub fn search(&self, query: &AggQuery, keys: &[CellKey]) -> Result<Vec<(CellKey, CellSummary)>, String> {
+    pub fn search(
+        &self,
+        query: &AggQuery,
+        keys: &[CellKey],
+    ) -> Result<Vec<(CellKey, CellSummary)>, String> {
         let fp = query_fingerprint(query);
         if let Some(hit) = self.request_cache.lock().get(&fp).cloned() {
-            self.stats.request_cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .request_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(hit.as_ref().clone());
         }
-        self.stats.request_cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .request_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
 
-        let plan = plan_blocks(keys, self.block_len, &self.data_bbox, &self.data_time, self.max_blocks)
-            .map_err(|e| e.to_string())?;
-        let mine: Vec<(BlockKey, Vec<CellKey>)> =
-            plan.into_iter().filter(|(bk, _)| self.owns_block(bk)).collect();
+        let plan = plan_blocks(
+            keys,
+            self.block_len,
+            &self.data_bbox,
+            &self.data_time,
+            self.max_blocks,
+        )
+        .map_err(|e| e.to_string())?;
+        let mine: Vec<(BlockKey, Vec<CellKey>)> = plan
+            .into_iter()
+            .filter(|(bk, _)| self.owns_block(bk))
+            .collect();
 
         let n_attrs = self.source.n_attrs();
         let mut out: HashMap<CellKey, CellSummary> = HashMap::new();
@@ -148,13 +167,19 @@ impl NodeShards {
         for (bk, wanted) in &mine {
             let observations = self.load_block(*bk);
             scanned += observations.len();
-            let mut by_level: HashMap<(u8, stash_geo::TemporalRes), HashSet<CellKey>> = HashMap::new();
+            let mut by_level: HashMap<(u8, stash_geo::TemporalRes), HashSet<CellKey>> =
+                HashMap::new();
             for &c in wanted {
-                by_level.entry((c.spatial_res(), c.temporal_res())).or_default().insert(c);
+                by_level
+                    .entry((c.spatial_res(), c.temporal_res()))
+                    .or_default()
+                    .insert(c);
             }
             for obs in observations.iter() {
                 for (&(s_res, t_res), members) in &by_level {
-                    let Some(key) = obs.cell_key(s_res, t_res) else { continue };
+                    let Some(key) = obs.cell_key(s_res, t_res) else {
+                        continue;
+                    };
                     if members.contains(&key) {
                         out.entry(key)
                             .or_insert_with(|| CellSummary::empty(n_attrs))
@@ -182,7 +207,9 @@ impl NodeShards {
             self.stats.field_cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        self.stats.field_cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .field_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         self.disk
             .charge_read(self.source.block_bytes(bk.geohash), &self.disk_stats);
         let obs = Arc::new(self.source.read_block(bk));
@@ -270,10 +297,7 @@ mod tests {
         let mut merged: HashMap<CellKey, CellSummary> = HashMap::new();
         for i in 0..4 {
             for (k, s) in shards(i, 4).search(&q, &keys).unwrap() {
-                merged
-                    .entry(k)
-                    .and_modify(|m| m.merge(&s))
-                    .or_insert(s);
+                merged.entry(k).and_modify(|m| m.merge(&s)).or_insert(s);
             }
         }
         assert_eq!(merged.len(), whole.len());
@@ -350,6 +374,10 @@ mod tests {
             assert!(shard < 32);
             nodes_used.insert(s.node_of_shard(shard));
         }
-        assert_eq!(nodes_used.len(), 4, "hash routing should spread over all nodes");
+        assert_eq!(
+            nodes_used.len(),
+            4,
+            "hash routing should spread over all nodes"
+        );
     }
 }

@@ -58,17 +58,30 @@ impl BBox {
 
     /// Construct a validated bounding box.
     pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Result<Self, BBoxError> {
-        if ![min_lat, max_lat, min_lon, max_lon].iter().all(|v| v.is_finite()) {
+        if ![min_lat, max_lat, min_lon, max_lon]
+            .iter()
+            .all(|v| v.is_finite())
+        {
             return Err(BBoxError::NotFinite);
         }
-        if !(-90.0..=90.0).contains(&min_lat) || !(-90.0..=90.0).contains(&max_lat) || min_lat > max_lat {
+        if !(-90.0..=90.0).contains(&min_lat)
+            || !(-90.0..=90.0).contains(&max_lat)
+            || min_lat > max_lat
+        {
             return Err(BBoxError::BadLatitude);
         }
-        if !(-180.0..=180.0).contains(&min_lon) || !(-180.0..=180.0).contains(&max_lon) || min_lon > max_lon
+        if !(-180.0..=180.0).contains(&min_lon)
+            || !(-180.0..=180.0).contains(&max_lon)
+            || min_lon > max_lon
         {
             return Err(BBoxError::BadLongitude);
         }
-        Ok(BBox { min_lat, max_lat, min_lon, max_lon })
+        Ok(BBox {
+            min_lat,
+            max_lat,
+            min_lon,
+            max_lon,
+        })
     }
 
     /// Construct from a south-west corner plus extents, clamping to the globe.
@@ -219,10 +232,19 @@ mod tests {
     fn new_validates_ranges() {
         assert!(BBox::new(0.0, 10.0, 0.0, 10.0).is_ok());
         assert_eq!(BBox::new(10.0, 0.0, 0.0, 10.0), Err(BBoxError::BadLatitude));
-        assert_eq!(BBox::new(0.0, 10.0, 20.0, 10.0), Err(BBoxError::BadLongitude));
+        assert_eq!(
+            BBox::new(0.0, 10.0, 20.0, 10.0),
+            Err(BBoxError::BadLongitude)
+        );
         assert_eq!(BBox::new(0.0, 95.0, 0.0, 10.0), Err(BBoxError::BadLatitude));
-        assert_eq!(BBox::new(0.0, 10.0, 0.0, 200.0), Err(BBoxError::BadLongitude));
-        assert_eq!(BBox::new(f64::NAN, 10.0, 0.0, 10.0), Err(BBoxError::NotFinite));
+        assert_eq!(
+            BBox::new(0.0, 10.0, 0.0, 200.0),
+            Err(BBoxError::BadLongitude)
+        );
+        assert_eq!(
+            BBox::new(f64::NAN, 10.0, 0.0, 10.0),
+            Err(BBoxError::NotFinite)
+        );
     }
 
     #[test]

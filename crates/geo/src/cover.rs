@@ -24,7 +24,9 @@ impl std::fmt::Display for CoverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoverError::TooManyCells(n) => write!(f, "cover would produce ~{n} cells"),
-            CoverError::BadLength(l) => write!(f, "geohash length {l} not in 1..={MAX_GEOHASH_LEN}"),
+            CoverError::BadLength(l) => {
+                write!(f, "geohash length {l} not in 1..={MAX_GEOHASH_LEN}")
+            }
         }
     }
 }
@@ -53,7 +55,11 @@ pub fn cover_bbox(bbox: &BBox, len: u8) -> Vec<Geohash> {
 /// Like [`cover_bbox`] but fails fast when the cover would exceed
 /// `max_cells` — the guard STASH uses so a careless globe-wide query at high
 /// resolution cannot allocate unbounded memory.
-pub fn cover_bbox_bounded(bbox: &BBox, len: u8, max_cells: usize) -> Result<Vec<Geohash>, CoverError> {
+pub fn cover_bbox_bounded(
+    bbox: &BBox,
+    len: u8,
+    max_cells: usize,
+) -> Result<Vec<Geohash>, CoverError> {
     if len == 0 || len > MAX_GEOHASH_LEN {
         return Err(CoverError::BadLength(len));
     }
@@ -140,7 +146,10 @@ mod tests {
             assert!(!cover.is_empty());
             // Every covered cell intersects the query...
             for gh in &cover {
-                assert!(gh.bbox().intersects(&q), "len {len}: {gh} doesn't intersect");
+                assert!(
+                    gh.bbox().intersects(&q),
+                    "len {len}: {gh} doesn't intersect"
+                );
             }
             // ...and no duplicates.
             let mut sorted = cover.clone();
@@ -153,7 +162,10 @@ mod tests {
                     let lat = q.min_lat + (i as f64 + 0.5) / 10.0 * q.lat_extent();
                     let lon = q.min_lon + (j as f64 + 0.5) / 10.0 * q.lon_extent();
                     let cell = Geohash::encode(lat, lon, len).unwrap();
-                    assert!(cover.contains(&cell), "len {len}: point ({lat},{lon}) uncovered");
+                    assert!(
+                        cover.contains(&cell),
+                        "len {len}: point ({lat},{lon}) uncovered"
+                    );
                 }
             }
         }
@@ -191,7 +203,10 @@ mod tests {
     fn bounded_cover_rejects_bad_length() {
         let q = bb(0.0, 1.0, 0.0, 1.0);
         assert_eq!(cover_bbox_bounded(&q, 0, 10), Err(CoverError::BadLength(0)));
-        assert_eq!(cover_bbox_bounded(&q, 13, 10), Err(CoverError::BadLength(13)));
+        assert_eq!(
+            cover_bbox_bounded(&q, 13, 10),
+            Err(CoverError::BadLength(13))
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub enum GeohashError {
 impl std::fmt::Display for GeohashError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GeohashError::BadLength(n) => write!(f, "geohash length {n} not in 1..={MAX_GEOHASH_LEN}"),
+            GeohashError::BadLength(n) => {
+                write!(f, "geohash length {n} not in 1..={MAX_GEOHASH_LEN}")
+            }
             GeohashError::BadCharacter(c) => write!(f, "invalid geohash character {c:?}"),
             GeohashError::BadCoordinate => write!(f, "coordinate out of range"),
         }
@@ -60,7 +62,10 @@ impl Geohash {
         if len == 0 || len > MAX_GEOHASH_LEN {
             return Err(GeohashError::BadLength(len as usize));
         }
-        if !lat.is_finite() || !lon.is_finite() || !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon)
+        if !lat.is_finite()
+            || !lon.is_finite()
+            || !(-90.0..=90.0).contains(&lat)
+            || !(-180.0..=180.0).contains(&lon)
         {
             return Err(GeohashError::BadCoordinate);
         }
@@ -170,7 +175,10 @@ impl Geohash {
         let total_bits = len as u32 * 5;
         let lon_bits = total_bits.div_ceil(2);
         let lat_bits = total_bits / 2;
-        (180.0 / (1u64 << lat_bits) as f64, 360.0 / (1u64 << lon_bits) as f64)
+        (
+            180.0 / (1u64 << lat_bits) as f64,
+            360.0 / (1u64 << lon_bits) as f64,
+        )
     }
 
     /// The parent cell: one step coarser spatial resolution (§IV-B "spatial
@@ -203,7 +211,10 @@ impl Geohash {
         }
         let base = self.bits << 5;
         let len = self.len + 1;
-        Some((0u64..32).map(move |d| Geohash { bits: base | d, len }))
+        Some((0u64..32).map(move |d| Geohash {
+            bits: base | d,
+            len,
+        }))
     }
 
     /// This cell's digit position within its parent (0..32); 5 low bits.
@@ -474,7 +485,11 @@ mod tests {
         // A cell touching the north pole has no northern neighbors.
         let gh = Geohash::encode(89.9, 0.0, 3).unwrap();
         let ns = gh.neighbors();
-        assert!(ns.len() < 8, "expected < 8 neighbors at pole, got {}", ns.len());
+        assert!(
+            ns.len() < 8,
+            "expected < 8 neighbors at pole, got {}",
+            ns.len()
+        );
         for n in &ns {
             assert_eq!(n.len(), 3);
         }

@@ -138,7 +138,10 @@ impl TimeRange {
     /// A whole UTC day, like the paper's fixed `2015-02-02` query time.
     pub fn whole_day(y: i64, m: u32, d: u32) -> TimeRange {
         let s = epoch_seconds(y, m, d, 0, 0, 0);
-        TimeRange { start: s, end: s + 86_400 }
+        TimeRange {
+            start: s,
+            end: s + 86_400,
+        }
     }
 
     #[inline]
@@ -211,19 +214,28 @@ impl TimeBin {
 
     /// The full `[start, end)` interval.
     pub fn range(&self) -> TimeRange {
-        TimeRange { start: self.start(), end: self.end() }
+        TimeRange {
+            start: self.start(),
+            end: self.end(),
+        }
     }
 
     /// Chronologically next bin (lateral edge).
     #[inline]
     pub fn next(&self) -> TimeBin {
-        TimeBin { res: self.res, idx: self.idx + 1 }
+        TimeBin {
+            res: self.res,
+            idx: self.idx + 1,
+        }
     }
 
     /// Chronologically previous bin (lateral edge).
     #[inline]
     pub fn prev(&self) -> TimeBin {
-        TimeBin { res: self.res, idx: self.idx - 1 }
+        TimeBin {
+            res: self.res,
+            idx: self.idx - 1,
+        }
     }
 
     /// Both temporal neighbors, previous first (Fig. 1b).
@@ -275,7 +287,9 @@ impl TimeBin {
         }
         let first = TimeBin::containing(res, range.start);
         let last = TimeBin::containing(res, range.end - 1);
-        (first.idx..=last.idx).map(|idx| TimeBin { res, idx }).collect()
+        (first.idx..=last.idx)
+            .map(|idx| TimeBin { res, idx })
+            .collect()
     }
 
     /// Number of bins `cover_range` would return, without allocating.

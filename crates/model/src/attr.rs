@@ -34,7 +34,12 @@ impl AttrSchema {
     /// The four NAM surface attributes used throughout the paper's
     /// experiments.
     pub fn nam() -> Self {
-        AttrSchema::new(["temperature", "relative_humidity", "precipitation", "snow_depth"])
+        AttrSchema::new([
+            "temperature",
+            "relative_humidity",
+            "precipitation",
+            "snow_depth",
+        ])
     }
 
     /// Number of attributes.

@@ -77,7 +77,11 @@ impl Cell {
     /// Build a coarse Cell by merging a complete set of child Cells.
     /// The caller asserts completeness (STASH checks it against the PLM);
     /// nesting of every child is checked here.
-    pub fn from_children<'a>(key: CellKey, n_attrs: usize, children: impl IntoIterator<Item = &'a Cell>) -> Cell {
+    pub fn from_children<'a>(
+        key: CellKey,
+        n_attrs: usize,
+        children: impl IntoIterator<Item = &'a Cell>,
+    ) -> Cell {
         let mut cell = Cell::empty(key, n_attrs);
         for c in children {
             cell.absorb_child(c);

@@ -60,10 +60,14 @@ impl CellKey {
 
     /// All existing parents (up to 3).
     pub fn parents(&self) -> Vec<CellKey> {
-        [self.spatial_parent(), self.temporal_parent(), self.spatiotemporal_parent()]
-            .into_iter()
-            .flatten()
-            .collect()
+        [
+            self.spatial_parent(),
+            self.temporal_parent(),
+            self.spatiotemporal_parent(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// The 32 spatial children (same time bin, one step finer geohash).
@@ -112,7 +116,11 @@ impl CellKey {
     /// this key — the membership of a *Clique* of the given depth rooted
     /// here (§VII-B2). Follows spatial refinement first, then temporal, so
     /// the expansion is deterministic.
-    pub fn descendants_to(&self, spatial_res: u8, temporal_res: TemporalRes) -> Result<Vec<CellKey>, LevelError> {
+    pub fn descendants_to(
+        &self,
+        spatial_res: u8,
+        temporal_res: TemporalRes,
+    ) -> Result<Vec<CellKey>, LevelError> {
         // Validate target is same-or-finer in both dimensions.
         Level::of(spatial_res, temporal_res)?;
         if spatial_res < self.spatial_res() || temporal_res < self.temporal_res() {
@@ -256,7 +264,10 @@ mod tests {
         let st = root.descendants_to(3, TemporalRes::Hour).unwrap();
         assert_eq!(st.len(), 32 * 24);
         // Same-resolution target returns just the root.
-        assert_eq!(root.descendants_to(2, TemporalRes::Day).unwrap(), vec![root]);
+        assert_eq!(
+            root.descendants_to(2, TemporalRes::Day).unwrap(),
+            vec![root]
+        );
         // Coarser target is empty.
         assert!(root.descendants_to(1, TemporalRes::Day).unwrap().is_empty());
     }

@@ -40,7 +40,9 @@ pub enum LevelError {
 impl std::fmt::Display for LevelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LevelError::BadSpatial(s) => write!(f, "spatial resolution {s} not in 1..={MAX_SPATIAL_RES}"),
+            LevelError::BadSpatial(s) => {
+                write!(f, "spatial resolution {s} not in 1..={MAX_SPATIAL_RES}")
+            }
             LevelError::BadIndex(i) => write!(f, "level index {i} out of range"),
         }
     }
@@ -54,7 +56,9 @@ impl Level {
         if spatial_res == 0 || spatial_res > MAX_SPATIAL_RES {
             return Err(LevelError::BadSpatial(spatial_res));
         }
-        Ok(Level(temporal_res.index() * MAX_SPATIAL_RES + (spatial_res - 1)))
+        Ok(Level(
+            temporal_res.index() * MAX_SPATIAL_RES + (spatial_res - 1),
+        ))
     }
 
     /// Reconstruct from a raw index.
@@ -123,7 +127,13 @@ impl Level {
 
 impl std::fmt::Display for Level {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "L{}(s={},t={})", self.0, self.spatial_res(), self.temporal_res())
+        write!(
+            f,
+            "L{}(s={},t={})",
+            self.0,
+            self.spatial_res(),
+            self.temporal_res()
+        )
     }
 }
 
@@ -184,7 +194,10 @@ mod tests {
         assert_eq!(l.parent_levels().len(), 3);
         assert_eq!(l.child_levels().len(), 3);
         // Corners of the hierarchy have none.
-        assert!(Level::of(1, TemporalRes::Year).unwrap().parent_levels().is_empty());
+        assert!(Level::of(1, TemporalRes::Year)
+            .unwrap()
+            .parent_levels()
+            .is_empty());
         assert!(Level::of(MAX_SPATIAL_RES, TemporalRes::Hour)
             .unwrap()
             .child_levels()

@@ -23,14 +23,22 @@ pub struct Observation {
 
 impl Observation {
     pub fn new(lat: f64, lon: f64, time: i64, values: Vec<f64>) -> Self {
-        Observation { lat, lon, time, values }
+        Observation {
+            lat,
+            lon,
+            time,
+            values,
+        }
     }
 
     /// The key of the Cell this observation falls into at the given
     /// resolutions, or `None` if its coordinates are invalid.
     pub fn cell_key(&self, spatial_res: u8, temporal_res: TemporalRes) -> Option<CellKey> {
         let gh = Geohash::encode(self.lat, self.lon, spatial_res).ok()?;
-        Some(CellKey::new(gh, TimeBin::containing(temporal_res, self.time)))
+        Some(CellKey::new(
+            gh,
+            TimeBin::containing(temporal_res, self.time),
+        ))
     }
 
     /// Validate the row against a schema.

@@ -91,7 +91,12 @@ impl From<CoverError> for QueryError {
 
 impl AggQuery {
     pub fn new(bbox: BBox, time: TimeRange, spatial_res: u8, temporal_res: TemporalRes) -> Self {
-        AggQuery { bbox, time, spatial_res, temporal_res }
+        AggQuery {
+            bbox,
+            time,
+            spatial_res,
+            temporal_res,
+        }
     }
 
     /// The STASH level the result Cells live at.
@@ -145,9 +150,10 @@ impl AggQuery {
     /// `(dy, dx)` pick one of 8 directions with unit components.
     pub fn panned(&self, frac: f64, dy: f64, dx: f64) -> AggQuery {
         AggQuery {
-            bbox: self
-                .bbox
-                .pan(dy * frac * self.bbox.lat_extent(), dx * frac * self.bbox.lon_extent()),
+            bbox: self.bbox.pan(
+                dy * frac * self.bbox.lat_extent(),
+                dx * frac * self.bbox.lon_extent(),
+            ),
             ..self.clone()
         }
     }
@@ -300,7 +306,9 @@ mod tests {
         assert!((diced.bbox.area_deg2() / q.bbox.area_deg2() - 0.8).abs() < 1e-9);
         // Edges of the hierarchy.
         assert!(day_query((1.0, 1.0), 1).rolled_up().is_none());
-        assert!(day_query((1.0, 1.0), MAX_SPATIAL_RES).drilled_down().is_none());
+        assert!(day_query((1.0, 1.0), MAX_SPATIAL_RES)
+            .drilled_down()
+            .is_none());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! collective caching sound: aggregation must commute with partitioning.
 
 use proptest::prelude::*;
-use stash_model::{AggFunc, AggQuery, Cell, CellKey, CellSummary, SummaryStats};
 use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{AggFunc, AggQuery, Cell, CellKey, CellSummary, SummaryStats};
 
 fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1000.0f64..1000.0, 0..max_len)

@@ -22,7 +22,9 @@ fn sample_cell() -> Cell {
     c
 }
 
-fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    v: &T,
+) {
     let json = serde_json::to_string(v).expect("serialize");
     let back: T = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(&back, v, "lossy roundtrip via {json}");
@@ -37,7 +39,10 @@ fn geohash_roundtrips() {
 
 #[test]
 fn time_types_roundtrip() {
-    roundtrip(&TimeBin::containing(TemporalRes::Hour, epoch_seconds(2015, 7, 4, 13, 0, 0)));
+    roundtrip(&TimeBin::containing(
+        TemporalRes::Hour,
+        epoch_seconds(2015, 7, 4, 13, 0, 0),
+    ));
     roundtrip(&TimeRange::whole_day(2015, 2, 2));
     for res in TemporalRes::ALL {
         roundtrip(&res);
@@ -56,7 +61,10 @@ fn summary_stats_roundtrip_including_empty() {
     // The empty summary's in-memory ±infinity sentinels travel as nulls.
     let empty = SummaryStats::empty();
     let json = serde_json::to_string(&empty).expect("empty serializes");
-    assert!(json.contains("\"min\":null"), "wire form uses null extremes: {json}");
+    assert!(
+        json.contains("\"min\":null"),
+        "wire form uses null extremes: {json}"
+    );
     roundtrip(&empty);
     // A corrupt wire value (non-empty without extremes) is rejected.
     let bad = r#"{"count":3,"min":null,"max":null,"sum":1.0,"sum_sq":1.0}"#;

@@ -81,7 +81,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan (no faults) with the given decision seed.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, links: Vec::new() }
+        FaultPlan {
+            seed,
+            links: Vec::new(),
+        }
     }
 
     /// Drop every message on every link with probability `p`.
@@ -240,7 +243,11 @@ mod tests {
         let d2 = plan.decide(2, 3, 0);
         assert_eq!(
             d2,
-            FaultDecision { drop: false, duplicate: false, extra_delay: Duration::from_millis(2) }
+            FaultDecision {
+                drop: false,
+                duplicate: false,
+                extra_delay: Duration::from_millis(2)
+            }
         );
     }
 }

@@ -25,8 +25,8 @@
 //! the way real processes do — silence, duplicates, and dead peers.
 
 pub mod fault;
-pub mod rpc;
 pub mod router;
+pub mod rpc;
 pub mod stats;
 
 pub use fault::{FaultDecision, FaultPlan, LinkFault};

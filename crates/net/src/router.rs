@@ -79,12 +79,18 @@ impl NetConfig {
 pub struct Envelope<M> {
     pub src: NodeId,
     pub dst: NodeId,
+    /// Time this message spent on the simulated wire, stamped by the
+    /// delay loop at delivery (send-to-inbox, so it includes the cost
+    /// model's latency, fault delays, and any delay-loop lateness).
+    /// [`Duration::ZERO`] for loopback and locally re-dispatched messages.
+    pub wire: Duration,
     pub payload: M,
 }
 
 struct Parked<M> {
     due: Instant,
     seq: u64,
+    sent_at: Instant,
     env: Envelope<M>,
 }
 
@@ -172,7 +178,10 @@ impl<M: Send + Clone + 'static> Router<M> {
         for i in 0..n_nodes {
             let (tx, rx) = channel::unbounded();
             senders.push(tx);
-            endpoints.push(Endpoint { id: NodeId(i), inbox: rx });
+            endpoints.push(Endpoint {
+                id: NodeId(i),
+                inbox: rx,
+            });
         }
         let shared = Arc::new(Shared {
             heap: Mutex::new(BinaryHeap::new()),
@@ -287,7 +296,10 @@ impl<M: Send + Clone + 'static> Router<M> {
         let (tx, rx) = channel::unbounded();
         self.inboxes.write()[node.0] = tx;
         crashed[node.0] = false;
-        Endpoint { id: node, inbox: rx }
+        Endpoint {
+            id: node,
+            inbox: rx,
+        }
     }
 
     /// Is this node currently crashed?
@@ -319,15 +331,35 @@ impl<M: Send + Clone + 'static> Router<M> {
         }
         if self.is_crashed(dst) || self.is_crashed(src) {
             // Dead peer (or dead sender — a crashed process can't talk).
-            // Fail fast: like a refused connection, not a timeout.
-            self.stats.record_drop(dst.0);
+            // Fail fast: like a refused connection, not a timeout. The
+            // message never enters the fabric, so it is a *refusal*, not a
+            // send-then-drop — counting it as both sides of the ledger
+            // (or neither) is what kept `sent != delivered + dropped`.
+            self.stats.record_refuse(dst.0);
             return false;
         }
         self.stats.record_send(bytes);
-        let env = Envelope { src, dst, payload };
+        let env = Envelope {
+            src,
+            dst,
+            wire: Duration::ZERO,
+            payload,
+        };
         if self.config.loopback_is_free && src == dst {
-            // Local dispatch: no wire, no faults.
-            return self.inboxes.read()[dst.0].send(env).is_ok();
+            // Local dispatch: no wire, no faults. Still a ledger event:
+            // loopback completions get their own counter so
+            // `sent == delivered + dropped + loopback + in-flight` holds.
+            return match self.inboxes.read()[dst.0].send(env) {
+                Ok(()) => {
+                    self.stats.record_loopback(dst.0);
+                    true
+                }
+                Err(_) => {
+                    // Stopped endpoint (receiver gone without a crash).
+                    self.stats.record_drop(dst.0);
+                    false
+                }
+            };
         }
         if self.severed(src.0, dst.0) {
             // Partitioned: the message is silently lost in flight.
@@ -352,29 +384,64 @@ impl<M: Send + Clone + 'static> Router<M> {
             extra_delay = decision.extra_delay;
             duplicate = decision.duplicate;
         }
-        let due = Instant::now() + self.config.latency(bytes) + extra_delay;
+        let sent_at = Instant::now();
+        let due = sent_at + self.config.latency(bytes) + extra_delay;
         let copy = duplicate.then(|| Envelope {
             src: env.src,
             dst: env.dst,
+            wire: Duration::ZERO,
             payload: env.payload.clone(),
         });
         let mut heap = self.shared.heap.lock();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        heap.push(Reverse(Parked { due, seq, env }));
+        heap.push(Reverse(Parked {
+            due,
+            seq,
+            sent_at,
+            env,
+        }));
         if let Some(copy) = copy {
             // Duplicate: same deadline, later queue order — the copy lands
             // right behind the original.
             self.stats.record_send(bytes);
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-            heap.push(Reverse(Parked { due, seq, env: copy }));
+            heap.push(Reverse(Parked {
+                due,
+                seq,
+                sent_at,
+                env: copy,
+            }));
         }
         // Wake the delay loop: the new head may be earlier than its sleep.
         self.shared.wakeup.notify_one();
         true
     }
 
-    /// Stop the delay loop. Messages still parked are dropped, mirroring a
-    /// fabric teardown. Idempotent.
+    /// Messages parked on the wire right now (accepted, not yet delivered
+    /// or dropped).
+    pub fn in_flight(&self) -> usize {
+        self.shared.heap.lock().len()
+    }
+
+    /// Wait until nothing is parked on the wire (the ledger's in-flight
+    /// term is zero), or until `timeout`. Returns `true` on quiescence.
+    /// Note this only settles the *wire*; application-level handlers may
+    /// still be about to send more.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.in_flight() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stop the delay loop. Messages still parked are dropped (and counted
+    /// as drops), mirroring a fabric teardown. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wakeup.notify_all();
@@ -384,6 +451,11 @@ impl<M: Send + Clone + 'static> Router<M> {
         let mut heap_guard = self.shared.heap.lock();
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
+                // Fabric teardown: everything still parked is lost. Record
+                // the losses so the ledger still balances after shutdown.
+                while let Some(Reverse(parked)) = heap_guard.pop() {
+                    self.stats.record_drop(parked.env.dst.0);
+                }
                 return;
             }
             let now = Instant::now();
@@ -392,8 +464,12 @@ impl<M: Send + Clone + 'static> Router<M> {
                 if head.due > now {
                     break;
                 }
-                let Reverse(parked) = heap_guard.pop().expect("peeked non-empty");
+                let Reverse(mut parked) = heap_guard.pop().expect("peeked non-empty");
                 let dst = parked.env.dst.0;
+                // Stamp the observed wire time — delivery timestamp minus
+                // send timestamp — so receivers can account for it in
+                // query traces without trusting the cost model.
+                parked.env.wire = parked.sent_at.elapsed();
                 // A crash between park and delivery swaps in a dead sender,
                 // so the send fails either way; failure is a drop.
                 match self.inboxes.read()[dst].send(parked.env) {
@@ -408,7 +484,9 @@ impl<M: Send + Clone + 'static> Router<M> {
                     self.shared.wakeup.wait_for(&mut heap_guard, wait);
                 }
                 None => {
-                    self.shared.wakeup.wait_for(&mut heap_guard, Duration::from_millis(50));
+                    self.shared
+                        .wakeup
+                        .wait_for(&mut heap_guard, Duration::from_millis(50));
                 }
             }
         }
@@ -445,7 +523,10 @@ mod tests {
         let env = ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
         let elapsed = t0.elapsed();
         assert_eq!(env.payload, 7);
-        assert!(elapsed >= Duration::from_millis(18), "delivered too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(18),
+            "delivered too fast: {elapsed:?}"
+        );
         router.shutdown();
     }
 
@@ -460,7 +541,10 @@ mod tests {
         let t0 = Instant::now();
         router.send(NodeId(0), NodeId(0), 1, 10);
         ep.inbox.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert!(t0.elapsed() < Duration::from_millis(100), "loopback went over the wire");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "loopback went over the wire"
+        );
         router.shutdown();
     }
 
@@ -469,9 +553,77 @@ mod tests {
         let (router, eps) = Router::<u32>::new(1, NetConfig::default());
         router.send(NodeId(0), NodeId(0), 1, 10);
         assert_eq!(router.stats().messages_sent(), 1);
-        assert_eq!(router.stats().messages_delivered(), 0, "loopback skips record_deliver");
+        assert_eq!(
+            router.stats().messages_delivered(),
+            0,
+            "loopback skips record_deliver"
+        );
         assert_eq!(router.stats().node_delivered(0), 0);
+        // ... but it *is* a completed send: the loopback counter balances
+        // the ledger (the old accounting left sent != delivered + dropped
+        // forever on a quiesced, fault-free fabric).
+        assert_eq!(router.stats().messages_loopback(), 1);
+        assert_eq!(router.stats().ledger_in_flight(), 0);
         drop(eps);
+        router.shutdown();
+    }
+
+    #[test]
+    fn ledger_balances_after_quiesce_with_and_without_faults() {
+        let check = |plan: Option<FaultPlan>| {
+            let (router, eps) = Router::<u32>::new(3, fast_config());
+            if let Some(plan) = plan {
+                router.install_faults(plan);
+            }
+            for i in 0..60u32 {
+                let src = NodeId((i as usize) % 3);
+                let dst = NodeId((i as usize * 7 + 1) % 3);
+                router.send(src, dst, i, 16);
+            }
+            assert!(router.quiesce(Duration::from_secs(5)), "wire never drained");
+            let s = router.stats();
+            assert_eq!(
+                s.messages_sent(),
+                s.messages_delivered() + s.messages_dropped() + s.messages_loopback(),
+                "ledger out of balance: sent={} delivered={} dropped={} loopback={}",
+                s.messages_sent(),
+                s.messages_delivered(),
+                s.messages_dropped(),
+                s.messages_loopback()
+            );
+            drop(eps);
+            router.shutdown();
+        };
+        check(None);
+        check(Some(
+            FaultPlan::new(0xD1CE)
+                .drop_all(0.3)
+                .duplicate_all(0.2)
+                .delay_all(Duration::from_millis(1), 0.3),
+        ));
+    }
+
+    #[test]
+    fn delivered_envelopes_carry_wire_time() {
+        let config = NetConfig {
+            base_latency: Duration::from_millis(15),
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+        };
+        let (router, mut eps) = Router::<u32>::new(2, config);
+        let ep1 = eps.remove(1);
+        router.send(NodeId(0), NodeId(1), 7, 8);
+        let env = ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(
+            env.wire >= Duration::from_millis(15),
+            "wire stamp below modeled latency: {:?}",
+            env.wire
+        );
+        // Loopback never rides the wire: stamp stays zero.
+        let ep0 = eps.remove(0);
+        router.send(NodeId(0), NodeId(0), 1, 8);
+        let env = ep0.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.wire, Duration::ZERO);
         router.shutdown();
     }
 
@@ -489,7 +641,12 @@ mod tests {
         }
         let mut got = Vec::new();
         for _ in 0..100 {
-            got.push(ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap().payload);
+            got.push(
+                ep1.inbox
+                    .recv_timeout(Duration::from_secs(2))
+                    .unwrap()
+                    .payload,
+            );
         }
         let mut sorted = got.clone();
         sorted.sort_unstable();
@@ -523,11 +680,14 @@ mod tests {
 
     #[test]
     fn inbox_len_counts_pending() {
-        let (router, eps) = Router::<u32>::new(2, NetConfig {
-            base_latency: Duration::ZERO,
-            bytes_per_sec: 1e12,
-            loopback_is_free: true,
-        });
+        let (router, eps) = Router::<u32>::new(
+            2,
+            NetConfig {
+                base_latency: Duration::ZERO,
+                bytes_per_sec: 1e12,
+                loopback_is_free: true,
+            },
+        );
         // Self-sends bypass the delay loop, so they are queued immediately.
         for _ in 0..5 {
             router.send(NodeId(1), NodeId(1), 0, 0);
@@ -582,9 +742,15 @@ mod tests {
         let _ep1 = eps.remove(1);
         router.crash_node(NodeId(1));
         assert!(router.is_crashed(NodeId(1)));
-        assert!(!router.send(NodeId(0), NodeId(1), 7, 8), "crashed peer must refuse sends");
-        assert_eq!(router.stats().messages_dropped(), 1);
-        assert_eq!(router.stats().node_dropped(1), 1);
+        assert!(
+            !router.send(NodeId(0), NodeId(1), 7, 8),
+            "crashed peer must refuse sends"
+        );
+        // A refusal is not a send-then-drop: it never entered the fabric.
+        assert_eq!(router.stats().messages_refused(), 1);
+        assert_eq!(router.stats().node_refused(1), 1);
+        assert_eq!(router.stats().messages_sent(), 0);
+        assert_eq!(router.stats().messages_dropped(), 0);
         router.shutdown();
     }
 
@@ -615,7 +781,10 @@ mod tests {
         };
         let (router, mut eps) = Router::<u32>::new(2, config);
         let _ep1 = eps.remove(1);
-        assert!(router.send(NodeId(0), NodeId(1), 7, 8), "send precedes the crash");
+        assert!(
+            router.send(NodeId(0), NodeId(1), 7, 8),
+            "send precedes the crash"
+        );
         router.crash_node(NodeId(1)); // while the message is still parked
         std::thread::sleep(Duration::from_millis(200));
         assert_eq!(router.stats().messages_delivered(), 0);
@@ -658,7 +827,13 @@ mod tests {
         assert_eq!(router.stats().node_dropped(1), 10);
         router.clear_faults();
         assert!(router.send(NodeId(0), NodeId(1), 99, 8));
-        assert_eq!(ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap().payload, 99);
+        assert_eq!(
+            ep1.inbox
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap()
+                .payload,
+            99
+        );
         router.shutdown();
     }
 
@@ -682,7 +857,10 @@ mod tests {
         let t0 = Instant::now();
         router.send(NodeId(0), NodeId(1), 7, 8);
         ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(70), "extra delay not applied");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(70),
+            "extra delay not applied"
+        );
         router.shutdown();
     }
 
@@ -705,7 +883,10 @@ mod tests {
         let first = run(&router, &ep1);
         let second = run(&router, &ep1);
         assert_eq!(first, second, "same plan must replay the same schedule");
-        assert!(!first.is_empty() && first.len() < 64, "p=0.5 should drop some, keep some");
+        assert!(
+            !first.is_empty() && first.len() < 64,
+            "p=0.5 should drop some, keep some"
+        );
         router.shutdown();
     }
 }

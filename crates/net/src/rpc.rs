@@ -137,7 +137,10 @@ mod tests {
                 std::thread::spawn(move || (0..100).map(|_| t.register().0).collect::<Vec<_>>())
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 400);

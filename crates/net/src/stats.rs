@@ -19,11 +19,21 @@ pub struct NetStats {
     /// destination: fault-plan drops, partition losses, and messages
     /// addressed to crashed or stopped nodes.
     messages_dropped: AtomicU64,
+    /// Loopback sends handed straight to the local inbox — never on the
+    /// wire, but accepted and completed, so the ledger
+    /// `sent == delivered + dropped + loopback + in-flight` balances.
+    messages_loopback: AtomicU64,
+    /// Sends refused outright (crashed destination or crashed sender):
+    /// `Router::send` returned `false` and nothing entered the fabric.
+    /// Deliberately *outside* the sent/delivered/dropped ledger.
+    messages_refused: AtomicU64,
     bytes_sent: AtomicU64,
     /// Per-destination delivered counts, indexed by node id.
     node_delivered: Vec<AtomicU64>,
     /// Per-destination dropped counts, indexed by node id.
     node_dropped: Vec<AtomicU64>,
+    /// Per-destination refused counts, indexed by node id.
+    node_refused: Vec<AtomicU64>,
 }
 
 impl NetStats {
@@ -32,6 +42,7 @@ impl NetStats {
         NetStats {
             node_delivered: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
             node_dropped: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            node_refused: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
             ..NetStats::default()
         }
     }
@@ -55,21 +66,54 @@ impl NetStats {
         }
     }
 
+    pub(crate) fn record_loopback(&self, _dst: usize) {
+        // Per-node slots stay wire-only; the total keeps the ledger honest.
+        self.messages_loopback.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_refuse(&self, dst: usize) {
+        self.messages_refused.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.node_refused.get(dst) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Messages accepted by [`Router::send`](crate::Router::send).
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent.load(Ordering::Relaxed)
     }
 
     /// Messages that completed their wire delay and were handed to an inbox
-    /// (loopback sends skip the wire and are not counted here).
+    /// (loopback sends skip the wire and are counted in
+    /// [`NetStats::messages_loopback`] instead).
     pub fn messages_delivered(&self) -> u64 {
         self.messages_delivered.load(Ordering::Relaxed)
     }
 
-    /// Messages lost to fault injection, partitions, crashes, or stopped
-    /// endpoints.
+    /// Messages lost to fault injection, partitions, crashes, stopped
+    /// endpoints, or fabric teardown.
     pub fn messages_dropped(&self) -> u64 {
         self.messages_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Loopback sends completed without touching the wire.
+    pub fn messages_loopback(&self) -> u64 {
+        self.messages_loopback.load(Ordering::Relaxed)
+    }
+
+    /// Sends refused outright (crashed peer); never accepted, so not part
+    /// of the sent/delivered/dropped/loopback ledger.
+    pub fn messages_refused(&self) -> u64 {
+        self.messages_refused.load(Ordering::Relaxed)
+    }
+
+    /// `sent - delivered - dropped - loopback`: what the ledger says must
+    /// still be parked on the wire. Exact once the fabric is quiescent.
+    pub fn ledger_in_flight(&self) -> i64 {
+        self.messages_sent() as i64
+            - self.messages_delivered() as i64
+            - self.messages_dropped() as i64
+            - self.messages_loopback() as i64
     }
 
     /// Total payload bytes accepted.
@@ -87,6 +131,14 @@ impl NetStats {
     /// Messages destined for `node` that were lost; 0 if out of range.
     pub fn node_dropped(&self, node: usize) -> u64 {
         self.node_dropped
+            .get(node)
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// Sends to `node` refused because a peer was crashed; 0 if out of
+    /// range.
+    pub fn node_refused(&self, node: usize) -> u64 {
+        self.node_refused
             .get(node)
             .map_or(0, |s| s.load(Ordering::Relaxed))
     }
@@ -111,6 +163,23 @@ mod tests {
         assert_eq!(s.node_delivered(0), 0);
         assert_eq!(s.node_dropped(0), 1);
         assert_eq!(s.node_dropped(1), 0);
+    }
+
+    #[test]
+    fn loopback_and_refusals_have_their_own_ledger_lines() {
+        let s = NetStats::with_nodes(2);
+        s.record_send(8);
+        s.record_loopback(0);
+        s.record_refuse(1);
+        assert_eq!(s.messages_sent(), 1);
+        assert_eq!(s.messages_loopback(), 1);
+        assert_eq!(s.messages_refused(), 1);
+        assert_eq!(s.node_refused(1), 1);
+        assert_eq!(s.node_refused(0), 0);
+        // Loopback is inside the ledger; the refusal is outside it.
+        assert_eq!(s.ledger_in_flight(), 0);
+        assert_eq!(s.messages_delivered(), 0);
+        assert_eq!(s.messages_dropped(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! interleavings.
 
 use proptest::prelude::*;
-use stash_net::{NetConfig, NodeId, Router, RpcTable};
+use stash_net::{FaultPlan, NetConfig, NodeId, Router, RpcTable};
 use std::time::Duration;
 
 fn fast_config() -> NetConfig {
@@ -57,6 +57,87 @@ proptest! {
         }
         let sorted: Vec<usize> = (0..n).collect();
         prop_assert_eq!(got, sorted);
+        router.shutdown();
+    }
+
+    /// Message conservation: for any random schedule of sends, loopbacks,
+    /// crashes, and restarts on a lossy wire, the ledger
+    /// `sent == delivered + dropped + loopback + in-flight`
+    /// balances once the wire quiesces (and in-flight is then zero).
+    /// Refused sends stay outside the ledger by construction.
+    #[test]
+    fn ledger_conserves_messages(
+        ops in prop::collection::vec((0u8..8, 0usize..4, 0usize..4), 1..120),
+        seed in any::<u64>(),
+        faulty in any::<bool>(),
+    ) {
+        let config = NetConfig {
+            base_latency: Duration::from_micros(100),
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+        };
+        let (router, mut endpoints) = Router::<usize>::new(4, config);
+        if faulty {
+            router.install_faults(
+                FaultPlan::new(seed)
+                    .drop_all(0.25)
+                    .duplicate_all(0.25)
+                    .delay_all(Duration::from_micros(500), 0.25),
+            );
+        }
+        let mut slots: Vec<Option<_>> = endpoints.drain(..).map(Some).collect();
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+        for &(kind, a, b) in &ops {
+            match kind {
+                // Crash (idempotent via is_crashed check) …
+                0 => {
+                    if !router.is_crashed(NodeId(a)) {
+                        router.crash_node(NodeId(a));
+                        slots[a] = None;
+                    }
+                }
+                // … restart …
+                1 => {
+                    if router.is_crashed(NodeId(a)) {
+                        slots[a] = Some(router.restart_node(NodeId(a)));
+                    }
+                }
+                // … loopback send …
+                2 => {
+                    if router.send(NodeId(a), NodeId(a), 0, 8) {
+                        accepted += 1;
+                    } else {
+                        refused += 1;
+                    }
+                }
+                // … or a wire send.
+                _ => {
+                    if router.send(NodeId(a), NodeId(b), 0, 8) {
+                        accepted += 1;
+                    } else {
+                        refused += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(router.quiesce(Duration::from_secs(10)), "wire never drained");
+        let s = router.stats();
+        prop_assert_eq!(router.in_flight(), 0);
+        // Fault-plan drops and partition losses report acceptance, so
+        // `sent` can exceed `accepted` only through duplication.
+        prop_assert!(s.messages_sent() >= accepted);
+        prop_assert_eq!(s.messages_refused(), refused);
+        prop_assert_eq!(
+            s.messages_sent(),
+            s.messages_delivered() + s.messages_dropped() + s.messages_loopback(),
+            "sent {} != delivered {} + dropped {} + loopback {} (in flight {})",
+            s.messages_sent(),
+            s.messages_delivered(),
+            s.messages_dropped(),
+            s.messages_loopback(),
+            router.in_flight()
+        );
         router.shutdown();
     }
 

@@ -1,0 +1,26 @@
+//! Observability primitives for the STASH cluster.
+//!
+//! Three pieces, all allocation-free on the hot path:
+//!
+//! - [`MetricsRegistry`] — a per-node registry of named [`Counter`]s,
+//!   [`Gauge`]s, and [`Histogram`]s. Registration takes a lock once;
+//!   recording through the returned `Arc` handle is lock-free atomics.
+//! - [`Histogram`] — fixed log₂ buckets over `u64` nanoseconds with
+//!   per-bucket sums, so percentile extraction is exact whenever every
+//!   sample in the selected bucket is equal (the common case for modeled
+//!   costs) and bounded by the 2× bucket width otherwise.
+//! - [`QueryTrace`] / [`StageTimes`] — lightweight tracing spans that ride
+//!   the cluster RPC envelope: per-stage timings (route, PLM check, graph
+//!   merge, DFS scan, wire, retry/backoff, reply waits) recorded along the
+//!   query path and returned to the client next to the result.
+//!
+//! Metric names follow `subsystem.object.event` (e.g. `graph.hit`,
+//! `handoff.attempt`, `query.stage.dfs`); see DESIGN.md §11.
+
+mod hist;
+mod metrics;
+mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use metrics::{Counter, Gauge, MetricValue, MetricsRegistry};
+pub use trace::{QueryTrace, StageTimes};

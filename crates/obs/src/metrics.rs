@@ -1,0 +1,220 @@
+//! Named-metric registry shared per node.
+//!
+//! Lookup/registration takes a short `RwLock` once per name; the returned
+//! `Arc` handle is then recorded through with plain relaxed atomics, so the
+//! hot path never touches the lock. Names are `subsystem.object.event`
+//! (see DESIGN.md §11) and snapshots come back sorted by name so reports
+//! are stable across runs.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, resident cells, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// One metric's value in a [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    /// Boxed: a snapshot's bucket arrays are ~1 KiB, far larger than the
+    /// scalar variants sharing this enum.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+#[derive(Default)]
+struct Tables {
+    counters: HashMap<String, Arc<Counter>>,
+    gauges: HashMap<String, Arc<Gauge>>,
+    histograms: HashMap<String, Arc<Histogram>>,
+}
+
+/// Per-node registry of named counters, gauges, and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    tables: RwLock<Tables>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Handle to the counter `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.tables.read().counters.get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.tables
+                .write()
+                .counters
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Handle to the gauge `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.tables.read().gauges.get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.tables
+                .write()
+                .gauges
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Handle to the histogram `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.tables.read().histograms.get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.tables
+                .write()
+                .histograms
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Convenience: bump the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Convenience: record `v` into the histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// All metrics, sorted by name for stable output.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let t = self.tables.read();
+        let mut out: Vec<(String, MetricValue)> = t
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), MetricValue::Counter(v.get())))
+            .chain(
+                t.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), MetricValue::Gauge(v.get()))),
+            )
+            .chain(
+                t.histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), MetricValue::Histogram(Box::new(v.snapshot())))),
+            )
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.tables.read();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &t.counters.len())
+            .field("gauges", &t.gauges.len())
+            .field("histograms", &t.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("graph.hit");
+        let b = r.counter("graph.hit");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("graph.hit").get(), 3);
+    }
+
+    #[test]
+    fn kinds_are_namespaced_independently() {
+        let r = MetricsRegistry::new();
+        r.counter("x").inc();
+        r.gauge("x").set(-5);
+        r.observe("x", 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.iter().all(|(name, _)| name == "x"));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.inc("b.second");
+        r.inc("a.first");
+        r.inc("c.third");
+        let names: Vec<String> = r.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "b.second", "c.third"]);
+    }
+
+    #[test]
+    fn concurrent_registration_and_recording() {
+        let r = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        r.inc("shared.count");
+                        r.observe("shared.lat", 1024);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("shared.count").get(), 4000);
+        assert_eq!(r.histogram("shared.lat").count(), 4000);
+    }
+}

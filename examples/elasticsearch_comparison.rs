@@ -49,25 +49,25 @@ fn main() {
         es_client.query(q).expect("es query");
     });
 
-    println!("{:<22} {:>12} {:>12}", "interaction", "STASH (ms)", "ES-like (ms)");
-    let labels = [
-        "initial state view".to_string(),
-    ]
-    .into_iter()
-    .chain((1..stream.len()).map(|i| format!("pan 20% direction {i}")));
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "interaction", "STASH (ms)", "ES-like (ms)"
+    );
+    let labels = ["initial state view".to_string()]
+        .into_iter()
+        .chain((1..stream.len()).map(|i| format!("pan 20% direction {i}")));
     for ((label, s), e) in labels.zip(&stash_ms).zip(&es_ms) {
         println!("{label:<22} {s:>12.2} {e:>12.2}");
     }
 
-    let drop = |ms: &[f64]| (1.0 - ms[1..].iter().cloned().fold(f64::INFINITY, f64::min) / ms[0]) * 100.0;
+    let drop =
+        |ms: &[f64]| (1.0 - ms[1..].iter().cloned().fold(f64::INFINITY, f64::min) / ms[0]) * 100.0;
     println!(
         "\nbest latency reduction vs first query:  STASH {:.1}%   ES {:.1}%",
         drop(&stash_ms),
         drop(&es_ms)
     );
-    println!(
-        "(paper Fig. 8a: STASH between ~49.7% and ~70%, ES between ~0.6% and ~2%)"
-    );
+    println!("(paper Fig. 8a: STASH between ~49.7% and ~70%, ES between ~0.6% and ~2%)");
 
     stash_cluster.shutdown();
     es_cluster.shutdown();

@@ -51,7 +51,10 @@ fn main() {
             ""
         };
 
-        println!("{:<28} {plain_ms:>14.2} {cached_ms:>14.2} {prefetched:>12}", format!("step {}", i + 1));
+        println!(
+            "{:<28} {plain_ms:>14.2} {cached_ms:>14.2} {prefetched:>12}",
+            format!("step {}", i + 1)
+        );
     }
 
     let (local, remote) = cached.interaction_stats();

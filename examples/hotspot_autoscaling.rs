@@ -87,9 +87,7 @@ fn run_burst(enable_replication: bool, n_requests: usize, n_clients: usize) -> (
     let handoffs: u64 = stats.iter().map(|s| s.handoffs).sum();
     let reroutes: u64 = stats.iter().map(|s| s.reroutes).sum();
     let guest_serves: u64 = stats.iter().map(|s| s.guest_serves).sum();
-    println!(
-        "  handoffs={handoffs} reroutes={reroutes} guest-served subqueries={guest_serves}"
-    );
+    println!("  handoffs={handoffs} reroutes={reroutes} guest-served subqueries={guest_serves}");
     if enable_replication {
         let hosts: Vec<String> = stats
             .iter()

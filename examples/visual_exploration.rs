@@ -42,28 +42,57 @@ fn main() {
 
     println!("== 1. descending iterative dicing (zooming the polygon in) ==");
     for (i, q) in workload.dice_descending(state, 5, 0.20).iter().enumerate() {
-        step(&client, &format!("dice step {} ({:.1}x{:.1} deg)", i + 1, q.bbox.lat_extent(), q.bbox.lon_extent()), q);
+        step(
+            &client,
+            &format!(
+                "dice step {} ({:.1}x{:.1} deg)",
+                i + 1,
+                q.bbox.lat_extent(),
+                q.bbox.lon_extent()
+            ),
+            q,
+        );
     }
 
     println!("\n== 2. panning around the diced region (8 directions, 20%) ==");
-    let focus = workload.dice_descending(state, 5, 0.20).last().unwrap().clone();
-    for (i, q) in workload.pan_star(focus.bbox, 0.20).iter().enumerate().skip(1) {
+    let focus = workload
+        .dice_descending(state, 5, 0.20)
+        .last()
+        .unwrap()
+        .clone();
+    for (i, q) in workload
+        .pan_star(focus.bbox, 0.20)
+        .iter()
+        .enumerate()
+        .skip(1)
+    {
         step(&client, &format!("pan direction {i}"), q);
     }
 
     println!("\n== 3. drill-down (spatial resolution 2 -> 5) ==");
     for q in workload.drill_down(focus.bbox, 2, 5) {
-        step(&client, &format!("drill to resolution {}", q.spatial_res), &q);
+        step(
+            &client,
+            &format!("drill to resolution {}", q.spatial_res),
+            &q,
+        );
     }
 
     println!("\n== 4. roll-up (5 -> 2), served by merging cached children ==");
     for q in workload.roll_up(focus.bbox, 5, 2) {
-        step(&client, &format!("roll up to resolution {}", q.spatial_res), &q);
+        step(
+            &client,
+            &format!("roll up to resolution {}", q.spatial_res),
+            &q,
+        );
     }
 
     // Session summary: the collective cache built by this one user.
     println!("\n== session summary ==");
-    println!("cells cached across cluster: {}", cluster.total_cached_cells());
+    println!(
+        "cells cached across cluster: {}",
+        cluster.total_cached_cells()
+    );
     let stats = cluster.node_stats();
     let hits: u64 = stats.iter().map(|s| s.cache_hits).sum();
     let misses: u64 = stats.iter().map(|s| s.cache_misses).sum();

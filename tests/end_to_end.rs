@@ -36,7 +36,12 @@ fn assert_same_answers(a: &QueryResult, b: &QueryResult, context: &str) {
     assert_eq!(a.cells.len(), b.cells.len(), "{context}: cell count");
     for (ca, cb) in a.cells.iter().zip(&b.cells) {
         assert_eq!(ca.key, cb.key, "{context}: key order");
-        assert_eq!(ca.summary.count(), cb.summary.count(), "{context}: {:?}", ca.key);
+        assert_eq!(
+            ca.summary.count(),
+            cb.summary.count(),
+            "{context}: {:?}",
+            ca.key
+        );
         for i in 0..ca.summary.n_attrs() {
             assert_eq!(
                 ca.summary.attr(i).unwrap().min(),
@@ -134,10 +139,7 @@ fn temporal_resolutions_round_trip() {
 
     let bbox = stash::geo::BBox::from_corner_extent(40.0, -100.0, 1.0, 1.5);
     for (t_res, range) in [
-        (
-            TemporalRes::Hour,
-            TimeRange::whole_day(2015, 2, 2),
-        ),
+        (TemporalRes::Hour, TimeRange::whole_day(2015, 2, 2)),
         (
             TemporalRes::Day,
             TimeRange::new(
@@ -175,7 +177,12 @@ fn rollup_after_drilldown_is_served_by_derivation() {
     // Query exactly one coarse cell's extent at fine resolution, then roll
     // up: the coarse answer must be derived (no disk).
     let coarse = stash::geo::Geohash::encode(40.0, -100.0, 2).unwrap();
-    let fine = AggQuery::new(coarse.bbox(), TimeRange::whole_day(2015, 2, 2), 3, TemporalRes::Day);
+    let fine = AggQuery::new(
+        coarse.bbox(),
+        TimeRange::whole_day(2015, 2, 2),
+        3,
+        TemporalRes::Day,
+    );
     sc.query(&fine).expect("fine");
     let disk_before: u64 = stash.node_stats().iter().map(|s| s.disk_reads).sum();
     let up = fine.rolled_up().unwrap();
@@ -203,6 +210,10 @@ fn staleness_invalidation_is_end_to_end() {
     std::thread::sleep(std::time::Duration::from_millis(100));
     let after = sc.query(&q).expect("after invalidation");
     assert!(after.misses > 0, "stale cells must be refetched");
-    assert_eq!(after.total_count(), warm.total_count(), "recomputed data must match");
+    assert_eq!(
+        after.total_count(),
+        warm.total_count(),
+        "recomputed data must match"
+    );
     stash.shutdown();
 }

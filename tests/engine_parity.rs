@@ -63,7 +63,7 @@ fn three_engines_agree_on_a_query_set() {
         ),
         AggQuery::new(
             BBox::from_corner_extent(42.0, -95.0, 1.0, 1.0),
-            TimeRange::whole_day(2015, 7, 15, ),
+            TimeRange::whole_day(2015, 7, 15),
             4,
             TemporalRes::Hour,
         ),
@@ -81,9 +81,18 @@ fn three_engines_agree_on_a_query_set() {
             assert_eq!(cb.key, cs.key);
             assert_eq!(cb.key, ce.key);
             for a in 0..cb.summary.n_attrs() {
-                assert_eq!(cb.summary.attr(a).unwrap().min(), cs.summary.attr(a).unwrap().min());
-                assert_eq!(cb.summary.attr(a).unwrap().min(), ce.summary.attr(a).unwrap().min());
-                assert_eq!(cb.summary.attr(a).unwrap().max(), ce.summary.attr(a).unwrap().max());
+                assert_eq!(
+                    cb.summary.attr(a).unwrap().min(),
+                    cs.summary.attr(a).unwrap().min()
+                );
+                assert_eq!(
+                    cb.summary.attr(a).unwrap().min(),
+                    ce.summary.attr(a).unwrap().min()
+                );
+                assert_eq!(
+                    cb.summary.attr(a).unwrap().max(),
+                    ce.summary.attr(a).unwrap().max()
+                );
             }
         }
     }

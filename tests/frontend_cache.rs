@@ -93,7 +93,10 @@ fn partial_overlap_ships_only_missing_cells() {
     let r1 = cached.query(&panned).expect("panned");
     // The overlap is served locally; only the leading edge is fetched.
     assert!(r1.cache_hits > 0, "pan must reuse the local graph");
-    assert!(r1.misses < r0.misses, "pan must fetch less than the cold view");
+    assert!(
+        r1.misses < r0.misses,
+        "pan must fetch less than the cold view"
+    );
     stash.shutdown();
 }
 
@@ -113,12 +116,18 @@ fn prefetched_viewport_makes_the_next_pan_local() {
     prefetcher.observe_and_predict(&q0);
     cached.query(&q1).expect("q1");
     let predicted = prefetcher.observe_and_predict(&q1).expect("momentum east");
-    assert_eq!(predicted.bbox, q2.bbox, "momentum must predict the next viewport");
+    assert_eq!(
+        predicted.bbox, q2.bbox,
+        "momentum must predict the next viewport"
+    );
     cached.query(&predicted).expect("prefetch");
 
     // The user's actual next interaction is fully local.
     let r2 = cached.query(&q2).expect("q2");
-    assert_eq!(r2.misses, 0, "prefetched viewport must be a complete local hit");
+    assert_eq!(
+        r2.misses, 0,
+        "prefetched viewport must be a complete local hit"
+    );
     stash.shutdown();
 }
 

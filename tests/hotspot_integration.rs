@@ -90,10 +90,16 @@ fn burst_triggers_handoff_and_rerouting() {
     let reroutes: u64 = stats.iter().map(|s| s.reroutes).sum();
     let guest_serves: u64 = stats.iter().map(|s| s.guest_serves).sum();
     let guest_cells: usize = stats.iter().map(|s| s.guest_cells).sum();
-    assert!(handoffs >= 1, "burst must trigger at least one Clique Handoff");
+    assert!(
+        handoffs >= 1,
+        "burst must trigger at least one Clique Handoff"
+    );
     assert!(guest_cells > 0, "a helper must hold replicas");
     assert!(reroutes > 0, "covered queries must be rerouted");
-    assert_eq!(reroutes, guest_serves, "every reroute is served from a guest graph");
+    assert_eq!(
+        reroutes, guest_serves,
+        "every reroute is served from a guest graph"
+    );
     cluster.shutdown();
 }
 

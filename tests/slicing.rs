@@ -46,7 +46,12 @@ fn day_slices_are_distinct_then_replayable() {
         assert_eq!(r.total_count(), truth.total_count(), "slice {i}");
         assert_eq!(r.cache_hits, 0, "slice {i} must be uncached on first visit");
         counts.push(r.total_count());
-        temp_sums.push(r.cells.iter().map(|c| c.summary.attr(0).unwrap().sum).sum::<f64>());
+        temp_sums.push(
+            r.cells
+                .iter()
+                .map(|c| c.summary.attr(0).unwrap().sum)
+                .sum::<f64>(),
+        );
     }
     // Different days carry different observations (counts are deterministic
     // per block, so compare the aggregated values).
@@ -94,7 +99,10 @@ fn month_rollup_over_sliced_days_derives_from_cache() {
     );
     let r = sc.query(&month_query).expect("month");
     let disk_after: u64 = stash.node_stats().iter().map(|s| s.disk_reads).sum();
-    assert!(r.derived_hits > 0, "month cells must derive from cached days");
+    assert!(
+        r.derived_hits > 0,
+        "month cells must derive from cached days"
+    );
     assert_eq!(r.misses, 0, "nothing fetched");
     assert_eq!(disk_after, disk_before, "no disk for the roll-up");
     assert!(r.total_count() > 0);

@@ -130,8 +130,7 @@ impl Bencher {
     }
 
     fn budget_left(&self) -> bool {
-        self.durations.len() < self.samples
-            && self.durations.iter().sum::<Duration>() < self.budget
+        self.durations.len() < self.samples && self.durations.iter().sum::<Duration>() < self.budget
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
@@ -231,7 +230,9 @@ mod tests {
 
     fn sample_bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("shim");
-        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
         group.throughput(Throughput::Elements(100));
         group.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.bench_function("custom", |b| {

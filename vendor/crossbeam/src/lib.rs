@@ -99,9 +99,7 @@ pub mod channel {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             match self {
                 RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
-                RecvTimeoutError::Disconnected => {
-                    f.write_str("channel is empty and disconnected")
-                }
+                RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
             }
         }
     }

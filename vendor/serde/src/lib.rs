@@ -599,8 +599,7 @@ mod tests {
         struct Manual(u64);
         impl Serialize for Manual {
             fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-                Value::Object(vec![("inner".to_string(), Value::U64(self.0))])
-                    .serialize(serializer)
+                Value::Object(vec![("inner".to_string(), Value::U64(self.0))]).serialize(serializer)
             }
         }
         let v = Manual(9).to_value();

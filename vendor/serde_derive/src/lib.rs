@@ -74,9 +74,9 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     };
 
     match iter.next() {
-        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-            Err(format!("serde_derive shim: generic type `{name}` is not supported"))
-        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        )),
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
             if kind == "struct" {
                 Ok(Input {
@@ -99,7 +99,9 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
                 shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
             })
         }
-        other => Err(format!("unsupported definition body for `{name}`: {other:?}")),
+        other => Err(format!(
+            "unsupported definition body for `{name}`: {other:?}"
+        )),
     }
 }
 
@@ -236,7 +238,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
             return compile_error(&format!(
-                "serde_derive shim: tuple struct `{name}` has {n} fields; only newtypes are supported"
+                "serde_derive shim: tuple struct `{name}` has {n} fields; \
+                 only newtypes are supported"
             ))
         }
         Shape::UnitEnum(variants) => {
@@ -284,12 +287,13 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  ::std::result::Result::Ok({name} {{ {inits} }})"
             )
         }
-        Shape::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Shape::TupleStruct(n) => {
             return compile_error(&format!(
-                "serde_derive shim: tuple struct `{name}` has {n} fields; only newtypes are supported"
+                "serde_derive shim: tuple struct `{name}` has {n} fields; \
+                 only newtypes are supported"
             ))
         }
         Shape::UnitEnum(variants) => {

@@ -295,13 +295,13 @@ impl<'a> Parser<'a> {
                                 let lo = self.hex4()?;
                                 let cp = 0x10000
                                     + ((hi - 0xD800) << 10)
-                                    + (lo.checked_sub(0xDC00)
+                                    + (lo
+                                        .checked_sub(0xDC00)
                                         .ok_or_else(|| Error("bad low surrogate".into()))?);
                                 char::from_u32(cp)
                                     .ok_or_else(|| Error("bad surrogate pair".into()))?
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| Error("bad \\u escape".into()))?
+                                char::from_u32(hi).ok_or_else(|| Error("bad \\u escape".into()))?
                             };
                             out.push(c);
                         }
@@ -401,7 +401,9 @@ mod tests {
 
     #[test]
     fn scalars_roundtrip() {
-        for text in ["null", "true", "false", "0", "-12", "3.5", "1e300", "\"hi\""] {
+        for text in [
+            "null", "true", "false", "0", "-12", "3.5", "1e300", "\"hi\"",
+        ] {
             let v = parse(text).unwrap();
             assert_eq!(to_string(&v).unwrap(), text);
         }
