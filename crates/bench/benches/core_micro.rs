@@ -1,11 +1,16 @@
 //! Microbenchmarks of the hot data structures the macro results rest on:
-//! geohash arithmetic, query planning, summary merging, and the STASH
-//! graph's lookup / insert / derive / clique paths.
+//! geohash arithmetic, query planning, summary merging, the STASH
+//! graph's lookup / insert / derive / clique paths, and the DFS columnar
+//! scan kernel (old direct binning vs. frame kernel, cold vs. warm).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use stash_core::{CliqueFinder, LogicalClock, StashConfig, StashGraph};
+use stash_data::{GeneratorConfig, NamGenerator};
+use stash_dfs::{BlockKey, BlockSource, DiskModel, NodeStore, Partitioner};
+use stash_geo::time::epoch_seconds;
 use stash_geo::{cover_bbox, BBox, Geohash, TemporalRes, TimeBin, TimeRange};
-use stash_model::{AggQuery, Cell, CellKey, Level, SummaryStats};
+use stash_model::{AggQuery, Cell, CellKey, Level, Observation, SummaryStats};
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -160,11 +165,105 @@ fn bench_planning(c: &mut Criterion) {
     group.finish();
 }
 
+/// NamGenerator as a BlockSource for the scan-kernel benches.
+struct GenSource(NamGenerator);
+
+impl BlockSource for GenSource {
+    fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+        self.0.block_for_day(key.geohash, key.day)
+    }
+    fn block_bytes(&self, geohash: Geohash) -> usize {
+        self.0.block_bytes(geohash)
+    }
+    fn n_attrs(&self) -> usize {
+        self.0.schema().len()
+    }
+}
+
+fn scan_store() -> NodeStore {
+    NodeStore::new(
+        0,
+        Partitioner::new(1, 2),
+        3,
+        BBox::new(20.0, 55.0, -130.0, -60.0).unwrap(),
+        TimeRange::new(
+            epoch_seconds(2015, 1, 1, 0, 0, 0),
+            epoch_seconds(2016, 1, 1, 0, 0, 0),
+        )
+        .unwrap(),
+        DiskModel::free(),
+        Arc::new(GenSource(NamGenerator::new(GeneratorConfig {
+            seed: 11,
+            obs_per_deg2_per_day: 2_000.0,
+            max_obs_per_block: 200_000,
+        }))),
+        10_000,
+    )
+    .with_scan_cost(Duration::ZERO)
+}
+
+/// A multi-level wanted set — the shape a zoom-out exploration produces:
+/// the block's tile at Day and Year, all 32 res-4 children at Day and at
+/// every Hour, and the res-2 parent at Month — five resolution groups
+/// over one block. The direct path pays one geohash encode and one hash
+/// probe per row × group; the frame kernel decodes once and derives.
+fn multi_level_wanted(tile: Geohash, day: TimeBin) -> Vec<CellKey> {
+    let mut wanted = vec![CellKey::new(tile, day)];
+    for child in tile.children().unwrap() {
+        wanted.push(CellKey::new(child, day));
+        for h in 0..24 {
+            wanted.push(CellKey::new(
+                child,
+                TimeBin {
+                    res: TemporalRes::Hour,
+                    idx: day.idx * 24 + h,
+                },
+            ));
+        }
+    }
+    wanted.push(CellKey::new(
+        tile.prefix(2).unwrap(),
+        TimeBin::containing(TemporalRes::Month, day.start()),
+    ));
+    wanted.push(CellKey::new(
+        tile,
+        TimeBin::containing(TemporalRes::Year, day.start()),
+    ));
+    wanted
+}
+
+fn bench_scan_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_kernel");
+    group.measurement_time(Duration::from_secs(3));
+    let tile = Geohash::from_str("9xj").unwrap();
+    let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+    let bk = BlockKey { geohash: tile, day };
+    let wanted = multi_level_wanted(tile, day);
+    let store = scan_store();
+    let rows = store.scan_block(bk, &wanted).rows;
+    group.throughput(Throughput::Elements(rows as u64));
+
+    group.bench_function(format!("direct_old_{rows}rows"), |b| {
+        b.iter(|| store.scan_block_direct(bk, std::hint::black_box(&wanted)))
+    });
+    // Cold: a fresh zero-budget cache forces decode + aggregate each iter.
+    let cold = scan_store().with_frame_cache_bytes(0);
+    group.bench_function(format!("frame_cold_{rows}rows"), |b| {
+        b.iter(|| cold.scan_block(bk, std::hint::black_box(&wanted)))
+    });
+    // Warm: the frame decoded once above stays cached; iters only aggregate.
+    group.bench_function(format!("frame_warm_{rows}rows"), |b| {
+        b.iter(|| store.scan_block(bk, std::hint::black_box(&wanted)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_geohash,
     bench_summary,
     bench_graph,
-    bench_planning
+    bench_planning,
+    bench_scan_kernel
 );
 criterion_main!(benches);

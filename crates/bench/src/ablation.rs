@@ -120,6 +120,11 @@ pub mod derivation {
             .map(|enabled| {
                 let cluster = scale.stash_cluster_with(|c| {
                     c.stash.enable_derivation = enabled;
+                    // The measured signal is re-reads of already-scanned
+                    // blocks — the exact cost the decoded-frame cache
+                    // absorbs. Pin it off so the ablation isolates
+                    // derivation (§V-B), not the cache (DESIGN.md §12).
+                    c.stash.frame_cache_bytes = 0;
                 });
                 let client = cluster.client();
                 // Align the region to one coarse Cell so its 32 children are

@@ -76,6 +76,11 @@ fn parse_args() -> Args {
     if args.smoke {
         args.scale = Scale::small();
         args.scale.throughput_requests = 48;
+        // Keep the paper scale's query resolution: finer-than-block
+        // queries are what exercise frame-cache reuse and upward
+        // derivation, so the smoke profile reports the same kernel
+        // behavior as the full run (DESIGN.md §12).
+        args.scale.spatial_res = Scale::paper().spatial_res;
     }
     args
 }

@@ -104,7 +104,13 @@ impl Scale {
 
     /// The bare storage system (no STASH).
     pub fn basic_cluster(&self) -> SimCluster {
-        SimCluster::new(self.base_cluster_config(Mode::Basic))
+        let mut config = self.base_cluster_config(Mode::Basic);
+        // The baseline models the paper's plain Galileo, where every
+        // repeated block scan pays the disk again; keep the decoded-frame
+        // cache out of it so the figures compare against that system
+        // (DESIGN.md §12).
+        config.stash.frame_cache_bytes = 0;
+        SimCluster::new(config)
     }
 
     /// The ElasticSearch-like baseline over the same dataset and cost

@@ -24,6 +24,12 @@ pub struct Profile {
     pub subqueries: u64,
     pub retries: u64,
     pub failovers: u64,
+    /// Scan-kernel counters summed over nodes (DESIGN.md §12).
+    pub frame_hits: u64,
+    pub frame_misses: u64,
+    pub frame_evicted_bytes: u64,
+    pub rows_decoded: u64,
+    pub cells_derived: u64,
 }
 
 /// Fold one trace into the stage histograms.
@@ -66,6 +72,17 @@ pub fn run(scale: &Scale) -> Profile {
         retries += trace.retries as u64;
         failovers += trace.failovers as u64;
     }
+    // Sum the scan-kernel counters across nodes before tearing down.
+    let kernel = |name: &str| -> u64 {
+        (0..cluster.n_nodes())
+            .map(|i| cluster.node(i).obs.counter(name).get())
+            .sum()
+    };
+    let frame_hits = kernel("dfs.frame_cache.hit");
+    let frame_misses = kernel("dfs.frame_cache.miss");
+    let frame_evicted_bytes = kernel("dfs.frame_cache.evicted_bytes");
+    let rows_decoded = kernel("dfs.rows_decoded");
+    let cells_derived = kernel("dfs.cells_derived");
     cluster.shutdown();
 
     Profile {
@@ -78,6 +95,11 @@ pub fn run(scale: &Scale) -> Profile {
         subqueries,
         retries,
         failovers,
+        frame_hits,
+        frame_misses,
+        frame_evicted_bytes,
+        rows_decoded,
+        cells_derived,
     }
 }
 
@@ -100,8 +122,17 @@ pub fn table(p: &Profile) -> Table {
     )
     .with_note(format!(
         "cluster-wide stage totals per query (fan-out may exceed wall); \
-         {} subqueries, {} retries, {} failovers",
-        p.subqueries, p.retries, p.failovers
+         {} subqueries, {} retries, {} failovers; \
+         scan kernel: frame cache {} hits / {} misses / {} B evicted, \
+         {} rows decoded, {} cells derived",
+        p.subqueries,
+        p.retries,
+        p.failovers,
+        p.frame_hits,
+        p.frame_misses,
+        p.frame_evicted_bytes,
+        p.rows_decoded,
+        p.cells_derived
     ));
     for (stage, snap) in &p.stages {
         let sum: u64 = snap.sums.iter().sum();
@@ -133,6 +164,10 @@ mod tests {
     fn profile_smoke_reports_every_stage() {
         let mut scale = Scale::small();
         scale.throughput_requests = 36;
+        // Query finer than the block prefix (as the paper scale does) so
+        // pan steps land in partially-scanned blocks — the frame-cache
+        // geometry the counters below assert on.
+        scale.spatial_res = 4;
         let p = run(&scale);
         assert!(p.requests > 0);
         assert_eq!(p.stages.len(), 7);
@@ -143,11 +178,22 @@ mod tests {
         // Cold pans must scan storage and talk over the wire.
         let dfs = &p.stages.iter().find(|(s, _)| *s == "dfs").unwrap().1;
         assert!(dfs.max > 0, "mixed workload must charge dfs time");
+        // The scan kernel must have run: every cold block is one frame-cache
+        // miss with decoded rows, and the multi-resolution mix (pans at Day,
+        // the dice descent's coarser levels) exercises upward derivation.
+        // Revisit pans re-touch blocks, so some hits must land too.
+        assert!(p.frame_misses > 0, "cold scans must miss the frame cache");
+        assert!(p.frame_hits > 0, "revisit pans must hit the frame cache");
+        assert!(p.rows_decoded > 0, "misses must decode rows");
         let rendered = table(&p).to_console();
         for stage in [
             "route", "plm", "merge", "dfs", "wire", "retry", "wait", "wall",
         ] {
             assert!(rendered.contains(stage), "missing {stage} in:\n{rendered}");
         }
+        assert!(
+            rendered.contains("frame cache"),
+            "kernel counters missing in:\n{rendered}"
+        );
     }
 }

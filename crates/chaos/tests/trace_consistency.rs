@@ -63,5 +63,25 @@ fn traces_stay_consistent_under_faults() {
         cluster.router().stats().messages_dropped() > 0,
         "the fault plan never actually dropped anything"
     );
+
+    // The stage accounting above already confirms frame-cache time is
+    // inside the dfs segment (local.sum ≤ wall held for every trace);
+    // now confirm the cache actually ran: the grid's 1.2° step is finer
+    // than a res-3 block's extent, so neighboring queries re-touch blocks
+    // and must score hits even within the cold round.
+    let kernel = |name: &str| -> u64 {
+        (0..cluster.n_nodes())
+            .map(|i| cluster.node(i).obs.counter(name).get())
+            .sum()
+    };
+    assert!(
+        kernel("dfs.frame_cache.miss") > 0,
+        "cold round must miss the frame cache"
+    );
+    assert!(
+        kernel("dfs.frame_cache.hit") > 0,
+        "overlapping grid queries must hit the frame cache"
+    );
+    assert!(kernel("dfs.rows_decoded") > 0, "misses must decode rows");
     cluster.shutdown();
 }

@@ -114,6 +114,13 @@ impl NodeCtx {
     ) -> Self {
         let mut guest_cfg = config.stash.clone();
         guest_cfg.max_cells = config.stash.guest_max_cells;
+        // Share one registry between the node and its store so the `dfs.*`
+        // scan-kernel counters land next to the node's other metrics, and
+        // size the decoded-frame cache from config.
+        let obs = Arc::new(MetricsRegistry::new());
+        let store = store
+            .with_metrics(Arc::clone(&obs))
+            .with_frame_cache_bytes(config.stash.frame_cache_bytes);
         NodeCtx {
             node_idx,
             id: NodeId(node_idx),
@@ -124,7 +131,7 @@ impl NodeCtx {
             clock,
             rpc: RpcTable::default(),
             stats: NodeStats::default(),
-            obs: Arc::new(MetricsRegistry::new()),
+            obs,
             pending: AtomicUsize::new(0),
             service_pending: AtomicUsize::new(0),
             hot_level: AtomicU8::new(

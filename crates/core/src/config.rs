@@ -46,6 +46,9 @@ pub struct StashConfig {
     /// Derive missing coarse Cells by merging cached children (§V-B
     /// condition (b)). Disabled only by the ablation benches.
     pub enable_derivation: bool,
+    /// Byte budget of the per-node decoded-frame cache sitting in front of
+    /// the block store (DESIGN.md §12). `0` disables caching.
+    pub frame_cache_bytes: usize,
 
     // -- Hotspot handling (§VII) ---------------------------------------------
     /// Pending-request queue length at which a node declares itself
@@ -86,6 +89,7 @@ impl Default for StashConfig {
             max_cells_per_query: 200_000,
             max_blocks_per_fetch: 20_000,
             enable_derivation: true,
+            frame_cache_bytes: 64 << 20,
             hotspot_threshold: 100,
             clique_depth: 2,
             max_replicable_cells: 4_096,

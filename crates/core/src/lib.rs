@@ -32,10 +32,13 @@ pub mod clock;
 pub mod config;
 pub mod evaluator;
 pub mod freshness;
-pub mod fx;
 pub mod graph;
 pub mod plm;
 pub mod routing;
+
+// The Fx hasher moved to `stash-model` so the DFS layer can use it too;
+// re-exported here because this crate's users reach it as `stash_core::fx`.
+pub use stash_model::fx;
 
 pub use clique::{Clique, CliqueFinder};
 pub use clock::LogicalClock;

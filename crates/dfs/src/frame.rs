@@ -1,0 +1,658 @@
+//! The columnar block-scan kernel and the decoded-frame cache.
+//!
+//! `NodeStore::scan_block` used to re-encode a geohash from `lat/lon` for
+//! every observation × every requested resolution group and probe a
+//! `HashSet` per pair — `O(rows × level_groups)` hashing on the hottest
+//! loop in the system. This module replaces that with a three-stage kernel
+//! (DESIGN.md §12):
+//!
+//! 1. **decode once** — a block's observations become a [`BlockFrame`]:
+//!    flat column-major `f64` attribute columns plus one packed `u64`
+//!    row-slot per row ([`stash_model::slot`]), produced with a *single*
+//!    geohash encode per row at the finest resolution any caller asked for;
+//! 2. **aggregate flat** — rows fold into a slot-indexed accumulator array
+//!    (plain indexed adds, no per-row hashing) at the finest requested
+//!    `(spatial, temporal)` resolution pair;
+//! 3. **derive upward** — every coarser requested group is produced by
+//!    merging the finest-level partials after truncating their slots
+//!    (`Geohash::prefix` on the sub-tile digits, [`TimeBin::coarsened`] on
+//!    the calendar bin), exploiting the summary monoid exactly like the
+//!    paper's §V derivation — `O(rows + cells)` instead of
+//!    `O(rows × level_groups)`.
+//!
+//! Because blocks are immutable (the deterministic generator returns the
+//! same observations on every read), a decoded frame is a pure function of
+//! its block key and encode resolution, so frames are cached in a
+//! bytes-budgeted LRU ([`FrameCache`]) and hot blocks skip both the disk
+//! model and the decode stage entirely.
+
+use crate::block::BlockKey;
+use parking_lot::Mutex;
+use stash_geo::{Geohash, TemporalRes, TimeBin};
+use stash_model::fx::{FxHashMap, FxHashSet};
+use stash_model::slot::{self, INVALID_SLOT};
+use stash_model::{CellKey, CellSummary, Observation, SummaryStats};
+use std::sync::Arc;
+
+/// Default byte budget of a node's decoded-frame cache (`StashConfig::
+/// frame_cache_bytes` overrides it cluster-side).
+pub const DEFAULT_FRAME_CACHE_BYTES: usize = 64 << 20;
+
+/// Largest slot space the kernel services with a dense accumulator array;
+/// deeper resolution gaps (a res-12 query over res-3 blocks) fall back to a
+/// hashed accumulator keyed by the same packed slots.
+const FLAT_SLOT_LIMIT: usize = 1 << 15;
+
+/// One block, decoded once into columnar form.
+///
+/// `values` is column-major: attribute `a` of row `r` is
+/// `values[a * n_rows + r]`, so the aggregation stage streams each column
+/// sequentially. `row_slots[r]` packs the row's geohash digits *below* the
+/// block tile (at `spatial_res`) with its hour of day; rows that cannot be
+/// binned (invalid coordinates, or an observation leaking outside the
+/// block's tile/day contrary to the [`crate::store::BlockSource`] contract)
+/// carry [`INVALID_SLOT`] and are skipped by aggregation.
+pub struct BlockFrame {
+    block: BlockKey,
+    n_attrs: usize,
+    /// Geohash length the rows were encoded at (≥ the block tile length).
+    spatial_res: u8,
+    row_slots: Vec<u64>,
+    values: Vec<f64>,
+}
+
+/// Result of [`BlockFrame::aggregate`]: one summary per wanted cell plus
+/// how many of those cells were answered by upward derivation rather than
+/// direct finest-level binning.
+pub struct FrameAggregation {
+    pub cells: Vec<(CellKey, CellSummary)>,
+    pub derived_cells: u64,
+}
+
+/// The geohash length a frame must be encoded at to serve `wanted`:
+/// the finest requested spatial resolution, floored at the tile length.
+pub fn frame_spatial_res(tile_len: u8, wanted: &[CellKey]) -> u8 {
+    wanted
+        .iter()
+        .map(|c| c.spatial_res())
+        .max()
+        .unwrap_or(tile_len)
+        .max(tile_len)
+}
+
+impl BlockFrame {
+    /// Stage 1: decode a block's observations. One geohash encode per row.
+    pub fn decode(
+        block: BlockKey,
+        observations: &[Observation],
+        n_attrs: usize,
+        spatial_res: u8,
+    ) -> BlockFrame {
+        let tile = block.geohash;
+        let tile_len = tile.len();
+        debug_assert!(spatial_res >= tile_len, "frame coarser than its tile");
+        let day_start = block.day.start();
+        let delta = (spatial_res - tile_len) as u32;
+        let suffix_mask = if delta == 0 {
+            0
+        } else {
+            (1u64 << (5 * delta)) - 1
+        };
+        let n_rows = observations.len();
+        let mut row_slots = vec![INVALID_SLOT; n_rows];
+        let mut values = vec![0.0f64; n_rows * n_attrs];
+        for (r, obs) in observations.iter().enumerate() {
+            if obs.values.len() != n_attrs {
+                continue; // malformed row: stays invalid, values stay zero
+            }
+            for (a, &v) in obs.values.iter().enumerate() {
+                values[a * n_rows + r] = v;
+            }
+            let hour = (obs.time - day_start).div_euclid(3600);
+            if !(0..24).contains(&hour) {
+                continue;
+            }
+            let Ok(gh) = Geohash::encode(obs.lat, obs.lon, spatial_res) else {
+                continue;
+            };
+            if gh.prefix(tile_len) != Some(tile) {
+                continue;
+            }
+            row_slots[r] = slot::pack(gh.bits() & suffix_mask, hour as u32);
+        }
+        BlockFrame {
+            block,
+            n_attrs,
+            spatial_res,
+            row_slots,
+            values,
+        }
+    }
+
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.row_slots.len()
+    }
+
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    #[inline]
+    pub fn block(&self) -> BlockKey {
+        self.block
+    }
+
+    #[inline]
+    pub fn spatial_res(&self) -> u8 {
+        self.spatial_res
+    }
+
+    /// Heap footprint, for the cache byte budget.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<BlockFrame>() + 8 * self.row_slots.len() + 8 * self.values.len()
+    }
+
+    /// Stages 2+3: aggregate the frame into one summary per wanted cell.
+    ///
+    /// Every wanted cell appears in the output (empty summary when no row
+    /// matched — "computed, empty"), deduplicated, in first-occurrence
+    /// order. Requires `spatial_res() ≥ frame_spatial_res(tile, wanted)`.
+    pub fn aggregate(&self, wanted: &[CellKey]) -> FrameAggregation {
+        if wanted.is_empty() {
+            return FrameAggregation {
+                cells: Vec::new(),
+                derived_cells: 0,
+            };
+        }
+        let tile = self.block.geohash;
+        let tile_len = tile.len();
+
+        // Distinct resolution groups, plus the output table (dedup by key).
+        let mut out: Vec<(CellKey, CellSummary)> = Vec::with_capacity(wanted.len());
+        let mut index: FxHashMap<CellKey, usize> = FxHashMap::default();
+        let mut group_set: FxHashSet<(u8, TemporalRes)> = FxHashSet::default();
+        for &c in wanted {
+            if let std::collections::hash_map::Entry::Vacant(v) = index.entry(c) {
+                v.insert(out.len());
+                out.push((c, CellSummary::empty(self.n_attrs)));
+                group_set.insert((c.spatial_res(), c.temporal_res()));
+            }
+        }
+        let mut groups: Vec<(u8, TemporalRes)> = group_set.into_iter().collect();
+        groups.sort_unstable();
+
+        let finest_s = frame_spatial_res(tile_len, wanted);
+        let finest_t = groups.iter().map(|&(_, t)| t).max().expect("non-empty");
+        assert!(
+            self.spatial_res >= finest_s,
+            "frame encoded at res {} cannot serve res {}",
+            self.spatial_res,
+            finest_s
+        );
+        let use_hour = finest_t == TemporalRes::Hour;
+        let t_mult: u64 = if use_hour { 24 } else { 1 };
+        let shift = 5 * (self.spatial_res - finest_s) as u32;
+        let delta = finest_s - tile_len;
+
+        // Stage 2: fold rows into the finest-level accumulator. Dense array
+        // when the slot space is small (the common case), hashed otherwise.
+        let n_rows = self.n_rows();
+        let flat_slots = slot::spatial_slots(delta)
+            .and_then(|s| s.checked_mul(t_mult as usize))
+            .filter(|&n| n <= FLAT_SLOT_LIMIT);
+        let combined = |rs: u64| -> u64 {
+            let sfx = slot::suffix(rs) >> shift;
+            if use_hour {
+                sfx * 24 + slot::hour(rs) as u64
+            } else {
+                sfx
+            }
+        };
+        let mut row_dense: Vec<u32> = Vec::with_capacity(n_rows);
+        // `occupied`: (finest combined slot, dense index), ascending by slot
+        // — the deterministic derivation order.
+        let (dense_count, occupied): (usize, Vec<(u64, u32)>) = match flat_slots {
+            Some(n_slots) => {
+                let mut touched = vec![false; n_slots];
+                for &rs in &self.row_slots {
+                    if rs == INVALID_SLOT {
+                        row_dense.push(u32::MAX);
+                    } else {
+                        let s = combined(rs);
+                        touched[s as usize] = true;
+                        row_dense.push(s as u32);
+                    }
+                }
+                let occ = touched
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &t)| t)
+                    .map(|(s, _)| (s as u64, s as u32))
+                    .collect();
+                (n_slots, occ)
+            }
+            None => {
+                let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+                let mut slots: Vec<u64> = Vec::new();
+                for &rs in &self.row_slots {
+                    if rs == INVALID_SLOT {
+                        row_dense.push(u32::MAX);
+                    } else {
+                        let s = combined(rs);
+                        let next = slots.len() as u32;
+                        let d = *map.entry(s).or_insert_with(|| {
+                            slots.push(s);
+                            next
+                        });
+                        row_dense.push(d);
+                    }
+                }
+                let mut occ: Vec<(u64, u32)> = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &s)| (s, d as u32))
+                    .collect();
+                occ.sort_unstable();
+                (slots.len(), occ)
+            }
+        };
+        let mut acc = vec![SummaryStats::empty(); dense_count * self.n_attrs];
+        for a in 0..self.n_attrs {
+            let col = &self.values[a * n_rows..(a + 1) * n_rows];
+            for (r, &d) in row_dense.iter().enumerate() {
+                if d != u32::MAX {
+                    acc[d as usize * self.n_attrs + a].push(col[r]);
+                }
+            }
+        }
+
+        // Stage 3: emit every group from the finest partials. The finest
+        // group itself is the identity truncation, so one code path serves
+        // both direct and derived cells; merges happen in ascending slot
+        // order, which keeps the output deterministic.
+        let mut derived_cells = 0u64;
+        for &(s_res, t_res) in &groups {
+            let is_finest = (s_res.max(tile_len), t_res) == (finest_s, finest_t);
+            if !is_finest {
+                derived_cells += out
+                    .iter()
+                    .filter(|(k, _)| (k.spatial_res(), k.temporal_res()) == (s_res, t_res))
+                    .count() as u64;
+            }
+            let const_bin = if t_res == TemporalRes::Hour {
+                None
+            } else {
+                Some(
+                    self.block
+                        .day
+                        .coarsened(t_res)
+                        .expect("day coarsens to any non-hour res"),
+                )
+            };
+            // Consecutive slots usually truncate to the same cell; memoize
+            // the last (discriminator → output index) to skip re-deriving.
+            let mut last: Option<(u64, Option<usize>)> = None;
+            for &(slot_f, dense) in &occupied {
+                let (sfx_f, hr) = if use_hour {
+                    (slot_f / 24, (slot_f % 24) as u32)
+                } else {
+                    (slot_f, 0)
+                };
+                let disc = if s_res >= tile_len {
+                    let sfx = slot::truncate_suffix(sfx_f, finest_s, s_res);
+                    if t_res == TemporalRes::Hour {
+                        slot::pack(sfx, hr)
+                    } else {
+                        sfx << 5
+                    }
+                } else if t_res == TemporalRes::Hour {
+                    hr as u64
+                } else {
+                    0
+                };
+                let out_idx = match last {
+                    Some((d, idx)) if d == disc => idx,
+                    _ => {
+                        let gh = if s_res > tile_len {
+                            let sfx = slot::truncate_suffix(sfx_f, finest_s, s_res);
+                            let bits = (tile.bits() << (5 * (s_res - tile_len) as u32)) | sfx;
+                            Geohash::from_bits(bits, s_res).expect("nested digits are valid")
+                        } else {
+                            tile.prefix(s_res).expect("1 <= s_res <= tile_len")
+                        };
+                        let bin = match const_bin {
+                            Some(b) => b,
+                            None => TimeBin {
+                                res: TemporalRes::Hour,
+                                idx: self.block.day.idx * 24 + hr as i64,
+                            },
+                        };
+                        let idx = index.get(&CellKey::new(gh, bin)).copied();
+                        last = Some((disc, idx));
+                        idx
+                    }
+                };
+                if let Some(i) = out_idx {
+                    let base = dense as usize * self.n_attrs;
+                    for (a, s) in acc[base..base + self.n_attrs].iter().enumerate() {
+                        out[i].1.merge_attr(a, s);
+                    }
+                }
+            }
+        }
+        FrameAggregation {
+            cells: out,
+            derived_cells,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoded-frame cache
+// ---------------------------------------------------------------------------
+
+struct CacheEntry {
+    frame: Arc<BlockFrame>,
+    stamp: u64,
+}
+
+struct CacheInner {
+    stamp: u64,
+    bytes: usize,
+    map: FxHashMap<BlockKey, CacheEntry>,
+}
+
+/// A bytes-budgeted LRU of decoded frames, shared by a node's scan workers.
+///
+/// Sibling of `stash-elastic`'s entry-count `LruCache` (same stamp-based
+/// recency, same O(n) eviction scan — budgets are small enough that the
+/// scan is noise next to the decode it avoids); it lives here because
+/// `stash-elastic` depends on this crate. A `budget == 0` disables caching
+/// — every lookup misses and inserts are dropped — which is the ablation
+/// and equivalence-test configuration.
+pub struct FrameCache {
+    budget: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl FrameCache {
+    pub fn new(budget_bytes: usize) -> Self {
+        FrameCache {
+            budget: budget_bytes,
+            inner: Mutex::new(CacheInner {
+                stamp: 0,
+                bytes: 0,
+                map: FxHashMap::default(),
+            }),
+        }
+    }
+
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup, refreshing recency. A cached frame only serves queries whose
+    /// finest spatial resolution it covers; a coarser frame is a miss (the
+    /// caller re-decodes finer and replaces it).
+    pub fn lookup(&self, key: &BlockKey, min_spatial_res: u8) -> Option<Arc<BlockFrame>> {
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let e = inner.map.get_mut(key)?;
+        if e.frame.spatial_res() < min_spatial_res {
+            return None;
+        }
+        e.stamp = stamp;
+        Some(Arc::clone(&e.frame))
+    }
+
+    /// Presence check without refreshing recency (used to decide whether
+    /// the disk model must be charged before the parallel scan).
+    pub fn contains(&self, key: &BlockKey, min_spatial_res: u8) -> bool {
+        self.inner
+            .lock()
+            .map
+            .get(key)
+            .is_some_and(|e| e.frame.spatial_res() >= min_spatial_res)
+    }
+
+    /// Insert (replacing any previous frame for the block) and evict
+    /// least-recently-used frames until the budget holds. Returns the bytes
+    /// evicted. Frames larger than the whole budget are not cached.
+    pub fn insert(&self, frame: Arc<BlockFrame>) -> usize {
+        let bytes = frame.estimated_bytes();
+        if bytes > self.budget {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let key = frame.block();
+        if let Some(old) = inner.map.insert(key, CacheEntry { frame, stamp }) {
+            inner.bytes -= old.frame.estimated_bytes();
+        }
+        inner.bytes += bytes;
+        let mut evicted = 0usize;
+        while inner.bytes > self.budget {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("over budget implies non-empty");
+            let gone = inner.map.remove(&victim).expect("victim present");
+            let gone_bytes = gone.frame.estimated_bytes();
+            inner.bytes -= gone_bytes;
+            evicted += gone_bytes;
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_geo::time::epoch_seconds;
+    use std::str::FromStr;
+
+    fn block(gh: &str, y: i64, m: u32, d: u32) -> BlockKey {
+        BlockKey {
+            geohash: Geohash::from_str(gh).unwrap(),
+            day: TimeBin::containing(TemporalRes::Day, epoch_seconds(y, m, d, 0, 0, 0)),
+        }
+    }
+
+    /// Observations spread over the tile "9xj" on 2015-02-02.
+    fn rows() -> Vec<Observation> {
+        let b = block("9xj", 2015, 2, 2);
+        let bbox = b.geohash.bbox();
+        let t0 = b.day.start();
+        (0..200)
+            .map(|i| {
+                let f = (i as f64 + 0.5) / 200.0;
+                Observation::new(
+                    bbox.min_lat + f * (bbox.max_lat - bbox.min_lat),
+                    bbox.min_lon + (1.0 - f) * (bbox.max_lon - bbox.min_lon),
+                    t0 + (i as i64 * 431) % 86_400,
+                    vec![i as f64, -(i as f64), 0.5 * i as f64, 1.0],
+                )
+            })
+            .collect()
+    }
+
+    /// Reference: the seed's direct per-level binning.
+    fn direct(
+        bk: BlockKey,
+        observations: &[Observation],
+        wanted: &[CellKey],
+        n_attrs: usize,
+    ) -> Vec<(CellKey, CellSummary)> {
+        let _ = bk;
+        let mut out: std::collections::BTreeMap<CellKey, CellSummary> = wanted
+            .iter()
+            .map(|&c| (c, CellSummary::empty(n_attrs)))
+            .collect();
+        for obs in observations {
+            let mut seen: FxHashSet<(u8, TemporalRes)> = FxHashSet::default();
+            for &c in wanted {
+                let lv = (c.spatial_res(), c.temporal_res());
+                if !seen.insert(lv) {
+                    continue;
+                }
+                let Some(key) = obs.cell_key(lv.0, lv.1) else {
+                    continue;
+                };
+                if let Some(s) = out.get_mut(&key) {
+                    s.push_row(&obs.values);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn kernel_matches_direct_binning_across_levels() {
+        let bk = block("9xj", 2015, 2, 2);
+        let obs = rows();
+        let day = bk.day;
+        // Wanted cells at four resolution pairs: coarser-than-tile, the
+        // tile, finer, and hour-resolution.
+        let mut wanted: Vec<CellKey> = vec![
+            CellKey::new(bk.geohash.prefix(1).unwrap(), day),
+            CellKey::new(bk.geohash, day),
+        ];
+        wanted.extend(bk.geohash.children().unwrap().map(|g| CellKey::new(g, day)));
+        for h in 0..24 {
+            wanted.push(CellKey::new(
+                bk.geohash,
+                TimeBin {
+                    res: TemporalRes::Hour,
+                    idx: day.idx * 24 + h,
+                },
+            ));
+        }
+        let frame = BlockFrame::decode(bk, &obs, 4, frame_spatial_res(3, &wanted));
+        let agg = frame.aggregate(&wanted);
+        let mut got = agg.cells.clone();
+        got.sort_by_key(|(k, _)| *k);
+        let want = direct(bk, &obs, &wanted, 4);
+        assert_eq!(got.len(), want.len());
+        for ((gk, gs), (wk, ws)) in got.iter().zip(&want) {
+            assert_eq!(gk, wk);
+            assert_eq!(gs, ws, "summary mismatch at {gk}");
+        }
+        // Groups coarser than (finest_s, finest_t) were derived, not binned.
+        assert!(agg.derived_cells > 0);
+    }
+
+    #[test]
+    fn hashed_fallback_matches_flat() {
+        // A resolution gap deep enough to overflow the dense accumulator
+        // (res 7 over a res-3 tile with hours: 32^4 * 24 slots).
+        let bk = block("9xj", 2015, 2, 2);
+        let obs = rows();
+        let wanted: Vec<CellKey> = obs
+            .iter()
+            .take(32)
+            .filter_map(|o| o.cell_key(7, TemporalRes::Hour))
+            .collect();
+        let frame = BlockFrame::decode(bk, &obs, 4, 7);
+        let got = {
+            let mut v = frame.aggregate(&wanted).cells;
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        let want = direct(bk, &obs, &wanted, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rows_outside_tile_or_day_are_invalid() {
+        let bk = block("9xj", 2015, 2, 2);
+        let mut obs = rows();
+        obs.push(Observation::new(0.0, 0.0, bk.day.start(), vec![1.0; 4])); // wrong tile
+        obs.push(Observation::new(
+            40.0,
+            -105.0,
+            bk.day.start() - 1, // previous day
+            vec![1.0; 4],
+        ));
+        obs.push(Observation::new(95.0, 0.0, bk.day.start(), vec![1.0; 4])); // bad coords
+        let frame = BlockFrame::decode(bk, &obs, 4, 5);
+        let invalid = frame
+            .row_slots
+            .iter()
+            .filter(|&&s| s == INVALID_SLOT)
+            .count();
+        assert_eq!(invalid, 3);
+        // They contribute to no cell, including coarse ones.
+        let wanted = [CellKey::new(bk.geohash.prefix(1).unwrap(), bk.day)];
+        let agg = frame.aggregate(&wanted);
+        assert_eq!(agg.cells[0].1.count(), rows().len() as u64);
+    }
+
+    #[test]
+    fn cache_evicts_by_recency_within_budget() {
+        let obs = rows();
+        let frames: Vec<Arc<BlockFrame>> = ["9xj", "9xk", "9xm"]
+            .iter()
+            .map(|g| Arc::new(BlockFrame::decode(block(g, 2015, 2, 2), &obs, 4, 4)))
+            .collect();
+        let per = frames[0].estimated_bytes();
+        let cache = FrameCache::new(per * 2 + per / 2); // fits two
+        assert_eq!(cache.insert(Arc::clone(&frames[0])), 0);
+        assert_eq!(cache.insert(Arc::clone(&frames[1])), 0);
+        // Touch frame 0 so frame 1 is the LRU victim.
+        assert!(cache.lookup(&frames[0].block(), 4).is_some());
+        let evicted = cache.insert(Arc::clone(&frames[2]));
+        assert_eq!(evicted, per);
+        assert!(cache.contains(&frames[0].block(), 4));
+        assert!(!cache.contains(&frames[1].block(), 4));
+        assert!(cache.contains(&frames[2].block(), 4));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= cache.budget());
+    }
+
+    #[test]
+    fn coarser_cached_frame_is_a_miss_for_finer_queries() {
+        let obs = rows();
+        let bk = block("9xj", 2015, 2, 2);
+        let cache = FrameCache::new(DEFAULT_FRAME_CACHE_BYTES);
+        cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 4)));
+        assert!(cache.lookup(&bk, 4).is_some());
+        assert!(cache.lookup(&bk, 6).is_none());
+        // Re-decoding finer replaces the entry, and then serves both.
+        cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 6)));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&bk, 6).is_some());
+        assert!(cache.lookup(&bk, 4).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let obs = rows();
+        let bk = block("9xj", 2015, 2, 2);
+        let cache = FrameCache::new(0);
+        assert_eq!(
+            cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 4))),
+            0
+        );
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&bk, 3).is_none());
+    }
+}

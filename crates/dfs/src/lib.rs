@@ -30,10 +30,14 @@
 
 pub mod block;
 pub mod disk;
+pub mod frame;
 pub mod partitioner;
 pub mod store;
 
 pub use block::{plan_blocks, BlockKey, BlockPlanError};
 pub use disk::{DiskModel, DiskStats};
+pub use frame::{
+    frame_spatial_res, BlockFrame, FrameAggregation, FrameCache, DEFAULT_FRAME_CACHE_BYTES,
+};
 pub use partitioner::Partitioner;
-pub use store::{BlockSource, NodeStore, PartialCell};
+pub use store::{BlockScan, BlockSource, NodeStore, PartialCell};

@@ -10,10 +10,13 @@
 
 use crate::block::{plan_blocks, BlockKey, BlockPlanError};
 use crate::disk::{DiskModel, DiskStats};
+use crate::frame::{frame_spatial_res, BlockFrame, FrameCache, DEFAULT_FRAME_CACHE_BYTES};
 use crate::partitioner::Partitioner;
 use rayon::prelude::*;
 use stash_geo::{BBox, Geohash, TimeRange};
+use stash_model::fx::FxHashMap;
 use stash_model::{CellKey, CellSummary, Observation};
+use stash_obs::MetricsRegistry;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -28,6 +31,10 @@ pub struct PartialCell {
 /// Where blocks come from. In production this would be files on disk; in
 /// the reproduction it is the deterministic synthetic generator (every read
 /// of a block yields identical observations — see DESIGN.md §2).
+///
+/// Contract: every observation of a block lies inside the block's geohash
+/// tile and UTC day, and repeated reads of the same key yield identical
+/// rows — both properties the decoded-frame cache relies on.
 pub trait BlockSource: Send + Sync {
     /// Materialize the observations of one block.
     fn read_block(&self, key: BlockKey) -> Vec<Observation>;
@@ -54,6 +61,26 @@ pub struct NodeStore {
     /// as virtual (sleep) time so node capacity is defined by the cost
     /// model, not by the simulator host's core count (DESIGN.md §2).
     scan_cost_per_obs: std::time::Duration,
+    /// Decoded frames of recently scanned blocks (DESIGN.md §12).
+    frame_cache: FrameCache,
+    /// Named counters for the scan kernel and frame cache (`dfs.*`).
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Modeled cost ratio of aggregating a row from an already-decoded frame
+/// vs. decoding it cold: the columnar fold skips the geohash encode and the
+/// per-row hashing, so a warm row is charged `scan_cost_per_obs / 8`
+/// (DESIGN.md §12; the microbenchmarks in `core_micro` back the ratio).
+const FRAME_AGG_COST_DIVISOR: u32 = 8;
+
+/// What [`NodeStore::scan_block`] produced for one block.
+pub struct BlockScan {
+    /// One summary per wanted cell, deduplicated, first-occurrence order.
+    pub cells: Vec<(CellKey, CellSummary)>,
+    /// Rows aggregated (the block's row count).
+    pub rows: usize,
+    /// Whether the decoded frame came from the cache.
+    pub cache_hit: bool,
 }
 
 impl NodeStore {
@@ -84,6 +111,8 @@ impl NodeStore {
             source,
             max_blocks_per_fetch,
             scan_cost_per_obs: std::time::Duration::from_nanos(400),
+            frame_cache: FrameCache::new(DEFAULT_FRAME_CACHE_BYTES),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -92,6 +121,30 @@ impl NodeStore {
     pub fn with_scan_cost(mut self, per_obs: std::time::Duration) -> Self {
         self.scan_cost_per_obs = per_obs;
         self
+    }
+
+    /// Override the decoded-frame cache budget (`0` disables caching).
+    pub fn with_frame_cache_bytes(mut self, bytes: usize) -> Self {
+        self.frame_cache = FrameCache::new(bytes);
+        self
+    }
+
+    /// Record scan-kernel counters into the given registry (a cluster node
+    /// passes its own, so `dfs.*` shows up next to its other metrics).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry holding this store's `dfs.*` counters.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The decoded-frame cache (hit/miss accounting lives in
+    /// [`NodeStore::scan_block`]).
+    pub fn frame_cache(&self) -> &FrameCache {
+        &self.frame_cache
     }
 
     pub fn node_idx(&self) -> usize {
@@ -164,64 +217,127 @@ impl NodeStore {
         // Charge the disk sequentially — one spindle per node — while the
         // CPU scan below runs in parallel across cores. Modeling the read
         // as one up-front sleep overlaps disk and CPU the way readahead
-        // does on a real node.
+        // does on a real node. Blocks whose decoded frame is already cached
+        // never touch the disk at all.
         let mut total_cost = std::time::Duration::ZERO;
-        for (bk, _) in &owned {
+        for (bk, wanted) in &owned {
+            if self
+                .frame_cache
+                .contains(bk, frame_spatial_res(self.block_len, wanted))
+            {
+                continue;
+            }
             let bytes = self.source.block_bytes(bk.geohash);
-            self.stats.record_read(bytes);
             total_cost += self.disk.read_cost(bytes);
         }
         if total_cost > std::time::Duration::ZERO {
             std::thread::sleep(total_cost);
         }
 
-        let n_attrs = self.source.n_attrs();
-        // Scan owned blocks in parallel; each yields a fragment map.
-        let scanned = std::sync::atomic::AtomicUsize::new(0);
-        let fragments: Vec<BTreeMap<CellKey, CellSummary>> = owned
+        // Scan owned blocks in parallel; each yields a fragment.
+        let cold_rows = std::sync::atomic::AtomicUsize::new(0);
+        let warm_rows = std::sync::atomic::AtomicUsize::new(0);
+        let fragments: Vec<Vec<(CellKey, CellSummary)>> = owned
             .par_iter()
             .map(|(bk, wanted)| {
-                let (frag, n_obs) = self.scan_block(*bk, wanted, n_attrs);
-                scanned.fetch_add(n_obs, std::sync::atomic::Ordering::Relaxed);
-                frag
+                let scan = self.scan_block(*bk, wanted);
+                let ctr = if scan.cache_hit {
+                    &warm_rows
+                } else {
+                    &cold_rows
+                };
+                ctr.fetch_add(scan.rows, std::sync::atomic::Ordering::Relaxed);
+                scan.cells
             })
             .collect();
         // Charge the modeled aggregation CPU for the scan (virtual time —
-        // see field docs).
-        let scan_cost = self.scan_cost_per_obs * scanned.into_inner() as u32;
+        // see field docs). Rows aggregated from a cached frame skip the
+        // decode, so they cost a fraction of a cold row.
+        let scan_cost = self.scan_cost_per_obs * cold_rows.into_inner() as u32
+            + self.scan_cost_per_obs / FRAME_AGG_COST_DIVISOR * warm_rows.into_inner() as u32;
         if scan_cost > std::time::Duration::ZERO {
             std::thread::sleep(scan_cost);
         }
 
         // Merge fragments (same cell can appear in many blocks: months span
-        // days, coarse cells span tiles).
-        let mut merged: BTreeMap<CellKey, CellSummary> = BTreeMap::new();
+        // days, coarse cells span tiles). Accumulate in a hash map — one
+        // probe per fragment entry — and sort once at the end, instead of
+        // paying ordered-map entry churn per key.
+        let mut merged: FxHashMap<CellKey, CellSummary> = FxHashMap::default();
         for frag in fragments {
             for (key, summary) in frag {
                 match merged.entry(key) {
-                    std::collections::btree_map::Entry::Vacant(v) => {
+                    std::collections::hash_map::Entry::Vacant(v) => {
                         v.insert(summary);
                     }
-                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
                         o.get_mut().merge(&summary);
                     }
                 }
             }
         }
-        Ok(merged
+        let mut out: Vec<PartialCell> = merged
             .into_iter()
             .map(|(key, summary)| PartialCell { key, summary })
-            .collect())
+            .collect();
+        out.sort_unstable_by_key(|p| p.key);
+        Ok(out)
     }
 
-    /// Scan one block for the cells that need it; returns the fragments
-    /// plus how many observations were scanned (for the CPU cost model).
-    fn scan_block(
+    /// Scan one block for the cells that need it, through the columnar
+    /// frame kernel and the decoded-frame cache (DESIGN.md §12).
+    pub fn scan_block(&self, bk: BlockKey, wanted: &[CellKey]) -> BlockScan {
+        let need_res = frame_spatial_res(self.block_len, wanted);
+        let (frame, cache_hit) = match self.frame_cache.lookup(&bk, need_res) {
+            Some(f) => {
+                self.metrics.inc("dfs.frame_cache.hit");
+                (f, true)
+            }
+            None => {
+                self.metrics.inc("dfs.frame_cache.miss");
+                let observations = self.source.read_block(bk);
+                self.stats.record_read(self.source.block_bytes(bk.geohash));
+                self.metrics
+                    .counter("dfs.rows_decoded")
+                    .add(observations.len() as u64);
+                let f = Arc::new(BlockFrame::decode(
+                    bk,
+                    &observations,
+                    self.source.n_attrs(),
+                    need_res,
+                ));
+                let evicted = self.frame_cache.insert(Arc::clone(&f));
+                if evicted > 0 {
+                    self.metrics
+                        .counter("dfs.frame_cache.evicted_bytes")
+                        .add(evicted as u64);
+                }
+                (f, false)
+            }
+        };
+        let agg = frame.aggregate(wanted);
+        if agg.derived_cells > 0 {
+            self.metrics
+                .counter("dfs.cells_derived")
+                .add(agg.derived_cells);
+        }
+        BlockScan {
+            cells: agg.cells,
+            rows: frame.n_rows(),
+            cache_hit,
+        }
+    }
+
+    /// The seed's direct per-level binning — one geohash encode per
+    /// observation × resolution group. Kept as the reference
+    /// implementation: the equivalence proptests and the `core_micro`
+    /// old-vs-new benchmark compare [`NodeStore::scan_block`] against it.
+    pub fn scan_block_direct(
         &self,
         bk: BlockKey,
         wanted: &[CellKey],
-        n_attrs: usize,
-    ) -> (BTreeMap<CellKey, CellSummary>, usize) {
+    ) -> Vec<(CellKey, CellSummary)> {
+        let n_attrs = self.source.n_attrs();
         // Group the wanted cells by resolution pair so each observation is
         // binned once per distinct resolution, not once per cell.
         let mut by_level: HashMap<(u8, stash_geo::TemporalRes), HashSet<CellKey>> = HashMap::new();
@@ -249,7 +365,7 @@ impl NodeStore {
                 }
             }
         }
-        (out, observations.len())
+        out.into_iter().collect()
     }
 }
 
@@ -552,6 +668,74 @@ mod tests {
             s.fetch_partials(&[cell]),
             Err(BlockPlanError::TooManyBlocks { .. })
         ));
+    }
+
+    #[test]
+    fn partials_come_back_sorted_by_cell_key() {
+        // Regression for the fragment merge: accumulation moved from an
+        // ordered map to a hash map + final sort, and callers (coordinator
+        // merge, snapshot diffing) rely on the sorted order.
+        let s = store(0, 1);
+        let parent = Geohash::from_str("9xj").unwrap();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let mut cells: Vec<CellKey> = parent
+            .children()
+            .unwrap()
+            .map(|g| CellKey::new(g, day))
+            .collect();
+        // Mix in coarser cells and present the input unsorted.
+        cells.push(day_cell("9x"));
+        cells.push(day_cell("9xj"));
+        cells.reverse();
+        let partials = s.fetch_partials(&cells).unwrap();
+        assert_eq!(partials.len(), cells.len());
+        assert!(
+            partials.windows(2).all(|w| w[0].key < w[1].key),
+            "partials must be strictly sorted by CellKey"
+        );
+    }
+
+    #[test]
+    fn frame_cache_skips_repeat_reads_and_counts_hits() {
+        let s = store(0, 1);
+        let cell = day_cell("9xj6");
+        s.fetch_partials(&[cell]).unwrap();
+        let cold_reads = s.disk_stats().reads();
+        assert_eq!(s.metrics().counter("dfs.frame_cache.miss").get(), 1);
+
+        // Same block, different wanted cells: served from the cached frame.
+        let warm = s.fetch_partials(&[day_cell("9xj7")]).unwrap();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(s.disk_stats().reads(), cold_reads, "no second disk read");
+        assert_eq!(s.metrics().counter("dfs.frame_cache.hit").get(), 1);
+        assert!(s.metrics().counter("dfs.rows_decoded").get() > 0);
+    }
+
+    #[test]
+    fn warm_and_cold_scans_agree() {
+        let s = store(0, 1);
+        let parent = Geohash::from_str("9xj").unwrap();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let mut cells: Vec<CellKey> = parent
+            .children()
+            .unwrap()
+            .map(|g| CellKey::new(g, day))
+            .collect();
+        cells.push(day_cell("9xj"));
+        let cold = s.fetch_partials(&cells).unwrap();
+        let warm = s.fetch_partials(&cells).unwrap();
+        assert_eq!(cold, warm, "cache must not change results");
+    }
+
+    #[test]
+    fn disabled_cache_still_answers_correctly() {
+        let s = store(0, 1).with_frame_cache_bytes(0);
+        let cell = day_cell("9xj6");
+        let a = s.fetch_partials(&[cell]).unwrap();
+        let b = s.fetch_partials(&[cell]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.metrics().counter("dfs.frame_cache.hit").get(), 0);
+        assert_eq!(s.disk_stats().reads(), 2, "every fetch re-reads");
     }
 
     #[test]

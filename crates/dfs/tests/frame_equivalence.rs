@@ -1,0 +1,142 @@
+//! Equivalence of the columnar frame kernel against the seed's direct
+//! per-level binning (ISSUE 4 satellite): `NodeStore::scan_block` (decode
+//! once → aggregate flat → derive upward, DESIGN.md §12) must produce
+//! bit-for-bit the same summaries as `NodeStore::scan_block_direct` (one
+//! geohash encode per observation × resolution group) across random
+//! blocks, resolution mixes, and wanted-cell subsets.
+//!
+//! Attribute values are dyadic (multiples of 0.25, |v| ≤ 1024) so every
+//! intermediate sum and sum-of-squares is exactly representable in f64:
+//! the two kernels merge in different orders, and with exact arithmetic
+//! any bitwise difference is a real binning bug, not float reassociation.
+//! The finest-resolution group needs no such care — the frame kernel
+//! pushes those rows in block order, the same sequence the direct path
+//! executes — but coarser derived groups merge finest partials, so the
+//! dyadic restriction is what makes `==` a sound oracle for them.
+
+use proptest::prelude::*;
+use stash_dfs::{BlockKey, BlockSource, DiskModel, NodeStore, Partitioner};
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{CellKey, CellSummary, Observation};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A literal in-memory block: every read yields these exact rows.
+struct VecSource {
+    rows: Vec<Observation>,
+    n_attrs: usize,
+}
+
+impl BlockSource for VecSource {
+    fn read_block(&self, _key: BlockKey) -> Vec<Observation> {
+        self.rows.clone()
+    }
+    fn block_bytes(&self, _geohash: Geohash) -> usize {
+        self.rows.len() * 64 + 1
+    }
+    fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+}
+
+const TILES: [&str; 4] = ["9", "9x", "9xj", "dr5r"];
+const DAY_SECS: i64 = 86_400;
+
+/// The (spatial delta from tile, temporal res) mix a `level_mask` bit
+/// enables. Deltas reach below the tile (coarser) and two levels above
+/// (finer); every temporal resolution appears.
+const COMBOS: [(i8, TemporalRes); 6] = [
+    (-1, TemporalRes::Month),
+    (0, TemporalRes::Year),
+    (0, TemporalRes::Day),
+    (1, TemporalRes::Day),
+    (1, TemporalRes::Hour),
+    (2, TemporalRes::Hour),
+];
+
+fn store_for(tile: Geohash, rows: Vec<Observation>, cache_bytes: usize) -> NodeStore {
+    let bbox = BBox::new(-90.0, 90.0, -180.0, 180.0).unwrap();
+    let time = TimeRange::new(
+        epoch_seconds(2015, 1, 1, 0, 0, 0),
+        epoch_seconds(2016, 1, 1, 0, 0, 0),
+    )
+    .unwrap();
+    NodeStore::new(
+        0,
+        Partitioner::new(1, 1),
+        tile.len(),
+        bbox,
+        time,
+        DiskModel::free(),
+        Arc::new(VecSource { rows, n_attrs: 2 }),
+        10_000,
+    )
+    .with_scan_cost(std::time::Duration::ZERO)
+    .with_frame_cache_bytes(cache_bytes)
+}
+
+fn sorted(mut cells: Vec<(CellKey, CellSummary)>) -> Vec<(CellKey, CellSummary)> {
+    cells.sort_unstable_by_key(|&(k, _)| k);
+    cells
+}
+
+proptest! {
+    #[test]
+    fn frame_kernel_matches_direct_binning(
+        tile_idx in 0usize..TILES.len(),
+        raw_rows in proptest::collection::vec(
+            // (lat u, lon u, second of day, two dyadic attribute quarters)
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..86_400, -4096i32..=4096, -4096i32..=4096),
+            1..120,
+        ),
+        level_mask in 1u8..64,
+        subset_stride in 1usize..4,
+        cache_bytes in prop_oneof![Just(0usize), Just(64usize << 20)],
+    ) {
+        let tile = Geohash::from_str(TILES[tile_idx]).unwrap();
+        let tb = tile.bbox();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let day_start = day.start();
+        let rows: Vec<Observation> = raw_rows
+            .iter()
+            .map(|&(u, v, sec, q0, q1)| {
+                Observation::new(
+                    tb.min_lat + u * (tb.max_lat - tb.min_lat),
+                    tb.min_lon + v * (tb.max_lon - tb.min_lon),
+                    day_start + sec as i64 % DAY_SECS,
+                    vec![q0 as f64 * 0.25, q1 as f64 * 0.25],
+                )
+            })
+            .collect();
+        let store = store_for(tile, rows.clone(), cache_bytes);
+        let bk = BlockKey { geohash: tile, day };
+
+        // Wanted cells: for each enabled resolution combo, the cells of a
+        // strided subset of the rows (so most combos cover only part of
+        // the block) — duplicates left in to exercise dedup.
+        let mut wanted: Vec<CellKey> = Vec::new();
+        for (bit, &(delta, t_res)) in COMBOS.iter().enumerate() {
+            if level_mask & (1 << bit) == 0 {
+                continue;
+            }
+            let s_res = (tile.len() as i8 + delta).clamp(1, 12) as u8;
+            for obs in rows.iter().step_by(subset_stride) {
+                if let Some(key) = obs.cell_key(s_res, t_res) {
+                    wanted.push(key);
+                }
+            }
+        }
+        prop_assert!(!wanted.is_empty(), "mask {level_mask} selected no cells");
+
+        let new = sorted(store.scan_block(bk, &wanted).cells);
+        let old = store.scan_block_direct(bk, &wanted);
+        prop_assert_eq!(&new, &old, "frame kernel diverged from direct binning");
+
+        // A second scan — a cache hit when the budget allows — must be
+        // byte-identical to the cold one.
+        let warm = store.scan_block(bk, &wanted);
+        prop_assert_eq!(warm.cache_hit, cache_bytes > 0);
+        prop_assert_eq!(sorted(warm.cells), new, "warm scan diverged from cold");
+    }
+}

@@ -250,6 +250,43 @@ impl TimeBin {
         Some(TimeBin::containing(res, self.start()))
     }
 
+    /// The enclosing bin at a coarser-or-equal resolution — the temporal
+    /// half of upward derivation. Unlike chaining [`TimeBin::parent`], this
+    /// avoids the start-second round trip where pure index arithmetic
+    /// suffices (Hour→Day is a division, Month→Year likewise); only hops
+    /// that change calendar unit go through civil math. `None` if `res` is
+    /// *finer* than this bin.
+    pub fn coarsened(&self, res: TemporalRes) -> Option<TimeBin> {
+        if res > self.res {
+            return None;
+        }
+        if res == self.res {
+            return Some(*self);
+        }
+        let days = match self.res {
+            TemporalRes::Hour => self.idx.div_euclid(24),
+            TemporalRes::Day => self.idx,
+            TemporalRes::Month => {
+                // Month coarsens only to Year: a pure division.
+                return Some(TimeBin {
+                    res: TemporalRes::Year,
+                    idx: self.idx.div_euclid(12),
+                });
+            }
+            TemporalRes::Year => unreachable!("res < Year has no coarser target"),
+        };
+        let idx = match res {
+            TemporalRes::Day => days,
+            TemporalRes::Month => {
+                let (y, m, _) = civil_from_days(days);
+                y * 12 + (m as i64 - 1)
+            }
+            TemporalRes::Year => civil_from_days(days).0,
+            TemporalRes::Hour => unreachable!("res < self.res"),
+        };
+        Some(TimeBin { res, idx })
+    }
+
     /// The nested bins one resolution finer (temporal children), or `None`
     /// at `Hour`. A year has 12 children, a month 28–31, a day 24.
     pub fn children(&self) -> Option<Vec<TimeBin>> {
@@ -409,6 +446,36 @@ mod tests {
         let hour = TimeBin::containing(TemporalRes::Hour, 0);
         assert!(hour.children().is_none());
         assert!(year.parent().is_none());
+    }
+
+    #[test]
+    fn coarsened_equals_containing_of_start() {
+        // Spot-check each resolution pair against the reference definition
+        // over a span that crosses month, year, and pre-epoch boundaries.
+        for t in (-40 * 86_400..400 * 86_400).step_by(7 * 3600 + 11) {
+            for from in TemporalRes::ALL {
+                let bin = TimeBin::containing(from, t);
+                for to in TemporalRes::ALL {
+                    let got = bin.coarsened(to);
+                    if to > from {
+                        assert_eq!(got, None, "{bin:?} -> {to:?}");
+                    } else {
+                        assert_eq!(
+                            got,
+                            Some(TimeBin::containing(to, bin.start())),
+                            "{bin:?} -> {to:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarsened_same_res_is_identity() {
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        assert_eq!(day.coarsened(TemporalRes::Day), Some(day));
+        assert_eq!(day.coarsened(TemporalRes::Hour), None);
     }
 
     #[test]

@@ -16,10 +16,12 @@
 
 pub mod attr;
 pub mod cell;
+pub mod fx;
 pub mod key;
 pub mod level;
 pub mod observation;
 pub mod query;
+pub mod slot;
 pub mod stats;
 
 pub use attr::AttrSchema;

@@ -1,0 +1,92 @@
+//! Packed row-slot identifiers for the columnar block-scan kernel.
+//!
+//! A DFS block covers one geohash tile × one UTC day, so within a block a
+//! row's spatiotemporal position is fully described by (a) the geohash
+//! digits *below* the tile prefix at some fixed encode resolution and
+//! (b) the hour of day. Both pack into a single `u64` — the per-row cell
+//! slot the scan kernel aggregates on and later truncates to derive every
+//! coarser requested resolution (DESIGN.md §12).
+//!
+//! Layout: `suffix << 5 | hour`. A suffix of `delta` geohash characters
+//! uses `5 * delta ≤ 45` bits (tile length ≥ 1, max geohash length 12),
+//! leaving the low 5 bits for the hour (0..24) with headroom to spare.
+
+/// Bits reserved for the hour-of-day field.
+pub const HOUR_BITS: u32 = 5;
+
+/// Sentinel for rows that cannot be binned (invalid coordinates, or an
+/// observation outside its block's tile/day). Unreachable as a real slot:
+/// a valid suffix uses at most 45 bits.
+pub const INVALID_SLOT: u64 = u64::MAX;
+
+/// Pack a geohash suffix (digits below the block tile) and an hour of day.
+#[inline]
+pub fn pack(suffix: u64, hour: u32) -> u64 {
+    debug_assert!(hour < 24, "hour {hour} out of range");
+    (suffix << HOUR_BITS) | hour as u64
+}
+
+/// The geohash-suffix half of a packed slot.
+#[inline]
+pub fn suffix(slot: u64) -> u64 {
+    slot >> HOUR_BITS
+}
+
+/// The hour-of-day half of a packed slot.
+#[inline]
+pub fn hour(slot: u64) -> u32 {
+    (slot & ((1 << HOUR_BITS) - 1)) as u32
+}
+
+/// Truncate a suffix encoded at `from_res` down to `to_res` (both geohash
+/// lengths, `to_res <= from_res`) — the spatial half of upward derivation,
+/// mirroring `Geohash::prefix` on the sub-tile digits.
+#[inline]
+pub fn truncate_suffix(suffix: u64, from_res: u8, to_res: u8) -> u64 {
+    debug_assert!(to_res <= from_res);
+    suffix >> (5 * (from_res - to_res) as u32)
+}
+
+/// Number of distinct suffixes `delta` characters below the tile: `32^delta`.
+/// `None` when the count would not fit in the accumulator index space.
+#[inline]
+pub fn spatial_slots(delta: u8) -> Option<usize> {
+    1usize.checked_shl(5 * delta as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for s in [0u64, 1, 31, 1023, (1 << 45) - 1] {
+            for h in [0u32, 7, 23] {
+                let slot = pack(s, h);
+                assert_eq!(suffix(slot), s);
+                assert_eq!(hour(slot), h);
+                assert_ne!(slot, INVALID_SLOT);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_drops_trailing_digits() {
+        // Suffix "abc" (3 chars below the tile) truncated to 1 char keeps
+        // only the leading digit, exactly like Geohash::prefix.
+        let s = (5 << 10) | (17 << 5) | 30; // digits [5, 17, 30]
+        assert_eq!(truncate_suffix(s, 6, 5), (5 << 5) | 17);
+        assert_eq!(truncate_suffix(s, 6, 4), 5);
+        assert_eq!(truncate_suffix(s, 6, 3), 0); // at the tile itself
+        assert_eq!(truncate_suffix(s, 6, 6), s);
+    }
+
+    #[test]
+    fn slot_counts() {
+        assert_eq!(spatial_slots(0), Some(1));
+        assert_eq!(spatial_slots(1), Some(32));
+        assert_eq!(spatial_slots(3), Some(32 * 32 * 32));
+        assert_eq!(spatial_slots(12), Some(1 << 60));
+        assert_eq!(spatial_slots(13), None);
+    }
+}

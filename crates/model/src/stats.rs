@@ -258,6 +258,18 @@ impl CellSummary {
         }
     }
 
+    /// Merge a single attribute's statistics into attribute `i` — the
+    /// emission primitive of the columnar scan kernel, which accumulates
+    /// per-slot stats in a flat `SummaryStats` array rather than as whole
+    /// `CellSummary` values.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn merge_attr(&mut self, i: usize, other: &SummaryStats) {
+        self.summaries[i].merge(other);
+    }
+
     /// Approximate in-memory footprint, for the cache budget.
     pub fn estimated_bytes(&self) -> usize {
         std::mem::size_of::<CellSummary>() + self.summaries.len() * SummaryStats::estimated_bytes()
@@ -357,6 +369,23 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_attr_equals_whole_merge() {
+        let mut whole = CellSummary::empty(2);
+        whole.push_row(&[1.0, 5.0]);
+        let other = {
+            let mut o = CellSummary::empty(2);
+            o.push_row(&[3.0, 7.0]);
+            o
+        };
+        let mut by_attr = whole.clone();
+        for i in 0..2 {
+            by_attr.merge_attr(i, other.attr(i).unwrap());
+        }
+        whole.merge(&other);
+        assert_eq!(by_attr, whole);
     }
 
     #[test]
