@@ -27,9 +27,9 @@ fn bench_derivation(c: &mut Criterion, scale: &Scale) {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
                     cluster.clear_cache();
-                    client.query(&fine).expect("warm fine");
+                    client.query(&fine).run().expect("warm fine");
                     let t0 = Instant::now();
-                    client.query(&coarse).expect("rollup");
+                    client.query(&coarse).run().expect("rollup");
                     total += t0.elapsed();
                 }
                 total
@@ -67,8 +67,8 @@ fn bench_dispersion(c: &mut Criterion, scale: &Scale) {
                     cluster.clear_cache();
                     let t0 = Instant::now();
                     for (qa, qb) in wa.iter().zip(&wb) {
-                        client.query(qa).expect("walk a");
-                        client.query(qb).expect("walk b");
+                        client.query(qa).run().expect("walk a");
+                        client.query(qb).run().expect("walk b");
                     }
                     total += t0.elapsed();
                 }

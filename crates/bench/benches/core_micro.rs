@@ -196,6 +196,7 @@ fn scan_store() -> NodeStore {
             seed: 11,
             obs_per_deg2_per_day: 2_000.0,
             max_obs_per_block: 200_000,
+            value_quantum: 0.0,
         }))),
         10_000,
     )

@@ -23,21 +23,21 @@ fn bench(c: &mut Criterion) {
 
         let bc = basic.client();
         group.bench_function(format!("basic/{class}"), |b| {
-            b.iter(|| bc.query(&q).expect("basic"))
+            b.iter(|| bc.query(&q).run().expect("basic"))
         });
 
         let sc = stash.client();
         group.bench_function(format!("stash_cold/{class}"), |b| {
             b.iter_batched(
                 || stash.clear_cache(),
-                |_| sc.query(&q).expect("cold"),
+                |_| sc.query(&q).run().expect("cold"),
                 BatchSize::PerIteration,
             )
         });
 
-        sc.query(&q).expect("warm-up");
+        sc.query(&q).run().expect("warm-up");
         group.bench_function(format!("stash_warm/{class}"), |b| {
-            b.iter(|| sc.query(&q).expect("warm"))
+            b.iter(|| sc.query(&q).run().expect("warm"))
         });
     }
     group.finish();

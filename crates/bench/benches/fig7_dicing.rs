@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("basic/{label}"), |b| {
             b.iter(|| {
                 for q in &stream {
-                    bc.query(q).expect("basic");
+                    bc.query(q).run().expect("basic");
                 }
             })
         });
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
                     stash.clear_cache();
                     let t0 = Instant::now();
                     for q in &stream {
-                        sc.query(q).expect("stash");
+                        sc.query(q).run().expect("stash");
                     }
                     total += t0.elapsed();
                 }

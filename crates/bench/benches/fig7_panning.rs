@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("basic/pan{:.0}%", frac * 100.0), |b| {
             b.iter(|| {
                 for q in &stream[1..] {
-                    bc.query(q).expect("basic");
+                    bc.query(q).run().expect("basic");
                 }
             })
         });
@@ -36,11 +36,11 @@ fn bench(c: &mut Criterion) {
         // rendered already).
         let stash = scale.stash_cluster();
         let sc = stash.client();
-        sc.query(&stream[0]).expect("warm start view");
+        sc.query(&stream[0]).run().expect("warm start view");
         group.bench_function(format!("stash/pan{:.0}%", frac * 100.0), |b| {
             b.iter(|| {
                 for q in &stream[1..] {
-                    sc.query(q).expect("stash");
+                    sc.query(q).run().expect("stash");
                 }
             })
         });

@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("basic/{label}"), |b| {
             b.iter(|| {
                 for q in &walk {
-                    bc.query(q).expect("basic");
+                    bc.query(q).run().expect("basic");
                 }
             })
         });
@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
                                 .warm_keys(&keys[..take.min(keys.len())])
                                 .expect("warm");
                             let t0 = Instant::now();
-                            sc.query(q).expect("stash");
+                            sc.query(q).run().expect("stash");
                             total += t0.elapsed();
                         }
                     }

@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
                     stash.clear_cache();
                     let t0 = Instant::now();
                     for q in &stream {
-                        sc.query(q).expect("stash");
+                        sc.query(q).run().expect("stash");
                     }
                     total += t0.elapsed();
                 }

@@ -45,7 +45,7 @@ pub mod dispersion {
 
                 // Phase 1: cache a state-sized region around the focus.
                 let state = wl.random_bbox(&mut rng, QuerySizeClass::State);
-                client.query(&wl.make_query(state)).expect("phase 1");
+                client.query(&wl.make_query(state)).run().expect("phase 1");
 
                 // Phase 2: the user dices down to the center and keeps
                 // interacting there while background queries elsewhere
@@ -53,16 +53,19 @@ pub mod dispersion {
                 // the focus fresh even though only the focus is accessed.
                 let focus = state.scale(0.25);
                 for _ in 0..6 {
-                    client.query(&wl.make_query(focus)).expect("focus");
+                    client.query(&wl.make_query(focus)).run().expect("focus");
                     let elsewhere = wl.random_bbox(&mut rng, QuerySizeClass::State);
-                    client.query(&wl.make_query(elsewhere)).expect("pressure");
+                    client
+                        .query(&wl.make_query(elsewhere))
+                        .run()
+                        .expect("pressure");
                 }
 
                 // Phase 3: pan outward from the focus — exactly into the
                 // dispersed ring. Hits here are what dispersion buys.
                 let (mut hits, mut lookups, mut total_ms) = (0usize, 0usize, 0.0);
                 for q in wl.pan_star(focus, 0.5).iter().skip(1) {
-                    let (t, r) = time_ms(|| client.query(q).expect("sweep"));
+                    let (t, r) = time_ms(|| client.query(q).run().expect("sweep"));
                     total_ms += t;
                     hits += r.cache_hits + r.derived_hits;
                     lookups += r.cache_hits + r.derived_hits + r.misses;
@@ -137,10 +140,10 @@ pub mod derivation {
                 // derivation the coarse Cells merge from cache; without it
                 // they go to disk.
                 let fine = wl.make_query(area);
-                client.query(&fine).expect("warm fine level");
+                client.query(&fine).run().expect("warm fine level");
                 let disk_before: u64 = cluster.node_stats().iter().map(|s| s.disk_reads).sum();
                 let coarse = fine.rolled_up().expect("coarser level exists");
-                let (rollup_ms, _) = time_ms(|| client.query(&coarse).expect("rollup"));
+                let (rollup_ms, _) = time_ms(|| client.query(&coarse).run().expect("rollup"));
                 let stats = cluster.node_stats();
                 let row = Row {
                     enabled,

@@ -6,6 +6,7 @@
 //! cargo run -p stash-bench --release --bin figures -- --all --scale small
 //! cargo run -p stash-bench --release --bin figures -- --ablations
 //! cargo run -p stash-bench --release --bin figures -- --fault-sweep --scale small
+//! cargo run -p stash-bench --release --bin figures -- --ingest --scale small
 //! cargo run -p stash-bench --release --bin figures -- --profile
 //! cargo run -p stash-bench --release --bin figures -- --profile --smoke   # CI-sized
 //! cargo run -p stash-bench --release --bin figures -- --all --markdown out.md
@@ -14,7 +15,7 @@
 //! Each figure prints a console table; `--markdown FILE` additionally
 //! appends GitHub-flavored tables (the format EXPERIMENTS.md embeds).
 
-use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, profile, report::Table, Scale};
+use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, ingest, profile, report::Table, Scale};
 use std::io::Write;
 
 struct Args {
@@ -22,6 +23,7 @@ struct Args {
     all: bool,
     ablations: bool,
     fault_sweep: bool,
+    ingest: bool,
     profile: bool,
     /// CI-sized run: shrink the workload so `--profile` finishes in
     /// seconds (no effect on the figure experiments).
@@ -36,6 +38,7 @@ fn parse_args() -> Args {
         all: false,
         ablations: false,
         fault_sweep: false,
+        ingest: false,
         profile: false,
         smoke: false,
         scale: Scale::paper(),
@@ -47,6 +50,7 @@ fn parse_args() -> Args {
             "--all" => args.all = true,
             "--ablations" => args.ablations = true,
             "--fault-sweep" => args.fault_sweep = true,
+            "--ingest" => args.ingest = true,
             "--profile" => args.profile = true,
             "--smoke" => args.smoke = true,
             "--fig" => {
@@ -63,14 +67,20 @@ fn parse_args() -> Args {
             "--markdown" => args.markdown = Some(it.next().expect("--markdown needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--all] [--ablations] [--fault-sweep] [--profile] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
+                    "usage: figures [--all] [--ablations] [--fault-sweep] [--ingest] [--profile] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other:?} (try --help)"),
         }
     }
-    if !args.all && args.figs.is_empty() && !args.ablations && !args.fault_sweep && !args.profile {
+    if !args.all
+        && args.figs.is_empty()
+        && !args.ablations
+        && !args.fault_sweep
+        && !args.ingest
+        && !args.profile
+    {
         args.all = true;
     }
     if args.smoke {
@@ -160,6 +170,10 @@ fn main() {
 
     if args.fault_sweep {
         emit(fault_sweep::table(&fault_sweep::run(scale)));
+    }
+
+    if args.ingest {
+        emit(ingest::table(&ingest::run(scale)));
     }
 
     if args.profile {

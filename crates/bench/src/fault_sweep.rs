@@ -2,7 +2,7 @@
 //!
 //! §VIII evaluates STASH on a failure-free fabric. This harness hook
 //! replays Fig. 6b's panning throughput mix while a seeded
-//! [`FaultPlan`](stash_net::FaultPlan) drops a growing fraction of all
+//! [`FaultPlan`] drops a growing fraction of all
 //! messages, and reports what the retry/failover machinery costs: success
 //! stays at 100 % by construction (the driver panics on any client error),
 //! so the interesting columns are throughput decay and how much repair

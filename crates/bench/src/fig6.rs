@@ -31,11 +31,11 @@ pub mod latency {
             for _ in 0..scale.repeats {
                 let q = wl.random_query(&mut rng, class);
                 let bc = basic.client();
-                basic_ms += time_ms(|| bc.query(&q).expect("basic")).0;
+                basic_ms += time_ms(|| bc.query(&q).run().expect("basic")).0;
                 stash.clear_cache();
                 let sc = stash.client();
-                cold_ms += time_ms(|| sc.query(&q).expect("cold")).0;
-                warm_ms += time_ms(|| sc.query(&q).expect("warm")).0;
+                cold_ms += time_ms(|| sc.query(&q).run().expect("cold")).0;
+                warm_ms += time_ms(|| sc.query(&q).run().expect("warm")).0;
             }
             let n = scale.repeats as f64;
             rows.push(Row {
@@ -278,9 +278,9 @@ pub fn warm_latency_ms(scale: &Scale, class: QuerySizeClass) -> f64 {
     let mut rng = scale.rng();
     let q = wl.random_query(&mut rng, class);
     let client = stash.client();
-    client.query(&q).expect("warm-up");
+    client.query(&q).run().expect("warm-up");
     let lat = mean_latency_ms(std::slice::from_ref(&q), |q| {
-        client.query(q).expect("timed");
+        client.query(q).run().expect("timed");
     });
     stash.shutdown();
     lat

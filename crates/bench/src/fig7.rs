@@ -44,8 +44,8 @@ pub mod dicing {
         for _ in 0..scale.repeats {
             stash.clear_cache();
             for (row, q) in rows.iter_mut().zip(&stream) {
-                row.basic_ms += time_ms(|| bc.query(q).expect("basic")).0;
-                let (stash_ms, result) = time_ms(|| sc.query(q).expect("stash"));
+                row.basic_ms += time_ms(|| bc.query(q).run().expect("basic")).0;
+                let (stash_ms, result) = time_ms(|| sc.query(q).run().expect("stash"));
                 row.stash_ms += stash_ms;
                 row.stash_hit_ratio += result.hit_ratio();
             }
@@ -116,11 +116,11 @@ pub mod panning {
             for _ in 0..scale.repeats {
                 stash.clear_cache();
                 // First query warms STASH; it is not part of the pan bars.
-                bc.query(&stream[0]).expect("basic warm");
-                sc.query(&stream[0]).expect("stash warm");
+                bc.query(&stream[0]).run().expect("basic warm");
+                sc.query(&stream[0]).run().expect("stash warm");
                 for (slot, q) in stash_by_dir.iter_mut().zip(&stream[1..]) {
-                    basic_total += time_ms(|| bc.query(q).expect("basic")).0;
-                    *slot += time_ms(|| sc.query(q).expect("stash")).0;
+                    basic_total += time_ms(|| bc.query(q).run().expect("basic")).0;
+                    *slot += time_ms(|| sc.query(q).run().expect("stash")).0;
                 }
             }
             let n = scale.repeats as f64;
@@ -193,7 +193,7 @@ pub mod zooming {
             .map(|q| {
                 let mut total = 0.0;
                 for _ in 0..scale.repeats {
-                    total += time_ms(|| bc.query(q).expect("basic")).0;
+                    total += time_ms(|| bc.query(q).run().expect("basic")).0;
                 }
                 Row {
                     res: q.spatial_res,
@@ -219,7 +219,7 @@ pub mod zooming {
                     stash
                         .warm_keys(&keys[..take.min(keys.len())])
                         .expect("warm");
-                    total += time_ms(|| sc.query(q).expect("stash")).0;
+                    total += time_ms(|| sc.query(q).run().expect("stash")).0;
                 }
                 row.stash_ms[fi] = total / scale.repeats as f64;
             }

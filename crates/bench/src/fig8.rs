@@ -35,7 +35,7 @@ fn run_stream(scale: &Scale, stream: &[AggQuery]) -> Vec<Row> {
         stash.clear_cache();
         es.clear_caches();
         for (row, q) in rows.iter_mut().zip(stream) {
-            row.stash_ms += time_ms(|| sc.query(q).expect("stash")).0;
+            row.stash_ms += time_ms(|| sc.query(q).run().expect("stash")).0;
             row.es_ms += time_ms(|| ec.query(q).expect("es")).0;
         }
     }

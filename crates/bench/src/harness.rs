@@ -85,6 +85,7 @@ impl Scale {
                 seed: self.seed ^ 0xDA7A,
                 obs_per_deg2_per_day: self.density,
                 max_obs_per_block: 100_000,
+                value_quantum: 0.0,
             },
             ..ClusterConfig::default()
         }
@@ -123,6 +124,7 @@ impl Scale {
                 seed: self.seed ^ 0xDA7A,
                 obs_per_deg2_per_day: self.density,
                 max_obs_per_block: 100_000,
+                value_quantum: 0.0,
             },
             ..EsClusterConfig::default()
         })
@@ -190,7 +192,7 @@ pub fn drive_concurrent(
                 if i >= queries.len() {
                     return;
                 }
-                client.query(&queries[i]).expect("driver query");
+                client.query(&queries[i]).run().expect("driver query");
                 completions
                     .lock()
                     .expect("completions mutex")

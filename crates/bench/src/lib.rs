@@ -15,6 +15,7 @@
 //! | [`fig8`] | Fig. 8a–8c | the same pan/dice streams vs the ES-like baseline |
 //! | [`ablation`] | DESIGN.md §8 | dispersion, derivation, helper selection, reroute sweep |
 //! | [`fault_sweep`] | — (robustness) | throughput under uniform message loss, 100% success |
+//! | [`ingest`] | — (DESIGN.md §13) | mid-stream query latency: delta-patch vs invalidate-all |
 //! | [`profile`] | — (observability) | per-stage p50/p95/p99 latency breakdown from query traces |
 //!
 //! Experiments run at a configurable [`Scale`]; `Scale::small()` keeps
@@ -29,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod harness;
+pub mod ingest;
 pub mod profile;
 pub mod report;
 

@@ -66,7 +66,7 @@ pub fn run(scale: &Scale) -> Profile {
     let cluster = scale.stash_cluster();
     let client = cluster.client();
     for q in &queries {
-        let (_, trace) = client.query_traced(q).expect("profile query");
+        let (_, trace) = client.query(q).traced().run().expect("profile query");
         observe(&stages, &wall, &trace);
         subqueries += trace.subqueries as u64;
         retries += trace.retries as u64;

@@ -58,6 +58,7 @@ fn stash_data_config() -> stash_data::GeneratorConfig {
         seed: 3,
         obs_per_deg2_per_day: 30.0,
         max_obs_per_block: 10_000,
+        value_quantum: 0.0,
     }
 }
 
@@ -87,7 +88,7 @@ pub fn run_workload(
     client: &ClusterClient,
     queries: &[AggQuery],
 ) -> Vec<Result<QueryResult, ClientError>> {
-    queries.iter().map(|q| client.query(q)).collect()
+    queries.iter().map(|q| client.query(q).run()).collect()
 }
 
 /// Fault-free ground truth: boot a pristine cluster on the same
@@ -97,7 +98,7 @@ pub fn ground_truth(config: ClusterConfig, queries: &[AggQuery]) -> Vec<QueryRes
     let client = cluster.client();
     let results = queries
         .iter()
-        .map(|q| client.query(q).expect("fault-free run must not fail"))
+        .map(|q| client.query(q).run().expect("fault-free run must not fail"))
         .collect();
     cluster.shutdown();
     results

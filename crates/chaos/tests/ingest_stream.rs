@@ -1,0 +1,121 @@
+//! Chaos scenario: live ingestion under a lossy fabric while a front-end
+//! keeps querying (DESIGN.md §13).
+//!
+//! Two properties are asserted:
+//!
+//! 1. **Monotonic reads during the stream** — rows are only ever appended,
+//!    so for any cell a later answer's observation count is never smaller
+//!    than an earlier one (patched caches move forward; recomputed cells
+//!    read storage that only grows).
+//! 2. **Exact convergence after quiescence** — once every batch is acked,
+//!    answers are bit-for-bit equal to a sealed cluster built on the full
+//!    dataset, drops notwithstanding.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use stash_chaos::{assert_results_match, chaos_config, ground_truth};
+use stash_cluster::{run_stream, IngestConfig, Mode, SimCluster};
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{AggQuery, CellKey};
+use stash_net::FaultPlan;
+
+fn live_day() -> TimeBin {
+    TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0))
+}
+
+/// Queries over the live tiles (`9q8`/`9q9`/`9qb`/`9qc`; lat 36.5–39.4,
+/// lon −123.75–−120.9) at mixed resolutions.
+fn live_queries() -> Vec<AggQuery> {
+    let day = TimeRange::whole_day(2015, 2, 2);
+    vec![
+        AggQuery::new(
+            BBox::from_corner_extent(36.8, -123.0, 0.8, 1.4),
+            day,
+            4,
+            TemporalRes::Day,
+        ),
+        AggQuery::new(
+            BBox::from_corner_extent(36.0, -124.5, 4.0, 4.5),
+            day,
+            3,
+            TemporalRes::Day,
+        ),
+        AggQuery::new(
+            BBox::from_corner_extent(30.0, -125.0, 12.0, 20.0),
+            day,
+            1,
+            TemporalRes::Day,
+        ),
+    ]
+}
+
+#[test]
+fn live_stream_under_drops_reads_monotonically_and_converges_exactly() {
+    let mut config = chaos_config(Mode::Stash);
+    config.generator.value_quantum = 1.0 / 64.0;
+    let day = live_day();
+    config.live_blocks = ["9q8", "9q9", "9qb", "9qc"]
+        .iter()
+        .map(|g| (Geohash::from_str(g).unwrap(), day))
+        .collect();
+    let queries = live_queries();
+
+    // Ground truth: the same config sealed (no live blocks) is the full
+    // final dataset from boot.
+    let mut sealed = config.clone();
+    sealed.live_blocks.clear();
+    let truth = ground_truth(sealed, &queries);
+
+    let cluster = SimCluster::new(config);
+    let client = cluster.client();
+    for q in &queries {
+        client.query(q).run().expect("warm-up on partial data");
+    }
+
+    cluster
+        .router()
+        .install_faults(FaultPlan::new(77).drop_all(0.05));
+
+    // Stream on a producer thread; the main thread plays the front-end.
+    let stream = cluster.live_stream(64);
+    let expected_rows = stream.total_rows() as u64;
+    let sink = Arc::new(cluster.ingest_client());
+    let producer = std::thread::spawn(move || run_stream(&stream, sink, IngestConfig::default()));
+
+    let mut last_counts: HashMap<CellKey, u64> = HashMap::new();
+    let mut rounds = 0u32;
+    while !producer.is_finished() || rounds < 3 {
+        for q in &queries {
+            let r = client.query(q).run().expect("query during ingest");
+            for cell in &r.cells {
+                let count = cell.summary.count();
+                let prev = last_counts.entry(cell.key).or_insert(0);
+                assert!(
+                    count >= *prev,
+                    "cell {:?} went backwards mid-stream: {} < {}",
+                    cell.key,
+                    count,
+                    *prev
+                );
+                *prev = count;
+            }
+        }
+        rounds += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = producer.join().expect("producer thread");
+    assert_eq!(stats.rows_sent, expected_rows, "drops must not lose rows");
+    assert_eq!(stats.batches_failed, 0, "no lane abandoned its block");
+
+    // Quiesced: answers equal the sealed ground truth exactly.
+    cluster.router().clear_faults();
+    for (q, want) in queries.iter().zip(&truth) {
+        let got = client.query(q).run().expect("post-quiesce query");
+        assert_results_match(&got, want, "post-quiesce");
+    }
+    cluster.shutdown();
+}

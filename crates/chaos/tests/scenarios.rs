@@ -145,7 +145,9 @@ fn three_way_partition_serves_exactly_from_in_group_replicas() {
         .set_partition(&[vec![0, 1, 4], vec![2], vec![3]]);
     let dropped_before = cluster.router().stats().messages_dropped();
     let r = client
-        .query_at(&q, 0)
+        .query(&q)
+        .at(0)
+        .run()
         .expect("in-group replica chain must keep the answer exact");
     assert_results_match(&r, &truth[0], "partitioned query");
     assert!(
@@ -154,7 +156,11 @@ fn three_way_partition_serves_exactly_from_in_group_replicas() {
     );
 
     cluster.router().heal_partition();
-    let healed = client.query_at(&q, 2).expect("healed fabric serves again");
+    let healed = client
+        .query(&q)
+        .at(2)
+        .run()
+        .expect("healed fabric serves again");
     assert_results_match(&healed, &truth[0], "post-heal query");
     cluster.shutdown();
 }
@@ -176,7 +182,7 @@ fn coordinator_crash_mid_scatter_fails_fast_and_cluster_recovers() {
 
     let in_flight = std::thread::scope(|s| {
         let racer = client.clone();
-        let h = s.spawn(move || racer.query_at(q, victim));
+        let h = s.spawn(move || racer.query(q).at(victim).run());
         std::thread::sleep(Duration::from_millis(1));
         cluster.crash_node(victim);
         h.join()
@@ -190,7 +196,7 @@ fn coordinator_crash_mid_scatter_fails_fast_and_cluster_recovers() {
 
     // Direct routing at the corpse fails fast.
     assert!(
-        client.query_at(q, victim).is_err(),
+        client.query(q).at(victim).run().is_err(),
         "a crashed coordinator cannot answer"
     );
 
@@ -208,7 +214,9 @@ fn coordinator_crash_mid_scatter_fails_fast_and_cluster_recovers() {
 
     cluster.restart_node(victim);
     let back = client
-        .query_at(q, victim)
+        .query(q)
+        .at(victim)
+        .run()
         .expect("restarted node coordinates again");
     assert_results_match(&back, &truth[5], "post-restart coordination");
     cluster.shutdown();
@@ -233,7 +241,9 @@ fn owner_crash_fails_over_and_restart_recomputes_from_dfs() {
 
     cluster.crash_node(owner);
     let r = client
-        .query_at(&q, coordinator)
+        .query(&q)
+        .at(coordinator)
+        .run()
         .expect("dead-owner sub-queries must fail over to DFS replicas");
     assert_results_match(&r, &truth[0], "query with the owner down");
 
@@ -244,7 +254,9 @@ fn owner_crash_fails_over_and_restart_recomputes_from_dfs() {
         "a restarted node must come back with an empty STASH graph"
     );
     let again = client
-        .query_at(&q, coordinator)
+        .query(&q)
+        .at(coordinator)
+        .run()
         .expect("query after owner restart");
     assert_results_match(&again, &truth[0], "query after owner restart");
     assert!(

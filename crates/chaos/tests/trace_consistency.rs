@@ -33,7 +33,7 @@ fn traces_stay_consistent_under_faults() {
     let mut audited = 0usize;
     for (i, q) in queries.iter().enumerate() {
         let start = Instant::now();
-        let (result, trace) = match client.query_traced(q) {
+        let (result, trace) = match client.query(q).traced().run() {
             Ok(ok) => ok,
             Err(e) => panic!("query {i} failed under 5% loss: {e:?}"),
         };

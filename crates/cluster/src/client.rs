@@ -1,16 +1,25 @@
 //! The client API — the stand-in for the Grafana front-end (§VI-A).
 //!
 //! Every user interaction (pan, zoom, dice, …) becomes one
-//! [`ClusterClient::query`] call: the query is sent to a coordinator node
-//! over the fabric, and the JSON-serializable [`QueryResult`] that comes
-//! back is what the WorldMap panel would render. Clients are cheap to
-//! clone; the throughput experiments run hundreds of them concurrently.
+//! [`ClusterClient::query`] call, a small builder:
+//!
+//! ```text
+//! client.query(&q).run()                  // round-robin coordinators, retries
+//! client.query(&q).at(3).run()            // pinned coordinator, one attempt
+//! client.query(&q).traced().run()         // result + per-stage QueryTrace
+//! client.query(&q).at(3).traced().run()   // both
+//! ```
+//!
+//! The query is sent to a coordinator node over the fabric, and the
+//! JSON-serializable [`QueryResult`] that comes back is what the WorldMap
+//! panel would render. Clients are cheap to clone; the throughput
+//! experiments run hundreds of them concurrently.
 
 use crate::protocol::{ClusterError, Msg};
 use stash_model::{AggQuery, QueryResult};
 use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
-use stash_obs::QueryTrace;
+use stash_obs::{MetricsRegistry, QueryTrace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -74,19 +83,62 @@ impl ClusterClient {
         }
     }
 
-    /// Issue one aggregation query; blocks until the summary arrives.
-    /// Coordinators rotate round-robin, mimicking a front-end load
-    /// balancer that skips coordinators known to be down; transient
-    /// failures (timeout, crash mid-coordination) are retried on the next
-    /// live coordinator, up to `client_retries` extra attempts.
-    pub fn query(&self, query: &AggQuery) -> Result<QueryResult, ClientError> {
-        self.query_traced(query).map(|(result, _)| result)
+    /// Start one aggregation query. Returns a [`QueryCall`] builder:
+    /// modify with [`QueryCall::at`] (pin the coordinator) and/or
+    /// [`QueryCall::traced`] (get the per-stage trace back), then
+    /// [`QueryCall::run`] to block until the summary arrives.
+    ///
+    /// Without `.at(..)`, coordinators rotate round-robin, mimicking a
+    /// front-end load balancer that skips coordinators known to be down;
+    /// transient failures (timeout, crash mid-coordination) are retried on
+    /// the next live coordinator, up to `client_retries` extra attempts.
+    /// With `.at(..)`, exactly one attempt goes to that coordinator —
+    /// experiments that need deterministic placement get deterministic
+    /// failures too.
+    pub fn query<'a>(&'a self, query: &'a AggQuery) -> QueryCall<'a> {
+        QueryCall {
+            client: self,
+            query,
+            coordinator: None,
+        }
     }
 
-    /// Like [`ClusterClient::query`], also returning the coordinator's
-    /// [`QueryTrace`] — the per-stage breakdown of where the answer's
-    /// latency went (the trace of the attempt that succeeded).
+    /// Deprecated spelling of [`ClusterClient::query`]`(q).traced().run()`.
+    #[deprecated(note = "use client.query(&q).traced().run()")]
     pub fn query_traced(&self, query: &AggQuery) -> Result<(QueryResult, QueryTrace), ClientError> {
+        self.query(query).traced().run()
+    }
+
+    /// Deprecated spelling of [`ClusterClient::query`]`(q).at(c).run()`.
+    #[deprecated(note = "use client.query(&q).at(coordinator).run()")]
+    pub fn query_at(
+        &self,
+        query: &AggQuery,
+        coordinator: usize,
+    ) -> Result<QueryResult, ClientError> {
+        self.query(query).at(coordinator).run()
+    }
+
+    /// Deprecated spelling of [`ClusterClient::query`]`(q).at(c).traced().run()`.
+    #[deprecated(note = "use client.query(&q).at(coordinator).traced().run()")]
+    pub fn query_at_traced(
+        &self,
+        query: &AggQuery,
+        coordinator: usize,
+    ) -> Result<(QueryResult, QueryTrace), ClientError> {
+        self.query(query).at(coordinator).traced().run()
+    }
+
+    /// Number of storage nodes queries can coordinate on.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Round-robin dispatch with retries (no pinned coordinator).
+    fn dispatch_rotating(
+        &self,
+        query: &AggQuery,
+    ) -> Result<(QueryResult, QueryTrace), ClientError> {
         let mut last = ClientError::Disconnected;
         for _ in 0..=self.retries {
             // Pick the next coordinator the fabric still talks to.
@@ -101,7 +153,7 @@ impl ClusterClient {
             let Some(coord) = coord else {
                 return Err(ClientError::Disconnected); // every node is down
             };
-            match self.query_at_traced(query, coord) {
+            match self.dispatch_at(query, coord) {
                 Ok(traced) => return Ok(traced),
                 Err(ClientError::Remote(e)) if !e.is_transient() => {
                     return Err(ClientError::Remote(e)); // deterministic: retry is futile
@@ -112,19 +164,8 @@ impl ClusterClient {
         Err(last)
     }
 
-    /// Issue a query through a specific coordinator node (experiments that
-    /// need deterministic placement).
-    pub fn query_at(
-        &self,
-        query: &AggQuery,
-        coordinator: usize,
-    ) -> Result<QueryResult, ClientError> {
-        self.query_at_traced(query, coordinator)
-            .map(|(result, _)| result)
-    }
-
-    /// Like [`ClusterClient::query_at`], also returning the coordinator's trace.
-    pub fn query_at_traced(
+    /// One attempt through a fixed coordinator.
+    fn dispatch_at(
         &self,
         query: &AggQuery,
         coordinator: usize,
@@ -151,18 +192,71 @@ impl ClusterClient {
             Err(RpcError::Canceled) => Err(ClientError::Disconnected),
         }
     }
+}
 
-    /// Number of storage nodes queries can coordinate on.
-    pub fn n_nodes(&self) -> usize {
-        self.n_nodes
+/// One prepared query (see [`ClusterClient::query`]). Nothing is sent until
+/// [`QueryCall::run`].
+#[must_use = "a QueryCall does nothing until .run()"]
+pub struct QueryCall<'a> {
+    client: &'a ClusterClient,
+    query: &'a AggQuery,
+    coordinator: Option<usize>,
+}
+
+impl<'a> QueryCall<'a> {
+    /// Pin the coordinator node: exactly one attempt, no rotation, no
+    /// client-level retries.
+    pub fn at(mut self, coordinator: usize) -> Self {
+        self.coordinator = Some(coordinator);
+        self
+    }
+
+    /// Also return the coordinator's [`QueryTrace`] — the per-stage
+    /// breakdown of where the answer's latency went (the trace of the
+    /// attempt that succeeded).
+    pub fn traced(self) -> TracedQueryCall<'a> {
+        TracedQueryCall { call: self }
+    }
+
+    /// Send the query; block until the summary arrives (or fails).
+    pub fn run(self) -> Result<QueryResult, ClientError> {
+        self.dispatch().map(|(result, _)| result)
+    }
+
+    fn dispatch(self) -> Result<(QueryResult, QueryTrace), ClientError> {
+        match self.coordinator {
+            Some(c) => self.client.dispatch_at(self.query, c),
+            None => self.client.dispatch_rotating(self.query),
+        }
     }
 }
 
-/// Gateway pump: drains the client endpoint and completes waiting queries.
-/// Runs on its own thread until shutdown.
+/// A [`QueryCall`] that returns the trace alongside the result.
+#[must_use = "a TracedQueryCall does nothing until .run()"]
+pub struct TracedQueryCall<'a> {
+    call: QueryCall<'a>,
+}
+
+impl TracedQueryCall<'_> {
+    /// Pin the coordinator node (see [`QueryCall::at`]).
+    pub fn at(mut self, coordinator: usize) -> Self {
+        self.call.coordinator = Some(coordinator);
+        self
+    }
+
+    /// Send the query; block until result and trace arrive (or fail).
+    pub fn run(self) -> Result<(QueryResult, QueryTrace), ClientError> {
+        self.call.dispatch()
+    }
+}
+
+/// Gateway pump: drains the client endpoint and completes waiting queries
+/// and ingest acks. Runs on its own thread until shutdown.
 pub(crate) fn run_gateway(
     inbox: crossbeam::channel::Receiver<Envelope<Msg>>,
     rpc: Arc<RpcTable<ClientReply>>,
+    ingest_rpc: Arc<RpcTable<bool>>,
+    obs: Arc<MetricsRegistry>,
 ) {
     while let Ok(env) = inbox.recv() {
         let wire_ns = env.wire.as_nanos() as u64;
@@ -193,9 +287,18 @@ pub(crate) fn run_gateway(
                 };
                 rpc.complete(id, (result, trace));
             }
+            // Ingest producers ([`crate::ingest::IngestClient`]) wait on
+            // their own RPC table; a positive ack means batch applied and
+            // every peer's caches invalidated.
+            Msg::AppendAck { rpc: id, applied } => {
+                ingest_rpc.complete(id, applied);
+            }
             Msg::Shutdown => return,
-            other => {
-                debug_assert!(false, "gateway received unexpected message {other:?}");
+            // A message the gateway has no business receiving (fabric
+            // duplication faults can produce these after an RPC slot is
+            // gone). Counted, not asserted: chaos runs must survive it.
+            _ => {
+                obs.inc("gateway.unexpected_msg");
             }
         }
     }

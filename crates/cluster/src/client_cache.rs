@@ -12,8 +12,8 @@
 //!    pan trajectory: after each interaction it warms the viewport the
 //!    user is most likely to request next, in the background.
 
-use crate::client::{ClientReply, ClusterClient};
-use crate::protocol::Msg;
+use crate::client::{ClientError, ClientReply, ClusterClient};
+use crate::protocol::{ClusterError, Msg};
 use stash_core::{LogicalClock, StashConfig, StashGraph};
 use stash_dfs::Partitioner;
 use stash_model::{AggQuery, Cell, CellKey, QueryResult};
@@ -95,9 +95,11 @@ impl CachingClient {
 
     /// Evaluate a query front-end-first: local hits and derivations cost no
     /// network at all; only missing Cells become back-end subqueries.
-    pub fn query(&self, query: &AggQuery) -> Result<QueryResult, String> {
+    pub fn query(&self, query: &AggQuery) -> Result<QueryResult, ClientError> {
         self.clock.advance();
-        let keys = query.target_keys(200_000).map_err(|e| e.to_string())?;
+        let keys = query
+            .target_keys(200_000)
+            .map_err(|e| ClientError::Remote(ClusterError::BadQuery(e.to_string())))?;
         if keys.is_empty() {
             return Ok(QueryResult::default());
         }
@@ -138,7 +140,7 @@ impl CachingClient {
 
     /// Ship missing keys straight to their owner nodes (the client knows
     /// the zero-hop partitioner) and merge the answers.
-    fn fetch_remote(&self, missing: &[CellKey]) -> Result<Vec<Cell>, String> {
+    fn fetch_remote(&self, missing: &[CellKey]) -> Result<Vec<Cell>, ClientError> {
         let mut by_owner: BTreeMap<usize, Vec<CellKey>> = BTreeMap::new();
         for &k in missing {
             by_owner
@@ -159,7 +161,7 @@ impl CachingClient {
             let bytes = msg.wire_size();
             if !self.router.send(self.gateway, NodeId(owner), msg, bytes) {
                 self.sub_rpc.cancel(rpc);
-                return Err("cluster disconnected".into());
+                return Err(ClientError::Disconnected);
             }
             waits.push((rpc, rx));
         }
@@ -173,8 +175,9 @@ impl CachingClient {
                         cells.push(c);
                     }
                 }
-                Ok((Err(e), _trace)) => return Err(e.to_string()),
-                Err(e) => return Err(format!("front-end subquery failed: {e}")),
+                Ok((Err(e), _trace)) => return Err(ClientError::Remote(e)),
+                Err(stash_net::rpc::RpcError::Timeout) => return Err(ClientError::Timeout),
+                Err(stash_net::rpc::RpcError::Canceled) => return Err(ClientError::Disconnected),
             }
         }
         // Empty regions come back as no cell; cache their emptiness too so

@@ -1,18 +1,20 @@
 //! Cluster assembly: configuration, node spawning, stats, teardown.
 
 use crate::client::{run_gateway, ClientReply, ClusterClient};
+use crate::ingest::IngestClient;
 use crate::node::{NodeCtx, WorkTiers};
 use crate::protocol::Msg;
-use crate::source::GenBlockSource;
+use crate::source::{GenBlockSource, LiveSource};
 use crossbeam::channel::unbounded;
 use stash_core::LogicalClock;
 use stash_core::StashConfig;
-use stash_data::{GeneratorConfig, NamGenerator};
-use stash_dfs::{DiskModel, NodeStore, Partitioner};
+use stash_data::{GeneratorConfig, NamGenerator, StreamConfig, StreamSource};
+use stash_dfs::{BlockSource, DiskModel, NodeStore, Partitioner};
 use stash_geo::time::epoch_seconds;
-use stash_geo::{BBox, TimeRange};
+use stash_geo::{BBox, Geohash, TimeBin, TimeRange};
 use stash_model::CellKey;
 use stash_net::{NetConfig, NodeId, Router, RpcTable};
+use stash_obs::MetricsRegistry;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,6 +82,17 @@ pub struct ClusterConfig {
     /// Client-side retries of a whole query (each lands on the next live
     /// coordinator in the round-robin rotation).
     pub client_retries: u32,
+    /// Blocks that boot truncated and grow through live ingestion
+    /// (DESIGN.md §13). Empty (the default) means a fully sealed dataset —
+    /// exactly the pre-ingest behavior.
+    pub live_blocks: Vec<(Geohash, TimeBin)>,
+    /// Fraction of each live block's rows present at boot; the rest arrive
+    /// as streamed append batches.
+    pub live_base_fraction: f64,
+    /// Delta-patch resident Cells on the applying node (the STASH path).
+    /// `false` is the ablation: every affected Cell is invalidated instead,
+    /// forcing recomputation from DFS on next touch.
+    pub ingest_patch: bool,
 }
 
 impl Default for ClusterConfig {
@@ -117,6 +130,9 @@ impl Default for ClusterConfig {
             sub_rpc_retries: 2,
             retry_backoff: Duration::from_millis(10),
             client_retries: 2,
+            live_blocks: Vec::new(),
+            live_base_fraction: 0.5,
+            ingest_patch: true,
         }
     }
 }
@@ -163,9 +179,13 @@ pub struct SimCluster {
     router: Router<Msg>,
     nodes: Vec<Arc<NodeCtx>>,
     client_rpc: Arc<RpcTable<ClientReply>>,
+    ingest_rpc: Arc<RpcTable<bool>>,
+    gateway_obs: Arc<MetricsRegistry>,
     gateway: NodeId,
     partitioner: Partitioner,
-    source: Arc<GenBlockSource>,
+    source: Arc<dyn BlockSource>,
+    /// Same object as `source` when `live_blocks` is non-empty.
+    live: Option<Arc<LiveSource>>,
     threads: Vec<std::thread::JoinHandle<()>>,
     shut: AtomicBool,
 }
@@ -178,7 +198,7 @@ fn spawn_node(
     config: &Arc<ClusterConfig>,
     router: &Router<Msg>,
     partitioner: &Partitioner,
-    source: &Arc<GenBlockSource>,
+    source: &Arc<dyn BlockSource>,
     ep: stash_net::Endpoint<Msg>,
     threads: &mut Vec<std::thread::JoinHandle<()>>,
 ) -> Arc<NodeCtx> {
@@ -254,9 +274,22 @@ impl SimCluster {
         let gateway_ep = endpoints.pop().expect("gateway endpoint");
         let gateway = gateway_ep.id;
         let partitioner = Partitioner::new(config.n_nodes, config.partition_prefix_len);
-        let source = Arc::new(GenBlockSource::new(NamGenerator::new(
-            config.generator.clone(),
-        )));
+        // Sealed dataset by default; with live blocks configured, the same
+        // shared storage serves truncated blocks that grow via appends.
+        let (live, source): (Option<Arc<LiveSource>>, Arc<dyn BlockSource>) =
+            if config.live_blocks.is_empty() {
+                let s = Arc::new(GenBlockSource::new(NamGenerator::new(
+                    config.generator.clone(),
+                )));
+                (None, s)
+            } else {
+                let l = Arc::new(LiveSource::new(
+                    NamGenerator::new(config.generator.clone()),
+                    config.live_blocks.iter().copied(),
+                    config.live_base_fraction,
+                ));
+                (Some(Arc::clone(&l)), l)
+            };
 
         let mut nodes = Vec::with_capacity(config.n_nodes);
         let mut threads = Vec::new();
@@ -273,11 +306,15 @@ impl SimCluster {
 
         // Gateway pump.
         let client_rpc = Arc::new(RpcTable::default());
+        let ingest_rpc: Arc<RpcTable<bool>> = Arc::new(RpcTable::default());
+        let gateway_obs = Arc::new(MetricsRegistry::new());
         let pump_rpc = Arc::clone(&client_rpc);
+        let pump_ingest = Arc::clone(&ingest_rpc);
+        let pump_obs = Arc::clone(&gateway_obs);
         threads.push(
             std::thread::Builder::new()
                 .name("stash-gateway".into())
-                .spawn(move || run_gateway(gateway_ep.inbox, pump_rpc))
+                .spawn(move || run_gateway(gateway_ep.inbox, pump_rpc, pump_ingest, pump_obs))
                 .expect("spawn gateway"),
         );
 
@@ -286,9 +323,12 @@ impl SimCluster {
             router,
             nodes,
             client_rpc,
+            ingest_rpc,
+            gateway_obs,
             gateway,
             partitioner,
             source,
+            live,
             threads,
             shut: AtomicBool::new(false),
         }
@@ -364,6 +404,49 @@ impl SimCluster {
             self.config.client_timeout,
             self.config.n_attrs,
         )
+    }
+
+    /// A producer-side ingest handle: the [`stash_ingest::AppendSink`] that
+    /// `stash_ingest::run_stream` pumps batches into (DESIGN.md §13).
+    pub fn ingest_client(&self) -> IngestClient {
+        IngestClient::new(
+            self.router.clone(),
+            self.gateway,
+            Arc::clone(&self.ingest_rpc),
+            self.partitioner.clone(),
+            self.config.sub_rpc_timeout,
+            self.config.client_retries,
+            self.config.retry_backoff,
+        )
+    }
+
+    /// The live (appendable) storage, if `live_blocks` was configured.
+    pub fn live_source(&self) -> Option<&Arc<LiveSource>> {
+        self.live.as_ref()
+    }
+
+    /// The stream of append batches completing this cluster's live blocks:
+    /// exactly the rows [`LiveSource`] withheld at boot, in the order and
+    /// batching a real feed would deliver them. Panics when the cluster was
+    /// not configured with `live_blocks`.
+    pub fn live_stream(&self, batch_rows: usize) -> StreamSource {
+        assert!(
+            !self.config.live_blocks.is_empty(),
+            "live_stream requires a cluster configured with live_blocks"
+        );
+        StreamSource::new(
+            NamGenerator::new(self.config.generator.clone()),
+            self.config.live_blocks.clone(),
+            StreamConfig {
+                base_fraction: self.config.live_base_fraction,
+                batch_rows,
+            },
+        )
+    }
+
+    /// Gateway-side metrics (unexpected-message counter, …).
+    pub fn gateway_obs(&self) -> &Arc<MetricsRegistry> {
+        &self.gateway_obs
     }
 
     /// Direct node access for experiments and tests.
@@ -508,6 +591,7 @@ mod tests {
                 seed: 3,
                 obs_per_deg2_per_day: 30.0,
                 max_obs_per_block: 10_000,
+                value_quantum: 0.0,
             },
             ..Default::default()
         }
@@ -528,12 +612,12 @@ mod tests {
         let client = cluster.client();
         let q = county_query();
 
-        let cold = client.query(&q).expect("cold query");
+        let cold = client.query(&q).run().expect("cold query");
         assert!(cold.total_count() > 0, "county query must see observations");
         assert_eq!(cold.cache_hits, 0);
         assert!(cold.misses > 0);
 
-        let warm = client.query(&q).expect("warm query");
+        let warm = client.query(&q).run().expect("warm query");
         assert_eq!(warm.misses, 0, "second identical query must be all hits");
         assert_eq!(warm.cache_hits, cold.misses);
         // Same data both times.
@@ -548,8 +632,8 @@ mod tests {
         let cluster = SimCluster::new(small_config(Mode::Basic));
         let client = cluster.client();
         let q = county_query();
-        let a = client.query(&q).expect("first");
-        let b = client.query(&q).expect("second");
+        let a = client.query(&q).run().expect("first");
+        let b = client.query(&q).run().expect("second");
         assert_eq!(a.total_count(), b.total_count());
         assert_eq!(b.cache_hits, 0);
         assert_eq!(cluster.total_cached_cells(), 0);
@@ -564,8 +648,8 @@ mod tests {
         let basic = SimCluster::new(small_config(Mode::Basic));
         let stash = SimCluster::new(small_config(Mode::Stash));
         let q = county_query();
-        let rb = basic.client().query(&q).expect("basic");
-        let rs = stash.client().query(&q).expect("stash");
+        let rb = basic.client().query(&q).run().expect("basic");
+        let rs = stash.client().query(&q).run().expect("stash");
         assert_eq!(rb.total_count(), rs.total_count());
         assert_eq!(rb.cells.len(), rs.cells.len());
         for (cb, cs) in rb.cells.iter().zip(&rs.cells) {
@@ -583,7 +667,7 @@ mod tests {
         let keys = q.target_keys(100_000).unwrap();
         cluster.warm_keys(&keys).unwrap();
         assert!(cluster.total_cached_cells() >= keys.len());
-        let r = cluster.client().query(&q).unwrap();
+        let r = cluster.client().query(&q).run().unwrap();
         assert_eq!(r.misses, 0, "prewarmed query must not miss");
         cluster.shutdown();
     }
@@ -593,11 +677,11 @@ mod tests {
         let cluster = SimCluster::new(small_config(Mode::Stash));
         let client = cluster.client();
         let q = county_query();
-        client.query(&q).unwrap();
+        client.query(&q).run().unwrap();
         assert!(cluster.total_cached_cells() > 0);
         cluster.clear_cache();
         assert_eq!(cluster.total_cached_cells(), 0);
-        let again = client.query(&q).unwrap();
+        let again = client.query(&q).run().unwrap();
         assert!(again.misses > 0, "cleared cache must miss again");
         cluster.shutdown();
     }
@@ -607,11 +691,11 @@ mod tests {
         let cluster = SimCluster::new(small_config(Mode::Stash));
         let client = cluster.client();
         let q = county_query();
-        client.query(&q).unwrap();
+        client.query(&q).run().unwrap();
         cluster.invalidate_region(q.bbox, q.time);
         // Invalidations travel over the fabric; give them a beat.
         std::thread::sleep(Duration::from_millis(100));
-        let r = client.query(&q).unwrap();
+        let r = client.query(&q).run().unwrap();
         assert!(r.misses > 0, "stale cells must be recomputed");
         cluster.shutdown();
     }
@@ -620,12 +704,12 @@ mod tests {
     fn concurrent_clients_get_consistent_answers() {
         let cluster = SimCluster::new(small_config(Mode::Stash));
         let q = county_query();
-        let expected = cluster.client().query(&q).unwrap().total_count();
+        let expected = cluster.client().query(&q).run().unwrap().total_count();
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let client = cluster.client();
                 let q = q.clone();
-                std::thread::spawn(move || client.query(&q).unwrap().total_count())
+                std::thread::spawn(move || client.query(&q).run().unwrap().total_count())
             })
             .collect();
         for h in handles {
@@ -646,11 +730,11 @@ mod tests {
             1,
             TemporalRes::Day,
         );
-        let r = client.query(&q).expect("coarse query");
+        let r = client.query(&q).run().expect("coarse query");
         assert!(r.total_count() > 0);
         // Compare against Basic mode.
         let basic = SimCluster::new(small_config(Mode::Basic));
-        let rb = basic.client().query(&q).expect("basic coarse");
+        let rb = basic.client().query(&q).run().expect("basic coarse");
         assert_eq!(r.total_count(), rb.total_count());
         cluster.shutdown();
         basic.shutdown();
@@ -662,7 +746,7 @@ mod tests {
         let client = cluster.client();
         let q = county_query();
         let t0 = std::time::Instant::now();
-        let (result, trace) = client.query_traced(&q).expect("traced query");
+        let (result, trace) = client.query(&q).traced().run().expect("traced query");
         let client_wall = t0.elapsed().as_nanos() as u64;
         assert!(result.total_count() > 0);
         assert!(trace.wall_ns > 0, "coordinator must time itself");
@@ -685,7 +769,7 @@ mod tests {
         assert_eq!(coordinated, 1);
         // A warm repeat serves from cache: PLM/lookup time recorded, and
         // the cache stats that feed `figures --profile` moved.
-        let (_, warm) = client.query_traced(&q).expect("warm traced query");
+        let (_, warm) = client.query(&q).traced().run().expect("warm traced query");
         assert!(warm.agg.plm_ns > 0, "warm query must charge plm lookups");
         cluster.shutdown();
     }

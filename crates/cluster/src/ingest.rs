@@ -1,0 +1,105 @@
+//! Cluster-side ingest sink: ships append batches from the gateway to
+//! block owners, with retries and replica-chain failover.
+//!
+//! This is the [`AppendSink`] a [`crate::SimCluster`] hands to the
+//! `stash-ingest` pump. One `append` call blocks until some live node has
+//! (a) durably applied the batch to the shared storage and (b) received
+//! invalidation acks from every live peer — the positive [`Msg::AppendAck`]
+//! is only sent after both. Because storage is replicated (one shared
+//! source behind every node) and appends are seq-idempotent, failing over
+//! to *any* node is safe: a retried batch that already landed is a
+//! `Duplicate`, which re-broadcasts invalidations and acks positively.
+
+use crate::protocol::Msg;
+use stash_dfs::{BlockKey, Partitioner};
+use stash_ingest::{AppendSink, IngestError};
+use stash_model::Observation;
+use stash_net::rpc::RpcError;
+use stash_net::{NodeId, Router, RpcTable};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Producer-side handle for streaming batches into a running cluster.
+pub struct IngestClient {
+    router: Router<Msg>,
+    gateway: NodeId,
+    rpc: Arc<RpcTable<bool>>,
+    partitioner: Partitioner,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+}
+
+impl IngestClient {
+    pub(crate) fn new(
+        router: Router<Msg>,
+        gateway: NodeId,
+        rpc: Arc<RpcTable<bool>>,
+        partitioner: Partitioner,
+        timeout: Duration,
+        retries: u32,
+        backoff: Duration,
+    ) -> Self {
+        IngestClient {
+            router,
+            gateway,
+            rpc,
+            partitioner,
+            timeout,
+            retries,
+            backoff,
+        }
+    }
+}
+
+impl AppendSink for IngestClient {
+    fn owner_of(&self, block: BlockKey) -> usize {
+        self.partitioner.owner(block.geohash)
+    }
+
+    /// Send the batch to the block's owner; on repeated timeouts or a
+    /// refused send (owner crashed) walk the replica chain — any node can
+    /// apply against the shared storage. Negative acks (rejected batch,
+    /// incomplete invalidation round) are retried in place: they are
+    /// usually transient fault-plan weather, and `Duplicate` idempotency
+    /// makes re-sends harmless.
+    fn append(&self, block: BlockKey, seq: u64, rows: &[Observation]) -> Result<(), IngestError> {
+        let n_nodes = self.partitioner.n_nodes();
+        let mut exclude: Vec<usize> = Vec::new();
+        loop {
+            let target = self.partitioner.owner_excluding(block.geohash, &exclude);
+            for attempt in 0..=self.retries {
+                if attempt > 0 {
+                    std::thread::sleep(self.backoff.saturating_mul(1 << (attempt - 1).min(4)));
+                }
+                let (rpc, rx) = self.rpc.register();
+                let msg = Msg::AppendBatch {
+                    rpc,
+                    reply_to: self.gateway,
+                    block,
+                    seq,
+                    rows: rows.to_vec(),
+                };
+                let bytes = msg.wire_size();
+                if !self.router.send(self.gateway, NodeId(target), msg, bytes) {
+                    self.rpc.cancel(rpc);
+                    break; // target crashed: fail over now
+                }
+                match self.rpc.wait(rpc, &rx, self.timeout) {
+                    Ok(true) => return Ok(()),
+                    Ok(false) | Err(RpcError::Timeout) => {} // retry / fail over
+                    Err(RpcError::Canceled) => {
+                        return Err(IngestError("cluster disconnected".into()))
+                    }
+                }
+            }
+            exclude.push(target);
+            if exclude.len() >= n_nodes {
+                return Err(IngestError(format!(
+                    "no node accepted batch {seq} of block {}/{}",
+                    block.geohash, block.day
+                )));
+            }
+        }
+    }
+}

@@ -24,12 +24,20 @@
 pub mod client;
 pub mod client_cache;
 pub mod cluster;
+pub mod ingest;
 pub mod node;
 pub mod protocol;
 pub mod source;
 
-pub use client::{ClientError, ClusterClient};
+pub use client::{ClientError, ClusterClient, QueryCall, TracedQueryCall};
 pub use client_cache::{CachingClient, Prefetcher};
 pub use cluster::{ClusterConfig, Mode, NodeStatsSnapshot, SimCluster};
+pub use ingest::IngestClient;
 pub use protocol::ClusterError;
-pub use source::GenBlockSource;
+pub use source::{GenBlockSource, LiveSource};
+
+// Re-export the producer-side ingest machinery so cluster users drive a
+// live stream without naming the `stash-ingest` crate themselves.
+pub use stash_ingest::{
+    run_stream, AppendSink, IngestConfig, IngestError, IngestStats, OverloadPolicy,
+};

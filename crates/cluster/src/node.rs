@@ -25,12 +25,14 @@ use parking_lot::Mutex;
 use stash_core::{
     evaluate_traced, CliqueFinder, GuestBook, LogicalClock, RouteDecision, RoutingTable, StashGraph,
 };
-use stash_dfs::{plan_blocks, NodeStore};
-use stash_model::{Cell, CellKey, CellSummary, Level, QueryResult};
+use stash_dfs::{frame_spatial_res, plan_blocks, AppendOutcome, BlockFrame, BlockKey, NodeStore};
+use stash_geo::TemporalRes;
+use stash_model::level::MAX_SPATIAL_RES;
+use stash_model::{Cell, CellKey, CellSummary, Level, Observation, QueryResult};
 use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
 use stash_obs::{MetricsRegistry, QueryTrace, StageTimes};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -86,6 +88,16 @@ pub struct NodeCtx {
     hot_level: AtomicU8,
     handoff_inflight: AtomicBool,
     cooldown_until: AtomicU64,
+    /// Ingest fence (DESIGN.md §13). Bumped once *before* a storage append
+    /// and once *after* its patch/invalidate pass (so an odd value means an
+    /// apply is in flight), and by two per processed [`Msg::Invalidate`].
+    /// The evaluator reads it around `evaluate`: if it moved — or was odd
+    /// at the start — cells cached by that evaluation may predate the
+    /// newest rows and the requested keys are conservatively re-staled.
+    pub ingest_epoch: AtomicU64,
+    /// Serializes this node's append applies; the epoch's parity trick
+    /// above needs non-overlapping apply windows.
+    ingest_apply: Mutex<()>,
     /// Deterministic per-node RNG stream for reroute coin flips.
     rng_state: AtomicU64,
     /// Tiered work queues. Coordination (tier 0) may block on subquery
@@ -141,6 +153,8 @@ impl NodeCtx {
             ),
             handoff_inflight: AtomicBool::new(false),
             cooldown_until: AtomicU64::new(0),
+            ingest_epoch: AtomicU64::new(0),
+            ingest_apply: Mutex::new(()),
             rng_state: AtomicU64::new((0x9E37_79B9u64 ^ ((node_idx as u64) << 17)) | 1),
             config,
             router,
@@ -256,6 +270,31 @@ impl NodeCtx {
             }
             Msg::ReplicationResponse { rpc, ok } => {
                 self.rpc.complete(rpc, RpcReply::Ack(ok));
+            }
+            Msg::AppendAck { rpc, applied } => {
+                self.rpc.complete(rpc, RpcReply::Ack(applied));
+            }
+            Msg::InvalidateAck { rpc } => {
+                self.rpc.complete(rpc, RpcReply::Ack(true));
+            }
+            // Ingest invalidation: answered inline on the main thread, so
+            // an applier's ack-wait doubles as a processing barrier — once
+            // every peer acked, no cache anywhere still serves the
+            // pre-append summary as fresh (DESIGN.md §13). Epoch first:
+            // an evaluation that caches a cell between our stale-marks and
+            // its own final fence check must still see the bump.
+            Msg::Invalidate {
+                rpc,
+                reply_to,
+                keys,
+            } => {
+                self.ingest_epoch.fetch_add(2, Ordering::SeqCst);
+                let marked = self.graph.mark_stale_keys(&keys) + self.guest.mark_stale_keys(&keys);
+                self.obs.inc("ingest.invalidate.recv");
+                self.obs
+                    .counter("ingest.cells_invalidated")
+                    .add(marked as u64);
+                let _ = self.send(reply_to, Msg::InvalidateAck { rpc });
             }
             // Control plane: answer inline (§VII-B3). A hotspotted or full
             // helper declines.
@@ -441,6 +480,15 @@ impl NodeCtx {
             Msg::InvalidateRegion { bbox, time } => {
                 self.graph.invalidate_region(&bbox, &time);
                 self.guest.invalidate_region(&bbox, &time);
+            }
+            Msg::AppendBatch {
+                rpc,
+                reply_to,
+                block,
+                seq,
+                rows,
+            } => {
+                self.apply_append(rpc, reply_to, block, seq, rows);
             }
             // Responses never reach workers (completed on the main thread).
             other => unreachable!("worker received non-work message {other:?}"),
@@ -934,6 +982,7 @@ impl NodeCtx {
             fetch_acc.lock().add(&acc);
             cells
         };
+        let epoch0 = self.ingest_epoch.load(Ordering::SeqCst);
         let result = match evaluate_traced(graph, keys, &fetch) {
             Ok((part, times)) => {
                 st.add(&times);
@@ -942,6 +991,18 @@ impl NodeCtx {
             Err(stash_core::EvalError::Query(q)) => Err(ClusterError::BadQuery(q.to_string())),
             Err(stash_core::EvalError::Fetch(msg)) => Err(ClusterError::Storage(msg)),
         };
+        // Ingest fence: if an append apply or invalidation overlapped this
+        // evaluation (epoch moved, or an apply was mid-flight when we
+        // started), any cells the evaluation cached may predate the newest
+        // rows — or have been delta-patched *after* we fetched them from
+        // storage, double-counting the batch in the cached copy. The
+        // *returned* result is untouched (it was correct when read);
+        // conservatively re-staling the requested keys makes the next
+        // access recompute instead of trusting a racy cache fill.
+        if self.ingest_epoch.load(Ordering::SeqCst) != epoch0 || epoch0 & 1 == 1 {
+            graph.mark_stale_keys(keys);
+            self.obs.inc("ingest.eval_raced");
+        }
         let acc = *gather_acc.lock();
         st.dfs_ns = st.dfs_ns.saturating_sub(acc.wire_ns + acc.retry_ns);
         st.wire_ns += acc.wire_ns;
@@ -954,6 +1015,147 @@ impl NodeCtx {
             st.merge_ns += serve.as_nanos() as u64;
         }
         (result, st)
+    }
+
+    // -- Live ingest (DESIGN.md §13) ---------------------------------------------
+
+    /// Apply one ingest batch: append to storage, then either delta-patch
+    /// this node's resident Cells (merging the batch's per-Cell partials
+    /// into cached summaries, PLM untouched) or mark them stale, and
+    /// finally broadcast the affected keys to every live peer. The ack is
+    /// positive only when storage accepted the batch *and* every reachable
+    /// peer confirmed invalidation — so a producer that has drained its
+    /// acks knows no cache in the cluster still serves pre-batch data.
+    ///
+    /// Retried batches ([`AppendOutcome::Duplicate`]) skip the patch (the
+    /// delta was already merged once) but re-broadcast invalidations: the
+    /// usual reason for a retry is a lost ack or an incomplete broadcast.
+    fn apply_append(
+        self: &Arc<Self>,
+        rpc: u64,
+        reply_to: NodeId,
+        block: BlockKey,
+        seq: u64,
+        rows: Vec<Observation>,
+    ) {
+        let affected = affected_keys(&rows);
+        let apply = self.ingest_apply.lock();
+        // Open the parity window (see `ingest_epoch`) before storage
+        // changes; close it only after the local patch/stale pass.
+        self.ingest_epoch.fetch_add(1, Ordering::SeqCst);
+        let outcome = self.store.append_block(block, seq, &rows);
+        if let AppendOutcome::Applied { .. } = outcome {
+            self.obs.counter("ingest.rows").add(rows.len() as u64);
+            self.obs.inc("ingest.batches");
+            if self.config.ingest_patch {
+                // Deltas for every affected level in one kernel pass over
+                // just the batch rows (stage-2/3 of the columnar kernel).
+                let res = frame_spatial_res(self.store.block_len(), &affected);
+                let frame = BlockFrame::decode(block, &rows, self.config.n_attrs, res);
+                let mut patched = 0u64;
+                let mut unpatched = Vec::new();
+                for (key, delta) in frame.aggregate(&affected).cells {
+                    if self.graph.patch(&key, &delta) {
+                        patched += 1;
+                    } else {
+                        unpatched.push(key);
+                    }
+                }
+                // Cells we could not patch (absent or already stale) plus
+                // all guest replicas go stale; fresh guest copies are not
+                // patched because their home node patches independently
+                // and the guestbook's freshness bookkeeping is the home's.
+                let invalidated =
+                    self.graph.mark_stale_keys(&unpatched) + self.guest.mark_stale_keys(&affected);
+                self.obs.counter("ingest.cells_patched").add(patched);
+                self.obs
+                    .counter("ingest.cells_invalidated")
+                    .add(invalidated as u64);
+            } else {
+                // Ablation: invalidate everything the batch touched.
+                let invalidated =
+                    self.graph.mark_stale_keys(&affected) + self.guest.mark_stale_keys(&affected);
+                self.obs
+                    .counter("ingest.cells_invalidated")
+                    .add(invalidated as u64);
+            }
+        }
+        self.ingest_epoch.fetch_add(1, Ordering::SeqCst);
+        drop(apply);
+        let applied = match outcome {
+            AppendOutcome::Applied { .. } | AppendOutcome::Duplicate => {
+                self.broadcast_invalidate(&affected)
+            }
+            AppendOutcome::OutOfOrder | AppendOutcome::Unsupported => {
+                self.obs.inc("ingest.rejected");
+                false
+            }
+        };
+        let _ = self.send(reply_to, Msg::AppendAck { rpc, applied });
+    }
+
+    /// Tell every live peer to stale its cached copies of `keys` and wait
+    /// for all acks (peers answer inline on their main threads, so this
+    /// service-tier block cannot deadlock). Crashed peers — the fabric
+    /// refuses the send — are skipped: their graphs died with them, and a
+    /// restarted node boots empty. Returns whether every reachable peer
+    /// confirmed.
+    fn broadcast_invalidate(&self, keys: &[CellKey]) -> bool {
+        let n_nodes = self.store.partitioner().n_nodes();
+        let mut waits = Vec::new();
+        for peer in (0..n_nodes).filter(|&p| p != self.node_idx) {
+            let (rpc, rx) = self.rpc.register();
+            let msg = Msg::Invalidate {
+                rpc,
+                reply_to: self.id,
+                keys: keys.to_vec(),
+            };
+            if self.send(NodeId(peer), msg) {
+                waits.push((peer, rpc, rx));
+            } else {
+                self.rpc.cancel(rpc);
+            }
+        }
+        let mut all_ok = true;
+        for (peer, rpc, rx) in waits {
+            let ok = matches!(
+                self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout),
+                Ok(RpcReply::Ack(_))
+            ) || self.invalidate_peer_with_retries(peer, keys);
+            all_ok &= ok;
+        }
+        if !all_ok {
+            self.obs.inc("ingest.invalidate.incomplete");
+        }
+        all_ok
+    }
+
+    /// Patient per-peer invalidation retry. A missed invalidation is a
+    /// correctness hazard (a stale summary would keep serving as fresh),
+    /// so this leans harder on retries than the query path — the producer
+    /// is blocked on the batch ack anyway.
+    fn invalidate_peer_with_retries(&self, peer: usize, keys: &[CellKey]) -> bool {
+        let attempts = (self.config.sub_rpc_retries + 1).max(6);
+        for attempt in 1..=attempts {
+            std::thread::sleep(self.backoff(attempt, peer as u64 ^ 0x1A55));
+            let (rpc, rx) = self.rpc.register();
+            let msg = Msg::Invalidate {
+                rpc,
+                reply_to: self.id,
+                keys: keys.to_vec(),
+            };
+            if !self.send(NodeId(peer), msg) {
+                self.rpc.cancel(rpc);
+                return true; // peer crashed: nothing left to invalidate
+            }
+            if matches!(
+                self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout),
+                Ok(RpcReply::Ack(_))
+            ) {
+                return true;
+            }
+        }
+        false
     }
 
     // -- Storage scatter/gather -------------------------------------------------
@@ -1286,5 +1488,50 @@ impl NodeCtx {
         self.routing
             .lock()
             .purge_expired(now, self.config.stash.routing_ttl_ticks);
+    }
+}
+
+/// The invalidation set of one append batch: every Cell key, at every one
+/// of the 48 (spatial × temporal) levels, that contains at least one of the
+/// batch's rows — deduplicated and sorted for deterministic wire payloads.
+pub(crate) fn affected_keys(rows: &[Observation]) -> Vec<CellKey> {
+    let mut set: HashSet<CellKey> = HashSet::new();
+    for obs in rows {
+        for t_res in TemporalRes::ALL {
+            for s_res in 1..=MAX_SPATIAL_RES {
+                if let Some(key) = obs.cell_key(s_res, t_res) {
+                    set.insert(key);
+                }
+            }
+        }
+    }
+    let mut keys: Vec<CellKey> = set.into_iter().collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_geo::time::epoch_seconds;
+    use stash_model::level::NUM_LEVELS;
+
+    #[test]
+    fn affected_keys_covers_every_level_once() {
+        let obs = Observation::new(
+            37.7749,
+            -122.4194,
+            epoch_seconds(2015, 3, 9, 14, 0, 0),
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        let keys = affected_keys(std::slice::from_ref(&obs));
+        assert_eq!(keys.len(), NUM_LEVELS, "one key per level for one row");
+        for k in &keys {
+            assert!(k.geohash.bbox().contains(obs.lat, obs.lon));
+            assert!(k.time.range().contains(obs.time));
+        }
+        // Two rows in the same fine cell add nothing new.
+        let twice = affected_keys(&[obs.clone(), obs]);
+        assert_eq!(twice.len(), NUM_LEVELS);
     }
 }

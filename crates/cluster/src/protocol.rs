@@ -5,8 +5,9 @@
 //! lists dominate, matching the real system where replication payloads and
 //! aggregation results are the bulk of traffic.
 
+use stash_dfs::BlockKey;
 use stash_geo::{BBox, TimeRange};
-use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult};
+use stash_model::{AggQuery, Cell, CellKey, CellSummary, Observation, QueryResult};
 use stash_net::NodeId;
 use stash_obs::{QueryTrace, StageTimes};
 
@@ -160,6 +161,37 @@ pub enum Msg {
         time: TimeRange,
     },
 
+    // ---- Live ingest (DESIGN.md §13) ----------------------------------------
+    /// Append one batch of observations to a live block. `seq` is the
+    /// per-block batch number (0-based, contiguous) — the storage layer's
+    /// idempotency key under producer retries and owner failover.
+    AppendBatch {
+        rpc: u64,
+        reply_to: NodeId,
+        block: BlockKey,
+        seq: u64,
+        rows: Vec<Observation>,
+    },
+    /// Applier → producer: the batch is durable *and* every live peer has
+    /// acknowledged invalidation of its affected summaries. `applied` is
+    /// false when the batch was rejected (out of order / sealed block) or
+    /// invalidation could not be confirmed — the producer retries.
+    AppendAck {
+        rpc: u64,
+        applied: bool,
+    },
+    /// Applier → peers: these exact Cell keys changed on disk; mark any
+    /// cached copies (own graph and guest graph) stale. Answered inline on
+    /// the peer's main loop so the ack doubles as a processing barrier.
+    Invalidate {
+        rpc: u64,
+        reply_to: NodeId,
+        keys: Vec<CellKey>,
+    },
+    InvalidateAck {
+        rpc: u64,
+    },
+
     // ---- Lifecycle -------------------------------------------------------------
     /// Orderly teardown: main loops and workers exit on receipt.
     Shutdown,
@@ -226,6 +258,10 @@ impl Msg {
             Msg::ReplicationRequest { cells, .. } => cells_bytes(cells),
             Msg::ReplicationResponse { .. } => 48,
             Msg::InvalidateRegion { .. } => 96,
+            Msg::AppendBatch { rows, .. } => 64 + 56 * rows.len(),
+            Msg::AppendAck { .. } => 24,
+            Msg::Invalidate { keys, .. } => keys_bytes(keys.len()),
+            Msg::InvalidateAck { .. } => 24,
             Msg::Shutdown => 16,
         }
     }

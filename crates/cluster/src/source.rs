@@ -1,14 +1,25 @@
-//! Adapter: the deterministic NAM generator as a DFS block source.
+//! Adapters: the deterministic NAM generator as a DFS block source.
 //!
-//! This is the "disk contents" of every simulated Galileo node: reading a
-//! block materializes its observations from the seeded generator, so the
-//! cluster behaves as if a full dataset were resident without storing it
-//! (DESIGN.md §2).
+//! [`GenBlockSource`] is the sealed "disk contents" of every simulated
+//! Galileo node: reading a block materializes its observations from the
+//! seeded generator, so the cluster behaves as if a full dataset were
+//! resident without storing it (DESIGN.md §2).
+//!
+//! [`LiveSource`] is the appendable variant for live-ingest clusters
+//! (DESIGN.md §13): a configured set of *live* blocks starts truncated to
+//! the first `base_fraction` of its generated rows and grows through
+//! [`BlockSource::append`]; every other block serves its full generated
+//! contents, so the rest of the domain is indistinguishable from a sealed
+//! cluster. One `Arc<LiveSource>` is shared by every node — like
+//! `GenBlockSource`, it models replicated storage any node can read (and,
+//! during owner failover, write).
 
+use parking_lot::RwLock;
 use stash_data::NamGenerator;
-use stash_dfs::{BlockKey, BlockSource};
-use stash_geo::Geohash;
+use stash_dfs::{AppendOutcome, BlockKey, BlockSource};
+use stash_geo::{Geohash, TimeBin};
 use stash_model::Observation;
+use std::collections::{HashMap, HashSet};
 
 /// [`BlockSource`] backed by a [`NamGenerator`].
 #[derive(Debug, Clone)]
@@ -40,6 +51,122 @@ impl BlockSource for GenBlockSource {
     }
 }
 
+#[derive(Debug)]
+struct Overlay {
+    /// Applied batch count == next expected `seq` == block version.
+    version: u64,
+    rows: Vec<Observation>,
+}
+
+/// Appendable [`BlockSource`] for live-ingest clusters.
+///
+/// Blocks in the `live` set boot truncated to `base_fraction` of their
+/// generated rows and grow via [`BlockSource::append`]; all other blocks
+/// serve their full generated contents (version 0, sealed). Appends are
+/// idempotent per the `BlockSource` seq contract, which is what makes
+/// producer retries and owner failover safe: any node may apply a batch to
+/// the shared storage, and a re-sent batch is a no-op `Duplicate`.
+#[derive(Debug)]
+pub struct LiveSource {
+    generator: NamGenerator,
+    base_fraction: f64,
+    live: HashSet<BlockKey>,
+    overlays: RwLock<HashMap<BlockKey, Overlay>>,
+}
+
+impl LiveSource {
+    pub fn new(
+        generator: NamGenerator,
+        live_blocks: impl IntoIterator<Item = (Geohash, TimeBin)>,
+        base_fraction: f64,
+    ) -> Self {
+        let live = live_blocks
+            .into_iter()
+            .map(|(geohash, day)| BlockKey { geohash, day })
+            .collect();
+        LiveSource {
+            generator,
+            base_fraction: base_fraction.clamp(0.0, 1.0),
+            live,
+            overlays: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn generator(&self) -> &NamGenerator {
+        &self.generator
+    }
+
+    pub fn is_live(&self, key: BlockKey) -> bool {
+        self.live.contains(&key)
+    }
+
+    /// Rows appended so far across all live blocks (for tests/benches).
+    pub fn appended_rows(&self) -> usize {
+        self.overlays.read().values().map(|o| o.rows.len()).sum()
+    }
+}
+
+impl BlockSource for LiveSource {
+    fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+        self.read_block_versioned(key).0
+    }
+
+    fn block_bytes(&self, geohash: Geohash) -> usize {
+        // Disk-model sizing stays the sealed-block size: live blocks are
+        // *at most* this big, and a stable cost keeps ablations comparable.
+        self.generator.block_bytes(geohash)
+    }
+
+    fn n_attrs(&self) -> usize {
+        self.generator.schema().len()
+    }
+
+    fn block_version(&self, key: BlockKey) -> u64 {
+        if !self.is_live(key) {
+            return 0;
+        }
+        self.overlays.read().get(&key).map_or(0, |o| o.version)
+    }
+
+    fn read_block_versioned(&self, key: BlockKey) -> (Vec<Observation>, u64) {
+        if !self.is_live(key) {
+            return (self.generator.block_for_day(key.geohash, key.day), 0);
+        }
+        let mut rows = self
+            .generator
+            .base_rows(key.geohash, key.day, self.base_fraction);
+        // Rows and version under one read lock: the tag always matches.
+        let overlays = self.overlays.read();
+        match overlays.get(&key) {
+            Some(o) => {
+                rows.extend(o.rows.iter().cloned());
+                (rows, o.version)
+            }
+            None => (rows, 0),
+        }
+    }
+
+    fn append(&self, key: BlockKey, seq: u64, rows: &[Observation]) -> AppendOutcome {
+        if !self.is_live(key) {
+            return AppendOutcome::Unsupported;
+        }
+        let mut overlays = self.overlays.write();
+        let o = overlays.entry(key).or_insert_with(|| Overlay {
+            version: 0,
+            rows: Vec::new(),
+        });
+        match seq.cmp(&o.version) {
+            std::cmp::Ordering::Less => AppendOutcome::Duplicate,
+            std::cmp::Ordering::Greater => AppendOutcome::OutOfOrder,
+            std::cmp::Ordering::Equal => {
+                o.rows.extend(rows.iter().cloned());
+                o.version += 1;
+                AppendOutcome::Applied { version: o.version }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +186,73 @@ mod tests {
         assert_eq!(src.read_block(bk), gen.block_for_day(bk.geohash, bk.day));
         assert_eq!(src.block_bytes(bk.geohash), gen.block_bytes(bk.geohash));
         assert_eq!(src.n_attrs(), 4);
+    }
+
+    fn live_fixture() -> (LiveSource, BlockKey, BlockKey) {
+        let gen = NamGenerator::new(GeneratorConfig {
+            seed: 7,
+            obs_per_deg2_per_day: 60.0,
+            max_obs_per_block: 5_000,
+            value_quantum: 1.0 / 64.0,
+        });
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let live = BlockKey {
+            geohash: Geohash::from_str("9q8").unwrap(),
+            day,
+        };
+        let sealed = BlockKey {
+            geohash: Geohash::from_str("9q9").unwrap(),
+            day,
+        };
+        let src = LiveSource::new(gen, vec![(live.geohash, day)], 0.5);
+        (src, live, sealed)
+    }
+
+    #[test]
+    fn live_blocks_boot_truncated_and_grow_to_the_full_dataset() {
+        let (src, live, sealed) = live_fixture();
+        let full = src.generator().block_for_day(live.geohash, live.day);
+        let split = src.generator().split_point(live.geohash, 0.5);
+        assert_eq!(src.read_block(live), full[..split].to_vec());
+        assert_eq!(src.block_version(live), 0);
+        // Non-live blocks serve everything from the start.
+        assert_eq!(
+            src.read_block(sealed),
+            src.generator().block_for_day(sealed.geohash, sealed.day)
+        );
+        assert_eq!(src.block_version(sealed), 0);
+
+        // Stream the tail in two batches.
+        let mid = split + (full.len() - split) / 2;
+        assert_eq!(
+            src.append(live, 0, &full[split..mid]),
+            AppendOutcome::Applied { version: 1 }
+        );
+        assert_eq!(
+            src.append(live, 1, &full[mid..]),
+            AppendOutcome::Applied { version: 2 }
+        );
+        let (rows, version) = src.read_block_versioned(live);
+        assert_eq!(rows, full, "streamed block converges to cold contents");
+        assert_eq!(version, 2);
+        assert_eq!(src.appended_rows(), full.len() - split);
+    }
+
+    #[test]
+    fn append_is_idempotent_and_ordered() {
+        let (src, live, sealed) = live_fixture();
+        let full = src.generator().block_for_day(live.geohash, live.day);
+        let split = src.generator().split_point(live.geohash, 0.5);
+        let batch = &full[split..split + 4];
+        assert_eq!(src.append(live, 1, batch), AppendOutcome::OutOfOrder);
+        assert_eq!(
+            src.append(live, 0, batch),
+            AppendOutcome::Applied { version: 1 }
+        );
+        // A retried batch is a no-op.
+        assert_eq!(src.append(live, 0, batch), AppendOutcome::Duplicate);
+        assert_eq!(src.read_block(live).len(), split + 4);
+        // Sealed blocks reject appends outright.
+        assert_eq!(src.append(sealed, 0, batch), AppendOutcome::Unsupported);
     }
 }

@@ -25,7 +25,7 @@ use crate::plm::Plm;
 use parking_lot::RwLock;
 use stash_geo::{BBox, TimeRange};
 use stash_model::level::NUM_LEVELS;
-use stash_model::{Cell, CellKey, Level};
+use stash_model::{Cell, CellKey, CellSummary, Level};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -472,6 +472,44 @@ impl StashGraph {
         keys.len()
     }
 
+    /// Delta-patch one cached Cell: merge `delta` (the summary of freshly
+    /// ingested rows) into the resident summary. Patching applies only to
+    /// *fresh* Cells — the summary monoid makes the merge exact, so the
+    /// Cell stays fresh and the PLM is untouched. Stale or absent Cells
+    /// return `false`: the caller marks them stale (or leaves them so) and
+    /// lets the next query refetch from storage. Returns whether the
+    /// resident Cell was patched.
+    pub fn patch(&self, key: &CellKey, delta: &CellSummary) -> bool {
+        let plm = self.plm.read();
+        if !plm.is_fresh(key) {
+            return false;
+        }
+        let mut map = self.level_map(key).write();
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.cell.summary.merge(delta);
+                true
+            }
+            // PLM said cached but the entry is gone (racing eviction):
+            // nothing resident to patch.
+            None => false,
+        }
+    }
+
+    /// Mark an explicit set of keys stale in the PLM (ingest invalidation:
+    /// Cells affected by an append that cannot be patched in place).
+    /// Absent keys are ignored. Returns how many were marked.
+    pub fn mark_stale_keys(&self, keys: &[CellKey]) -> usize {
+        let mut plm = self.plm.write();
+        let mut marked = 0;
+        for k in keys {
+            if plm.mark_stale(k) {
+                marked += 1;
+            }
+        }
+        marked
+    }
+
     /// All cached keys whose Cell bounds intersect the given region.
     pub fn keys_intersecting(&self, bbox: &BBox, time: &TimeRange) -> Vec<CellKey> {
         let mut out = Vec::new();
@@ -580,6 +618,51 @@ mod tests {
         // Latest summary wins.
         let got = g.peek(&key("9q8y", TemporalRes::Day)).unwrap();
         assert_eq!(got.summary.attr(0).unwrap().max(), Some(2.0));
+    }
+
+    #[test]
+    fn patch_merges_delta_into_fresh_cell_only() {
+        let g = small_graph();
+        let k = key("9q8y", TemporalRes::Day);
+        g.insert(cell("9q8y", TemporalRes::Day, 10.0));
+        // Delta = one freshly ingested row.
+        let mut delta = CellSummary::empty(1);
+        delta.push_row(&[30.0]);
+        assert!(g.patch(&k, &delta));
+        let got = g.peek(&k).unwrap();
+        assert_eq!(got.summary.count(), 2);
+        assert_eq!(got.summary.attr(0).unwrap().max(), Some(30.0));
+        // Patching keeps the cell fresh: no refetch needed.
+        assert!(g.contains_fresh(&k));
+
+        // A stale cell must not be patched (its base is out of date).
+        g.mark_stale_keys(&[k]);
+        assert!(!g.patch(&k, &delta));
+        assert_eq!(g.peek(&k).unwrap().summary.count(), 2, "unchanged");
+
+        // Absent cells cannot be patched either.
+        let absent = key("9q8z", TemporalRes::Day);
+        assert!(!g.patch(&absent, &delta));
+    }
+
+    #[test]
+    fn mark_stale_keys_counts_transitions_and_skips_absent() {
+        let g = small_graph();
+        let a = key("9q8y", TemporalRes::Day);
+        let b = key("9q8z", TemporalRes::Day);
+        let absent = key("9q8v", TemporalRes::Day);
+        g.insert(cell("9q8y", TemporalRes::Day, 1.0));
+        g.insert(cell("9q8z", TemporalRes::Day, 2.0));
+        assert_eq!(g.mark_stale_keys(&[a, b, absent]), 2);
+        assert!(!g.contains_fresh(&a));
+        assert!(!g.contains_fresh(&b));
+        // Idempotent: already-stale cells are not transitions.
+        assert_eq!(g.mark_stale_keys(&[a, b, absent]), 0);
+        // A stale cell refetched (re-inserted) is fresh and patchable again.
+        g.insert(cell("9q8y", TemporalRes::Day, 5.0));
+        let mut delta = CellSummary::empty(1);
+        delta.push_row(&[7.0]);
+        assert!(g.patch(&a, &delta));
     }
 
     #[test]

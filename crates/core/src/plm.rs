@@ -61,11 +61,14 @@ impl Plm {
     }
 
     /// Mark a cached Cell's summary out of date after a storage update.
-    /// No-op for uncached Cells (nothing to invalidate).
-    pub fn mark_stale(&mut self, key: &CellKey) {
+    /// No-op for uncached Cells (nothing to invalidate). Returns whether
+    /// the stale bit was newly set (the Cell transitioned fresh → stale).
+    pub fn mark_stale(&mut self, key: &CellKey) -> bool {
         let s = Self::slot(key);
         if self.cached[s].contains(key.dense_id()) {
-            self.stale[s].insert(key.dense_id());
+            self.stale[s].insert(key.dense_id())
+        } else {
+            false
         }
     }
 
@@ -183,6 +186,62 @@ mod tests {
         plm.mark_cached(&b);
         plm.mark_cached(&c);
         assert!(plm.missing_of([&a, &b, &c]).is_empty());
+    }
+
+    #[test]
+    fn mark_stale_reports_the_fresh_to_stale_transition() {
+        let mut plm = Plm::new();
+        let k = key("9q8y", TemporalRes::Day);
+        assert!(!plm.mark_stale(&k), "uncached: nothing to invalidate");
+        plm.mark_cached(&k);
+        assert!(plm.mark_stale(&k), "first mark transitions fresh -> stale");
+        assert!(!plm.mark_stale(&k), "re-marking an already-stale cell");
+        // Recomputation clears the bit; the next mark transitions again.
+        plm.mark_cached(&k);
+        assert!(plm.mark_stale(&k));
+    }
+
+    #[test]
+    fn stale_then_evicted_then_stale_is_a_noop_again() {
+        // The ingest invalidation path can race eviction: a key marked
+        // stale, then evicted, must not resurrect any bit when a later
+        // invalidation arrives for the (now absent) cell.
+        let mut plm = Plm::new();
+        let k = key("9q8y", TemporalRes::Day);
+        plm.mark_cached(&k);
+        assert!(plm.mark_stale(&k));
+        plm.mark_evicted(&k);
+        assert!(!plm.mark_stale(&k));
+        assert!(!plm.is_stale(&k));
+        assert!(!plm.is_cached(&k));
+        assert_eq!(plm.total_cached(), 0);
+        assert_eq!(plm.total_stale(), 0);
+        assert_eq!(plm.missing_of([&k]), vec![k]);
+    }
+
+    #[test]
+    fn repeated_ingest_cycles_keep_bitmaps_consistent() {
+        let mut plm = Plm::new();
+        let keys: Vec<CellKey> = ["9q8y", "9q8z", "9q8v", "9q8w"]
+            .iter()
+            .map(|g| key(g, TemporalRes::Hour))
+            .collect();
+        for round in 0..3 {
+            for k in &keys {
+                plm.mark_cached(k);
+            }
+            assert_eq!(plm.total_cached(), keys.len());
+            assert_eq!(plm.total_stale(), 0, "round {round}: recache cleans");
+            // Invalidate half, evict one of the stale ones.
+            assert!(plm.mark_stale(&keys[0]));
+            assert!(plm.mark_stale(&keys[1]));
+            plm.mark_evicted(&keys[1]);
+            assert_eq!(plm.total_stale(), 1);
+            assert_eq!(plm.total_cached(), keys.len() - 1);
+            let missing = plm.missing_of(keys.iter());
+            assert_eq!(missing, vec![keys[0], keys[1]]);
+            assert!(plm.is_fresh(&keys[2]) && plm.is_fresh(&keys[3]));
+        }
     }
 
     #[test]

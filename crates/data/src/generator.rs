@@ -31,6 +31,14 @@ pub struct GeneratorConfig {
     /// Hard cap on observations generated for one (block, day) pair, so a
     /// misconfigured density cannot explode memory.
     pub max_obs_per_block: usize,
+    /// When positive, every sampled value is rounded to the nearest multiple
+    /// of this quantum. With a power-of-two quantum (e.g. `1/64`) and the
+    /// generator's bounded field magnitudes, summary sums and sums of
+    /// squares stay exactly representable in `f64`, so folding the same
+    /// rows in *any* grouping or order produces bit-identical aggregates —
+    /// the property the live-ingest equivalence tests rely on. `0.0`
+    /// (default) disables quantization.
+    pub value_quantum: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -39,6 +47,7 @@ impl Default for GeneratorConfig {
             seed: 0x57A5_4001,
             obs_per_deg2_per_day: 48.0,
             max_obs_per_block: 250_000,
+            value_quantum: 0.0,
         }
     }
 }
@@ -110,6 +119,30 @@ impl NamGenerator {
         self.obs_per_day(block) * 56
     }
 
+    /// Row index at which a block-day splits into the boot-resident base
+    /// prefix and the streamed tail (live-ingest workloads). Deterministic,
+    /// so every node agrees on the split; `fraction` is clamped to `[0, 1]`.
+    pub fn split_point(&self, block: Geohash, fraction: f64) -> usize {
+        let n = self.obs_per_day(block);
+        ((n as f64) * fraction.clamp(0.0, 1.0)).floor() as usize
+    }
+
+    /// The base prefix of a block-day: the rows already on disk when a live
+    /// cluster boots. `base_rows(b, d, f) ++ tail_rows(b, d, f)` is exactly
+    /// [`NamGenerator::block_for_day`]`(b, d)`.
+    pub fn base_rows(&self, block: Geohash, day: TimeBin, fraction: f64) -> Vec<Observation> {
+        let mut rows = self.block_for_day(block, day);
+        rows.truncate(self.split_point(block, fraction));
+        rows
+    }
+
+    /// The streamed tail of a block-day: the rows a live-ingest stream
+    /// appends after boot, in generation order.
+    pub fn tail_rows(&self, block: Geohash, day: TimeBin, fraction: f64) -> Vec<Observation> {
+        let rows = self.block_for_day(block, day);
+        rows[self.split_point(block, fraction)..].to_vec()
+    }
+
     fn block_rng(&self, block: Geohash, day_idx: i64) -> SmallRng {
         // SplitMix-style combination of the three seeds.
         let mut x = self
@@ -164,7 +197,14 @@ impl NamGenerator {
         } else {
             0.0
         };
-        vec![temp, rh, precip, snow]
+        let mut values = vec![temp, rh, precip, snow];
+        let q = self.config.value_quantum;
+        if q > 0.0 {
+            for v in &mut values {
+                *v = (*v / q).round() * q;
+            }
+        }
+        values
     }
 }
 
@@ -184,6 +224,7 @@ mod tests {
             seed: 7,
             obs_per_deg2_per_day: 100.0,
             max_obs_per_block: 10_000,
+            value_quantum: 0.0,
         })
     }
 
@@ -282,5 +323,43 @@ mod tests {
         let g = generator();
         let month = TimeBin::containing(TemporalRes::Month, 0);
         g.block_for_day(Geohash::from_str("9q8").unwrap(), month);
+    }
+
+    #[test]
+    fn base_and_tail_partition_the_block() {
+        let g = generator();
+        let block = Geohash::from_str("9q8").unwrap();
+        for fraction in [0.0, 0.37, 0.5, 1.0] {
+            let mut joined = g.base_rows(block, day(), fraction);
+            joined.extend(g.tail_rows(block, day(), fraction));
+            assert_eq!(joined, g.block_for_day(block, day()), "fraction {fraction}");
+        }
+        assert!(g.base_rows(block, day(), 0.0).is_empty());
+        assert!(g.tail_rows(block, day(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn quantized_values_sum_exactly_in_any_order() {
+        let g = NamGenerator::new(GeneratorConfig {
+            value_quantum: 1.0 / 64.0,
+            ..generator().config().clone()
+        });
+        let block = Geohash::from_str("9q8").unwrap();
+        let rows = g.block_for_day(block, day());
+        // Every value is an exact multiple of the quantum...
+        for o in &rows {
+            for &v in &o.values {
+                assert_eq!((v * 64.0).round() / 64.0, v, "non-dyadic value {v}");
+            }
+        }
+        // ...so folding a column forwards, backwards, or split in the middle
+        // yields the same bits (the live-ingest equivalence property).
+        let col: Vec<f64> = rows.iter().map(|o| o.values[0]).collect();
+        let forward: f64 = col.iter().sum();
+        let backward: f64 = col.iter().rev().sum();
+        let split = col.len() / 3;
+        let chunked = col[..split].iter().sum::<f64>() + col[split..].iter().sum::<f64>();
+        assert_eq!(forward.to_bits(), backward.to_bits());
+        assert_eq!(forward.to_bits(), chunked.to_bits());
     }
 }

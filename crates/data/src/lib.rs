@@ -15,9 +15,13 @@
 //! * [`workload`] — the paper's query-stream constructions, parameterized
 //!   exactly as §VIII describes them (query size classes, pan fractions,
 //!   dicing factors, zoom resolution walks, throughput and hotspot mixes).
+//! * [`stream`] — a seeded streaming source replaying the tail of the
+//!   dataset as ordered append batches for live-ingest workloads.
 
 pub mod generator;
+pub mod stream;
 pub mod workload;
 
 pub use generator::{GeneratorConfig, NamGenerator};
+pub use stream::{StreamBatch, StreamConfig, StreamSource};
 pub use workload::{QuerySizeClass, WorkloadConfig, WorkloadGen};

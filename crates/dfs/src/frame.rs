@@ -20,11 +20,15 @@
 //!    paper's §V derivation — `O(rows + cells)` instead of
 //!    `O(rows × level_groups)`.
 //!
-//! Because blocks are immutable (the deterministic generator returns the
-//! same observations on every read), a decoded frame is a pure function of
-//! its block key and encode resolution, so frames are cached in a
-//! bytes-budgeted LRU ([`FrameCache`]) and hot blocks skip both the disk
-//! model and the decode stage entirely.
+//! Because block contents are a pure function of the block key and the
+//! block's *version* (sealed blocks never change; appendable blocks bump
+//! their version on every append — see [`crate::store::BlockSource`]), a
+//! decoded frame is a pure function of `(block key, version, encode
+//! resolution)`. Frames are cached in a bytes-budgeted LRU ([`FrameCache`])
+//! tagged with the version they decoded, and a lookup only serves a frame
+//! whose tag matches the block's *current* version — a frame decoded before
+//! an append can never answer a post-append query. Hot blocks skip both the
+//! disk model and the decode stage entirely.
 
 use crate::block::BlockKey;
 use parking_lot::Mutex;
@@ -57,6 +61,8 @@ pub struct BlockFrame {
     n_attrs: usize,
     /// Geohash length the rows were encoded at (≥ the block tile length).
     spatial_res: u8,
+    /// Block version the rows were read at (0 for sealed blocks).
+    version: u64,
     row_slots: Vec<u64>,
     values: Vec<f64>,
 }
@@ -124,9 +130,22 @@ impl BlockFrame {
             block,
             n_attrs,
             spatial_res,
+            version: 0,
             row_slots,
             values,
         }
+    }
+
+    /// Tag the frame with the block version its rows were read at.
+    /// Sealed (immutable) blocks stay at the default version 0.
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     #[inline]
@@ -407,14 +426,21 @@ impl FrameCache {
     }
 
     /// Lookup, refreshing recency. A cached frame only serves queries whose
-    /// finest spatial resolution it covers; a coarser frame is a miss (the
-    /// caller re-decodes finer and replaces it).
-    pub fn lookup(&self, key: &BlockKey, min_spatial_res: u8) -> Option<Arc<BlockFrame>> {
+    /// finest spatial resolution it covers — a coarser frame is a miss (the
+    /// caller re-decodes finer and replaces it) — and only when its version
+    /// tag matches the block's current `version`: a frame decoded before an
+    /// append is a miss, never a wrong answer.
+    pub fn lookup(
+        &self,
+        key: &BlockKey,
+        min_spatial_res: u8,
+        version: u64,
+    ) -> Option<Arc<BlockFrame>> {
         let mut inner = self.inner.lock();
         inner.stamp += 1;
         let stamp = inner.stamp;
         let e = inner.map.get_mut(key)?;
-        if e.frame.spatial_res() < min_spatial_res {
+        if e.frame.spatial_res() < min_spatial_res || e.frame.version() != version {
             return None;
         }
         e.stamp = stamp;
@@ -422,13 +448,27 @@ impl FrameCache {
     }
 
     /// Presence check without refreshing recency (used to decide whether
-    /// the disk model must be charged before the parallel scan).
-    pub fn contains(&self, key: &BlockKey, min_spatial_res: u8) -> bool {
-        self.inner
-            .lock()
-            .map
-            .get(key)
-            .is_some_and(|e| e.frame.spatial_res() >= min_spatial_res)
+    /// the disk model must be charged before the parallel scan). Applies
+    /// the same resolution and version gates as [`FrameCache::lookup`].
+    pub fn contains(&self, key: &BlockKey, min_spatial_res: u8, version: u64) -> bool {
+        self.inner.lock().map.get(key).is_some_and(|e| {
+            e.frame.spatial_res() >= min_spatial_res && e.frame.version() == version
+        })
+    }
+
+    /// Drop the frame cached for one block (eager invalidation after a
+    /// local append; peers holding stale frames miss lazily through the
+    /// version gate instead). Returns the bytes freed.
+    pub fn remove(&self, key: &BlockKey) -> usize {
+        let mut inner = self.inner.lock();
+        match inner.map.remove(key) {
+            Some(e) => {
+                let bytes = e.frame.estimated_bytes();
+                inner.bytes -= bytes;
+                bytes
+            }
+            None => 0,
+        }
     }
 
     /// Insert (replacing any previous frame for the block) and evict
@@ -618,12 +658,12 @@ mod tests {
         assert_eq!(cache.insert(Arc::clone(&frames[0])), 0);
         assert_eq!(cache.insert(Arc::clone(&frames[1])), 0);
         // Touch frame 0 so frame 1 is the LRU victim.
-        assert!(cache.lookup(&frames[0].block(), 4).is_some());
+        assert!(cache.lookup(&frames[0].block(), 4, 0).is_some());
         let evicted = cache.insert(Arc::clone(&frames[2]));
         assert_eq!(evicted, per);
-        assert!(cache.contains(&frames[0].block(), 4));
-        assert!(!cache.contains(&frames[1].block(), 4));
-        assert!(cache.contains(&frames[2].block(), 4));
+        assert!(cache.contains(&frames[0].block(), 4, 0));
+        assert!(!cache.contains(&frames[1].block(), 4, 0));
+        assert!(cache.contains(&frames[2].block(), 4, 0));
         assert_eq!(cache.len(), 2);
         assert!(cache.bytes() <= cache.budget());
     }
@@ -634,13 +674,13 @@ mod tests {
         let bk = block("9xj", 2015, 2, 2);
         let cache = FrameCache::new(DEFAULT_FRAME_CACHE_BYTES);
         cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 4)));
-        assert!(cache.lookup(&bk, 4).is_some());
-        assert!(cache.lookup(&bk, 6).is_none());
+        assert!(cache.lookup(&bk, 4, 0).is_some());
+        assert!(cache.lookup(&bk, 6, 0).is_none());
         // Re-decoding finer replaces the entry, and then serves both.
         cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 6)));
         assert_eq!(cache.len(), 1);
-        assert!(cache.lookup(&bk, 6).is_some());
-        assert!(cache.lookup(&bk, 4).is_some());
+        assert!(cache.lookup(&bk, 6, 0).is_some());
+        assert!(cache.lookup(&bk, 4, 0).is_some());
     }
 
     #[test]
@@ -653,6 +693,39 @@ mod tests {
             0
         );
         assert!(cache.is_empty());
-        assert!(cache.lookup(&bk, 3).is_none());
+        assert!(cache.lookup(&bk, 3, 0).is_none());
+    }
+
+    #[test]
+    fn stale_version_is_a_miss_until_reinserted() {
+        let obs = rows();
+        let bk = block("9xj", 2015, 2, 2);
+        let cache = FrameCache::new(DEFAULT_FRAME_CACHE_BYTES);
+        cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 4).with_version(3)));
+        assert!(cache.lookup(&bk, 4, 3).is_some());
+        // The block advanced: the cached frame no longer serves.
+        assert!(cache.lookup(&bk, 4, 4).is_none());
+        assert!(!cache.contains(&bk, 4, 4));
+        // Re-decoding at the new version replaces the entry.
+        cache.insert(Arc::new(BlockFrame::decode(bk, &obs, 4, 4).with_version(4)));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&bk, 4, 4).is_some());
+        assert!(cache.lookup(&bk, 4, 3).is_none());
+    }
+
+    #[test]
+    fn remove_frees_bytes_and_misses_afterwards() {
+        let obs = rows();
+        let bk = block("9xj", 2015, 2, 2);
+        let cache = FrameCache::new(DEFAULT_FRAME_CACHE_BYTES);
+        let frame = Arc::new(BlockFrame::decode(bk, &obs, 4, 4));
+        let per = frame.estimated_bytes();
+        cache.insert(frame);
+        assert_eq!(cache.bytes(), per);
+        assert_eq!(cache.remove(&bk), per);
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.lookup(&bk, 4, 0).is_none());
+        // Removing an absent key is a no-op.
+        assert_eq!(cache.remove(&bk), 0);
     }
 }

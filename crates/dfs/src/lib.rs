@@ -40,4 +40,4 @@ pub use frame::{
     frame_spatial_res, BlockFrame, FrameAggregation, FrameCache, DEFAULT_FRAME_CACHE_BYTES,
 };
 pub use partitioner::Partitioner;
-pub use store::{BlockScan, BlockSource, NodeStore, PartialCell};
+pub use store::{AppendOutcome, BlockScan, BlockSource, NodeStore, PartialCell};

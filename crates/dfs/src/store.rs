@@ -28,13 +28,31 @@ pub struct PartialCell {
     pub summary: CellSummary,
 }
 
+/// Result of appending rows to a block (see [`BlockSource::append`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Rows were appended; the block's version after the append.
+    Applied { version: u64 },
+    /// `seq` was already applied — a retried batch; storage is unchanged.
+    Duplicate,
+    /// `seq` skips ahead of the next expected batch; storage is unchanged
+    /// and the producer must re-send in order.
+    OutOfOrder,
+    /// This source is immutable (the default for sealed datasets).
+    Unsupported,
+}
+
 /// Where blocks come from. In production this would be files on disk; in
 /// the reproduction it is the deterministic synthetic generator (every read
 /// of a block yields identical observations — see DESIGN.md §2).
 ///
 /// Contract: every observation of a block lies inside the block's geohash
-/// tile and UTC day, and repeated reads of the same key yield identical
-/// rows — both properties the decoded-frame cache relies on.
+/// tile and UTC day, and reads of the same key at the same *version* yield
+/// identical rows — both properties the decoded-frame cache relies on.
+/// Sealed sources never change, so their version is always 0; appendable
+/// sources bump [`BlockSource::block_version`] on every successful
+/// [`BlockSource::append`], which is what lets cached frames tagged with an
+/// older version miss instead of serving truncated data.
 pub trait BlockSource: Send + Sync {
     /// Materialize the observations of one block.
     fn read_block(&self, key: BlockKey) -> Vec<Observation>;
@@ -42,6 +60,28 @@ pub trait BlockSource: Send + Sync {
     fn block_bytes(&self, geohash: Geohash) -> usize;
     /// Attribute count of the dataset schema.
     fn n_attrs(&self) -> usize;
+    /// Current version of a block: 0 for sealed blocks, incremented by
+    /// every applied append.
+    fn block_version(&self, _key: BlockKey) -> u64 {
+        0
+    }
+    /// Read a block together with the version the rows reflect. The
+    /// default reads then asks for the version separately, which is safe
+    /// under concurrent appends: at worst the returned tag is *newer* than
+    /// the rows — never older — so a mistagged frame causes a wasted
+    /// re-decode, not a wrong answer. Appendable sources should override
+    /// this to read both under one lock.
+    fn read_block_versioned(&self, key: BlockKey) -> (Vec<Observation>, u64) {
+        let rows = self.read_block(key);
+        (rows, self.block_version(key))
+    }
+    /// Append batch `seq` (0-based, per block, contiguous) to a block.
+    /// Idempotent under retries: a `seq` at or below the last applied one
+    /// is a [`AppendOutcome::Duplicate`]; a gap is
+    /// [`AppendOutcome::OutOfOrder`]. Immutable sources keep the default.
+    fn append(&self, _key: BlockKey, _seq: u64, _rows: &[Observation]) -> AppendOutcome {
+        AppendOutcome::Unsupported
+    }
 }
 
 /// One node's storage engine.
@@ -221,10 +261,11 @@ impl NodeStore {
         // never touch the disk at all.
         let mut total_cost = std::time::Duration::ZERO;
         for (bk, wanted) in &owned {
-            if self
-                .frame_cache
-                .contains(bk, frame_spatial_res(self.block_len, wanted))
-            {
+            if self.frame_cache.contains(
+                bk,
+                frame_spatial_res(self.block_len, wanted),
+                self.source.block_version(*bk),
+            ) {
                 continue;
             }
             let bytes = self.source.block_bytes(bk.geohash);
@@ -288,24 +329,23 @@ impl NodeStore {
     /// frame kernel and the decoded-frame cache (DESIGN.md §12).
     pub fn scan_block(&self, bk: BlockKey, wanted: &[CellKey]) -> BlockScan {
         let need_res = frame_spatial_res(self.block_len, wanted);
-        let (frame, cache_hit) = match self.frame_cache.lookup(&bk, need_res) {
+        let version = self.source.block_version(bk);
+        let (frame, cache_hit) = match self.frame_cache.lookup(&bk, need_res, version) {
             Some(f) => {
                 self.metrics.inc("dfs.frame_cache.hit");
                 (f, true)
             }
             None => {
                 self.metrics.inc("dfs.frame_cache.miss");
-                let observations = self.source.read_block(bk);
+                let (observations, read_version) = self.source.read_block_versioned(bk);
                 self.stats.record_read(self.source.block_bytes(bk.geohash));
                 self.metrics
                     .counter("dfs.rows_decoded")
                     .add(observations.len() as u64);
-                let f = Arc::new(BlockFrame::decode(
-                    bk,
-                    &observations,
-                    self.source.n_attrs(),
-                    need_res,
-                ));
+                let f = Arc::new(
+                    BlockFrame::decode(bk, &observations, self.source.n_attrs(), need_res)
+                        .with_version(read_version),
+                );
                 let evicted = self.frame_cache.insert(Arc::clone(&f));
                 if evicted > 0 {
                     self.metrics
@@ -326,6 +366,25 @@ impl NodeStore {
             rows: frame.n_rows(),
             cache_hit,
         }
+    }
+
+    /// Append batch `seq` of a live stream to a block and keep the decoded
+    /// frame cache coherent: an applied append eagerly drops this node's
+    /// cached frame (the next scan re-decodes at the new version). Remote
+    /// nodes that replicated the frame go stale-safe lazily — their cached
+    /// tag no longer matches the block version, so lookups miss.
+    pub fn append_block(&self, key: BlockKey, seq: u64, rows: &[Observation]) -> AppendOutcome {
+        let outcome = self.source.append(key, seq, rows);
+        if let AppendOutcome::Applied { .. } = outcome {
+            self.metrics
+                .counter("dfs.append.rows")
+                .add(rows.len() as u64);
+            let freed = self.frame_cache.remove(&key);
+            if freed > 0 {
+                self.metrics.counter("dfs.append.frames_invalidated").inc();
+            }
+        }
+        outcome
     }
 
     /// The seed's direct per-level binning — one geohash encode per
@@ -409,6 +468,7 @@ mod tests {
             seed: 11,
             obs_per_deg2_per_day: 200.0,
             max_obs_per_block: 50_000,
+            value_quantum: 0.0,
         })));
         NodeStore::new(
             node_idx,
@@ -527,6 +587,7 @@ mod tests {
             seed: 11,
             obs_per_deg2_per_day: 200.0,
             max_obs_per_block: 50_000,
+            value_quantum: 0.0,
         });
         let (bbox, time) = domain();
         let plan = plan_blocks(&[cell], 3, &bbox, &time, 10_000).unwrap();
@@ -736,6 +797,175 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(s.metrics().counter("dfs.frame_cache.hit").get(), 0);
         assert_eq!(s.disk_stats().reads(), 2, "every fetch re-reads");
+    }
+
+    /// Appendable source for the append-path tests: each block starts with
+    /// the first half of its generated rows and grows by appended batches.
+    struct AppendableSource {
+        gen: NamGenerator,
+        overlay: std::sync::Mutex<HashMap<BlockKey, (u64, Vec<Observation>)>>,
+    }
+
+    impl AppendableSource {
+        fn new(gen: NamGenerator) -> Self {
+            AppendableSource {
+                gen,
+                overlay: std::sync::Mutex::new(HashMap::new()),
+            }
+        }
+    }
+
+    impl BlockSource for AppendableSource {
+        fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+            let mut rows = self.gen.base_rows(key.geohash, key.day, 0.5);
+            if let Some((_, appended)) = self.overlay.lock().unwrap().get(&key) {
+                rows.extend(appended.iter().cloned());
+            }
+            rows
+        }
+        fn block_bytes(&self, geohash: Geohash) -> usize {
+            self.gen.block_bytes(geohash)
+        }
+        fn n_attrs(&self) -> usize {
+            self.gen.schema().len()
+        }
+        fn block_version(&self, key: BlockKey) -> u64 {
+            self.overlay
+                .lock()
+                .unwrap()
+                .get(&key)
+                .map_or(0, |(v, _)| *v)
+        }
+        fn append(&self, key: BlockKey, seq: u64, rows: &[Observation]) -> AppendOutcome {
+            let mut overlay = self.overlay.lock().unwrap();
+            let entry = overlay.entry(key).or_insert_with(|| (0, Vec::new()));
+            match seq.cmp(&entry.0) {
+                std::cmp::Ordering::Less => AppendOutcome::Duplicate,
+                std::cmp::Ordering::Greater => AppendOutcome::OutOfOrder,
+                std::cmp::Ordering::Equal => {
+                    entry.1.extend(rows.iter().cloned());
+                    entry.0 += 1;
+                    AppendOutcome::Applied { version: entry.0 }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_invalidates_cached_frame_and_serves_new_rows() {
+        let (bbox, time) = domain();
+        let cfg = GeneratorConfig {
+            seed: 11,
+            obs_per_deg2_per_day: 200.0,
+            max_obs_per_block: 50_000,
+            value_quantum: 0.0,
+        };
+        let src = Arc::new(AppendableSource::new(NamGenerator::new(cfg)));
+        let s = NodeStore::new(
+            0,
+            Partitioner::new(1, 2),
+            3,
+            bbox,
+            time,
+            DiskModel::free(),
+            Arc::clone(&src) as Arc<dyn BlockSource>,
+            10_000,
+        );
+        let cell = day_cell("9xj6");
+        let bk = BlockKey {
+            geohash: Geohash::from_str("9xj").unwrap(),
+            day: cell.time,
+        };
+        let cold = s.fetch_partials(&[cell]).unwrap();
+        assert!(s.frame_cache().contains(&bk, 4, 0));
+
+        let tail = src.gen.tail_rows(bk.geohash, bk.day, 0.5);
+        assert!(!tail.is_empty());
+        assert_eq!(
+            s.append_block(bk, 0, &tail),
+            AppendOutcome::Applied { version: 1 }
+        );
+        assert_eq!(
+            s.metrics().counter("dfs.append.rows").get(),
+            tail.len() as u64
+        );
+        assert_eq!(
+            s.metrics().counter("dfs.append.frames_invalidated").get(),
+            1
+        );
+        assert!(
+            !s.frame_cache().contains(&bk, 4, 1),
+            "frame dropped eagerly"
+        );
+
+        // The next fetch re-decodes at version 1 and sees the full block:
+        // the result matches a sealed store over the complete dataset.
+        let fresh = s.fetch_partials(&[cell]).unwrap();
+        let full = store(0, 1).fetch_partials(&[cell]).unwrap();
+        assert!(cold[0].summary.count() < fresh[0].summary.count());
+        assert_eq!(fresh, full);
+        assert!(s.frame_cache().contains(&bk, 4, 1));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_appends_leave_storage_unchanged() {
+        let (bbox, time) = domain();
+        let src = Arc::new(AppendableSource::new(NamGenerator::new(
+            GeneratorConfig::default(),
+        )));
+        let s = NodeStore::new(
+            0,
+            Partitioner::new(1, 2),
+            3,
+            bbox,
+            time,
+            DiskModel::free(),
+            Arc::clone(&src) as Arc<dyn BlockSource>,
+            10_000,
+        );
+        let cell = day_cell("9xj6");
+        let bk = BlockKey {
+            geohash: Geohash::from_str("9xj").unwrap(),
+            day: cell.time,
+        };
+        let tail = src.gen.tail_rows(bk.geohash, bk.day, 0.5);
+        let half = tail.len() / 2;
+        assert_eq!(
+            s.append_block(bk, 0, &tail[..half]),
+            AppendOutcome::Applied { version: 1 }
+        );
+        let rows_after_first = src.read_block(bk).len();
+        // A retried batch and a gap both leave rows and version alone.
+        assert_eq!(
+            s.append_block(bk, 0, &tail[..half]),
+            AppendOutcome::Duplicate
+        );
+        assert_eq!(
+            s.append_block(bk, 2, &tail[half..]),
+            AppendOutcome::OutOfOrder
+        );
+        assert_eq!(src.read_block(bk).len(), rows_after_first);
+        assert_eq!(src.block_version(bk), 1);
+        assert_eq!(
+            s.append_block(bk, 1, &tail[half..]),
+            AppendOutcome::Applied { version: 2 }
+        );
+        assert_eq!(
+            src.read_block(bk).len(),
+            src.gen.block_for_day(bk.geohash, bk.day).len()
+        );
+    }
+
+    #[test]
+    fn sealed_source_rejects_appends() {
+        let s = store(0, 1);
+        let cell = day_cell("9xj6");
+        let bk = BlockKey {
+            geohash: Geohash::from_str("9xj").unwrap(),
+            day: cell.time,
+        };
+        assert_eq!(s.append_block(bk, 0, &[]), AppendOutcome::Unsupported);
+        assert_eq!(s.metrics().counter("dfs.append.rows").get(), 0);
     }
 
     #[test]

@@ -513,6 +513,7 @@ mod tests {
                 seed: 3,
                 obs_per_deg2_per_day: 30.0,
                 max_obs_per_block: 10_000,
+                value_quantum: 0.0,
             },
             ..Default::default()
         }

@@ -261,6 +261,7 @@ mod tests {
                 seed: 11,
                 obs_per_deg2_per_day: 100.0,
                 max_obs_per_block: 20_000,
+                value_quantum: 0.0,
             }))),
             10_000,
             64,

@@ -57,7 +57,7 @@ fn main() {
     let mut cluster = SimCluster::new(config);
     let client = cluster.client();
 
-    let healthy = client.query(&query).expect("healthy query");
+    let healthy = client.query(&query).run().expect("healthy query");
     println!(
         "healthy cluster : {} cells, {} observations (owner of the viewport: node {owner})",
         healthy.cells.len(),
@@ -67,7 +67,9 @@ fn main() {
     println!("\n--- crash node {owner} ---");
     cluster.crash_node(owner);
     let failed_over = client
-        .query_at(&query, coordinator)
+        .query(&query)
+        .at(coordinator)
+        .run()
         .expect("sub-queries fail over to DFS replicas");
     println!(
         "owner down      : {} cells, {} observations — identical: {}",
@@ -85,7 +87,9 @@ fn main() {
         cluster.node_stats()[owner].graph_cells
     );
     let recovered = client
-        .query_at(&query, coordinator)
+        .query(&query)
+        .at(coordinator)
+        .run()
         .expect("query after restart");
     println!(
         "after restart   : {} cells, {} observations — identical: {}",
@@ -107,7 +111,7 @@ fn main() {
     let mut exact = 0;
     let rounds = 20;
     for _ in 0..rounds {
-        let r = client.query(&query).expect("lossy query");
+        let r = client.query(&query).run().expect("lossy query");
         exact += same_cells(&r, &healthy) as usize;
     }
     println!(

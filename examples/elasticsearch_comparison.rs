@@ -43,7 +43,7 @@ fn main() {
     let stream = workload.pan_star(start, 0.20);
 
     let stash_ms = time_stream(&stream, |q| {
-        stash_client.query(q).expect("stash query");
+        stash_client.query(q).run().expect("stash query");
     });
     let es_ms = time_stream(&stream, |q| {
         es_client.query(q).expect("es query");

@@ -34,7 +34,7 @@ fn main() {
     for (i, q) in session.iter().enumerate() {
         // Plain client: every interaction is a round trip to the cluster.
         let t0 = Instant::now();
-        plain.query(q).expect("plain");
+        plain.query(q).run().expect("plain");
         let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         // Caching client: local graph first; misses ship only subqueries.

@@ -74,7 +74,7 @@ fn run_burst(enable_replication: bool, n_requests: usize, n_clients: usize) -> (
                 if i >= queries.len() {
                     return;
                 }
-                client.query(&queries[i]).expect("burst query");
+                client.query(&queries[i]).run().expect("burst query");
             })
         })
         .collect();

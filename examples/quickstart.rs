@@ -28,11 +28,11 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let cold = client.query(&query).expect("cold query");
+    let cold = client.query(&query).run().expect("cold query");
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t1 = Instant::now();
-    let warm = client.query(&query).expect("warm query");
+    let warm = client.query(&query).run().expect("warm query");
     let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     println!("\nquery: {query}");

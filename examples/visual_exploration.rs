@@ -18,7 +18,7 @@ use std::time::Instant;
 
 fn step(client: &ClusterClient, label: &str, query: &AggQuery) -> QueryResult {
     let t0 = Instant::now();
-    let result = client.query(query).expect("query");
+    let result = client.query(query).run().expect("query");
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
         "{label:<28} {ms:>9.2} ms   cells={:<5} hits={:<5} derived={:<4} fetched={:<5} hit-ratio={:>4.0}%",

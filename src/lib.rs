@@ -46,10 +46,10 @@
 //!     4,                     // spatial resolution: geohash length 4
 //!     TemporalRes::Day,      // temporal resolution
 //! );
-//! let cold = client.query(&query).unwrap();
+//! let cold = client.query(&query).run().unwrap();
 //! assert!(cold.misses > 0); // nothing cached yet
 //!
-//! let warm = client.query(&query).unwrap();
+//! let warm = client.query(&query).run().unwrap();
 //! assert_eq!(warm.misses, 0); // served entirely from STASH
 //! assert_eq!(warm.total_count(), cold.total_count());
 //! cluster.shutdown();

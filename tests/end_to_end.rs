@@ -17,6 +17,7 @@ fn config(mode: Mode) -> ClusterConfig {
             seed: 99,
             obs_per_deg2_per_day: 40.0,
             max_obs_per_block: 50_000,
+            value_quantum: 0.0,
         },
         scan_cost_per_obs: std::time::Duration::ZERO,
         cell_service_cost: std::time::Duration::ZERO,
@@ -80,8 +81,8 @@ fn full_exploration_session_matches_ground_truth() {
     session.extend(wl.roll_up(focus, 4, 2));
 
     for (i, q) in session.iter().enumerate() {
-        let truth = bc.query(q).expect("basic");
-        let cached = sc.query(q).expect("stash");
+        let truth = bc.query(q).run().expect("basic");
+        let cached = sc.query(q).run().expect("stash");
         assert_same_answers(&truth, &cached, &format!("query {i}"));
     }
     // The session must have exercised the cache paths.
@@ -117,8 +118,8 @@ fn eviction_pressure_never_corrupts_results() {
     for _ in 0..2 {
         let start = wl.random_bbox(&mut rng, QuerySizeClass::State);
         for q in wl.pan_walk(&mut rng, start, 0.25, 4) {
-            let truth = bc.query(&q).expect("basic");
-            let cached = sc.query(&q).expect("stash");
+            let truth = bc.query(&q).run().expect("basic");
+            let cached = sc.query(&q).run().expect("stash");
             assert_same_answers(&truth, &cached, "eviction-pressure query");
         }
     }
@@ -158,9 +159,9 @@ fn temporal_resolutions_round_trip() {
         ),
     ] {
         let q = AggQuery::new(bbox, range, 3, t_res);
-        let truth = bc.query(&q).expect("basic");
-        let cached_cold = sc.query(&q).expect("stash cold");
-        let cached_warm = sc.query(&q).expect("stash warm");
+        let truth = bc.query(&q).run().expect("basic");
+        let cached_cold = sc.query(&q).run().expect("stash cold");
+        let cached_warm = sc.query(&q).run().expect("stash warm");
         assert_same_answers(&truth, &cached_cold, &format!("{t_res} cold"));
         assert_same_answers(&truth, &cached_warm, &format!("{t_res} warm"));
         assert_eq!(cached_warm.misses, 0, "{t_res}: warm query must not fetch");
@@ -183,10 +184,10 @@ fn rollup_after_drilldown_is_served_by_derivation() {
         3,
         TemporalRes::Day,
     );
-    sc.query(&fine).expect("fine");
+    sc.query(&fine).run().expect("fine");
     let disk_before: u64 = stash.node_stats().iter().map(|s| s.disk_reads).sum();
     let up = fine.rolled_up().unwrap();
-    let r = sc.query(&up).expect("rollup");
+    let r = sc.query(&up).run().expect("rollup");
     let disk_after: u64 = stash.node_stats().iter().map(|s| s.disk_reads).sum();
     assert_eq!(r.derived_hits, 1, "rollup must derive the coarse cell");
     assert_eq!(disk_after, disk_before, "derivation must not touch disk");
@@ -201,14 +202,14 @@ fn staleness_invalidation_is_end_to_end() {
     let mut rng = rand::thread_rng();
     let q = wl.random_query(&mut rng, QuerySizeClass::County);
 
-    sc.query(&q).expect("populate");
-    let warm = sc.query(&q).expect("warm");
+    sc.query(&q).run().expect("populate");
+    let warm = sc.query(&q).run().expect("warm");
     assert_eq!(warm.misses, 0);
 
     // A storage update arrives for the region: all caches must recompute.
     stash.invalidate_region(q.bbox, q.time);
     std::thread::sleep(std::time::Duration::from_millis(100));
-    let after = sc.query(&q).expect("after invalidation");
+    let after = sc.query(&q).run().expect("after invalidation");
     assert!(after.misses > 0, "stale cells must be refetched");
     assert_eq!(
         after.total_count(),

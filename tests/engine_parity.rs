@@ -15,6 +15,7 @@ fn generator() -> GeneratorConfig {
         seed: 404,
         obs_per_deg2_per_day: 40.0,
         max_obs_per_block: 50_000,
+        value_quantum: 0.0,
     }
 }
 
@@ -69,8 +70,8 @@ fn three_engines_agree_on_a_query_set() {
         ),
     ];
     for (i, q) in queries.iter().enumerate() {
-        let rb = bc.query(q).expect("basic");
-        let rs = sc.query(q).expect("stash");
+        let rb = bc.query(q).run().expect("basic");
+        let rs = sc.query(q).run().expect("stash");
         let re = ec.query(q).expect("es");
         assert!(rb.total_count() > 0, "query {i} found no data");
         assert_eq!(rb.total_count(), rs.total_count(), "query {i}: stash count");
@@ -124,10 +125,10 @@ proptest! {
             res,
             TemporalRes::Day,
         );
-        let truth = basic.client().query(&q).expect("basic");
+        let truth = basic.client().query(&q).run().expect("basic");
         let sc = stash.client();
-        let cold = sc.query(&q).expect("cold");
-        let warm = sc.query(&q).expect("warm");
+        let cold = sc.query(&q).run().expect("cold");
+        let warm = sc.query(&q).run().expect("warm");
         prop_assert_eq!(truth.total_count(), cold.total_count());
         prop_assert_eq!(truth.total_count(), warm.total_count());
         prop_assert_eq!(truth.cells.len(), warm.cells.len());

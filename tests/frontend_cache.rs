@@ -14,6 +14,7 @@ fn cluster(mode: Mode) -> SimCluster {
             seed: 31,
             obs_per_deg2_per_day: 40.0,
             max_obs_per_block: 50_000,
+            value_quantum: 0.0,
         },
         scan_cost_per_obs: std::time::Duration::ZERO,
         cell_service_cost: std::time::Duration::ZERO,
@@ -41,7 +42,7 @@ fn caching_client_matches_plain_client() {
     session.extend(wl.pan_star(session.last().unwrap().bbox, 0.25));
 
     for (i, q) in session.iter().enumerate() {
-        let a = plain.query(q).expect("plain");
+        let a = plain.query(q).run().expect("plain");
         let b = cached.query(q).expect("cached");
         assert_eq!(a.total_count(), b.total_count(), "step {i}");
         assert_eq!(a.cells.len(), b.cells.len(), "step {i}");

@@ -26,6 +26,7 @@ fn hotspot_config(enable_replication: bool) -> ClusterConfig {
             seed: 5,
             obs_per_deg2_per_day: 30.0,
             max_obs_per_block: 50_000,
+            value_quantum: 0.0,
         },
         stash: StashConfig {
             hotspot_threshold: 4,
@@ -60,7 +61,7 @@ fn drive(cluster: &SimCluster, queries: Arc<Vec<stash::model::AggQuery>>, client
                 if i >= queries.len() {
                     return;
                 }
-                client.query(&queries[i]).expect("burst query");
+                client.query(&queries[i]).run().expect("burst query");
             })
         })
         .collect();
@@ -139,8 +140,8 @@ fn rerouted_answers_match_ground_truth() {
     let mut seen = std::collections::HashSet::new();
     for q in queries.iter() {
         if seen.insert(format!("{:.6}:{:.6}", q.bbox.min_lat, q.bbox.min_lon)) {
-            let truth = bc.query(q).expect("basic");
-            let cached = sc.query(q).expect("stash");
+            let truth = bc.query(q).run().expect("basic");
+            let cached = sc.query(q).run().expect("stash");
             assert_eq!(truth.total_count(), cached.total_count());
             assert_eq!(truth.cells.len(), cached.cells.len());
         }

@@ -15,6 +15,7 @@ fn cluster(mode: Mode) -> SimCluster {
             seed: 77,
             obs_per_deg2_per_day: 40.0,
             max_obs_per_block: 50_000,
+            value_quantum: 0.0,
         },
         scan_cost_per_obs: std::time::Duration::ZERO,
         cell_service_cost: std::time::Duration::ZERO,
@@ -41,8 +42,8 @@ fn day_slices_are_distinct_then_replayable() {
     let mut counts = Vec::new();
     let mut temp_sums = Vec::new();
     for (i, q) in slices.iter().enumerate() {
-        let truth = bc.query(q).expect("basic");
-        let r = sc.query(q).expect("stash");
+        let truth = bc.query(q).run().expect("basic");
+        let r = sc.query(q).run().expect("stash");
         assert_eq!(r.total_count(), truth.total_count(), "slice {i}");
         assert_eq!(r.cache_hits, 0, "slice {i} must be uncached on first visit");
         counts.push(r.total_count());
@@ -62,7 +63,7 @@ fn day_slices_are_distinct_then_replayable() {
 
     // Backward pass: scrubbing the time slider back is all cache hits.
     for (i, q) in slices.iter().enumerate().rev() {
-        let r = sc.query(q).expect("replay");
+        let r = sc.query(q).run().expect("replay");
         assert_eq!(r.misses, 0, "slice {i} must be cached on replay");
         assert_eq!(r.total_count(), counts[i], "slice {i} replay data");
     }
@@ -84,7 +85,7 @@ fn month_rollup_over_sliced_days_derives_from_cache() {
         ..WorkloadConfig::default()
     });
     for q in wl.slice_days(bbox, 28) {
-        sc.query(&q).expect("day slice");
+        sc.query(&q).run().expect("day slice");
     }
     let disk_before: u64 = stash.node_stats().iter().map(|s| s.disk_reads).sum();
     let month_query = stash::model::AggQuery::new(
@@ -97,7 +98,7 @@ fn month_rollup_over_sliced_days_derives_from_cache() {
         3,
         stash::geo::TemporalRes::Month,
     );
-    let r = sc.query(&month_query).expect("month");
+    let r = sc.query(&month_query).run().expect("month");
     let disk_after: u64 = stash.node_stats().iter().map(|s| s.disk_reads).sum();
     assert!(
         r.derived_hits > 0,
