@@ -9,7 +9,9 @@ use stash_data::{GeneratorConfig, NamGenerator};
 use stash_dfs::{BlockKey, BlockSource, DiskModel, NodeStore, Partitioner};
 use stash_geo::time::epoch_seconds;
 use stash_geo::{cover_bbox, BBox, Geohash, TemporalRes, TimeBin, TimeRange};
-use stash_model::{AggQuery, Cell, CellKey, Level, Observation, SummaryStats};
+use stash_model::{
+    AggQuery, Cell, CellKey, CellSummary, Level, Observation, SketchSpec, SummaryStats,
+};
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -259,12 +261,80 @@ fn bench_scan_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of carrying sketch-valued Cells (ISSUE 6): the same warm-frame
+/// aggregate with sketches off vs. on isolates the per-row sketch fold,
+/// and the partial-merge pair isolates the per-merge cost the coordinator
+/// gather and ingest patch paths pay.
+fn bench_sketch_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_fold");
+    group.measurement_time(Duration::from_secs(3));
+    let tile = Geohash::from_str("9xj").unwrap();
+    let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+    let bk = BlockKey { geohash: tile, day };
+    let wanted = multi_level_wanted(tile, day);
+
+    // Warm frame caches: iterations measure only the aggregate stage.
+    let exact = scan_store();
+    let rows = exact.scan_block(bk, &wanted).rows;
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function(format!("scan_exact_only_{rows}rows"), |b| {
+        b.iter(|| exact.scan_block(bk, std::hint::black_box(&wanted)))
+    });
+    let sketched = scan_store().with_sketches(SketchSpec::standard());
+    sketched.scan_block(bk, &wanted);
+    group.bench_function(format!("scan_with_sketches_{rows}rows"), |b| {
+        b.iter(|| sketched.scan_block(bk, std::hint::black_box(&wanted)))
+    });
+
+    // Merging 32 partials (4 attrs each), exact-only vs. sketch-carrying.
+    let rows_per_part = 32;
+    let values: Vec<[f64; 4]> = (0..32 * rows_per_part)
+        .map(|i| {
+            let x = (i as f64 * 0.7).sin();
+            [x * 30.0, 50.0 + x * 40.0, x.abs() * 5.0, x.abs() * 60.0]
+        })
+        .collect();
+    let build = |spec: Option<&SketchSpec>| -> Vec<CellSummary> {
+        values
+            .chunks(rows_per_part)
+            .map(|chunk| {
+                let mut s = match spec {
+                    Some(spec) => CellSummary::empty_with(4, spec),
+                    None => CellSummary::empty(4),
+                };
+                for row in chunk {
+                    s.push_row(row);
+                }
+                s
+            })
+            .collect()
+    };
+    let spec = SketchSpec::standard();
+    for (label, parts) in [
+        ("merge_32_exact_partials", build(None)),
+        ("merge_32_sketched_partials", build(Some(&spec))),
+    ] {
+        group.throughput(Throughput::Elements(32));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = parts[0].clone();
+                for p in &parts[1..] {
+                    acc.merge(p);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_geohash,
     bench_summary,
     bench_graph,
     bench_planning,
-    bench_scan_kernel
+    bench_scan_kernel,
+    bench_sketch_fold
 );
 criterion_main!(benches);

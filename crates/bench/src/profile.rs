@@ -11,6 +11,7 @@
 use crate::harness::Scale;
 use crate::report::Table;
 use stash_data::QuerySizeClass;
+use stash_model::SketchSpec;
 use stash_obs::{Histogram, HistogramSnapshot, QueryTrace};
 
 /// Collected stage distributions of one profiled run.
@@ -30,6 +31,9 @@ pub struct Profile {
     pub frame_evicted_bytes: u64,
     pub rows_decoded: u64,
     pub cells_derived: u64,
+    /// Sketch-pipeline counters summed over nodes (DESIGN.md §14).
+    pub sketch_merges: u64,
+    pub sketch_bytes: u64,
 }
 
 /// Fold one trace into the stage histograms.
@@ -54,6 +58,14 @@ pub fn run(scale: &Scale) -> Profile {
         queries.extend(wl.throughput_mix(&mut rng, class, n_rects, pans, 0.10));
     }
     queries.extend(wl.dice_descending(wl.random_bbox(&mut rng, QuerySizeClass::State), 4, 0.5));
+    // Zoom-out overviews at coarse resolution: each coarse Cell spans many
+    // blocks (often on several nodes), so the fragment-merge and gather
+    // paths — and their `sketch.merges` counter — run in the profile.
+    for res in [2, 1] {
+        let mut q = wl.make_query(wl.random_bbox(&mut rng, QuerySizeClass::State));
+        q.spatial_res = res;
+        queries.push(q);
+    }
 
     let stages: Vec<(&'static str, Histogram)> = stash_obs::StageTimes::default()
         .stages()
@@ -63,7 +75,9 @@ pub fn run(scale: &Scale) -> Profile {
     let wall = Histogram::new();
     let (mut subqueries, mut retries, mut failovers) = (0u64, 0u64, 0u64);
 
-    let cluster = scale.stash_cluster();
+    // Profile runs carry sketch-valued Cells so the report shows what the
+    // estimator pipeline costs and moves alongside the exact stages.
+    let cluster = scale.stash_cluster_with(|c| c.stash.sketch = SketchSpec::standard());
     let client = cluster.client();
     for q in &queries {
         let (_, trace) = client.query(q).traced().run().expect("profile query");
@@ -83,6 +97,8 @@ pub fn run(scale: &Scale) -> Profile {
     let frame_evicted_bytes = kernel("dfs.frame_cache.evicted_bytes");
     let rows_decoded = kernel("dfs.rows_decoded");
     let cells_derived = kernel("dfs.cells_derived");
+    let sketch_merges = kernel("sketch.merges");
+    let sketch_bytes = kernel("sketch.bytes");
     cluster.shutdown();
 
     Profile {
@@ -100,6 +116,8 @@ pub fn run(scale: &Scale) -> Profile {
         frame_evicted_bytes,
         rows_decoded,
         cells_derived,
+        sketch_merges,
+        sketch_bytes,
     }
 }
 
@@ -124,7 +142,8 @@ pub fn table(p: &Profile) -> Table {
         "cluster-wide stage totals per query (fan-out may exceed wall); \
          {} subqueries, {} retries, {} failovers; \
          scan kernel: frame cache {} hits / {} misses / {} B evicted, \
-         {} rows decoded, {} cells derived",
+         {} rows decoded, {} cells derived; \
+         sketches: {} merges, {} B emitted",
         p.subqueries,
         p.retries,
         p.failovers,
@@ -132,7 +151,9 @@ pub fn table(p: &Profile) -> Table {
         p.frame_misses,
         p.frame_evicted_bytes,
         p.rows_decoded,
-        p.cells_derived
+        p.cells_derived,
+        p.sketch_merges,
+        p.sketch_bytes
     ));
     for (stage, snap) in &p.stages {
         let sum: u64 = snap.sums.iter().sum();
@@ -185,6 +206,10 @@ mod tests {
         assert!(p.frame_misses > 0, "cold scans must miss the frame cache");
         assert!(p.frame_hits > 0, "revisit pans must hit the frame cache");
         assert!(p.rows_decoded > 0, "misses must decode rows");
+        // The sketch pipeline runs in profile deployments: scans emit
+        // sketch-carrying cells and cross-node gathers merge them.
+        assert!(p.sketch_bytes > 0, "scans must emit sketch state");
+        assert!(p.sketch_merges > 0, "gathers must merge sketch state");
         let rendered = table(&p).to_console();
         for stage in [
             "route", "plm", "merge", "dfs", "wire", "retry", "wait", "wall",
@@ -194,6 +219,10 @@ mod tests {
         assert!(
             rendered.contains("frame cache"),
             "kernel counters missing in:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("sketches:"),
+            "sketch counters missing in:\n{rendered}"
         );
     }
 }

@@ -8,6 +8,9 @@
 //! client.query(&q).at(3).run()            // pinned coordinator, one attempt
 //! client.query(&q).traced().run()         // result + per-stage QueryTrace
 //! client.query(&q).at(3).traced().run()   // both
+//! client.query(&q).quantile(0, 0.99)      // sketch accessor: approximate p99
+//! client.query(&q).distinct(0)            // estimated distinct values
+//! client.query(&q).top_k(0, 8)            // heavy hitters with bounds
 //! ```
 //!
 //! The query is sent to a coordinator node over the fabric, and the
@@ -103,32 +106,6 @@ impl ClusterClient {
         }
     }
 
-    /// Deprecated spelling of [`ClusterClient::query`]`(q).traced().run()`.
-    #[deprecated(note = "use client.query(&q).traced().run()")]
-    pub fn query_traced(&self, query: &AggQuery) -> Result<(QueryResult, QueryTrace), ClientError> {
-        self.query(query).traced().run()
-    }
-
-    /// Deprecated spelling of [`ClusterClient::query`]`(q).at(c).run()`.
-    #[deprecated(note = "use client.query(&q).at(coordinator).run()")]
-    pub fn query_at(
-        &self,
-        query: &AggQuery,
-        coordinator: usize,
-    ) -> Result<QueryResult, ClientError> {
-        self.query(query).at(coordinator).run()
-    }
-
-    /// Deprecated spelling of [`ClusterClient::query`]`(q).at(c).traced().run()`.
-    #[deprecated(note = "use client.query(&q).at(coordinator).traced().run()")]
-    pub fn query_at_traced(
-        &self,
-        query: &AggQuery,
-        coordinator: usize,
-    ) -> Result<(QueryResult, QueryTrace), ClientError> {
-        self.query(query).at(coordinator).traced().run()
-    }
-
     /// Number of storage nodes queries can coordinate on.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
@@ -221,6 +198,39 @@ impl<'a> QueryCall<'a> {
     /// Send the query; block until the summary arrives (or fails).
     pub fn run(self) -> Result<QueryResult, ClientError> {
         self.dispatch().map(|(result, _)| result)
+    }
+
+    /// Run the query and fold the per-Cell quantile sketches into one
+    /// estimate: `client.query(&q).quantile(0, 0.99)` is the approximate
+    /// p99 of attribute 0 over the queried region. `Ok(None)` when the
+    /// cluster does not carry sketch-valued Cells (the config's `sketch`
+    /// spec is disabled) or the result is empty.
+    pub fn quantile(
+        self,
+        attr: usize,
+        q: f64,
+    ) -> Result<Option<stash_model::QuantileEstimate>, ClientError> {
+        Ok(self.run()?.quantile(attr, q))
+    }
+
+    /// Run the query and return the estimated distinct-value count of
+    /// attribute `attr` over the queried region (see
+    /// [`QueryResult::distinct`]).
+    pub fn distinct(
+        self,
+        attr: usize,
+    ) -> Result<Option<stash_model::DistinctEstimate>, ClientError> {
+        Ok(self.run()?.distinct(attr))
+    }
+
+    /// Run the query and return the `k` most frequent values of attribute
+    /// `attr` over the queried region (see [`QueryResult::top_k`]).
+    pub fn top_k(
+        self,
+        attr: usize,
+        k: usize,
+    ) -> Result<Option<Vec<stash_model::TopKEntry>>, ClientError> {
+        Ok(self.run()?.top_k(attr, k))
     }
 
     fn dispatch(self) -> Result<(QueryResult, QueryTrace), ClientError> {

@@ -132,7 +132,8 @@ impl NodeCtx {
         let obs = Arc::new(MetricsRegistry::new());
         let store = store
             .with_metrics(Arc::clone(&obs))
-            .with_frame_cache_bytes(config.stash.frame_cache_bytes);
+            .with_frame_cache_bytes(config.stash.frame_cache_bytes)
+            .with_sketches(config.stash.sketch.clone());
         NodeCtx {
             node_idx,
             id: NodeId(node_idx),
@@ -1054,12 +1055,22 @@ impl NodeCtx {
                 let frame = BlockFrame::decode(block, &rows, self.config.n_attrs, res);
                 let mut patched = 0u64;
                 let mut unpatched = Vec::new();
-                for (key, delta) in frame.aggregate(&affected).cells {
+                // Deltas carry sketch partials when sketches are on, so a
+                // patch merges estimator state exactly as a cold rebuild
+                // would fold it — resident Cells never silently degrade to
+                // exact-only under live ingest.
+                let sketch = &self.config.stash.sketch;
+                for (key, delta) in frame.aggregate_with(&affected, sketch).cells {
                     if self.graph.patch(&key, &delta) {
                         patched += 1;
                     } else {
                         unpatched.push(key);
                     }
+                }
+                if sketch.enabled && patched > 0 {
+                    self.obs
+                        .counter("sketch.merges")
+                        .add(patched * self.config.n_attrs as u64);
                 }
                 // Cells we could not patch (absent or already stale) plus
                 // all guest replicas go stale; fresh guest copies are not
@@ -1258,21 +1269,30 @@ impl NodeCtx {
             .iter()
             .map(|&k| (k, CellSummary::empty(n_attrs)))
             .collect();
+        // `sketch_merges` counts pairwise estimator-state merges (both
+        // sides sketched; the seed's first adoption is a clone, not a
+        // merge) — the coordinator-side half of the `sketch.merges`
+        // counter, matching the per-store fragment-merge half.
         let absorb = |merged: &mut HashMap<CellKey, CellSummary>,
+                      sketch_merges: &mut u64,
                       parts: Vec<(CellKey, CellSummary)>| {
             for (key, summary) in parts {
                 if let Some(m) = merged.get_mut(&key) {
+                    if m.has_sketches() && summary.has_sketches() {
+                        *sketch_merges += summary.n_attrs() as u64;
+                    }
                     m.merge(&summary);
                 }
             }
         };
-        absorb(&mut merged, local);
+        let mut sketch_merges = 0u64;
+        absorb(&mut merged, &mut sketch_merges, local);
         let mut dead: Option<(usize, ClusterError)> = None;
         for (owner, rpc, rx) in waits {
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
                 Ok(RpcReply::Partials(Ok(parts), st)) => {
                     acc.add(&st);
-                    absorb(&mut merged, parts);
+                    absorb(&mut merged, &mut sketch_merges, parts);
                 }
                 Ok(RpcReply::Partials(Err(e), _)) => return Err(GatherFailure::Fatal(e)),
                 Ok(other) => {
@@ -1285,7 +1305,7 @@ impl NodeCtx {
                     // draining the other waits either way.
                     if dead.is_none() {
                         match self.fetch_partials_rpc(owner, keys, exclude, acc) {
-                            Ok(parts) => absorb(&mut merged, parts),
+                            Ok(parts) => absorb(&mut merged, &mut sketch_merges, parts),
                             Err(e) if e.is_transient() => dead = Some((owner, e)),
                             Err(e) => return Err(GatherFailure::Fatal(e)),
                         }
@@ -1300,6 +1320,9 @@ impl NodeCtx {
         }
         if let Some((node, err)) = dead {
             return Err(GatherFailure::Owner(node, err));
+        }
+        if sketch_merges > 0 {
+            self.obs.counter("sketch.merges").add(sketch_merges);
         }
         let mut out: Vec<(CellKey, CellSummary)> = merged.into_iter().collect();
         out.sort_by_key(|(k, _)| *k);

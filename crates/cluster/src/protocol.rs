@@ -218,7 +218,7 @@ pub fn result_bytes(r: &Result<QueryResult, ClusterError>) -> usize {
         Ok(qr) => {
             qr.cells
                 .iter()
-                .map(|c| 24 + 40 * c.summary.n_attrs())
+                .map(|c| 24 + c.summary.wire_bytes())
                 .sum::<usize>()
                 + 64
         }
@@ -229,7 +229,7 @@ pub fn result_bytes(r: &Result<QueryResult, ClusterError>) -> usize {
 /// Approximate serialized bytes of partials.
 pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, ClusterError>) -> usize {
     match p {
-        Ok(v) => v.iter().map(|(_, s)| 24 + 40 * s.n_attrs()).sum::<usize>() + 64,
+        Ok(v) => v.iter().map(|(_, s)| 24 + s.wire_bytes()).sum::<usize>() + 64,
         Err(e) => error_bytes(e),
     }
 }
@@ -238,7 +238,7 @@ pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, ClusterError>) -> 
 pub fn cells_bytes(cells: &[(Cell, f64)]) -> usize {
     cells
         .iter()
-        .map(|(c, _)| 32 + 40 * c.summary.n_attrs())
+        .map(|(c, _)| 32 + c.summary.wire_bytes())
         .sum::<usize>()
         + 64
 }

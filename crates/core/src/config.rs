@@ -7,6 +7,7 @@
 //! them with defaults scaled for the laptop-size simulated cluster.
 
 use serde::{Deserialize, Serialize};
+use stash_model::SketchSpec;
 
 /// How a hotspotted node picks candidate helper nodes (§VII-B3 vs the
 /// random-helper ablation of DESIGN.md §8).
@@ -49,6 +50,11 @@ pub struct StashConfig {
     /// Byte budget of the per-node decoded-frame cache sitting in front of
     /// the block store (DESIGN.md §12). `0` disables caching.
     pub frame_cache_bytes: usize,
+    /// Mergeable sketch state carried per Cell attribute (DESIGN.md §14):
+    /// quantile, distinct-count, and heavy-hitter partials folded at block
+    /// scans and merged upward with the exact summaries. Disabled by
+    /// default; exact-only behavior is bit-for-bit unchanged when off.
+    pub sketch: SketchSpec,
 
     // -- Hotspot handling (§VII) ---------------------------------------------
     /// Pending-request queue length at which a node declares itself
@@ -90,6 +96,7 @@ impl Default for StashConfig {
             max_blocks_per_fetch: 20_000,
             enable_derivation: true,
             frame_cache_bytes: 64 << 20,
+            sketch: SketchSpec::disabled(),
             hotspot_threshold: 100,
             clique_depth: 2,
             max_replicable_cells: 4_096,
@@ -134,6 +141,9 @@ impl StashConfig {
             "max_replicable_cells must be positive"
         );
         assert!(self.top_k_cliques > 0, "top_k_cliques must be positive");
+        if let Err(e) = self.sketch.validate() {
+            panic!("sketch spec invalid: {e}");
+        }
     }
 }
 
@@ -171,6 +181,27 @@ mod tests {
     fn zero_clique_depth_rejected() {
         StashConfig {
             clique_depth: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch spec")]
+    fn bad_sketch_spec_rejected() {
+        let mut spec = SketchSpec::standard();
+        spec.hll_precision = 99;
+        StashConfig {
+            sketch: spec,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn sketch_enabled_defaults_are_valid() {
+        StashConfig {
+            sketch: SketchSpec::standard(),
             ..Default::default()
         }
         .validate();

@@ -35,7 +35,7 @@ use parking_lot::Mutex;
 use stash_geo::{Geohash, TemporalRes, TimeBin};
 use stash_model::fx::{FxHashMap, FxHashSet};
 use stash_model::slot::{self, INVALID_SLOT};
-use stash_model::{CellKey, CellSummary, Observation, SummaryStats};
+use stash_model::{CellKey, CellSummary, Observation, SketchSpec, SummaryStats};
 use std::sync::Arc;
 
 /// Default byte budget of a node's decoded-frame cache (`StashConfig::
@@ -173,12 +173,28 @@ impl BlockFrame {
         std::mem::size_of::<BlockFrame>() + 8 * self.row_slots.len() + 8 * self.values.len()
     }
 
+    /// Stages 2+3: aggregate the frame into one summary per wanted cell
+    /// (exact-only; see [`aggregate_with`](Self::aggregate_with)).
+    pub fn aggregate(&self, wanted: &[CellKey]) -> FrameAggregation {
+        self.aggregate_with(wanted, &SketchSpec::disabled())
+    }
+
     /// Stages 2+3: aggregate the frame into one summary per wanted cell.
     ///
     /// Every wanted cell appears in the output (empty summary when no row
     /// matched — "computed, empty"), deduplicated, in first-occurrence
     /// order. Requires `spatial_res() ≥ frame_spatial_res(tile, wanted)`.
-    pub fn aggregate(&self, wanted: &[CellKey]) -> FrameAggregation {
+    ///
+    /// When `sketch` enables sketch-valued Cells, every emitted summary
+    /// additionally carries per-attribute sketch partials. Sketches are not
+    /// derived from the slot accumulator (their per-slot state would dwarf
+    /// the 40-byte exact partials); instead, after the exact stage maps
+    /// slots to output cells, raw rows are folded straight into each output
+    /// cell's bundles in row order — the same operation sequence a direct
+    /// per-cell fold of the observations would perform, so kernel output is
+    /// bit-identical to the reference scan even for the order-sensitive
+    /// regimes of the heavy-hitter candidate list.
+    pub fn aggregate_with(&self, wanted: &[CellKey], sketch: &SketchSpec) -> FrameAggregation {
         if wanted.is_empty() {
             return FrameAggregation {
                 cells: Vec::new(),
@@ -195,7 +211,7 @@ impl BlockFrame {
         for &c in wanted {
             if let std::collections::hash_map::Entry::Vacant(v) = index.entry(c) {
                 v.insert(out.len());
-                out.push((c, CellSummary::empty(self.n_attrs)));
+                out.push((c, CellSummary::empty_with(self.n_attrs, sketch)));
                 group_set.insert((c.spatial_res(), c.temporal_res()));
             }
         }
@@ -292,7 +308,17 @@ impl BlockFrame {
         // both direct and derived cells; merges happen in ascending slot
         // order, which keeps the output deterministic.
         let mut derived_cells = 0u64;
+        // Per-group dense-slot → output-cell mapping, filled by the exact
+        // emission loop and replayed by the sketch row fold.
+        let mut slot_out: Vec<u32> = if sketch.enabled {
+            vec![u32::MAX; dense_count]
+        } else {
+            Vec::new()
+        };
         for &(s_res, t_res) in &groups {
+            if sketch.enabled {
+                slot_out.fill(u32::MAX);
+            }
             let is_finest = (s_res.max(tile_len), t_res) == (finest_s, finest_t);
             if !is_finest {
                 derived_cells += out
@@ -357,6 +383,26 @@ impl BlockFrame {
                     let base = dense as usize * self.n_attrs;
                     for (a, s) in acc[base..base + self.n_attrs].iter().enumerate() {
                         out[i].1.merge_attr(a, s);
+                    }
+                    if sketch.enabled {
+                        slot_out[dense as usize] = i as u32;
+                    }
+                }
+            }
+            if sketch.enabled {
+                for a in 0..self.n_attrs {
+                    let col = &self.values[a * n_rows..(a + 1) * n_rows];
+                    for (r, &d) in row_dense.iter().enumerate() {
+                        if d == u32::MAX {
+                            continue;
+                        }
+                        let oi = slot_out[d as usize];
+                        if oi == u32::MAX {
+                            continue;
+                        }
+                        if let Some(sk) = out[oi as usize].1.attr_sketches_mut(a) {
+                            sk.push(col[r]);
+                        }
                     }
                 }
             }

@@ -15,7 +15,7 @@ use crate::partitioner::Partitioner;
 use rayon::prelude::*;
 use stash_geo::{BBox, Geohash, TimeRange};
 use stash_model::fx::FxHashMap;
-use stash_model::{CellKey, CellSummary, Observation};
+use stash_model::{CellKey, CellSummary, Observation, SketchSpec};
 use stash_obs::MetricsRegistry;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -105,6 +105,8 @@ pub struct NodeStore {
     frame_cache: FrameCache,
     /// Named counters for the scan kernel and frame cache (`dfs.*`).
     metrics: Arc<MetricsRegistry>,
+    /// Sketch-valued Cell configuration; disabled keeps scans exact-only.
+    sketches: SketchSpec,
 }
 
 /// Modeled cost ratio of aggregating a row from an already-decoded frame
@@ -153,6 +155,7 @@ impl NodeStore {
             scan_cost_per_obs: std::time::Duration::from_nanos(400),
             frame_cache: FrameCache::new(DEFAULT_FRAME_CACHE_BYTES),
             metrics: Arc::new(MetricsRegistry::new()),
+            sketches: SketchSpec::disabled(),
         }
     }
 
@@ -174,6 +177,18 @@ impl NodeStore {
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Enable sketch-valued Cells: every scan emits per-attribute sketch
+    /// partials alongside the exact summaries (no-op when disabled).
+    pub fn with_sketches(mut self, sketches: SketchSpec) -> Self {
+        self.sketches = sketches;
+        self
+    }
+
+    /// The sketch configuration scans run with.
+    pub fn sketch_spec(&self) -> &SketchSpec {
+        &self.sketches
     }
 
     /// The registry holding this store's `dfs.*` counters.
@@ -305,6 +320,7 @@ impl NodeStore {
         // probe per fragment entry — and sort once at the end, instead of
         // paying ordered-map entry churn per key.
         let mut merged: FxHashMap<CellKey, CellSummary> = FxHashMap::default();
+        let mut sketch_merges = 0u64;
         for frag in fragments {
             for (key, summary) in frag {
                 match merged.entry(key) {
@@ -312,10 +328,16 @@ impl NodeStore {
                         v.insert(summary);
                     }
                     std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if o.get().has_sketches() && summary.has_sketches() {
+                            sketch_merges += summary.n_attrs() as u64;
+                        }
                         o.get_mut().merge(&summary);
                     }
                 }
             }
+        }
+        if sketch_merges > 0 {
+            self.metrics.counter("sketch.merges").add(sketch_merges);
         }
         let mut out: Vec<PartialCell> = merged
             .into_iter()
@@ -355,11 +377,15 @@ impl NodeStore {
                 (f, false)
             }
         };
-        let agg = frame.aggregate(wanted);
+        let agg = frame.aggregate_with(wanted, &self.sketches);
         if agg.derived_cells > 0 {
             self.metrics
                 .counter("dfs.cells_derived")
                 .add(agg.derived_cells);
+        }
+        if self.sketches.enabled {
+            let bytes: usize = agg.cells.iter().map(|(_, s)| s.sketch_wire_bytes()).sum();
+            self.metrics.counter("sketch.bytes").add(bytes as u64);
         }
         BlockScan {
             cells: agg.cells,

@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use stash_dfs::{BlockKey, BlockSource, DiskModel, NodeStore, Partitioner};
 use stash_geo::time::epoch_seconds;
 use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
-use stash_model::{CellKey, CellSummary, Observation};
+use stash_model::{CellKey, CellSummary, Observation, SketchSpec};
 use std::str::FromStr;
 use std::sync::Arc;
 
@@ -138,5 +138,128 @@ proptest! {
         let warm = store.scan_block(bk, &wanted);
         prop_assert_eq!(warm.cache_hit, cache_bytes > 0);
         prop_assert_eq!(sorted(warm.cells), new, "warm scan diverged from cold");
+    }
+
+    /// Sketch-enabled scans must match a direct per-cell raw-row fold
+    /// bit-for-bit at *every* level. The kernel derives exact stats for
+    /// coarse groups by merging finest partials, but sketch state is fed
+    /// raw rows per group in ascending row order per attribute — exactly
+    /// the sequence the reference fold executes — so `==` is sound for the
+    /// sketch halves on any data; the dyadic attribute restriction keeps
+    /// it sound for the exact halves too.
+    #[test]
+    fn frame_kernel_sketches_match_direct_fold(
+        tile_idx in 0usize..TILES.len(),
+        raw_rows in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..86_400, -4096i32..=4096, -4096i32..=4096),
+            1..100,
+        ),
+        level_mask in 1u8..64,
+        subset_stride in 1usize..4,
+    ) {
+        let tile = Geohash::from_str(TILES[tile_idx]).unwrap();
+        let tb = tile.bbox();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let day_start = day.start();
+        let rows: Vec<Observation> = raw_rows
+            .iter()
+            .map(|&(u, v, sec, q0, q1)| {
+                Observation::new(
+                    tb.min_lat + u * (tb.max_lat - tb.min_lat),
+                    tb.min_lon + v * (tb.max_lon - tb.min_lon),
+                    day_start + sec as i64 % DAY_SECS,
+                    vec![q0 as f64 * 0.25, q1 as f64 * 0.25],
+                )
+            })
+            .collect();
+        let spec = SketchSpec::standard();
+        let store = store_for(tile, rows.clone(), 0).with_sketches(spec.clone());
+        let bk = BlockKey { geohash: tile, day };
+
+        let mut wanted: Vec<CellKey> = Vec::new();
+        for (bit, &(delta, t_res)) in COMBOS.iter().enumerate() {
+            if level_mask & (1 << bit) == 0 {
+                continue;
+            }
+            let s_res = (tile.len() as i8 + delta).clamp(1, 12) as u8;
+            for obs in rows.iter().step_by(subset_stride) {
+                if let Some(key) = obs.cell_key(s_res, t_res) {
+                    wanted.push(key);
+                }
+            }
+        }
+        prop_assert!(!wanted.is_empty(), "mask {level_mask} selected no cells");
+
+        let scanned = sorted(store.scan_block(bk, &wanted).cells);
+        prop_assert!(
+            scanned.iter().all(|(_, s)| s.has_sketches()),
+            "sketch-enabled scan emitted exact-only cells"
+        );
+
+        // Reference: fold each wanted cell's raw rows directly.
+        let mut keys: Vec<CellKey> = wanted.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        let reference: Vec<(CellKey, CellSummary)> = keys
+            .iter()
+            .map(|&key| {
+                let level = key.level();
+                let mut s = CellSummary::empty_with(2, &spec);
+                for obs in &rows {
+                    if obs.cell_key(level.spatial_res(), level.temporal_res()) == Some(key) {
+                        s.push_row(&obs.values);
+                    }
+                }
+                (key, s)
+            })
+            .collect();
+        prop_assert_eq!(&scanned, &reference, "sketched scan diverged from direct fold");
+
+        // Error-bound spot checks against the exact per-cell row sets.
+        for (key, summary) in &scanned {
+            let level = key.level();
+            let mut exact: Vec<f64> = rows
+                .iter()
+                .filter(|o| o.cell_key(level.spatial_res(), level.temporal_res()) == Some(*key))
+                .map(|o| o.values[0])
+                .collect();
+            if exact.is_empty() {
+                continue;
+            }
+            exact.sort_by(f64::total_cmp);
+            let sk = summary.attr_sketches(0).unwrap();
+            let est = sk.quantile.quantile(0.5).unwrap();
+            let true_median = exact[(exact.len() - 1) / 2];
+            let tol = est.relative_error * true_median.abs() + 1e-9;
+            prop_assert!(
+                (est.value - true_median).abs() <= tol
+                    || exact.iter().any(|&v| (est.value - v).abs() <= est.relative_error * v.abs() + 1e-9),
+                "median estimate {} too far from exact {true_median}",
+                est.value
+            );
+            let distinct: std::collections::HashSet<u64> =
+                exact.iter().map(|v| v.to_bits()).collect();
+            let d = sk.distinct.estimate();
+            prop_assert!(
+                (d.count - distinct.len() as f64).abs()
+                    <= 6.0 * d.standard_error * distinct.len() as f64 + 3.0,
+                "distinct estimate {} vs true {}",
+                d.count,
+                distinct.len()
+            );
+            // Count-min never undercounts and a single counter never
+            // exceeds the total pushed; the tighter `+ error_bound`
+            // overcount cap is probabilistic (1 − 2^−depth per lookup) and
+            // is exercised statistically in the sketch crate's own tests.
+            for entry in sk.heavy.top_k(4) {
+                let true_count = exact.iter().filter(|&&v| v == entry.value).count() as u64;
+                prop_assert!(
+                    entry.count >= true_count && entry.count <= exact.len() as u64,
+                    "heavy-hitter count {} outside [{true_count}, {}]",
+                    entry.count,
+                    exact.len()
+                );
+            }
+        }
     }
 }

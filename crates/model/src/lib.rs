@@ -13,6 +13,13 @@
 //! is what lets STASH compute a coarse Cell from cached finer Cells instead
 //! of touching disk (§V-B: disk access happens only when missing values are
 //! "not available by computing from the existing cached values").
+//!
+//! When a deployment enables sketch-valued Cells ([`SketchSpec`]), the
+//! [`CellStats`] carrier additionally holds mergeable sketch partials per
+//! attribute — quantiles, distinct counts, heavy hitters from
+//! `stash-sketch` — that roll up along the same hierarchy and surface
+//! through [`QueryResult::quantile`], [`QueryResult::distinct`], and
+//! [`QueryResult::top_k`].
 
 pub mod attr;
 pub mod cell;
@@ -30,4 +37,8 @@ pub use key::CellKey;
 pub use level::{Level, MAX_SPATIAL_RES};
 pub use observation::Observation;
 pub use query::{AggFunc, AggQuery, QueryError, QueryResult};
-pub use stats::{CellSummary, SummaryStats};
+pub use stash_sketch::{
+    AttrSketches, DistinctEstimate, DistinctSketch, HeavyHitters, QuantileEstimate, SketchSpec,
+    TopKEntry, UddSketch,
+};
+pub use stats::{CellStats, CellSummary, SummaryStats};

@@ -217,6 +217,48 @@ impl QueryResult {
     pub fn total_count(&self) -> u64 {
         self.cells.iter().map(|c| c.summary.count()).sum()
     }
+
+    /// Merge attribute `attr`'s sketch bundles across every result cell.
+    ///
+    /// `None` when any *non-empty* cell lacks sketch state (exact-only
+    /// deployment) or when no cell holds data — empty cells contribute no
+    /// observations and are skipped regardless of how they were built.
+    fn fold_sketches(&self, attr: usize) -> Option<stash_sketch::AttrSketches> {
+        let mut acc: Option<stash_sketch::AttrSketches> = None;
+        for cell in &self.cells {
+            match cell.summary.attr_sketches(attr) {
+                Some(sk) => match &mut acc {
+                    Some(a) => a.merge(sk),
+                    None => acc = Some(sk.clone()),
+                },
+                None if cell.summary.is_empty() => continue,
+                None => return None,
+            }
+        }
+        acc
+    }
+
+    /// Estimated `q`-quantile of attribute `attr` over the whole result,
+    /// with its relative-error bound. `None` unless the deployment carries
+    /// sketch-valued Cells and the result holds data.
+    pub fn quantile(&self, attr: usize, q: f64) -> Option<stash_sketch::QuantileEstimate> {
+        self.fold_sketches(attr)?.quantile.quantile(q)
+    }
+
+    /// Estimated distinct-value count of attribute `attr` over the whole
+    /// result, with its standard error. `None` unless the deployment
+    /// carries sketch-valued Cells and the result holds data.
+    pub fn distinct(&self, attr: usize) -> Option<stash_sketch::DistinctEstimate> {
+        Some(self.fold_sketches(attr)?.distinct.estimate())
+    }
+
+    /// The `k` most frequent values of attribute `attr` over the whole
+    /// result, each with a count estimate and overcount bound. `None`
+    /// unless the deployment carries sketch-valued Cells and the result
+    /// holds data.
+    pub fn top_k(&self, attr: usize, k: usize) -> Option<Vec<stash_sketch::TopKEntry>> {
+        Some(self.fold_sketches(attr)?.heavy.top_k(k))
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! property is what makes roll-up queries answerable from cache.
 
 use serde::{Deserialize, Serialize};
+use stash_sketch::{AttrSketches, SketchSpec};
 
 /// Aggregated statistics for one attribute over one spatiotemporal bin.
 ///
@@ -180,25 +181,54 @@ impl<'de> serde::Deserialize<'de> for SummaryStats {
     }
 }
 
-/// The per-attribute summaries of one Cell, aligned with an
+/// The per-attribute statistics of one Cell, aligned with an
 /// [`AttrSchema`](crate::attr::AttrSchema): `summaries[i]` aggregates
-/// attribute `i`.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct CellSummary {
+/// attribute `i` exactly, and — when the deployment enables sketch-valued
+/// Cells — `sketches[i]` carries the mergeable sketch partials (quantiles,
+/// distinct count, heavy hitters) for the same attribute.
+///
+/// Sketches are strictly additive: with `sketches == None` (the default and
+/// the only state older builds could produce) every operation and the wire
+/// form are bit-for-bit identical to the historical exact-only
+/// `CellSummary`. The serialized object gains a `"sketches"` key only when
+/// sketch state is present.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellStats {
     summaries: Vec<SummaryStats>,
+    /// `Some` iff this Cell carries sketch partials; aligned with
+    /// `summaries` when present.
+    sketches: Option<Vec<AttrSketches>>,
 }
 
-impl CellSummary {
-    /// An empty summary for `n_attrs` attributes.
+/// Historical name for [`CellStats`], kept so existing call sites and wire
+/// schemas read naturally — a Cell's "summary" is now stats-plus-sketches.
+pub type CellSummary = CellStats;
+
+impl CellStats {
+    /// An empty exact-only summary for `n_attrs` attributes.
     pub fn empty(n_attrs: usize) -> Self {
-        CellSummary {
+        CellStats {
             summaries: vec![SummaryStats::empty(); n_attrs],
+            sketches: None,
         }
     }
 
-    /// Wrap pre-computed per-attribute summaries.
+    /// An empty summary for `n_attrs` attributes, carrying empty sketch
+    /// state when `spec` enables it (exact-only otherwise).
+    pub fn empty_with(n_attrs: usize, spec: &SketchSpec) -> Self {
+        let mut s = CellStats::empty(n_attrs);
+        if spec.enabled {
+            s.sketches = Some(vec![AttrSketches::new(spec); n_attrs]);
+        }
+        s
+    }
+
+    /// Wrap pre-computed per-attribute summaries (exact-only).
     pub fn from_parts(summaries: Vec<SummaryStats>) -> Self {
-        CellSummary { summaries }
+        CellStats {
+            summaries,
+            sketches: None,
+        }
     }
 
     /// Number of attributes.
@@ -230,7 +260,8 @@ impl CellSummary {
         &self.summaries
     }
 
-    /// Fold in one observation row (`values[i]` is attribute `i`).
+    /// Fold in one observation row (`values[i]` is attribute `i`), into the
+    /// exact summaries and any sketch partials alike.
     ///
     /// # Panics
     /// Panics if the row width differs from the summary width.
@@ -240,28 +271,60 @@ impl CellSummary {
         for (s, &v) in self.summaries.iter_mut().zip(values) {
             s.push(v);
         }
+        if let Some(sketches) = &mut self.sketches {
+            for (s, &v) in sketches.iter_mut().zip(values) {
+                s.push(v);
+            }
+        }
     }
 
     /// Merge another Cell's summary into this one.
     ///
+    /// Sketch handling preserves the monoid contract that hierarchy code
+    /// (`Cell::from_children`, partials gathering) relies on: an *empty*
+    /// exact-only summary is the identity, so merging sketch-carrying state
+    /// into a fresh accumulator adopts the sketches. Merging two
+    /// sketch-carrying summaries merges them pairwise; any other mix of a
+    /// non-empty exact-only side with a sketched side drops the sketches —
+    /// an estimate that silently missed rows would be worse than no
+    /// estimate.
+    ///
     /// # Panics
     /// Panics if attribute counts differ — merging summaries from different
     /// schemas is always a bug.
-    pub fn merge(&mut self, other: &CellSummary) {
+    pub fn merge(&mut self, other: &CellStats) {
         assert_eq!(
             self.summaries.len(),
             other.summaries.len(),
             "schema mismatch in CellSummary::merge"
         );
+        // Decide sketch state from pre-merge counts, before exact folding.
+        if !(other.count() == 0 && other.sketches.is_none()) {
+            if self.count() == 0 && self.sketches.is_none() {
+                self.sketches = other.sketches.clone();
+            } else {
+                match (&mut self.sketches, &other.sketches) {
+                    (Some(a), Some(b)) => {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            x.merge(y);
+                        }
+                    }
+                    (None, None) => {}
+                    _ => self.sketches = None,
+                }
+            }
+        }
         for (a, b) in self.summaries.iter_mut().zip(&other.summaries) {
             a.merge(b);
         }
     }
 
-    /// Merge a single attribute's statistics into attribute `i` — the
-    /// emission primitive of the columnar scan kernel, which accumulates
+    /// Merge a single attribute's *exact* statistics into attribute `i` —
+    /// the emission primitive of the columnar scan kernel, which accumulates
     /// per-slot stats in a flat `SummaryStats` array rather than as whole
-    /// `CellSummary` values.
+    /// `CellSummary` values. Sketch state is untouched; the kernel folds
+    /// sketches through [`attr_sketches_mut`](Self::attr_sketches_mut) in
+    /// its own pass.
     ///
     /// # Panics
     /// Panics if `i` is out of range.
@@ -270,9 +333,89 @@ impl CellSummary {
         self.summaries[i].merge(other);
     }
 
+    /// True if this summary carries sketch partials.
+    #[inline]
+    pub fn has_sketches(&self) -> bool {
+        self.sketches.is_some()
+    }
+
+    /// Sketch partials for attribute `i`, if carried.
+    #[inline]
+    pub fn attr_sketches(&self, i: usize) -> Option<&AttrSketches> {
+        self.sketches.as_ref().and_then(|s| s.get(i))
+    }
+
+    /// Mutable sketch partials for attribute `i`, if carried — the sketch
+    /// emission primitive of the scan kernel.
+    #[inline]
+    pub fn attr_sketches_mut(&mut self, i: usize) -> Option<&mut AttrSketches> {
+        self.sketches.as_mut().and_then(|s| s.get_mut(i))
+    }
+
+    /// Attach empty sketch state configured per `spec` if none is carried
+    /// yet (no-op when `spec` is disabled or sketches are already present).
+    pub fn ensure_sketches(&mut self, spec: &SketchSpec) {
+        if spec.enabled && self.sketches.is_none() {
+            self.sketches = Some(vec![AttrSketches::new(spec); self.summaries.len()]);
+        }
+    }
+
     /// Approximate in-memory footprint, for the cache budget.
     pub fn estimated_bytes(&self) -> usize {
-        std::mem::size_of::<CellSummary>() + self.summaries.len() * SummaryStats::estimated_bytes()
+        std::mem::size_of::<CellSummary>()
+            + self.summaries.len() * SummaryStats::estimated_bytes()
+            + self
+                .sketches
+                .as_ref()
+                .map_or(0, |s| s.iter().map(AttrSketches::estimated_bytes).sum())
+    }
+
+    /// Approximate serialized footprint of the sketch payload alone (0 in
+    /// exact-only mode); feeds the `sketch.bytes` counter.
+    pub fn sketch_wire_bytes(&self) -> usize {
+        self.sketches
+            .as_ref()
+            .map_or(0, |s| s.iter().map(AttrSketches::wire_bytes).sum())
+    }
+
+    /// Approximate serialized footprint, for the network cost model: the
+    /// historical 40 bytes per exact summary plus any sketch payload.
+    pub fn wire_bytes(&self) -> usize {
+        self.summaries.len() * SummaryStats::estimated_bytes() + self.sketch_wire_bytes()
+    }
+}
+
+impl serde::Serialize for CellStats {
+    fn to_value(&self) -> serde::value::Value {
+        // The `sketches` key is emitted only when present, keeping the
+        // exact-only wire form byte-identical to the historical
+        // `{"summaries": [...]}` object.
+        let mut fields = vec![("summaries".to_string(), self.summaries.to_value())];
+        if let Some(sketches) = &self.sketches {
+            fields.push(("sketches".to_string(), sketches.to_value()));
+        }
+        serde::value::Value::Object(fields)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CellStats {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::DeError> {
+        let summaries = Vec::<SummaryStats>::from_value(v.get_or_null("summaries"))?;
+        let sketches = match v.get_or_null("sketches") {
+            serde::value::Value::Null => None,
+            present => Some(Vec::<AttrSketches>::from_value(present)?),
+        };
+        if let Some(s) = &sketches {
+            if s.len() != summaries.len() {
+                return Err(serde::de::Error::custom(
+                    "sketches misaligned with summaries",
+                ));
+            }
+        }
+        Ok(CellStats {
+            summaries,
+            sketches,
+        })
     }
 }
 

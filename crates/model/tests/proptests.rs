@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
-use stash_model::{AggFunc, AggQuery, Cell, CellKey, CellSummary, SummaryStats};
+use stash_model::{AggFunc, AggQuery, Cell, CellKey, CellSummary, SketchSpec, SummaryStats};
 
 fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1000.0f64..1000.0, 0..max_len)
@@ -169,5 +169,56 @@ proptest! {
             prop_assert_eq!(a.attr(i).unwrap().min(), union.attr(i).unwrap().min());
             prop_assert_eq!(a.attr(i).unwrap().max(), union.attr(i).unwrap().max());
         }
+    }
+
+    /// Sketch-carrying Cells keep the partition-merge law *bit-for-bit* on
+    /// quantized data (the regime where the heavy-hitter candidate list is
+    /// exactly order-invariant; quantiles and distinct counts are canonical
+    /// on any data).
+    #[test]
+    fn sketched_cells_merge_matches_row_union(
+        rows_a in prop::collection::vec(prop::array::uniform2(-50i32..50), 0..40),
+        rows_b in prop::collection::vec(prop::array::uniform2(-50i32..50), 0..40),
+    ) {
+        let spec = SketchSpec::standard();
+        let push = |cs: &mut CellSummary, rows: &[[i32; 2]]| {
+            for r in rows {
+                cs.push_row(&[r[0] as f64, r[1] as f64]);
+            }
+        };
+        let mut a = CellSummary::empty_with(2, &spec);
+        push(&mut a, &rows_a);
+        let mut b = CellSummary::empty_with(2, &spec);
+        push(&mut b, &rows_b);
+        let mut union = CellSummary::empty_with(2, &spec);
+        push(&mut union, &rows_a);
+        push(&mut union, &rows_b);
+        a.merge(&b);
+        prop_assert_eq!(&a, &union);
+        // Merging through a fresh exact-only accumulator (the gather seed
+        // path) adopts sketch state instead of dropping it.
+        let mut seed = CellSummary::empty(2);
+        seed.merge(&union);
+        prop_assert_eq!(&seed, &union);
+    }
+
+    /// A non-empty exact-only partial degrades the merged Cell to
+    /// exact-only rather than keeping sketches that silently missed rows.
+    #[test]
+    fn mixed_merge_degrades_to_exact(
+        rows in prop::collection::vec(prop::array::uniform2(-50i32..50), 1..20),
+    ) {
+        let spec = SketchSpec::standard();
+        let mut sketched = CellSummary::empty_with(2, &spec);
+        let mut exact = CellSummary::empty(2);
+        for r in &rows {
+            let row = [r[0] as f64, r[1] as f64];
+            sketched.push_row(&row);
+            exact.push_row(&row);
+        }
+        let mut merged = sketched.clone();
+        merged.merge(&exact);
+        prop_assert!(!merged.has_sketches());
+        prop_assert_eq!(merged.count(), 2 * exact.count());
     }
 }

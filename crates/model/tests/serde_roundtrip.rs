@@ -5,7 +5,7 @@
 
 use stash_geo::time::epoch_seconds;
 use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
-use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult, SummaryStats};
+use stash_model::{AggQuery, Cell, CellKey, CellSummary, QueryResult, SketchSpec, SummaryStats};
 use std::str::FromStr;
 
 fn sample_key() -> CellKey {
@@ -111,4 +111,45 @@ fn json_is_stable_across_serializations() {
     let a = serde_json::to_string(&c).unwrap();
     let b = serde_json::to_string(&c).unwrap();
     assert_eq!(a, b, "serialization must be deterministic");
+}
+
+/// Regression pin for the pre-sketch wire format: an exact-only summary
+/// must serialize byte-for-byte as it did before `CellStats` learned to
+/// carry sketches — no `"sketches"` key, same field order, null extremes
+/// for empty attributes.
+#[test]
+fn exact_only_wire_format_is_unchanged() {
+    let mut s = CellSummary::empty(2);
+    s.push_row(&[2.0, -4.5]);
+    let json = serde_json::to_string(&s).unwrap();
+    assert_eq!(
+        json,
+        concat!(
+            r#"{"summaries":["#,
+            r#"{"count":1,"min":2.0,"max":2.0,"sum":2.0,"sum_sq":4.0},"#,
+            r#"{"count":1,"min":-4.5,"max":-4.5,"sum":-4.5,"sum_sq":20.25}"#,
+            r#"]}"#
+        )
+    );
+    let empty = serde_json::to_string(&CellSummary::empty(1)).unwrap();
+    assert_eq!(
+        empty,
+        r#"{"summaries":[{"count":0,"min":null,"max":null,"sum":0.0,"sum_sq":0.0}]}"#
+    );
+    assert!(!json.contains("sketches"));
+}
+
+#[test]
+fn sketched_cells_roundtrip() {
+    let mut s = CellSummary::empty_with(2, &SketchSpec::standard());
+    s.push_row(&[21.0, 68.0]);
+    s.push_row(&[-3.0, 91.0]);
+    assert!(s.has_sketches());
+    roundtrip(&s);
+    let json = serde_json::to_string(&s).unwrap();
+    assert!(json.contains("\"sketches\""));
+    // Sketch state participates in Cell/QueryResult wire forms untouched.
+    let mut cell = Cell::empty(sample_key(), 2);
+    cell.summary = s;
+    roundtrip(&cell);
 }

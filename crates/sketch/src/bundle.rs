@@ -1,0 +1,117 @@
+//! The per-attribute sketch bundle carried inside a Cell.
+
+use crate::distinct::DistinctSketch;
+use crate::heavy::HeavyHitters;
+use crate::quantile::UddSketch;
+use crate::spec::SketchSpec;
+use serde::{Deserialize, Serialize};
+
+/// All three sketch partials for one attribute. Lives alongside the exact
+/// `SummaryStats` of the attribute and obeys the same monoid contract:
+/// freshly-constructed state is the identity, and merging bundles built
+/// from partitions of a dataset yields the bundle of the whole (bit-for-bit
+/// for quantiles and distinct counts; for heavy hitters, whenever distinct
+/// values fit the candidate cap).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrSketches {
+    pub quantile: UddSketch,
+    pub distinct: DistinctSketch,
+    pub heavy: HeavyHitters,
+}
+
+impl AttrSketches {
+    /// Empty bundle configured per `spec`.
+    pub fn new(spec: &SketchSpec) -> Self {
+        AttrSketches {
+            quantile: UddSketch::new(spec.quantile_alpha, spec.quantile_max_buckets),
+            distinct: DistinctSketch::new(spec.hll_precision),
+            heavy: HeavyHitters::new(spec.cm_width, spec.cm_depth, spec.hh_candidates),
+        }
+    }
+
+    /// Fold one observation of this attribute into all three sketches.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.quantile.push(value);
+        self.distinct.push(value);
+        self.heavy.push(value);
+    }
+
+    /// Merge another bundle into this one.
+    ///
+    /// # Panics
+    /// Panics if the bundles were configured differently.
+    pub fn merge(&mut self, other: &AttrSketches) {
+        self.quantile.merge(&other.quantile);
+        self.distinct.merge(&other.distinct);
+        self.heavy.merge(&other.heavy);
+    }
+
+    /// True if no observation has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.quantile.is_empty() && self.distinct.is_empty() && self.heavy.is_empty()
+    }
+
+    /// Approximate in-memory footprint, for cache budgets.
+    pub fn estimated_bytes(&self) -> usize {
+        self.quantile.estimated_bytes()
+            + self.distinct.estimated_bytes()
+            + self.heavy.estimated_bytes()
+    }
+
+    /// Approximate serialized footprint, for the network cost model.
+    pub fn wire_bytes(&self) -> usize {
+        self.quantile.wire_bytes() + self.distinct.wire_bytes() + self.heavy.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_merge_equals_whole_fold() {
+        let spec = SketchSpec::standard();
+        let values: Vec<f64> = (0..300).map(|i| ((i * 31) % 60) as f64 - 30.0).collect();
+        let mut whole = AttrSketches::new(&spec);
+        for &v in &values {
+            whole.push(v);
+        }
+        let (lo, hi) = values.split_at(120);
+        let mut a = AttrSketches::new(&spec);
+        for &v in lo {
+            a.push(v);
+        }
+        let mut b = AttrSketches::new(&spec);
+        for &v in hi {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn new_bundle_is_identity() {
+        let spec = SketchSpec::standard();
+        let mut s = AttrSketches::new(&spec);
+        s.push(4.0);
+        s.push(-1.5);
+        let before = s.clone();
+        s.merge(&AttrSketches::new(&spec));
+        assert_eq!(s, before);
+        assert!(AttrSketches::new(&spec).is_empty());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let spec = SketchSpec::standard();
+        let mut s = AttrSketches::new(&spec);
+        for i in 0..40 {
+            s.push((i % 7) as f64);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: AttrSketches = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

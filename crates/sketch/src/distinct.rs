@@ -1,0 +1,247 @@
+//! HyperLogLog distinct-count estimator with linear-counting correction.
+//!
+//! The partial state is a file of `2^p` 6-bit ranks (stored as bytes):
+//! register `j` holds the maximum number of leading zero bits (+1) seen in
+//! the hashed suffix of any value routed to `j`. Merging is register-wise
+//! `max`, which is idempotent, commutative, and associative — bit-for-bit
+//! merge-order invariance for free. The accessor applies the standard HLL
+//! harmonic-mean estimator, falling back to linear counting over the empty
+//! registers in the small-cardinality regime where it is strictly more
+//! accurate.
+
+use crate::hash::hash_value;
+use serde::{Deserialize, Serialize};
+
+/// A distinct-count estimate plus its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistinctEstimate {
+    /// Estimated number of distinct values.
+    pub count: f64,
+    /// Relative standard error of the estimator (≈ 1.04/√m); the true
+    /// cardinality lies within ±3·`standard_error`·`count` with high
+    /// probability.
+    pub standard_error: f64,
+}
+
+impl DistinctEstimate {
+    /// The estimate rounded to a whole count.
+    pub fn rounded(&self) -> u64 {
+        self.count.round().max(0.0) as u64
+    }
+}
+
+/// Mergeable distinct-count sketch (the partial state of the two-step
+/// aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistinctSketch {
+    /// log₂ of the register count.
+    precision: u8,
+    /// One max-rank per register.
+    registers: Vec<u8>,
+}
+
+impl DistinctSketch {
+    /// An empty sketch with `2^precision` registers.
+    ///
+    /// # Panics
+    /// Panics unless `4 ≤ precision ≤ 16`.
+    pub fn new(precision: u8) -> Self {
+        assert!(
+            (4..=16).contains(&precision),
+            "hll precision must be in 4..=16"
+        );
+        DistinctSketch {
+            precision,
+            registers: vec![0; 1 << precision],
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, value: f64) {
+        let h = hash_value(value);
+        let p = self.precision as u32;
+        let idx = (h >> (64 - p)) as usize;
+        // Rank of the remaining 64−p bits: leading zeros + 1, capped so an
+        // all-zero suffix stays representable.
+        let w = h << p;
+        let rank = (w.leading_zeros() as u8 + 1).min(64 - self.precision + 1);
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merge another sketch into this one (register-wise max).
+    ///
+    /// # Panics
+    /// Panics if the two sketches were configured differently.
+    pub fn merge(&mut self, other: &DistinctSketch) {
+        assert!(
+            self.precision == other.precision,
+            "sketch config mismatch in DistinctSketch::merge"
+        );
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// The accessor: estimated distinct count with its standard error.
+    pub fn estimate(&self) -> DistinctEstimate {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let denom: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / denom;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        let count = if raw <= 2.5 * m && zeros > 0 {
+            // Linear counting over the empty registers.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        };
+        DistinctEstimate {
+            count,
+            standard_error: 1.04 / m.sqrt(),
+        }
+    }
+
+    /// Approximate in-memory footprint, for cache budgets.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<DistinctSketch>() + self.registers.len()
+    }
+
+    /// Approximate serialized footprint, for the network cost model
+    /// (registers pack 8 per word on the wire).
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.registers.len()
+    }
+}
+
+/// Wire mirror: registers packed big-endian 8-per-u64, canonical order.
+#[derive(Serialize, Deserialize)]
+struct WireHll {
+    precision: u8,
+    packed: Vec<u64>,
+}
+
+impl serde::Serialize for DistinctSketch {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let packed = self
+            .registers
+            .chunks(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w[..c.len()].copy_from_slice(c);
+                u64::from_be_bytes(w)
+            })
+            .collect();
+        WireHll {
+            precision: self.precision,
+            packed,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for DistinctSketch {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let w = WireHll::deserialize(deserializer)?;
+        if !(4..=16).contains(&w.precision) {
+            return Err(serde::de::Error::custom("invalid hll precision"));
+        }
+        let m = 1usize << w.precision;
+        if w.packed.len() != m / 8 {
+            return Err(serde::de::Error::custom("hll register payload size"));
+        }
+        let mut registers = Vec::with_capacity(m);
+        for word in &w.packed {
+            registers.extend_from_slice(&word.to_be_bytes());
+        }
+        let max_rank = 64 - w.precision + 1;
+        if registers.iter().any(|&r| r > max_rank) {
+            return Err(serde::de::Error::custom("hll register rank out of range"));
+        }
+        Ok(DistinctSketch {
+            precision: w.precision,
+            registers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(values: impl IntoIterator<Item = f64>) -> DistinctSketch {
+        let mut s = DistinctSketch::new(8);
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = DistinctSketch::new(8);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate().rounded(), 0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let once = sketch_of((0..50).map(f64::from));
+        let thrice = sketch_of((0..150).map(|i| f64::from(i % 50)));
+        assert_eq!(once, thrice);
+    }
+
+    #[test]
+    fn estimate_tracks_true_cardinality() {
+        for n in [10usize, 100, 1000, 10_000] {
+            let s = sketch_of((0..n).map(|i| i as f64 * 1.25));
+            let est = s.estimate();
+            let tolerance = (3.0 * est.standard_error * n as f64).max(2.0);
+            assert!(
+                (est.count - n as f64).abs() <= tolerance,
+                "n={n}: estimate {} (±{tolerance})",
+                est.count
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_bit_identical_to_whole_fold() {
+        let values: Vec<f64> = (0..400).map(|i| ((i * 13) % 177) as f64).collect();
+        for split in [0, 1, 200, 400] {
+            let (lo, hi) = values.split_at(split);
+            let mut merged = sketch_of(lo.iter().copied());
+            merged.merge(&sketch_of(hi.iter().copied()));
+            assert_eq!(merged, sketch_of(values.iter().copied()), "split {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch config mismatch")]
+    fn merge_rejects_config_mismatch() {
+        let mut a = DistinctSketch::new(8);
+        a.merge(&DistinctSketch::new(9));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let s = sketch_of((0..77).map(|i| i as f64 - 38.0));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DistinctSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

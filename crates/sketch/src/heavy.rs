@@ -1,0 +1,320 @@
+//! Count-min + candidate-list heavy-hitters sketch.
+//!
+//! Frequencies live in a `depth × width` count-min matrix: every observation
+//! increments one counter per row (chosen by independent hashes of the
+//! value), and a point query takes the minimum across rows — an estimate
+//! that never undercounts and overcounts by at most `2·total/width` with
+//! probability `1 − 2^−depth`. The matrix merges entrywise, so it is exactly
+//! merge-order invariant.
+//!
+//! A count-min matrix alone cannot *enumerate* the heavy values, so the
+//! sketch also carries a capped candidate list of values actually seen.
+//! Eviction is deterministic — drop candidates with the smallest
+//! `(estimate, value bits)` — and amortized: the list may grow to twice its
+//! cap before a one-pass trim cuts it back, so saturated streams pay O(1)
+//! amortized per push instead of a full rescan. As long as the number of
+//! distinct values stays within the cap (the intended regime: quantized or
+//! categorical attributes, cf. the generator's `value_quantum`) no eviction
+//! ever fires and the list is bit-for-bit merge-order invariant. Beyond the
+//! cap the list degrades to a best-effort top set while the matrix keeps
+//! its guarantees.
+
+use crate::hash::{canonical_bits, splitmix64};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One entry of a top-K answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEntry {
+    /// The candidate value.
+    pub value: f64,
+    /// Count-min frequency estimate; never below the true count.
+    pub count: u64,
+    /// Overcount bound: the true count is within `[count − error_bound,
+    /// count]` with probability `1 − 2^−depth`.
+    pub error_bound: u64,
+}
+
+/// Mergeable heavy-hitters sketch (the partial state of the two-step
+/// aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitters {
+    width: usize,
+    depth: usize,
+    /// Candidate-list capacity.
+    limit: usize,
+    /// Total observations folded in.
+    total: u64,
+    /// `depth × width` counters, row-major.
+    rows: Vec<u64>,
+    /// Canonical bit patterns of candidate values, sorted by construction.
+    candidates: BTreeSet<u64>,
+}
+
+impl HeavyHitters {
+    /// An empty sketch with a `depth × width` count-min matrix and at most
+    /// `limit` tracked candidates.
+    ///
+    /// # Panics
+    /// Panics if `width < 8`, `depth` is outside `1..=8`, or `limit == 0`.
+    pub fn new(width: usize, depth: usize, limit: usize) -> Self {
+        assert!(width >= 8, "count-min width must be at least 8");
+        assert!((1..=8).contains(&depth), "count-min depth must be in 1..=8");
+        assert!(limit > 0, "heavy-hitter candidate limit must be positive");
+        HeavyHitters {
+            width,
+            depth,
+            limit,
+            total: 0,
+            rows: vec![0; width * depth],
+            candidates: BTreeSet::new(),
+        }
+    }
+
+    /// Row-`d` column for a value's canonical bits.
+    #[inline]
+    fn column(&self, bits: u64, d: usize) -> usize {
+        (splitmix64(bits ^ (0xC0FF_EE00 + d as u64)) % self.width as u64) as usize
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, value: f64) {
+        let bits = canonical_bits(value);
+        self.total += 1;
+        for d in 0..self.depth {
+            let col = self.column(bits, d);
+            self.rows[d * self.width + col] += 1;
+        }
+        self.candidates.insert(bits);
+        self.trim();
+    }
+
+    /// Merge another sketch into this one (entrywise matrix add, candidate
+    /// union, deterministic re-trim).
+    ///
+    /// # Panics
+    /// Panics if the two sketches were configured differently.
+    pub fn merge(&mut self, other: &HeavyHitters) {
+        assert!(
+            self.width == other.width && self.depth == other.depth && self.limit == other.limit,
+            "sketch config mismatch in HeavyHitters::merge"
+        );
+        self.total += other.total;
+        for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
+            *a += b;
+        }
+        for &bits in &other.candidates {
+            self.candidates.insert(bits);
+        }
+        self.trim();
+    }
+
+    /// Amortized eviction: once the list exceeds twice its cap, cut it back
+    /// to the cap in one pass, dropping the smallest `(estimate, bits)`
+    /// first. Evictions never touch the matrix, so batching them is
+    /// equivalent to evicting one at a time.
+    fn trim(&mut self) {
+        if self.candidates.len() <= 2 * self.limit {
+            return;
+        }
+        let mut ranked: Vec<(u64, u64)> = self
+            .candidates
+            .iter()
+            .map(|&bits| (self.estimate_bits(bits), bits))
+            .collect();
+        ranked.sort_unstable();
+        for &(_, bits) in &ranked[..ranked.len() - self.limit] {
+            self.candidates.remove(&bits);
+        }
+    }
+
+    /// Count-min point estimate for a canonical bit pattern.
+    fn estimate_bits(&self, bits: u64) -> u64 {
+        (0..self.depth)
+            .map(|d| self.rows[d * self.width + self.column(bits, d)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The accessor: frequency estimate for a specific value (never below
+    /// the true count).
+    pub fn estimate(&self, value: f64) -> u64 {
+        self.estimate_bits(canonical_bits(value))
+    }
+
+    /// Overcount bound that holds with probability `1 − 2^−depth`.
+    pub fn error_bound(&self) -> u64 {
+        (2 * self.total).div_ceil(self.width as u64)
+    }
+
+    /// Total observations folded in.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The accessor: the `k` most frequent candidate values, ordered by
+    /// descending estimate (ties broken by ascending value for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<TopKEntry> {
+        let error_bound = self.error_bound();
+        let mut entries: Vec<(u64, u64)> = self
+            .candidates
+            .iter()
+            .map(|&bits| (self.estimate_bits(bits), bits))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then_with(|| f64::from_bits(a.1).total_cmp(&f64::from_bits(b.1)))
+        });
+        entries
+            .into_iter()
+            .take(k)
+            .map(|(count, bits)| TopKEntry {
+                value: f64::from_bits(bits),
+                count,
+                error_bound,
+            })
+            .collect()
+    }
+
+    /// Approximate in-memory footprint, for cache budgets.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<HeavyHitters>() + self.rows.len() * 8 + self.candidates.len() * 8
+    }
+
+    /// Approximate serialized footprint, for the network cost model.
+    pub fn wire_bytes(&self) -> usize {
+        40 + self.rows.len() * 8 + self.candidates.len() * 8
+    }
+}
+
+/// Wire mirror: matrix row-major, candidates in sorted bit order.
+#[derive(Serialize, Deserialize)]
+struct WireHh {
+    width: u64,
+    depth: u64,
+    limit: u64,
+    total: u64,
+    rows: Vec<u64>,
+    candidates: Vec<u64>,
+}
+
+impl serde::Serialize for HeavyHitters {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        WireHh {
+            width: self.width as u64,
+            depth: self.depth as u64,
+            limit: self.limit as u64,
+            total: self.total,
+            rows: self.rows.clone(),
+            candidates: self.candidates.iter().copied().collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for HeavyHitters {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let w = WireHh::deserialize(deserializer)?;
+        let (width, depth, limit) = (w.width as usize, w.depth as usize, w.limit as usize);
+        if width < 8 || !(1..=8).contains(&depth) || limit == 0 {
+            return Err(serde::de::Error::custom("invalid heavy-hitter config"));
+        }
+        if w.rows.len() != width * depth || w.candidates.len() > 2 * limit {
+            return Err(serde::de::Error::custom("heavy-hitter payload size"));
+        }
+        Ok(HeavyHitters {
+            width,
+            depth,
+            limit,
+            total: w.total,
+            rows: w.rows,
+            candidates: w.candidates.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(values: impl IntoIterator<Item = f64>) -> HeavyHitters {
+        let mut s = HeavyHitters::new(64, 3, 32);
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn estimates_never_undercount() {
+        // A skewed stream: value i appears (20 - i) times.
+        let mut stream = Vec::new();
+        for i in 0..20 {
+            for _ in 0..(20 - i) {
+                stream.push(i as f64);
+            }
+        }
+        let s = sketch_of(stream.iter().copied());
+        for i in 0..20u64 {
+            let true_count = 20 - i;
+            let est = s.estimate(i as f64);
+            assert!(est >= true_count, "undercount for {i}");
+            assert!(
+                est <= true_count + s.error_bound(),
+                "overcount beyond bound"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_finds_the_heavy_values() {
+        let mut stream: Vec<f64> = (0..30).map(f64::from).collect();
+        for _ in 0..50 {
+            stream.push(7.0);
+            stream.push(13.0);
+        }
+        let top = sketch_of(stream.iter().copied()).top_k(2);
+        let values: Vec<f64> = top.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![7.0, 13.0]);
+        assert!(top[0].count >= 51);
+    }
+
+    #[test]
+    fn merge_is_bit_identical_within_cap() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 7) % 30) as f64).collect();
+        for split in [0, 1, 100, 200] {
+            let (lo, hi) = values.split_at(split);
+            let mut merged = sketch_of(lo.iter().copied());
+            merged.merge(&sketch_of(hi.iter().copied()));
+            assert_eq!(merged, sketch_of(values.iter().copied()), "split {split}");
+        }
+    }
+
+    #[test]
+    fn candidate_list_respects_cap() {
+        let s = sketch_of((0..200).map(f64::from));
+        assert!(s.candidates.len() <= 2 * 32, "hysteresis ceiling");
+        assert_eq!(s.count(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch config mismatch")]
+    fn merge_rejects_config_mismatch() {
+        let mut a = HeavyHitters::new(64, 3, 32);
+        a.merge(&HeavyHitters::new(64, 4, 32));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let s = sketch_of((0..60).map(|i| (i % 11) as f64 - 5.0));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HeavyHitters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,44 @@
+//! Mergeable sketches for sketch-valued Cells.
+//!
+//! STASH's exact per-attribute summaries (count/min/max/sum/sum²) are
+//! decomposable, which is what makes roll-up queries answerable from cache —
+//! but they cannot answer the percentile overlays, cardinality maps, and
+//! top-K panels that interactive exploration fronts ask for. This crate adds
+//! three *approximate* summaries with the same algebraic contract:
+//!
+//! * [`UddSketch`] — a UDDSketch-style log-bucketed quantile sketch with a
+//!   bounded relative error that degrades predictably under compaction.
+//! * [`DistinctSketch`] — a HyperLogLog register file with linear-counting
+//!   small-range correction.
+//! * [`HeavyHitters`] — a count-min matrix plus a capped candidate list for
+//!   top-K attribute values.
+//!
+//! Each follows the two-step aggregate convention: the struct itself is the
+//! **mergeable partial state** that lives inside Cells, travels in partials
+//! fragments, and merges upward along the hierarchy; **accessors**
+//! ([`UddSketch::quantile`], [`DistinctSketch::estimate`],
+//! [`HeavyHitters::top_k`]) turn a partial into a final answer with an
+//! explicit error bound. Merging never consults insertion order:
+//! [`UddSketch`] keeps a canonical compaction level so its state is a pure
+//! function of the inserted multiset, HLL registers merge by `max`, and the
+//! count-min matrix merges entrywise. The heavy-hitter candidate list is
+//! additionally bit-for-bit order-invariant whenever the number of distinct
+//! values stays within its cap (the intended regime: quantized/categorical
+//! attributes).
+//!
+//! Wire form is deterministic: every sketch serializes its buckets and
+//! registers in a canonical sorted order, so equal states produce equal
+//! bytes — the property the cluster's bit-for-bit equivalence tests lean on.
+
+mod bundle;
+mod distinct;
+mod hash;
+mod heavy;
+mod quantile;
+mod spec;
+
+pub use bundle::AttrSketches;
+pub use distinct::{DistinctEstimate, DistinctSketch};
+pub use heavy::{HeavyHitters, TopKEntry};
+pub use quantile::{QuantileEstimate, UddSketch};
+pub use spec::SketchSpec;

@@ -1,0 +1,376 @@
+//! UDDSketch-style quantile sketch with a canonical compaction level.
+//!
+//! Values are binned into logarithmic buckets: a positive value `v` falls in
+//! bucket `⌈ln v / ln γ⌉`, giving every bucket a bounded *relative* width and
+//! hence a bounded relative error `α = (γ−1)/(γ+1)` on any quantile
+//! estimate. When the bucket table outgrows its budget the sketch *compacts*:
+//! γ is squared and bucket `i` maps to `⌈i/2⌉`, halving resolution and
+//! doubling coverage (the Uniform DDSketch collapse rule).
+//!
+//! The crucial property for STASH is **merge-order invariance**. The sketch
+//! always compacts down to the *minimal* level whose bucket count fits the
+//! budget, and bucket indices at level `k` are derived from level-0 indices
+//! by exact integer ceil-division (`⌈i₀ / 2^k⌉`), never by re-binning floats
+//! at the coarser γ. Because the occupied-bucket count at any level is
+//! monotone under multiset union, that minimal level — and therefore the
+//! entire state — is a pure function of the inserted multiset. Any merge
+//! tree over any partition of the data produces bit-identical state, which
+//! is what lets cached hierarchical roll-ups answer percentile queries
+//! exactly as if the raw observations had been folded directly.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A quantile estimate plus the guarantee it came with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileEstimate {
+    /// The estimated quantile value.
+    pub value: f64,
+    /// Maximum relative error of `value` at the sketch's current compaction
+    /// level: the true quantile `v` satisfies `|value − v| ≤ bound · |v|`.
+    pub relative_error: f64,
+    /// Number of observations the estimate aggregates.
+    pub count: u64,
+}
+
+/// Mergeable quantile sketch (the partial state of the two-step aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UddSketch {
+    /// Initial (finest) relative error target; γ₀ = (1+α₀)/(1−α₀).
+    alpha: f64,
+    /// Bucket budget; compaction keeps `neg.len() + pos.len()` at or below
+    /// this.
+    max_buckets: usize,
+    /// Compaction level `k`; the effective base is γ₀^(2^k).
+    compactions: u32,
+    /// Exact count of zero-valued observations (zero has no log bucket).
+    zero_count: u64,
+    /// Buckets of negative values, keyed by the level-`k` index of `|v|`.
+    neg: BTreeMap<i64, u64>,
+    /// Buckets of positive values, keyed by the level-`k` index of `v`.
+    pos: BTreeMap<i64, u64>,
+}
+
+/// Integer ceil-division for a positive divisor, exact for all signs.
+#[inline]
+fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    (a + b - 1).div_euclid(b)
+}
+
+impl UddSketch {
+    /// An empty sketch targeting relative error `alpha` with at most
+    /// `max_buckets` log buckets.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)` or `max_buckets < 4`.
+    pub fn new(alpha: f64, max_buckets: usize) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "quantile alpha must be in (0, 1)"
+        );
+        assert!(max_buckets >= 4, "quantile sketch needs at least 4 buckets");
+        UddSketch {
+            alpha,
+            max_buckets,
+            compactions: 0,
+            zero_count: 0,
+            neg: BTreeMap::new(),
+            pos: BTreeMap::new(),
+        }
+    }
+
+    /// ln γ₀ for the configured α₀.
+    #[inline]
+    fn ln_gamma0(&self) -> f64 {
+        ((1.0 + self.alpha) / (1.0 - self.alpha)).ln()
+    }
+
+    /// Effective γ at the current compaction level.
+    #[inline]
+    fn gamma(&self) -> f64 {
+        (self.ln_gamma0() * 2f64.powi(self.compactions as i32)).exp()
+    }
+
+    /// Level-0 bucket index of a positive magnitude. Always computed at the
+    /// finest level so coarser indices can be derived by exact integer
+    /// arithmetic (see module docs).
+    #[inline]
+    fn base_index(&self, magnitude: f64) -> i64 {
+        (magnitude.ln() / self.ln_gamma0()).ceil() as i64
+    }
+
+    /// Index of a magnitude at the current compaction level.
+    #[inline]
+    fn index(&self, magnitude: f64) -> i64 {
+        ceil_div(self.base_index(magnitude), 1i64 << self.compactions.min(62))
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, value: f64) {
+        if value == 0.0 || value.is_nan() {
+            // NaNs carry no orderable information; count them with zero so
+            // totals still reconcile with the exact summaries.
+            self.zero_count += 1;
+        } else if value > 0.0 {
+            let i = self.index(value);
+            *self.pos.entry(i).or_insert(0) += 1;
+        } else {
+            let i = self.index(-value);
+            *self.neg.entry(i).or_insert(0) += 1;
+        }
+        self.compact_to_budget();
+    }
+
+    /// Merge another sketch into this one. Commutative and associative with
+    /// bit-identical results (canonical compaction level, see module docs).
+    ///
+    /// # Panics
+    /// Panics if the two sketches were configured differently.
+    pub fn merge(&mut self, other: &UddSketch) {
+        assert!(
+            self.alpha == other.alpha && self.max_buckets == other.max_buckets,
+            "sketch config mismatch in UddSketch::merge"
+        );
+        while self.compactions < other.compactions {
+            self.compact();
+        }
+        let shift = 1i64 << (self.compactions - other.compactions).min(62);
+        for (&i, &c) in &other.neg {
+            *self.neg.entry(ceil_div(i, shift)).or_insert(0) += c;
+        }
+        for (&i, &c) in &other.pos {
+            *self.pos.entry(ceil_div(i, shift)).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.compact_to_budget();
+    }
+
+    /// One compaction step: γ ← γ², bucket `i` → `⌈i/2⌉`.
+    fn compact(&mut self) {
+        self.compactions += 1;
+        for side in [&mut self.neg, &mut self.pos] {
+            let old = std::mem::take(side);
+            for (i, c) in old {
+                *side.entry(ceil_div(i, 2)).or_insert(0) += c;
+            }
+        }
+    }
+
+    /// Compact until the bucket table fits the budget. At most ~60 levels
+    /// are ever needed: by then every magnitude collapses into two buckets
+    /// per sign.
+    fn compact_to_budget(&mut self) {
+        while self.neg.len() + self.pos.len() > self.max_buckets {
+            self.compact();
+        }
+    }
+
+    /// Total observations folded in.
+    pub fn count(&self) -> u64 {
+        self.zero_count + self.neg.values().sum::<u64>() + self.pos.values().sum::<u64>()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Current maximum relative error `α_k = (γ_k − 1)/(γ_k + 1)`; grows
+    /// with each compaction, starting at the configured α₀.
+    pub fn error_bound(&self) -> f64 {
+        let g = self.gamma();
+        (g - 1.0) / (g + 1.0)
+    }
+
+    /// The accessor: estimate the `q`-quantile (`q` clamped to `[0, 1]`).
+    /// `None` on an empty sketch.
+    pub fn quantile(&self, q: f64) -> Option<QuantileEstimate> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // 0-indexed rank of the requested quantile.
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).floor() as u64;
+        let gamma = self.gamma();
+        // Representative of bucket `i`: 2γ^i/(γ+1), the point whose worst
+        // relative error over the bucket (γ^(i−1), γ^i] is exactly
+        // (γ−1)/(γ+1) — the bound reported alongside the estimate.
+        let rep = |i: i64| gamma.powf(i as f64) * 2.0 / (gamma + 1.0);
+        let mut cum = 0u64;
+        // Ascending value order: negatives from largest magnitude down,
+        // then zero, then positives from smallest magnitude up.
+        for (&i, &c) in self.neg.iter().rev() {
+            cum += c;
+            if cum > rank {
+                return Some(self.estimate(-rep(i), total));
+            }
+        }
+        cum += self.zero_count;
+        if cum > rank {
+            return Some(self.estimate(0.0, total));
+        }
+        for (&i, &c) in &self.pos {
+            cum += c;
+            if cum > rank {
+                return Some(self.estimate(rep(i), total));
+            }
+        }
+        // Unreachable when counts are consistent; defend anyway.
+        None
+    }
+
+    fn estimate(&self, value: f64, count: u64) -> QuantileEstimate {
+        QuantileEstimate {
+            value,
+            relative_error: self.error_bound(),
+            count,
+        }
+    }
+
+    /// Approximate in-memory footprint, for cache budgets.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<UddSketch>() + (self.neg.len() + self.pos.len()) * 16
+    }
+
+    /// Approximate serialized footprint, for the network cost model.
+    pub fn wire_bytes(&self) -> usize {
+        40 + (self.neg.len() + self.pos.len()) * 16
+    }
+}
+
+/// Wire mirror: buckets as sorted `(index, count)` pairs, so equal sketches
+/// serialize to identical bytes.
+#[derive(Serialize, Deserialize)]
+struct WireUdd {
+    alpha: f64,
+    max_buckets: u64,
+    compactions: u32,
+    zero: u64,
+    neg: Vec<(i64, u64)>,
+    pos: Vec<(i64, u64)>,
+}
+
+impl serde::Serialize for UddSketch {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        WireUdd {
+            alpha: self.alpha,
+            max_buckets: self.max_buckets as u64,
+            compactions: self.compactions,
+            zero: self.zero_count,
+            neg: self.neg.iter().map(|(&i, &c)| (i, c)).collect(),
+            pos: self.pos.iter().map(|(&i, &c)| (i, c)).collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for UddSketch {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let w = WireUdd::deserialize(deserializer)?;
+        if !(w.alpha > 0.0 && w.alpha < 1.0) || w.max_buckets < 4 {
+            return Err(serde::de::Error::custom("invalid quantile sketch config"));
+        }
+        Ok(UddSketch {
+            alpha: w.alpha,
+            max_buckets: w.max_buckets as usize,
+            compactions: w.compactions,
+            zero_count: w.zero,
+            neg: w.neg.into_iter().collect(),
+            pos: w.pos.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(values: &[f64]) -> UddSketch {
+        let mut s = UddSketch::new(0.01, 64);
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    fn exact_quantile(values: &[f64], q: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((sorted.len() - 1) as f64 * q).floor() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn empty_has_no_quantile() {
+        assert_eq!(UddSketch::new(0.01, 64).quantile(0.5), None);
+    }
+
+    #[test]
+    fn estimates_respect_relative_error() {
+        let values: Vec<f64> = (1..=500).map(|i| (i as f64) * 0.37 + 0.1).collect();
+        let s = sketch_of(&values);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            let exact = exact_quantile(&values, q);
+            assert!(
+                (est.value - exact).abs() <= est.relative_error * exact.abs() + 1e-9,
+                "q={q}: est {} vs exact {exact} (bound {})",
+                est.value,
+                est.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn handles_mixed_signs_and_zero() {
+        let values = [-10.0, -1.0, 0.0, 0.0, 1.0, 10.0, 100.0];
+        let s = sketch_of(&values);
+        assert_eq!(s.count(), 7);
+        let med = s.quantile(0.5).unwrap();
+        assert_eq!(med.value, 0.0);
+        assert!(s.quantile(0.0).unwrap().value < 0.0);
+        assert!(s.quantile(1.0).unwrap().value > 90.0);
+    }
+
+    #[test]
+    fn merge_is_bit_identical_to_whole_fold() {
+        let values: Vec<f64> = (0..300).map(|i| ((i * 37) % 100) as f64 - 50.0).collect();
+        for split in [0, 1, 150, 299, 300] {
+            let (lo, hi) = values.split_at(split);
+            let mut merged = sketch_of(lo);
+            merged.merge(&sketch_of(hi));
+            assert_eq!(merged, sketch_of(&values), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_budget_and_widens_bound() {
+        let mut s = UddSketch::new(0.001, 8);
+        let initial_bound = s.error_bound();
+        // A huge dynamic range forces repeated compaction.
+        for e in -20..=20 {
+            s.push(10f64.powi(e));
+        }
+        assert!(s.neg.len() + s.pos.len() <= 8);
+        assert!(s.compactions > 0);
+        assert!(s.error_bound() > initial_bound);
+        assert!(s.error_bound() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch config mismatch")]
+    fn merge_rejects_config_mismatch() {
+        let mut a = UddSketch::new(0.01, 64);
+        a.merge(&UddSketch::new(0.02, 64));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let s = sketch_of(&[-3.5, 0.0, 1.0, 2.0, 2.0, 1e9, 1e-9]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: UddSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,180 @@
+//! Configuration for sketch-valued Cells.
+//!
+//! The spec is carried inside `StashConfig` and threaded down to the scan
+//! kernel, so every sketch in a deployment is built with identical
+//! parameters — a precondition for merging (sketches panic on config
+//! mismatch, mirroring the schema-mismatch panic of the exact summaries).
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the per-attribute sketch bundle. `enabled: false` (the
+/// default) keeps Cells exact-only and bit-for-bit identical to a build
+/// without this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSpec {
+    /// Master switch; when off, no sketch state is allocated anywhere.
+    pub enabled: bool,
+    /// Initial relative-error target of the quantile sketch.
+    pub quantile_alpha: f64,
+    /// Log-bucket budget of the quantile sketch; compaction keeps the table
+    /// at or below this, widening the error bound instead of growing.
+    pub quantile_max_buckets: usize,
+    /// log₂ of the HLL register count (error ≈ 1.04/√2^p).
+    pub hll_precision: u8,
+    /// Count-min matrix width (overcount bound 2·total/width).
+    pub cm_width: usize,
+    /// Count-min matrix depth (bound failure probability 2^−depth).
+    pub cm_depth: usize,
+    /// Heavy-hitter candidate-list cap; exact merge invariance holds while
+    /// the distinct values per attribute stay within it.
+    pub hh_candidates: usize,
+}
+
+impl Default for SketchSpec {
+    fn default() -> Self {
+        SketchSpec::disabled()
+    }
+}
+
+impl SketchSpec {
+    /// Exact-only mode: no sketches anywhere (the default).
+    pub fn disabled() -> Self {
+        SketchSpec {
+            enabled: false,
+            ..SketchSpec::standard()
+        }
+    }
+
+    /// Sketches on, with parameters sized for the simulated NAM workload:
+    /// ~1% quantile error, ~6.5% distinct-count error, and a heavy-hitter
+    /// cap that covers unit-quantized NAM attributes exactly.
+    pub fn standard() -> Self {
+        SketchSpec {
+            enabled: true,
+            quantile_alpha: 0.01,
+            quantile_max_buckets: 64,
+            hll_precision: 8,
+            cm_width: 64,
+            cm_depth: 3,
+            hh_candidates: 256,
+        }
+    }
+
+    /// Validate parameter ranges (mirrors the panics of the sketch
+    /// constructors, but as a `Result` for config loading).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.quantile_alpha > 0.0 && self.quantile_alpha < 1.0) {
+            return Err("sketch.quantile_alpha must be in (0, 1)".into());
+        }
+        if self.quantile_max_buckets < 4 {
+            return Err("sketch.quantile_max_buckets must be at least 4".into());
+        }
+        if !(4..=16).contains(&self.hll_precision) {
+            return Err("sketch.hll_precision must be in 4..=16".into());
+        }
+        if self.cm_width < 8 {
+            return Err("sketch.cm_width must be at least 8".into());
+        }
+        if !(1..=8).contains(&self.cm_depth) {
+            return Err("sketch.cm_depth must be in 1..=8".into());
+        }
+        if self.hh_candidates == 0 {
+            return Err("sketch.hh_candidates must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Wire mirror with every field present; hand-written `Deserialize` below
+/// additionally accepts `Null`/missing (older configs) as "disabled".
+#[derive(Serialize, Deserialize)]
+struct WireSpec {
+    enabled: bool,
+    quantile_alpha: f64,
+    quantile_max_buckets: u64,
+    hll_precision: u8,
+    cm_width: u64,
+    cm_depth: u64,
+    hh_candidates: u64,
+}
+
+impl serde::Serialize for SketchSpec {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        WireSpec {
+            enabled: self.enabled,
+            quantile_alpha: self.quantile_alpha,
+            quantile_max_buckets: self.quantile_max_buckets as u64,
+            hll_precision: self.hll_precision,
+            cm_width: self.cm_width as u64,
+            cm_depth: self.cm_depth as u64,
+            hh_candidates: self.hh_candidates as u64,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SketchSpec {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.deserialize_value()?;
+        if matches!(v, Value::Null) {
+            // Configs written before sketches existed: exact-only.
+            return Ok(SketchSpec::disabled());
+        }
+        let w = WireSpec::from_value(&v).map_err(serde::de::Error::custom)?;
+        let spec = SketchSpec {
+            enabled: w.enabled,
+            quantile_alpha: w.quantile_alpha,
+            quantile_max_buckets: w.quantile_max_buckets as usize,
+            hll_precision: w.hll_precision,
+            cm_width: w.cm_width as usize,
+            cm_depth: w.cm_depth as usize,
+            hh_candidates: w.hh_candidates as usize,
+        };
+        spec.validate().map_err(serde::de::Error::custom)?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_valid() {
+        let spec = SketchSpec::default();
+        assert!(!spec.enabled);
+        assert!(spec.validate().is_ok());
+        assert!(SketchSpec::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn null_deserializes_to_disabled() {
+        let spec = SketchSpec::from_value(&Value::Null).unwrap();
+        assert_eq!(spec, SketchSpec::disabled());
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let spec = SketchSpec::standard();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SketchSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for f in [
+            |s: &mut SketchSpec| s.quantile_alpha = 1.5,
+            |s: &mut SketchSpec| s.quantile_max_buckets = 2,
+            |s: &mut SketchSpec| s.hll_precision = 30,
+            |s: &mut SketchSpec| s.cm_width = 1,
+            |s: &mut SketchSpec| s.cm_depth = 0,
+            |s: &mut SketchSpec| s.hh_candidates = 0,
+        ] {
+            let mut spec = SketchSpec::standard();
+            f(&mut spec);
+            assert!(spec.validate().is_err());
+        }
+    }
+}

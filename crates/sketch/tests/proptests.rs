@@ -1,0 +1,162 @@
+//! Merge laws for the sketch partials — the algebra that makes cached
+//! hierarchical roll-ups of sketch-valued Cells answer like a direct fold
+//! over the raw observations.
+
+use proptest::prelude::*;
+use stash_sketch::{AttrSketches, DistinctSketch, HeavyHitters, SketchSpec, UddSketch};
+
+/// Unbounded-precision values: exercise the log-bucket and hash paths.
+fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 0..max_len)
+}
+
+/// Quantized values with a small domain: the regime where the heavy-hitter
+/// candidate list is exactly merge-order invariant.
+fn arb_quantized(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-40i32..40).prop_map(|i| i as f64), 0..max_len)
+}
+
+fn udd_of(values: &[f64]) -> UddSketch {
+    let mut s = UddSketch::new(0.02, 32);
+    for &v in values {
+        s.push(v);
+    }
+    s
+}
+
+fn hll_of(values: &[f64]) -> DistinctSketch {
+    let mut s = DistinctSketch::new(6);
+    for &v in values {
+        s.push(v);
+    }
+    s
+}
+
+fn hh_of(values: &[f64]) -> HeavyHitters {
+    let mut s = HeavyHitters::new(32, 3, 128);
+    for &v in values {
+        s.push(v);
+    }
+    s
+}
+
+fn bundle_of(values: &[f64]) -> AttrSketches {
+    let mut s = AttrSketches::new(&SketchSpec::standard());
+    for &v in values {
+        s.push(v);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn udd_merge_commutes(a in arb_values(60), b in arb_values(60)) {
+        let mut ab = udd_of(&a);
+        ab.merge(&udd_of(&b));
+        let mut ba = udd_of(&b);
+        ba.merge(&udd_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn udd_merge_associates(a in arb_values(40), b in arb_values(40), c in arb_values(40)) {
+        let mut left = udd_of(&a);
+        left.merge(&udd_of(&b));
+        left.merge(&udd_of(&c));
+        let mut bc = udd_of(&b);
+        bc.merge(&udd_of(&c));
+        let mut right = udd_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn udd_partition_equals_whole(values in arb_values(120), split in 0usize..120) {
+        let split = split.min(values.len());
+        let (lo, hi) = values.split_at(split);
+        let mut merged = udd_of(lo);
+        merged.merge(&udd_of(hi));
+        prop_assert_eq!(merged, udd_of(&values));
+    }
+
+    #[test]
+    fn udd_quantile_is_within_bound(values in arb_values(120), q in 0.0f64..=1.0) {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let s = udd_of(&values);
+        let est = s.quantile(q).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((sorted.len() - 1) as f64 * q).floor() as usize;
+        let exact = sorted[rank];
+        prop_assert!(
+            (est.value - exact).abs() <= est.relative_error * exact.abs() + 1e-9,
+            "est {} exact {} bound {}", est.value, exact, est.relative_error
+        );
+    }
+
+    #[test]
+    fn hll_merge_commutes(a in arb_values(60), b in arb_values(60)) {
+        let mut ab = hll_of(&a);
+        ab.merge(&hll_of(&b));
+        let mut ba = hll_of(&b);
+        ba.merge(&hll_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hll_partition_equals_whole(values in arb_values(120), split in 0usize..120) {
+        let split = split.min(values.len());
+        let (lo, hi) = values.split_at(split);
+        let mut merged = hll_of(lo);
+        merged.merge(&hll_of(hi));
+        prop_assert_eq!(merged, hll_of(&values));
+    }
+
+    #[test]
+    fn hll_merge_is_idempotent(values in arb_values(60)) {
+        let s = hll_of(&values);
+        let mut doubled = s.clone();
+        doubled.merge(&s);
+        prop_assert_eq!(doubled, s);
+    }
+
+    #[test]
+    fn hh_merge_commutes_within_cap(a in arb_quantized(80), b in arb_quantized(80)) {
+        let mut ab = hh_of(&a);
+        ab.merge(&hh_of(&b));
+        let mut ba = hh_of(&b);
+        ba.merge(&hh_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hh_partition_equals_whole_within_cap(values in arb_quantized(150), split in 0usize..150) {
+        let split = split.min(values.len());
+        let (lo, hi) = values.split_at(split);
+        let mut merged = hh_of(lo);
+        merged.merge(&hh_of(hi));
+        prop_assert_eq!(merged, hh_of(&values));
+    }
+
+    #[test]
+    fn hh_estimate_brackets_true_count(values in arb_quantized(150)) {
+        let s = hh_of(&values);
+        for target in [-40.0f64, -1.0, 0.0, 1.0, 39.0] {
+            let true_count = values.iter().filter(|&&v| v == target).count() as u64;
+            let est = s.estimate(target);
+            prop_assert!(est >= true_count);
+            prop_assert!(est <= true_count + s.error_bound());
+        }
+    }
+
+    #[test]
+    fn bundle_partition_equals_whole(values in arb_quantized(150), split in 0usize..150) {
+        let split = split.min(values.len());
+        let (lo, hi) = values.split_at(split);
+        let mut merged = bundle_of(lo);
+        merged.merge(&bundle_of(hi));
+        prop_assert_eq!(merged, bundle_of(&values));
+    }
+}
