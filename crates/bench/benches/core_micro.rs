@@ -6,11 +6,13 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use stash_core::{CliqueFinder, LogicalClock, StashConfig, StashGraph};
 use stash_data::{GeneratorConfig, NamGenerator};
-use stash_dfs::{BlockKey, BlockSource, DiskModel, NodeStore, Partitioner};
+use stash_dfs::{
+    BlockFrame, BlockKey, BlockSource, DiskModel, FrameBuilder, NodeStore, Partitioner,
+};
 use stash_geo::time::epoch_seconds;
 use stash_geo::{cover_bbox, BBox, Geohash, TemporalRes, TimeBin, TimeRange};
 use stash_model::{
-    AggQuery, Cell, CellKey, CellSummary, Level, Observation, SketchSpec, SummaryStats,
+    AggQuery, Cell, CellKey, CellSummary, Level, Observation, SketchSpec, SummaryStats, UddSketch,
 };
 use std::str::FromStr;
 use std::sync::Arc;
@@ -167,7 +169,9 @@ fn bench_planning(c: &mut Criterion) {
     group.finish();
 }
 
-/// NamGenerator as a BlockSource for the scan-kernel benches.
+/// NamGenerator as a BlockSource for the scan-kernel benches. Keeps the
+/// trait's default `read_frame` — materialize `Vec<Observation>`, then
+/// decode — which is exactly the pre-flat row-struct route (the oracle).
 struct GenSource(NamGenerator);
 
 impl BlockSource for GenSource {
@@ -182,7 +186,42 @@ impl BlockSource for GenSource {
     }
 }
 
-fn scan_store() -> NodeStore {
+/// Same generator, but `read_frame` streams rows straight into the flat
+/// frame buffer — the production route (`stash-cluster` sources override
+/// the same way).
+struct FlatGenSource(NamGenerator);
+
+impl BlockSource for FlatGenSource {
+    fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+        self.0.block_for_day(key.geohash, key.day)
+    }
+    fn block_bytes(&self, geohash: Geohash) -> usize {
+        self.0.block_bytes(geohash)
+    }
+    fn n_attrs(&self) -> usize {
+        self.0.schema().len()
+    }
+    fn read_frame(&self, key: BlockKey, spatial_res: u8) -> BlockFrame {
+        let n = self.0.obs_per_day(key.geohash);
+        let mut b = FrameBuilder::new(key, n, self.0.schema().len(), spatial_res);
+        self.0
+            .scan_rows(key.geohash, key.day, |lat, lon, time, values| {
+                b.push_row(lat, lon, time, values);
+            });
+        b.finish()
+    }
+}
+
+fn bench_generator() -> NamGenerator {
+    NamGenerator::new(GeneratorConfig {
+        seed: 11,
+        obs_per_deg2_per_day: 2_000.0,
+        max_obs_per_block: 200_000,
+        value_quantum: 0.0,
+    })
+}
+
+fn scan_store_with(source: Arc<dyn BlockSource>) -> NodeStore {
     NodeStore::new(
         0,
         Partitioner::new(1, 2),
@@ -194,15 +233,20 @@ fn scan_store() -> NodeStore {
         )
         .unwrap(),
         DiskModel::free(),
-        Arc::new(GenSource(NamGenerator::new(GeneratorConfig {
-            seed: 11,
-            obs_per_deg2_per_day: 2_000.0,
-            max_obs_per_block: 200_000,
-            value_quantum: 0.0,
-        }))),
+        source,
         10_000,
     )
     .with_scan_cost(Duration::ZERO)
+}
+
+/// Production configuration: streaming flat decode.
+fn scan_store() -> NodeStore {
+    scan_store_with(Arc::new(FlatGenSource(bench_generator())))
+}
+
+/// Pre-flat configuration: row-struct decode oracle.
+fn scan_store_rowpath() -> NodeStore {
+    scan_store_with(Arc::new(GenSource(bench_generator())))
 }
 
 /// A multi-level wanted set — the shape a zoom-out exploration produces:
@@ -253,6 +297,13 @@ fn bench_scan_kernel(c: &mut Criterion) {
     let cold = scan_store().with_frame_cache_bytes(0);
     group.bench_function(format!("frame_cold_{rows}rows"), |b| {
         b.iter(|| cold.scan_block(bk, std::hint::black_box(&wanted)))
+    });
+    // Cold through the row-struct oracle: same work, but decode goes
+    // Vec<Observation> → frame instead of streaming into the flat buffer.
+    // The gap between this and frame_cold is the flat-decode win.
+    let cold_rows = scan_store_rowpath().with_frame_cache_bytes(0);
+    group.bench_function(format!("frame_cold_rowpath_{rows}rows"), |b| {
+        b.iter(|| cold_rows.scan_block(bk, std::hint::black_box(&wanted)))
     });
     // Warm: the frame decoded once above stays cached; iters only aggregate.
     group.bench_function(format!("frame_warm_{rows}rows"), |b| {
@@ -309,6 +360,21 @@ fn bench_sketch_fold(c: &mut Criterion) {
             })
             .collect()
     };
+    // Isolated quantile-push path: the open-addressed bucket table's cost
+    // per `UddSketch::push`, free of the fold's HLL/heavy-hitter work
+    // (which dominates `scan_with_sketches` on continuous data).
+    let push_values: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.7).sin() * 50.0).collect();
+    group.throughput(Throughput::Elements(push_values.len() as u64));
+    group.bench_function("quantile_push_4096", |b| {
+        b.iter(|| {
+            let mut s = UddSketch::new(0.01, 64);
+            for &v in &push_values {
+                s.push(std::hint::black_box(v));
+            }
+            s
+        })
+    });
+
     let spec = SketchSpec::standard();
     for (label, parts) in [
         ("merge_32_exact_partials", build(None)),

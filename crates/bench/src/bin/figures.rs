@@ -18,6 +18,48 @@
 use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, ingest, profile, report::Table, Scale};
 use std::io::Write;
 
+/// Time both frame-producing routes on one dense block: the streaming flat
+/// build (`GenBlockSource::read_frame`) vs. the row-struct
+/// oracle the seed used (`read_block` → `BlockFrame::decode`). Returns
+/// best-of-5 wall nanoseconds `(flat, oracle)` — an in-process calibration
+/// of the pre-refactor decode cost on whatever machine CI lands on.
+fn decode_shootout() -> (u64, u64) {
+    use stash_cluster::GenBlockSource;
+    use stash_data::{GeneratorConfig, NamGenerator};
+    use stash_dfs::{BlockFrame, BlockKey, BlockSource};
+    use stash_geo::{Geohash, TemporalRes, TimeBin};
+
+    let src = GenBlockSource::new(NamGenerator::new(GeneratorConfig {
+        seed: 11,
+        obs_per_deg2_per_day: 2_000.0,
+        max_obs_per_block: 200_000,
+        value_quantum: 0.0,
+    }));
+    let bk = BlockKey {
+        geohash: "9xj".parse::<Geohash>().expect("valid tile"),
+        day: TimeBin::containing(
+            TemporalRes::Day,
+            stash_geo::time::epoch_seconds(2015, 2, 2, 0, 0, 0),
+        ),
+    };
+    let best = |f: &dyn Fn() -> BlockFrame| -> u64 {
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .min()
+            .expect("five samples")
+    };
+    let flat = best(&|| src.read_frame(bk, 5));
+    let oracle = best(&|| {
+        let (rows, v) = src.read_block_versioned(bk);
+        BlockFrame::decode(bk, &rows, src.n_attrs(), 5).with_version(v)
+    });
+    (flat, oracle)
+}
+
 struct Args {
     figs: Vec<String>,
     all: bool,
@@ -177,7 +219,35 @@ fn main() {
     }
 
     if args.profile {
-        emit(profile::table(&profile::run(scale)));
+        let p = profile::run(scale);
+        if args.smoke {
+            // CI regression gates for the flat-frame refactor (PR 7).
+            // The pre-refactor pin is measured in-process — the row-struct
+            // oracle route on a dense block — so the gate is calibrated to
+            // whatever machine CI lands on; an absolute ns/row pin proved
+            // flaky at smoke scale, where blocks are ~100 rows and fixed
+            // per-block overhead dominates.
+            let ns_per_row = p.decode_ns as f64 / p.rows_decoded.max(1) as f64;
+            let (flat_ns, oracle_ns) = decode_shootout();
+            assert!(
+                flat_ns < oracle_ns,
+                "flat decode regressed: streaming build ({flat_ns} ns/block) is no longer \
+                 cheaper than the pre-refactor row-struct route ({oracle_ns} ns/block)"
+            );
+            // Frame-cache accounting is exact: the byte counter must equal
+            // the audited sum of resident flat-buffer lengths.
+            assert_eq!(
+                p.frame_cache_bytes, p.frame_cache_buffer_bytes,
+                "frame cache byte accounting diverged from buffer lengths"
+            );
+            eprintln!(
+                "smoke gates: profile decode {ns_per_row:.0} ns/row; shootout flat \
+                 {flat_ns} ns vs row-oracle {oracle_ns} ns per dense block; \
+                 cache accounting exact ({} B)",
+                p.frame_cache_bytes
+            );
+        }
+        emit(profile::table(&p));
     }
 
     if let Some(path) = args.markdown {

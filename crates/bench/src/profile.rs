@@ -31,6 +31,13 @@ pub struct Profile {
     pub frame_evicted_bytes: u64,
     pub rows_decoded: u64,
     pub cells_derived: u64,
+    /// Wall time spent producing flat frames on cache misses (`dfs.decode_ns`).
+    pub decode_ns: u64,
+    /// Frame-cache accounting at teardown: the incrementally maintained
+    /// byte counter vs. the audited sum of resident flat-buffer lengths.
+    /// Equal by construction (DESIGN.md §15); `--profile --smoke` asserts it.
+    pub frame_cache_bytes: u64,
+    pub frame_cache_buffer_bytes: u64,
     /// Sketch-pipeline counters summed over nodes (DESIGN.md §14).
     pub sketch_merges: u64,
     pub sketch_bytes: u64,
@@ -97,8 +104,15 @@ pub fn run(scale: &Scale) -> Profile {
     let frame_evicted_bytes = kernel("dfs.frame_cache.evicted_bytes");
     let rows_decoded = kernel("dfs.rows_decoded");
     let cells_derived = kernel("dfs.cells_derived");
+    let decode_ns = kernel("dfs.decode_ns");
     let sketch_merges = kernel("sketch.merges");
     let sketch_bytes = kernel("sketch.bytes");
+    let frame_cache_bytes = (0..cluster.n_nodes())
+        .map(|i| cluster.node(i).store.frame_cache().bytes() as u64)
+        .sum();
+    let frame_cache_buffer_bytes = (0..cluster.n_nodes())
+        .map(|i| cluster.node(i).store.frame_cache().buffer_bytes() as u64)
+        .sum();
     cluster.shutdown();
 
     Profile {
@@ -116,6 +130,9 @@ pub fn run(scale: &Scale) -> Profile {
         frame_evicted_bytes,
         rows_decoded,
         cells_derived,
+        decode_ns,
+        frame_cache_bytes,
+        frame_cache_buffer_bytes,
         sketch_merges,
         sketch_bytes,
     }
@@ -142,7 +159,8 @@ pub fn table(p: &Profile) -> Table {
         "cluster-wide stage totals per query (fan-out may exceed wall); \
          {} subqueries, {} retries, {} failovers; \
          scan kernel: frame cache {} hits / {} misses / {} B evicted, \
-         {} rows decoded, {} cells derived; \
+         {} rows decoded in {:.0} ns/row, {} cells derived, \
+         {} B resident ({} B buffers); \
          sketches: {} merges, {} B emitted",
         p.subqueries,
         p.retries,
@@ -151,7 +169,10 @@ pub fn table(p: &Profile) -> Table {
         p.frame_misses,
         p.frame_evicted_bytes,
         p.rows_decoded,
+        p.decode_ns as f64 / p.rows_decoded.max(1) as f64,
         p.cells_derived,
+        p.frame_cache_bytes,
+        p.frame_cache_buffer_bytes,
         p.sketch_merges,
         p.sketch_bytes
     ));
@@ -206,6 +227,11 @@ mod tests {
         assert!(p.frame_misses > 0, "cold scans must miss the frame cache");
         assert!(p.frame_hits > 0, "revisit pans must hit the frame cache");
         assert!(p.rows_decoded > 0, "misses must decode rows");
+        assert!(p.decode_ns > 0, "misses must charge flat-decode time");
+        // Exact accounting: the cache's byte counter is definitionally the
+        // sum of its resident flat buffers' lengths.
+        assert!(p.frame_cache_bytes > 0, "warm caches hold frames");
+        assert_eq!(p.frame_cache_bytes, p.frame_cache_buffer_bytes);
         // The sketch pipeline runs in profile deployments: scans emit
         // sketch-carrying cells and cross-node gathers merge them.
         assert!(p.sketch_bytes > 0, "scans must emit sketch state");

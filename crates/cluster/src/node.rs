@@ -28,7 +28,7 @@ use stash_core::{
 use stash_dfs::{frame_spatial_res, plan_blocks, AppendOutcome, BlockFrame, BlockKey, NodeStore};
 use stash_geo::TemporalRes;
 use stash_model::level::MAX_SPATIAL_RES;
-use stash_model::{Cell, CellKey, CellSummary, Level, Observation, QueryResult};
+use stash_model::{Cell, CellKey, CellSummary, FlatPartials, Level, Observation, QueryResult};
 use stash_net::rpc::RpcError;
 use stash_net::{Envelope, NodeId, Router, RpcTable};
 use stash_obs::{MetricsRegistry, QueryTrace, StageTimes};
@@ -264,7 +264,13 @@ impl NodeCtx {
                 mut trace,
             } => {
                 trace.wire_ns += wire_ns;
-                self.rpc.complete(rpc, RpcReply::Partials(partials, trace));
+                // Validate the flat buffer at the trust boundary; a corrupt
+                // fragment becomes a protocol error, never a panic.
+                let decoded = partials.and_then(|fp| {
+                    fp.decode()
+                        .map_err(|e| ClusterError::Protocol(format!("partials fragment: {e}")))
+                });
+                self.rpc.complete(rpc, RpcReply::Partials(decoded, trace));
             }
             Msg::DistressAck { rpc, accept } => {
                 self.rpc.complete(rpc, RpcReply::Ack(accept));
@@ -449,10 +455,16 @@ impl NodeCtx {
                 exclude,
             } => {
                 let scan = Instant::now();
+                // Ship the fragment as one contiguous flat buffer; its
+                // length is the exact wire size the fabric charges.
                 let partials = self
                     .store
                     .fetch_partials_excluding(&keys, &exclude)
-                    .map(|v| v.into_iter().map(|p| (p.key, p.summary)).collect())
+                    .map(|v| {
+                        let parts: Vec<(CellKey, CellSummary)> =
+                            v.into_iter().map(|p| (p.key, p.summary)).collect();
+                        FlatPartials::encode(&parts)
+                    })
                     .map_err(|e| ClusterError::Storage(e.to_string()));
                 let trace = StageTimes {
                     dfs_ns: scan.elapsed().as_nanos() as u64,

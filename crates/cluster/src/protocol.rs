@@ -1,15 +1,26 @@
 //! The cluster wire protocol.
 //!
 //! Every interaction of Fig. 4 and Fig. 5 is one of these messages. The
-//! `wire_size` estimates feed the fabric's bandwidth model — Cells and key
+//! `wire_size` figures feed the fabric's bandwidth model — Cells and key
 //! lists dominate, matching the real system where replication payloads and
-//! aggregation results are the bulk of traffic.
+//! aggregation results are the bulk of traffic. Since PR 7 the sizes are
+//! *exact*: every payload is priced as its `stash-flat` word encoding
+//! (16-byte list envelope = magic + count, 24-byte flat [`CellKey`], and
+//! [`stash_model::CellSummary::wire_bytes`] per summary), and partials
+//! fragments actually travel as one contiguous [`FlatPartials`] buffer.
 
 use stash_dfs::BlockKey;
 use stash_geo::{BBox, TimeRange};
-use stash_model::{AggQuery, Cell, CellKey, CellSummary, Observation, QueryResult};
+use stash_model::flat::KEY_WORDS;
+use stash_model::{AggQuery, Cell, CellKey, FlatPartials, Observation, QueryResult};
 use stash_net::NodeId;
 use stash_obs::{QueryTrace, StageTimes};
+
+/// Bytes of the flat list envelope: one magic word plus one count word.
+pub const LIST_ENVELOPE_BYTES: usize = 16;
+
+/// Exact bytes of one flat-encoded [`CellKey`].
+pub const KEY_BYTES: usize = KEY_WORDS * 8;
 
 /// A typed cluster-path failure. Distinguishing *why* an RPC failed is what
 /// lets the robustness layer react correctly: timeouts and unreachable
@@ -123,9 +134,13 @@ pub enum Msg {
         keys: Vec<CellKey>,
         exclude: Vec<usize>,
     },
+    /// Partial summaries as one contiguous flat buffer (the sender encodes
+    /// with [`FlatPartials::encode`], the receiver validates with
+    /// [`FlatPartials::decode`]); decode failures surface as
+    /// [`ClusterError::Protocol`] at the receiver.
     PartialsResponse {
         rpc: u64,
-        partials: Result<Vec<(CellKey, CellSummary)>, ClusterError>,
+        partials: Result<FlatPartials, ClusterError>,
         /// Scan time on the serving node (`dfs_ns`) plus request-leg wire.
         trace: StageTimes,
     },
@@ -197,50 +212,55 @@ pub enum Msg {
     Shutdown,
 }
 
-/// Approximate serialized bytes of a key list.
+/// Exact serialized bytes of a flat key list: envelope + one flat key each.
 pub fn keys_bytes(n: usize) -> usize {
-    24 * n + 32
+    LIST_ENVELOPE_BYTES + KEY_BYTES * n
 }
 
-/// Approximate serialized bytes of an error payload.
+/// Exact serialized bytes of an error payload: one discriminant word, one
+/// node/length word, plus the message bytes of string-carrying variants.
 pub fn error_bytes(e: &ClusterError) -> usize {
     match e {
         ClusterError::Storage(s) | ClusterError::BadQuery(s) | ClusterError::Protocol(s) => {
-            s.len() + 48
+            16 + s.len()
         }
-        _ => 48,
+        _ => 16,
     }
 }
 
-/// Approximate serialized bytes of a result.
+/// Exact serialized bytes of a result, priced as the flat encoding of its
+/// cells (each cell = flat key + exact
+/// [`stash_model::CellSummary::wire_bytes`]).
 pub fn result_bytes(r: &Result<QueryResult, ClusterError>) -> usize {
     match r {
         Ok(qr) => {
-            qr.cells
-                .iter()
-                .map(|c| 24 + c.summary.wire_bytes())
-                .sum::<usize>()
-                + 64
+            LIST_ENVELOPE_BYTES
+                + qr.cells
+                    .iter()
+                    .map(|c| KEY_BYTES + c.summary.wire_bytes())
+                    .sum::<usize>()
         }
         Err(e) => error_bytes(e),
     }
 }
 
-/// Approximate serialized bytes of partials.
-pub fn partials_bytes(p: &Result<Vec<(CellKey, CellSummary)>, ClusterError>) -> usize {
+/// Exact serialized bytes of a partials fragment: the flat buffer's own
+/// length — the one payload that is literally shipped in encoded form.
+pub fn partials_bytes(p: &Result<FlatPartials, ClusterError>) -> usize {
     match p {
-        Ok(v) => v.iter().map(|(_, s)| 24 + s.wire_bytes()).sum::<usize>() + 64,
+        Ok(fp) => fp.wire_size(),
         Err(e) => error_bytes(e),
     }
 }
 
-/// Approximate serialized bytes of replicated cells.
+/// Exact serialized bytes of replicated cells: flat key + freshness word +
+/// exact summary bytes per cell, under one list envelope.
 pub fn cells_bytes(cells: &[(Cell, f64)]) -> usize {
-    cells
-        .iter()
-        .map(|(c, _)| 32 + c.summary.wire_bytes())
-        .sum::<usize>()
-        + 64
+    LIST_ENVELOPE_BYTES
+        + cells
+            .iter()
+            .map(|(c, _)| KEY_BYTES + 8 + c.summary.wire_bytes())
+            .sum::<usize>()
 }
 
 impl Msg {
@@ -330,6 +350,52 @@ mod tests {
             repl.wire_size() > 32 * 100,
             "replication payloads are heavy"
         );
+    }
+
+    #[test]
+    fn partials_fragment_bytes_are_exact_and_pinned() {
+        // Known workload: 10 exact-only cells over the 4-attribute NAM
+        // schema. Pin the fragment's wire bytes so a layout change (header
+        // growth, per-attr words) is a conscious decision, not drift.
+        let parts: Vec<_> = (0..10)
+            .map(|i| {
+                let mut c = cell();
+                c.summary.push_row(&[i as f64, 1.0, 2.0, 3.0]);
+                (c.key, c.summary)
+            })
+            .collect();
+        let fp = FlatPartials::encode(&parts);
+        let msg = Msg::PartialsResponse {
+            rpc: 1,
+            partials: Ok(fp.clone()),
+            trace: StageTimes::default(),
+        };
+        // The fabric charges exactly the encoded buffer length...
+        assert_eq!(msg.wire_size(), fp.to_bytes().len());
+        // ...which for this workload is envelope + 10 × (flat key +
+        // header word + 4 × 40-byte exact summaries).
+        assert_eq!(
+            msg.wire_size(),
+            LIST_ENVELOPE_BYTES + 10 * (KEY_BYTES + 8 + 4 * 40)
+        );
+        // Error replies are priced exactly too.
+        let err = Msg::PartialsResponse {
+            rpc: 1,
+            partials: Err(ClusterError::Storage("disk gone".into())),
+            trace: StageTimes::default(),
+        };
+        assert_eq!(err.wire_size(), 16 + "disk gone".len());
+    }
+
+    #[test]
+    fn key_list_sizes_are_exact_flat_lengths() {
+        let keys = vec![cell().key; 7];
+        let msg = Msg::Invalidate {
+            rpc: 1,
+            reply_to: NodeId(0),
+            keys: keys.clone(),
+        };
+        assert_eq!(msg.wire_size(), LIST_ENVELOPE_BYTES + 7 * KEY_BYTES);
     }
 
     #[test]

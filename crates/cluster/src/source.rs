@@ -16,10 +16,22 @@
 
 use parking_lot::RwLock;
 use stash_data::NamGenerator;
-use stash_dfs::{AppendOutcome, BlockKey, BlockSource};
+use stash_dfs::{AppendOutcome, BlockFrame, BlockKey, BlockSource, FrameBuilder};
 use stash_geo::{Geohash, TimeBin};
 use stash_model::Observation;
 use std::collections::{HashMap, HashSet};
+
+/// Stream one generated block-day straight into a flat frame: no
+/// `Vec<Observation>` and no per-row `Vec<f64>` — the generator's reused
+/// value buffer feeds the builder row by row.
+fn build_frame(generator: &NamGenerator, key: BlockKey, spatial_res: u8) -> BlockFrame {
+    let n = generator.obs_per_day(key.geohash);
+    let mut b = FrameBuilder::new(key, n, generator.schema().len(), spatial_res);
+    generator.scan_rows(key.geohash, key.day, |lat, lon, time, values| {
+        b.push_row(lat, lon, time, values);
+    });
+    b.finish()
+}
 
 /// [`BlockSource`] backed by a [`NamGenerator`].
 #[derive(Debug, Clone)]
@@ -48,6 +60,12 @@ impl BlockSource for GenBlockSource {
 
     fn n_attrs(&self) -> usize {
         self.generator.schema().len()
+    }
+
+    /// Sealed generated blocks stream rows straight into the flat frame,
+    /// skipping the `Vec<Observation>` the default route materializes.
+    fn read_frame(&self, key: BlockKey, spatial_res: u8) -> BlockFrame {
+        build_frame(&self.generator, key, spatial_res)
     }
 }
 
@@ -144,6 +162,17 @@ impl BlockSource for LiveSource {
             }
             None => (rows, 0),
         }
+    }
+
+    /// Sealed blocks stream from the generator like [`GenBlockSource`];
+    /// live blocks (truncated base + mutable overlay) keep the row-struct
+    /// oracle route, whose version tagging is already lock-consistent.
+    fn read_frame(&self, key: BlockKey, spatial_res: u8) -> BlockFrame {
+        if !self.is_live(key) {
+            return build_frame(&self.generator, key, spatial_res);
+        }
+        let (observations, version) = self.read_block_versioned(key);
+        BlockFrame::decode(key, &observations, self.n_attrs(), spatial_res).with_version(version)
     }
 
     fn append(&self, key: BlockKey, seq: u64, rows: &[Observation]) -> AppendOutcome {

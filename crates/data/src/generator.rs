@@ -88,7 +88,28 @@ impl NamGenerator {
     /// Generate all observations for one geohash block over one UTC day bin.
     ///
     /// Deterministic: the RNG is seeded from `(seed, block bits, day index)`.
+    /// This is [`NamGenerator::scan_rows`] collected into row structs.
     pub fn block_for_day(&self, block: Geohash, day: TimeBin) -> Vec<Observation> {
+        let mut out = Vec::with_capacity(self.obs_per_day(block));
+        self.scan_rows(block, day, |lat, lon, time, values| {
+            out.push(Observation::new(lat, lon, time, values.to_vec()));
+        });
+        out
+    }
+
+    /// Stream one block-day's rows in generation order without
+    /// materializing `Vec<Observation>`: the callback receives
+    /// `(lat, lon, time, values)`, with `values` living in a buffer reused
+    /// across rows. Exactly [`NamGenerator::obs_per_day`] rows are emitted,
+    /// bit-identical to [`NamGenerator::block_for_day`] — flat-frame
+    /// sources feed a `FrameBuilder` from this stream and skip the row
+    /// structs entirely.
+    pub fn scan_rows(
+        &self,
+        block: Geohash,
+        day: TimeBin,
+        mut f: impl FnMut(f64, f64, i64, &[f64]),
+    ) {
         assert_eq!(
             day.res,
             stash_geo::TemporalRes::Day,
@@ -98,7 +119,7 @@ impl NamGenerator {
         let mut rng = self.block_rng(block, day.idx);
         let b = block.bbox();
         let day_start = day.start();
-        let mut out = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(self.schema.len());
         for _ in 0..n {
             let lat = b.min_lat + rng.gen::<f64>() * b.lat_extent();
             // Keep strictly inside the half-open box.
@@ -106,10 +127,9 @@ impl NamGenerator {
             let lon = (b.min_lon + rng.gen::<f64>() * b.lon_extent()).min(b.max_lon - 1e-9);
             let secs = rng.gen_range(0..86_400i64);
             let time = day_start + secs;
-            let values = self.sample_fields(lat, lon, day.idx, secs, &mut rng);
-            out.push(Observation::new(lat, lon, time, values));
+            self.sample_fields_into(lat, lon, day.idx, secs, &mut rng, &mut values);
+            f(lat, lon, time, &values);
         }
-        out
     }
 
     /// Estimated serialized bytes of one (block, day): drives the simulated
@@ -159,15 +179,18 @@ impl NamGenerator {
         SmallRng::seed_from_u64(x)
     }
 
-    /// Sample the four NAM attributes at a location and time.
-    fn sample_fields(
+    /// Sample the four NAM attributes at a location and time into a reused
+    /// buffer (cleared first). RNG call sequence identical to the historical
+    /// allocating version, so generated datasets are unchanged.
+    fn sample_fields_into(
         &self,
         lat: f64,
         lon: f64,
         day_idx: i64,
         secs: i64,
         rng: &mut SmallRng,
-    ) -> Vec<f64> {
+        out: &mut Vec<f64>,
+    ) {
         // Seasonal phase: day-of-year scaled to [0, 2π); northern-hemisphere
         // summer peaks mid-year.
         let doy = day_idx.rem_euclid(365) as f64;
@@ -197,14 +220,14 @@ impl NamGenerator {
         } else {
             0.0
         };
-        let mut values = vec![temp, rh, precip, snow];
+        out.clear();
+        out.extend_from_slice(&[temp, rh, precip, snow]);
         let q = self.config.value_quantum;
         if q > 0.0 {
-            for v in &mut values {
+            for v in out.iter_mut() {
                 *v = (*v / q).round() * q;
             }
         }
-        values
     }
 }
 

@@ -29,9 +29,18 @@
 //! whose tag matches the block's *current* version — a frame decoded before
 //! an append can never answer a post-append query. Hot blocks skip both the
 //! disk model and the decode stage entirely.
+//!
+//! Since PR 7 a frame *is* its storage form: one contiguous little-endian
+//! word buffer — magic, header words, the packed slot column, then the
+//! column-major `f64` bit columns (DESIGN.md §15). Sources that can stream
+//! rows write straight into a [`FrameBuilder`] (no intermediate
+//! `Vec<Observation>`), the cache accounts the buffer's exact byte length,
+//! and [`BlockFrame::to_bytes`]/[`BlockFrame::from_bytes`] make the same
+//! buffer the persistence form, with decode reduced to validate-and-view.
 
 use crate::block::BlockKey;
 use parking_lot::Mutex;
+use stash_flat::{bytes_to_words, magic, words_to_bytes, FlatError};
 use stash_geo::{Geohash, TemporalRes, TimeBin};
 use stash_model::fx::{FxHashMap, FxHashSet};
 use stash_model::slot::{self, INVALID_SLOT};
@@ -47,24 +56,42 @@ pub const DEFAULT_FRAME_CACHE_BYTES: usize = 64 << 20;
 /// hashed accumulator keyed by the same packed slots.
 const FLAT_SLOT_LIMIT: usize = 1 << 15;
 
-/// One block, decoded once into columnar form.
+/// Magic word of a flat block frame buffer (DESIGN.md §15).
+pub const FRAME_MAGIC: u64 = magic(b"STSHBLK1");
+
+/// Fixed words before the slot column: magic, packed header, tile bits,
+/// day index, version.
+const FRAME_HEADER_WORDS: usize = 5;
+
+/// One block in flat columnar form: a single contiguous word buffer.
 ///
-/// `values` is column-major: attribute `a` of row `r` is
-/// `values[a * n_rows + r]`, so the aggregation stage streams each column
-/// sequentially. `row_slots[r]` packs the row's geohash digits *below* the
-/// block tile (at `spatial_res`) with its hour of day; rows that cannot be
-/// binned (invalid coordinates, or an observation leaking outside the
-/// block's tile/day contrary to the [`crate::store::BlockSource`] contract)
-/// carry [`INVALID_SLOT`] and are skipped by aggregation.
+/// ```text
+/// word 0               magic "STSHBLK1"
+/// word 1               n_rows | n_attrs<<32 | spatial_res<<48 | tile_len<<56
+/// word 2               block tile geohash bits
+/// word 3               block day index (days since epoch)
+/// word 4               block version the rows were read at
+/// words 5..5+n         packed row slots (one per row)
+/// then n_attrs × n     f64 bit columns, column-major
+/// ```
+///
+/// Attribute `a` of row `r` is `f64::from_bits(col(a)[r])`, so the
+/// aggregation stage streams each column sequentially. `row_slots()[r]`
+/// packs the row's geohash digits *below* the block tile (at
+/// `spatial_res`) with its hour of day; rows that cannot be binned
+/// (invalid coordinates, or an observation leaking outside the block's
+/// tile/day contrary to the [`crate::store::BlockSource`] contract) carry
+/// [`INVALID_SLOT`] and are skipped by aggregation. Fixed header fields
+/// are mirrored into struct fields so hot paths never re-parse word 1.
 pub struct BlockFrame {
     block: BlockKey,
+    n_rows: usize,
     n_attrs: usize,
     /// Geohash length the rows were encoded at (≥ the block tile length).
     spatial_res: u8,
     /// Block version the rows were read at (0 for sealed blocks).
     version: u64,
-    row_slots: Vec<u64>,
-    values: Vec<f64>,
+    buf: Vec<u64>,
 }
 
 /// Result of [`BlockFrame::aggregate`]: one summary per wanted cell plus
@@ -86,60 +113,127 @@ pub fn frame_spatial_res(tile_len: u8, wanted: &[CellKey]) -> u8 {
         .max(tile_len)
 }
 
-impl BlockFrame {
-    /// Stage 1: decode a block's observations. One geohash encode per row.
-    pub fn decode(
-        block: BlockKey,
-        observations: &[Observation],
-        n_attrs: usize,
-        spatial_res: u8,
-    ) -> BlockFrame {
-        let tile = block.geohash;
-        let tile_len = tile.len();
+/// Streaming writer for a [`BlockFrame`]: rows go straight into the flat
+/// buffer, so a source that can enumerate `(lat, lon, time, values)` tuples
+/// builds a ready-to-scan frame without materializing `Vec<Observation>`.
+/// Binning logic is identical to [`BlockFrame::decode`] — decode *is* a
+/// builder fed from row structs.
+pub struct FrameBuilder {
+    block: BlockKey,
+    n_rows: usize,
+    n_attrs: usize,
+    spatial_res: u8,
+    day_start: i64,
+    suffix_mask: u64,
+    row: usize,
+    buf: Vec<u64>,
+}
+
+impl FrameBuilder {
+    /// Start a frame for `block` holding exactly `n_rows` rows encoded at
+    /// `spatial_res`. Slots start [`INVALID_SLOT`], values start zero.
+    pub fn new(block: BlockKey, n_rows: usize, n_attrs: usize, spatial_res: u8) -> Self {
+        let tile_len = block.geohash.len();
         debug_assert!(spatial_res >= tile_len, "frame coarser than its tile");
-        let day_start = block.day.start();
         let delta = (spatial_res - tile_len) as u32;
         let suffix_mask = if delta == 0 {
             0
         } else {
             (1u64 << (5 * delta)) - 1
         };
-        let n_rows = observations.len();
-        let mut row_slots = vec![INVALID_SLOT; n_rows];
-        let mut values = vec![0.0f64; n_rows * n_attrs];
-        for (r, obs) in observations.iter().enumerate() {
-            if obs.values.len() != n_attrs {
-                continue; // malformed row: stays invalid, values stay zero
-            }
-            for (a, &v) in obs.values.iter().enumerate() {
-                values[a * n_rows + r] = v;
-            }
-            let hour = (obs.time - day_start).div_euclid(3600);
-            if !(0..24).contains(&hour) {
-                continue;
-            }
-            let Ok(gh) = Geohash::encode(obs.lat, obs.lon, spatial_res) else {
-                continue;
-            };
-            if gh.prefix(tile_len) != Some(tile) {
-                continue;
-            }
-            row_slots[r] = slot::pack(gh.bits() & suffix_mask, hour as u32);
-        }
-        BlockFrame {
+        let mut buf = vec![0u64; FRAME_HEADER_WORDS + n_rows * (1 + n_attrs)];
+        buf[0] = FRAME_MAGIC;
+        buf[1] = n_rows as u64
+            | (n_attrs as u64) << 32
+            | (spatial_res as u64) << 48
+            | (tile_len as u64) << 56;
+        buf[2] = block.geohash.bits();
+        buf[3] = block.day.idx as u64;
+        // buf[4] (version) stays 0 until `with_version`.
+        buf[FRAME_HEADER_WORDS..FRAME_HEADER_WORDS + n_rows].fill(INVALID_SLOT);
+        FrameBuilder {
             block,
+            n_rows,
             n_attrs,
             spatial_res,
-            version: 0,
-            row_slots,
-            values,
+            day_start: block.day.start(),
+            suffix_mask,
+            row: 0,
+            buf,
         }
+    }
+
+    /// Append one row. Rows that cannot be binned — wrong value count,
+    /// time outside the block's day, invalid coordinates, or a position
+    /// outside the block's tile — keep [`INVALID_SLOT`] (values zero) and
+    /// are skipped by aggregation, exactly like the historical decode.
+    ///
+    /// # Panics
+    /// Panics when pushed more than the declared `n_rows` times.
+    pub fn push_row(&mut self, lat: f64, lon: f64, time: i64, values: &[f64]) {
+        let r = self.row;
+        assert!(r < self.n_rows, "frame builder overflow");
+        self.row += 1;
+        if values.len() != self.n_attrs {
+            return; // malformed row: stays invalid, values stay zero
+        }
+        let col0 = FRAME_HEADER_WORDS + self.n_rows;
+        for (a, &v) in values.iter().enumerate() {
+            self.buf[col0 + a * self.n_rows + r] = v.to_bits();
+        }
+        let hour = (time - self.day_start).div_euclid(3600);
+        if !(0..24).contains(&hour) {
+            return;
+        }
+        let Ok(gh) = Geohash::encode(lat, lon, self.spatial_res) else {
+            return;
+        };
+        let tile = self.block.geohash;
+        if gh.prefix(tile.len()) != Some(tile) {
+            return;
+        }
+        self.buf[FRAME_HEADER_WORDS + r] = slot::pack(gh.bits() & self.suffix_mask, hour as u32);
+    }
+
+    /// Seal the buffer into a frame.
+    ///
+    /// # Panics
+    /// Panics unless exactly `n_rows` rows were pushed.
+    pub fn finish(self) -> BlockFrame {
+        assert_eq!(self.row, self.n_rows, "frame builder underfilled");
+        BlockFrame {
+            block: self.block,
+            n_rows: self.n_rows,
+            n_attrs: self.n_attrs,
+            spatial_res: self.spatial_res,
+            version: 0,
+            buf: self.buf,
+        }
+    }
+}
+
+impl BlockFrame {
+    /// Stage 1: decode a block's observations. One geohash encode per row.
+    /// This is the oracle route; streaming sources use [`FrameBuilder`]
+    /// directly and skip the row structs.
+    pub fn decode(
+        block: BlockKey,
+        observations: &[Observation],
+        n_attrs: usize,
+        spatial_res: u8,
+    ) -> BlockFrame {
+        let mut b = FrameBuilder::new(block, observations.len(), n_attrs, spatial_res);
+        for obs in observations {
+            b.push_row(obs.lat, obs.lon, obs.time, &obs.values);
+        }
+        b.finish()
     }
 
     /// Tag the frame with the block version its rows were read at.
     /// Sealed (immutable) blocks stay at the default version 0.
     pub fn with_version(mut self, version: u64) -> Self {
         self.version = version;
+        self.buf[4] = version;
         self
     }
 
@@ -150,7 +244,7 @@ impl BlockFrame {
 
     #[inline]
     pub fn n_rows(&self) -> usize {
-        self.row_slots.len()
+        self.n_rows
     }
 
     #[inline]
@@ -168,9 +262,109 @@ impl BlockFrame {
         self.spatial_res
     }
 
-    /// Heap footprint, for the cache byte budget.
+    /// The packed slot column.
+    #[inline]
+    pub fn row_slots(&self) -> &[u64] {
+        &self.buf[FRAME_HEADER_WORDS..FRAME_HEADER_WORDS + self.n_rows]
+    }
+
+    /// Attribute `a`'s value column as raw `f64` bit patterns.
+    #[inline]
+    fn col(&self, a: usize) -> &[u64] {
+        let start = FRAME_HEADER_WORDS + (1 + a) * self.n_rows;
+        &self.buf[start..start + self.n_rows]
+    }
+
+    /// Exact byte length of the flat buffer — what the cache budget and
+    /// `frame_cache` byte accounting charge.
+    pub fn buffer_bytes(&self) -> usize {
+        self.buf.len() * 8
+    }
+
+    /// Footprint for the cache byte budget: the buffer's exact length
+    /// (the fixed struct mirror is negligible and excluded by design, so
+    /// accounting can be audited against buffer lengths alone).
     pub fn estimated_bytes(&self) -> usize {
-        std::mem::size_of::<BlockFrame>() + 8 * self.row_slots.len() + 8 * self.values.len()
+        self.buffer_bytes()
+    }
+
+    /// The buffer in little-endian byte form — the storage/persistence
+    /// encoding (exactly [`BlockFrame::buffer_bytes`] long).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        words_to_bytes(&self.buf)
+    }
+
+    /// Validate-and-adopt a stored flat buffer. The inverse of
+    /// [`BlockFrame::to_bytes`]; every header field, the buffer length,
+    /// and every row slot are checked. Never panics on corrupt input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BlockFrame, FlatError> {
+        Self::from_words(bytes_to_words(bytes)?)
+    }
+
+    /// [`BlockFrame::from_bytes`] over an already word-aligned buffer.
+    pub fn from_words(buf: Vec<u64>) -> Result<BlockFrame, FlatError> {
+        if buf.len() < FRAME_HEADER_WORDS {
+            return Err(FlatError::Truncated {
+                needed: FRAME_HEADER_WORDS,
+                remaining: buf.len(),
+            });
+        }
+        if buf[0] != FRAME_MAGIC {
+            return Err(FlatError::BadMagic {
+                expected: FRAME_MAGIC,
+                found: buf[0],
+            });
+        }
+        let header = buf[1];
+        let n_rows = (header & u32::MAX as u64) as usize;
+        let n_attrs = (header >> 32 & 0xFFFF) as usize;
+        let spatial_res = (header >> 48 & 0xFF) as u8;
+        let tile_len = (header >> 56) as u8;
+        let tile = Geohash::from_bits(buf[2], tile_len)
+            .map_err(|_| FlatError::Corrupt("invalid block tile geohash"))?;
+        if tile_len == 0 || spatial_res < tile_len {
+            return Err(FlatError::Corrupt("frame resolution below its tile"));
+        }
+        let Some(expected) = n_rows
+            .checked_mul(1 + n_attrs)
+            .and_then(|n| n.checked_add(FRAME_HEADER_WORDS))
+        else {
+            return Err(FlatError::Corrupt("frame dimensions overflow"));
+        };
+        if buf.len() < expected {
+            return Err(FlatError::Truncated {
+                needed: expected - buf.len(),
+                remaining: 0,
+            });
+        }
+        if buf.len() > expected {
+            return Err(FlatError::TrailingWords(buf.len() - expected));
+        }
+        let delta = (spatial_res - tile_len) as u32;
+        let suffix_limit = if delta == 0 { 1 } else { 1u64 << (5 * delta) };
+        for &rs in &buf[FRAME_HEADER_WORDS..FRAME_HEADER_WORDS + n_rows] {
+            if rs == INVALID_SLOT {
+                continue;
+            }
+            if slot::hour(rs) >= 24 || slot::suffix(rs) >= suffix_limit {
+                return Err(FlatError::Corrupt("row slot out of range"));
+            }
+        }
+        let block = BlockKey {
+            geohash: tile,
+            day: TimeBin {
+                res: TemporalRes::Day,
+                idx: buf[3] as i64,
+            },
+        };
+        Ok(BlockFrame {
+            block,
+            n_rows,
+            n_attrs,
+            spatial_res,
+            version: buf[4],
+            buf,
+        })
     }
 
     /// Stages 2+3: aggregate the frame into one summary per wanted cell
@@ -251,7 +445,7 @@ impl BlockFrame {
         let (dense_count, occupied): (usize, Vec<(u64, u32)>) = match flat_slots {
             Some(n_slots) => {
                 let mut touched = vec![false; n_slots];
-                for &rs in &self.row_slots {
+                for &rs in self.row_slots() {
                     if rs == INVALID_SLOT {
                         row_dense.push(u32::MAX);
                     } else {
@@ -271,7 +465,7 @@ impl BlockFrame {
             None => {
                 let mut map: FxHashMap<u64, u32> = FxHashMap::default();
                 let mut slots: Vec<u64> = Vec::new();
-                for &rs in &self.row_slots {
+                for &rs in self.row_slots() {
                     if rs == INVALID_SLOT {
                         row_dense.push(u32::MAX);
                     } else {
@@ -295,10 +489,10 @@ impl BlockFrame {
         };
         let mut acc = vec![SummaryStats::empty(); dense_count * self.n_attrs];
         for a in 0..self.n_attrs {
-            let col = &self.values[a * n_rows..(a + 1) * n_rows];
+            let col = self.col(a);
             for (r, &d) in row_dense.iter().enumerate() {
                 if d != u32::MAX {
-                    acc[d as usize * self.n_attrs + a].push(col[r]);
+                    acc[d as usize * self.n_attrs + a].push(f64::from_bits(col[r]));
                 }
             }
         }
@@ -391,7 +585,7 @@ impl BlockFrame {
             }
             if sketch.enabled {
                 for a in 0..self.n_attrs {
-                    let col = &self.values[a * n_rows..(a + 1) * n_rows];
+                    let col = self.col(a);
                     for (r, &d) in row_dense.iter().enumerate() {
                         if d == u32::MAX {
                             continue;
@@ -401,7 +595,7 @@ impl BlockFrame {
                             continue;
                         }
                         if let Some(sk) = out[oi as usize].1.attr_sketches_mut(a) {
-                            sk.push(col[r]);
+                            sk.push(f64::from_bits(col[r]));
                         }
                     }
                 }
@@ -458,9 +652,22 @@ impl FrameCache {
         self.budget
     }
 
-    /// Resident bytes.
+    /// Resident bytes (the incrementally maintained counter).
     pub fn bytes(&self) -> usize {
         self.inner.lock().bytes
+    }
+
+    /// Audit: sum of the resident frames' actual flat-buffer lengths.
+    /// Must always equal [`FrameCache::bytes`] — the accounting charges
+    /// exact buffer lengths, nothing estimated. `figures --profile` asserts
+    /// this invariant on live caches.
+    pub fn buffer_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .map
+            .values()
+            .map(|e| e.frame.buffer_bytes())
+            .sum()
     }
 
     pub fn len(&self) -> usize {
@@ -681,7 +888,7 @@ mod tests {
         obs.push(Observation::new(95.0, 0.0, bk.day.start(), vec![1.0; 4])); // bad coords
         let frame = BlockFrame::decode(bk, &obs, 4, 5);
         let invalid = frame
-            .row_slots
+            .row_slots()
             .iter()
             .filter(|&&s| s == INVALID_SLOT)
             .count();
@@ -757,6 +964,104 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&bk, 4, 4).is_some());
         assert!(cache.lookup(&bk, 4, 3).is_none());
+    }
+
+    #[test]
+    fn flat_bytes_roundtrip_preserves_frame_and_aggregation() {
+        let bk = block("9xj", 2015, 2, 2);
+        let mut obs = rows();
+        // Include rows the decoder marks invalid, plus awkward values.
+        obs.push(Observation::new(0.0, 0.0, bk.day.start(), vec![1.0; 4]));
+        obs[0].values = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0];
+        let frame = BlockFrame::decode(bk, &obs, 4, 5).with_version(7);
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes.len(), frame.buffer_bytes());
+        let back = BlockFrame::from_bytes(&bytes).unwrap();
+        assert_eq!(back.block(), frame.block());
+        assert_eq!(back.n_rows(), frame.n_rows());
+        assert_eq!(back.n_attrs(), frame.n_attrs());
+        assert_eq!(back.spatial_res(), frame.spatial_res());
+        assert_eq!(back.version(), 7);
+        assert_eq!(back.row_slots(), frame.row_slots());
+        assert_eq!(back.to_bytes(), bytes);
+        let wanted = [
+            CellKey::new(bk.geohash.prefix(1).unwrap(), bk.day),
+            CellKey::new(bk.geohash, bk.day),
+        ];
+        let a = frame.aggregate(&wanted);
+        let b = back.aggregate(&wanted);
+        // Debug form: NaN summaries (attr 0) must survive too, and NaN != NaN.
+        assert_eq!(format!("{:?}", a.cells), format!("{:?}", b.cells));
+    }
+
+    #[test]
+    fn corrupt_frame_bytes_error_without_panicking() {
+        let bk = block("9xj", 2015, 2, 2);
+        let frame = BlockFrame::decode(bk, &rows(), 4, 5);
+        let bytes = frame.to_bytes();
+        // Every 8-aligned truncation fails cleanly.
+        for cut in (0..bytes.len()).step_by(8) {
+            assert!(BlockFrame::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Unaligned length.
+        assert!(BlockFrame::from_bytes(&bytes[..9]).is_err());
+        // Wrong magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        assert!(BlockFrame::from_bytes(&b).is_err());
+        // Trailing garbage.
+        let mut b = bytes.clone();
+        b.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            BlockFrame::from_bytes(&b),
+            Err(FlatError::TrailingWords(1))
+        ));
+        // Row-slot hour out of range (raw word: suffix 0, hour 24).
+        let mut words = bytes_to_words(&bytes).unwrap();
+        words[FRAME_HEADER_WORDS] = 24;
+        assert!(BlockFrame::from_words(words).is_err());
+        // Suffix outside the tile→res slot space (raw word: suffix 2^10).
+        let mut words = bytes_to_words(&bytes).unwrap();
+        words[FRAME_HEADER_WORDS] = 1u64 << (5 * 2 + 5);
+        assert!(BlockFrame::from_words(words).is_err());
+        // Declared row count larger than the buffer.
+        let mut words = bytes_to_words(&bytes).unwrap();
+        words[1] = (words[1] & !(u32::MAX as u64)) | u32::MAX as u64;
+        assert!(BlockFrame::from_words(words).is_err());
+        // Spatial res below the tile length.
+        let mut words = bytes_to_words(&bytes).unwrap();
+        words[1] = (words[1] & !(0xFFu64 << 48)) | 2u64 << 48;
+        assert!(BlockFrame::from_words(words).is_err());
+    }
+
+    #[test]
+    fn builder_matches_decode_bit_for_bit() {
+        let bk = block("9xj", 2015, 2, 2);
+        let obs = rows();
+        let via_decode = BlockFrame::decode(bk, &obs, 4, 5).with_version(2);
+        let mut b = FrameBuilder::new(bk, obs.len(), 4, 5);
+        for o in &obs {
+            b.push_row(o.lat, o.lon, o.time, &o.values);
+        }
+        let via_builder = b.finish().with_version(2);
+        assert_eq!(via_decode.to_bytes(), via_builder.to_bytes());
+    }
+
+    #[test]
+    fn cache_byte_accounting_matches_buffer_lengths() {
+        let obs = rows();
+        let cache = FrameCache::new(DEFAULT_FRAME_CACHE_BYTES);
+        for g in ["9xj", "9xk", "9xm"] {
+            cache.insert(Arc::new(BlockFrame::decode(
+                block(g, 2015, 2, 2),
+                &obs,
+                4,
+                4,
+            )));
+        }
+        assert_eq!(cache.bytes(), cache.buffer_bytes());
+        cache.remove(&block("9xk", 2015, 2, 2));
+        assert_eq!(cache.bytes(), cache.buffer_bytes());
     }
 
     #[test]

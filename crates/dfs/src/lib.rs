@@ -37,7 +37,8 @@ pub mod store;
 pub use block::{plan_blocks, BlockKey, BlockPlanError};
 pub use disk::{DiskModel, DiskStats};
 pub use frame::{
-    frame_spatial_res, BlockFrame, FrameAggregation, FrameCache, DEFAULT_FRAME_CACHE_BYTES,
+    frame_spatial_res, BlockFrame, FrameAggregation, FrameBuilder, FrameCache,
+    DEFAULT_FRAME_CACHE_BYTES,
 };
 pub use partitioner::Partitioner;
 pub use store::{AppendOutcome, BlockScan, BlockSource, NodeStore, PartialCell};

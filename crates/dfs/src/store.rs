@@ -82,6 +82,17 @@ pub trait BlockSource: Send + Sync {
     fn append(&self, _key: BlockKey, _seq: u64, _rows: &[Observation]) -> AppendOutcome {
         AppendOutcome::Unsupported
     }
+    /// Read one block as a ready-to-scan flat frame at `spatial_res`,
+    /// tagged with the version its rows reflect. The default materializes
+    /// `Vec<Observation>` and decodes — the oracle route. Sources that can
+    /// stream rows should override it with a [`crate::frame::FrameBuilder`]
+    /// fill, which
+    /// skips the row structs entirely; equivalence is pinned by the
+    /// `read_frame matches the row oracle` proptests.
+    fn read_frame(&self, key: BlockKey, spatial_res: u8) -> BlockFrame {
+        let (observations, version) = self.read_block_versioned(key);
+        BlockFrame::decode(key, &observations, self.n_attrs(), spatial_res).with_version(version)
+    }
 }
 
 /// One node's storage engine.
@@ -359,15 +370,15 @@ impl NodeStore {
             }
             None => {
                 self.metrics.inc("dfs.frame_cache.miss");
-                let (observations, read_version) = self.source.read_block_versioned(bk);
+                let t0 = std::time::Instant::now();
+                let f = Arc::new(self.source.read_frame(bk, need_res));
+                self.metrics
+                    .counter("dfs.decode_ns")
+                    .add(t0.elapsed().as_nanos() as u64);
                 self.stats.record_read(self.source.block_bytes(bk.geohash));
                 self.metrics
                     .counter("dfs.rows_decoded")
-                    .add(observations.len() as u64);
-                let f = Arc::new(
-                    BlockFrame::decode(bk, &observations, self.source.n_attrs(), need_res)
-                        .with_version(read_version),
-                );
+                    .add(f.n_rows() as u64);
                 let evicted = self.frame_cache.insert(Arc::clone(&f));
                 if evicted > 0 {
                     self.metrics

@@ -1,0 +1,164 @@
+//! Flat-encoding proptests for block frames (ISSUE 7 satellite): a frame
+//! serialized to its contiguous byte buffer and validated back must be
+//! bit-identical — same buffer, same aggregation as the seed's direct
+//! per-level binning — and corrupt or truncated buffers must error,
+//! never panic.
+//!
+//! Attribute values are dyadic (multiples of 0.25) so the aggregation
+//! comparison against the direct oracle is sound (see
+//! `frame_equivalence.rs` for the full argument).
+
+use proptest::prelude::*;
+use stash_dfs::{BlockFrame, BlockKey, BlockSource, DiskModel, NodeStore, Partitioner};
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{CellKey, CellSummary, Observation};
+use std::str::FromStr;
+use std::sync::Arc;
+
+struct VecSource {
+    rows: Vec<Observation>,
+    n_attrs: usize,
+}
+
+impl BlockSource for VecSource {
+    fn read_block(&self, _key: BlockKey) -> Vec<Observation> {
+        self.rows.clone()
+    }
+    fn block_bytes(&self, _geohash: Geohash) -> usize {
+        self.rows.len() * 64 + 1
+    }
+    fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+}
+
+const TILES: [&str; 4] = ["9", "9x", "9xj", "dr5r"];
+
+fn store_for(tile: Geohash, rows: Vec<Observation>) -> NodeStore {
+    let bbox = BBox::new(-90.0, 90.0, -180.0, 180.0).unwrap();
+    let time = TimeRange::new(
+        epoch_seconds(2015, 1, 1, 0, 0, 0),
+        epoch_seconds(2016, 1, 1, 0, 0, 0),
+    )
+    .unwrap();
+    NodeStore::new(
+        0,
+        Partitioner::new(1, 1),
+        tile.len(),
+        bbox,
+        time,
+        DiskModel::free(),
+        Arc::new(VecSource { rows, n_attrs: 2 }),
+        10_000,
+    )
+    .with_scan_cost(std::time::Duration::ZERO)
+    .with_frame_cache_bytes(0)
+}
+
+fn sorted(mut cells: Vec<(CellKey, CellSummary)>) -> Vec<(CellKey, CellSummary)> {
+    cells.sort_unstable_by_key(|&(k, _)| k);
+    cells
+}
+
+proptest! {
+    /// encode → decode → scan == direct scan, and the byte buffer is
+    /// exactly reproduced by a second encode.
+    #[test]
+    fn flat_frame_roundtrips_and_scans_like_direct(
+        tile_idx in 0usize..TILES.len(),
+        raw_rows in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..86_400, -4096i32..=4096, -4096i32..=4096),
+            1..120,
+        ),
+        delta in 0u8..3,
+        version in prop_oneof![Just(0u64), 1u64..1_000],
+    ) {
+        let tile = Geohash::from_str(TILES[tile_idx]).unwrap();
+        let tb = tile.bbox();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let day_start = day.start();
+        let rows: Vec<Observation> = raw_rows
+            .iter()
+            .map(|&(u, v, sec, q0, q1)| {
+                Observation::new(
+                    tb.min_lat + u * (tb.max_lat - tb.min_lat),
+                    tb.min_lon + v * (tb.max_lon - tb.min_lon),
+                    day_start + sec as i64,
+                    vec![q0 as f64 * 0.25, q1 as f64 * 0.25],
+                )
+            })
+            .collect();
+        let bk = BlockKey { geohash: tile, day };
+        let spatial_res = (tile.len() + delta).min(12);
+        let frame = BlockFrame::decode(bk, &rows, 2, spatial_res).with_version(version);
+
+        // Byte roundtrip is exact and self-describing.
+        let bytes = frame.to_bytes();
+        prop_assert_eq!(bytes.len(), frame.buffer_bytes());
+        let back = BlockFrame::from_bytes(&bytes).expect("valid buffer");
+        prop_assert_eq!(back.block(), bk);
+        prop_assert_eq!(back.n_rows(), rows.len());
+        prop_assert_eq!(back.n_attrs(), 2);
+        prop_assert_eq!(back.spatial_res(), spatial_res);
+        prop_assert_eq!(back.version(), version);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+
+        // The revalidated frame aggregates exactly like the seed's direct
+        // per-observation binning.
+        let wanted: Vec<CellKey> = rows
+            .iter()
+            .filter_map(|o| o.cell_key(spatial_res, TemporalRes::Day))
+            .chain(rows.iter().filter_map(|o| o.cell_key(1, TemporalRes::Hour)))
+            .collect();
+        prop_assert!(!wanted.is_empty());
+        let store = store_for(tile, rows.clone());
+        let direct = store.scan_block_direct(bk, &wanted);
+        let flat = sorted(back.aggregate(&wanted).cells);
+        prop_assert_eq!(flat, direct, "roundtripped frame diverged from direct binning");
+    }
+
+    /// Truncations always error; arbitrary word corruption may error or
+    /// decode to a (different) valid frame, but must never panic.
+    #[test]
+    fn corrupt_frame_buffers_never_panic(
+        raw_rows in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..86_400, -64i32..=64, -64i32..=64),
+            1..40,
+        ),
+        word_idx in 0usize..64,
+        flip in 1u64..=u64::MAX,
+    ) {
+        let tile = Geohash::from_str("9xj").unwrap();
+        let tb = tile.bbox();
+        let day = TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0));
+        let day_start = day.start();
+        let rows: Vec<Observation> = raw_rows
+            .iter()
+            .map(|&(u, v, sec, q0, q1)| {
+                Observation::new(
+                    tb.min_lat + u * (tb.max_lat - tb.min_lat),
+                    tb.min_lon + v * (tb.max_lon - tb.min_lon),
+                    day_start + sec as i64,
+                    vec![q0 as f64 * 0.25, q1 as f64 * 0.25],
+                )
+            })
+            .collect();
+        let bk = BlockKey { geohash: tile, day };
+        let frame = BlockFrame::decode(bk, &rows, 2, 5);
+        let bytes = frame.to_bytes();
+
+        // Every strictly shorter 8-aligned prefix must be rejected.
+        for cut in (0..bytes.len()).step_by(8) {
+            prop_assert!(BlockFrame::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Unaligned lengths are rejected outright.
+        prop_assert!(BlockFrame::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Flip one word anywhere: decode must return, not panic.
+        let mut corrupt = bytes.clone();
+        let at = (word_idx % (bytes.len() / 8)) * 8;
+        let word = u64::from_le_bytes(corrupt[at..at + 8].try_into().unwrap()) ^ flip;
+        corrupt[at..at + 8].copy_from_slice(&word.to_le_bytes());
+        let _ = BlockFrame::from_bytes(&corrupt);
+    }
+}

@@ -1,0 +1,359 @@
+//! Flat word-oriented encoding primitives (DESIGN.md §15).
+//!
+//! Every flat buffer in the workspace — block frames on the storage side,
+//! partials fragments on the wire side — is a sequence of little-endian
+//! `u64` words: a magic word, fixed header words, then payload columns.
+//! Working in whole words keeps every field naturally aligned, makes
+//! lengths exact (`8 × words` bytes, no padding ambiguity), and lets a
+//! decoded view reinterpret `f64` columns with `from_bits` instead of
+//! parsing. This crate holds the shared plumbing: a bounds-checked reader,
+//! an appending writer, byte↔word conversion, and the error type every
+//! decoder returns instead of panicking.
+//!
+//! Versioning rule: the magic word encodes both the format and its version
+//! (e.g. `FLATBLK1`); any layout change mints a new magic, and decoders
+//! reject unknown magics with [`FlatError::BadMagic`] rather than guessing.
+
+use std::fmt;
+
+/// Decode failure for a flat buffer. Decoders return these for any
+/// malformed input — truncated, oversized, wrong magic, or fields that
+/// violate the format's invariants. They never panic on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatError {
+    /// The buffer ended before a required word.
+    Truncated {
+        /// Words the decoder tried to read past the end.
+        needed: usize,
+        /// Words actually remaining.
+        remaining: usize,
+    },
+    /// The magic word did not match the expected format tag.
+    BadMagic {
+        /// The magic the decoder expected.
+        expected: u64,
+        /// The magic actually found.
+        found: u64,
+    },
+    /// The buffer byte length is not a whole number of words.
+    UnalignedLength(usize),
+    /// The buffer was longer than its header describes.
+    TrailingWords(usize),
+    /// A header field is outside its valid range or inconsistent with the
+    /// payload that follows.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::Truncated { needed, remaining } => write!(
+                f,
+                "flat buffer truncated: needed {needed} more word(s), {remaining} remaining"
+            ),
+            FlatError::BadMagic { expected, found } => write!(
+                f,
+                "flat magic mismatch: expected {expected:#018x}, found {found:#018x}"
+            ),
+            FlatError::UnalignedLength(n) => {
+                write!(f, "flat buffer length {n} is not a multiple of 8 bytes")
+            }
+            FlatError::TrailingWords(n) => {
+                write!(f, "flat buffer has {n} trailing word(s) past its payload")
+            }
+            FlatError::Corrupt(what) => write!(f, "flat buffer corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+/// Build a magic word from an 8-byte ASCII tag, e.g. `magic(b"FLATBLK1")`.
+/// Tags end in a version digit; see the module docs for the rule.
+#[inline]
+pub const fn magic(tag: &[u8; 8]) -> u64 {
+    u64::from_le_bytes(*tag)
+}
+
+/// Appending writer for a flat buffer. A thin veneer over `Vec<u64>` that
+/// keeps encode sites symmetric with [`WordReader`] decode sites.
+#[derive(Debug, Default)]
+pub struct WordWriter {
+    words: Vec<u64>,
+}
+
+impl WordWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        WordWriter::default()
+    }
+
+    /// An empty writer with room for `words` words.
+    pub fn with_capacity(words: usize) -> Self {
+        WordWriter {
+            words: Vec::with_capacity(words),
+        }
+    }
+
+    /// Append one raw word.
+    #[inline]
+    pub fn push_u64(&mut self, w: u64) {
+        self.words.push(w);
+    }
+
+    /// Append a signed word (two's-complement bit pattern).
+    #[inline]
+    pub fn push_i64(&mut self, w: i64) {
+        self.words.push(w as u64);
+    }
+
+    /// Append a float as its IEEE-754 bit pattern (NaN/±∞ round-trip).
+    #[inline]
+    pub fn push_f64(&mut self, v: f64) {
+        self.words.push(v.to_bits());
+    }
+
+    /// Append a run of raw words.
+    #[inline]
+    pub fn extend_u64(&mut self, ws: &[u64]) {
+        self.words.extend_from_slice(ws);
+    }
+
+    /// Words written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Finish, returning the word buffer.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Finish, returning the little-endian byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        words_to_bytes(&self.words)
+    }
+}
+
+/// Bounds-checked cursor over a flat word buffer. Every read either
+/// advances past validated words or returns [`FlatError::Truncated`];
+/// decoders finish with [`WordReader::finish`] to reject trailing garbage.
+#[derive(Debug, Clone, Copy)]
+pub struct WordReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    /// A cursor at the start of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        WordReader { words, pos: 0 }
+    }
+
+    /// Words left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    #[inline]
+    fn want(&self, n: usize) -> Result<(), FlatError> {
+        if self.remaining() < n {
+            Err(FlatError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one raw word.
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64, FlatError> {
+        self.want(1)?;
+        let w = self.words[self.pos];
+        self.pos += 1;
+        Ok(w)
+    }
+
+    /// Read one signed word.
+    #[inline]
+    pub fn i64(&mut self) -> Result<i64, FlatError> {
+        self.u64().map(|w| w as i64)
+    }
+
+    /// Read one float from its bit pattern.
+    #[inline]
+    pub fn f64(&mut self) -> Result<f64, FlatError> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Read one word and require it to equal `expected`, else
+    /// [`FlatError::BadMagic`].
+    pub fn expect_magic(&mut self, expected: u64) -> Result<(), FlatError> {
+        let found = self.u64()?;
+        if found != expected {
+            return Err(FlatError::BadMagic { expected, found });
+        }
+        Ok(())
+    }
+
+    /// Borrow the next `n` words and advance past them.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u64], FlatError> {
+        self.want(n)?;
+        let s = &self.words[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Require the buffer to be fully consumed, else
+    /// [`FlatError::TrailingWords`].
+    pub fn finish(&self) -> Result<(), FlatError> {
+        if self.remaining() != 0 {
+            return Err(FlatError::TrailingWords(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Serialize a word buffer to little-endian bytes. The inverse of
+/// [`bytes_to_words`]; exact length is `8 × words.len()`.
+pub fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Parse little-endian bytes back into words, rejecting lengths that are
+/// not a multiple of 8.
+pub fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, FlatError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(FlatError::UnalignedLength(bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = WordWriter::new();
+        w.push_u64(magic(b"TESTFMT1"));
+        w.push_i64(-7);
+        w.push_f64(f64::NEG_INFINITY);
+        w.push_f64(2.5);
+        w.extend_u64(&[1, 2, 3]);
+        assert_eq!(w.len(), 7);
+        let words = w.into_words();
+
+        let mut r = WordReader::new(&words);
+        r.expect_magic(magic(b"TESTFMT1")).unwrap();
+        assert_eq!(r.i64().unwrap(), -7);
+        assert_eq!(r.f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.take(3).unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let bits = 0x7ff8_dead_beef_0001u64;
+        let mut w = WordWriter::new();
+        w.push_f64(f64::from_bits(bits));
+        let words = w.into_words();
+        let mut r = WordReader::new(&words);
+        assert_eq!(r.f64().unwrap().to_bits(), bits);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let words = [1u64, 2];
+        let mut r = WordReader::new(&words);
+        r.take(2).unwrap();
+        assert_eq!(
+            r.u64(),
+            Err(FlatError::Truncated {
+                needed: 1,
+                remaining: 0
+            })
+        );
+        let mut r = WordReader::new(&words);
+        assert_eq!(
+            r.take(3),
+            Err(FlatError::Truncated {
+                needed: 3,
+                remaining: 2
+            })
+        );
+    }
+
+    #[test]
+    fn magic_mismatch_reports_both_sides() {
+        let words = [magic(b"WRONGFM1")];
+        let mut r = WordReader::new(&words);
+        let err = r.expect_magic(magic(b"TESTFMT1")).unwrap_err();
+        assert_eq!(
+            err,
+            FlatError::BadMagic {
+                expected: magic(b"TESTFMT1"),
+                found: magic(b"WRONGFM1"),
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_words_are_rejected() {
+        let words = [1u64, 2];
+        let mut r = WordReader::new(&words);
+        r.u64().unwrap();
+        assert_eq!(r.finish(), Err(FlatError::TrailingWords(1)));
+    }
+
+    #[test]
+    fn byte_conversion_roundtrips_and_validates() {
+        let words = vec![0u64, u64::MAX, 0x0102_0304_0506_0708];
+        let bytes = words_to_bytes(&words);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(bytes_to_words(&bytes).unwrap(), words);
+        assert_eq!(
+            bytes_to_words(&bytes[..23]),
+            Err(FlatError::UnalignedLength(23))
+        );
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let msgs = [
+            FlatError::Truncated {
+                needed: 4,
+                remaining: 1,
+            }
+            .to_string(),
+            FlatError::BadMagic {
+                expected: 1,
+                found: 2,
+            }
+            .to_string(),
+            FlatError::UnalignedLength(9).to_string(),
+            FlatError::TrailingWords(3).to_string(),
+            FlatError::Corrupt("n_attrs out of range").to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

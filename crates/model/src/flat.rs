@@ -1,0 +1,335 @@
+//! Flat wire forms for Cell keys, summaries, and partials fragments
+//! (DESIGN.md §15).
+//!
+//! A partials fragment — the payload a worker ships back for
+//! `FetchPartials` — historically traveled as a serde value tree whose
+//! size the protocol could only approximate. [`FlatPartials`] replaces
+//! that with one contiguous little-endian word buffer per fragment:
+//!
+//! ```text
+//! word 0        magic "STSHPRT1"
+//! word 1        entry count n
+//! per entry     key   (3 words: geohash bits|len, temporal res, bin index)
+//!               stats (header word, 5 words per attribute, optional
+//!                      sketch bundles — see cell_stats_words)
+//! ```
+//!
+//! The encoding is canonical — equal states produce identical words — and
+//! exact: [`FlatPartials::wire_size`] is the buffer's true byte length,
+//! which is what the simulated network now charges. The serde value-tree
+//! path stays alive as the oracle; equivalence tests assert that decoding
+//! a flat fragment yields bit-identical partials to the serde roundtrip.
+
+use crate::key::CellKey;
+use crate::stats::{CellStats, SummaryStats};
+use stash_flat::{magic, FlatError, WordReader, WordWriter};
+use stash_geo::{Geohash, TemporalRes, TimeBin};
+use stash_sketch::AttrSketches;
+
+/// Magic word of a flat partials fragment.
+pub const PARTIALS_MAGIC: u64 = magic(b"STSHPRT1");
+
+/// Words of one flat-encoded [`CellKey`].
+pub const KEY_WORDS: usize = 3;
+
+/// Ceiling on attributes per summary accepted by the decoder — far above
+/// any real schema, low enough that corrupt headers cannot force huge
+/// allocations.
+const MAX_FLAT_ATTRS: usize = 4096;
+
+/// Append a key's flat form: geohash bits with the length packed in the
+/// top nibble (5·12 = 60 payload bits leave it free), then the temporal
+/// resolution index, then the bin index.
+pub fn encode_key(w: &mut WordWriter, key: &CellKey) {
+    w.push_u64(key.geohash.bits() | (key.geohash.len() as u64) << 60);
+    w.push_u64(key.time.res.index() as u64);
+    w.push_i64(key.time.idx);
+}
+
+/// Decode a key's flat form, validating geohash length/bits and the
+/// temporal resolution index.
+pub fn decode_key(r: &mut WordReader) -> Result<CellKey, FlatError> {
+    let packed = r.u64()?;
+    let res = r.u64()?;
+    let idx = r.i64()?;
+    let geohash = Geohash::from_bits(packed & ((1u64 << 60) - 1), (packed >> 60) as u8)
+        .map_err(|_| FlatError::Corrupt("invalid geohash in cell key"))?;
+    let res = u8::try_from(res)
+        .ok()
+        .and_then(TemporalRes::from_index)
+        .ok_or(FlatError::Corrupt(
+            "invalid temporal resolution in cell key",
+        ))?;
+    Ok(CellKey::new(geohash, TimeBin { res, idx }))
+}
+
+/// Words of one flat-encoded [`CellStats`]: a header word, five words per
+/// exact attribute summary, plus the sketch bundles when carried.
+pub fn cell_stats_words(s: &CellStats) -> usize {
+    1 + 5 * s.summaries.len()
+        + s.sketches
+            .as_ref()
+            .map_or(0, |b| b.iter().map(AttrSketches::flat_words).sum())
+}
+
+/// Append a summary's flat form. ±∞ sentinels of the empty state
+/// round-trip as raw bit patterns — no optional fields on this path.
+fn encode_summary(w: &mut WordWriter, s: &SummaryStats) {
+    w.push_u64(s.count);
+    w.push_f64(s.min);
+    w.push_f64(s.max);
+    w.push_f64(s.sum);
+    w.push_f64(s.sum_sq);
+}
+
+fn decode_summary(r: &mut WordReader) -> Result<SummaryStats, FlatError> {
+    Ok(SummaryStats {
+        count: r.u64()?,
+        min: r.f64()?,
+        max: r.f64()?,
+        sum: r.f64()?,
+        sum_sq: r.f64()?,
+    })
+}
+
+/// Append a Cell summary's flat form: header word (attribute count in the
+/// low half, sketch-presence flag at bit 32), the exact summaries, then
+/// the sketch bundles when present.
+pub fn encode_cell_stats(w: &mut WordWriter, s: &CellStats) {
+    let flag = if s.sketches.is_some() { 1u64 << 32 } else { 0 };
+    w.push_u64(s.summaries.len() as u64 | flag);
+    for summary in &s.summaries {
+        encode_summary(w, summary);
+    }
+    if let Some(sketches) = &s.sketches {
+        for bundle in sketches {
+            bundle.flat_encode(w);
+        }
+    }
+}
+
+/// Decode a Cell summary's flat form. Never panics on corrupt input.
+pub fn decode_cell_stats(r: &mut WordReader) -> Result<CellStats, FlatError> {
+    let header = r.u64()?;
+    let n_attrs = (header & u32::MAX as u64) as usize;
+    let flag = header >> 32;
+    if flag > 1 {
+        return Err(FlatError::Corrupt("invalid cell stats header"));
+    }
+    if n_attrs > MAX_FLAT_ATTRS {
+        return Err(FlatError::Corrupt(
+            "cell stats attribute count out of range",
+        ));
+    }
+    let mut summaries = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        summaries.push(decode_summary(r)?);
+    }
+    let sketches = if flag == 1 {
+        let mut bundles = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            bundles.push(AttrSketches::flat_decode(r)?);
+        }
+        Some(bundles)
+    } else {
+        None
+    };
+    Ok(CellStats {
+        summaries,
+        sketches,
+    })
+}
+
+/// A partials fragment in flat wire form: one contiguous word buffer,
+/// ready to ship. Cheap to clone relative to re-encoding, exact in size,
+/// and decodable with full validation on the receiving side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatPartials {
+    words: Vec<u64>,
+}
+
+impl FlatPartials {
+    /// Encode a fragment. Equal inputs produce identical buffers (every
+    /// nested encoding is canonical).
+    pub fn encode(parts: &[(CellKey, CellStats)]) -> Self {
+        let total = 2 + parts
+            .iter()
+            .map(|(_, s)| KEY_WORDS + cell_stats_words(s))
+            .sum::<usize>();
+        let mut w = WordWriter::with_capacity(total);
+        w.push_u64(PARTIALS_MAGIC);
+        w.push_u64(parts.len() as u64);
+        for (key, stats) in parts {
+            encode_key(&mut w, key);
+            encode_cell_stats(&mut w, stats);
+        }
+        debug_assert_eq!(w.len(), total, "flat partials size arithmetic drifted");
+        FlatPartials {
+            words: w.into_words(),
+        }
+    }
+
+    /// Decode the fragment back into `(key, summary)` pairs, validating
+    /// magic, counts, and every nested invariant. Never panics.
+    pub fn decode(&self) -> Result<Vec<(CellKey, CellStats)>, FlatError> {
+        let mut r = WordReader::new(&self.words);
+        r.expect_magic(PARTIALS_MAGIC)?;
+        let n = r.u64()? as usize;
+        // Each entry is at least KEY_WORDS + 1 words; reject counts the
+        // buffer cannot possibly hold before allocating.
+        if n > r.remaining() / (KEY_WORDS + 1) {
+            return Err(FlatError::Corrupt("partials entry count exceeds buffer"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = decode_key(&mut r)?;
+            let stats = decode_cell_stats(&mut r)?;
+            out.push((key, stats));
+        }
+        r.finish()?;
+        Ok(out)
+    }
+
+    /// Number of `(key, summary)` entries carried.
+    pub fn entries(&self) -> usize {
+        // words[1] is the count; an encoded buffer always has ≥ 2 words.
+        self.words.get(1).map_or(0, |&n| n as usize)
+    }
+
+    /// Exact wire footprint in bytes — the buffer's true length, which the
+    /// simulated network charges.
+    pub fn wire_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The raw little-endian byte form (for persistence and fuzzing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        stash_flat::words_to_bytes(&self.words)
+    }
+
+    /// Rebuild from raw bytes. Validates alignment only; call
+    /// [`FlatPartials::decode`] to validate content.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FlatError> {
+        Ok(FlatPartials {
+            words: stash_flat::bytes_to_words(bytes)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_sketch::SketchSpec;
+    use std::str::FromStr;
+
+    fn sample_key(gh: &str, res: TemporalRes, idx: i64) -> CellKey {
+        CellKey::new(Geohash::from_str(gh).unwrap(), TimeBin { res, idx })
+    }
+
+    fn sample_parts(with_sketches: bool) -> Vec<(CellKey, CellStats)> {
+        let spec = SketchSpec::standard();
+        let mut parts = Vec::new();
+        for (i, gh) in ["9xj", "9xj0", "dr5ru7"].iter().enumerate() {
+            let mut stats = if with_sketches {
+                CellStats::empty_with(4, &spec)
+            } else {
+                CellStats::empty(4)
+            };
+            for row in 0..=i {
+                let base = (i * 10 + row) as f64;
+                stats.push_row(&[base, -base, base * 0.5, 0.0]);
+            }
+            parts.push((
+                sample_key(gh, TemporalRes::from_index(i as u8 % 4).unwrap(), i as i64),
+                stats,
+            ));
+        }
+        parts
+    }
+
+    #[test]
+    fn key_roundtrip_covers_lengths_and_resolutions() {
+        for gh in ["9", "9x", "9xj42b", "zzzzzzzzzzzz"] {
+            for res in TemporalRes::ALL {
+                for idx in [-400i64, 0, 16_470] {
+                    let key = sample_key(gh, res, idx);
+                    let mut w = WordWriter::new();
+                    encode_key(&mut w, &key);
+                    assert_eq!(w.len(), KEY_WORDS);
+                    let words = w.into_words();
+                    let mut r = WordReader::new(&words);
+                    assert_eq!(decode_key(&mut r).unwrap(), key);
+                    r.finish().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partials_roundtrip_with_and_without_sketches() {
+        for with_sketches in [false, true] {
+            let parts = sample_parts(with_sketches);
+            let flat = FlatPartials::encode(&parts);
+            assert_eq!(flat.entries(), parts.len());
+            assert_eq!(flat.wire_size() % 8, 0);
+            assert_eq!(flat.decode().unwrap(), parts);
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_component_arithmetic() {
+        let parts = sample_parts(true);
+        let flat = FlatPartials::encode(&parts);
+        let expected = 16
+            + parts
+                .iter()
+                .map(|(_, s)| KEY_WORDS * 8 + s.wire_bytes())
+                .sum::<usize>();
+        assert_eq!(flat.wire_size(), expected);
+    }
+
+    #[test]
+    fn empty_fragment_roundtrips() {
+        let flat = FlatPartials::encode(&[]);
+        assert_eq!(flat.entries(), 0);
+        assert_eq!(flat.wire_size(), 16);
+        assert_eq!(flat.decode().unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn byte_form_roundtrips() {
+        let flat = FlatPartials::encode(&sample_parts(true));
+        let bytes = flat.to_bytes();
+        assert_eq!(bytes.len(), flat.wire_size());
+        let back = FlatPartials::from_bytes(&bytes).unwrap();
+        assert_eq!(back, flat);
+        assert_eq!(back.decode().unwrap(), flat.decode().unwrap());
+        assert!(FlatPartials::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn corrupt_buffers_error_never_panic() {
+        let flat = FlatPartials::encode(&sample_parts(true));
+        let bytes = flat.to_bytes();
+        // Every 8-aligned truncation must decode to an error.
+        for cut in (0..bytes.len()).step_by(8) {
+            let t = FlatPartials::from_bytes(&bytes[..cut]).unwrap();
+            assert!(t.decode().is_err(), "cut {cut}");
+        }
+        // Flipping the magic fails loudly.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(FlatPartials::from_bytes(&bad).unwrap().decode().is_err());
+        // An inflated entry count fails before allocating.
+        let mut bad = bytes;
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(FlatPartials::from_bytes(&bad).unwrap().decode().is_err());
+    }
+
+    #[test]
+    fn equal_states_encode_identically() {
+        let a = FlatPartials::encode(&sample_parts(true));
+        let b = FlatPartials::encode(&sample_parts(true));
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}

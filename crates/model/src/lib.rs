@@ -23,6 +23,7 @@
 
 pub mod attr;
 pub mod cell;
+pub mod flat;
 pub mod fx;
 pub mod key;
 pub mod level;
@@ -33,6 +34,7 @@ pub mod stats;
 
 pub use attr::AttrSchema;
 pub use cell::Cell;
+pub use flat::FlatPartials;
 pub use key::CellKey;
 pub use level::{Level, MAX_SPATIAL_RES};
 pub use observation::Observation;

@@ -24,9 +24,9 @@ use stash_sketch::{AttrSketches, SketchSpec};
 pub struct SummaryStats {
     pub count: u64,
     /// Minimum observed value; meaningless when `count == 0`.
-    min: f64,
+    pub(crate) min: f64,
     /// Maximum observed value; meaningless when `count == 0`.
-    max: f64,
+    pub(crate) max: f64,
     pub sum: f64,
     /// Sum of squared values, for variance/stddev.
     pub sum_sq: f64,
@@ -194,10 +194,10 @@ impl<'de> serde::Deserialize<'de> for SummaryStats {
 /// sketch state is present.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CellStats {
-    summaries: Vec<SummaryStats>,
+    pub(crate) summaries: Vec<SummaryStats>,
     /// `Some` iff this Cell carries sketch partials; aligned with
     /// `summaries` when present.
-    sketches: Option<Vec<AttrSketches>>,
+    pub(crate) sketches: Option<Vec<AttrSketches>>,
 }
 
 /// Historical name for [`CellStats`], kept so existing call sites and wire
@@ -370,7 +370,7 @@ impl CellStats {
                 .map_or(0, |s| s.iter().map(AttrSketches::estimated_bytes).sum())
     }
 
-    /// Approximate serialized footprint of the sketch payload alone (0 in
+    /// Exact serialized footprint of the sketch payload alone (0 in
     /// exact-only mode); feeds the `sketch.bytes` counter.
     pub fn sketch_wire_bytes(&self) -> usize {
         self.sketches
@@ -378,10 +378,11 @@ impl CellStats {
             .map_or(0, |s| s.iter().map(AttrSketches::wire_bytes).sum())
     }
 
-    /// Approximate serialized footprint, for the network cost model: the
-    /// historical 40 bytes per exact summary plus any sketch payload.
+    /// Exact serialized footprint, for the network cost model: the byte
+    /// length of this summary's flat wire form (header word, five words
+    /// per exact summary, plus any sketch payload — DESIGN.md §15).
     pub fn wire_bytes(&self) -> usize {
-        self.summaries.len() * SummaryStats::estimated_bytes() + self.sketch_wire_bytes()
+        crate::flat::cell_stats_words(self) * 8
     }
 }
 

@@ -1,0 +1,133 @@
+//! Flat wire-form proptests for partials fragments (ISSUE 7 satellite):
+//! random `(CellKey, CellStats)` fragments — with and without sketch
+//! bundles — must round-trip bit-for-bit through [`FlatPartials`], agree
+//! with the seed's serde tree oracle (including after the coordinator's
+//! per-key merge), and reject truncated or corrupt buffers without ever
+//! panicking.
+
+use proptest::prelude::*;
+use stash_geo::{Geohash, TemporalRes, TimeBin};
+use stash_model::{CellKey, CellStats, FlatPartials, SketchSpec};
+use std::collections::BTreeMap;
+
+/// A small pool of keys so random fragments contain duplicates — the
+/// shape the coordinator's merge actually sees.
+fn key_pool() -> Vec<CellKey> {
+    let mut keys = Vec::new();
+    for (bits, len) in [(0u64, 1u8), (9, 2), (317, 4), ((1 << 30) - 1, 6)] {
+        let gh = Geohash::from_bits(bits, len).unwrap();
+        for (ri, idx) in [(0usize, -400i64), (1, 0), (2, 16_470), (3, 99)] {
+            keys.push(CellKey::new(
+                gh,
+                TimeBin {
+                    res: TemporalRes::ALL[ri % TemporalRes::ALL.len()],
+                    idx,
+                },
+            ));
+        }
+    }
+    keys
+}
+
+fn build_parts(picks: &[(usize, Vec<(i32, i32)>)], sketches: bool) -> Vec<(CellKey, CellStats)> {
+    let pool = key_pool();
+    let spec = SketchSpec::standard();
+    picks
+        .iter()
+        .map(|(key_idx, rows)| {
+            let mut s = if sketches {
+                CellStats::empty_with(2, &spec)
+            } else {
+                CellStats::empty(2)
+            };
+            for &(q0, q1) in rows {
+                s.push_row(&[q0 as f64 * 0.25, q1 as f64 * 0.25]);
+            }
+            (pool[key_idx % pool.len()], s)
+        })
+        .collect()
+}
+
+/// The coordinator's gather step: merge fragments per key.
+fn merged(parts: &[(CellKey, CellStats)]) -> BTreeMap<CellKey, CellStats> {
+    let mut out: BTreeMap<CellKey, CellStats> = BTreeMap::new();
+    for (k, s) in parts {
+        match out.entry(*k) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(s.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(s),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Flat encode → decode is the identity, equal to the serde tree
+    /// oracle both per fragment and after the per-key merge, and the
+    /// advertised wire size is the literal buffer length.
+    #[test]
+    fn flat_partials_match_serde_oracle(
+        picks in proptest::collection::vec(
+            (0usize..16, proptest::collection::vec((-512i32..=512, -512i32..=512), 0..6)),
+            0..12,
+        ),
+        sketches_flag in 0u8..2,
+    ) {
+        let parts = build_parts(&picks, sketches_flag == 1);
+        let fp = FlatPartials::encode(&parts);
+        prop_assert_eq!(fp.wire_size(), fp.to_bytes().len());
+        prop_assert_eq!(fp.entries(), parts.len());
+
+        let decoded = fp.decode().expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &parts, "flat roundtrip changed a fragment");
+
+        // Seed oracle: the serde tree path carries the same data...
+        let json = serde_json::to_string(&parts).expect("serde oracle encodes");
+        let via_serde: Vec<(CellKey, CellStats)> =
+            serde_json::from_str(&json).expect("serde oracle decodes");
+        prop_assert_eq!(&decoded, &via_serde, "flat and serde paths disagree");
+
+        // ...and stays equal after the coordinator's per-key merge.
+        prop_assert_eq!(merged(&decoded), merged(&via_serde));
+
+        // Byte-level transport round-trips the exact buffer.
+        let back = FlatPartials::from_bytes(&fp.to_bytes()).expect("bytes decode");
+        prop_assert_eq!(back, fp);
+    }
+
+    /// Truncations always error; arbitrary single-word corruption may
+    /// error or decode, but never panics and never over-allocates.
+    #[test]
+    fn corrupt_partials_never_panic(
+        picks in proptest::collection::vec(
+            (0usize..16, proptest::collection::vec((-64i32..=64, -64i32..=64), 0..4)),
+            1..8,
+        ),
+        sketches_flag in 0u8..2,
+        word_idx in 0usize..256,
+        flip in 1u64..=u64::MAX,
+    ) {
+        let parts = build_parts(&picks, sketches_flag == 1);
+        let bytes = FlatPartials::encode(&parts).to_bytes();
+
+        for cut in (0..bytes.len()).step_by(8) {
+            prop_assert!(
+                FlatPartials::from_bytes(&bytes[..cut])
+                    .and_then(|fp| fp.decode().map(|_| fp))
+                    .is_err(),
+                "truncated buffer accepted at {cut} of {}",
+                bytes.len()
+            );
+        }
+        prop_assert!(FlatPartials::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+
+        let mut corrupt = bytes.clone();
+        let at = (word_idx % (bytes.len() / 8)) * 8;
+        let word = u64::from_le_bytes(corrupt[at..at + 8].try_into().unwrap()) ^ flip;
+        corrupt[at..at + 8].copy_from_slice(&word.to_le_bytes());
+        if let Ok(fp) = FlatPartials::from_bytes(&corrupt) {
+            let _ = fp.decode();
+        }
+    }
+}

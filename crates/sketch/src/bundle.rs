@@ -5,6 +5,7 @@ use crate::heavy::HeavyHitters;
 use crate::quantile::UddSketch;
 use crate::spec::SketchSpec;
 use serde::{Deserialize, Serialize};
+use stash_flat::{FlatError, WordReader, WordWriter};
 
 /// All three sketch partials for one attribute. Lives alongside the exact
 /// `SummaryStats` of the attribute and obeys the same monoid contract:
@@ -59,9 +60,32 @@ impl AttrSketches {
             + self.heavy.estimated_bytes()
     }
 
-    /// Approximate serialized footprint, for the network cost model.
+    /// Exact serialized footprint: the flat wire form's byte length.
     pub fn wire_bytes(&self) -> usize {
-        self.quantile.wire_bytes() + self.distinct.wire_bytes() + self.heavy.wire_bytes()
+        self.flat_words() * 8
+    }
+
+    /// Words of this bundle's flat encoding: the three sketches in
+    /// sequence, each self-delimiting (DESIGN.md §15).
+    pub fn flat_words(&self) -> usize {
+        self.quantile.flat_words() + self.distinct.flat_words() + self.heavy.flat_words()
+    }
+
+    /// Append the flat wire form to `w`: quantile, then distinct, then
+    /// heavy hitters.
+    pub fn flat_encode(&self, w: &mut WordWriter) {
+        self.quantile.flat_encode(w);
+        self.distinct.flat_encode(w);
+        self.heavy.flat_encode(w);
+    }
+
+    /// Decode a flat wire form. Never panics on corrupt input.
+    pub fn flat_decode(r: &mut WordReader) -> Result<Self, FlatError> {
+        Ok(AttrSketches {
+            quantile: UddSketch::flat_decode(r)?,
+            distinct: DistinctSketch::flat_decode(r)?,
+            heavy: HeavyHitters::flat_decode(r)?,
+        })
     }
 }
 
@@ -112,6 +136,24 @@ mod tests {
         }
         let json = serde_json::to_string(&s).unwrap();
         let back: AttrSketches = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_state_and_length() {
+        let spec = SketchSpec::standard();
+        let mut s = AttrSketches::new(&spec);
+        for i in 0..40 {
+            s.push((i % 7) as f64 - 2.0);
+        }
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        assert_eq!(w.len(), s.flat_words());
+        assert_eq!(w.len() * 8, s.wire_bytes());
+        let words = w.into_words();
+        let mut r = WordReader::new(&words);
+        let back = AttrSketches::flat_decode(&mut r).unwrap();
+        r.finish().unwrap();
         assert_eq!(back, s);
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::hash::hash_value;
 use serde::{Deserialize, Serialize};
+use stash_flat::{FlatError, WordReader, WordWriter};
 
 /// A distinct-count estimate plus its standard error.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,10 +121,48 @@ impl DistinctSketch {
         std::mem::size_of::<DistinctSketch>() + self.registers.len()
     }
 
-    /// Approximate serialized footprint, for the network cost model
+    /// Exact serialized footprint: the flat wire form's byte length
     /// (registers pack 8 per word on the wire).
     pub fn wire_bytes(&self) -> usize {
-        16 + self.registers.len()
+        self.flat_words() * 8
+    }
+
+    /// Words of this sketch's flat encoding (DESIGN.md §15): one precision
+    /// word plus `2^p / 8` packed register words.
+    pub fn flat_words(&self) -> usize {
+        1 + self.registers.len() / 8
+    }
+
+    /// Append the flat wire form to `w`: registers packed big-endian eight
+    /// per word, in register order (already canonical).
+    pub fn flat_encode(&self, w: &mut WordWriter) {
+        w.push_u64(self.precision as u64);
+        for chunk in self.registers.chunks_exact(8) {
+            w.push_u64(u64::from_be_bytes(chunk.try_into().expect("chunks(8)")));
+        }
+    }
+
+    /// Decode a flat wire form, validating precision and register ranks.
+    /// Never panics on corrupt input.
+    pub fn flat_decode(r: &mut WordReader) -> Result<Self, FlatError> {
+        let precision = r.u64()?;
+        if !(4..=16).contains(&precision) {
+            return Err(FlatError::Corrupt("invalid hll precision"));
+        }
+        let precision = precision as u8;
+        let m = 1usize << precision;
+        let mut registers = Vec::with_capacity(m);
+        for word in r.take(m / 8)? {
+            registers.extend_from_slice(&word.to_be_bytes());
+        }
+        let max_rank = 64 - precision + 1;
+        if registers.iter().any(|&rk| rk > max_rank) {
+            return Err(FlatError::Corrupt("hll register rank out of range"));
+        }
+        Ok(DistinctSketch {
+            precision,
+            registers,
+        })
     }
 }
 
@@ -243,5 +282,39 @@ mod tests {
         let back: DistinctSketch = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_state_and_length() {
+        let s = sketch_of((0..77).map(|i| i as f64 - 38.0));
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        assert_eq!(w.len(), s.flat_words());
+        assert_eq!(w.len() * 8, s.wire_bytes());
+        let words = w.into_words();
+        let mut r = WordReader::new(&words);
+        let back = DistinctSketch::flat_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn flat_decode_rejects_corrupt_buffers() {
+        let s = sketch_of((0..20).map(f64::from));
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        let words = w.into_words();
+        for cut in 0..words.len() {
+            let mut r = WordReader::new(&words[..cut]);
+            assert!(DistinctSketch::flat_decode(&mut r).is_err(), "cut {cut}");
+        }
+        // An out-of-range rank is rejected.
+        let mut bad = words.clone();
+        bad[1] = u64::MAX;
+        assert!(DistinctSketch::flat_decode(&mut WordReader::new(&bad)).is_err());
+        // A bogus precision is rejected.
+        let mut bad = words;
+        bad[0] = 3;
+        assert!(DistinctSketch::flat_decode(&mut WordReader::new(&bad)).is_err());
     }
 }

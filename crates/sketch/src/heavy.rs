@@ -21,6 +21,7 @@
 
 use crate::hash::{canonical_bits, splitmix64};
 use serde::{Deserialize, Serialize};
+use stash_flat::{FlatError, WordReader, WordWriter};
 use std::collections::BTreeSet;
 
 /// One entry of a top-K answer.
@@ -186,9 +187,67 @@ impl HeavyHitters {
         std::mem::size_of::<HeavyHitters>() + self.rows.len() * 8 + self.candidates.len() * 8
     }
 
-    /// Approximate serialized footprint, for the network cost model.
+    /// Exact serialized footprint: the flat wire form's byte length.
     pub fn wire_bytes(&self) -> usize {
-        40 + self.rows.len() * 8 + self.candidates.len() * 8
+        self.flat_words() * 8
+    }
+
+    /// Words of this sketch's flat encoding (DESIGN.md §15): a 5-word
+    /// header (config, total, candidate count), the count-min matrix
+    /// row-major, then candidates in sorted bit order.
+    pub fn flat_words(&self) -> usize {
+        5 + self.rows.len() + self.candidates.len()
+    }
+
+    /// Append the flat wire form to `w`. Equal sketches encode to
+    /// identical words (candidate set is sorted by construction).
+    pub fn flat_encode(&self, w: &mut WordWriter) {
+        w.push_u64(self.width as u64);
+        w.push_u64(self.depth as u64);
+        w.push_u64(self.limit as u64);
+        w.push_u64(self.total);
+        w.push_u64(self.candidates.len() as u64);
+        w.extend_u64(&self.rows);
+        for &bits in &self.candidates {
+            w.push_u64(bits);
+        }
+    }
+
+    /// Decode a flat wire form, validating the same invariants as the
+    /// constructor. Never panics on corrupt input.
+    pub fn flat_decode(r: &mut WordReader) -> Result<Self, FlatError> {
+        let width = r.u64()? as usize;
+        let depth = r.u64()? as usize;
+        let limit = r.u64()? as usize;
+        let total = r.u64()?;
+        let n_candidates = r.u64()? as usize;
+        if width < 8 || !(1..=8).contains(&depth) || limit == 0 {
+            return Err(FlatError::Corrupt("invalid heavy-hitter config"));
+        }
+        if n_candidates > limit.saturating_mul(2) {
+            return Err(FlatError::Corrupt("heavy-hitter candidate overflow"));
+        }
+        let cells = width
+            .checked_mul(depth)
+            .ok_or(FlatError::Corrupt("heavy-hitter matrix size overflow"))?;
+        let rows = r.take(cells)?.to_vec();
+        let mut candidates = BTreeSet::new();
+        let mut prev: Option<u64> = None;
+        for &bits in r.take(n_candidates)? {
+            if prev.is_some_and(|p| p >= bits) {
+                return Err(FlatError::Corrupt("heavy-hitter candidates not sorted"));
+            }
+            prev = Some(bits);
+            candidates.insert(bits);
+        }
+        Ok(HeavyHitters {
+            width,
+            depth,
+            limit,
+            total,
+            rows,
+            candidates,
+        })
     }
 }
 
@@ -316,5 +375,39 @@ mod tests {
         let back: HeavyHitters = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_state_and_length() {
+        let s = sketch_of((0..60).map(|i| (i % 11) as f64 - 5.0));
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        assert_eq!(w.len(), s.flat_words());
+        assert_eq!(w.len() * 8, s.wire_bytes());
+        let words = w.into_words();
+        let mut r = WordReader::new(&words);
+        let back = HeavyHitters::flat_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn flat_decode_rejects_corrupt_buffers() {
+        let s = sketch_of((0..10).map(f64::from));
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        let words = w.into_words();
+        for cut in 0..words.len() {
+            let mut r = WordReader::new(&words[..cut]);
+            assert!(HeavyHitters::flat_decode(&mut r).is_err(), "cut {cut}");
+        }
+        // A zero-depth config is rejected.
+        let mut bad = words.clone();
+        bad[1] = 0;
+        assert!(HeavyHitters::flat_decode(&mut WordReader::new(&bad)).is_err());
+        // More candidates than the hysteresis ceiling is rejected.
+        let mut bad = words;
+        bad[4] = 1000;
+        assert!(HeavyHitters::flat_decode(&mut WordReader::new(&bad)).is_err());
     }
 }

@@ -17,9 +17,17 @@
 //! tree over any partition of the data produces bit-identical state, which
 //! is what lets cached hierarchical roll-ups answer percentile queries
 //! exactly as if the raw observations had been folded directly.
+//!
+//! The bucket table is an open-addressed hash map, not an ordered tree:
+//! `push` is the scan kernel's per-row hot path, and a linear-probe table
+//! turns the ~log-depth pointer chase per insert into one hash and a short
+//! probe. Order only matters at the edges — serialization, merge, quantile
+//! walks — so the table canonicalizes to sorted `(index, count)` pairs
+//! there, keeping the wire form and equality bit-deterministic.
 
+use crate::hash::splitmix64;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use stash_flat::{FlatError, WordReader, WordWriter};
 
 /// A quantile estimate plus the guarantee it came with.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,8 +41,111 @@ pub struct QuantileEstimate {
     pub count: u64,
 }
 
+/// Open-addressed `i64 → u64` counter table with power-of-two capacity and
+/// linear probing. Occupancy is marked by a non-zero count (bucket counts
+/// are always ≥ 1), so no separate tombstone/occupied bitmap is needed.
+/// Iteration order is unspecified; callers needing determinism use
+/// [`BucketMap::sorted`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BucketMap {
+    keys: Vec<i64>,
+    counts: Vec<u64>,
+    len: usize,
+}
+
+impl BucketMap {
+    const MIN_CAPACITY: usize = 16;
+
+    pub(crate) fn new() -> Self {
+        BucketMap::default()
+    }
+
+    /// Occupied bucket count.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot_of(&self, key: i64) -> usize {
+        debug_assert!(!self.counts.is_empty());
+        let mask = self.counts.len() - 1;
+        let mut slot = splitmix64(key as u64) as usize & mask;
+        while self.counts[slot] != 0 && self.keys[slot] != key {
+            slot = (slot + 1) & mask;
+        }
+        slot
+    }
+
+    /// Add `delta` (> 0) to `key`'s count, inserting the bucket if absent.
+    pub(crate) fn add(&mut self, key: i64, delta: u64) {
+        debug_assert!(delta > 0);
+        // Keep load at or below 7/8 so probes stay short.
+        if (self.len + 1) * 8 > self.counts.len() * 7 {
+            self.grow();
+        }
+        let slot = self.slot_of(key);
+        if self.counts[slot] == 0 {
+            self.keys[slot] = key;
+            self.len += 1;
+        }
+        self.counts[slot] += delta;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.counts.len() * 2).max(Self::MIN_CAPACITY);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_cap]);
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if count != 0 {
+                let slot = self.slot_of(key);
+                self.keys[slot] = key;
+                self.counts[slot] += count;
+            }
+        }
+    }
+
+    /// All `(key, count)` pairs in unspecified order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c != 0)
+            .map(|(&k, &c)| (k, c))
+    }
+
+    /// Canonical form: `(key, count)` pairs sorted by key ascending.
+    pub(crate) fn sorted(&self) -> Vec<(i64, u64)> {
+        let mut pairs: Vec<(i64, u64)> = self.iter().collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs
+    }
+
+    /// Sum of all counts.
+    pub(crate) fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Table capacity in slots, for memory accounting.
+    pub(crate) fn capacity(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl FromIterator<(i64, u64)> for BucketMap {
+    fn from_iter<I: IntoIterator<Item = (i64, u64)>>(iter: I) -> Self {
+        let mut m = BucketMap::new();
+        for (k, c) in iter {
+            if c != 0 {
+                m.add(k, c);
+            }
+        }
+        m
+    }
+}
+
 /// Mergeable quantile sketch (the partial state of the two-step aggregate).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct UddSketch {
     /// Initial (finest) relative error target; γ₀ = (1+α₀)/(1−α₀).
     alpha: f64,
@@ -46,9 +157,22 @@ pub struct UddSketch {
     /// Exact count of zero-valued observations (zero has no log bucket).
     zero_count: u64,
     /// Buckets of negative values, keyed by the level-`k` index of `|v|`.
-    neg: BTreeMap<i64, u64>,
+    neg: BucketMap,
     /// Buckets of positive values, keyed by the level-`k` index of `v`.
-    pos: BTreeMap<i64, u64>,
+    pos: BucketMap,
+}
+
+/// Two sketches are equal when their canonical states match; the hash
+/// tables' internal layouts (capacity, probe order) are irrelevant.
+impl PartialEq for UddSketch {
+    fn eq(&self, other: &Self) -> bool {
+        self.alpha == other.alpha
+            && self.max_buckets == other.max_buckets
+            && self.compactions == other.compactions
+            && self.zero_count == other.zero_count
+            && self.neg.sorted() == other.neg.sorted()
+            && self.pos.sorted() == other.pos.sorted()
+    }
 }
 
 /// Integer ceil-division for a positive divisor, exact for all signs.
@@ -75,8 +199,8 @@ impl UddSketch {
             max_buckets,
             compactions: 0,
             zero_count: 0,
-            neg: BTreeMap::new(),
-            pos: BTreeMap::new(),
+            neg: BucketMap::new(),
+            pos: BucketMap::new(),
         }
     }
 
@@ -114,10 +238,10 @@ impl UddSketch {
             self.zero_count += 1;
         } else if value > 0.0 {
             let i = self.index(value);
-            *self.pos.entry(i).or_insert(0) += 1;
+            self.pos.add(i, 1);
         } else {
             let i = self.index(-value);
-            *self.neg.entry(i).or_insert(0) += 1;
+            self.neg.add(i, 1);
         }
         self.compact_to_budget();
     }
@@ -136,11 +260,11 @@ impl UddSketch {
             self.compact();
         }
         let shift = 1i64 << (self.compactions - other.compactions).min(62);
-        for (&i, &c) in &other.neg {
-            *self.neg.entry(ceil_div(i, shift)).or_insert(0) += c;
+        for (i, c) in other.neg.iter() {
+            self.neg.add(ceil_div(i, shift), c);
         }
-        for (&i, &c) in &other.pos {
-            *self.pos.entry(ceil_div(i, shift)).or_insert(0) += c;
+        for (i, c) in other.pos.iter() {
+            self.pos.add(ceil_div(i, shift), c);
         }
         self.zero_count += other.zero_count;
         self.compact_to_budget();
@@ -151,8 +275,8 @@ impl UddSketch {
         self.compactions += 1;
         for side in [&mut self.neg, &mut self.pos] {
             let old = std::mem::take(side);
-            for (i, c) in old {
-                *side.entry(ceil_div(i, 2)).or_insert(0) += c;
+            for (i, c) in old.iter() {
+                side.add(ceil_div(i, 2), c);
             }
         }
     }
@@ -168,7 +292,7 @@ impl UddSketch {
 
     /// Total observations folded in.
     pub fn count(&self) -> u64 {
-        self.zero_count + self.neg.values().sum::<u64>() + self.pos.values().sum::<u64>()
+        self.zero_count + self.neg.total() + self.pos.total()
     }
 
     #[inline]
@@ -200,7 +324,7 @@ impl UddSketch {
         let mut cum = 0u64;
         // Ascending value order: negatives from largest magnitude down,
         // then zero, then positives from smallest magnitude up.
-        for (&i, &c) in self.neg.iter().rev() {
+        for (i, c) in self.neg.sorted().into_iter().rev() {
             cum += c;
             if cum > rank {
                 return Some(self.estimate(-rep(i), total));
@@ -210,7 +334,7 @@ impl UddSketch {
         if cum > rank {
             return Some(self.estimate(0.0, total));
         }
-        for (&i, &c) in &self.pos {
+        for (i, c) in self.pos.sorted() {
             cum += c;
             if cum > rank {
                 return Some(self.estimate(rep(i), total));
@@ -230,12 +354,81 @@ impl UddSketch {
 
     /// Approximate in-memory footprint, for cache budgets.
     pub fn estimated_bytes(&self) -> usize {
-        std::mem::size_of::<UddSketch>() + (self.neg.len() + self.pos.len()) * 16
+        std::mem::size_of::<UddSketch>() + (self.neg.capacity() + self.pos.capacity()) * 16
     }
 
-    /// Approximate serialized footprint, for the network cost model.
+    /// Exact serialized footprint: the flat wire form's byte length.
     pub fn wire_bytes(&self) -> usize {
-        40 + (self.neg.len() + self.pos.len()) * 16
+        self.flat_words() * 8
+    }
+
+    /// Words of this sketch's flat encoding (DESIGN.md §15): a 6-word
+    /// header (α bits, budget, level, zero count, two side lengths) plus
+    /// two `(index, count)` pair runs in canonical sorted order.
+    pub fn flat_words(&self) -> usize {
+        6 + 2 * (self.neg.len() + self.pos.len())
+    }
+
+    /// Append the flat wire form to `w`. Equal sketches encode to
+    /// identical words (canonical sorted bucket order).
+    pub fn flat_encode(&self, w: &mut WordWriter) {
+        w.push_f64(self.alpha);
+        w.push_u64(self.max_buckets as u64);
+        w.push_u64(self.compactions as u64);
+        w.push_u64(self.zero_count);
+        w.push_u64(self.neg.len() as u64);
+        w.push_u64(self.pos.len() as u64);
+        for (i, c) in self.neg.sorted().into_iter().chain(self.pos.sorted()) {
+            w.push_i64(i);
+            w.push_u64(c);
+        }
+    }
+
+    /// Decode a flat wire form, validating every invariant the constructor
+    /// and canonical form guarantee. Never panics on corrupt input.
+    pub fn flat_decode(r: &mut WordReader) -> Result<Self, FlatError> {
+        let alpha = r.f64()?;
+        let max_buckets = r.u64()? as usize;
+        let compactions = r.u64()?;
+        let zero_count = r.u64()?;
+        let neg_len = r.u64()? as usize;
+        let pos_len = r.u64()? as usize;
+        if !(alpha > 0.0 && alpha < 1.0) || max_buckets < 4 {
+            return Err(FlatError::Corrupt("invalid quantile sketch config"));
+        }
+        if compactions > 62 {
+            return Err(FlatError::Corrupt("quantile compaction level out of range"));
+        }
+        if neg_len.saturating_add(pos_len) > max_buckets {
+            return Err(FlatError::Corrupt("quantile bucket count exceeds budget"));
+        }
+        let mut side = |n: usize| -> Result<BucketMap, FlatError> {
+            let mut m = BucketMap::new();
+            let mut prev: Option<i64> = None;
+            for _ in 0..n {
+                let i = r.i64()?;
+                let c = r.u64()?;
+                if prev.is_some_and(|p| p >= i) {
+                    return Err(FlatError::Corrupt("quantile buckets not sorted"));
+                }
+                if c == 0 {
+                    return Err(FlatError::Corrupt("quantile bucket with zero count"));
+                }
+                prev = Some(i);
+                m.add(i, c);
+            }
+            Ok(m)
+        };
+        let neg = side(neg_len)?;
+        let pos = side(pos_len)?;
+        Ok(UddSketch {
+            alpha,
+            max_buckets,
+            compactions: compactions as u32,
+            zero_count,
+            neg,
+            pos,
+        })
     }
 }
 
@@ -258,8 +451,8 @@ impl serde::Serialize for UddSketch {
             max_buckets: self.max_buckets as u64,
             compactions: self.compactions,
             zero: self.zero_count,
-            neg: self.neg.iter().map(|(&i, &c)| (i, c)).collect(),
-            pos: self.pos.iter().map(|(&i, &c)| (i, c)).collect(),
+            neg: self.neg.sorted(),
+            pos: self.pos.sorted(),
         }
         .serialize(serializer)
     }
@@ -304,6 +497,35 @@ mod tests {
     #[test]
     fn empty_has_no_quantile() {
         assert_eq!(UddSketch::new(0.01, 64).quantile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_map_counts_and_canonicalizes() {
+        let mut m = BucketMap::new();
+        for round in 1..=3u64 {
+            for key in [-5i64, 0, 7, 1000, -5] {
+                m.add(key, round);
+            }
+        }
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.total(), 5 * (1 + 2 + 3));
+        assert_eq!(
+            m.sorted(),
+            vec![(-5, 12), (0, 6), (7, 6), (1000, 6)],
+            "sorted form is canonical"
+        );
+    }
+
+    #[test]
+    fn bucket_map_survives_growth() {
+        let mut m = BucketMap::new();
+        for key in 0..500i64 {
+            m.add(key * 3 - 700, 2);
+        }
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.total(), 1000);
+        let sorted = m.sorted();
+        assert!(sorted.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]
@@ -372,5 +594,40 @@ mod tests {
         let back: UddSketch = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_state_and_length() {
+        let s = sketch_of(&[-3.5, 0.0, 1.0, 2.0, 2.0, 1e9, 1e-9]);
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        assert_eq!(w.len(), s.flat_words());
+        assert_eq!(w.len() * 8, s.wire_bytes());
+        let words = w.into_words();
+        let mut r = WordReader::new(&words);
+        let back = UddSketch::flat_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn flat_decode_rejects_corrupt_buffers() {
+        let s = sketch_of(&[1.0, 2.0, -4.0]);
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        let words = w.into_words();
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..words.len() {
+            let mut r = WordReader::new(&words[..cut]);
+            assert!(UddSketch::flat_decode(&mut r).is_err(), "cut {cut}");
+        }
+        // A zero bucket count is non-canonical.
+        let mut bad = words.clone();
+        *bad.last_mut().unwrap() = 0;
+        assert!(UddSketch::flat_decode(&mut WordReader::new(&bad)).is_err());
+        // An absurd compaction level is rejected.
+        let mut bad = words;
+        bad[2] = 63;
+        assert!(UddSketch::flat_decode(&mut WordReader::new(&bad)).is_err());
     }
 }

@@ -16,6 +16,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`geo`] | geohash codec, bbox math, temporal hierarchy |
+//! | [`flat`] | flat word-encoding primitives shared by frames and wire partials |
 //! | [`model`] | Cells, summary statistics, levels, query types |
 //! | [`data`] | synthetic NAM-like dataset + workload generators |
 //! | [`net`] | simulated cluster fabric (delay-queue router) |
@@ -60,6 +61,7 @@ pub use stash_core as core;
 pub use stash_data as data;
 pub use stash_dfs as dfs;
 pub use stash_elastic as elastic;
+pub use stash_flat as flat;
 pub use stash_geo as geo;
 pub use stash_model as model;
 pub use stash_net as net;
