@@ -60,6 +60,74 @@ fn decode_shootout() -> (u64, u64) {
     (flat, oracle)
 }
 
+/// Time the sketch fold over one dense block both ways: the batched scan
+/// kernel (`BlockFrame::aggregate_with`, which hashes each value once and
+/// applies quantile buckets per group in one pass) vs. the pre-refactor
+/// per-row oracle that calls `AttrSketches::push` for every (row, cell)
+/// incidence. Both fold the identical incidence multiset — every row into
+/// the tile's day cell and its hour cell — so the gap is purely the fold
+/// machinery. Returns best-of-5 wall nanoseconds `(batched, oracle)`,
+/// an in-process calibration on whatever machine CI lands on.
+fn sketch_fold_shootout() -> (u64, u64) {
+    use stash_cluster::GenBlockSource;
+    use stash_data::{GeneratorConfig, NamGenerator};
+    use stash_dfs::{BlockKey, BlockSource};
+    use stash_geo::{Geohash, TemporalRes, TimeBin};
+    use stash_model::{AttrSketches, CellKey, SketchSpec};
+
+    let src = GenBlockSource::new(NamGenerator::new(GeneratorConfig {
+        seed: 11,
+        obs_per_deg2_per_day: 500.0,
+        max_obs_per_block: 50_000,
+        value_quantum: 0.0,
+    }));
+    let tile = "9xj".parse::<Geohash>().expect("valid tile");
+    let day = TimeBin::containing(
+        TemporalRes::Day,
+        stash_geo::time::epoch_seconds(2015, 2, 2, 0, 0, 0),
+    );
+    let bk = BlockKey { geohash: tile, day };
+    let spec = SketchSpec::standard();
+    let n_attrs = src.n_attrs();
+
+    // Decode once, outside both timers.
+    let frame = src.read_frame(bk, 5);
+    let (rows, _) = src.read_block_versioned(bk);
+    let day_start = day.range().start;
+    let mut wanted = vec![CellKey::new(tile, day)];
+    wanted.extend((0..24).map(|h| {
+        CellKey::new(
+            tile,
+            TimeBin::containing(TemporalRes::Hour, day_start + h * 3600),
+        )
+    }));
+
+    let best = |f: &mut dyn FnMut() -> u64| -> u64 {
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .min()
+            .expect("five samples")
+    };
+    let batched = best(&mut || frame.aggregate_with(&wanted, &spec).cells.len() as u64);
+    let oracle = best(&mut || {
+        let mut day_cell = vec![AttrSketches::new(&spec); n_attrs];
+        let mut hour_cells = vec![vec![AttrSketches::new(&spec); n_attrs]; 24];
+        for row in &rows {
+            let h = ((row.time - day_start) / 3600).clamp(0, 23) as usize;
+            for (a, &v) in row.values.iter().enumerate().take(n_attrs) {
+                day_cell[a].push(v);
+                hour_cells[h][a].push(v);
+            }
+        }
+        (day_cell.len() + hour_cells.len()) as u64
+    });
+    (batched, oracle)
+}
+
 struct Args {
     figs: Vec<String>,
     all: bool,
@@ -240,9 +308,20 @@ fn main() {
                 p.frame_cache_bytes, p.frame_cache_buffer_bytes,
                 "frame cache byte accounting diverged from buffer lengths"
             );
+            // Same self-calibrating shape for the batched sketch fold
+            // (ISSUE 8): the scan kernel's fold must beat the per-row
+            // `AttrSketches::push` oracle over the identical incidence
+            // multiset on continuous data.
+            let (fold_ns, fold_oracle_ns) = sketch_fold_shootout();
+            assert!(
+                fold_ns < fold_oracle_ns,
+                "batched sketch fold regressed: kernel fold ({fold_ns} ns/block) is no \
+                 longer cheaper than the per-row push oracle ({fold_oracle_ns} ns/block)"
+            );
             eprintln!(
                 "smoke gates: profile decode {ns_per_row:.0} ns/row; shootout flat \
                  {flat_ns} ns vs row-oracle {oracle_ns} ns per dense block; \
+                 sketch fold {fold_ns} ns vs push-oracle {fold_oracle_ns} ns; \
                  cache accounting exact ({} B)",
                 p.frame_cache_bytes
             );

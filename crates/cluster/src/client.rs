@@ -233,6 +233,19 @@ impl<'a> QueryCall<'a> {
         Ok(self.run()?.top_k(attr, k))
     }
 
+    /// [`top_k`](Self::top_k) with the truncation flag: when the returned
+    /// [`TopKResult::truncated`](stash_model::TopKResult::truncated) is
+    /// true, candidate eviction fired while folding and the list may omit
+    /// true top-`k` values; when false, a list shorter than `k` is ground
+    /// truth. Front-ends that render completeness should use this.
+    pub fn top_k_report(
+        self,
+        attr: usize,
+        k: usize,
+    ) -> Result<Option<stash_model::TopKResult>, ClientError> {
+        Ok(self.run()?.top_k_report(attr, k))
+    }
+
     fn dispatch(self) -> Result<(QueryResult, QueryTrace), ClientError> {
         match self.coordinator {
             Some(c) => self.client.dispatch_at(self.query, c),

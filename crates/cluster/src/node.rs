@@ -54,9 +54,43 @@ pub enum RpcReply {
 /// Why one gather round could not complete (see [`NodeCtx::try_gather`]):
 /// an unreachable owner is recoverable — grow the exclusion set and replan
 /// onto the replica chain; anything else ends the gather.
+#[derive(Debug)]
 enum GatherFailure {
     Owner(usize, ClusterError),
     Fatal(ClusterError),
+}
+
+/// Fold one partials fragment — the local scan's, or a peer's
+/// wire-delivered reply — into a gather's per-key accumulators.
+///
+/// `sketch_merges` counts pairwise estimator-state merges (both sides
+/// sketched; the seed's first adoption is a clone, not a merge) — the
+/// coordinator-side half of the `sketch.merges` counter, matching the
+/// per-store fragment-merge half.
+///
+/// A fragment built by a misconfigured peer (wrong schema width or sketch
+/// parameters) is a protocol fault of that deployment, not a reason to
+/// crash this node: the merge is refused with a typed error and the round
+/// aborts.
+fn absorb_fragment(
+    merged: &mut HashMap<CellKey, CellSummary>,
+    sketch_merges: &mut u64,
+    parts: Vec<(CellKey, CellSummary)>,
+) -> Result<(), GatherFailure> {
+    for (key, summary) in parts {
+        if let Some(m) = merged.get_mut(&key) {
+            let sketched = m.has_sketches() && summary.has_sketches();
+            m.merge_strict(&summary).map_err(|e| {
+                GatherFailure::Fatal(ClusterError::Protocol(format!(
+                    "partials fragment for {key:?} refused: {e}"
+                )))
+            })?;
+            if sketched {
+                *sketch_merges += summary.n_attrs() as u64;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Shared state of one node, used by its main thread, workers, and handoff
@@ -1281,30 +1315,14 @@ impl NodeCtx {
             .iter()
             .map(|&k| (k, CellSummary::empty(n_attrs)))
             .collect();
-        // `sketch_merges` counts pairwise estimator-state merges (both
-        // sides sketched; the seed's first adoption is a clone, not a
-        // merge) — the coordinator-side half of the `sketch.merges`
-        // counter, matching the per-store fragment-merge half.
-        let absorb = |merged: &mut HashMap<CellKey, CellSummary>,
-                      sketch_merges: &mut u64,
-                      parts: Vec<(CellKey, CellSummary)>| {
-            for (key, summary) in parts {
-                if let Some(m) = merged.get_mut(&key) {
-                    if m.has_sketches() && summary.has_sketches() {
-                        *sketch_merges += summary.n_attrs() as u64;
-                    }
-                    m.merge(&summary);
-                }
-            }
-        };
         let mut sketch_merges = 0u64;
-        absorb(&mut merged, &mut sketch_merges, local);
+        absorb_fragment(&mut merged, &mut sketch_merges, local)?;
         let mut dead: Option<(usize, ClusterError)> = None;
         for (owner, rpc, rx) in waits {
             match self.rpc.wait(rpc, &rx, self.config.sub_rpc_timeout) {
                 Ok(RpcReply::Partials(Ok(parts), st)) => {
                     acc.add(&st);
-                    absorb(&mut merged, &mut sketch_merges, parts);
+                    absorb_fragment(&mut merged, &mut sketch_merges, parts)?;
                 }
                 Ok(RpcReply::Partials(Err(e), _)) => return Err(GatherFailure::Fatal(e)),
                 Ok(other) => {
@@ -1317,7 +1335,7 @@ impl NodeCtx {
                     // draining the other waits either way.
                     if dead.is_none() {
                         match self.fetch_partials_rpc(owner, keys, exclude, acc) {
-                            Ok(parts) => absorb(&mut merged, &mut sketch_merges, parts),
+                            Ok(parts) => absorb_fragment(&mut merged, &mut sketch_merges, parts)?,
                             Err(e) if e.is_transient() => dead = Some((owner, e)),
                             Err(e) => return Err(GatherFailure::Fatal(e)),
                         }
@@ -1568,5 +1586,62 @@ mod tests {
         // Two rows in the same fine cell add nothing new.
         let twice = affected_keys(&[obs.clone(), obs]);
         assert_eq!(twice.len(), NUM_LEVELS);
+    }
+
+    /// Regression: a partials fragment whose sketches were built by a peer
+    /// running different sketch parameters used to panic the gathering
+    /// node inside `AttrSketches::merge`. It must instead surface as a
+    /// typed [`ClusterError::Protocol`] and leave the accumulator intact —
+    /// exercised through the real wire form ([`FlatPartials`]), exactly as
+    /// a `PartialsResponse` arrives.
+    #[test]
+    fn gather_refuses_wire_fragment_with_mismatched_sketch_config() {
+        use stash_geo::{TemporalRes, TimeBin};
+        use stash_model::SketchSpec;
+        use std::str::FromStr;
+
+        let key = CellKey::new(
+            stash_geo::Geohash::from_str("9q8").unwrap(),
+            TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0)),
+        );
+        let spec = SketchSpec::standard();
+        let mut peer_spec = spec.clone();
+        peer_spec.cm_depth += 1; // a stale peer with different parameters
+
+        let summary = |spec: &SketchSpec, row: &[f64]| {
+            let mut s = CellSummary::empty(row.len());
+            s.ensure_sketches(spec);
+            s.push_row(row);
+            s
+        };
+        let seed = summary(&spec, &[1.0, 2.0]);
+        let mut merged: HashMap<CellKey, CellSummary> = [(key, seed.clone())].into_iter().collect();
+        let wire = |s: CellSummary| FlatPartials::encode(&[(key, s)]).decode().unwrap();
+
+        let mut sketch_merges = 0u64;
+        let err = absorb_fragment(
+            &mut merged,
+            &mut sketch_merges,
+            wire(summary(&peer_spec, &[3.0, 4.0])),
+        )
+        .unwrap_err();
+        match err {
+            GatherFailure::Fatal(ClusterError::Protocol(msg)) => {
+                assert!(msg.contains("sketch config mismatch"), "got: {msg}");
+            }
+            other => panic!("expected a Protocol error, got {other:?}"),
+        }
+        assert_eq!(merged[&key], seed, "refused fragment must not be applied");
+        assert_eq!(sketch_merges, 0);
+
+        // The same fragment built with matching parameters absorbs fine.
+        absorb_fragment(
+            &mut merged,
+            &mut sketch_merges,
+            wire(summary(&spec, &[3.0, 4.0])),
+        )
+        .unwrap();
+        assert_eq!(merged[&key].count(), 2, "both rows merged");
+        assert_eq!(sketch_merges, 2, "one pairwise sketch merge per attr");
     }
 }

@@ -44,7 +44,10 @@ use stash_flat::{bytes_to_words, magic, words_to_bytes, FlatError};
 use stash_geo::{Geohash, TemporalRes, TimeBin};
 use stash_model::fx::{FxHashMap, FxHashSet};
 use stash_model::slot::{self, INVALID_SLOT};
-use stash_model::{CellKey, CellSummary, Observation, SketchSpec, SummaryStats};
+use stash_model::{
+    AttrSketches, CellKey, CellSummary, FoldCtx, Observation, PreparedValue, SketchFoldMode,
+    SketchSpec, SummaryStats,
+};
 use std::sync::Arc;
 
 /// Default byte budget of a node's decoded-frame cache (`StashConfig::
@@ -100,6 +103,9 @@ pub struct BlockFrame {
 pub struct FrameAggregation {
     pub cells: Vec<(CellKey, CellSummary)>,
     pub derived_cells: u64,
+    /// Cells whose *sketches* were derived by merging finest-group bundles
+    /// instead of row folds (`SketchFoldMode::FinestThenMerge` only).
+    pub sketch_merged_cells: u64,
 }
 
 /// The geohash length a frame must be encoded at to serve `wanted`:
@@ -383,16 +389,35 @@ impl BlockFrame {
     /// additionally carries per-attribute sketch partials. Sketches are not
     /// derived from the slot accumulator (their per-slot state would dwarf
     /// the 40-byte exact partials); instead, after the exact stage maps
-    /// slots to output cells, raw rows are folded straight into each output
-    /// cell's bundles in row order — the same operation sequence a direct
-    /// per-cell fold of the observations would perform, so kernel output is
-    /// bit-identical to the reference scan even for the order-sensitive
-    /// regimes of the heavy-hitter candidate list.
+    /// slots to output cells, raw rows are folded into the output cells'
+    /// bundles with a *batched, slot-major* column fold: rows are bucketed
+    /// by finest slot, each slot's values are prepared once per
+    /// `(row, attribute)` ([`FoldCtx::prepare`] — the `ln`, hash, and
+    /// count-min column computations hoisted out of the per-group loop)
+    /// and replayed into every covering cell back-to-back, quantile bucket
+    /// counts apply as per-slot batches, and cells with identical slot
+    /// coverage fold once and clone. Every cell sees its rows in ascending
+    /// `(slot, row)` order; under the default
+    /// [`SketchFoldMode::PerGroup`] the result is bit-identical to folding
+    /// the raw observations into each cell directly whenever heavy-hitter
+    /// candidate sets stay within their cap (always for finest cells,
+    /// whose slot order *is* row order; every other sketch state is
+    /// fold-order invariant) — pinned by the
+    /// `frame_kernel_sketches_match_direct_fold` proptest.
+    ///
+    /// Under [`SketchFoldMode::FinestThenMerge`], rows are folded only into
+    /// the finest group's cells and every coarser cell's bundles are
+    /// derived by *merging* the finest bundles that cover it (row folds
+    /// remain only for cells the finest group doesn't cover). Quantile and
+    /// distinct state stays bit-identical (exact merge laws); heavy-hitter
+    /// candidate sets may diverge from a raw fold beyond the candidate cap
+    /// — see DESIGN.md §14 for the trade.
     pub fn aggregate_with(&self, wanted: &[CellKey], sketch: &SketchSpec) -> FrameAggregation {
         if wanted.is_empty() {
             return FrameAggregation {
                 cells: Vec::new(),
                 derived_cells: 0,
+                sketch_merged_cells: 0,
             };
         }
         let tile = self.block.geohash;
@@ -502,17 +527,15 @@ impl BlockFrame {
         // both direct and derived cells; merges happen in ascending slot
         // order, which keeps the output deterministic.
         let mut derived_cells = 0u64;
-        // Per-group dense-slot → output-cell mapping, filled by the exact
-        // emission loop and replayed by the sketch row fold.
-        let mut slot_out: Vec<u32> = if sketch.enabled {
-            vec![u32::MAX; dense_count]
+        // Dense-slot → output-cell mapping for *every* group (row-major,
+        // one row of `dense_count` per group), filled by the exact emission
+        // loop and replayed by the sketch fold below.
+        let mut slot_out_all: Vec<u32> = if sketch.enabled {
+            vec![u32::MAX; groups.len() * dense_count]
         } else {
             Vec::new()
         };
-        for &(s_res, t_res) in &groups {
-            if sketch.enabled {
-                slot_out.fill(u32::MAX);
-            }
+        for (g, &(s_res, t_res)) in groups.iter().enumerate() {
             let is_finest = (s_res.max(tile_len), t_res) == (finest_s, finest_t);
             if !is_finest {
                 derived_cells += out
@@ -579,24 +602,109 @@ impl BlockFrame {
                         out[i].1.merge_attr(a, s);
                     }
                     if sketch.enabled {
-                        slot_out[dense as usize] = i as u32;
+                        slot_out_all[g * dense_count + dense as usize] = i as u32;
                     }
                 }
             }
-            if sketch.enabled {
-                for a in 0..self.n_attrs {
-                    let col = self.col(a);
-                    for (r, &d) in row_dense.iter().enumerate() {
-                        if d == u32::MAX {
+        }
+
+        let mut sketch_merged_cells = 0u64;
+        if sketch.enabled {
+            let ctx = FoldCtx::new(sketch);
+            let all_groups: Vec<usize> = (0..groups.len()).collect();
+            // FinestThenMerge needs a group whose slot → cell mapping is
+            // injective over the accumulator: the one at (max spatial res,
+            // finest temporal res). Absent that group, fold per group.
+            let g0 = match sketch.fold_mode {
+                SketchFoldMode::PerGroup => None,
+                SketchFoldMode::FinestThenMerge => {
+                    let s0 = groups.iter().map(|&(s, _)| s).max().expect("non-empty");
+                    groups.iter().position(|&g| g == (s0, finest_t))
+                }
+            };
+            match g0 {
+                None => {
+                    self.sketch_fold_rows(
+                        &ctx,
+                        &mut out,
+                        &row_dense,
+                        &slot_out_all,
+                        dense_count,
+                        &all_groups,
+                        None,
+                    );
+                }
+                Some(g0) => {
+                    // Row-fold the finest group only, then derive every
+                    // other group's bundles by merging the finest bundles
+                    // over the slots that feed each cell.
+                    self.sketch_fold_rows(
+                        &ctx,
+                        &mut out,
+                        &row_dense,
+                        &slot_out_all,
+                        dense_count,
+                        &[g0],
+                        None,
+                    );
+                    // A coarser cell is derivable only when every slot that
+                    // feeds it also fed a wanted finest cell; otherwise the
+                    // finest bundles don't cover its rows and the cell
+                    // falls back to a row fold.
+                    let mut uncovered: FxHashSet<u32> = FxHashSet::default();
+                    let mut fallback_groups: Vec<usize> = Vec::new();
+                    for g in 0..groups.len() {
+                        if g == g0 {
                             continue;
                         }
-                        let oi = slot_out[d as usize];
-                        if oi == u32::MAX {
-                            continue;
+                        // Target cell → finest source cells, in ascending
+                        // slot order (deterministic merge order).
+                        let mut targets: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+                        let mut bad: FxHashSet<u32> = FxHashSet::default();
+                        for &(_, dense) in &occupied {
+                            let oi = slot_out_all[g * dense_count + dense as usize];
+                            if oi == u32::MAX {
+                                continue;
+                            }
+                            let src = slot_out_all[g0 * dense_count + dense as usize];
+                            if src == u32::MAX {
+                                bad.insert(oi);
+                            } else {
+                                targets.entry(oi).or_default().push(src);
+                            }
                         }
-                        if let Some(sk) = out[oi as usize].1.attr_sketches_mut(a) {
-                            sk.push(f64::from_bits(col[r]));
+                        for (&oi, sources) in &targets {
+                            if bad.contains(&oi) {
+                                continue;
+                            }
+                            sketch_merged_cells += 1;
+                            for a in 0..self.n_attrs {
+                                let mut bundle = AttrSketches::new(sketch);
+                                for &src in sources {
+                                    if let Some(sb) = out[src as usize].1.attr_sketches(a) {
+                                        bundle.merge(sb);
+                                    }
+                                }
+                                if let Some(t) = out[oi as usize].1.attr_sketches_mut(a) {
+                                    *t = bundle;
+                                }
+                            }
                         }
+                        if !bad.is_empty() {
+                            uncovered.extend(bad);
+                            fallback_groups.push(g);
+                        }
+                    }
+                    if !uncovered.is_empty() {
+                        self.sketch_fold_rows(
+                            &ctx,
+                            &mut out,
+                            &row_dense,
+                            &slot_out_all,
+                            dense_count,
+                            &fallback_groups,
+                            Some(&uncovered),
+                        );
                     }
                 }
             }
@@ -604,6 +712,181 @@ impl BlockFrame {
         FrameAggregation {
             cells: out,
             derived_cells,
+            sketch_merged_cells,
+        }
+    }
+
+    /// The batched sketch row fold behind [`aggregate_with`](Self::
+    /// aggregate_with): fold every valid row into the bundles of the cells
+    /// it maps to under `group_idxs` (restricted to `only_targets` when
+    /// given).
+    ///
+    /// The fold is slot-major: rows are bucketed by finest slot once
+    /// (stable counting sort), then each slot's rows are prepared once per
+    /// attribute and replayed into every target cell back-to-back. Slot
+    /// targets, value preparation (hash, count-min columns, quantile
+    /// bucket key), and the per-bucket tally are all computed once per
+    /// slot instead of once per `(row, group)` incidence. Each cell sees
+    /// its rows in ascending `(slot, row)` order — for finest cells that
+    /// *is* row order, and for coarser cells every sketch state except the
+    /// heavy-hitter candidate list is fold-order invariant anyway; the
+    /// candidate list matches a per-row fold bit-for-bit whenever a cell's
+    /// distinct values stay within the candidate cap (the sketch crate's
+    /// documented exactness regime). Quantile updates apply per
+    /// `(cell, bucket)` in one batched pass, order-invariant by the
+    /// quantile sketch's canonical compaction.
+    #[allow(clippy::too_many_arguments)]
+    fn sketch_fold_rows(
+        &self,
+        ctx: &FoldCtx,
+        out: &mut [(CellKey, CellSummary)],
+        row_dense: &[u32],
+        slot_out_all: &[u32],
+        dense_count: usize,
+        group_idxs: &[usize],
+        only_targets: Option<&FxHashSet<u32>>,
+    ) {
+        // starts[d]..starts[d+1] indexes slot d's rows, ascending row order.
+        let mut starts: Vec<u32> = vec![0; dense_count + 1];
+        for &d in row_dense {
+            if d != u32::MAX {
+                starts[d as usize + 1] += 1;
+            }
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut cursor: Vec<u32> = starts[..dense_count].to_vec();
+        let mut slot_rows: Vec<u32> = vec![0; starts[dense_count] as usize];
+        for (r, &d) in row_dense.iter().enumerate() {
+            if d != u32::MAX {
+                let c = &mut cursor[d as usize];
+                slot_rows[*c as usize] = r as u32;
+                *c += 1;
+            }
+        }
+
+        // Coverage dedup: two cells covering the *same* non-empty slots
+        // receive the same fold sequence and therefore end with
+        // bit-identical sketch state — fold one representative (lowest
+        // out-index) per coverage class and clone its bundles into the
+        // rest. Multi-level wanted sets hit this constantly: a tile at
+        // Day and the same tile at Year cover the identical rows of a
+        // one-day block. Only classes spanning at least `DEDUP_MIN_ROWS`
+        // rows participate; below that, cloning costs more than folding.
+        const DEDUP_MIN_ROWS: u32 = 64;
+        let mut cov: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &g in group_idxs {
+            for d in 0..dense_count {
+                if starts[d] == starts[d + 1] {
+                    continue;
+                }
+                let oi = slot_out_all[g * dense_count + d];
+                if oi == u32::MAX {
+                    continue;
+                }
+                if only_targets.is_some_and(|t| !t.contains(&oi)) {
+                    continue;
+                }
+                cov.entry(oi).or_default().push(d as u32);
+            }
+        }
+        let mut clone_from: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut items: Vec<(u32, Vec<u32>)> = cov.into_iter().collect();
+            items.sort_unstable_by_key(|&(oi, _)| oi);
+            let mut classes: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+            for (oi, c) in items {
+                let row_span: u32 = c
+                    .iter()
+                    .map(|&d| starts[d as usize + 1] - starts[d as usize])
+                    .sum();
+                if row_span < DEDUP_MIN_ROWS {
+                    continue;
+                }
+                match classes.entry(c) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        clone_from.push((oi, *e.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(oi);
+                    }
+                }
+            }
+        }
+        let cloned: FxHashSet<u32> = clone_from.iter().map(|&(dup, _)| dup).collect();
+
+        let mut targets: Vec<u32> = Vec::with_capacity(group_idxs.len());
+        let mut prepared: Vec<PreparedValue> = Vec::new();
+        // Per-(slot, attr) quantile-bucket tally. Small slots dedup by
+        // linear scan; big slots go through the hash map once and drain
+        // into the same dense vec, so the per-target apply loop never
+        // walks hash-table capacity.
+        let mut tally: Vec<(i64, u64)> = Vec::new();
+        let mut tally_map: FxHashMap<i64, u64> = FxHashMap::default();
+        for d in 0..dense_count {
+            let rows = &slot_rows[starts[d] as usize..starts[d + 1] as usize];
+            if rows.is_empty() {
+                continue;
+            }
+            targets.clear();
+            for &g in group_idxs {
+                let oi = slot_out_all[g * dense_count + d];
+                if oi == u32::MAX {
+                    continue;
+                }
+                if only_targets.is_some_and(|t| !t.contains(&oi)) {
+                    continue;
+                }
+                if cloned.contains(&oi) {
+                    continue;
+                }
+                targets.push(oi);
+            }
+            if targets.is_empty() {
+                continue;
+            }
+            for a in 0..self.n_attrs {
+                let col = self.col(a);
+                prepared.clear();
+                tally.clear();
+                for &r in rows {
+                    prepared.push(ctx.prepare(f64::from_bits(col[r as usize])));
+                }
+                if rows.len() <= 32 {
+                    for pv in &prepared {
+                        let key = pv.quantile_key();
+                        match tally.iter_mut().find(|e| e.0 == key) {
+                            Some(e) => e.1 += 1,
+                            None => tally.push((key, 1)),
+                        }
+                    }
+                } else {
+                    tally_map.clear();
+                    for pv in &prepared {
+                        *tally_map.entry(pv.quantile_key()).or_insert(0) += 1;
+                    }
+                    tally.extend(tally_map.iter().map(|(&k, &c)| (k, c)));
+                }
+                for &oi in &targets {
+                    if let Some(sk) = out[oi as usize].1.attr_sketches_mut(a) {
+                        sk.push_prepared_batch(&prepared);
+                        for &(key, count) in &tally {
+                            sk.add_quantile_batch(key, count);
+                        }
+                    }
+                }
+            }
+        }
+
+        for &(dup, rep) in &clone_from {
+            for a in 0..self.n_attrs {
+                if let Some(src) = out[rep as usize].1.attr_sketches(a).cloned() {
+                    if let Some(dst) = out[dup as usize].1.attr_sketches_mut(a) {
+                        *dst = src;
+                    }
+                }
+            }
         }
     }
 }
@@ -851,6 +1134,53 @@ mod tests {
         }
         // Groups coarser than (finest_s, finest_t) were derived, not binned.
         assert!(agg.derived_cells > 0);
+    }
+
+    #[test]
+    fn finest_then_merge_counts_derived_and_falls_back_when_uncovered() {
+        let bk = block("9xj", 2015, 2, 2);
+        let obs = rows();
+        let day = bk.day;
+        let mut ftm = SketchSpec::standard();
+        ftm.fold_mode = SketchFoldMode::FinestThenMerge;
+
+        // Full coverage: the tile cell plus every child — each coarse cell's
+        // slots all feed wanted finest cells, so its sketches are derived by
+        // merge, bit-identically to the default fold (quantized values).
+        let mut wanted: Vec<CellKey> = vec![CellKey::new(bk.geohash, day)];
+        wanted.extend(bk.geohash.children().unwrap().map(|g| CellKey::new(g, day)));
+        let frame = BlockFrame::decode(bk, &obs, 4, frame_spatial_res(3, &wanted));
+        let merged = frame.aggregate_with(&wanted, &ftm);
+        assert_eq!(merged.sketch_merged_cells, 1, "the tile cell derives");
+        let base = frame.aggregate_with(&wanted, &SketchSpec::standard());
+        assert_eq!(base.sketch_merged_cells, 0, "PerGroup never derives");
+        let sort = |mut v: Vec<(CellKey, CellSummary)>| {
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        assert_eq!(sort(merged.cells), sort(base.cells));
+
+        // Partial coverage: drop one child from the wanted set. The tile
+        // cell still aggregates that child's rows, but the finest bundles
+        // no longer cover them — it must fall back to a row fold (still
+        // matching the default output) and not count as derived.
+        let mut partial: Vec<CellKey> = vec![CellKey::new(bk.geohash, day)];
+        let children: Vec<CellKey> = bk
+            .geohash
+            .children()
+            .unwrap()
+            .map(|g| CellKey::new(g, day))
+            .filter(|k| frame.aggregate(&[*k]).cells[0].1.count() > 0)
+            .collect();
+        assert!(children.len() > 1, "need at least two occupied children");
+        partial.extend(&children[1..]);
+        let merged = frame.aggregate_with(&partial, &ftm);
+        assert_eq!(
+            merged.sketch_merged_cells, 0,
+            "uncovered cell must not derive"
+        );
+        let base = frame.aggregate_with(&partial, &SketchSpec::standard());
+        assert_eq!(sort(merged.cells), sort(base.cells));
     }
 
     #[test]

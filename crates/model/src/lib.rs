@@ -40,7 +40,7 @@ pub use level::{Level, MAX_SPATIAL_RES};
 pub use observation::Observation;
 pub use query::{AggFunc, AggQuery, QueryError, QueryResult};
 pub use stash_sketch::{
-    AttrSketches, DistinctEstimate, DistinctSketch, HeavyHitters, QuantileEstimate, SketchSpec,
-    TopKEntry, UddSketch,
+    AttrSketches, DistinctEstimate, DistinctSketch, FoldCtx, HeavyHitters, MergeError,
+    PreparedValue, QuantileEstimate, SketchFoldMode, SketchSpec, TopKEntry, TopKResult, UddSketch,
 };
 pub use stats::{CellStats, CellSummary, SummaryStats};

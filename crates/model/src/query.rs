@@ -221,14 +221,17 @@ impl QueryResult {
     /// Merge attribute `attr`'s sketch bundles across every result cell.
     ///
     /// `None` when any *non-empty* cell lacks sketch state (exact-only
-    /// deployment) or when no cell holds data — empty cells contribute no
-    /// observations and are skipped regardless of how they were built.
+    /// deployment), when no cell holds data — empty cells contribute no
+    /// observations and are skipped regardless of how they were built — or
+    /// when two cells carry incompatibly-configured sketches (result cells
+    /// can come from remote nodes, so a config mismatch is a data condition,
+    /// not a programmer error: the estimate is unanswerable, not a panic).
     fn fold_sketches(&self, attr: usize) -> Option<stash_sketch::AttrSketches> {
         let mut acc: Option<stash_sketch::AttrSketches> = None;
         for cell in &self.cells {
             match cell.summary.attr_sketches(attr) {
                 Some(sk) => match &mut acc {
-                    Some(a) => a.merge(sk),
+                    Some(a) => a.try_merge(sk).ok()?,
                     None => acc = Some(sk.clone()),
                 },
                 None if cell.summary.is_empty() => continue,
@@ -258,6 +261,17 @@ impl QueryResult {
     /// holds data.
     pub fn top_k(&self, attr: usize, k: usize) -> Option<Vec<stash_sketch::TopKEntry>> {
         Some(self.fold_sketches(attr)?.heavy.top_k(k))
+    }
+
+    /// [`top_k`](Self::top_k) plus the truncation flag: when
+    /// [`TopKResult::truncated`](stash_sketch::TopKResult) is true,
+    /// candidate eviction fired somewhere
+    /// in the folded sketches' history and the list may omit values that
+    /// are truly among the top `k`; when false, a short list is ground
+    /// truth — the data simply had fewer distinct values. Front-ends should
+    /// prefer this over `top_k` whenever they render completeness.
+    pub fn top_k_report(&self, attr: usize, k: usize) -> Option<stash_sketch::TopKResult> {
+        Some(self.fold_sketches(attr)?.heavy.top_k_report(k))
     }
 }
 

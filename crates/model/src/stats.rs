@@ -10,7 +10,7 @@
 //! property is what makes roll-up queries answerable from cache.
 
 use serde::{Deserialize, Serialize};
-use stash_sketch::{AttrSketches, SketchSpec};
+use stash_sketch::{AttrSketches, MergeError, SketchSpec};
 
 /// Aggregated statistics for one attribute over one spatiotemporal bin.
 ///
@@ -290,14 +290,35 @@ impl CellStats {
     /// estimate.
     ///
     /// # Panics
-    /// Panics if attribute counts differ — merging summaries from different
-    /// schemas is always a bug.
+    /// Panics if attribute counts or sketch configurations differ — for
+    /// locally-built summaries both are always a bug. Use
+    /// [`merge_strict`](Self::merge_strict) when `other` arrived over the
+    /// wire.
     pub fn merge(&mut self, other: &CellStats) {
         assert_eq!(
             self.summaries.len(),
             other.summaries.len(),
             "schema mismatch in CellSummary::merge"
         );
+        if let Err(e) = self.merge_strict(other) {
+            panic!("{e} (CellSummary::merge)");
+        }
+    }
+
+    /// Fallible [`merge`](Self::merge) for summaries decoded from the wire:
+    /// partials fragments and ingest deltas can carry state built by a
+    /// misconfigured or stale peer, and a gather must refuse such a fragment
+    /// instead of crashing the node. On a schema-width or sketch-config
+    /// mismatch this returns an error and leaves `self` completely untouched
+    /// (sketch configs are checked across *all* attributes before anything
+    /// merges).
+    pub fn merge_strict(&mut self, other: &CellStats) -> Result<(), MergeError> {
+        if self.summaries.len() != other.summaries.len() {
+            return Err(MergeError::SchemaWidth {
+                left: self.summaries.len(),
+                right: other.summaries.len(),
+            });
+        }
         // Decide sketch state from pre-merge counts, before exact folding.
         if !(other.count() == 0 && other.sketches.is_none()) {
             if self.count() == 0 && self.sketches.is_none() {
@@ -305,8 +326,11 @@ impl CellStats {
             } else {
                 match (&mut self.sketches, &other.sketches) {
                     (Some(a), Some(b)) => {
+                        for (x, y) in a.iter().zip(b.iter()) {
+                            x.check_config(y)?;
+                        }
                         for (x, y) in a.iter_mut().zip(b) {
-                            x.merge(y);
+                            x.try_merge(y).expect("checked sketch config");
                         }
                     }
                     (None, None) => {}
@@ -317,6 +341,7 @@ impl CellStats {
         for (a, b) in self.summaries.iter_mut().zip(&other.summaries) {
             a.merge(b);
         }
+        Ok(())
     }
 
     /// Merge a single attribute's *exact* statistics into attribute `i` —

@@ -1,6 +1,8 @@
 //! The per-attribute sketch bundle carried inside a Cell.
 
 use crate::distinct::DistinctSketch;
+use crate::error::MergeError;
+use crate::fold::PreparedValue;
 use crate::heavy::HeavyHitters;
 use crate::quantile::UddSketch;
 use crate::spec::SketchSpec;
@@ -38,14 +40,76 @@ impl AttrSketches {
         self.heavy.push(value);
     }
 
+    /// Fold a [`prepared`](crate::FoldCtx::prepare) observation into the
+    /// distinct and heavy-hitter sketches — bit-identical to the
+    /// corresponding halves of [`push`](Self::push), with the per-value
+    /// hashing done once by the caller. The *quantile* update is
+    /// deliberately left out: batch it through
+    /// [`add_quantile_batch`](Self::add_quantile_batch) keyed by
+    /// [`PreparedValue::quantile_key`] (see the `fold` module docs).
+    #[inline]
+    pub fn push_prepared(&mut self, pv: &PreparedValue) {
+        self.distinct.push_hashed(pv.hash);
+        self.heavy.push_prepared(pv);
+    }
+
+    /// Fold a run of prepared observations into the distinct and
+    /// heavy-hitter sketches — bit-identical to calling
+    /// [`push_prepared`](Self::push_prepared) once per element in order,
+    /// with per-value loop setup hoisted out of both sketches' hot paths.
+    /// The quantile half stays deferred, exactly as for `push_prepared`.
+    #[inline]
+    pub fn push_prepared_batch(&mut self, pvs: &[PreparedValue]) {
+        self.distinct
+            .push_hashed_batch(pvs.iter().map(|pv| pv.hash));
+        self.heavy.push_prepared_batch(pvs);
+    }
+
+    /// Fold `count` quantile observations sharing one packed bucket key in
+    /// one step (the deferred half of [`push_prepared`](Self::push_prepared);
+    /// see [`UddSketch::add_packed`]).
+    #[inline]
+    pub fn add_quantile_batch(&mut self, key: i64, count: u64) {
+        self.quantile.add_packed(key, count);
+    }
+
+    /// Check that `other` was configured compatibly for merging, without
+    /// mutating either bundle. Callers that merge *sequences* of bundles
+    /// atomically (all-or-nothing) check every pair up front with this.
+    pub fn check_config(&self, other: &AttrSketches) -> Result<(), MergeError> {
+        self.quantile.check_config(&other.quantile)?;
+        self.distinct.check_config(&other.distinct)?;
+        self.heavy.check_config(&other.heavy)
+    }
+
+    /// Merge another bundle into this one. On any configuration mismatch —
+    /// reachable with wire-delivered partials from a misconfigured peer —
+    /// returns an error and leaves *all three* sketches untouched (configs
+    /// are checked up front, so no partial merge is ever applied).
+    pub fn try_merge(&mut self, other: &AttrSketches) -> Result<(), MergeError> {
+        self.check_config(other)?;
+        self.quantile
+            .try_merge(&other.quantile)
+            .expect("checked quantile config");
+        self.distinct
+            .try_merge(&other.distinct)
+            .expect("checked distinct config");
+        self.heavy
+            .try_merge(&other.heavy)
+            .expect("checked heavy-hitter config");
+        Ok(())
+    }
+
     /// Merge another bundle into this one.
     ///
     /// # Panics
-    /// Panics if the bundles were configured differently.
+    /// Panics if the bundles were configured differently; use
+    /// [`try_merge`](Self::try_merge) when the other side arrived over the
+    /// wire.
     pub fn merge(&mut self, other: &AttrSketches) {
-        self.quantile.merge(&other.quantile);
-        self.distinct.merge(&other.distinct);
-        self.heavy.merge(&other.heavy);
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e} (AttrSketches::merge)");
+        }
     }
 
     /// True if no observation has been folded in.
@@ -125,6 +189,50 @@ mod tests {
         assert_eq!(s, before);
         assert!(AttrSketches::new(&spec).is_empty());
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn prepared_fold_matches_push() {
+        // push_prepared + a batched quantile apply must reproduce plain
+        // push bit-for-bit.
+        let spec = SketchSpec::standard();
+        let ctx = crate::FoldCtx::new(&spec);
+        let values: Vec<f64> = (0..200).map(|i| (i as f64) * 0.37 - 30.0).collect();
+        let mut pushed = AttrSketches::new(&spec);
+        let mut prepared = AttrSketches::new(&spec);
+        let mut tally: Vec<(i64, u64)> = Vec::new();
+        for &v in &values {
+            pushed.push(v);
+            let pv = ctx.prepare(v);
+            prepared.push_prepared(&pv);
+            match tally.iter_mut().find(|(k, _)| *k == pv.quantile_key()) {
+                Some((_, c)) => *c += 1,
+                None => tally.push((pv.quantile_key(), 1)),
+            }
+        }
+        for (key, count) in tally {
+            prepared.add_quantile_batch(key, count);
+        }
+        assert_eq!(prepared, pushed);
+    }
+
+    #[test]
+    fn try_merge_rejects_any_component_mismatch() {
+        let spec = SketchSpec::standard();
+        let mut a = AttrSketches::new(&spec);
+        a.push(1.0);
+        let before = a.clone();
+        for f in [
+            |s: &mut SketchSpec| s.quantile_alpha = 0.02,
+            |s: &mut SketchSpec| s.hll_precision = 9,
+            |s: &mut SketchSpec| s.cm_depth = 4,
+        ] {
+            let mut other_spec = spec.clone();
+            f(&mut other_spec);
+            let err = a.try_merge(&AttrSketches::new(&other_spec)).unwrap_err();
+            assert!(matches!(err, MergeError::ConfigMismatch { .. }));
+            assert_eq!(a, before, "failed merge must leave the receiver intact");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! registers in the small-cardinality regime where it is strictly more
 //! accurate.
 
+use crate::error::MergeError;
 use crate::hash::hash_value;
 use serde::{Deserialize, Serialize};
 use stash_flat::{FlatError, WordReader, WordWriter};
@@ -59,7 +60,14 @@ impl DistinctSketch {
 
     /// Fold one observation in.
     pub fn push(&mut self, value: f64) {
-        let h = hash_value(value);
+        self.push_hashed(hash_value(value));
+    }
+
+    /// Fold one observation in from its precomputed `hash_value` digest —
+    /// bit-identical to [`push`](Self::push), with the hash shared across
+    /// fold targets (see [`FoldCtx`](crate::FoldCtx)).
+    #[inline]
+    pub(crate) fn push_hashed(&mut self, h: u64) {
         let p = self.precision as u32;
         let idx = (h >> (64 - p)) as usize;
         // Rank of the remaining 64−p bits: leading zeros + 1, capped so an
@@ -71,19 +79,56 @@ impl DistinctSketch {
         }
     }
 
-    /// Merge another sketch into this one (register-wise max).
-    ///
-    /// # Panics
-    /// Panics if the two sketches were configured differently.
-    pub fn merge(&mut self, other: &DistinctSketch) {
-        assert!(
-            self.precision == other.precision,
-            "sketch config mismatch in DistinctSketch::merge"
-        );
+    /// Fold a run of precomputed digests in — bit-identical to calling
+    /// [`push_hashed`](Self::push_hashed) once per digest (register max is
+    /// order-invariant), with the precision constants hoisted out of the
+    /// per-value path.
+    #[inline]
+    pub(crate) fn push_hashed_batch<I: IntoIterator<Item = u64>>(&mut self, hashes: I) {
+        let p = self.precision as u32;
+        let cap = 64 - self.precision + 1;
+        for h in hashes {
+            let idx = (h >> (64 - p)) as usize;
+            let w = h << p;
+            let rank = (w.leading_zeros() as u8 + 1).min(cap);
+            if rank > self.registers[idx] {
+                self.registers[idx] = rank;
+            }
+        }
+    }
+
+    /// Refuse to merge differently-configured sketches (see
+    /// [`try_merge`](Self::try_merge)).
+    pub(crate) fn check_config(&self, other: &DistinctSketch) -> Result<(), MergeError> {
+        if self.precision == other.precision {
+            Ok(())
+        } else {
+            Err(MergeError::ConfigMismatch { sketch: "distinct" })
+        }
+    }
+
+    /// Merge another sketch into this one (register-wise max). On a
+    /// precision mismatch — reachable with wire-delivered partials from a
+    /// misconfigured peer — returns an error and leaves `self` untouched.
+    pub fn try_merge(&mut self, other: &DistinctSketch) -> Result<(), MergeError> {
+        self.check_config(other)?;
         for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
             if b > *a {
                 *a = b;
             }
+        }
+        Ok(())
+    }
+
+    /// Merge another sketch into this one (register-wise max).
+    ///
+    /// # Panics
+    /// Panics if the two sketches were configured differently; use
+    /// [`try_merge`](Self::try_merge) when the other side arrived over the
+    /// wire.
+    pub fn merge(&mut self, other: &DistinctSketch) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e} (DistinctSketch::merge)");
         }
     }
 
@@ -273,6 +318,16 @@ mod tests {
     fn merge_rejects_config_mismatch() {
         let mut a = DistinctSketch::new(8);
         a.merge(&DistinctSketch::new(9));
+    }
+
+    #[test]
+    fn try_merge_errors_without_mutating() {
+        let mut a = sketch_of([1.0, 2.0]);
+        let before = a.clone();
+        let err = a.try_merge(&DistinctSketch::new(9)).unwrap_err();
+        assert_eq!(err, MergeError::ConfigMismatch { sketch: "distinct" });
+        assert_eq!(a, before, "failed merge must leave the receiver intact");
+        assert!(a.try_merge(&sketch_of([3.0])).is_ok());
     }
 
     #[test]

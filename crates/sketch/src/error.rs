@@ -1,0 +1,48 @@
+//! Typed merge failures.
+//!
+//! Sketch partials travel on the wire (partials fragments, ingest deltas),
+//! so a merge can meet state built by a *misconfigured or stale peer* — not
+//! just programmer error. The fallible [`try_merge`](crate::AttrSketches::
+//! try_merge) entry points return this error and leave the receiver
+//! untouched; the panicking `merge` wrappers remain for call sites where
+//! both sides are provably built from one local config.
+
+use std::fmt;
+
+/// A merge was refused because the two partials were built with different
+/// sketch parameters. The receiving sketch is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// `sketch` names the component that mismatched (`"quantile"`,
+    /// `"distinct"`, `"heavy_hitters"`).
+    ConfigMismatch {
+        /// Which sketch component refused the merge.
+        sketch: &'static str,
+    },
+    /// Two summaries carried different attribute counts — they were built
+    /// from different dataset schemas and share no meaningful merge.
+    SchemaWidth {
+        /// Attribute count of the receiving summary.
+        left: usize,
+        /// Attribute count of the incoming summary.
+        right: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::ConfigMismatch { sketch } => {
+                write!(f, "sketch config mismatch in {sketch} merge")
+            }
+            MergeError::SchemaWidth { left, right } => {
+                write!(
+                    f,
+                    "schema width mismatch in summary merge: {left} vs {right} attrs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}

@@ -32,6 +32,15 @@ pub(crate) fn hash_value(v: f64) -> u64 {
     splitmix64(canonical_bits(v))
 }
 
+/// True iff `bits` is a pattern [`canonical_bits`] can produce: not `-0.0`
+/// and not a NaN payload other than the canonical one. Wire decoding
+/// enforces this so the candidate table's empty-slot sentinel (`u64::MAX`,
+/// a NaN payload) can never collide with a stored candidate.
+#[inline]
+pub(crate) fn is_canonical_bits(bits: u64) -> bool {
+    bits == canonical_bits(f64::from_bits(bits))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,6 +48,16 @@ mod tests {
     #[test]
     fn zero_signs_collapse() {
         assert_eq!(hash_value(0.0), hash_value(-0.0));
+    }
+
+    #[test]
+    fn canonical_bits_classification() {
+        assert!(is_canonical_bits(0.0f64.to_bits()));
+        assert!(is_canonical_bits(1.5f64.to_bits()));
+        assert!(is_canonical_bits(f64::NAN.to_bits()));
+        assert!(!is_canonical_bits((-0.0f64).to_bits()));
+        // u64::MAX is a non-canonical NaN payload — the sentinel is safe.
+        assert!(!is_canonical_bits(u64::MAX));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Count-min + candidate-list heavy-hitters sketch.
+//! Count-min + candidate-table heavy-hitters sketch.
 //!
 //! Frequencies live in a `depth × width` count-min matrix: every observation
 //! increments one counter per row (chosen by independent hashes of the
@@ -8,23 +8,42 @@
 //! merge-order invariant.
 //!
 //! A count-min matrix alone cannot *enumerate* the heavy values, so the
-//! sketch also carries a capped candidate list of values actually seen.
+//! sketch also carries a capped candidate set of values actually seen. The
+//! set is an open-addressed hash table ([`CandidateSet`], same idiom as the
+//! quantile sketch's `BucketMap`): membership insert is the per-push hot
+//! path of the scan kernel on continuous data, and a linear-probe table
+//! turns the ordered-tree insert the seed paid into one hash and a short
+//! probe. Order only matters at the edges — serialization, equality,
+//! `top_k` — where the table canonicalizes to sorted bit order, keeping the
+//! wire form deterministic.
+//!
 //! Eviction is deterministic — drop candidates with the smallest
-//! `(estimate, value bits)` — and amortized: the list may grow to twice its
+//! `(estimate, value bits)` — and amortized: the set may grow to twice its
 //! cap before a one-pass trim cuts it back, so saturated streams pay O(1)
 //! amortized per push instead of a full rescan. As long as the number of
 //! distinct values stays within the cap (the intended regime: quantized or
 //! categorical attributes, cf. the generator's `value_quantum`) no eviction
-//! ever fires and the list is bit-for-bit merge-order invariant. Beyond the
-//! cap the list degrades to a best-effort top set while the matrix keeps
-//! its guarantees.
+//! ever fires and the set is bit-for-bit merge-order invariant. Beyond the
+//! cap the set degrades to a best-effort top set while the matrix keeps its
+//! guarantees; the sketch records that degradation in a sticky
+//! [`is_trimmed`](HeavyHitters::is_trimmed) flag so consumers can tell a
+//! complete enumeration from a best-effort one.
 
-use crate::hash::{canonical_bits, splitmix64};
+use crate::error::MergeError;
+use crate::fold::PreparedValue;
+use crate::hash::{canonical_bits, is_canonical_bits, splitmix64};
 use serde::{Deserialize, Serialize};
 use stash_flat::{FlatError, WordReader, WordWriter};
-use std::collections::BTreeSet;
 
 /// One entry of a top-K answer.
+///
+/// **Contract:** [`HeavyHitters::top_k`] returns fewer than `k` entries
+/// whenever the sketch tracks fewer than `k` candidates. If the sketch was
+/// never trimmed ([`HeavyHitters::is_trimmed`] is `false`) that shorter
+/// list is ground truth — the data simply had fewer distinct values. After
+/// a trim the candidate set is best-effort and may omit true heavy values;
+/// use [`HeavyHitters::top_k_report`] to obtain the answer together with
+/// that truncation signal.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopKEntry {
     /// The candidate value.
@@ -36,20 +55,178 @@ pub struct TopKEntry {
     pub error_bound: u64,
 }
 
+/// A top-K answer plus the candidate-set completeness signal clients need
+/// to interpret a short list (see [`TopKEntry`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The most frequent candidates, ordered by descending estimate.
+    pub entries: Vec<TopKEntry>,
+    /// True when candidate eviction has fired somewhere in this sketch's
+    /// history (including merged-in partials): `entries` may omit values
+    /// that are truly among the top `k`. When false, a list shorter than
+    /// `k` means the data had fewer distinct values — ground truth.
+    pub truncated: bool,
+}
+
+/// Open-addressed set of canonical value bit patterns with power-of-two
+/// capacity and linear probing. The empty-slot sentinel is `u64::MAX` — a
+/// non-canonical NaN payload that `canonical_bits` can never produce (and
+/// that decoding rejects), so no bitmap is needed. Iteration order is
+/// unspecified; callers needing determinism use [`CandidateSet::sorted`].
+#[derive(Debug, Clone, Default)]
+struct CandidateSet {
+    slots: Vec<u64>,
+    len: usize,
+}
+
+/// Empty-slot marker: unreachable as a candidate (see [`CandidateSet`]).
+const EMPTY_SLOT: u64 = u64::MAX;
+
+impl CandidateSet {
+    const MIN_CAPACITY: usize = 16;
+
+    fn new() -> Self {
+        CandidateSet::default()
+    }
+
+    /// An empty set presized so `n` members fit without growing (capacity
+    /// is never part of the canonical state).
+    fn with_capacity_for(n: usize) -> Self {
+        let cap = (n * 8 / 7 + 1).next_power_of_two().max(Self::MIN_CAPACITY);
+        CandidateSet {
+            slots: vec![EMPTY_SLOT; cap],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot_of(&self, bits: u64) -> usize {
+        self.probe(bits, splitmix64(bits))
+    }
+
+    /// Linear probe from `hash` (which must be `splitmix64(bits)`) to the
+    /// slot holding `bits` or the first empty slot.
+    #[inline]
+    fn probe(&self, bits: u64, hash: u64) -> usize {
+        debug_assert!(!self.slots.is_empty());
+        debug_assert_eq!(hash, splitmix64(bits));
+        let mask = self.slots.len() - 1;
+        let mut slot = hash as usize & mask;
+        while self.slots[slot] != EMPTY_SLOT && self.slots[slot] != bits {
+            slot = (slot + 1) & mask;
+        }
+        slot
+    }
+
+    /// Insert a canonical bit pattern; returns true if it was new.
+    #[inline]
+    fn insert(&mut self, bits: u64) -> bool {
+        self.insert_hashed(bits, splitmix64(bits))
+    }
+
+    /// [`insert`](Self::insert) with the probe hash (`splitmix64(bits)`)
+    /// precomputed by the caller.
+    #[inline]
+    fn insert_hashed(&mut self, bits: u64, hash: u64) -> bool {
+        debug_assert_ne!(bits, EMPTY_SLOT, "sentinel inserted as candidate");
+        // Keep load at or below 7/8 so probes stay short.
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let slot = self.probe(bits, hash);
+        if self.slots[slot] == EMPTY_SLOT {
+            self.slots[slot] = bits;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(Self::MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        for bits in old {
+            if bits != EMPTY_SLOT {
+                let slot = self.slot_of(bits);
+                self.slots[slot] = bits;
+            }
+        }
+    }
+
+    /// All members in unspecified order.
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().copied().filter(|&b| b != EMPTY_SLOT)
+    }
+
+    /// Canonical form: members sorted ascending by bit pattern.
+    fn sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        self.slots.len() * 8
+    }
+}
+
+impl FromIterator<u64> for CandidateSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let it = iter.into_iter();
+        let mut s = CandidateSet::new();
+        // Presize from the lower size hint so bulk rebuilds (trim survivor
+        // lists, flat decodes) skip the grow-rehash chain. Capacity never
+        // affects the canonical (sorted-member) state.
+        let (lower, _) = it.size_hint();
+        if lower > 0 {
+            let cap = (lower * 8 / 7 + 1)
+                .next_power_of_two()
+                .max(Self::MIN_CAPACITY);
+            s.slots = vec![EMPTY_SLOT; cap];
+        }
+        for bits in it {
+            s.insert(bits);
+        }
+        s
+    }
+}
+
 /// Mergeable heavy-hitters sketch (the partial state of the two-step
 /// aggregate).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct HeavyHitters {
     width: usize,
     depth: usize,
-    /// Candidate-list capacity.
+    /// Candidate-set capacity.
     limit: usize,
-    /// Total observations folded in.
+    /// True once any trim evicted candidates (sticky, merged with OR).
+    trimmed: bool,
+    /// Total observations folded in (saturating on overflow).
     total: u64,
-    /// `depth × width` counters, row-major.
+    /// `depth × width` counters, row-major (saturating on overflow).
     rows: Vec<u64>,
-    /// Canonical bit patterns of candidate values, sorted by construction.
-    candidates: BTreeSet<u64>,
+    /// Canonical bit patterns of candidate values.
+    candidates: CandidateSet,
+}
+
+/// Two sketches are equal when their canonical states match; the candidate
+/// table's internal layout (capacity, probe order) is irrelevant.
+impl PartialEq for HeavyHitters {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.depth == other.depth
+            && self.limit == other.limit
+            && self.trimmed == other.trimmed
+            && self.total == other.total
+            && self.rows == other.rows
+            && self.candidates.sorted() == other.candidates.sorted()
+    }
 }
 
 impl HeavyHitters {
@@ -66,67 +243,154 @@ impl HeavyHitters {
             width,
             depth,
             limit,
+            trimmed: false,
             total: 0,
             rows: vec![0; width * depth],
-            candidates: BTreeSet::new(),
+            candidates: CandidateSet::new(),
         }
     }
 
-    /// Row-`d` column for a value's canonical bits.
+    /// Row-`d` column for a value's canonical bits. For power-of-two
+    /// widths (the common configuration) the modulo reduces to a mask —
+    /// same column, no division in the estimate/trim hot path.
     #[inline]
     fn column(&self, bits: u64, d: usize) -> usize {
-        (splitmix64(bits ^ (0xC0FF_EE00 + d as u64)) % self.width as u64) as usize
+        let h = splitmix64(bits ^ (0xC0FF_EE00 + d as u64));
+        if self.width.is_power_of_two() {
+            h as usize & (self.width - 1)
+        } else {
+            (h % self.width as u64) as usize
+        }
     }
 
     /// Fold one observation in.
     pub fn push(&mut self, value: f64) {
         let bits = canonical_bits(value);
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         for d in 0..self.depth {
             let col = self.column(bits, d);
-            self.rows[d * self.width + col] += 1;
+            let c = &mut self.rows[d * self.width + col];
+            *c = c.saturating_add(1);
         }
-        self.candidates.insert(bits);
-        self.trim();
+        // The set only grows past the trim threshold on a *new* insert, so
+        // trimming is a no-op (an early-return len check) otherwise.
+        if self.candidates.insert(bits) {
+            self.trim();
+        }
+    }
+
+    /// [`push`](Self::push) with the hashing precomputed by
+    /// [`FoldCtx::prepare`](crate::FoldCtx) — bit-identical state, the
+    /// per-value `splitmix64` rounds (per matrix row and for the candidate
+    /// probe) hoisted out. The prepared value must come from a `FoldCtx`
+    /// built with this sketch's configuration.
+    #[inline]
+    pub(crate) fn push_prepared(&mut self, pv: &PreparedValue) {
+        self.total = self.total.saturating_add(1);
+        for (row, &col) in self
+            .rows
+            .chunks_exact_mut(self.width)
+            .zip(&pv.cols[..self.depth])
+        {
+            let c = &mut row[col as usize];
+            *c = c.saturating_add(1);
+        }
+        if self.candidates.insert_hashed(pv.bits, pv.hash) {
+            self.trim();
+        }
+    }
+
+    /// Fold a run of prepared observations in — bit-identical to calling
+    /// [`push_prepared`](Self::push_prepared) once per element in order.
+    /// The count-min updates apply matrix-row-major across the batch
+    /// (saturating adds commute, so the matrix state is order-invariant),
+    /// and candidate inserts keep the per-insert trim schedule so the
+    /// eviction sequence matches the one-at-a-time fold exactly.
+    pub(crate) fn push_prepared_batch(&mut self, pvs: &[PreparedValue]) {
+        self.total = self.total.saturating_add(pvs.len() as u64);
+        for (d, row) in self.rows.chunks_exact_mut(self.width).enumerate() {
+            for pv in pvs {
+                let c = &mut row[pv.cols[d] as usize];
+                *c = c.saturating_add(1);
+            }
+        }
+        for pv in pvs {
+            if self.candidates.insert_hashed(pv.bits, pv.hash) {
+                self.trim();
+            }
+        }
+    }
+
+    /// Refuse to merge differently-configured sketches (see
+    /// [`try_merge`](Self::try_merge)).
+    pub(crate) fn check_config(&self, other: &HeavyHitters) -> Result<(), MergeError> {
+        if self.width == other.width && self.depth == other.depth && self.limit == other.limit {
+            Ok(())
+        } else {
+            Err(MergeError::ConfigMismatch {
+                sketch: "heavy_hitters",
+            })
+        }
     }
 
     /// Merge another sketch into this one (entrywise matrix add, candidate
-    /// union, deterministic re-trim).
-    ///
-    /// # Panics
-    /// Panics if the two sketches were configured differently.
-    pub fn merge(&mut self, other: &HeavyHitters) {
-        assert!(
-            self.width == other.width && self.depth == other.depth && self.limit == other.limit,
-            "sketch config mismatch in HeavyHitters::merge"
-        );
-        self.total += other.total;
+    /// union, deterministic re-trim). On a configuration mismatch —
+    /// reachable with wire-delivered partials from a misconfigured peer —
+    /// returns an error and leaves `self` untouched.
+    pub fn try_merge(&mut self, other: &HeavyHitters) -> Result<(), MergeError> {
+        self.check_config(other)?;
+        self.total = self.total.saturating_add(other.total);
+        self.trimmed |= other.trimmed;
         for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
-            *a += b;
+            *a = a.saturating_add(b);
         }
-        for &bits in &other.candidates {
+        for bits in other.candidates.iter() {
             self.candidates.insert(bits);
         }
         self.trim();
+        Ok(())
     }
 
-    /// Amortized eviction: once the list exceeds twice its cap, cut it back
+    /// Merge another sketch into this one.
+    ///
+    /// # Panics
+    /// Panics if the two sketches were configured differently; use
+    /// [`try_merge`](Self::try_merge) when the other side arrived over the
+    /// wire.
+    pub fn merge(&mut self, other: &HeavyHitters) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e} (HeavyHitters::merge)");
+        }
+    }
+
+    /// Amortized eviction: once the set exceeds twice its cap, cut it back
     /// to the cap in one pass, dropping the smallest `(estimate, bits)`
     /// first. Evictions never touch the matrix, so batching them is
-    /// equivalent to evicting one at a time.
+    /// equivalent to evicting one at a time. A selection partition (not a
+    /// full sort) finds the survivors: ranks are distinct (bits break
+    /// ties), so the surviving *set* — and therefore the canonical state —
+    /// is deterministic regardless of partition order.
     fn trim(&mut self) {
         if self.candidates.len() <= 2 * self.limit {
             return;
         }
-        let mut ranked: Vec<(u64, u64)> = self
-            .candidates
-            .iter()
-            .map(|&bits| (self.estimate_bits(bits), bits))
-            .collect();
-        ranked.sort_unstable();
-        for &(_, bits) in &ranked[..ranked.len() - self.limit] {
-            self.candidates.remove(&bits);
+        let mut ranked: Vec<(u64, u64)> = Vec::with_capacity(self.candidates.len());
+        ranked.extend(
+            self.candidates
+                .iter()
+                .map(|bits| (self.estimate_bits(bits), bits)),
+        );
+        let cut = ranked.len() - self.limit;
+        ranked.select_nth_unstable(cut - 1);
+        // Survivors get a table sized for the full grow-to-`2·limit+1`
+        // oscillation, so the inserts between consecutive trims never
+        // trigger a grow-rehash.
+        let mut survivors = CandidateSet::with_capacity_for(2 * self.limit + 1);
+        for &(_, bits) in &ranked[cut..] {
+            survivors.insert(bits);
         }
+        self.candidates = survivors;
+        self.trimmed = true;
     }
 
     /// Count-min point estimate for a canonical bit pattern.
@@ -143,9 +407,11 @@ impl HeavyHitters {
         self.estimate_bits(canonical_bits(value))
     }
 
-    /// Overcount bound that holds with probability `1 − 2^−depth`.
+    /// Overcount bound that holds with probability `1 − 2^−depth`
+    /// (saturating: totals near `u64::MAX` report `u64::MAX/width`-ish
+    /// bounds instead of wrapping to tiny ones).
     pub fn error_bound(&self) -> u64 {
-        (2 * self.total).div_ceil(self.width as u64)
+        self.total.saturating_mul(2).div_ceil(self.width as u64)
     }
 
     /// Total observations folded in.
@@ -158,14 +424,25 @@ impl HeavyHitters {
         self.total == 0
     }
 
+    /// True once candidate eviction has fired in this sketch's history
+    /// (its own trims or any merged-in partial's). While false, the
+    /// candidate set enumerates *every* distinct value folded in.
+    #[inline]
+    pub fn is_trimmed(&self) -> bool {
+        self.trimmed
+    }
+
     /// The accessor: the `k` most frequent candidate values, ordered by
-    /// descending estimate (ties broken by ascending value for determinism).
+    /// descending estimate (ties broken by ascending value for
+    /// determinism). See [`TopKEntry`] for the shorter-than-`k` contract;
+    /// [`top_k_report`](Self::top_k_report) carries the truncation signal.
     pub fn top_k(&self, k: usize) -> Vec<TopKEntry> {
         let error_bound = self.error_bound();
         let mut entries: Vec<(u64, u64)> = self
             .candidates
-            .iter()
-            .map(|&bits| (self.estimate_bits(bits), bits))
+            .sorted()
+            .into_iter()
+            .map(|bits| (self.estimate_bits(bits), bits))
             .collect();
         entries.sort_by(|a, b| {
             b.0.cmp(&a.0)
@@ -182,9 +459,21 @@ impl HeavyHitters {
             .collect()
     }
 
+    /// [`top_k`](Self::top_k) plus the completeness signal: `truncated`
+    /// is set when eviction may have dropped true heavy values, so a list
+    /// shorter than `k` cannot be mistaken for ground truth.
+    pub fn top_k_report(&self, k: usize) -> TopKResult {
+        TopKResult {
+            entries: self.top_k(k),
+            truncated: self.trimmed,
+        }
+    }
+
     /// Approximate in-memory footprint, for cache budgets.
     pub fn estimated_bytes(&self) -> usize {
-        std::mem::size_of::<HeavyHitters>() + self.rows.len() * 8 + self.candidates.len() * 8
+        std::mem::size_of::<HeavyHitters>()
+            + self.rows.len() * 8
+            + self.candidates.estimated_bytes()
     }
 
     /// Exact serialized footprint: the flat wire form's byte length.
@@ -192,50 +481,60 @@ impl HeavyHitters {
         self.flat_words() * 8
     }
 
-    /// Words of this sketch's flat encoding (DESIGN.md §15): a 5-word
-    /// header (config, total, candidate count), the count-min matrix
-    /// row-major, then candidates in sorted bit order.
+    /// Words of this sketch's flat encoding (DESIGN.md §15): a 6-word
+    /// header (config, total, candidate count, flags), the count-min
+    /// matrix row-major, then candidates in sorted bit order.
     pub fn flat_words(&self) -> usize {
-        5 + self.rows.len() + self.candidates.len()
+        6 + self.rows.len() + self.candidates.len()
     }
 
     /// Append the flat wire form to `w`. Equal sketches encode to
-    /// identical words (candidate set is sorted by construction).
+    /// identical words (candidates drain in canonical sorted order).
     pub fn flat_encode(&self, w: &mut WordWriter) {
         w.push_u64(self.width as u64);
         w.push_u64(self.depth as u64);
         w.push_u64(self.limit as u64);
         w.push_u64(self.total);
         w.push_u64(self.candidates.len() as u64);
+        w.push_u64(self.trimmed as u64);
         w.extend_u64(&self.rows);
-        for &bits in &self.candidates {
+        for bits in self.candidates.sorted() {
             w.push_u64(bits);
         }
     }
 
     /// Decode a flat wire form, validating the same invariants as the
-    /// constructor. Never panics on corrupt input.
+    /// constructor plus the canonical candidate form (sorted, canonical
+    /// bit patterns only — which also keeps the table's `u64::MAX`
+    /// sentinel unreachable). Never panics on corrupt input.
     pub fn flat_decode(r: &mut WordReader) -> Result<Self, FlatError> {
         let width = r.u64()? as usize;
         let depth = r.u64()? as usize;
         let limit = r.u64()? as usize;
         let total = r.u64()?;
         let n_candidates = r.u64()? as usize;
+        let flags = r.u64()?;
         if width < 8 || !(1..=8).contains(&depth) || limit == 0 {
             return Err(FlatError::Corrupt("invalid heavy-hitter config"));
         }
         if n_candidates > limit.saturating_mul(2) {
             return Err(FlatError::Corrupt("heavy-hitter candidate overflow"));
         }
+        if flags > 1 {
+            return Err(FlatError::Corrupt("unknown heavy-hitter flags"));
+        }
         let cells = width
             .checked_mul(depth)
             .ok_or(FlatError::Corrupt("heavy-hitter matrix size overflow"))?;
         let rows = r.take(cells)?.to_vec();
-        let mut candidates = BTreeSet::new();
+        let mut candidates = CandidateSet::new();
         let mut prev: Option<u64> = None;
         for &bits in r.take(n_candidates)? {
             if prev.is_some_and(|p| p >= bits) {
                 return Err(FlatError::Corrupt("heavy-hitter candidates not sorted"));
+            }
+            if !is_canonical_bits(bits) {
+                return Err(FlatError::Corrupt("non-canonical heavy-hitter candidate"));
             }
             prev = Some(bits);
             candidates.insert(bits);
@@ -244,6 +543,7 @@ impl HeavyHitters {
             width,
             depth,
             limit,
+            trimmed: flags == 1,
             total,
             rows,
             candidates,
@@ -257,6 +557,7 @@ struct WireHh {
     width: u64,
     depth: u64,
     limit: u64,
+    trimmed: bool,
     total: u64,
     rows: Vec<u64>,
     candidates: Vec<u64>,
@@ -268,9 +569,10 @@ impl serde::Serialize for HeavyHitters {
             width: self.width as u64,
             depth: self.depth as u64,
             limit: self.limit as u64,
+            trimmed: self.trimmed,
             total: self.total,
             rows: self.rows.clone(),
-            candidates: self.candidates.iter().copied().collect(),
+            candidates: self.candidates.sorted(),
         }
         .serialize(serializer)
     }
@@ -286,10 +588,16 @@ impl<'de> serde::Deserialize<'de> for HeavyHitters {
         if w.rows.len() != width * depth || w.candidates.len() > 2 * limit {
             return Err(serde::de::Error::custom("heavy-hitter payload size"));
         }
+        if w.candidates.iter().any(|&b| !is_canonical_bits(b)) {
+            return Err(serde::de::Error::custom(
+                "non-canonical heavy-hitter candidate",
+            ));
+        }
         Ok(HeavyHitters {
             width,
             depth,
             limit,
+            trimmed: w.trimmed,
             total: w.total,
             rows: w.rows,
             candidates: w.candidates.into_iter().collect(),
@@ -307,6 +615,31 @@ mod tests {
             s.push(v);
         }
         s
+    }
+
+    #[test]
+    fn candidate_set_inserts_and_canonicalizes() {
+        let mut s = CandidateSet::new();
+        for round in 0..3 {
+            for bits in [0u64, 7, 1 << 40, 3] {
+                let fresh = s.insert(bits);
+                assert_eq!(fresh, round == 0, "bits {bits} round {round}");
+            }
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.sorted(), vec![0, 3, 7, 1 << 40]);
+    }
+
+    #[test]
+    fn candidate_set_survives_growth() {
+        let mut s = CandidateSet::new();
+        for i in 0..500u64 {
+            assert!(s.insert(splitmix64(i)));
+        }
+        assert_eq!(s.len(), 500);
+        let sorted = s.sorted();
+        assert_eq!(sorted.len(), 500);
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -355,10 +688,32 @@ mod tests {
     }
 
     #[test]
-    fn candidate_list_respects_cap() {
+    fn candidate_list_respects_cap_and_reports_trim() {
         let s = sketch_of((0..200).map(f64::from));
         assert!(s.candidates.len() <= 2 * 32, "hysteresis ceiling");
         assert_eq!(s.count(), 200);
+        assert!(s.is_trimmed(), "200 distinct values must trim a 32-cap set");
+        let report = s.top_k_report(64);
+        assert!(report.truncated);
+        assert!(report.entries.len() < 64);
+        // Within the cap: no trim, a short top-k is ground truth.
+        let small = sketch_of((0..10).map(f64::from));
+        assert!(!small.is_trimmed());
+        let report = small.top_k_report(64);
+        assert!(!report.truncated);
+        assert_eq!(report.entries.len(), 10);
+    }
+
+    #[test]
+    fn trimmed_flag_survives_merge_and_wire() {
+        let trimmed = sketch_of((0..200).map(f64::from));
+        let mut clean = sketch_of([1.0, 2.0]);
+        assert!(!clean.is_trimmed());
+        clean.merge(&trimmed);
+        assert!(clean.is_trimmed(), "trim flag must be sticky across merge");
+        let json = serde_json::to_string(&clean).unwrap();
+        let back: HeavyHitters = serde_json::from_str(&json).unwrap();
+        assert!(back.is_trimmed());
     }
 
     #[test]
@@ -369,12 +724,75 @@ mod tests {
     }
 
     #[test]
+    fn try_merge_errors_without_mutating() {
+        let mut a = sketch_of([1.0, 2.0, 3.0]);
+        let before = a.clone();
+        let err = a.try_merge(&HeavyHitters::new(64, 3, 64)).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::ConfigMismatch {
+                sketch: "heavy_hitters"
+            }
+        );
+        assert_eq!(a, before, "failed merge must leave the receiver intact");
+        assert!(a.try_merge(&sketch_of([4.0])).is_ok());
+        assert_eq!(a.count(), 4);
+    }
+
+    /// A sketch with an arbitrary (huge) total, built through the wire
+    /// decoder — the only way to reach counter-boundary states.
+    fn with_total(total: u64) -> HeavyHitters {
+        let mut w = WordWriter::new();
+        let mut s = HeavyHitters::new(8, 1, 4);
+        s.push(1.0);
+        s.flat_encode(&mut w);
+        let mut words = w.into_words();
+        words[3] = total;
+        // Saturate the single matrix counter too.
+        let row = words[6..14].iter().position(|&c| c != 0).unwrap();
+        words[6 + row] = total;
+        HeavyHitters::flat_decode(&mut WordReader::new(&words)).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_counter_boundaries() {
+        // error_bound: 2 * total would wrap for totals ≥ 2^63.
+        let big = with_total(u64::MAX - 1);
+        assert_eq!(big.error_bound(), u64::MAX.div_ceil(8));
+        // push and merge saturate instead of wrapping.
+        let mut s = with_total(u64::MAX - 1);
+        s.push(1.0);
+        s.push(1.0);
+        assert_eq!(s.count(), u64::MAX);
+        let mut m = with_total(u64::MAX - 1);
+        m.merge(&big);
+        assert_eq!(m.count(), u64::MAX);
+        assert_eq!(
+            m.estimate(1.0),
+            u64::MAX,
+            "matrix add saturated, not wrapped"
+        );
+    }
+
+    #[test]
     fn serde_roundtrip_preserves_state() {
         let s = sketch_of((0..60).map(|i| (i % 11) as f64 - 5.0));
         let json = serde_json::to_string(&s).unwrap();
         let back: HeavyHitters = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn serde_rejects_noncanonical_candidates() {
+        let s = sketch_of([1.0, 2.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        // Smuggle the sentinel in as a candidate.
+        let bad = json.replace(
+            "\"candidates\":[",
+            &format!("\"candidates\":[{},", u64::MAX),
+        );
+        assert!(serde_json::from_str::<HeavyHitters>(&bad).is_err());
     }
 
     #[test]
@@ -406,8 +824,16 @@ mod tests {
         bad[1] = 0;
         assert!(HeavyHitters::flat_decode(&mut WordReader::new(&bad)).is_err());
         // More candidates than the hysteresis ceiling is rejected.
-        let mut bad = words;
+        let mut bad = words.clone();
         bad[4] = 1000;
+        assert!(HeavyHitters::flat_decode(&mut WordReader::new(&bad)).is_err());
+        // Unknown flag bits are rejected.
+        let mut bad = words.clone();
+        bad[5] = 2;
+        assert!(HeavyHitters::flat_decode(&mut WordReader::new(&bad)).is_err());
+        // A non-canonical candidate (the table sentinel) is rejected.
+        let mut bad = words;
+        *bad.last_mut().unwrap() = u64::MAX;
         assert!(HeavyHitters::flat_decode(&mut WordReader::new(&bad)).is_err());
     }
 }

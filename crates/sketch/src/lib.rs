@@ -29,9 +29,19 @@
 //! Wire form is deterministic: every sketch serializes its buckets and
 //! registers in a canonical sorted order, so equal states produce equal
 //! bytes — the property the cluster's bit-for-bit equivalence tests lean on.
+//!
+//! Two fold entry points serve the scan kernel's hot path: [`FoldCtx`]
+//! prepares each value once (hash, count-min columns, quantile bucket key)
+//! so folding it into many groups skips the per-group recomputation, and
+//! [`UddSketch::add_packed`] applies batched per-bucket counts in one step.
+//! Merges come in two flavors: panicking `merge` for locally-built state
+//! and fallible `try_merge` (returning [`MergeError`]) for partials that
+//! arrived over the wire from a possibly misconfigured peer.
 
 mod bundle;
 mod distinct;
+mod error;
+mod fold;
 mod hash;
 mod heavy;
 mod quantile;
@@ -39,6 +49,8 @@ mod spec;
 
 pub use bundle::AttrSketches;
 pub use distinct::{DistinctEstimate, DistinctSketch};
-pub use heavy::{HeavyHitters, TopKEntry};
+pub use error::MergeError;
+pub use fold::{FoldCtx, PreparedValue};
+pub use heavy::{HeavyHitters, TopKEntry, TopKResult};
 pub use quantile::{QuantileEstimate, UddSketch};
-pub use spec::SketchSpec;
+pub use spec::{SketchFoldMode, SketchSpec};

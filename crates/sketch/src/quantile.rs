@@ -25,6 +25,7 @@
 //! walks — so the table canonicalizes to sorted `(index, count)` pairs
 //! there, keeping the wire form and equality bit-deterministic.
 
+use crate::error::MergeError;
 use crate::hash::splitmix64;
 use serde::{Deserialize, Serialize};
 use stash_flat::{FlatError, WordReader, WordWriter};
@@ -78,6 +79,9 @@ impl BucketMap {
     }
 
     /// Add `delta` (> 0) to `key`'s count, inserting the bucket if absent.
+    /// Counts saturate instead of wrapping: long-lived rollups can push a
+    /// bucket past `u64::MAX`, and a wrapped count of 0 would corrupt the
+    /// occupancy encoding.
     pub(crate) fn add(&mut self, key: i64, delta: u64) {
         debug_assert!(delta > 0);
         // Keep load at or below 7/8 so probes stay short.
@@ -89,7 +93,7 @@ impl BucketMap {
             self.keys[slot] = key;
             self.len += 1;
         }
-        self.counts[slot] += delta;
+        self.counts[slot] = self.counts[slot].saturating_add(delta);
     }
 
     fn grow(&mut self) {
@@ -121,9 +125,9 @@ impl BucketMap {
         pairs
     }
 
-    /// Sum of all counts.
+    /// Sum of all counts (saturating).
     pub(crate) fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().fold(0u64, |a, &c| a.saturating_add(c))
     }
 
     /// Table capacity in slots, for memory accounting.
@@ -178,8 +182,33 @@ impl PartialEq for UddSketch {
 /// Integer ceil-division for a positive divisor, exact for all signs.
 #[inline]
 fn ceil_div(a: i64, b: i64) -> i64 {
-    debug_assert!(b > 0);
-    (a + b - 1).div_euclid(b)
+    // Every caller passes a positive power of two (`1 << compactions`,
+    // merge shifts, `2` during compaction), so Euclidean division is an
+    // arithmetic shift — no hardware divide in the per-bucket hot path.
+    debug_assert!(b > 0 && (b as u64).is_power_of_two());
+    (a + b - 1) >> b.trailing_zeros()
+}
+
+/// Pack a value's *level-0* bucket assignment into one `i64` key, for
+/// batched folds ([`UddSketch::add_packed`]): `0` for the zero/NaN bucket,
+/// otherwise `(base_index << 2) | side` with `side = 0b01` for positive and
+/// `0b11` for negative values. The shift is wrapping, so packing stays
+/// panic-free for absurd α (which saturates `base_index`); it is injective
+/// for `|base_index| < 2⁶¹`, far beyond any index a finite `f64` magnitude
+/// can produce at a sane α.
+///
+/// `ln_gamma0` must be `((1 + α)/(1 − α)).ln()` — the exact expression
+/// `UddSketch` evaluates — so the packed index is bit-identical to what
+/// [`UddSketch::push`] would compute.
+#[inline]
+pub(crate) fn packed_key(ln_gamma0: f64, value: f64) -> i64 {
+    if value == 0.0 || value.is_nan() {
+        return 0;
+    }
+    let magnitude = value.abs();
+    let base = (magnitude.ln() / ln_gamma0).ceil() as i64;
+    let side = if value > 0.0 { 0b01 } else { 0b11 };
+    base.wrapping_shl(2) | side
 }
 
 impl UddSketch {
@@ -235,7 +264,7 @@ impl UddSketch {
         if value == 0.0 || value.is_nan() {
             // NaNs carry no orderable information; count them with zero so
             // totals still reconcile with the exact summaries.
-            self.zero_count += 1;
+            self.zero_count = self.zero_count.saturating_add(1);
         } else if value > 0.0 {
             let i = self.index(value);
             self.pos.add(i, 1);
@@ -246,16 +275,48 @@ impl UddSketch {
         self.compact_to_budget();
     }
 
+    /// Fold `count` observations that share one packed level-0 bucket key
+    /// (from `packed_key` via
+    /// [`FoldCtx::prepare`](crate::FoldCtx::prepare)) in one step —
+    /// bit-identical to `count` repeated [`push`](Self::push) calls of any
+    /// value in that bucket, because the sketch's state is a pure function
+    /// of the inserted (bucket, count) multiset.
+    pub fn add_packed(&mut self, key: i64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if key == 0 {
+            self.zero_count = self.zero_count.saturating_add(count);
+        } else {
+            // Arithmetic shift recovers the signed level-0 index.
+            let base = key >> 2;
+            let i = ceil_div(base, 1i64 << self.compactions.min(62));
+            if key & 0b10 == 0 {
+                self.pos.add(i, count);
+            } else {
+                self.neg.add(i, count);
+            }
+        }
+        self.compact_to_budget();
+    }
+
+    /// Refuse to merge differently-configured sketches (see
+    /// [`try_merge`](Self::try_merge)).
+    pub(crate) fn check_config(&self, other: &UddSketch) -> Result<(), MergeError> {
+        if self.alpha == other.alpha && self.max_buckets == other.max_buckets {
+            Ok(())
+        } else {
+            Err(MergeError::ConfigMismatch { sketch: "quantile" })
+        }
+    }
+
     /// Merge another sketch into this one. Commutative and associative with
     /// bit-identical results (canonical compaction level, see module docs).
-    ///
-    /// # Panics
-    /// Panics if the two sketches were configured differently.
-    pub fn merge(&mut self, other: &UddSketch) {
-        assert!(
-            self.alpha == other.alpha && self.max_buckets == other.max_buckets,
-            "sketch config mismatch in UddSketch::merge"
-        );
+    /// On a configuration mismatch — reachable with wire-delivered partials
+    /// from a misconfigured peer — returns an error and leaves `self`
+    /// untouched.
+    pub fn try_merge(&mut self, other: &UddSketch) -> Result<(), MergeError> {
+        self.check_config(other)?;
         while self.compactions < other.compactions {
             self.compact();
         }
@@ -266,8 +327,21 @@ impl UddSketch {
         for (i, c) in other.pos.iter() {
             self.pos.add(ceil_div(i, shift), c);
         }
-        self.zero_count += other.zero_count;
+        self.zero_count = self.zero_count.saturating_add(other.zero_count);
         self.compact_to_budget();
+        Ok(())
+    }
+
+    /// Merge another sketch into this one.
+    ///
+    /// # Panics
+    /// Panics if the two sketches were configured differently; use
+    /// [`try_merge`](Self::try_merge) when the other side arrived over the
+    /// wire.
+    pub fn merge(&mut self, other: &UddSketch) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e} (UddSketch::merge)");
+        }
     }
 
     /// One compaction step: γ ← γ², bucket `i` → `⌈i/2⌉`.
@@ -290,9 +364,11 @@ impl UddSketch {
         }
     }
 
-    /// Total observations folded in.
+    /// Total observations folded in (saturating).
     pub fn count(&self) -> u64 {
-        self.zero_count + self.neg.total() + self.pos.total()
+        self.zero_count
+            .saturating_add(self.neg.total())
+            .saturating_add(self.pos.total())
     }
 
     #[inline]
@@ -585,6 +661,64 @@ mod tests {
     fn merge_rejects_config_mismatch() {
         let mut a = UddSketch::new(0.01, 64);
         a.merge(&UddSketch::new(0.02, 64));
+    }
+
+    #[test]
+    fn try_merge_errors_without_mutating() {
+        let mut a = sketch_of(&[1.0, -2.0, 0.0]);
+        let before = a.clone();
+        let err = a.try_merge(&UddSketch::new(0.02, 64)).unwrap_err();
+        assert_eq!(err, MergeError::ConfigMismatch { sketch: "quantile" });
+        assert_eq!(a, before, "failed merge must leave the receiver intact");
+        assert!(a.try_merge(&sketch_of(&[3.0])).is_ok());
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn add_packed_matches_push() {
+        // Batched (key, count) folds must land bit-identically to repeated
+        // pushes, including across compactions and for zero/NaN.
+        let values = [0.25, -3.5, 0.0, f64::NAN, 1e9, 1e-9, 7.0, 7.0, -0.0];
+        let mut pushed = UddSketch::new(0.01, 8);
+        let mut batched = UddSketch::new(0.01, 8);
+        let ln_gamma0 = pushed.ln_gamma0();
+        let mut tally: Vec<(i64, u64)> = Vec::new();
+        for &v in &values {
+            pushed.push(v);
+            let key = packed_key(ln_gamma0, v);
+            match tally.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, c)) => *c += 1,
+                None => tally.push((key, 1)),
+            }
+        }
+        for (key, count) in tally {
+            batched.add_packed(key, count);
+        }
+        assert_eq!(batched, pushed);
+        assert_eq!(batched.count(), pushed.count());
+    }
+
+    #[test]
+    fn counts_saturate_at_boundaries() {
+        // Drive zero_count and a bucket count to the boundary through the
+        // wire decoder, then push past it: counts must pin, not wrap.
+        let s = sketch_of(&[0.0, 5.0]);
+        let mut w = WordWriter::new();
+        s.flat_encode(&mut w);
+        let mut words = w.into_words();
+        words[3] = u64::MAX - 1; // zero_count
+        *words.last_mut().unwrap() = u64::MAX - 1; // the 5.0 bucket
+        let mut big = UddSketch::flat_decode(&mut WordReader::new(&words)).unwrap();
+        big.push(0.0);
+        big.push(0.0);
+        big.push(5.0);
+        big.push(5.0);
+        assert_eq!(big.zero_count, u64::MAX);
+        assert_eq!(big.pos.total(), u64::MAX);
+        assert_eq!(big.count(), u64::MAX);
+        let mut merged = UddSketch::flat_decode(&mut WordReader::new(&words)).unwrap();
+        merged.merge(&big);
+        assert_eq!(merged.count(), u64::MAX);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Merge laws for the sketch partials — the algebra that makes cached
 //! hierarchical roll-ups of sketch-valued Cells answer like a direct fold
-//! over the raw observations.
+//! over the raw observations — plus oracle tests pinning the heavy-hitter
+//! candidate table against the ordered-set implementation it replaced, and
+//! corruption tests for the wire decoders.
 
 use proptest::prelude::*;
-use stash_sketch::{AttrSketches, DistinctSketch, HeavyHitters, SketchSpec, UddSketch};
+use proptest::test_runner::TestCaseError;
+use stash_flat::{WordReader, WordWriter};
+use stash_sketch::{AttrSketches, DistinctSketch, FoldCtx, HeavyHitters, SketchSpec, UddSketch};
 
 /// Unbounded-precision values: exercise the log-bucket and hash paths.
 fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -46,6 +50,140 @@ fn bundle_of(values: &[f64]) -> AttrSketches {
         s.push(v);
     }
     s
+}
+
+/// The `BTreeSet`-backed heavy-hitter implementation this PR replaced,
+/// reimplemented verbatim as the oracle for the open-addressed candidate
+/// table: same hashes, same 2×-cap trim hysteresis, same largest-
+/// `(estimate, bits)` survivor rule. Its canonical state (sorted
+/// candidates, matrix, total) must match `HeavyHitters` bit-for-bit.
+mod oracle {
+    use std::collections::BTreeSet;
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn canonical_bits(v: f64) -> u64 {
+        if v == 0.0 {
+            0.0f64.to_bits()
+        } else if v.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            v.to_bits()
+        }
+    }
+
+    pub struct BTreeHh {
+        width: usize,
+        depth: usize,
+        limit: usize,
+        pub total: u64,
+        pub rows: Vec<u64>,
+        candidates: BTreeSet<u64>,
+    }
+
+    impl BTreeHh {
+        pub fn new(width: usize, depth: usize, limit: usize) -> Self {
+            BTreeHh {
+                width,
+                depth,
+                limit,
+                total: 0,
+                rows: vec![0; width * depth],
+                candidates: BTreeSet::new(),
+            }
+        }
+
+        fn column(&self, bits: u64, d: usize) -> usize {
+            (splitmix64(bits ^ (0xC0FF_EE00 + d as u64)) % self.width as u64) as usize
+        }
+
+        pub fn push(&mut self, value: f64) {
+            let bits = canonical_bits(value);
+            self.total += 1;
+            for d in 0..self.depth {
+                let col = self.column(bits, d);
+                self.rows[d * self.width + col] += 1;
+            }
+            self.candidates.insert(bits);
+            self.trim();
+        }
+
+        pub fn merge(&mut self, other: &BTreeHh) {
+            self.total += other.total;
+            for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
+                *a += b;
+            }
+            for &bits in &other.candidates {
+                self.candidates.insert(bits);
+            }
+            self.trim();
+        }
+
+        fn trim(&mut self) {
+            if self.candidates.len() <= 2 * self.limit {
+                return;
+            }
+            let mut ranked: Vec<(u64, u64)> = self
+                .candidates
+                .iter()
+                .map(|&bits| (self.estimate_bits(bits), bits))
+                .collect();
+            ranked.sort_unstable();
+            self.candidates = ranked[ranked.len() - self.limit..]
+                .iter()
+                .map(|&(_, bits)| bits)
+                .collect();
+        }
+
+        fn estimate_bits(&self, bits: u64) -> u64 {
+            (0..self.depth)
+                .map(|d| self.rows[d * self.width + self.column(bits, d)])
+                .min()
+                .unwrap_or(0)
+        }
+
+        pub fn estimate(&self, value: f64) -> u64 {
+            self.estimate_bits(canonical_bits(value))
+        }
+
+        /// Sorted candidate bits — the canonical form the table must match.
+        pub fn sorted_candidates(&self) -> Vec<u64> {
+            self.candidates.iter().copied().collect()
+        }
+    }
+}
+
+/// Build matched (new, oracle) heavy-hitter folds with a cap small enough
+/// that continuous values trim constantly.
+fn hh_pair(values: &[f64]) -> (HeavyHitters, oracle::BTreeHh) {
+    let mut new = HeavyHitters::new(32, 3, 8);
+    let mut old = oracle::BTreeHh::new(32, 3, 8);
+    for &v in values {
+        new.push(v);
+        old.push(v);
+    }
+    (new, old)
+}
+
+/// Assert the new table's canonical state matches the oracle bit-for-bit,
+/// via the deterministic flat wire form (header + matrix + sorted
+/// candidates).
+fn assert_matches_oracle(new: &HeavyHitters, old: &oracle::BTreeHh) -> Result<(), TestCaseError> {
+    let mut w = WordWriter::new();
+    new.flat_encode(&mut w);
+    let words = w.into_words();
+    prop_assert_eq!(words[3], old.total, "total");
+    let n_cand = words[4] as usize;
+    let rows_end = 6 + old.rows.len();
+    prop_assert_eq!(&words[6..rows_end], &old.rows[..], "count-min matrix");
+    let cands = &words[rows_end..rows_end + n_cand];
+    prop_assert_eq!(cands, &old.sorted_candidates()[..], "candidate set");
+    Ok(())
 }
 
 proptest! {
@@ -158,5 +296,101 @@ proptest! {
         let mut merged = bundle_of(lo);
         merged.merge(&bundle_of(hi));
         prop_assert_eq!(merged, bundle_of(&values));
+    }
+
+    // ---- open-addressed candidate table vs. the BTreeSet oracle ----
+
+    #[test]
+    fn hh_table_matches_btreeset_oracle_on_fold(values in arb_values(200)) {
+        // Continuous values + cap 8: eviction fires constantly, exercising
+        // the trim path where the two implementations could diverge.
+        let (new, old) = hh_pair(&values);
+        assert_matches_oracle(&new, &old)?;
+        for &v in values.iter().take(10) {
+            prop_assert_eq!(new.estimate(v), old.estimate(v));
+        }
+    }
+
+    #[test]
+    fn hh_table_matches_btreeset_oracle_on_merge(
+        values in arb_values(200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let (lo, hi) = values.split_at(split);
+        let (mut new, mut old) = hh_pair(lo);
+        let (new_hi, old_hi) = hh_pair(hi);
+        new.merge(&new_hi);
+        old.merge(&old_hi);
+        assert_matches_oracle(&new, &old)?;
+    }
+
+    #[test]
+    fn hh_table_matches_btreeset_oracle_on_quantized_merge_tree(
+        a in arb_quantized(80), b in arb_quantized(80), c in arb_quantized(80),
+    ) {
+        // Same shapes as the merge-law tests above, checked against the
+        // oracle instead of against another fold of the new code.
+        let (mut new, mut old) = hh_pair(&a);
+        let (new_b, old_b) = hh_pair(&b);
+        let (mut new_bc, mut old_bc) = hh_pair(&c);
+        new_bc.merge(&new_b);
+        old_bc.merge(&old_b);
+        new.merge(&new_bc);
+        old.merge(&old_bc);
+        assert_matches_oracle(&new, &old)?;
+    }
+
+    // ---- prepared/batched folds are bit-identical to plain pushes ----
+
+    #[test]
+    fn prepared_fold_matches_push_fold(values in arb_values(150)) {
+        let spec = SketchSpec::standard();
+        let ctx = FoldCtx::new(&spec);
+        let mut pushed = AttrSketches::new(&spec);
+        let mut prepared = AttrSketches::new(&spec);
+        let mut tally: Vec<(i64, u64)> = Vec::new();
+        for &v in &values {
+            pushed.push(v);
+            let pv = ctx.prepare(v);
+            prepared.push_prepared(&pv);
+            match tally.iter_mut().find(|(k, _)| *k == pv.quantile_key()) {
+                Some((_, c)) => *c += 1,
+                None => tally.push((pv.quantile_key(), 1)),
+            }
+        }
+        for (key, count) in tally {
+            prepared.add_quantile_batch(key, count);
+        }
+        prop_assert_eq!(prepared, pushed);
+    }
+
+    // ---- wire-form corruption never panics ----
+
+    #[test]
+    fn corrupt_flat_bundles_never_panic(
+        values in arb_values(60),
+        cut in 0usize..4096,
+        flip_word in 0usize..4096,
+        flip_bit in 0u32..64,
+    ) {
+        let bundle = bundle_of(&values);
+        let mut w = WordWriter::new();
+        bundle.flat_encode(&mut w);
+        let words = w.into_words();
+        // Truncation at an arbitrary point: must error or succeed, never
+        // panic.
+        let cut = cut.min(words.len());
+        let _ = AttrSketches::flat_decode(&mut WordReader::new(&words[..cut]));
+        // A single bit flip anywhere in the payload: same contract. (A
+        // flip can leave the words decodable — that's fine; the property
+        // is panic-freedom, not detection.)
+        let mut flipped = words.clone();
+        let i = flip_word % flipped.len();
+        flipped[i] ^= 1u64 << flip_bit;
+        let _ = AttrSketches::flat_decode(&mut WordReader::new(&flipped));
+        // The untouched buffer still roundtrips.
+        let back = AttrSketches::flat_decode(&mut WordReader::new(&words)).unwrap();
+        prop_assert_eq!(back, bundle);
     }
 }
