@@ -15,7 +15,9 @@
 //! Each figure prints a console table; `--markdown FILE` additionally
 //! appends GitHub-flavored tables (the format EXPERIMENTS.md embeds).
 
-use stash_bench::{ablation, fault_sweep, fig6, fig7, fig8, ingest, profile, report::Table, Scale};
+use stash_bench::{
+    ablation, fault_sweep, fig6, fig7, fig8, ingest, profile, report::Table, sustained, Scale,
+};
 use std::io::Write;
 
 /// Time both frame-producing routes on one dense block: the streaming flat
@@ -135,8 +137,12 @@ struct Args {
     fault_sweep: bool,
     ingest: bool,
     profile: bool,
-    /// CI-sized run: shrink the workload so `--profile` finishes in
-    /// seconds (no effect on the figure experiments).
+    /// Sustained warm-path load per delivery-shard count (ROADMAP item 1):
+    /// req/s plus p50/p95/p99 from a closed-loop multi-client harness.
+    sustained: bool,
+    /// CI-sized run: shrink the workload so `--profile` and `--sustained`
+    /// finish in seconds (no effect on the figure experiments), and turn
+    /// `--sustained` into a sharded-vs-single-shard regression gate.
     smoke: bool,
     scale: Scale,
     markdown: Option<String>,
@@ -150,6 +156,7 @@ fn parse_args() -> Args {
         fault_sweep: false,
         ingest: false,
         profile: false,
+        sustained: false,
         smoke: false,
         scale: Scale::paper(),
         markdown: None,
@@ -162,6 +169,7 @@ fn parse_args() -> Args {
             "--fault-sweep" => args.fault_sweep = true,
             "--ingest" => args.ingest = true,
             "--profile" => args.profile = true,
+            "--sustained" => args.sustained = true,
             "--smoke" => args.smoke = true,
             "--fig" => {
                 let f = it.next().expect("--fig needs a value (e.g. 6a)");
@@ -177,7 +185,7 @@ fn parse_args() -> Args {
             "--markdown" => args.markdown = Some(it.next().expect("--markdown needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--all] [--ablations] [--fault-sweep] [--ingest] [--profile] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
+                    "usage: figures [--all] [--ablations] [--fault-sweep] [--ingest] [--profile] [--sustained] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
                 );
                 std::process::exit(0);
             }
@@ -190,6 +198,7 @@ fn parse_args() -> Args {
         && !args.fault_sweep
         && !args.ingest
         && !args.profile
+        && !args.sustained
     {
         args.all = true;
     }
@@ -225,6 +234,9 @@ fn main() {
     }
     if wants("6b") {
         emit(fig6::throughput::table(&fig6::throughput::run(scale)));
+        // PR 9 core-scaling legs: the same mix against STASH alone per
+        // delivery-shard count — does req/s scale with cores?
+        emit(fig6::core_scaling::table(&fig6::core_scaling::run(scale)));
     }
     if wants("6c") {
         emit(fig6::maintenance::table(&fig6::maintenance::run(scale)));
@@ -284,6 +296,56 @@ fn main() {
 
     if args.ingest {
         emit(ingest::table(&ingest::run(scale)));
+    }
+
+    if args.sustained {
+        // Smoke: a self-calibrating sharded-vs-single shootout (best of 3
+        // per leg irons out scheduler noise on small CI hosts); full run:
+        // one 10⁵-request pass per shard leg.
+        let (requests, distinct, tries) = if args.smoke {
+            (2_000, 32, 3)
+        } else {
+            (100_000, 256, 1)
+        };
+        let legs = if args.smoke {
+            let top = *sustained::shard_legs().last().expect("at least one leg");
+            if top > 1 {
+                vec![1, top]
+            } else {
+                vec![1]
+            }
+        } else {
+            sustained::shard_legs()
+        };
+        let rows: Vec<sustained::Row> = legs
+            .into_iter()
+            .map(|shards| {
+                (0..tries)
+                    .map(|_| sustained::run_leg(scale, shards, requests, distinct))
+                    .max_by(|a, b| a.rps.total_cmp(&b.rps))
+                    .expect("at least one try")
+            })
+            .collect();
+        if args.smoke {
+            let single = rows.first().expect("single-shard leg");
+            let sharded = rows.last().expect("sharded leg");
+            if sharded.shards > single.shards {
+                assert!(
+                    sharded.rps >= single.rps,
+                    "sharded fabric regressed: {} shards sustained {:.0} req/s, \
+                     single shard {:.0} req/s on this host",
+                    sharded.shards,
+                    sharded.rps,
+                    single.rps
+                );
+            }
+            eprintln!(
+                "sustained smoke gate: {} shards {:.0} req/s >= 1 shard {:.0} req/s \
+                 (best of {tries}, {requests} requests/leg)",
+                sharded.shards, sharded.rps, single.rps
+            );
+        }
+        emit(sustained::table(&rows));
     }
 
     if args.profile {

@@ -16,6 +16,7 @@
 //! | [`ablation`] | DESIGN.md §8 | dispersion, derivation, helper selection, reroute sweep |
 //! | [`fault_sweep`] | — (robustness) | throughput under uniform message loss, 100% success |
 //! | [`ingest`] | — (DESIGN.md §13) | mid-stream query latency: delta-patch vs invalidate-all |
+//! | [`sustained`] | — (DESIGN.md §16) | 10⁵-query closed-loop warm load: req/s + p50/p95/p99 vs delivery shards |
 //! | [`profile`] | — (observability) | per-stage p50/p95/p99 latency breakdown from query traces |
 //!
 //! Experiments run at a configurable [`Scale`]; `Scale::small()` keeps
@@ -33,5 +34,6 @@ pub mod harness;
 pub mod ingest;
 pub mod profile;
 pub mod report;
+pub mod sustained;
 
 pub use harness::Scale;

@@ -1,0 +1,138 @@
+//! PR 9 regression scenarios: the sharded delivery fabric and the batched
+//! scatter/gather must be *invisible* to correctness.
+//!
+//! Two claims are pinned here (the router-level twin of the first —
+//! identical per-link drop/duplicate/delay schedules — lives in
+//! `stash-net`'s `fault_schedule_is_identical_across_shard_counts`):
+//!
+//! 1. **Shard-count independence** — the same `FaultPlan` seed produces
+//!    identical query answers whether the fabric runs 1 delivery shard or
+//!    K. Per-link fault counters live on the destination's one owning
+//!    shard, so the deterministic schedule cannot depend on K.
+//! 2. **Batch equivalence** — batched scatter (`Msg::SubQueryBatch`, one
+//!    envelope per owner) is bit-for-bit equivalent to the per-fragment
+//!    ablation (one `Msg::SubQuery` per fragment), fault-free and lossy.
+
+use stash_chaos::{assert_results_match, chaos_config, grid_queries, ground_truth, run_workload};
+use stash_cluster::{Mode, SimCluster};
+use stash_net::FaultPlan;
+use std::time::Duration;
+
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .drop_all(0.05)
+        .duplicate_all(0.02)
+        .delay_all(Duration::from_millis(1), 0.10)
+}
+
+/// Run the standard grid workload under a seeded lossy plan with a fixed
+/// shard count; return the per-query answers (all must succeed).
+fn run_sharded(shards: usize, seed: u64) -> Vec<stash_model::QueryResult> {
+    let mut config = chaos_config(Mode::Stash);
+    config.net.delivery_shards = shards;
+    config.sub_rpc_timeout = Duration::from_millis(80);
+    config.retry_backoff = Duration::from_millis(2);
+    config.client_timeout = Duration::from_millis(1000);
+    let queries = grid_queries(5); // 100 interactions
+    let cluster = SimCluster::new(config);
+    assert_eq!(cluster.router().n_shards(), shards);
+    cluster.router().install_faults(lossy_plan(seed));
+    let client = cluster.client();
+    let results: Vec<_> = run_workload(&client, &queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("query {i} failed with {shards} shards: {e:?}")))
+        .collect();
+    cluster.shutdown();
+    results
+}
+
+/// Same seed, 1 vs 4 delivery shards: every answer is bit-for-bit the
+/// fault-free answer in both runs — sharding the fabric changed nothing a
+/// client can see.
+#[test]
+fn same_seed_same_answers_with_one_vs_many_shards() {
+    let mut config = chaos_config(Mode::Stash);
+    config.client_timeout = Duration::from_millis(1000);
+    let queries = grid_queries(5);
+    let truth = ground_truth(config, &queries);
+
+    let single = run_sharded(1, 0xC0FFEE);
+    let sharded = run_sharded(4, 0xC0FFEE);
+    assert_eq!(single.len(), sharded.len());
+    for (i, ((a, b), want)) in single.iter().zip(&sharded).zip(&truth).enumerate() {
+        assert_results_match(a, want, &format!("query {i}, 1 shard vs truth"));
+        assert_results_match(b, want, &format!("query {i}, 4 shards vs truth"));
+        assert_results_match(a, b, &format!("query {i}, 1 vs 4 shards"));
+    }
+}
+
+/// Batched scatter/gather vs the per-fragment ablation on a clean wire:
+/// tiny fragments force real multi-fragment batches, and every answer must
+/// be bit-for-bit identical between the two modes.
+#[test]
+fn batched_scatter_is_bit_for_bit_equivalent_to_per_fragment() {
+    let run = |batch: bool| {
+        let mut config = chaos_config(Mode::Stash);
+        config.client_timeout = Duration::from_millis(1000);
+        // Force multi-fragment owner shares even on small viewports.
+        config.scatter_fragment_keys = 4;
+        config.batch_scatter = batch;
+        let queries = grid_queries(5);
+        let cluster = SimCluster::new(config);
+        let client = cluster.client();
+        let results: Vec<_> = run_workload(&client, &queries)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|e| panic!("query {i} failed (batch={batch}): {e:?}")))
+            .collect();
+        let envelopes = cluster.router().stats().messages_sent();
+        cluster.shutdown();
+        (results, envelopes)
+    };
+    let (batched, batched_envelopes) = run(true);
+    let (single, single_envelopes) = run(false);
+    assert_eq!(batched.len(), single.len());
+    for (i, (a, b)) in batched.iter().zip(&single).enumerate() {
+        assert_results_match(a, b, &format!("query {i}, batched vs per-fragment"));
+    }
+    // The whole point of batching: same answers, strictly fewer envelopes.
+    assert!(
+        batched_envelopes < single_envelopes,
+        "batching did not reduce wire trips: batched {batched_envelopes} vs single {single_envelopes}"
+    );
+}
+
+/// Batch equivalence under the lossy-links acceptance bar: with tiny
+/// fragments, per-fragment failures inside a batch reply must flow through
+/// the straggler/retry path and still produce exact answers.
+#[test]
+fn batched_scatter_survives_drops_exactly() {
+    let mut config = chaos_config(Mode::Stash);
+    config.sub_rpc_timeout = Duration::from_millis(80);
+    config.retry_backoff = Duration::from_millis(2);
+    config.client_timeout = Duration::from_millis(1000);
+    config.scatter_fragment_keys = 4;
+    config.batch_scatter = true;
+    let queries = grid_queries(5);
+    let truth = ground_truth(config.clone(), &queries);
+
+    let cluster = SimCluster::new(config);
+    cluster.router().install_faults(lossy_plan(0xBADC0DE));
+    let client = cluster.client();
+    for (i, (got, want)) in run_workload(&client, &queries)
+        .iter()
+        .zip(&truth)
+        .enumerate()
+    {
+        let r = got
+            .as_ref()
+            .unwrap_or_else(|e| panic!("batched query {i} failed under loss: {e:?}"));
+        assert_results_match(r, want, &format!("batched lossy query {i}"));
+    }
+    assert!(
+        cluster.router().stats().messages_dropped() > 0,
+        "the fault plan never actually dropped anything"
+    );
+    cluster.shutdown();
+}

@@ -21,7 +21,7 @@
 use crate::protocol::{ClusterError, Msg};
 use stash_model::{AggQuery, QueryResult};
 use stash_net::rpc::RpcError;
-use stash_net::{Envelope, NodeId, Router, RpcTable};
+use stash_net::{NodeId, Router, RpcTable};
 use stash_obs::{MetricsRegistry, QueryTrace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -276,7 +276,7 @@ impl TracedQueryCall<'_> {
 /// Gateway pump: drains the client endpoint and completes waiting queries
 /// and ingest acks. Runs on its own thread until shutdown.
 pub(crate) fn run_gateway(
-    inbox: crossbeam::channel::Receiver<Envelope<Msg>>,
+    inbox: stash_net::Inbox<Msg>,
     rpc: Arc<RpcTable<ClientReply>>,
     ingest_rpc: Arc<RpcTable<bool>>,
     obs: Arc<MetricsRegistry>,

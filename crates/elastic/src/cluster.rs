@@ -148,7 +148,7 @@ impl EsNode {
         self.router.send(self.id, dst, msg, bytes);
     }
 
-    fn run_main(self: &Arc<Self>, inbox: Receiver<Envelope<EsMsg>>) {
+    fn run_main(self: &Arc<Self>, inbox: stash_net::Inbox<EsMsg>) {
         while let Ok(env) = inbox.recv() {
             match env.payload {
                 EsMsg::Shutdown => {

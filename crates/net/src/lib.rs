@@ -30,6 +30,6 @@ pub mod rpc;
 pub mod stats;
 
 pub use fault::{FaultDecision, FaultPlan, LinkFault};
-pub use router::{Endpoint, Envelope, NetConfig, NodeId, Router};
+pub use router::{Endpoint, Envelope, Inbox, NetConfig, NodeId, Router};
 pub use rpc::RpcTable;
 pub use stats::NetStats;

@@ -1,24 +1,36 @@
-//! Delay-queue message router: the simulated wire.
+//! Sharded delay-queue message router: the simulated wire.
 //!
 //! [`Router::send`] stamps each message with a delivery deadline computed
 //! from the [`NetConfig`] cost model and parks it in a priority queue. A
-//! dedicated router thread delivers messages to the destination node's
+//! dedicated delivery thread hands messages to the destination node's
 //! channel when their deadline passes. Neither sender nor receiver blocks
 //! for wire time — latency is genuinely *in flight*, so a node's measured
 //! service time reflects only its own work and queueing, as on real
 //! hardware.
 //!
+//! Since PR 9 the fabric is **sharded**: delivery state is split into K
+//! shards owned by destination-node hash (`dst % K`), mymq-style — each
+//! shard owns its own delay heap, condvar, sequence counter, per-link fault
+//! counters, and delivery thread. Senders to different destinations never
+//! contend on a lock, and delivery work genuinely runs on multiple cores.
+//! Because a link `(src, dst)` lives on exactly one shard (its destination's),
+//! the per-link fault schedule is bit-for-bit the single-shard schedule.
+//! Zero-delay messages (a free cost model with no fault delay) bypass the
+//! heap entirely and deliver inline on the sender's thread.
+//!
 //! The fabric doubles as the fault plane: a seeded [`FaultPlan`] can drop,
 //! duplicate, or delay messages per link; partitions sever node sets; and
 //! whole nodes can be crashed and restarted. Faults are injected here — at
 //! the wire — so the node and cluster layers above experience them exactly
-//! as real processes do: as silence, duplication, and dead peers.
+//! as real processes do: as silence, duplication, and dead peers. When no
+//! plan, partition, or crash is active, a relaxed "armed" flag lets the
+//! send path skip every fault-plane lock.
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvError, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -46,6 +58,11 @@ pub struct NetConfig {
     /// Messages a node sends to itself skip the wire when true (zero-hop
     /// local dispatch, like a same-process function call).
     pub loopback_is_free: bool,
+    /// Delivery shards of the fabric — independent delay heaps + threads,
+    /// owned by destination-node hash. `0` (the default) sizes from the
+    /// host's available parallelism, clamped to `[1, 8]` and to the node
+    /// count. `1` reproduces the old single-router-thread fabric exactly.
+    pub delivery_shards: usize,
 }
 
 impl Default for NetConfig {
@@ -56,6 +73,7 @@ impl Default for NetConfig {
             base_latency: Duration::from_micros(150),
             bytes_per_sec: 1.25e9, // ~10 Gb/s
             loopback_is_free: true,
+            delivery_shards: 0,
         }
     }
 }
@@ -71,6 +89,20 @@ impl NetConfig {
             return self.base_latency;
         }
         self.base_latency + Duration::from_secs_f64(secs)
+    }
+
+    /// The shard count `delivery_shards` resolves to on this host for a
+    /// fabric of `n_nodes`.
+    pub fn resolved_shards(&self, n_nodes: usize) -> usize {
+        let k = if self.delivery_shards > 0 {
+            self.delivery_shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        };
+        k.min(n_nodes).max(1)
     }
 }
 
@@ -95,7 +127,8 @@ struct Parked<M> {
 }
 
 // Order by (due, seq) — BinaryHeap is a max-heap, so wrap in Reverse at the
-// usage site. seq breaks ties FIFO.
+// usage site. seq breaks ties FIFO. seq counters are per shard, which is
+// enough: a destination's messages all park on its one owning shard.
 impl<M> PartialEq for Parked<M> {
     fn eq(&self, other: &Self) -> bool {
         self.due == other.due && self.seq == other.seq
@@ -113,14 +146,32 @@ impl<M> Ord for Parked<M> {
     }
 }
 
-struct Shared<M> {
+/// One delivery shard: the delay heap, its wakeup signal, the FIFO tie-break
+/// counter, and the per-link fault counters of every link it owns. All
+/// state a message touches between `send` and delivery lives on exactly one
+/// shard, so shards never take each other's locks.
+struct Shard<M> {
     heap: Mutex<BinaryHeap<Reverse<Parked<M>>>>,
     wakeup: Condvar,
+    seq: AtomicU64,
+    /// Per-link message counters feeding the deterministic fault schedule.
+    /// A link `(src, dst)` is owned by `dst`'s shard, so each counter has
+    /// exactly one home and the schedule matches the unsharded fabric
+    /// bit for bit.
+    link_seq: Mutex<HashMap<(usize, usize), u64>>,
+}
+
+struct Shared<M> {
+    shards: Vec<Shard<M>>,
     shutdown: AtomicBool,
 }
 
 /// Mutable fault-plane state, shared by all router clones.
 struct FaultState {
+    /// Fast-path flag: true iff a plan, partition, or crash is active.
+    /// Relaxed — it only gates *optional* fault bookkeeping, and every
+    /// mutation below rearms it before returning.
+    armed: AtomicBool,
     /// Probabilistic link faults; `None` = clean wire.
     plan: RwLock<Option<FaultPlan>>,
     /// Node → partition-group map; nodes in different groups cannot
@@ -128,8 +179,18 @@ struct FaultState {
     partition: RwLock<Option<Vec<usize>>>,
     /// Crash flags, indexed by node id.
     crashed: RwLock<Vec<bool>>,
-    /// Per-link message counters feeding the deterministic fault schedule.
-    link_seq: Mutex<HashMap<(usize, usize), u64>>,
+}
+
+impl FaultState {
+    /// Recompute `armed` from the authoritative state. Called after every
+    /// fault-plane mutation, while no mutation lock is held long-term —
+    /// the flag is advisory for the send fast path, never authoritative.
+    fn rearm(&self) {
+        let armed = self.plan.read().is_some()
+            || self.partition.read().is_some()
+            || self.crashed.read().iter().any(|&c| c);
+        self.armed.store(armed, Ordering::Relaxed);
+    }
 }
 
 /// The fabric: one per simulated cluster.
@@ -138,12 +199,16 @@ struct FaultState {
 pub struct Router<M: Send + 'static> {
     config: NetConfig,
     n_nodes: usize,
+    n_shards: usize,
     // RwLock so crash/restart can swap a node's inbox sender in place.
     inboxes: Arc<RwLock<Vec<Sender<Envelope<M>>>>>,
+    /// Per-node queued-message counters: bumped at enqueue, decremented at
+    /// dequeue by the [`Inbox`] wrapper. [`Router::inbox_len`] is a plain
+    /// atomic load — no lock on the hotspot-detection path.
+    depths: Arc<Vec<AtomicUsize>>,
     shared: Arc<Shared<M>>,
     faults: Arc<FaultState>,
     stats: Arc<NetStats>,
-    seq: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl<M: Send + 'static> Clone for Router<M> {
@@ -151,11 +216,58 @@ impl<M: Send + 'static> Clone for Router<M> {
         Router {
             config: self.config.clone(),
             n_nodes: self.n_nodes,
+            n_shards: self.n_shards,
             inboxes: Arc::clone(&self.inboxes),
+            depths: Arc::clone(&self.depths),
             shared: Arc::clone(&self.shared),
             faults: Arc::clone(&self.faults),
             stats: Arc::clone(&self.stats),
-            seq: Arc::clone(&self.seq),
+        }
+    }
+}
+
+/// The receiving end of a node's fabric inbox. Wraps the raw channel so
+/// every dequeue maintains the router's per-node depth counter (the
+/// paper's hotspot signal reads it lock-free).
+pub struct Inbox<M> {
+    rx: Receiver<Envelope<M>>,
+    depths: Arc<Vec<AtomicUsize>>,
+    node: usize,
+}
+
+impl<M> Inbox<M> {
+    fn dec(&self) {
+        self.depths[self.node].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Block until a message arrives (or every sender is gone).
+    pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        let env = self.rx.recv()?;
+        self.dec();
+        Ok(env)
+    }
+
+    /// Block until a message arrives, the channel disconnects, or `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvTimeoutError> {
+        let env = self.rx.recv_timeout(timeout)?;
+        self.dec();
+        Ok(env)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Envelope<M>, TryRecvError> {
+        let env = self.rx.try_recv()?;
+        self.dec();
+        Ok(env)
+    }
+}
+
+impl<M> Drop for Inbox<M> {
+    fn drop(&mut self) {
+        // Messages still queued die with the inbox (node teardown): release
+        // their depth so a restarted node starts from an honest zero.
+        while self.rx.try_recv().is_ok() {
+            self.dec();
         }
     }
 }
@@ -164,15 +276,18 @@ impl<M: Send + 'static> Clone for Router<M> {
 /// of its inbox.
 pub struct Endpoint<M> {
     pub id: NodeId,
-    pub inbox: Receiver<Envelope<M>>,
+    pub inbox: Inbox<M>,
 }
 
 impl<M: Send + Clone + 'static> Router<M> {
     /// Build a fabric for `n_nodes` nodes. Returns the router plus one
-    /// [`Endpoint`] per node; the router thread runs until [`Router::shutdown`]
-    /// or until the last router clone is dropped.
+    /// [`Endpoint`] per node; the delivery shard threads run until
+    /// [`Router::shutdown`].
     pub fn new(n_nodes: usize, config: NetConfig) -> (Router<M>, Vec<Endpoint<M>>) {
         assert!(n_nodes > 0, "cluster must have at least one node");
+        let n_shards = config.resolved_shards(n_nodes);
+        let depths: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..n_nodes).map(|_| AtomicUsize::new(0)).collect());
         let mut senders = Vec::with_capacity(n_nodes);
         let mut endpoints = Vec::with_capacity(n_nodes);
         for i in 0..n_nodes {
@@ -180,39 +295,58 @@ impl<M: Send + Clone + 'static> Router<M> {
             senders.push(tx);
             endpoints.push(Endpoint {
                 id: NodeId(i),
-                inbox: rx,
+                inbox: Inbox {
+                    rx,
+                    depths: Arc::clone(&depths),
+                    node: i,
+                },
             });
         }
+        let shards = (0..n_shards)
+            .map(|_| Shard {
+                heap: Mutex::new(BinaryHeap::new()),
+                wakeup: Condvar::new(),
+                seq: AtomicU64::new(0),
+                link_seq: Mutex::new(HashMap::new()),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            heap: Mutex::new(BinaryHeap::new()),
-            wakeup: Condvar::new(),
+            shards,
             shutdown: AtomicBool::new(false),
         });
         let router = Router {
             config,
             n_nodes,
+            n_shards,
             inboxes: Arc::new(RwLock::new(senders)),
-            shared: Arc::clone(&shared),
+            depths,
+            shared,
             faults: Arc::new(FaultState {
+                armed: AtomicBool::new(false),
                 plan: RwLock::new(None),
                 partition: RwLock::new(None),
                 crashed: RwLock::new(vec![false; n_nodes]),
-                link_seq: Mutex::new(HashMap::new()),
             }),
-            stats: Arc::new(NetStats::with_nodes(n_nodes)),
-            seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            stats: Arc::new(NetStats::with_topology(n_nodes, n_shards)),
         };
-        let thread_router = router.clone();
-        std::thread::Builder::new()
-            .name("stash-net-router".into())
-            .spawn(move || thread_router.run_delay_loop())
-            .expect("spawn router thread");
+        for shard_idx in 0..n_shards {
+            let thread_router = router.clone();
+            std::thread::Builder::new()
+                .name(format!("stash-net-router-{shard_idx}"))
+                .spawn(move || thread_router.run_delay_loop(shard_idx))
+                .expect("spawn router shard thread");
+        }
         (router, endpoints)
     }
 
     /// Number of nodes on the fabric.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Number of delivery shards this fabric resolved to.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
     }
 
     /// Fabric-wide counters.
@@ -227,24 +361,58 @@ impl<M: Send + Clone + 'static> Router<M> {
 
     /// Queue depth of a node's inbox — the paper's hotspot detection signal
     /// ("the number of pending requests in its message queue", §VII-B1).
+    /// A relaxed atomic load; safe on any hot path.
     pub fn inbox_len(&self, node: NodeId) -> usize {
-        self.inboxes.read()[node.0].len()
+        self.depths[node.0].load(Ordering::Relaxed)
+    }
+
+    /// Which delivery shard owns messages destined for `dst`.
+    #[inline]
+    fn shard_of(&self, dst: usize) -> usize {
+        dst % self.n_shards
+    }
+
+    /// Enqueue into `dst`'s inbox, maintaining the depth counter. The
+    /// increment happens before the channel send so a receiver can never
+    /// observe the message before the count; on a failed send (crashed or
+    /// stopped endpoint) the increment is rolled back.
+    fn push_inbox(&self, dst: usize, env: Envelope<M>) -> bool {
+        self.depths[dst].fetch_add(1, Ordering::Relaxed);
+        match self.inboxes.read()[dst].send(env) {
+            Ok(()) => true,
+            Err(_) => {
+                self.depths[dst].fetch_sub(1, Ordering::Relaxed);
+                false
+            }
+        }
     }
 
     // ---- Fault plane --------------------------------------------------------
+
+    /// Is the fault plane active (plan, partition, or crash)? When false,
+    /// [`Router::send`] takes no fault-plane lock at all.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.armed.load(Ordering::Relaxed)
+    }
 
     /// Install (or replace) the probabilistic fault plan. Per-link message
     /// counters reset, so the plan's fault schedule starts from its origin —
     /// installing the same plan twice yields the same schedule.
     pub fn install_faults(&self, plan: FaultPlan) {
         *self.faults.plan.write() = Some(plan);
-        self.faults.link_seq.lock().clear();
+        for shard in &self.shared.shards {
+            shard.link_seq.lock().clear();
+        }
+        self.faults.rearm();
     }
 
     /// Remove the fault plan; the wire is clean again.
     pub fn clear_faults(&self) {
         *self.faults.plan.write() = None;
-        self.faults.link_seq.lock().clear();
+        for shard in &self.shared.shards {
+            shard.link_seq.lock().clear();
+        }
+        self.faults.rearm();
     }
 
     /// Sever the fabric into groups: messages between nodes of different
@@ -261,11 +429,13 @@ impl<M: Send + Clone + 'static> Router<M> {
             }
         }
         *self.faults.partition.write() = Some(map);
+        self.faults.rearm();
     }
 
     /// Remove the partition; all links work again.
     pub fn heal_partition(&self) {
         *self.faults.partition.write() = None;
+        self.faults.rearm();
     }
 
     /// Crash a node: its inbox is torn off the fabric, so everything in
@@ -274,16 +444,19 @@ impl<M: Send + Clone + 'static> Router<M> {
     /// Idempotent.
     pub fn crash_node(&self, node: NodeId) {
         assert!(node.0 < self.n_nodes, "unknown node {node}");
-        let mut crashed = self.faults.crashed.write();
-        if crashed[node.0] {
-            return;
+        {
+            let mut crashed = self.faults.crashed.write();
+            if crashed[node.0] {
+                return;
+            }
+            crashed[node.0] = true;
+            // Replace the inbox sender with one whose receiver is already
+            // gone: parked deliveries fail (counted as drops), and dropping
+            // the old sender disconnects the dead node's receive loop.
+            let (dead_tx, _) = channel::unbounded();
+            self.inboxes.write()[node.0] = dead_tx;
         }
-        crashed[node.0] = true;
-        // Replace the inbox sender with one whose receiver is already gone:
-        // parked deliveries fail (counted as drops), and dropping the old
-        // sender disconnects the dead node's receive loop.
-        let (dead_tx, _) = channel::unbounded();
-        self.inboxes.write()[node.0] = dead_tx;
+        self.faults.rearm();
     }
 
     /// Restart a crashed node with a fresh, empty inbox. The caller wires
@@ -291,20 +464,27 @@ impl<M: Send + Clone + 'static> Router<M> {
     /// process survives.
     pub fn restart_node(&self, node: NodeId) -> Endpoint<M> {
         assert!(node.0 < self.n_nodes, "unknown node {node}");
-        let mut crashed = self.faults.crashed.write();
-        assert!(crashed[node.0], "restart of live node {node}");
         let (tx, rx) = channel::unbounded();
-        self.inboxes.write()[node.0] = tx;
-        crashed[node.0] = false;
+        {
+            let mut crashed = self.faults.crashed.write();
+            assert!(crashed[node.0], "restart of live node {node}");
+            self.inboxes.write()[node.0] = tx;
+            crashed[node.0] = false;
+        }
+        self.faults.rearm();
         Endpoint {
             id: node,
-            inbox: rx,
+            inbox: Inbox {
+                rx,
+                depths: Arc::clone(&self.depths),
+                node: node.0,
+            },
         }
     }
 
     /// Is this node currently crashed?
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.faults.crashed.read()[node.0]
+        self.faults.armed.load(Ordering::Relaxed) && self.faults.crashed.read()[node.0]
     }
 
     /// Are these two nodes currently severed by a partition?
@@ -329,16 +509,23 @@ impl<M: Send + Clone + 'static> Router<M> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return false;
         }
-        if self.is_crashed(dst) || self.is_crashed(src) {
+        let shard_idx = self.shard_of(dst.0);
+        // Clean-wire fast path: with no plan, partition, or crash armed,
+        // nothing below can fire — skip every fault-plane lock.
+        let armed = self.faults.armed.load(Ordering::Relaxed);
+        if armed && {
+            let crashed = self.faults.crashed.read();
+            crashed[dst.0] || crashed[src.0]
+        } {
             // Dead peer (or dead sender — a crashed process can't talk).
             // Fail fast: like a refused connection, not a timeout. The
             // message never enters the fabric, so it is a *refusal*, not a
             // send-then-drop — counting it as both sides of the ledger
             // (or neither) is what kept `sent != delivered + dropped`.
-            self.stats.record_refuse(dst.0);
+            self.stats.record_refuse(shard_idx, dst.0);
             return false;
         }
-        self.stats.record_send(bytes);
+        self.stats.record_send(shard_idx, bytes);
         let env = Envelope {
             src,
             dst,
@@ -349,51 +536,80 @@ impl<M: Send + Clone + 'static> Router<M> {
             // Local dispatch: no wire, no faults. Still a ledger event:
             // loopback completions get their own counter so
             // `sent == delivered + dropped + loopback + in-flight` holds.
-            return match self.inboxes.read()[dst.0].send(env) {
-                Ok(()) => {
-                    self.stats.record_loopback(dst.0);
-                    true
-                }
-                Err(_) => {
-                    // Stopped endpoint (receiver gone without a crash).
-                    self.stats.record_drop(dst.0);
-                    false
-                }
+            return if self.push_inbox(dst.0, env) {
+                self.stats.record_loopback(shard_idx, dst.0);
+                true
+            } else {
+                // Stopped endpoint (receiver gone without a crash).
+                self.stats.record_drop(shard_idx, dst.0);
+                false
             };
-        }
-        if self.severed(src.0, dst.0) {
-            // Partitioned: the message is silently lost in flight.
-            self.stats.record_drop(dst.0);
-            return true;
         }
         let mut extra_delay = Duration::ZERO;
         let mut duplicate = false;
-        if let Some(plan) = self.faults.plan.read().as_ref() {
-            let k = {
-                let mut seqs = self.faults.link_seq.lock();
-                let slot = seqs.entry((src.0, dst.0)).or_insert(0);
-                let k = *slot;
-                *slot += 1;
-                k
-            };
-            let decision = plan.decide(src.0, dst.0, k);
-            if decision.drop {
-                self.stats.record_drop(dst.0);
+        if armed {
+            if self.severed(src.0, dst.0) {
+                // Partitioned: the message is silently lost in flight.
+                self.stats.record_drop(shard_idx, dst.0);
                 return true;
             }
-            extra_delay = decision.extra_delay;
-            duplicate = decision.duplicate;
+            if let Some(plan) = self.faults.plan.read().as_ref() {
+                let k = {
+                    let shard = &self.shared.shards[shard_idx];
+                    let mut seqs = shard.link_seq.lock();
+                    let slot = seqs.entry((src.0, dst.0)).or_insert(0);
+                    let k = *slot;
+                    *slot += 1;
+                    k
+                };
+                let decision = plan.decide(src.0, dst.0, k);
+                if decision.drop {
+                    self.stats.record_drop(shard_idx, dst.0);
+                    return true;
+                }
+                extra_delay = decision.extra_delay;
+                duplicate = decision.duplicate;
+            }
         }
         let sent_at = Instant::now();
-        let due = sent_at + self.config.latency(bytes) + extra_delay;
+        let delay = self.config.latency(bytes) + extra_delay;
         let copy = duplicate.then(|| Envelope {
             src: env.src,
             dst: env.dst,
             wire: Duration::ZERO,
             payload: env.payload.clone(),
         });
-        let mut heap = self.shared.heap.lock();
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if delay.is_zero() {
+            // Zero-delay wire: nothing to park — deliver inline on the
+            // sender's thread, skipping the heap and the shard wakeup.
+            // Same-link sends stay ordered (they all run right here).
+            self.deliver(
+                shard_idx,
+                Parked {
+                    due: sent_at,
+                    seq: 0,
+                    sent_at,
+                    env,
+                },
+            );
+            if let Some(copy) = copy {
+                self.stats.record_send(shard_idx, bytes);
+                self.deliver(
+                    shard_idx,
+                    Parked {
+                        due: sent_at,
+                        seq: 0,
+                        sent_at,
+                        env: copy,
+                    },
+                );
+            }
+            return true;
+        }
+        let due = sent_at + delay;
+        let shard = &self.shared.shards[shard_idx];
+        let mut heap = shard.heap.lock();
+        let seq = shard.seq.fetch_add(1, Ordering::Relaxed);
         heap.push(Reverse(Parked {
             due,
             seq,
@@ -403,8 +619,8 @@ impl<M: Send + Clone + 'static> Router<M> {
         if let Some(copy) = copy {
             // Duplicate: same deadline, later queue order — the copy lands
             // right behind the original.
-            self.stats.record_send(bytes);
-            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_send(shard_idx, bytes);
+            let seq = shard.seq.fetch_add(1, Ordering::Relaxed);
             heap.push(Reverse(Parked {
                 due,
                 seq,
@@ -412,15 +628,32 @@ impl<M: Send + Clone + 'static> Router<M> {
                 env: copy,
             }));
         }
-        // Wake the delay loop: the new head may be earlier than its sleep.
-        self.shared.wakeup.notify_one();
+        // Wake the shard's delay loop: the new head may be earlier than its
+        // sleep.
+        shard.wakeup.notify_one();
         true
     }
 
+    /// Hand one parked message to its inbox, stamping observed wire time.
+    fn deliver(&self, shard_idx: usize, mut parked: Parked<M>) {
+        let dst = parked.env.dst.0;
+        // Stamp the observed wire time — delivery timestamp minus send
+        // timestamp — so receivers can account for it in query traces
+        // without trusting the cost model.
+        parked.env.wire = parked.sent_at.elapsed();
+        // A crash between park and delivery swaps in a dead sender, so the
+        // send fails either way; failure is a drop.
+        if self.push_inbox(dst, parked.env) {
+            self.stats.record_deliver(shard_idx, dst);
+        } else {
+            self.stats.record_drop(shard_idx, dst);
+        }
+    }
+
     /// Messages parked on the wire right now (accepted, not yet delivered
-    /// or dropped).
+    /// or dropped), across all shards.
     pub fn in_flight(&self) -> usize {
-        self.shared.heap.lock().len()
+        self.shared.shards.iter().map(|s| s.heap.lock().len()).sum()
     }
 
     /// Wait until nothing is parked on the wire (the ledger's in-flight
@@ -440,21 +673,24 @@ impl<M: Send + Clone + 'static> Router<M> {
         }
     }
 
-    /// Stop the delay loop. Messages still parked are dropped (and counted
+    /// Stop the delay loops. Messages still parked are dropped (and counted
     /// as drops), mirroring a fabric teardown. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.wakeup.notify_all();
+        for shard in &self.shared.shards {
+            shard.wakeup.notify_all();
+        }
     }
 
-    fn run_delay_loop(self) {
-        let mut heap_guard = self.shared.heap.lock();
+    fn run_delay_loop(self, shard_idx: usize) {
+        let shard = &self.shared.shards[shard_idx];
+        let mut heap_guard = shard.heap.lock();
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 // Fabric teardown: everything still parked is lost. Record
                 // the losses so the ledger still balances after shutdown.
                 while let Some(Reverse(parked)) = heap_guard.pop() {
-                    self.stats.record_drop(parked.env.dst.0);
+                    self.stats.record_drop(shard_idx, parked.env.dst.0);
                 }
                 return;
             }
@@ -464,27 +700,17 @@ impl<M: Send + Clone + 'static> Router<M> {
                 if head.due > now {
                     break;
                 }
-                let Reverse(mut parked) = heap_guard.pop().expect("peeked non-empty");
-                let dst = parked.env.dst.0;
-                // Stamp the observed wire time — delivery timestamp minus
-                // send timestamp — so receivers can account for it in
-                // query traces without trusting the cost model.
-                parked.env.wire = parked.sent_at.elapsed();
-                // A crash between park and delivery swaps in a dead sender,
-                // so the send fails either way; failure is a drop.
-                match self.inboxes.read()[dst].send(parked.env) {
-                    Ok(()) => self.stats.record_deliver(dst),
-                    Err(_) => self.stats.record_drop(dst),
-                }
+                let Reverse(parked) = heap_guard.pop().expect("peeked non-empty");
+                self.deliver(shard_idx, parked);
             }
             // Sleep until the next deadline (or a new message arrives).
             match heap_guard.peek() {
                 Some(Reverse(head)) => {
                     let wait = head.due.saturating_duration_since(Instant::now());
-                    self.shared.wakeup.wait_for(&mut heap_guard, wait);
+                    shard.wakeup.wait_for(&mut heap_guard, wait);
                 }
                 None => {
-                    self.shared
+                    shard
                         .wakeup
                         .wait_for(&mut heap_guard, Duration::from_millis(50));
                 }
@@ -514,7 +740,7 @@ mod tests {
         let config = NetConfig {
             base_latency: Duration::from_millis(20),
             bytes_per_sec: 1e12,
-            loopback_is_free: true,
+            ..NetConfig::default()
         };
         let (router, mut eps) = Router::<u32>::new(2, config);
         let ep1 = eps.remove(1);
@@ -608,7 +834,7 @@ mod tests {
         let config = NetConfig {
             base_latency: Duration::from_millis(15),
             bytes_per_sec: 1e12,
-            loopback_is_free: true,
+            ..NetConfig::default()
         };
         let (router, mut eps) = Router::<u32>::new(2, config);
         let ep1 = eps.remove(1);
@@ -633,6 +859,7 @@ mod tests {
             base_latency: Duration::from_millis(5),
             bytes_per_sec: 1e12,
             loopback_is_free: false,
+            ..NetConfig::default()
         };
         let (router, mut eps) = Router::<u32>::new(2, config);
         let ep1 = eps.remove(1);
@@ -659,7 +886,7 @@ mod tests {
         let config = NetConfig {
             base_latency: Duration::from_micros(10),
             bytes_per_sec: 1e6, // 1 MB/s: 100 KB takes 100 ms
-            loopback_is_free: true,
+            ..NetConfig::default()
         };
         assert!(config.latency(100_000) >= Duration::from_millis(99));
         assert!(config.latency(0) < Duration::from_millis(1));
@@ -672,7 +899,7 @@ mod tests {
             let config = NetConfig {
                 base_latency: base,
                 bytes_per_sec: bps,
-                loopback_is_free: true,
+                ..NetConfig::default()
             };
             assert_eq!(config.latency(1_000_000), base, "bytes_per_sec = {bps}");
         }
@@ -685,7 +912,7 @@ mod tests {
             NetConfig {
                 base_latency: Duration::ZERO,
                 bytes_per_sec: 1e12,
-                loopback_is_free: true,
+                ..NetConfig::default()
             },
         );
         // Self-sends bypass the delay loop, so they are queued immediately.
@@ -695,6 +922,46 @@ mod tests {
         assert_eq!(router.inbox_len(NodeId(1)), 5);
         assert_eq!(router.inbox_len(NodeId(0)), 0);
         drop(eps);
+        router.shutdown();
+    }
+
+    #[test]
+    fn inbox_len_matches_queue_through_recv_and_teardown() {
+        // Satellite regression: the atomic depth counter must equal the
+        // actual queue length at quiescence, decrement per dequeue, and
+        // return to zero when the endpoint is torn down.
+        let (router, mut eps) = Router::<u32>::new(
+            2,
+            NetConfig {
+                base_latency: Duration::from_micros(200),
+                bytes_per_sec: 1e12,
+                loopback_is_free: false,
+                ..NetConfig::default()
+            },
+        );
+        let ep1 = eps.remove(1);
+        for i in 0..8u32 {
+            assert!(router.send(NodeId(0), NodeId(1), i, 8));
+        }
+        assert!(router.quiesce(Duration::from_secs(5)), "wire never drained");
+        assert_eq!(
+            router.inbox_len(NodeId(1)),
+            8,
+            "counter vs queued at quiescence"
+        );
+        for left in (0..8usize).rev() {
+            ep1.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(router.inbox_len(NodeId(1)), left, "counter vs dequeues");
+        }
+        // Queue more, then drop the endpoint without draining: teardown
+        // must release the counted depth.
+        for i in 0..3u32 {
+            assert!(router.send(NodeId(0), NodeId(1), i, 8));
+        }
+        assert!(router.quiesce(Duration::from_secs(5)));
+        assert_eq!(router.inbox_len(NodeId(1)), 3);
+        drop(ep1);
+        assert_eq!(router.inbox_len(NodeId(1)), 0, "teardown releases depth");
         router.shutdown();
     }
 
@@ -726,13 +993,31 @@ mod tests {
         let _ = Router::<u32>::new(0, NetConfig::default());
     }
 
+    #[test]
+    fn shard_count_resolves_and_clamps() {
+        let explicit = NetConfig {
+            delivery_shards: 4,
+            ..NetConfig::default()
+        };
+        let (router, _eps) = Router::<u32>::new(8, explicit.clone());
+        assert_eq!(router.n_shards(), 4);
+        router.shutdown();
+        // More shards than nodes is wasted threads: clamped to node count.
+        let (router, _eps) = Router::<u32>::new(2, explicit);
+        assert_eq!(router.n_shards(), 2);
+        router.shutdown();
+        // Auto (0) resolves to at least one shard.
+        assert!(NetConfig::default().resolved_shards(8) >= 1);
+        assert_eq!(NetConfig::default().resolved_shards(1), 1);
+    }
+
     // ---- Fault plane --------------------------------------------------------
 
     fn fast_config() -> NetConfig {
         NetConfig {
             base_latency: Duration::from_micros(50),
             bytes_per_sec: 1e12,
-            loopback_is_free: true,
+            ..NetConfig::default()
         }
     }
 
@@ -777,7 +1062,7 @@ mod tests {
         let config = NetConfig {
             base_latency: Duration::from_millis(50),
             bytes_per_sec: 1e12,
-            loopback_is_free: true,
+            ..NetConfig::default()
         };
         let (router, mut eps) = Router::<u32>::new(2, config);
         let _ep1 = eps.remove(1);
@@ -850,6 +1135,30 @@ mod tests {
     }
 
     #[test]
+    fn inline_zero_delay_duplication_delivers_twice() {
+        // Zero-delay sends bypass the heap; a duplicate fault must still
+        // deliver both copies and keep the ledger balanced.
+        let config = NetConfig {
+            base_latency: Duration::ZERO,
+            bytes_per_sec: 0.0, // bandwidth term off: latency stays zero
+            loopback_is_free: false,
+            ..NetConfig::default()
+        };
+        let (router, mut eps) = Router::<u32>::new(2, config);
+        let ep1 = eps.remove(1);
+        router.install_faults(FaultPlan::new(2).duplicate_all(1.0));
+        assert!(router.send(NodeId(0), NodeId(1), 7, 8));
+        let a = ep1.inbox.try_recv().expect("inline delivery is immediate");
+        let b = ep1.inbox.try_recv().expect("inline duplicate too");
+        assert_eq!((a.payload, b.payload), (7, 7));
+        assert_eq!(router.stats().messages_sent(), 2);
+        assert_eq!(router.stats().messages_delivered(), 2);
+        assert_eq!(router.stats().ledger_in_flight(), 0);
+        assert_eq!(router.in_flight(), 0, "nothing may park on a free wire");
+        router.shutdown();
+    }
+
+    #[test]
     fn extra_delay_slows_the_link() {
         let (router, mut eps) = Router::<u32>::new(2, fast_config());
         let ep1 = eps.remove(1);
@@ -887,6 +1196,88 @@ mod tests {
             !first.is_empty() && first.len() < 64,
             "p=0.5 should drop some, keep some"
         );
+        router.shutdown();
+    }
+
+    #[test]
+    fn fault_schedule_is_identical_across_shard_counts() {
+        // The per-link counters live on the destination's one owning shard,
+        // so the deterministic schedule cannot depend on K. Pin it: the
+        // same plan over the same send sequence keeps/drops exactly the
+        // same messages with 1 shard and with 4.
+        let run = |shards: usize| {
+            let config = NetConfig {
+                base_latency: Duration::from_micros(50),
+                bytes_per_sec: 1e12,
+                loopback_is_free: false,
+                delivery_shards: shards,
+            };
+            let (router, eps) = Router::<u64>::new(4, config);
+            assert_eq!(router.n_shards(), shards);
+            router.install_faults(
+                FaultPlan::new(0xFAB)
+                    .drop_all(0.3)
+                    .duplicate_all(0.2)
+                    .delay_all(Duration::from_micros(300), 0.3),
+            );
+            for i in 0..200u64 {
+                let src = NodeId((i % 4) as usize);
+                let dst = NodeId(((i * 13 + 1) % 4) as usize);
+                router.send(src, dst, i, 16);
+            }
+            assert!(router.quiesce(Duration::from_secs(5)));
+            let mut per_node: Vec<Vec<u64>> = vec![Vec::new(); 4];
+            for ep in &eps {
+                while let Ok(env) = ep.inbox.try_recv() {
+                    per_node[env.dst.0].push(env.payload);
+                }
+            }
+            // Delivery *order* may interleave differently under load;
+            // the fault schedule (who survived, who duplicated) may not.
+            for v in &mut per_node {
+                v.sort_unstable();
+            }
+            router.shutdown();
+            per_node
+        };
+        assert_eq!(
+            run(1),
+            run(4),
+            "fault schedule diverged across shard counts"
+        );
+    }
+
+    #[test]
+    fn fault_fast_path_disarms_when_cleared() {
+        // Satellite regression: the armed flag must track every fault-plane
+        // mutation, so an armed-then-cleared plan restores the lock-free
+        // fast path (and the wire still works).
+        let (router, mut eps) = Router::<u32>::new(2, fast_config());
+        let ep1 = eps.remove(1);
+        assert!(!router.faults_armed(), "clean fabric boots disarmed");
+        router.install_faults(FaultPlan::new(7).drop_all(0.0));
+        assert!(router.faults_armed(), "a plan arms the fault plane");
+        router.clear_faults();
+        assert!(!router.faults_armed(), "clearing the plan disarms");
+        router.set_partition(&[vec![0], vec![1]]);
+        assert!(router.faults_armed(), "a partition arms");
+        router.heal_partition();
+        assert!(!router.faults_armed(), "healing disarms");
+        router.crash_node(NodeId(1));
+        assert!(router.faults_armed(), "a crash arms");
+        let new_ep = router.restart_node(NodeId(1));
+        assert!(!router.faults_armed(), "restart of the last crash disarms");
+        // The restored fast path still delivers.
+        assert!(router.send(NodeId(0), NodeId(1), 5, 8));
+        assert_eq!(
+            new_ep
+                .inbox
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap()
+                .payload,
+            5
+        );
+        drop(ep1);
         router.shutdown();
     }
 }

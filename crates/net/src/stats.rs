@@ -2,32 +2,35 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One cache line of fabric-total counters. The totals are striped across
+/// one lane per delivery shard so senders and shard threads touching
+/// different shards never bounce a shared counter line between cores;
+/// read-out sums the lanes.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct LaneTotals {
+    messages_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+    messages_dropped: AtomicU64,
+    messages_loopback: AtomicU64,
+    messages_refused: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
 /// Message and byte counters for a [`Router`](crate::Router).
 ///
 /// Relaxed ordering everywhere: these are monitoring counters, not
 /// synchronization. (Per the concurrency guide: counters that no control
 /// flow depends on need no happens-before edges.)
 ///
-/// Per-node slots are sized once at fabric construction
-/// ([`NetStats::with_nodes`]) and indexed by node id; a default (node-less)
-/// stats block still tracks the fabric-wide totals.
-#[derive(Debug, Default)]
+/// Fabric-wide totals are striped into shard-local lanes
+/// ([`NetStats::with_topology`]); getters merge the lanes at read time.
+/// Per-node slots are sized once at fabric construction and indexed by
+/// node id; a default (node-less) stats block still tracks the totals.
+#[derive(Debug)]
 pub struct NetStats {
-    messages_sent: AtomicU64,
-    messages_delivered: AtomicU64,
-    /// Messages accepted (or already parked) that never reached their
-    /// destination: fault-plan drops, partition losses, and messages
-    /// addressed to crashed or stopped nodes.
-    messages_dropped: AtomicU64,
-    /// Loopback sends handed straight to the local inbox — never on the
-    /// wire, but accepted and completed, so the ledger
-    /// `sent == delivered + dropped + loopback + in-flight` balances.
-    messages_loopback: AtomicU64,
-    /// Sends refused outright (crashed destination or crashed sender):
-    /// `Router::send` returned `false` and nothing entered the fabric.
-    /// Deliberately *outside* the sent/delivered/dropped ledger.
-    messages_refused: AtomicU64,
-    bytes_sent: AtomicU64,
+    /// Shard-local total stripes; always at least one lane.
+    lanes: Vec<LaneTotals>,
     /// Per-destination delivered counts, indexed by node id.
     node_delivered: Vec<AtomicU64>,
     /// Per-destination dropped counts, indexed by node id.
@@ -36,75 +39,108 @@ pub struct NetStats {
     node_refused: Vec<AtomicU64>,
 }
 
+impl Default for NetStats {
+    fn default() -> Self {
+        NetStats::with_topology(0, 1)
+    }
+}
+
 impl NetStats {
-    /// Stats block with per-node slots for a fabric of `n_nodes`.
-    pub fn with_nodes(n_nodes: usize) -> Self {
+    /// Stats block with per-node slots for a fabric of `n_nodes` and one
+    /// total lane per delivery shard (`lanes` is clamped to ≥ 1).
+    pub fn with_topology(n_nodes: usize, lanes: usize) -> Self {
         NetStats {
+            lanes: (0..lanes.max(1)).map(|_| LaneTotals::default()).collect(),
             node_delivered: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
             node_dropped: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
             node_refused: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
-            ..NetStats::default()
         }
     }
 
-    pub(crate) fn record_send(&self, bytes: usize) {
-        self.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    /// Stats block with per-node slots and a single total lane.
+    pub fn with_nodes(n_nodes: usize) -> Self {
+        NetStats::with_topology(n_nodes, 1)
     }
 
-    pub(crate) fn record_deliver(&self, dst: usize) {
-        self.messages_delivered.fetch_add(1, Ordering::Relaxed);
+    fn lane(&self, lane: usize) -> &LaneTotals {
+        // Callers pass a shard index; modulo keeps any index safe.
+        &self.lanes[lane % self.lanes.len()]
+    }
+
+    pub(crate) fn record_send(&self, lane: usize, bytes: usize) {
+        let l = self.lane(lane);
+        l.messages_sent.fetch_add(1, Ordering::Relaxed);
+        l.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deliver(&self, lane: usize, dst: usize) {
+        self.lane(lane)
+            .messages_delivered
+            .fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = self.node_delivered.get(dst) {
             slot.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    pub(crate) fn record_drop(&self, dst: usize) {
-        self.messages_dropped.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_drop(&self, lane: usize, dst: usize) {
+        self.lane(lane)
+            .messages_dropped
+            .fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = self.node_dropped.get(dst) {
             slot.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    pub(crate) fn record_loopback(&self, _dst: usize) {
+    pub(crate) fn record_loopback(&self, lane: usize, _dst: usize) {
         // Per-node slots stay wire-only; the total keeps the ledger honest.
-        self.messages_loopback.fetch_add(1, Ordering::Relaxed);
+        self.lane(lane)
+            .messages_loopback
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_refuse(&self, dst: usize) {
-        self.messages_refused.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_refuse(&self, lane: usize, dst: usize) {
+        self.lane(lane)
+            .messages_refused
+            .fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = self.node_refused.get(dst) {
             slot.fetch_add(1, Ordering::Relaxed);
         }
     }
 
+    fn sum(&self, field: impl Fn(&LaneTotals) -> &AtomicU64) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| field(l).load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Messages accepted by [`Router::send`](crate::Router::send).
     pub fn messages_sent(&self) -> u64 {
-        self.messages_sent.load(Ordering::Relaxed)
+        self.sum(|l| &l.messages_sent)
     }
 
     /// Messages that completed their wire delay and were handed to an inbox
     /// (loopback sends skip the wire and are counted in
     /// [`NetStats::messages_loopback`] instead).
     pub fn messages_delivered(&self) -> u64 {
-        self.messages_delivered.load(Ordering::Relaxed)
+        self.sum(|l| &l.messages_delivered)
     }
 
     /// Messages lost to fault injection, partitions, crashes, stopped
     /// endpoints, or fabric teardown.
     pub fn messages_dropped(&self) -> u64 {
-        self.messages_dropped.load(Ordering::Relaxed)
+        self.sum(|l| &l.messages_dropped)
     }
 
     /// Loopback sends completed without touching the wire.
     pub fn messages_loopback(&self) -> u64 {
-        self.messages_loopback.load(Ordering::Relaxed)
+        self.sum(|l| &l.messages_loopback)
     }
 
     /// Sends refused outright (crashed peer); never accepted, so not part
     /// of the sent/delivered/dropped/loopback ledger.
     pub fn messages_refused(&self) -> u64 {
-        self.messages_refused.load(Ordering::Relaxed)
+        self.sum(|l| &l.messages_refused)
     }
 
     /// `sent - delivered - dropped - loopback`: what the ledger says must
@@ -118,7 +154,7 @@ impl NetStats {
 
     /// Total payload bytes accepted.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.sum(|l| &l.bytes_sent)
     }
 
     /// Wire deliveries into `node`'s inbox; 0 if the id is out of range.
@@ -151,10 +187,10 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = NetStats::with_nodes(2);
-        s.record_send(10);
-        s.record_send(20);
-        s.record_deliver(1);
-        s.record_drop(0);
+        s.record_send(0, 10);
+        s.record_send(0, 20);
+        s.record_deliver(0, 1);
+        s.record_drop(0, 0);
         assert_eq!(s.messages_sent(), 2);
         assert_eq!(s.bytes_sent(), 30);
         assert_eq!(s.messages_delivered(), 1);
@@ -168,9 +204,9 @@ mod tests {
     #[test]
     fn loopback_and_refusals_have_their_own_ledger_lines() {
         let s = NetStats::with_nodes(2);
-        s.record_send(8);
-        s.record_loopback(0);
-        s.record_refuse(1);
+        s.record_send(0, 8);
+        s.record_loopback(0, 0);
+        s.record_refuse(0, 1);
         assert_eq!(s.messages_sent(), 1);
         assert_eq!(s.messages_loopback(), 1);
         assert_eq!(s.messages_refused(), 1);
@@ -185,8 +221,8 @@ mod tests {
     #[test]
     fn out_of_range_node_counts_totals_only() {
         let s = NetStats::default();
-        s.record_deliver(7);
-        s.record_drop(7);
+        s.record_deliver(0, 7);
+        s.record_drop(0, 7);
         assert_eq!(s.messages_delivered(), 1);
         assert_eq!(s.messages_dropped(), 1);
         assert_eq!(s.node_delivered(7), 0);
@@ -194,15 +230,30 @@ mod tests {
     }
 
     #[test]
+    fn lanes_merge_at_read_time() {
+        let s = NetStats::with_topology(1, 4);
+        for lane in 0..4 {
+            s.record_send(lane, 10);
+            s.record_deliver(lane, 0);
+        }
+        // Out-of-range lane indices wrap instead of panicking.
+        s.record_send(17, 5);
+        assert_eq!(s.messages_sent(), 5);
+        assert_eq!(s.bytes_sent(), 45);
+        assert_eq!(s.messages_delivered(), 4);
+        assert_eq!(s.node_delivered(0), 4);
+    }
+
+    #[test]
     fn counters_are_thread_safe() {
-        let s = std::sync::Arc::new(NetStats::with_nodes(1));
+        let s = std::sync::Arc::new(NetStats::with_topology(1, 4));
         let handles: Vec<_> = (0..8)
-            .map(|_| {
+            .map(|t| {
                 let s = std::sync::Arc::clone(&s);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        s.record_send(1);
-                        s.record_deliver(0);
+                        s.record_send(t, 1);
+                        s.record_deliver(t, 0);
                     }
                 })
             })

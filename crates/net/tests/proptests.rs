@@ -11,6 +11,7 @@ fn fast_config() -> NetConfig {
         base_latency: Duration::from_micros(100),
         bytes_per_sec: 1e12,
         loopback_is_free: false,
+        ..NetConfig::default()
     }
 }
 
@@ -75,6 +76,7 @@ proptest! {
             base_latency: Duration::from_micros(100),
             bytes_per_sec: 1e12,
             loopback_is_free: true,
+            ..NetConfig::default()
         };
         let (router, mut endpoints) = Router::<usize>::new(4, config);
         if faulty {
@@ -138,6 +140,71 @@ proptest! {
             s.messages_loopback(),
             router.in_flight()
         );
+        router.shutdown();
+    }
+
+    /// Sharded-ledger conservation: with the totals striped across one
+    /// lane per delivery shard, genuinely concurrent senders hitting
+    /// every shard at once must still leave the merged read-out balanced:
+    /// `sent == delivered + dropped + loopback` at quiescence.
+    #[test]
+    fn sharded_ledger_survives_concurrent_senders(
+        shards in 1usize..5,
+        per_thread in prop::collection::vec(
+            prop::collection::vec((0usize..6, 0usize..6, any::<bool>()), 10..60),
+            2..5,
+        ),
+        seed in any::<u64>(),
+        faulty in any::<bool>(),
+    ) {
+        let config = NetConfig {
+            base_latency: Duration::from_micros(100),
+            bytes_per_sec: 1e12,
+            loopback_is_free: true,
+            delivery_shards: shards,
+        };
+        let (router, endpoints) = Router::<usize>::new(6, config);
+        prop_assert_eq!(router.n_shards(), shards.min(6));
+        if faulty {
+            router.install_faults(
+                FaultPlan::new(seed)
+                    .drop_all(0.2)
+                    .duplicate_all(0.2)
+                    .delay_all(Duration::from_micros(300), 0.2),
+            );
+        }
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|sends| {
+                let router = router.clone();
+                std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for (src, dst, loopback) in sends {
+                        let dst = if loopback { src } else { dst };
+                        if router.send(NodeId(src), NodeId(dst), 0, 16) {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let accepted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        prop_assert!(router.quiesce(Duration::from_secs(10)), "wire never drained");
+        let s = router.stats();
+        prop_assert!(s.messages_sent() >= accepted);
+        prop_assert_eq!(s.messages_refused(), 0);
+        prop_assert_eq!(
+            s.messages_sent(),
+            s.messages_delivered() + s.messages_dropped() + s.messages_loopback(),
+            "sent {} != delivered {} + dropped {} + loopback {}",
+            s.messages_sent(),
+            s.messages_delivered(),
+            s.messages_dropped(),
+            s.messages_loopback()
+        );
+        prop_assert_eq!(s.ledger_in_flight(), 0);
+        drop(endpoints);
         router.shutdown();
     }
 
