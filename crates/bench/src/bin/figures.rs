@@ -9,14 +9,20 @@
 //! cargo run -p stash-bench --release --bin figures -- --ingest --scale small
 //! cargo run -p stash-bench --release --bin figures -- --profile
 //! cargo run -p stash-bench --release --bin figures -- --profile --smoke   # CI-sized
+//! cargo run -p stash-bench --release --bin figures -- --rollup --smoke    # rollup gate
 //! cargo run -p stash-bench --release --bin figures -- --all --markdown out.md
 //! ```
 //!
 //! Each figure prints a console table; `--markdown FILE` additionally
 //! appends GitHub-flavored tables (the format EXPERIMENTS.md embeds).
+//! The `--rollup`, `--sustained`, and `--profile` runs also write
+//! machine-readable `BENCH_<name>.json` reports (mean/p50/p95/p99 per
+//! leg) into the working directory for CI and plotting scripts.
 
 use stash_bench::{
-    ablation, fault_sweep, fig6, fig7, fig8, ingest, profile, report::Table, sustained, Scale,
+    ablation, fault_sweep, fig6, fig7, fig8, ingest, profile,
+    report::{BenchJson, LegStats, Table},
+    rollup, sustained, Scale,
 };
 use std::io::Write;
 
@@ -140,6 +146,10 @@ struct Args {
     /// Sustained warm-path load per delivery-shard count (ROADMAP item 1):
     /// req/s plus p50/p95/p99 from a closed-loop multi-client harness.
     sustained: bool,
+    /// Long-history coarse queries: rollup-served vs raw recompute
+    /// (DESIGN.md §17). With `--smoke`, a regression gate: the
+    /// rollup-served leg must undercut the raw ablation.
+    rollup: bool,
     /// CI-sized run: shrink the workload so `--profile` and `--sustained`
     /// finish in seconds (no effect on the figure experiments), and turn
     /// `--sustained` into a sharded-vs-single-shard regression gate.
@@ -157,6 +167,7 @@ fn parse_args() -> Args {
         ingest: false,
         profile: false,
         sustained: false,
+        rollup: false,
         smoke: false,
         scale: Scale::paper(),
         markdown: None,
@@ -170,6 +181,7 @@ fn parse_args() -> Args {
             "--ingest" => args.ingest = true,
             "--profile" => args.profile = true,
             "--sustained" => args.sustained = true,
+            "--rollup" => args.rollup = true,
             "--smoke" => args.smoke = true,
             "--fig" => {
                 let f = it.next().expect("--fig needs a value (e.g. 6a)");
@@ -185,7 +197,7 @@ fn parse_args() -> Args {
             "--markdown" => args.markdown = Some(it.next().expect("--markdown needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--all] [--ablations] [--fault-sweep] [--ingest] [--profile] [--sustained] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
+                    "usage: figures [--all] [--ablations] [--fault-sweep] [--ingest] [--profile] [--sustained] [--rollup] [--smoke] [--fig 6a]... [--scale small|paper] [--markdown FILE]"
                 );
                 std::process::exit(0);
             }
@@ -199,6 +211,7 @@ fn parse_args() -> Args {
         && !args.ingest
         && !args.profile
         && !args.sustained
+        && !args.rollup
     {
         args.all = true;
     }
@@ -346,6 +359,56 @@ fn main() {
             );
         }
         emit(sustained::table(&rows));
+        let mut json = BenchJson::new("sustained");
+        for r in &rows {
+            json.push_stats(LegStats {
+                leg: format!("{}_shards", r.shards),
+                samples: r.requests,
+                mean_ms: 1e3 * r.secs / r.requests.max(1) as f64,
+                p50_ms: r.p50_ms,
+                p95_ms: r.p95_ms,
+                p99_ms: r.p99_ms,
+            });
+        }
+        let path = json
+            .write_to(std::path::Path::new("."))
+            .expect("write BENCH_sustained.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    if args.rollup {
+        // Long enough that raw recompute pays per-day block scans across
+        // real history; smoke keeps CI in seconds.
+        let days = if args.smoke { 10 } else { 45 };
+        let rows = rollup::run(scale, days);
+        if args.smoke {
+            let served = &rows[0].stats;
+            let raw = &rows[1].stats;
+            // Self-calibrating gate: both legs measured in-process on the
+            // same host, so the comparison survives slow CI machines.
+            assert!(
+                served.mean_ms < raw.mean_ms,
+                "rollup serving regressed: rollup-served long-history queries \
+                 ({:.2} ms mean) no longer beat the raw-recompute ablation \
+                 ({:.2} ms mean) over a {days}-day domain",
+                served.mean_ms,
+                raw.mean_ms
+            );
+            eprintln!(
+                "rollup smoke gate: rollup-served {:.2} ms mean < raw recompute \
+                 {:.2} ms mean ({} queries/leg, {days}-day domain)",
+                served.mean_ms, raw.mean_ms, served.samples
+            );
+        }
+        let mut json = BenchJson::new("rollup");
+        for r in &rows {
+            json.push_stats(r.stats.clone());
+        }
+        let path = json
+            .write_to(std::path::Path::new("."))
+            .expect("write BENCH_rollup.json");
+        eprintln!("wrote {}", path.display());
+        emit(rollup::table(&rows, days));
     }
 
     if args.profile {
@@ -388,6 +451,27 @@ fn main() {
                 p.frame_cache_bytes
             );
         }
+        let mut json = BenchJson::new("profile");
+        for (stage, snap) in p
+            .stages
+            .iter()
+            .chain(std::iter::once(&("wall", p.wall.clone())))
+        {
+            let mean_ns = snap.sums.iter().sum::<u64>() as f64
+                / snap.counts.iter().sum::<u64>().max(1) as f64;
+            json.push_stats(LegStats {
+                leg: stage.to_string(),
+                samples: snap.count() as usize,
+                mean_ms: mean_ns / 1e6,
+                p50_ms: snap.percentile(50.0) as f64 / 1e6,
+                p95_ms: snap.percentile(95.0) as f64 / 1e6,
+                p99_ms: snap.percentile(99.0) as f64 / 1e6,
+            });
+        }
+        let path = json
+            .write_to(std::path::Path::new("."))
+            .expect("write BENCH_profile.json");
+        eprintln!("wrote {}", path.display());
         emit(profile::table(&p));
     }
 

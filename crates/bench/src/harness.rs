@@ -78,17 +78,17 @@ impl Scale {
     }
 
     fn base_cluster_config(&self, mode: Mode) -> ClusterConfig {
-        ClusterConfig {
-            n_nodes: self.n_nodes,
-            mode,
-            generator: GeneratorConfig {
+        ClusterConfig::builder()
+            .n_nodes(self.n_nodes)
+            .mode(mode)
+            .generator(GeneratorConfig {
                 seed: self.seed ^ 0xDA7A,
                 obs_per_deg2_per_day: self.density,
                 max_obs_per_block: 100_000,
                 value_quantum: 0.0,
-            },
-            ..ClusterConfig::default()
-        }
+            })
+            .build()
+            .expect("bench scale config is valid")
     }
 
     /// A STASH-enabled deployment.

@@ -17,6 +17,7 @@
 //! | [`fault_sweep`] | — (robustness) | throughput under uniform message loss, 100% success |
 //! | [`ingest`] | — (DESIGN.md §13) | mid-stream query latency: delta-patch vs invalidate-all |
 //! | [`sustained`] | — (DESIGN.md §16) | 10⁵-query closed-loop warm load: req/s + p50/p95/p99 vs delivery shards |
+//! | [`rollup`] | — (DESIGN.md §17) | long-history coarse queries: rollup-served vs raw recompute |
 //! | [`profile`] | — (observability) | per-stage p50/p95/p99 latency breakdown from query traces |
 //!
 //! Experiments run at a configurable [`Scale`]; `Scale::small()` keeps
@@ -34,6 +35,7 @@ pub mod harness;
 pub mod ingest;
 pub mod profile;
 pub mod report;
+pub mod rollup;
 pub mod sustained;
 
 pub use harness::Scale;

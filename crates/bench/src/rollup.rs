@@ -1,0 +1,145 @@
+//! Long-history rollups: serving coarse queries from the continuously
+//! maintained rollup Cells vs recomputing them from raw blocks
+//! (DESIGN.md §17).
+//!
+//! The workload is a historical exploration: one coarse (res-2, Day) query
+//! per day of a multi-week domain plus one whole-domain overview at res 1
+//! — the "how did this region evolve" pan a front-end issues over long
+//! history. All bins are Day-granular so every query sits under the
+//! all-sealed watermark regardless of where the domain ends (a Month cell
+//! is only eligible once the whole month is inside the domain).
+//! Each query is issued exactly once, so the raw leg pays a genuinely cold
+//! recompute (block fetch + scan + upward derivation) for every day, while
+//! the rollup leg answers every query from the watermarked rollup store
+//! without touching a block. The gap is the tentpole's point: rollup
+//! latency is per-*cell*, raw latency is per-*row* over ever-growing
+//! history.
+
+use crate::harness::Scale;
+use crate::report::{ms, ratio, LegStats, Table};
+use stash_cluster::{ClusterConfig, Mode, RollupPolicy, SimCluster};
+use stash_data::GeneratorConfig;
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, TemporalRes, TimeRange};
+use stash_model::{AggQuery, Level};
+use std::time::Instant;
+
+/// One measured leg of the comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub stats: LegStats,
+    /// Total rollup hits reported across the leg's queries (0 for the raw
+    /// ablation leg — nothing may be rollup-served there).
+    pub rollup_hits: usize,
+}
+
+fn region() -> BBox {
+    BBox::from_corner_extent(36.0, -124.5, 4.0, 4.5)
+}
+
+const DAY_SECS: i64 = 24 * 3600;
+
+fn config(scale: &Scale, days: usize, policy: RollupPolicy) -> ClusterConfig {
+    let start = epoch_seconds(2015, 2, 1, 0, 0, 0);
+    ClusterConfig::builder()
+        .n_nodes(scale.n_nodes)
+        .mode(Mode::Stash)
+        .data_bbox(region())
+        .data_time(TimeRange::new(start, start + days as i64 * DAY_SECS).unwrap())
+        .generator(GeneratorConfig {
+            seed: scale.seed ^ 0xDA7A,
+            obs_per_deg2_per_day: scale.density,
+            max_obs_per_block: 100_000,
+            value_quantum: 0.0,
+        })
+        .rollup(policy)
+        .build()
+        .expect("rollup bench config is valid")
+}
+
+/// The historical-exploration query stream: one res-2 Day query per day,
+/// then one whole-domain res-1 overview spanning every day at once.
+fn queries(days: usize) -> Vec<AggQuery> {
+    let start = epoch_seconds(2015, 2, 1, 0, 0, 0);
+    let mut qs: Vec<AggQuery> = (0..days)
+        .map(|d| {
+            let s = start + d as i64 * DAY_SECS;
+            AggQuery::new(
+                region(),
+                TimeRange::new(s, s + DAY_SECS).unwrap(),
+                2,
+                TemporalRes::Day,
+            )
+        })
+        .collect();
+    qs.push(AggQuery::new(
+        region(),
+        TimeRange::new(start, start + days as i64 * DAY_SECS).unwrap(),
+        1,
+        TemporalRes::Day,
+    ));
+    qs
+}
+
+fn run_leg(scale: &Scale, days: usize, policy: RollupPolicy, leg: &str) -> Row {
+    let cluster = SimCluster::new(config(scale, days, policy));
+    let client = cluster.client();
+    let mut samples_ms = Vec::new();
+    let mut rollup_hits = 0usize;
+    for q in queries(days) {
+        let t = Instant::now();
+        let r = client.query(&q).run().expect("rollup bench query");
+        samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        rollup_hits += r.rollup_hits;
+    }
+    cluster.shutdown();
+    Row {
+        stats: LegStats::from_samples(leg, &samples_ms),
+        rollup_hits,
+    }
+}
+
+/// Run both legs over a `days`-long history. The rollup leg must actually
+/// be rollup-served (the domain is static, so the watermark sits at the
+/// horizon from boot) and the raw leg must never be.
+pub fn run(scale: &Scale, days: usize) -> Vec<Row> {
+    let policy = RollupPolicy::new(vec![
+        Level::of(1, TemporalRes::Day).unwrap(),
+        Level::of(2, TemporalRes::Day).unwrap(),
+    ])
+    .expect("bench rollup levels are coarse");
+    let rollup = run_leg(scale, days, policy, "rollup_served");
+    assert!(
+        rollup.rollup_hits > 0,
+        "rollup leg was never rollup-served — the bench would be comparing raw to raw"
+    );
+    let raw = run_leg(scale, days, RollupPolicy::disabled(), "raw_recompute");
+    assert_eq!(raw.rollup_hits, 0, "raw ablation must not be rollup-served");
+    vec![rollup, raw]
+}
+
+pub fn table(rows: &[Row], days: usize) -> Table {
+    let mut t = Table::new(
+        format!("Long-history rollups — {days}-day domain, per-day coarse queries"),
+        &["leg", "queries", "mean ms", "p50 ms", "p95 ms", "p99 ms"],
+    );
+    for r in rows {
+        t.push(vec![
+            r.stats.leg.clone(),
+            r.stats.samples.to_string(),
+            ms(r.stats.mean_ms),
+            ms(r.stats.p50_ms),
+            ms(r.stats.p95_ms),
+            ms(r.stats.p99_ms),
+        ]);
+    }
+    if rows.len() == 2 && rows[1].stats.mean_ms > 0.0 {
+        t = t.with_note(format!(
+            "rollup-served mean is {} of the raw recompute ({} vs {} ms)",
+            ratio(rows[1].stats.mean_ms / rows[0].stats.mean_ms.max(1e-9)),
+            ms(rows[0].stats.mean_ms),
+            ms(rows[1].stats.mean_ms),
+        ));
+    }
+    t
+}

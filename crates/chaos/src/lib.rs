@@ -29,28 +29,28 @@ use std::time::Duration;
 /// deadlines short enough that failover completes within a test, and
 /// enough client retries that transient faults never become user errors.
 pub fn chaos_config(mode: Mode) -> ClusterConfig {
-    ClusterConfig {
-        n_nodes: 4,
-        coord_workers: 2,
-        service_workers: 2,
-        fetch_workers: 2,
-        mode,
-        disk: DiskModel::free(),
-        net: NetConfig {
+    ClusterConfig::builder()
+        .n_nodes(4)
+        .coord_workers(2)
+        .service_workers(2)
+        .fetch_workers(2)
+        .mode(mode)
+        .disk(DiskModel::free())
+        .net(NetConfig {
             base_latency: Duration::from_micros(20),
             ..NetConfig::default()
-        },
-        generator: stash_data_config(),
-        scan_cost_per_obs: Duration::ZERO,
-        cell_service_cost: Duration::ZERO,
-        sub_rpc_timeout: Duration::from_millis(250),
-        distress_timeout: Duration::from_millis(100),
-        client_timeout: Duration::from_secs(5),
-        sub_rpc_retries: 2,
-        retry_backoff: Duration::from_millis(5),
-        client_retries: 9,
-        ..Default::default()
-    }
+        })
+        .generator(stash_data_config())
+        .scan_cost_per_obs(Duration::ZERO)
+        .cell_service_cost(Duration::ZERO)
+        .sub_rpc_timeout(Duration::from_millis(250))
+        .distress_timeout(Duration::from_millis(100))
+        .client_timeout(Duration::from_secs(5))
+        .sub_rpc_retries(2)
+        .retry_backoff(Duration::from_millis(5))
+        .client_retries(9)
+        .build()
+        .expect("chaos config is valid")
 }
 
 fn stash_data_config() -> stash_data::GeneratorConfig {

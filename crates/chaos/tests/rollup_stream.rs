@@ -1,0 +1,158 @@
+//! Chaos scenario: continuous rollups under a lossy fabric with an owner
+//! crash mid-stream (DESIGN.md §17).
+//!
+//! Pinned properties:
+//!
+//! 1. **Watermark monotonicity** — sampled concurrently with the stream,
+//!    the rollup watermark never moves backwards, drops and the crash
+//!    notwithstanding.
+//! 2. **Exact convergence** — after quiescence and the victim's restart,
+//!    every live block has sealed (the watermark sits at the domain end)
+//!    and rollup-served answers are **bit-for-bit** equal to a sealed
+//!    cluster built on the full dataset.
+
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use stash_chaos::{chaos_config, ground_truth};
+use stash_cluster::{run_stream, AppendSink, IngestConfig, Mode, RollupPolicy, SimCluster};
+use stash_dfs::BlockKey;
+use stash_geo::time::epoch_seconds;
+use stash_geo::{BBox, Geohash, TemporalRes, TimeBin, TimeRange};
+use stash_model::{AggQuery, Level, QueryResult};
+use stash_net::FaultPlan;
+
+fn live_day() -> TimeBin {
+    TimeBin::containing(TemporalRes::Day, epoch_seconds(2015, 2, 2, 0, 0, 0))
+}
+
+fn region() -> BBox {
+    BBox::from_corner_extent(36.0, -124.5, 4.0, 4.5)
+}
+
+fn assert_bit_identical(got: &QueryResult, want: &QueryResult, what: &str) {
+    assert_eq!(
+        got.cells.len(),
+        want.cells.len(),
+        "{what}: cell count diverged"
+    );
+    for (g, w) in got.cells.iter().zip(&want.cells) {
+        assert_eq!(g.key, w.key, "{what}: key order diverged");
+        assert_eq!(
+            g.summary, w.summary,
+            "{what}: summary for {:?} not bit-identical",
+            g.key
+        );
+    }
+}
+
+#[test]
+fn rollup_watermark_is_monotone_and_converges_exactly_under_chaos() {
+    let mut config = chaos_config(Mode::Stash);
+    config.generator.value_quantum = 1.0 / 64.0;
+    // A one-month domain over the live tiles so Month rollup cells fit
+    // under the all-sealed watermark (and backfill stays small).
+    config.data_bbox = region();
+    config.data_time = TimeRange::new(
+        epoch_seconds(2015, 2, 1, 0, 0, 0),
+        epoch_seconds(2015, 3, 1, 0, 0, 0),
+    )
+    .unwrap();
+    let day = live_day();
+    config.live_blocks = ["9q8", "9q9", "9qb", "9qc"]
+        .iter()
+        .map(|g| (Geohash::from_str(g).unwrap(), day))
+        .collect();
+    config.rollup = RollupPolicy::new(vec![
+        Level::of(2, TemporalRes::Day).unwrap(),
+        Level::of(1, TemporalRes::Month).unwrap(),
+    ])
+    .unwrap();
+
+    let q_day = AggQuery::new(
+        region(),
+        TimeRange::whole_day(2015, 2, 2),
+        2,
+        TemporalRes::Day,
+    );
+    let q_month = AggQuery::new(region(), config.data_time, 1, TemporalRes::Month);
+    let queries = vec![q_day, q_month];
+
+    // Ground truth: same domain, sealed from boot, no rollups — the raw
+    // recompute path is the authority the rollup must match bit for bit.
+    let mut sealed = config.clone();
+    sealed.live_blocks.clear();
+    sealed.rollup = RollupPolicy::disabled();
+    let truth = ground_truth(sealed, &queries);
+
+    let mut cluster = SimCluster::new(config);
+    let client = cluster.client();
+    let rollup = cluster.rollup().expect("rollup store attached").clone();
+    let horizon = epoch_seconds(2015, 3, 1, 0, 0, 0);
+    assert!(
+        rollup.watermark() < horizon,
+        "live blocks hold the watermark"
+    );
+
+    cluster
+        .router()
+        .install_faults(FaultPlan::new(4242).drop_all(0.05));
+
+    // Stream on a producer thread; the owner of the first live block dies
+    // mid-stream (replica-chain failover must keep folding and sealing).
+    let stream = cluster.live_stream(64);
+    let expected_rows = stream.total_rows() as u64;
+    let sink = Arc::new(cluster.ingest_client());
+    let victim = sink.owner_of(BlockKey {
+        geohash: stream.blocks()[0].0,
+        day: stream.blocks()[0].1,
+    });
+    let crash_after = {
+        let router = cluster.router().clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            router.crash_node(stash_net::NodeId(victim));
+        })
+    };
+    let producer = std::thread::spawn(move || run_stream(&stream, sink, IngestConfig::default()));
+
+    // Front-end side: sample the watermark while the stream runs — it
+    // must never move backwards.
+    let mut last_watermark = rollup.watermark();
+    let mut rounds = 0u32;
+    while !producer.is_finished() || rounds < 3 {
+        let w = rollup.watermark();
+        assert!(
+            w >= last_watermark,
+            "watermark went backwards mid-stream: {w} < {last_watermark}"
+        );
+        last_watermark = w;
+        rounds += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = producer.join().expect("producer thread");
+    crash_after.join().unwrap();
+    assert_eq!(
+        stats.rows_sent, expected_rows,
+        "failover must deliver every row despite drops and the crash"
+    );
+    assert_eq!(stats.batches_failed, 0, "no lane abandoned its block");
+
+    cluster.router().clear_faults();
+    cluster.restart_node(victim);
+
+    // Every live block sealed — even the victim's, applied by replicas —
+    // so the watermark reached the domain end.
+    assert_eq!(rollup.unsealed_blocks(), 0, "all live blocks sealed");
+    assert_eq!(rollup.watermark(), horizon, "watermark at the domain end");
+
+    // Rollup-served answers are bit-identical to the sealed ground truth,
+    // from the restarted node's cluster as from any other.
+    for (q, want) in queries.iter().zip(&truth) {
+        let got = client.query(q).run().expect("post-chaos rollup query");
+        assert!(got.rollup_hits > 0, "query must be rollup-served: {q:?}");
+        assert_bit_identical(&got, want, "post-chaos rollup");
+    }
+    cluster.shutdown();
+}

@@ -135,6 +135,7 @@ impl CachingClient {
             cache_hits: local_hits,
             derived_hits: derived,
             misses: fetched,
+            rollup_hits: 0,
         })
     }
 

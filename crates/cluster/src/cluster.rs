@@ -1,6 +1,7 @@
 //! Cluster assembly: configuration, node spawning, stats, teardown.
 
 use crate::client::{run_gateway, ClientReply, ClusterClient};
+use crate::config::RollupPolicy;
 use crate::ingest::IngestClient;
 use crate::node::{NodeCtx, WorkTiers};
 use crate::protocol::Msg;
@@ -9,7 +10,7 @@ use crossbeam::channel::unbounded;
 use stash_core::LogicalClock;
 use stash_core::StashConfig;
 use stash_data::{GeneratorConfig, NamGenerator, StreamConfig, StreamSource};
-use stash_dfs::{BlockSource, DiskModel, NodeStore, Partitioner};
+use stash_dfs::{BlockKey, BlockSource, DiskModel, NodeStore, Partitioner, RollupStore};
 use stash_geo::time::epoch_seconds;
 use stash_geo::{BBox, Geohash, TimeBin, TimeRange};
 use stash_model::CellKey;
@@ -102,6 +103,10 @@ pub struct ClusterConfig {
     /// Largest key count of one scatter fragment; an owner's share is
     /// chunked into fragments of at most this many Cells before batching.
     pub scatter_fragment_keys: usize,
+    /// Continuous-rollup policy (DESIGN.md §17). Disabled by default;
+    /// enabled policies can only be built through
+    /// [`crate::config::RollupPolicy`]'s validated constructors.
+    pub rollup: RollupPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -144,6 +149,7 @@ impl Default for ClusterConfig {
             ingest_patch: true,
             batch_scatter: true,
             scatter_fragment_keys: 64,
+            rollup: RollupPolicy::disabled(),
         }
     }
 }
@@ -197,8 +203,27 @@ pub struct SimCluster {
     source: Arc<dyn BlockSource>,
     /// Same object as `source` when `live_blocks` is non-empty.
     live: Option<Arc<LiveSource>>,
+    /// Shared continuous-rollup state, when the policy is enabled. Like the
+    /// block source it models durable replicated state: node crash/restart
+    /// does not lose rollup Cells or regress the watermark.
+    rollup: Option<Arc<RollupStore>>,
     threads: Vec<std::thread::JoinHandle<()>>,
     shut: AtomicBool,
+}
+
+/// What one [`SimCluster::apply_retention`] pass did (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionReport {
+    /// Raw blocks actually dropped from the block store this pass.
+    pub blocks_dropped: usize,
+    /// Modeled on-disk bytes of the dropped blocks.
+    pub raw_bytes_dropped: usize,
+    /// Decoded-frame cache bytes freed across all nodes (exact — summed
+    /// from each [`stash_dfs::FrameCache`]'s own accounting).
+    pub cache_bytes_freed: usize,
+    /// Blocks eligible under the horizon+watermark but kept because the
+    /// policy has `downsample` off (measurement mode).
+    pub blocks_eligible_kept: usize,
 }
 
 /// Build one node's store, context, and threads (main + tiered workers).
@@ -210,6 +235,7 @@ fn spawn_node(
     router: &Router<Msg>,
     partitioner: &Partitioner,
     source: &Arc<dyn BlockSource>,
+    rollup: &Option<Arc<RollupStore>>,
     ep: stash_net::Endpoint<Msg>,
     threads: &mut Vec<std::thread::JoinHandle<()>>,
 ) -> Arc<NodeCtx> {
@@ -234,6 +260,7 @@ fn spawn_node(
         Arc::clone(config),
         router.clone(),
         store,
+        rollup.clone(),
         clock,
         WorkTiers {
             coord_tx,
@@ -274,12 +301,12 @@ impl SimCluster {
     /// Boot a cluster: spawns `n_nodes * (1 + coord + service + fetch workers) + 2`
     /// threads (mains, workers, router, gateway).
     pub fn new(config: ClusterConfig) -> Self {
-        config.stash.validate();
-        assert!(config.n_nodes > 0, "cluster needs at least one node");
-        assert!(
-            config.coord_workers >= 1 && config.service_workers >= 1 && config.fetch_workers >= 1,
-            "every worker tier needs at least one thread"
-        );
+        // Backstop for configs assembled by struct literal during the
+        // builder deprecation window; builder-built configs already passed
+        // this check and cannot fail here.
+        if let Err(e) = config.check() {
+            panic!("invalid cluster config: {e}");
+        }
         let config = Arc::new(config);
         let (router, mut endpoints) = Router::<Msg>::new(config.n_nodes + 1, config.net.clone());
         let gateway_ep = endpoints.pop().expect("gateway endpoint");
@@ -302,6 +329,36 @@ impl SimCluster {
                 (Some(Arc::clone(&l)), l)
             };
 
+        // Continuous rollups (DESIGN.md §17): backfill every configured
+        // level from the boot-resident blocks before any node (or stream)
+        // starts, so live blocks contribute exactly their base rows and
+        // every later append folds a delta on top.
+        let rollup: Option<Arc<RollupStore>> = if config.rollup.is_enabled() {
+            let live_keys = config
+                .live_blocks
+                .iter()
+                .map(|&(geohash, day)| BlockKey { geohash, day });
+            let store = RollupStore::new(
+                config.rollup.levels().iter().copied(),
+                live_keys,
+                config.data_time.end,
+            );
+            store
+                .backfill(
+                    source.as_ref(),
+                    config.block_len,
+                    &config.data_bbox,
+                    &config.data_time,
+                    &config.stash.sketch,
+                    config.stash.max_cells_per_query,
+                    config.stash.max_blocks_per_fetch,
+                )
+                .expect("rollup backfill over a checked config");
+            Some(Arc::new(store))
+        } else {
+            None
+        };
+
         let mut nodes = Vec::with_capacity(config.n_nodes);
         let mut threads = Vec::new();
         for ep in endpoints {
@@ -310,6 +367,7 @@ impl SimCluster {
                 &router,
                 &partitioner,
                 &source,
+                &rollup,
                 ep,
                 &mut threads,
             ));
@@ -340,6 +398,7 @@ impl SimCluster {
             partitioner,
             source,
             live,
+            rollup,
             threads,
             shut: AtomicBool::new(false),
         }
@@ -366,6 +425,7 @@ impl SimCluster {
             &self.router,
             &self.partitioner,
             &self.source,
+            &self.rollup,
             ep,
             &mut self.threads,
         );
@@ -434,6 +494,56 @@ impl SimCluster {
     /// The live (appendable) storage, if `live_blocks` was configured.
     pub fn live_source(&self) -> Option<&Arc<LiveSource>> {
         self.live.as_ref()
+    }
+
+    /// The shared continuous-rollup state, if the policy is enabled.
+    pub fn rollup(&self) -> Option<&Arc<RollupStore>> {
+        self.rollup.as_ref()
+    }
+
+    /// One retention pass (DESIGN.md §17): every block whose whole day ends
+    /// at or before both the configured horizon and the rollup watermark is
+    /// *eligible* — the rollup provably holds everything it would ever
+    /// contribute. With `downsample` on, eligible blocks are dropped from
+    /// the shared store (later reads are empty, versions jump to
+    /// `u64::MAX` so stale decoded-frame cache entries lazily miss), each
+    /// node's frame cache is purged with exact byte accounting, and every
+    /// node's graphs get a region invalidation covering the block. With
+    /// `downsample` off this only measures what a pass would free.
+    ///
+    /// Idempotent: a second pass over the same horizon drops nothing new.
+    pub fn apply_retention(&self) -> RetentionReport {
+        let mut report = RetentionReport::default();
+        let (Some(rollup), Some(horizon)) = (&self.rollup, self.config.rollup.retention_horizon())
+        else {
+            return report;
+        };
+        for block in rollup.known_blocks() {
+            if !rollup.retirable(&block, horizon) {
+                continue;
+            }
+            if !self.config.rollup.downsample() {
+                report.blocks_eligible_kept += 1;
+                continue;
+            }
+            let bytes = self.source.block_bytes(block.geohash);
+            let mut retired = false;
+            for n in &self.nodes {
+                let (r, freed) = n.store.retire_block(block);
+                retired |= r;
+                report.cache_bytes_freed += freed;
+            }
+            if retired {
+                report.blocks_dropped += 1;
+                report.raw_bytes_dropped += bytes;
+                // Whatever any graph cached over this block predates the
+                // drop; stale it so the next touch recomputes (and, at
+                // rollup levels under the watermark, serves from the
+                // rollup without raw data at all).
+                self.invalidate_region(block.geohash.bbox(), block.day.range());
+            }
+        }
+        report
     }
 
     /// The stream of append batches completing this cluster's live blocks:
@@ -587,25 +697,25 @@ mod tests {
     use stash_model::AggQuery;
 
     fn small_config(mode: Mode) -> ClusterConfig {
-        ClusterConfig {
-            n_nodes: 4,
-            coord_workers: 2,
-            service_workers: 2,
-            fetch_workers: 2,
-            mode,
-            disk: DiskModel::free(),
-            net: NetConfig {
+        ClusterConfig::builder()
+            .n_nodes(4)
+            .coord_workers(2)
+            .service_workers(2)
+            .fetch_workers(2)
+            .mode(mode)
+            .disk(DiskModel::free())
+            .net(NetConfig {
                 base_latency: Duration::from_micros(20),
                 ..NetConfig::default()
-            },
-            generator: GeneratorConfig {
+            })
+            .generator(GeneratorConfig {
                 seed: 3,
                 obs_per_deg2_per_day: 30.0,
                 max_obs_per_block: 10_000,
                 value_quantum: 0.0,
-            },
-            ..Default::default()
-        }
+            })
+            .build()
+            .expect("small test config is valid")
     }
 
     fn county_query() -> AggQuery {

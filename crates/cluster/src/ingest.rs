@@ -63,7 +63,13 @@ impl AppendSink for IngestClient {
     /// incomplete invalidation round) are retried in place: they are
     /// usually transient fault-plan weather, and `Duplicate` idempotency
     /// makes re-sends harmless.
-    fn append(&self, block: BlockKey, seq: u64, rows: &[Observation]) -> Result<(), IngestError> {
+    fn append(
+        &self,
+        block: BlockKey,
+        seq: u64,
+        rows: &[Observation],
+        last: bool,
+    ) -> Result<(), IngestError> {
         let n_nodes = self.partitioner.n_nodes();
         let mut exclude: Vec<usize> = Vec::new();
         loop {
@@ -79,6 +85,7 @@ impl AppendSink for IngestClient {
                     block,
                     seq,
                     rows: rows.to_vec(),
+                    last,
                 };
                 let bytes = msg.wire_size();
                 if !self.router.send(self.gateway, NodeId(target), msg, bytes) {

@@ -24,6 +24,7 @@
 pub mod client;
 pub mod client_cache;
 pub mod cluster;
+pub mod config;
 pub mod ingest;
 pub mod node;
 pub mod protocol;
@@ -31,7 +32,8 @@ pub mod source;
 
 pub use client::{ClientError, ClusterClient, QueryCall, TracedQueryCall};
 pub use client_cache::{CachingClient, Prefetcher};
-pub use cluster::{ClusterConfig, Mode, NodeStatsSnapshot, SimCluster};
+pub use cluster::{ClusterConfig, Mode, NodeStatsSnapshot, RetentionReport, SimCluster};
+pub use config::{ClusterConfigBuilder, ConfigError, RollupPolicy};
 pub use ingest::IngestClient;
 pub use protocol::ClusterError;
 pub use source::{GenBlockSource, LiveSource};

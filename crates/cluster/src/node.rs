@@ -25,7 +25,9 @@ use parking_lot::Mutex;
 use stash_core::{
     evaluate_traced, CliqueFinder, GuestBook, LogicalClock, RouteDecision, RoutingTable, StashGraph,
 };
-use stash_dfs::{frame_spatial_res, plan_blocks, AppendOutcome, BlockFrame, BlockKey, NodeStore};
+use stash_dfs::{
+    frame_spatial_res, plan_blocks, AppendOutcome, BlockFrame, BlockKey, NodeStore, RollupStore,
+};
 use stash_geo::TemporalRes;
 use stash_model::level::MAX_SPATIAL_RES;
 use stash_model::{Cell, CellKey, CellSummary, FlatPartials, Level, Observation, QueryResult};
@@ -104,6 +106,10 @@ pub struct NodeCtx {
     pub config: Arc<ClusterConfig>,
     pub router: Router<Msg>,
     pub store: NodeStore,
+    /// Shared continuous-rollup state (DESIGN.md §17), when the cluster's
+    /// [`crate::config::RollupPolicy`] is enabled. Cluster-wide durable
+    /// state like the block source — not per-node cache.
+    pub rollup: Option<Arc<RollupStore>>,
     /// The node's local STASH graph.
     pub graph: StashGraph,
     /// The guest graph holding replicas from hotspotted peers (§VII-A).
@@ -158,6 +164,7 @@ impl NodeCtx {
         config: Arc<ClusterConfig>,
         router: Router<Msg>,
         store: NodeStore,
+        rollup: Option<Arc<RollupStore>>,
         clock: Arc<LogicalClock>,
         tiers: WorkTiers,
     ) -> Self {
@@ -197,6 +204,7 @@ impl NodeCtx {
             config,
             router,
             store,
+            rollup,
             tiers,
         }
     }
@@ -626,8 +634,9 @@ impl NodeCtx {
                 block,
                 seq,
                 rows,
+                last,
             } => {
-                self.apply_append(rpc, reply_to, block, seq, rows);
+                self.apply_append(rpc, reply_to, block, seq, rows, last);
             }
             // Responses never reach workers (completed on the main thread).
             other => unreachable!("worker received non-work message {other:?}"),
@@ -897,6 +906,7 @@ impl NodeCtx {
             merged.cache_hits += part.cache_hits;
             merged.derived_hits += part.derived_hits;
             merged.misses += part.misses;
+            merged.rollup_hits += part.rollup_hits;
         };
         let waited = Instant::now();
         for (owner, group, rpc, rx) in single_waits {
@@ -1175,6 +1185,34 @@ impl NodeCtx {
             self.stats.guest_serves.fetch_add(1, Ordering::Relaxed);
             self.obs.inc("handoff.guest.serve");
             self.guestbook.lock().touch(keys, self.clock.now());
+        } else if let Some(rollup) = &self.rollup {
+            // Rollup fast path (DESIGN.md §17): when every requested key is
+            // at a rollup level with its bin fully under the watermark, the
+            // materialized rollup Cells ARE the answer — always fresh
+            // (every applied append folded its delta in), bit-for-bit equal
+            // to a cold recompute, and reached without touching the graph
+            // or any raw block. All-or-nothing per sub-query, so a mixed
+            // key set keeps a single authority.
+            if let Some(served) = rollup.serve(keys) {
+                self.obs.inc("rollup.serves");
+                self.obs.counter("rollup.cells").add(served.len() as u64);
+                let result = QueryResult {
+                    cells: served
+                        .into_iter()
+                        .map(|(key, summary)| Cell { key, summary })
+                        .collect(),
+                    rollup_hits: keys.len(),
+                    ..QueryResult::default()
+                };
+                // The per-Cell serve cost is the same as a graph serve:
+                // lookup, merge, serialization (DESIGN.md §2).
+                let serve = self.config.cell_service_cost * keys.len() as u32;
+                if serve > Duration::ZERO {
+                    std::thread::sleep(serve);
+                    st.merge_ns += serve.as_nanos() as u64;
+                }
+                return (Ok(result), st);
+            }
         }
         let this = Arc::clone(self);
         let gather_acc = Arc::new(Mutex::new(StageTimes::default()));
@@ -1240,6 +1278,7 @@ impl NodeCtx {
         block: BlockKey,
         seq: u64,
         rows: Vec<Observation>,
+        last: bool,
     ) {
         let affected = affected_keys(&rows);
         let apply = self.ingest_apply.lock();
@@ -1262,7 +1301,17 @@ impl NodeCtx {
                 // would fold it — resident Cells never silently degrade to
                 // exact-only under live ingest.
                 let sketch = &self.config.stash.sketch;
-                for (key, delta) in frame.aggregate_with(&affected, sketch).cells {
+                let deltas = frame.aggregate_with(&affected, sketch).cells;
+                // Fold once, patch both: `affected` spans all 48 levels,
+                // so the same kernel output carries the rollup-level
+                // deltas — the rollup's seq guard makes the fold exactly
+                // once under retries and owner failover (DESIGN.md §17).
+                if let Some(rollup) = &self.rollup {
+                    if rollup.fold(block, seq, &deltas) {
+                        self.obs.inc("rollup.folds");
+                    }
+                }
+                for (key, delta) in deltas {
                     if self.graph.patch(&key, &delta) {
                         patched += 1;
                     } else {
@@ -1285,12 +1334,39 @@ impl NodeCtx {
                     .counter("ingest.cells_invalidated")
                     .add(invalidated as u64);
             } else {
-                // Ablation: invalidate everything the batch touched.
+                // Ablation: invalidate everything the batch touched. The
+                // rollup still folds — it is not a cache, and its
+                // correctness contract (fresh under the watermark) holds in
+                // every mode the policy allows.
+                if let Some(rollup) = &self.rollup {
+                    let res = frame_spatial_res(self.store.block_len(), &affected);
+                    let frame = BlockFrame::decode(block, &rows, self.config.n_attrs, res);
+                    let deltas = frame
+                        .aggregate_with(&affected, &self.config.stash.sketch)
+                        .cells;
+                    if rollup.fold(block, seq, &deltas) {
+                        self.obs.inc("rollup.folds");
+                    }
+                }
                 let invalidated =
                     self.graph.mark_stale_keys(&affected) + self.guest.mark_stale_keys(&affected);
                 self.obs
                     .counter("ingest.cells_invalidated")
                     .add(invalidated as u64);
+            }
+        }
+        // Seal on the block's final batch — on Duplicate too: the usual
+        // duplicate cause is a retry whose ack was lost after the batch
+        // (and possibly the seal) landed, and sealing is idempotent.
+        if last
+            && matches!(
+                outcome,
+                AppendOutcome::Applied { .. } | AppendOutcome::Duplicate
+            )
+        {
+            if let Some(rollup) = &self.rollup {
+                rollup.seal(block);
+                self.obs.inc("rollup.seals");
             }
         }
         self.ingest_epoch.fetch_add(1, Ordering::SeqCst);

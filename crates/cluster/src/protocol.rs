@@ -210,6 +210,9 @@ pub enum Msg {
         block: BlockKey,
         seq: u64,
         rows: Vec<Observation>,
+        /// The block's final batch: applying it seals the block, which
+        /// advances the continuous-rollup watermark (DESIGN.md §17).
+        last: bool,
     },
     /// Applier → producer: the batch is durable *and* every live peer has
     /// acknowledged invalidation of its affected summaries. `applied` is

@@ -20,6 +20,7 @@ use stash_dfs::{AppendOutcome, BlockFrame, BlockKey, BlockSource, FrameBuilder};
 use stash_geo::{Geohash, TimeBin};
 use stash_model::Observation;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Stream one generated block-day straight into a flat frame: no
 /// `Vec<Observation>` and no per-row `Vec<f64>` — the generator's reused
@@ -34,23 +35,40 @@ fn build_frame(generator: &NamGenerator, key: BlockKey, spatial_res: u8) -> Bloc
 }
 
 /// [`BlockSource`] backed by a [`NamGenerator`].
+///
+/// Retention (DESIGN.md §17) is modeled with shared tombstones: a retired
+/// block reads as empty with version `u64::MAX`, so decoded-frame caches
+/// tagged with an older version lazily miss instead of serving dropped
+/// data. Clones share the tombstone set — like the generator itself, the
+/// source models one replicated storage layer.
 #[derive(Debug, Clone)]
 pub struct GenBlockSource {
     generator: NamGenerator,
+    retired: Arc<RwLock<HashSet<BlockKey>>>,
 }
 
 impl GenBlockSource {
     pub fn new(generator: NamGenerator) -> Self {
-        GenBlockSource { generator }
+        GenBlockSource {
+            generator,
+            retired: Arc::new(RwLock::new(HashSet::new())),
+        }
     }
 
     pub fn generator(&self) -> &NamGenerator {
         &self.generator
     }
+
+    fn is_retired(&self, key: BlockKey) -> bool {
+        self.retired.read().contains(&key)
+    }
 }
 
 impl BlockSource for GenBlockSource {
     fn read_block(&self, key: BlockKey) -> Vec<Observation> {
+        if self.is_retired(key) {
+            return Vec::new();
+        }
         self.generator.block_for_day(key.geohash, key.day)
     }
 
@@ -62,10 +80,33 @@ impl BlockSource for GenBlockSource {
         self.generator.schema().len()
     }
 
+    fn block_version(&self, key: BlockKey) -> u64 {
+        if self.is_retired(key) {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    fn read_block_versioned(&self, key: BlockKey) -> (Vec<Observation>, u64) {
+        if self.is_retired(key) {
+            return (Vec::new(), u64::MAX);
+        }
+        (self.generator.block_for_day(key.geohash, key.day), 0)
+    }
+
     /// Sealed generated blocks stream rows straight into the flat frame,
     /// skipping the `Vec<Observation>` the default route materializes.
     fn read_frame(&self, key: BlockKey, spatial_res: u8) -> BlockFrame {
+        if self.is_retired(key) {
+            return BlockFrame::decode(key, &[], self.n_attrs(), spatial_res)
+                .with_version(u64::MAX);
+        }
         build_frame(&self.generator, key, spatial_res)
+    }
+
+    fn retire(&self, key: BlockKey) -> bool {
+        self.retired.write().insert(key)
     }
 }
 
@@ -90,6 +131,9 @@ pub struct LiveSource {
     base_fraction: f64,
     live: HashSet<BlockKey>,
     overlays: RwLock<HashMap<BlockKey, Overlay>>,
+    /// Blocks dropped under retention (DESIGN.md §17): they read as empty
+    /// with version `u64::MAX` and reject further appends.
+    retired: RwLock<HashSet<BlockKey>>,
 }
 
 impl LiveSource {
@@ -107,7 +151,12 @@ impl LiveSource {
             base_fraction: base_fraction.clamp(0.0, 1.0),
             live,
             overlays: RwLock::new(HashMap::new()),
+            retired: RwLock::new(HashSet::new()),
         }
+    }
+
+    fn is_retired(&self, key: BlockKey) -> bool {
+        self.retired.read().contains(&key)
     }
 
     pub fn generator(&self) -> &NamGenerator {
@@ -140,6 +189,9 @@ impl BlockSource for LiveSource {
     }
 
     fn block_version(&self, key: BlockKey) -> u64 {
+        if self.is_retired(key) {
+            return u64::MAX;
+        }
         if !self.is_live(key) {
             return 0;
         }
@@ -147,6 +199,9 @@ impl BlockSource for LiveSource {
     }
 
     fn read_block_versioned(&self, key: BlockKey) -> (Vec<Observation>, u64) {
+        if self.is_retired(key) {
+            return (Vec::new(), u64::MAX);
+        }
         if !self.is_live(key) {
             return (self.generator.block_for_day(key.geohash, key.day), 0);
         }
@@ -168,7 +223,7 @@ impl BlockSource for LiveSource {
     /// live blocks (truncated base + mutable overlay) keep the row-struct
     /// oracle route, whose version tagging is already lock-consistent.
     fn read_frame(&self, key: BlockKey, spatial_res: u8) -> BlockFrame {
-        if !self.is_live(key) {
+        if !self.is_live(key) && !self.is_retired(key) {
             return build_frame(&self.generator, key, spatial_res);
         }
         let (observations, version) = self.read_block_versioned(key);
@@ -176,7 +231,7 @@ impl BlockSource for LiveSource {
     }
 
     fn append(&self, key: BlockKey, seq: u64, rows: &[Observation]) -> AppendOutcome {
-        if !self.is_live(key) {
+        if !self.is_live(key) || self.is_retired(key) {
             return AppendOutcome::Unsupported;
         }
         let mut overlays = self.overlays.write();
@@ -193,6 +248,16 @@ impl BlockSource for LiveSource {
                 AppendOutcome::Applied { version: o.version }
             }
         }
+    }
+
+    fn retire(&self, key: BlockKey) -> bool {
+        let fresh = self.retired.write().insert(key);
+        if fresh {
+            // Release the overlay rows too — retention's whole point is
+            // bounding resident raw data.
+            self.overlays.write().remove(&key);
+        }
+        fresh
     }
 }
 

@@ -34,29 +34,29 @@ fn live_blocks() -> Vec<(Geohash, TimeBin)> {
 /// A live cluster config; `live` toggles whether the blocks boot truncated
 /// (streaming completes them) or fully sealed (the cold ground truth).
 fn config(live: bool) -> ClusterConfig {
-    ClusterConfig {
-        n_nodes: 4,
-        coord_workers: 2,
-        service_workers: 2,
-        fetch_workers: 2,
-        mode: Mode::Stash,
-        disk: DiskModel::free(),
-        net: NetConfig {
+    ClusterConfig::builder()
+        .n_nodes(4)
+        .coord_workers(2)
+        .service_workers(2)
+        .fetch_workers(2)
+        .mode(Mode::Stash)
+        .disk(DiskModel::free())
+        .net(NetConfig {
             base_latency: Duration::from_micros(20),
             ..NetConfig::default()
-        },
-        generator: GeneratorConfig {
+        })
+        .generator(GeneratorConfig {
             seed: 11,
             obs_per_deg2_per_day: 40.0,
             max_obs_per_block: 10_000,
             value_quantum: 1.0 / 64.0,
-        },
-        scan_cost_per_obs: Duration::ZERO,
-        cell_service_cost: Duration::ZERO,
-        live_blocks: if live { live_blocks() } else { Vec::new() },
-        live_base_fraction: 0.5,
-        ..Default::default()
-    }
+        })
+        .scan_cost_per_obs(Duration::ZERO)
+        .cell_service_cost(Duration::ZERO)
+        .live_blocks(if live { live_blocks() } else { Vec::new() })
+        .live_base_fraction(0.5)
+        .build()
+        .expect("ingest test config is valid")
 }
 
 /// A pan/dice workload over the live blocks' region (tiles `9q8`/`9q9`/

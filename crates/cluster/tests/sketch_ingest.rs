@@ -39,33 +39,32 @@ fn live_blocks() -> Vec<(Geohash, TimeBin)> {
 }
 
 fn config(live: bool) -> ClusterConfig {
-    let mut cfg = ClusterConfig {
-        n_nodes: 4,
-        coord_workers: 2,
-        service_workers: 2,
-        fetch_workers: 2,
-        mode: Mode::Stash,
-        disk: DiskModel::free(),
-        net: NetConfig {
+    ClusterConfig::builder()
+        .n_nodes(4)
+        .coord_workers(2)
+        .service_workers(2)
+        .fetch_workers(2)
+        .mode(Mode::Stash)
+        .disk(DiskModel::free())
+        .net(NetConfig {
             base_latency: Duration::from_micros(20),
             ..NetConfig::default()
-        },
-        generator: GeneratorConfig {
+        })
+        .generator(GeneratorConfig {
             seed: 23,
             obs_per_deg2_per_day: 40.0,
             max_obs_per_block: 10_000,
             // Integer-valued attributes: bounded distinct sets keep every
             // sketch state a pure function of the row multiset.
             value_quantum: 1.0,
-        },
-        scan_cost_per_obs: Duration::ZERO,
-        cell_service_cost: Duration::ZERO,
-        live_blocks: if live { live_blocks() } else { Vec::new() },
-        live_base_fraction: 0.5,
-        ..Default::default()
-    };
-    cfg.stash.sketch = SketchSpec::standard();
-    cfg
+        })
+        .scan_cost_per_obs(Duration::ZERO)
+        .cell_service_cost(Duration::ZERO)
+        .live_blocks(if live { live_blocks() } else { Vec::new() })
+        .live_base_fraction(0.5)
+        .tweak(|c| c.stash.sketch = SketchSpec::standard())
+        .build()
+        .expect("sketch ingest test config is valid")
 }
 
 /// Pan/zoom/dice workload over the live region at several levels (see

@@ -117,32 +117,48 @@ impl StashConfig {
         ((self.max_cells as f64) * self.safe_fraction).floor() as usize
     }
 
+    /// Check every knob against its valid domain, returning the first
+    /// violation as a message. This is the fallible surface the cluster
+    /// config builder reports through; [`StashConfig::validate`] wraps it
+    /// for runtimes that prefer to fail loudly at startup.
+    pub fn check(&self) -> Result<(), String> {
+        if self.max_cells == 0 {
+            return Err("max_cells must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.safe_fraction) {
+            return Err("safe_fraction must be within [0,1]".into());
+        }
+        if self.f_inc <= 0.0 {
+            return Err("f_inc must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.neighbor_fraction) {
+            return Err("neighbor_fraction must be within [0,1]".into());
+        }
+        if self.decay_tau <= 0.0 {
+            return Err("decay_tau must be positive".into());
+        }
+        if self.clique_depth < 1 {
+            return Err("clique_depth must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.reroute_probability) {
+            return Err("reroute_probability must be within [0,1]".into());
+        }
+        if self.max_replicable_cells == 0 {
+            return Err("max_replicable_cells must be positive".into());
+        }
+        if self.top_k_cliques == 0 {
+            return Err("top_k_cliques must be positive".into());
+        }
+        self.sketch
+            .validate()
+            .map_err(|e| format!("sketch spec invalid: {e}"))
+    }
+
     /// Panics if any knob is out of its valid domain. Called by node
     /// runtimes at startup so misconfiguration fails loudly, not subtly.
     pub fn validate(&self) {
-        assert!(self.max_cells > 0, "max_cells must be positive");
-        assert!(
-            (0.0..=1.0).contains(&self.safe_fraction),
-            "safe_fraction must be within [0,1]"
-        );
-        assert!(self.f_inc > 0.0, "f_inc must be positive");
-        assert!(
-            (0.0..=1.0).contains(&self.neighbor_fraction),
-            "neighbor_fraction must be within [0,1]"
-        );
-        assert!(self.decay_tau > 0.0, "decay_tau must be positive");
-        assert!(self.clique_depth >= 1, "clique_depth must be at least 1");
-        assert!(
-            (0.0..=1.0).contains(&self.reroute_probability),
-            "reroute_probability must be within [0,1]"
-        );
-        assert!(
-            self.max_replicable_cells > 0,
-            "max_replicable_cells must be positive"
-        );
-        assert!(self.top_k_cliques > 0, "top_k_cliques must be positive");
-        if let Err(e) = self.sketch.validate() {
-            panic!("sketch spec invalid: {e}");
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }

@@ -146,6 +146,7 @@ pub fn evaluate_traced(
             cache_hits: outcome.cache_hits,
             derived_hits: outcome.derived_hits,
             misses: outcome.fetched,
+            rollup_hits: 0,
         },
         times,
     ))

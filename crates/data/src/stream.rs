@@ -39,6 +39,10 @@ pub struct StreamBatch {
     /// Index of `rows[0]` within the block-day's full row sequence.
     pub start_row: usize,
     pub rows: Vec<Observation>,
+    /// This is the block-day's final batch: once applied, the block is
+    /// sealed — its contents will never change again. Continuous rollups
+    /// advance their watermark on seal (DESIGN.md §17).
+    pub last: bool,
 }
 
 /// Deterministic replay of the dataset tail over a fixed set of blocks.
@@ -137,6 +141,7 @@ impl Iterator for StreamIter {
                 day: *day,
                 start_row: split + off,
                 rows: tail[off..end].to_vec(),
+                last: end == tail.len(),
             });
         }
         None
@@ -201,6 +206,23 @@ mod tests {
         let first: Vec<Geohash> = src.batches().take(3).map(|b| b.block).collect();
         let distinct: std::collections::HashSet<_> = first.iter().collect();
         assert_eq!(distinct.len(), 3, "first round must touch every block");
+    }
+
+    #[test]
+    fn last_marks_exactly_the_final_batch_of_each_block() {
+        let src = source(0.4, 97);
+        let mut sealed: HashMap<Geohash, usize> = HashMap::new();
+        for batch in src.batches() {
+            assert!(
+                !sealed.contains_key(&batch.block),
+                "no batches after the sealing one"
+            );
+            if batch.last {
+                *sealed.entry(batch.block).or_default() += 1;
+            }
+        }
+        assert_eq!(sealed.len(), src.blocks().len());
+        assert!(sealed.values().all(|&n| n == 1));
     }
 
     #[test]

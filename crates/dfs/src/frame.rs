@@ -424,13 +424,19 @@ impl BlockFrame {
         let tile_len = tile.len();
 
         // Distinct resolution groups, plus the output table (dedup by key).
+        // Output bundles are stamped from one template: constructing an
+        // empty sketch bundle recomputes spec-derived state (bucket
+        // geometry, register sizing) every time, while a clone is a flat
+        // buffer copy — measurable across hundreds of wanted cells
+        // (guarded by the `figures --profile --smoke` fold shootout).
+        let template = CellSummary::empty_with(self.n_attrs, sketch);
         let mut out: Vec<(CellKey, CellSummary)> = Vec::with_capacity(wanted.len());
         let mut index: FxHashMap<CellKey, usize> = FxHashMap::default();
         let mut group_set: FxHashSet<(u8, TemporalRes)> = FxHashSet::default();
         for &c in wanted {
             if let std::collections::hash_map::Entry::Vacant(v) = index.entry(c) {
                 v.insert(out.len());
-                out.push((c, CellSummary::empty_with(self.n_attrs, sketch)));
+                out.push((c, template.clone()));
                 group_set.insert((c.spatial_res(), c.temporal_res()));
             }
         }
@@ -653,6 +659,9 @@ impl BlockFrame {
                     // falls back to a row fold.
                     let mut uncovered: FxHashSet<u32> = FxHashSet::default();
                     let mut fallback_groups: Vec<usize> = Vec::new();
+                    // One template bundle cloned per merge target — same
+                    // arena trick as the output table above.
+                    let empty_bundle = AttrSketches::new(sketch);
                     for g in 0..groups.len() {
                         if g == g0 {
                             continue;
@@ -679,7 +688,7 @@ impl BlockFrame {
                             }
                             sketch_merged_cells += 1;
                             for a in 0..self.n_attrs {
-                                let mut bundle = AttrSketches::new(sketch);
+                                let mut bundle = empty_bundle.clone();
                                 for &src in sources {
                                     if let Some(sb) = out[src as usize].1.attr_sketches(a) {
                                         bundle.merge(sb);

@@ -32,6 +32,7 @@ pub mod block;
 pub mod disk;
 pub mod frame;
 pub mod partitioner;
+pub mod rollup;
 pub mod store;
 
 pub use block::{plan_blocks, BlockKey, BlockPlanError};
@@ -41,4 +42,5 @@ pub use frame::{
     DEFAULT_FRAME_CACHE_BYTES,
 };
 pub use partitioner::Partitioner;
+pub use rollup::RollupStore;
 pub use store::{AppendOutcome, BlockScan, BlockSource, NodeStore, PartialCell};

@@ -82,6 +82,15 @@ pub trait BlockSource: Send + Sync {
     fn append(&self, _key: BlockKey, _seq: u64, _rows: &[Observation]) -> AppendOutcome {
         AppendOutcome::Unsupported
     }
+    /// Drop a raw block under a retention policy (DESIGN.md §17): later
+    /// reads of the key yield no observations and its version becomes
+    /// `u64::MAX` so remote decoded-frame caches tagged with an older
+    /// version lazily miss instead of serving dropped data. Returns `true`
+    /// iff this call retired the block (idempotent). Immutable sources keep
+    /// the default: nothing is dropped.
+    fn retire(&self, _key: BlockKey) -> bool {
+        false
+    }
     /// Read one block as a ready-to-scan flat frame at `spatial_res`,
     /// tagged with the version its rows reflect. The default materializes
     /// `Vec<Observation>` and decodes — the oracle route. Sources that can
@@ -427,6 +436,25 @@ impl NodeStore {
             }
         }
         outcome
+    }
+
+    /// Retire a raw block under retention (see [`BlockSource::retire`]) and
+    /// keep this node's decoded-frame cache coherent by dropping the cached
+    /// frame eagerly. Returns `(retired, cache_bytes_freed)`; the caller
+    /// accounts the raw bytes released via [`BlockSource::block_bytes`]
+    /// before calling.
+    pub fn retire_block(&self, key: BlockKey) -> (bool, usize) {
+        let retired = self.source.retire(key);
+        let freed = self.frame_cache.remove(&key);
+        if retired {
+            self.metrics.counter("dfs.retire.blocks").inc();
+        }
+        if freed > 0 {
+            self.metrics
+                .counter("dfs.retire.cache_bytes")
+                .add(freed as u64);
+        }
+        (retired, freed)
     }
 
     /// The seed's direct per-level binning — one geohash encode per

@@ -78,7 +78,17 @@ pub trait AppendSink: Send + Sync {
     /// Which lane (usually: which storage node) serializes this block.
     fn owner_of(&self, block: BlockKey) -> usize;
     /// Apply batch `seq` (0-based, contiguous per block) of this block.
-    fn append(&self, block: BlockKey, seq: u64, rows: &[Observation]) -> Result<(), IngestError>;
+    /// `last` marks the block's final batch: applying it seals the block,
+    /// which lets continuous rollups advance their watermark (DESIGN.md
+    /// §17). Shed batches are never re-sent, so a shed final batch leaves
+    /// the block unsealed — honest lossy semantics.
+    fn append(
+        &self,
+        block: BlockKey,
+        seq: u64,
+        rows: &[Observation],
+        last: bool,
+    ) -> Result<(), IngestError>;
 }
 
 /// Outcome counters of one [`run_stream`] run.
@@ -169,13 +179,13 @@ pub fn run_stream(
         .map(|&(geohash, day)| sink.owner_of(BlockKey { geohash, day }))
         .collect();
     type Lane = (
-        crossbeam::channel::Sender<(BlockKey, Vec<Observation>)>,
+        crossbeam::channel::Sender<(BlockKey, Vec<Observation>, bool)>,
         Arc<LagGate>,
     );
     let mut lanes: HashMap<usize, Lane> = HashMap::new();
     let mut workers = Vec::new();
     for owner in owners {
-        let (tx, rx) = crossbeam::channel::unbounded::<(BlockKey, Vec<Observation>)>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(BlockKey, Vec<Observation>, bool)>();
         let gate = Arc::new(LagGate::new());
         lanes.insert(owner, (tx, Arc::clone(&gate)));
         let sink = Arc::clone(&sink);
@@ -189,11 +199,11 @@ pub fn run_stream(
                     // leaves no holes in the sequence.
                     let mut seqs: HashMap<BlockKey, u64> = HashMap::new();
                     let mut dead: HashSet<BlockKey> = HashSet::new();
-                    while let Ok((block, rows)) = rx.recv() {
+                    while let Ok((block, rows, last)) = rx.recv() {
                         let n = rows.len();
                         if !dead.contains(&block) {
                             let seq = seqs.entry(block).or_insert(0);
-                            match sink.append(block, *seq, &rows) {
+                            match sink.append(block, *seq, &rows, last) {
                                 Ok(()) => {
                                     *seq += 1;
                                     stats.rows_sent += n as u64;
@@ -241,7 +251,8 @@ pub fn run_stream(
             },
         };
         stats.max_lag_rows = stats.max_lag_rows.max(admitted_lag);
-        tx.send((block, batch.rows)).expect("lane worker alive");
+        tx.send((block, batch.rows, batch.last))
+            .expect("lane worker alive");
     }
     drop(lanes); // close every lane; workers drain and exit
     for w in workers {
@@ -267,6 +278,7 @@ mod tests {
         n_owners: usize,
         delay: Duration,
         applied: Mutex<HashMap<BlockKey, (u64, Vec<Observation>)>>,
+        sealed: Mutex<HashSet<BlockKey>>,
     }
 
     impl MemSink {
@@ -275,6 +287,7 @@ mod tests {
                 n_owners,
                 delay,
                 applied: Mutex::new(HashMap::new()),
+                sealed: Mutex::new(HashSet::new()),
             }
         }
 
@@ -301,6 +314,7 @@ mod tests {
             block: BlockKey,
             seq: u64,
             rows: &[Observation],
+            last: bool,
         ) -> Result<(), IngestError> {
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
@@ -315,6 +329,9 @@ mod tests {
             }
             entry.0 += 1;
             entry.1.extend(rows.iter().cloned());
+            if last {
+                self.sealed.lock().unwrap().insert(block);
+            }
             Ok(())
         }
     }
@@ -360,6 +377,11 @@ mod tests {
             let got = sink.rows_of(BlockKey { geohash, day });
             assert_eq!(got, src.generator().tail_rows(geohash, day, 0.5));
         }
+        assert_eq!(
+            sink.sealed.lock().unwrap().len(),
+            src.blocks().len(),
+            "a lossless stream seals every block"
+        );
     }
 
     #[test]

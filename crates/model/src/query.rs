@@ -190,16 +190,20 @@ pub struct QueryResult {
     pub derived_hits: usize,
     /// Cells that required a fetch from the backing store.
     pub misses: usize,
+    /// Cells answered from a continuous-rollup store (DESIGN.md §17):
+    /// materialized coarse aggregates maintained by ingest, served without
+    /// touching the STASH graph or raw blocks.
+    pub rollup_hits: usize,
 }
 
 impl QueryResult {
     /// Fraction of target cells served without touching the backing store.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.cache_hits + self.derived_hits + self.misses;
+        let total = self.cache_hits + self.derived_hits + self.misses + self.rollup_hits;
         if total == 0 {
             return 0.0;
         }
-        (self.cache_hits + self.derived_hits) as f64 / total as f64
+        (self.cache_hits + self.derived_hits + self.rollup_hits) as f64 / total as f64
     }
 
     /// Render one aggregate as `(cell key, value)` rows for a heatmap.
@@ -398,8 +402,15 @@ mod tests {
             cache_hits: 3,
             derived_hits: 1,
             misses: 4,
+            rollup_hits: 0,
         };
         assert!((r.hit_ratio() - 0.5).abs() < 1e-12);
+        // Rollup-served keys count as hits: they never touch raw blocks.
+        let rolled = QueryResult {
+            rollup_hits: 4,
+            ..r.clone()
+        };
+        assert!((rolled.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.total_count(), 1);
         let series = r.series(1, AggFunc::Max);
         assert_eq!(series, vec![(key, 4.0)]);

@@ -96,6 +96,7 @@ fn query_result_roundtrips_and_is_renderable() {
         cache_hits: 3,
         derived_hits: 1,
         misses: 2,
+        rollup_hits: 1,
     };
     roundtrip(&r);
     // The JSON shape a front-end consumes: cells carry keys and summaries.
@@ -103,6 +104,7 @@ fn query_result_roundtrips_and_is_renderable() {
     assert!(v["cells"].is_array());
     assert_eq!(v["cells"].as_array().unwrap().len(), 1);
     assert_eq!(v["cache_hits"], 3);
+    assert_eq!(v["rollup_hits"], 1);
 }
 
 #[test]

@@ -29,17 +29,17 @@ fn same_cells(a: &QueryResult, b: &QueryResult) -> bool {
 }
 
 fn main() {
-    let config = ClusterConfig {
-        n_nodes: 4,
-        mode: Mode::Stash,
-        disk: DiskModel::free(),
+    let config = ClusterConfig::builder()
+        .n_nodes(4)
+        .mode(Mode::Stash)
+        .disk(DiskModel::free())
         // Short sub-RPC deadlines so failover is visible in seconds, not
         // the production-sized defaults.
-        sub_rpc_timeout: Duration::from_millis(250),
-        retry_backoff: Duration::from_millis(5),
-        client_timeout: Duration::from_secs(10),
-        ..ClusterConfig::default()
-    };
+        .sub_rpc_timeout(Duration::from_millis(250))
+        .retry_backoff(Duration::from_millis(5))
+        .client_timeout(Duration::from_secs(10))
+        .build()
+        .expect("chaos recovery example config is valid");
     let query = AggQuery::new(
         BBox::from_corner_extent(38.0, -105.0, 0.6, 1.2), // a county viewport
         TimeRange::whole_day(2015, 2, 2),

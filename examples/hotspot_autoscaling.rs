@@ -21,19 +21,19 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn run_burst(enable_replication: bool, n_requests: usize, n_clients: usize) -> (f64, u64, u64) {
-    let cluster = SimCluster::new(ClusterConfig {
-        mode: Mode::Stash,
-        enable_replication,
+    let config = ClusterConfig::builder()
+        .mode(Mode::Stash)
+        .enable_replication(enable_replication)
         // Coordination is I/O-bound (a worker mostly waits on its
         // scattered subqueries), so give it enough threads that client
         // pressure reaches the owning node's service tier — where the
         // hotspot actually forms.
-        coord_workers: 24,
+        .coord_workers(24)
         // Node capacity is defined by the virtual serve cost (100 us per
         // Cell), far above the simulator's real per-request CPU — so
         // shifting load to a helper genuinely adds capacity (DESIGN.md §2).
-        cell_service_cost: std::time::Duration::from_micros(100),
-        stash: StashConfig {
+        .cell_service_cost(std::time::Duration::from_micros(100))
+        .stash(StashConfig {
             hotspot_threshold: 24,
             // Paper §VIII-E: "to compare improvement caused by a
             // replication operation, the cooldown time was set high" —
@@ -50,9 +50,10 @@ fn run_burst(enable_replication: bool, n_requests: usize, n_clients: usize) -> (
             max_replicable_cells: 16_384,
             reroute_probability: 0.5,
             ..StashConfig::default()
-        },
-        ..ClusterConfig::default()
-    });
+        })
+        .build()
+        .expect("hotspot example config is valid");
+    let cluster = SimCluster::new(config);
     let workload = WorkloadGen::new(WorkloadConfig::default());
     // All clients hammer the same county-sized neighborhood — pinned well
     // inside one 2-character geohash partition ('9x', Wyoming) so exactly

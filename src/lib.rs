@@ -32,12 +32,16 @@
 //! use stash::model::AggQuery;
 //! use stash::geo::{BBox, TemporalRes, TimeRange};
 //!
-//! // Boot a small simulated cluster with STASH enabled.
-//! let cluster = SimCluster::new(ClusterConfig {
-//!     n_nodes: 2,
-//!     disk: stash::dfs::DiskModel::free(), // no modeled disk in doctests
-//!     ..ClusterConfig::default()
-//! });
+//! // Boot a small simulated cluster with STASH enabled. The builder
+//! // validates the configuration and returns a typed `ConfigError` for
+//! // anything inconsistent.
+//! let cluster = SimCluster::new(
+//!     ClusterConfig::builder()
+//!         .n_nodes(2)
+//!         .disk(stash::dfs::DiskModel::free()) // no modeled disk in doctests
+//!         .build()
+//!         .unwrap(),
+//! );
 //! let client = cluster.client();
 //!
 //! // One front-end interaction = one aggregation query.

@@ -9,20 +9,20 @@ use stash::geo::{TemporalRes, TimeRange};
 use stash::model::{AggQuery, QueryResult};
 
 fn config(mode: Mode) -> ClusterConfig {
-    ClusterConfig {
-        n_nodes: 3,
-        mode,
-        disk: DiskModel::free(),
-        generator: GeneratorConfig {
+    ClusterConfig::builder()
+        .n_nodes(3)
+        .mode(mode)
+        .disk(DiskModel::free())
+        .generator(GeneratorConfig {
             seed: 99,
             obs_per_deg2_per_day: 40.0,
             max_obs_per_block: 50_000,
             value_quantum: 0.0,
-        },
-        scan_cost_per_obs: std::time::Duration::ZERO,
-        cell_service_cost: std::time::Duration::ZERO,
-        ..ClusterConfig::default()
-    }
+        })
+        .scan_cost_per_obs(std::time::Duration::ZERO)
+        .cell_service_cost(std::time::Duration::ZERO)
+        .build()
+        .expect("end-to-end test config is valid")
 }
 
 fn workload() -> WorkloadGen {

@@ -20,15 +20,17 @@ fn generator() -> GeneratorConfig {
 }
 
 fn stash_cluster(mode: Mode) -> SimCluster {
-    SimCluster::new(ClusterConfig {
-        n_nodes: 3,
-        mode,
-        disk: DiskModel::free(),
-        generator: generator(),
-        scan_cost_per_obs: std::time::Duration::ZERO,
-        cell_service_cost: std::time::Duration::ZERO,
-        ..ClusterConfig::default()
-    })
+    SimCluster::new(
+        ClusterConfig::builder()
+            .n_nodes(3)
+            .mode(mode)
+            .disk(DiskModel::free())
+            .generator(generator())
+            .scan_cost_per_obs(std::time::Duration::ZERO)
+            .cell_service_cost(std::time::Duration::ZERO)
+            .build()
+            .expect("parity test config is valid"),
+    )
 }
 
 fn es_cluster() -> EsSimCluster {

@@ -15,20 +15,20 @@ use std::sync::{Arc, Mutex};
 static SERIAL: Mutex<()> = Mutex::new(());
 
 fn hotspot_config(enable_replication: bool) -> ClusterConfig {
-    ClusterConfig {
-        n_nodes: 4,
-        mode: Mode::Stash,
-        enable_replication,
-        coord_workers: 16,
-        disk: DiskModel::free(),
-        cell_service_cost: std::time::Duration::from_micros(400),
-        generator: GeneratorConfig {
+    ClusterConfig::builder()
+        .n_nodes(4)
+        .mode(Mode::Stash)
+        .enable_replication(enable_replication)
+        .coord_workers(16)
+        .disk(DiskModel::free())
+        .cell_service_cost(std::time::Duration::from_micros(400))
+        .generator(GeneratorConfig {
             seed: 5,
             obs_per_deg2_per_day: 30.0,
             max_obs_per_block: 50_000,
             value_quantum: 0.0,
-        },
-        stash: StashConfig {
+        })
+        .stash(StashConfig {
             hotspot_threshold: 4,
             cooldown_ticks: 100,
             clique_depth: 3,
@@ -37,9 +37,9 @@ fn hotspot_config(enable_replication: bool) -> ClusterConfig {
             routing_ttl_ticks: 1_000_000,
             guest_ttl_ticks: 1_000_000,
             ..StashConfig::default()
-        },
-        ..ClusterConfig::default()
-    }
+        })
+        .build()
+        .expect("hotspot test config is valid")
 }
 
 fn workload() -> WorkloadGen {
@@ -130,10 +130,9 @@ fn rerouted_answers_match_ground_truth() {
         "precondition: rerouting must have happened"
     );
 
-    let basic = SimCluster::new(ClusterConfig {
-        mode: Mode::Basic,
-        ..hotspot_config(false)
-    });
+    let mut basic_config = hotspot_config(false);
+    basic_config.mode = Mode::Basic;
+    let basic = SimCluster::new(basic_config);
     let sc = stash.client();
     let bc = basic.client();
     // The 8 distinct rectangles of the burst.

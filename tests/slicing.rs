@@ -7,20 +7,22 @@ use stash::data::{GeneratorConfig, QuerySizeClass, WorkloadConfig, WorkloadGen};
 use stash::dfs::DiskModel;
 
 fn cluster(mode: Mode) -> SimCluster {
-    SimCluster::new(ClusterConfig {
-        n_nodes: 3,
-        mode,
-        disk: DiskModel::free(),
-        generator: GeneratorConfig {
-            seed: 77,
-            obs_per_deg2_per_day: 40.0,
-            max_obs_per_block: 50_000,
-            value_quantum: 0.0,
-        },
-        scan_cost_per_obs: std::time::Duration::ZERO,
-        cell_service_cost: std::time::Duration::ZERO,
-        ..ClusterConfig::default()
-    })
+    SimCluster::new(
+        ClusterConfig::builder()
+            .n_nodes(3)
+            .mode(mode)
+            .disk(DiskModel::free())
+            .generator(GeneratorConfig {
+                seed: 77,
+                obs_per_deg2_per_day: 40.0,
+                max_obs_per_block: 50_000,
+                value_quantum: 0.0,
+            })
+            .scan_cost_per_obs(std::time::Duration::ZERO)
+            .cell_service_cost(std::time::Duration::ZERO)
+            .build()
+            .expect("slicing test config is valid"),
+    )
 }
 
 #[test]
